@@ -1,0 +1,50 @@
+//! Error type for the BDD manager.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building BDDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The node budget was exceeded — the formula's BDD is too large under
+    /// the current variable order. Callers fall back to the SAT path.
+    NodeBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A variable index outside the manager's universe.
+    VariableOutOfRange {
+        /// The offending index.
+        variable: usize,
+        /// Number of declared variables.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeBudgetExceeded { budget } => {
+                write!(f, "bdd node budget of {budget} exceeded")
+            }
+            BddError::VariableOutOfRange { variable, declared } => {
+                write!(f, "variable {variable} out of range, {declared} declared")
+            }
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        assert!(BddError::NodeBudgetExceeded { budget: 7 }.to_string().contains('7'));
+        let e = BddError::VariableOutOfRange { variable: 9, declared: 2 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,275 @@
+//! Satisfying-assignment queries on BDDs.
+
+use std::collections::HashMap;
+
+use crate::{Bdd, BddManager};
+
+impl BddManager {
+    /// Number of satisfying assignments over the full variable universe.
+    pub fn count_sat(&self, f: Bdd) -> u128 {
+        let mut cache: HashMap<Bdd, u128> = HashMap::new();
+        self.count_inner(f, &mut cache) << self.top_gap(f)
+    }
+
+    /// Levels skipped above the root (each doubles the count).
+    fn top_gap(&self, f: Bdd) -> u32 {
+        if self.is_terminal(f) {
+            self.num_vars() as u32
+        } else {
+            self.node(f).0
+        }
+    }
+
+    fn count_inner(&self, f: Bdd, cache: &mut HashMap<Bdd, u128>) -> u128 {
+        if f == self.zero() {
+            return 0;
+        }
+        if f == self.one() {
+            return 1;
+        }
+        if let Some(&c) = cache.get(&f) {
+            return c;
+        }
+        let (var, lo, hi) = self.node(f);
+        let gap = |child: Bdd| -> u32 {
+            let cv = if self.is_terminal(child) {
+                self.num_vars() as u32
+            } else {
+                self.node(child).0
+            };
+            cv - var - 1
+        };
+        let total = (self.count_inner(lo, cache) << gap(lo))
+            + (self.count_inner(hi, cache) << gap(hi));
+        cache.insert(f, total);
+        total
+    }
+
+    /// Any satisfying assignment, or `None` for the zero function.
+    /// Variables off the satisfying path are set to `false`.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<bool>> {
+        if f == self.zero() {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars()];
+        let mut cur = f;
+        while !self.is_terminal(cur) {
+            let (var, lo, hi) = self.node(cur);
+            if lo != self.zero() {
+                cur = lo;
+            } else {
+                assignment[var as usize] = true;
+                cur = hi;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// The satisfying assignment minimising `Σ cost(var, value)`, where
+    /// `costs[v] = (cost_false, cost_true)`. Returns `None` for the zero
+    /// function.
+    ///
+    /// This is the operation the BDD-based CSC layer exists for: picking
+    /// the insertion with the fewest excited states in one linear pass
+    /// over the diagram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is shorter than the variable universe.
+    pub fn min_cost_sat(&self, f: Bdd, costs: &[(f64, f64)]) -> Option<Vec<bool>> {
+        assert!(costs.len() >= self.num_vars(), "cost per variable required");
+        if f == self.zero() {
+            return None;
+        }
+        // Cheapest completion cost from each node, over the variables at
+        // and below the node's level (skipped variables take their cheaper
+        // side).
+        let mut best: HashMap<Bdd, f64> = HashMap::new();
+        let skipped = |from: u32, to_node: Bdd| -> f64 {
+            let to = if self.is_terminal(to_node) {
+                self.num_vars() as u32
+            } else {
+                self.node(to_node).0
+            };
+            (from..to)
+                .map(|v| {
+                    let (c0, c1) = costs[v as usize];
+                    c0.min(c1)
+                })
+                .sum()
+        };
+        // Resolve cost recursively (graphs are small; recursion is fine).
+        fn cost_of(
+            m: &BddManager,
+            f: Bdd,
+            costs: &[(f64, f64)],
+            best: &mut HashMap<Bdd, f64>,
+        ) -> f64 {
+            if f == m.zero() {
+                return f64::INFINITY;
+            }
+            if f == m.one() {
+                return 0.0;
+            }
+            if let Some(&c) = best.get(&f) {
+                return c;
+            }
+            let (var, lo, hi) = m.node(f);
+            let (c0, c1) = costs[var as usize];
+            let skip = |to_node: Bdd| -> f64 {
+                let to = if m.is_terminal(to_node) {
+                    m.num_vars() as u32
+                } else {
+                    m.node(to_node).0
+                };
+                (var + 1..to)
+                    .map(|v| {
+                        let (a, b) = costs[v as usize];
+                        a.min(b)
+                    })
+                    .sum()
+            };
+            let via_lo = c0 + skip(lo) + cost_of(m, lo, costs, best);
+            let via_hi = c1 + skip(hi) + cost_of(m, hi, costs, best);
+            let c = via_lo.min(via_hi);
+            best.insert(f, c);
+            c
+        }
+        let _ = cost_of(self, f, costs, &mut best);
+
+        // Walk the cheapest path, choosing the cheaper side for skipped
+        // variables.
+        let mut assignment: Vec<bool> = (0..self.num_vars())
+            .map(|v| costs[v].1 < costs[v].0)
+            .collect();
+        let mut cur = f;
+        while !self.is_terminal(cur) {
+            let (var, lo, hi) = self.node(cur);
+            let (c0, c1) = costs[var as usize];
+            let lo_cost = c0 + skipped(var + 1, lo)
+                + *best.get(&lo).unwrap_or(&if lo == self.one() { 0.0 } else { f64::INFINITY });
+            let hi_cost = c1 + skipped(var + 1, hi)
+                + *best.get(&hi).unwrap_or(&if hi == self.one() { 0.0 } else { f64::INFINITY });
+            if lo_cost <= hi_cost {
+                assignment[var as usize] = false;
+                cur = lo;
+            } else {
+                assignment[var as usize] = true;
+                cur = hi;
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_from_cnf;
+    use modsyn_sat::{CnfFormula, Lit, Var};
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_polarity(Var::new(i), pos)
+    }
+
+    #[test]
+    fn count_sat_basics() {
+        let mut m = BddManager::new(3);
+        assert_eq!(m.count_sat(m.zero()), 0);
+        assert_eq!(m.count_sat(m.one()), 8);
+        let a = m.var(0).unwrap();
+        assert_eq!(m.count_sat(a), 4);
+        let b = m.var(2).unwrap();
+        let f = m.and(a, b).unwrap();
+        assert_eq!(m.count_sat(f), 2);
+    }
+
+    #[test]
+    fn any_sat_satisfies() {
+        let mut f = CnfFormula::new(4);
+        f.add_clause([lit(0, false), lit(1, true)]);
+        f.add_clause([lit(2, true), lit(3, false)]);
+        f.add_clause([lit(0, true)]);
+        let mut m = BddManager::new(4);
+        let bdd = build_from_cnf(&mut m, &f).unwrap();
+        let a = m.any_sat(bdd).expect("satisfiable");
+        assert!(f.evaluate(&a));
+    }
+
+    #[test]
+    fn any_sat_of_zero_is_none() {
+        let m = BddManager::new(2);
+        assert!(m.any_sat(m.zero()).is_none());
+    }
+
+    #[test]
+    fn min_cost_prefers_cheap_literals() {
+        // (a ∨ b): making b true costs 1, a costs 10.
+        let mut m = BddManager::new(2);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let f = m.or(a, b).unwrap();
+        let best = m.min_cost_sat(f, &[(0.0, 10.0), (0.0, 1.0)]).unwrap();
+        assert_eq!(best, vec![false, true]);
+        assert!(m.eval(f, &best));
+    }
+
+    #[test]
+    fn min_cost_handles_skipped_levels() {
+        // f = x2 over 4 vars; x0, x1, x3 are unconstrained and take their
+        // cheaper polarity.
+        let mut m = BddManager::new(4);
+        let f = m.var(2).unwrap();
+        let costs = [(5.0, 1.0), (1.0, 5.0), (2.0, 3.0), (0.0, 9.0)];
+        let best = m.min_cost_sat(f, &costs).unwrap();
+        assert_eq!(best, vec![true, false, true, false]);
+        assert!(m.eval(f, &best));
+    }
+
+    #[test]
+    fn min_cost_is_optimal_by_brute_force() {
+        let mut seed = 0xfeed_f00d_dead_beefu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..25 {
+            let n = 5usize;
+            let mut f = CnfFormula::new(n);
+            for _ in 0..(next() % 10 + 1) {
+                let a = lit((next() % n as u64) as usize, next() % 2 == 0);
+                let b = lit((next() % n as u64) as usize, next() % 2 == 0);
+                f.add_clause([a, b]);
+            }
+            let costs: Vec<(f64, f64)> =
+                (0..n).map(|_| ((next() % 7) as f64, (next() % 7) as f64)).collect();
+            let mut m = BddManager::new(n);
+            let bdd = build_from_cnf(&mut m, &f).unwrap();
+            let Some(got) = m.min_cost_sat(bdd, &costs) else {
+                continue;
+            };
+            assert!(f.evaluate(&got));
+            let cost = |a: &[bool]| -> f64 {
+                a.iter()
+                    .enumerate()
+                    .map(|(v, &x)| if x { costs[v].1 } else { costs[v].0 })
+                    .sum()
+            };
+            let mut best = f64::INFINITY;
+            for bits in 0u32..(1 << n) {
+                let a: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+                if f.evaluate(&a) {
+                    best = best.min(cost(&a));
+                }
+            }
+            assert!(
+                (cost(&got) - best).abs() < 1e-9,
+                "got {} vs optimal {}",
+                cost(&got),
+                best
+            );
+        }
+    }
+}

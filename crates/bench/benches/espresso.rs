@@ -1,0 +1,96 @@
+//! Two-level minimisation benchmarks: the espresso loop on the logic
+//! functions the synthesis flow actually produces, plus scaling on dense
+//! random functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsyn::{modular_resolve, CscSolveOptions};
+use modsyn_logic::{complement, minimize, Cover, Cube};
+use modsyn_sg::{derive, DeriveOptions, StateGraph};
+use modsyn_stg::benchmarks;
+
+/// ON/DC covers of one output of a resolved benchmark.
+fn covers_for(graph: &StateGraph, signal: usize) -> (Cover, Cover) {
+    let n = graph.signals().len();
+    let mut on_codes: Vec<u64> = (0..graph.state_count())
+        .filter(|&s| graph.implied_value(s, signal))
+        .map(|s| graph.code(s))
+        .collect();
+    on_codes.sort_unstable();
+    on_codes.dedup();
+    let to_values = |code: u64| -> Vec<bool> { (0..n).map(|k| code >> k & 1 == 1).collect() };
+    let on_rows: Vec<Vec<bool>> = on_codes.iter().map(|&c| to_values(c)).collect();
+    let on = Cover::from_minterms(n, on_rows.iter().map(Vec::as_slice));
+    let mut all_codes: Vec<u64> = (0..graph.state_count()).map(|s| graph.code(s)).collect();
+    all_codes.sort_unstable();
+    all_codes.dedup();
+    let all_rows: Vec<Vec<bool>> = all_codes.iter().map(|&c| to_values(c)).collect();
+    let reachable = Cover::from_minterms(n, all_rows.iter().map(Vec::as_slice));
+    (on, complement(&reachable))
+}
+
+fn bench_synthesised_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("espresso-synth");
+    group.sample_size(10);
+    for name in ["wrdata", "atod", "mmu1"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let out = modular_resolve(&sg, &CscSolveOptions::default()).expect("resolves");
+        let output = (0..out.graph.signals().len())
+            .find(|&s| out.graph.signals()[s].kind.is_non_input())
+            .expect("has outputs");
+        let (on, dc) = covers_for(&out.graph, output);
+        group.bench_function(name, |b| b.iter(|| minimize(&on, &dc)));
+    }
+    group.finish();
+}
+
+fn bench_random_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("espresso-random");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        // Deterministic dense function: minterms with an odd bit-count mix.
+        let minterms: Vec<Vec<bool>> = (0u32..(1 << n))
+            .filter(|bits| (bits.wrapping_mul(0x9e37_79b9) >> 28) % 3 == 0)
+            .map(|bits| (0..n).map(|v| bits >> v & 1 == 1).collect())
+            .collect();
+        let on = Cover::from_minterms(n, minterms.iter().map(Vec::as_slice));
+        group.bench_function(format!("vars-{n}"), |b| {
+            b.iter(|| minimize(&on, &Cover::empty(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tautology_and_complement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("espresso-core-ops");
+    let n = 10usize;
+    let cubes: Vec<Cube> = (0..60u32)
+        .map(|i| {
+            let mut cube = Cube::full(n);
+            let mut x = i.wrapping_mul(0x85eb_ca6b) | 1;
+            for v in 0..n {
+                x = x.wrapping_mul(0xc2b2_ae35).rotate_left(7);
+                match x % 3 {
+                    0 => cube.set_literal(v, Some(true)),
+                    1 => cube.set_literal(v, Some(false)),
+                    _ => {}
+                }
+            }
+            cube
+        })
+        .collect();
+    let cover = Cover::from_cubes(n, cubes);
+    group.bench_function("complement-60x10", |b| b.iter(|| complement(&cover)));
+    group.bench_function("tautology-60x10", |b| {
+        b.iter(|| modsyn_logic::is_tautology(&cover))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesised_functions,
+    bench_random_functions,
+    bench_tautology_and_complement
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks for the extension substrates: BDD construction and
+//! minimum-cost extraction, exact minimisation, multi-output sharing, and
+//! FSM minimisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsyn::{encode_csc, minimise_states, modular_resolve, CscSolveOptions};
+use modsyn_bdd::{build_from_cnf, BddManager};
+use modsyn_logic::{minimize, minimize_exact, Cover, ExactLimits};
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd");
+    group.sample_size(10);
+    for name in ["vbe-ex2", "nouse", "fifo"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let analysis = sg.csc_analysis();
+        let m = analysis.lower_bound.max(1);
+        let encoding = encode_csc(&sg, &analysis, m);
+        group.bench_function(format!("build+mincost/{name}"), |b| {
+            b.iter(|| {
+                let mut mgr =
+                    BddManager::with_budget(encoding.formula.num_vars(), 2_000_000);
+                let bdd = build_from_cnf(&mut mgr, &encoding.formula).expect("fits");
+                let costs = vec![(0.0, 1.0); encoding.formula.num_vars()];
+                mgr.min_cost_sat(bdd, &costs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimise");
+    group.sample_size(10);
+    let n = 8usize;
+    let minterms: Vec<Vec<bool>> = (0u32..(1 << n))
+        .filter(|bits| (bits.wrapping_mul(0x9e37_79b9) >> 27) % 3 == 0)
+        .map(|bits| (0..n).map(|v| bits >> v & 1 == 1).collect())
+        .collect();
+    let on = Cover::from_minterms(n, minterms.iter().map(Vec::as_slice));
+    group.bench_function("heuristic-8var", |b| {
+        b.iter(|| minimize(&on, &Cover::empty(n)))
+    });
+    group.bench_function("exact-8var", |b| {
+        b.iter(|| minimize_exact(&on, &Cover::empty(n), &ExactLimits::default()))
+    });
+    group.finish();
+}
+
+fn bench_fsm_minimisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fsm");
+    group.sample_size(10);
+    for name in ["wrdata", "atod", "mmu1"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        group.bench_function(name, |b| b.iter(|| minimise_states(&sg, 20_000)));
+    }
+    group.finish();
+}
+
+fn bench_shared_pla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared-pla");
+    group.sample_size(10);
+    for name in ["wrdata", "mmu1"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let out = modular_resolve(&sg, &CscSolveOptions::default()).expect("resolves");
+        group.bench_function(name, |b| {
+            b.iter(|| modsyn::derive_logic_shared(&out.graph).expect("derives"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bdd,
+    bench_exact_vs_heuristic,
+    bench_fsm_minimisation,
+    bench_shared_pla
+);
+criterion_main!(benches);

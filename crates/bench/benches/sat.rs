@@ -1,0 +1,68 @@
+//! A2: SAT solver benchmarks — engines and heuristics on the CSC
+//! encodings and on classic hard instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsyn::encode_csc;
+use modsyn_sat::{CnfFormula, Heuristic, Lit, Solver, SolverOptions, Var};
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+fn pigeonhole(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut f = CnfFormula::new(pigeons * holes);
+    let var = |p: usize, h: usize| Var::new(p * holes + h);
+    for p in 0..pigeons {
+        f.add_clause((0..holes).map(|h| Lit::positive(var(p, h))));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                f.add_clause([Lit::negative(var(p1, h)), Lit::negative(var(p2, h))]);
+            }
+        }
+    }
+    f
+}
+
+fn bench_csc_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat-csc");
+    group.sample_size(10);
+    for name in ["mmu1", "vbe4a", "pa"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let analysis = sg.csc_analysis();
+        let encoding = encode_csc(&sg, &analysis, analysis.lower_bound.max(1));
+        group.bench_function(format!("cdcl/{name}"), |b| {
+            b.iter(|| {
+                Solver::new(&encoding.formula, SolverOptions::default()).solve()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines_on_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat-php");
+    group.sample_size(10);
+    let f = pigeonhole(5);
+    group.bench_function("cdcl", |b| {
+        b.iter(|| Solver::new(&f, SolverOptions::default()).solve())
+    });
+    group.bench_function("chronological-jw", |b| {
+        b.iter(|| {
+            Solver::new(
+                &f,
+                SolverOptions {
+                    learning: false,
+                    heuristic: Heuristic::JeroslowWang,
+                    ..Default::default()
+                },
+            )
+            .solve()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csc_encodings, bench_engines_on_pigeonhole);
+criterion_main!(benches);

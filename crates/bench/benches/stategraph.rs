@@ -1,0 +1,71 @@
+//! State-graph substrate benchmarks: derivation, CSC analysis and
+//! quotient construction on the largest benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg-derive");
+    for name in ["mmu1", "mmu0", "mr1", "mr0"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        group.bench_function(name, |b| {
+            b.iter(|| derive(&stg, &DeriveOptions::default()).expect("derives"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csc_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg-csc");
+    for name in ["mmu0", "mr0"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        group.bench_function(name, |b| b.iter(|| sg.csc_analysis()));
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sg-quotient");
+    for name in ["mmu0", "mr0"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        // Hide everything except the first two signals — the typical
+        // modular-graph construction.
+        let hidden: Vec<usize> = (2..sg.signals().len()).collect();
+        group.bench_function(name, |b| {
+            b.iter(|| sg.hide_signals(&hidden).expect("quotient builds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // State count grows as (6·beats + 1)^strands: the scaling knob behind
+    // the mr family (mr0 = 3×1, mr1 = 2×2).
+    let mut group = c.benchmark_group("sg-scaling");
+    group.sample_size(10);
+    for strands in [1usize, 2, 3] {
+        let stg = benchmarks::master_read(strands, 1);
+        group.bench_function(format!("master-read-{strands}x1"), |b| {
+            b.iter(|| derive(&stg, &DeriveOptions::default()).expect("derives"))
+        });
+    }
+    for stages in [4usize, 8, 16] {
+        let stg = benchmarks::pipeline(stages);
+        group.bench_function(format!("pipeline-{stages}"), |b| {
+            b.iter(|| derive(&stg, &DeriveOptions::default()).expect("derives"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_derivation,
+    bench_csc_analysis,
+    bench_quotient,
+    bench_scaling
+);
+criterion_main!(benches);

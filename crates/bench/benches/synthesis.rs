@@ -1,0 +1,45 @@
+//! E1/E4: end-to-end synthesis wall-clock, modular vs direct, per
+//! benchmark — the Criterion counterpart of the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modsyn::{synthesize, Method, SynthesisOptions};
+use modsyn_sat::SolverOptions;
+use modsyn_stg::benchmarks;
+
+fn options(method: Method) -> SynthesisOptions {
+    let mut o = SynthesisOptions::for_method(method);
+    o.solver = SolverOptions {
+        max_backtracks: Some(modsyn_bench::TABLE1_BACKTRACK_LIMIT),
+        ..SolverOptions::default()
+    };
+    o
+}
+
+fn bench_modular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modular");
+    group.sample_size(10);
+    for name in ["vbe-ex1", "nouse", "wrdata", "atod", "ram-read-sbuf", "mmu1", "mmu0", "mr0"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        group.bench_function(name, |b| {
+            b.iter(|| synthesize(&stg, &options(Method::Modular)).expect("modular solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct");
+    group.sample_size(10);
+    // Rows the direct method solves within the Table-1 limit; the aborting
+    // rows (mr0/mr1/mmu0) are measured by time-to-abort in `table1`.
+    for name in ["vbe-ex1", "nouse", "wrdata", "atod", "ram-read-sbuf", "mmu1"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        group.bench_function(name, |b| {
+            b.iter(|| synthesize(&stg, &options(Method::Direct)).expect("direct solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modular, bench_direct);
+criterion_main!(benches);

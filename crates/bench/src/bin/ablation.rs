@@ -1,0 +1,116 @@
+//! Ablation studies (experiments A1/A2/A3, not tabulated in the paper).
+//!
+//! * A1 — decomposition: formula sizes of the modular flow vs the direct
+//!   encoding across every benchmark.
+//! * A2 — SAT engine: conflict-driven learning vs chronological
+//!   branch-and-bound, and branching heuristics, on the direct encodings.
+//! * A3 — assignment extraction: SAT's first model vs the BDD's
+//!   minimum-excitation model (the paper conclusion's area refinement).
+//!
+//! Run with: `cargo run -p modsyn-bench --release --bin ablation`
+
+use modsyn::{encode_csc, modular_resolve, synthesize, CscSolveOptions, Method, SynthesisOptions};
+use modsyn_sat::{Heuristic, Outcome, Solver, SolverOptions};
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+fn main() {
+    println!("A1: decomposition ablation — largest SAT instance solved\n");
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "STG", "modular (cls)", "direct (cls)", "ratio"
+    );
+    for (name, stg) in benchmarks::all() {
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let analysis = sg.csc_analysis();
+        let direct = encode_csc(&sg, &analysis, analysis.lower_bound.max(1));
+        let modular = modular_resolve(&sg, &CscSolveOptions::default());
+        let largest = modular
+            .as_ref()
+            .ok()
+            .and_then(|o| o.formulas.iter().map(|f| f.clauses).max());
+        match largest {
+            Some(c) => println!(
+                "{:<16} {:>14} {:>14} {:>7.1}x",
+                name,
+                c,
+                direct.formula.clause_count(),
+                direct.formula.clause_count() as f64 / c.max(1) as f64
+            ),
+            None => println!("{name:<16} {:>14} {:>14}", "-", direct.formula.clause_count()),
+        }
+    }
+
+    println!("\nA2: SAT engine ablation on direct encodings (backtracks to verdict, limit 50k)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "STG", "cdcl", "chrono-jw", "chrono-first"
+    );
+    for name in ["mmu1", "vbe4a", "pa", "wrdata", "nouse", "vbe-ex2"] {
+        let stg = benchmarks::by_name(name).expect("known");
+        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+        let analysis = sg.csc_analysis();
+        let m = analysis.lower_bound.max(1);
+        let encoding = encode_csc(&sg, &analysis, m);
+        let mut cells = Vec::new();
+        for (learning, heuristic) in [
+            (true, Heuristic::Activity),
+            (false, Heuristic::JeroslowWang),
+            (false, Heuristic::FirstUnassigned),
+        ] {
+            let mut solver = Solver::new(
+                &encoding.formula,
+                SolverOptions {
+                    heuristic,
+                    learning,
+                    max_backtracks: Some(50_000),
+                    max_decisions: None,
+                },
+            );
+            let outcome = solver.solve();
+            let stats = solver.stats();
+            cells.push(match outcome {
+                Outcome::Satisfiable(_) => format!("{}", stats.backtracks),
+                Outcome::Unsatisfiable => format!("{} (unsat)", stats.backtracks),
+                _ => "limit".to_string(),
+            });
+        }
+        println!(
+            "{:<16} {:>10} {:>12} {:>12}",
+            name, cells[0], cells[1], cells[2]
+        );
+    }
+
+    println!("\nA4: PLA sharing — per-output covers vs shared product terms\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10}",
+        "STG", "so-terms", "shared-terms", "so-lits", "shared-lits"
+    );
+    for (name, stg) in benchmarks::all() {
+        let Ok(sg) = derive(&stg, &DeriveOptions::default()) else { continue };
+        let Ok(out) = modular_resolve(&sg, &CscSolveOptions::default()) else { continue };
+        let Ok(functions) = modsyn::derive_logic(&out.graph) else { continue };
+        let Ok((shared, _)) = modsyn::derive_logic_shared(&out.graph) else { continue };
+        let so_terms: usize = functions.iter().map(|f| f.sop.cover().cube_count()).sum();
+        let so_lits: usize = functions.iter().map(|f| f.literals).sum();
+        println!(
+            "{:<16} {:>10} {:>12} {:>12} {:>10}",
+            name,
+            so_terms,
+            shared.term_count(),
+            so_lits,
+            shared.input_literal_count()
+        );
+    }
+
+    println!("\nA3: assignment extraction — SAT first-model vs BDD minimum-excitation (literals)\n");
+    println!("{:<16} {:>10} {:>14} {:>8}", "STG", "sat-pick", "bdd-min-area", "delta");
+    for (name, stg) in benchmarks::all() {
+        let a = synthesize(&stg, &SynthesisOptions::for_method(Method::Modular));
+        let b = synthesize(&stg, &SynthesisOptions::for_method(Method::ModularMinArea));
+        if let (Ok(a), Ok(b)) = (a, b) {
+            let delta = b.literals as i64 - a.literals as i64;
+            println!("{:<16} {:>10} {:>14} {:>+8}", name, a.literals, b.literals, delta);
+        }
+    }
+}

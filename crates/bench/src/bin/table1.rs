@@ -1,0 +1,85 @@
+//! Regenerates the paper's Table 1 (experiment E1).
+//!
+//! For every benchmark, runs the modular method, the direct (Vanbekbergen)
+//! method and the Lavagno-style method under the standard backtrack limit,
+//! and prints our measurement next to the paper's number.
+//!
+//! Run with: `cargo run -p modsyn-bench --release --bin table1 [limit]`
+
+use modsyn_bench::{
+    paper_row, run_table, Measured, PaperOutcome, TABLE1_BACKTRACK_LIMIT,
+};
+
+fn paper_cell(outcome: &PaperOutcome) -> String {
+    match outcome {
+        PaperOutcome::Solved { final_signals, literals, cpu } => {
+            format!("{final_signals} sig / {literals} lit / {cpu}s")
+        }
+        PaperOutcome::BacktrackLimit { cpu: Some(c) } => format!("SAT Backtrack Limit ({c}s)"),
+        PaperOutcome::BacktrackLimit { cpu: None } => "SAT Backtrack Limit (> 3600s)".into(),
+        PaperOutcome::InternalStateError => "Internal State Error*".into(),
+        PaperOutcome::NonFreeChoice => "Non-Free-Choice STG".into(),
+    }
+}
+
+fn main() {
+    let limit: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(TABLE1_BACKTRACK_LIMIT);
+
+    println!("Table 1 reproduction (backtrack limit {limit}); paper values in parentheses.\n");
+    println!(
+        "{:<16} {:>6} {:>4} | {:<44} | {:<44} | {:<44}",
+        "STG", "states", "sig", "Our Method (Decomposition)", "Vanbekbergen et al. (No Decomposition)", "Lavagno and Moon et al."
+    );
+    println!("{}", "-".repeat(170));
+
+    let rows = run_table(limit);
+    for (name, modular, direct, lavagno) in &rows {
+        let paper = paper_row(name).expect("row exists");
+        println!(
+            "{:<16} {:>6} {:>4} | {:<44} | {:<44} | {:<44}",
+            name,
+            paper.initial_states,
+            paper.initial_signals,
+            format!("{} ({} sig / {} lit / {}s)", modular.cell(), paper.ours.1, paper.ours.2, paper.ours.3),
+            format!("{} ({})", direct.cell(), paper_cell(&paper.direct)),
+            format!("{} ({})", lavagno.cell(), paper_cell(&paper.lavagno)),
+        );
+    }
+
+    println!("\nsummary:");
+    println!("  modular vs direct wall-clock on the large rows (direct time is time-to-abort when it hit the limit):");
+    for (name, modular, direct, _) in &rows {
+        let Some(m) = modular.cpu() else { continue };
+        let Some(d) = direct.cpu() else { continue };
+        if d < 0.05 {
+            continue; // too small to compare meaningfully
+        }
+        let aborted = matches!(direct, Measured::BacktrackLimit { .. });
+        println!(
+            "    {name:<16} modular {m:>7.3}s vs direct {d:>7.3}s{} -> {:.0}x",
+            if aborted { " (abort)" } else { "" },
+            d / m.max(1e-4)
+        );
+    }
+    let direct_aborts: Vec<&str> = rows
+        .iter()
+        .filter(|(_, _, d, _)| matches!(d, Measured::BacktrackLimit { .. }))
+        .map(|(n, ..)| *n)
+        .collect();
+    println!("  direct aborted on: {direct_aborts:?} (paper: [\"mr0\", \"mr1\", \"mmu0\", \"mmu1\"])");
+    let lavagno_errors: Vec<(&str, String)> = rows
+        .iter()
+        .filter_map(|(n, _, _, l)| match l {
+            Measured::NotFreeChoice | Measured::StateSplittingRequired => {
+                Some((*n, l.cell()))
+            }
+            _ => None,
+        })
+        .collect();
+    println!(
+        "  lavagno-style rejections: {lavagno_errors:?} (paper: alex-nonfc non-FC; mmu0, pa internal state error)"
+    );
+}

@@ -1,0 +1,236 @@
+//! Shared harness for the Table-1 reproduction binaries and benches.
+//!
+//! [`PAPER_TABLE1`] transcribes the paper's Table 1 verbatim (the reference
+//! the binaries print next to our measurements); [`run_row`] executes one
+//! benchmark × method with the standard limits; [`run_table`] produces the
+//! whole comparison.
+
+use modsyn::{synthesize, Method, SynthesisError, SynthesisOptions};
+use modsyn_sat::SolverOptions;
+use modsyn_stg::benchmarks;
+
+/// A comparator's result for one Table-1 row as printed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PaperOutcome {
+    /// Solved: final signals, two-level literals, CPU seconds.
+    Solved {
+        /// "Final no. of signal" column.
+        final_signals: usize,
+        /// "2level Area literals" column.
+        literals: usize,
+        /// "CPU time sec." column.
+        cpu: f64,
+    },
+    /// "SAT Backtrack Limit" abort, with the CPU seconds spent.
+    BacktrackLimit {
+        /// Seconds before the abort (`None` for "> 3600").
+        cpu: Option<f64>,
+    },
+    /// "Internal State Error" (missing state splitting in SIS).
+    InternalStateError,
+    /// "Non-Free-Choice STG".
+    NonFreeChoice,
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// "Initial no. of states".
+    pub initial_states: usize,
+    /// "Initial no. of signal".
+    pub initial_signals: usize,
+    /// Our method: (final states, final signals, literals, cpu).
+    pub ours: (usize, usize, usize, f64),
+    /// Vanbekbergen et al. (direct, no decomposition).
+    pub direct: PaperOutcome,
+    /// Lavagno and Moon et al.
+    pub lavagno: PaperOutcome,
+}
+
+use PaperOutcome::{BacktrackLimit, InternalStateError, NonFreeChoice, Solved};
+
+/// The paper's Table 1, transcribed.
+pub const PAPER_TABLE1: [PaperRow; 23] = [
+    PaperRow { name: "mr0", initial_states: 302, initial_signals: 11, ours: (469, 14, 41, 2.80), direct: BacktrackLimit { cpu: None }, lavagno: Solved { final_signals: 13, literals: 86, cpu: 1084.5 } },
+    PaperRow { name: "mr1", initial_states: 190, initial_signals: 8, ours: (373, 12, 55, 1.73), direct: BacktrackLimit { cpu: Some(872.9) }, lavagno: Solved { final_signals: 10, literals: 53, cpu: 237.5 } },
+    PaperRow { name: "mmu0", initial_states: 174, initial_signals: 8, ours: (441, 11, 49, 0.87), direct: BacktrackLimit { cpu: Some(406.3) }, lavagno: InternalStateError },
+    PaperRow { name: "mmu1", initial_states: 82, initial_signals: 8, ours: (131, 10, 50, 0.37), direct: BacktrackLimit { cpu: Some(101.3) }, lavagno: Solved { final_signals: 10, literals: 37, cpu: 47.8 } },
+    PaperRow { name: "sbuf-ram-write", initial_states: 58, initial_signals: 10, ours: (93, 12, 59, 0.36), direct: Solved { final_signals: 12, literals: 74, cpu: 5.21 }, lavagno: Solved { final_signals: 12, literals: 35, cpu: 54.6 } },
+    PaperRow { name: "vbe4a", initial_states: 58, initial_signals: 6, ours: (106, 8, 37, 0.19), direct: Solved { final_signals: 8, literals: 40, cpu: 0.25 }, lavagno: Solved { final_signals: 8, literals: 41, cpu: 5.5 } },
+    PaperRow { name: "nak-pa", initial_states: 56, initial_signals: 9, ours: (59, 10, 25, 0.20), direct: Solved { final_signals: 10, literals: 32, cpu: 0.08 }, lavagno: Solved { final_signals: 10, literals: 41, cpu: 20.8 } },
+    PaperRow { name: "pe-rcv-ifc-fc", initial_states: 46, initial_signals: 8, ours: (50, 9, 48, 0.24), direct: Solved { final_signals: 9, literals: 50, cpu: 0.13 }, lavagno: Solved { final_signals: 9, literals: 62, cpu: 14.3 } },
+    PaperRow { name: "ram-read-sbuf", initial_states: 36, initial_signals: 10, ours: (44, 11, 28, 0.15), direct: Solved { final_signals: 11, literals: 44, cpu: 0.06 }, lavagno: Solved { final_signals: 11, literals: 23, cpu: 65.2 } },
+    PaperRow { name: "alex-nonfc", initial_states: 24, initial_signals: 6, ours: (31, 7, 26, 0.05), direct: Solved { final_signals: 7, literals: 22, cpu: 0.03 }, lavagno: NonFreeChoice },
+    PaperRow { name: "sbuf-send-pkt2", initial_states: 21, initial_signals: 6, ours: (26, 7, 20, 0.04), direct: Solved { final_signals: 7, literals: 29, cpu: 0.04 }, lavagno: Solved { final_signals: 7, literals: 14, cpu: 8.6 } },
+    PaperRow { name: "sbuf-send-ctl", initial_states: 20, initial_signals: 6, ours: (32, 8, 33, 0.09), direct: Solved { final_signals: 8, literals: 35, cpu: 0.03 }, lavagno: Solved { final_signals: 8, literals: 43, cpu: 3.4 } },
+    PaperRow { name: "atod", initial_states: 20, initial_signals: 6, ours: (26, 7, 15, 0.02), direct: Solved { final_signals: 7, literals: 16, cpu: 0.01 }, lavagno: Solved { final_signals: 7, literals: 19, cpu: 2.9 } },
+    PaperRow { name: "pa", initial_states: 18, initial_signals: 4, ours: (34, 6, 18, 0.12), direct: Solved { final_signals: 6, literals: 22, cpu: 0.06 }, lavagno: InternalStateError },
+    PaperRow { name: "alloc-outbound", initial_states: 17, initial_signals: 7, ours: (29, 9, 33, 0.09), direct: Solved { final_signals: 9, literals: 27, cpu: 0.04 }, lavagno: Solved { final_signals: 9, literals: 23, cpu: 2.5 } },
+    PaperRow { name: "wrdata", initial_states: 16, initial_signals: 4, ours: (20, 5, 17, 0.03), direct: Solved { final_signals: 5, literals: 18, cpu: 0.01 }, lavagno: Solved { final_signals: 5, literals: 21, cpu: 0.9 } },
+    PaperRow { name: "fifo", initial_states: 16, initial_signals: 4, ours: (23, 5, 15, 0.03), direct: Solved { final_signals: 5, literals: 17, cpu: 0.02 }, lavagno: Solved { final_signals: 5, literals: 15, cpu: 0.7 } },
+    PaperRow { name: "sbuf-read-ctl", initial_states: 14, initial_signals: 6, ours: (18, 7, 16, 0.06), direct: Solved { final_signals: 7, literals: 20, cpu: 0.01 }, lavagno: Solved { final_signals: 7, literals: 15, cpu: 1.5 } },
+    PaperRow { name: "nouse", initial_states: 12, initial_signals: 3, ours: (16, 4, 12, 0.01), direct: Solved { final_signals: 4, literals: 12, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 14, cpu: 0.5 } },
+    PaperRow { name: "vbe-ex2", initial_states: 8, initial_signals: 2, ours: (12, 4, 18, 0.08), direct: Solved { final_signals: 4, literals: 18, cpu: 0.03 }, lavagno: Solved { final_signals: 4, literals: 21, cpu: 0.5 } },
+    PaperRow { name: "nousc-ser", initial_states: 8, initial_signals: 3, ours: (10, 4, 9, 0.02), direct: Solved { final_signals: 4, literals: 9, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 11, cpu: 0.4 } },
+    PaperRow { name: "sendr-done", initial_states: 7, initial_signals: 3, ours: (10, 4, 8, 0.02), direct: Solved { final_signals: 4, literals: 8, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 6, cpu: 0.4 } },
+    PaperRow { name: "vbe-ex1", initial_states: 5, initial_signals: 2, ours: (8, 3, 7, 0.01), direct: Solved { final_signals: 3, literals: 7, cpu: 0.01 }, lavagno: Solved { final_signals: 3, literals: 7, cpu: 0.3 } },
+];
+
+/// The backtrack limit playing the role of the SIS abort in Table-1 runs.
+pub const TABLE1_BACKTRACK_LIMIT: u64 = 20_000;
+
+/// Our measured outcome for one benchmark × method.
+#[derive(Debug, Clone)]
+pub enum Measured {
+    /// Synthesis succeeded.
+    Solved {
+        /// Final state count of the expanded graph.
+        final_states: usize,
+        /// Final signal count.
+        final_signals: usize,
+        /// Total two-level literals.
+        literals: usize,
+        /// Wall-clock seconds.
+        cpu: f64,
+        /// (variables, clauses, satisfiable) of every SAT formula solved.
+        formulas: Vec<(usize, usize, bool)>,
+    },
+    /// The solver hit the Table-1 backtrack limit.
+    BacktrackLimit {
+        /// Seconds before the abort.
+        cpu: f64,
+    },
+    /// Restricted method rejected the input.
+    NotFreeChoice,
+    /// Race-free assignment impossible — the internal-state-error analogue.
+    StateSplittingRequired,
+    /// Any other failure.
+    Failed(String),
+}
+
+impl Measured {
+    /// Literals if solved.
+    pub fn literals(&self) -> Option<usize> {
+        match self {
+            Measured::Solved { literals, .. } => Some(*literals),
+            _ => None,
+        }
+    }
+
+    /// CPU seconds if meaningful.
+    pub fn cpu(&self) -> Option<f64> {
+        match self {
+            Measured::Solved { cpu, .. } | Measured::BacktrackLimit { cpu } => Some(*cpu),
+            _ => None,
+        }
+    }
+
+    /// Short cell text for tables.
+    pub fn cell(&self) -> String {
+        match self {
+            Measured::Solved { final_signals, literals, cpu, .. } => {
+                format!("{final_signals} sig / {literals} lit / {cpu:.2}s")
+            }
+            Measured::BacktrackLimit { cpu } => format!("SAT Backtrack Limit ({cpu:.2}s)"),
+            Measured::NotFreeChoice => "Non-Free-Choice STG".to_string(),
+            Measured::StateSplittingRequired => "Internal State Error*".to_string(),
+            Measured::Failed(e) => format!("failed: {e}"),
+        }
+    }
+}
+
+/// Runs one benchmark with one method under the Table-1 limits.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known benchmark.
+pub fn run_row(name: &str, method: Method, backtrack_limit: u64) -> Measured {
+    let stg = benchmarks::by_name(name).expect("known benchmark");
+    let mut options = SynthesisOptions::for_method(method);
+    options.solver = SolverOptions {
+        max_backtracks: Some(backtrack_limit),
+        ..SolverOptions::default()
+    };
+    let started = std::time::Instant::now();
+    match synthesize(&stg, &options) {
+        Ok(report) => Measured::Solved {
+            final_states: report.final_states,
+            final_signals: report.final_signals,
+            literals: report.literals,
+            cpu: report.cpu_seconds,
+            formulas: report
+                .formulas
+                .iter()
+                .map(|f| (f.variables, f.clauses, f.satisfiable))
+                .collect(),
+        },
+        Err(SynthesisError::BacktrackLimit { .. }) => Measured::BacktrackLimit {
+            cpu: started.elapsed().as_secs_f64(),
+        },
+        Err(SynthesisError::NotFreeChoice) => Measured::NotFreeChoice,
+        Err(SynthesisError::StateSplittingRequired) => Measured::StateSplittingRequired,
+        Err(e) => Measured::Failed(e.to_string()),
+    }
+}
+
+/// Our full Table 1: per row, the three methods' measurements.
+pub fn run_table(backtrack_limit: u64) -> Vec<(&'static str, Measured, Measured, Measured)> {
+    PAPER_TABLE1
+        .iter()
+        .map(|row| {
+            (
+                row.name,
+                run_row(row.name, Method::Modular, backtrack_limit),
+                run_row(row.name, Method::Direct, backtrack_limit),
+                run_row(row.name, Method::Lavagno, backtrack_limit),
+            )
+        })
+        .collect()
+}
+
+/// The paper row for a benchmark name.
+pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER_TABLE1.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_covers_every_benchmark() {
+        assert_eq!(PAPER_TABLE1.len(), 23);
+        for row in &PAPER_TABLE1 {
+            assert!(
+                modsyn_stg::benchmarks::by_name(row.name).is_some(),
+                "{} has no generator",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_specs_agree_with_stg_crate() {
+        for row in &PAPER_TABLE1 {
+            let spec = modsyn_stg::benchmarks::paper_spec(row.name).unwrap();
+            assert_eq!(spec.initial_states, row.initial_states, "{}", row.name);
+            assert_eq!(spec.initial_signals, row.initial_signals, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn run_row_solves_a_small_benchmark() {
+        let m = run_row("vbe-ex1", Method::Modular, TABLE1_BACKTRACK_LIMIT);
+        assert!(matches!(m, Measured::Solved { .. }), "{}", m.cell());
+        assert!(m.literals().unwrap() > 0);
+    }
+
+    #[test]
+    fn run_row_reports_non_free_choice() {
+        let m = run_row("alex-nonfc", Method::Lavagno, TABLE1_BACKTRACK_LIMIT);
+        assert!(matches!(m, Measured::NotFreeChoice));
+        assert_eq!(m.literals(), None);
+    }
+}

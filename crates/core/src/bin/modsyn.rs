@@ -1,0 +1,207 @@
+//! `modsyn` — command-line front end for the synthesis library.
+//!
+//! ```text
+//! modsyn <file.g | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno]
+//!        [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet]
+//! ```
+//!
+//! Reads an STG (a `.g` file, `-` for stdin, or `benchmark:<name>` for one
+//! of the built-in Table-1 stand-ins), resolves CSC with the chosen method
+//! and prints the synthesised logic. `--pla` additionally prints each
+//! function as a single-output PLA; `--dot` prints the final state graph in
+//! Graphviz format; `--verilog` emits a structural netlist; `--exact` uses
+//! exact two-level minimisation; `--hazards` runs the static-hazard
+//! post-process plus a closed-loop conformance check.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use modsyn::{
+    closed_loop_check, hazard_report, remove_static_hazards, synthesize, Circuit, Method,
+    MinimizeMode, SynthesisOptions,
+};
+use modsyn_sat::SolverOptions;
+
+struct Args {
+    source: String,
+    method: Method,
+    limit: Option<u64>,
+    pla: bool,
+    dot: bool,
+    verilog: bool,
+    exact: bool,
+    hazards: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
+     [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        source: String::new(),
+        method: Method::Modular,
+        limit: None,
+        pla: false,
+        dot: false,
+        verilog: false,
+        exact: false,
+        hazards: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => {
+                let v = it.next().ok_or("--method needs a value")?;
+                args.method = match v.as_str() {
+                    "modular" => Method::Modular,
+                    "modular-min-area" => Method::ModularMinArea,
+                    "direct" => Method::Direct,
+                    "lavagno" => Method::Lavagno,
+                    other => return Err(format!("unknown method {other:?}")),
+                };
+            }
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs a value")?;
+                args.limit = Some(v.parse().map_err(|_| "bad --limit value")?);
+            }
+            "--pla" => args.pla = true,
+            "--dot" => args.dot = true,
+            "--verilog" => args.verilog = true,
+            "--exact" => args.exact = true,
+            "--hazards" => args.hazards = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if args.source.is_empty() => args.source = other.to_string(),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.source.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(args)
+}
+
+fn load_stg(source: &str) -> Result<modsyn_stg::Stg, String> {
+    if let Some(name) = source.strip_prefix("benchmark:") {
+        return modsyn_stg::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?}"));
+    }
+    let text = if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?
+    };
+    modsyn_stg::parse_g(&text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stg = match load_stg(&args.source) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut options = SynthesisOptions::for_method(args.method);
+    if args.exact {
+        options.minimize = MinimizeMode::Exact;
+    }
+    if let Some(limit) = args.limit {
+        options.solver = SolverOptions {
+            max_backtracks: Some(limit),
+            ..SolverOptions::default()
+        };
+    }
+    let report = match synthesize(&stg, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.quiet {
+        println!(
+            "# {}: {} -> {} signals, {} -> {} states, {} literals, {:.3}s ({})",
+            report.benchmark,
+            report.initial_signals,
+            report.final_signals,
+            report.initial_states,
+            report.final_states,
+            report.literals,
+            report.cpu_seconds,
+            report.method,
+        );
+    }
+
+    // Re-derive the final graph for the post-processing options.
+    let need_graph = args.dot || args.hazards || args.verilog;
+    let graph = if need_graph {
+        let sg = modsyn_sg::derive(&stg, &modsyn_sg::DeriveOptions::default())
+            .expect("already derived once");
+        let solve = modsyn::CscSolveOptions {
+            solver: options.solver,
+            min_area: args.method == Method::ModularMinArea,
+            ..Default::default()
+        };
+        Some(modsyn::modular_resolve(&sg, &solve).expect("already resolved once").graph)
+    } else {
+        None
+    };
+
+    let mut functions = report.functions.clone();
+    if args.hazards {
+        let graph = graph.as_ref().expect("graph derived for --hazards");
+        let before = hazard_report(graph, &functions);
+        functions = remove_static_hazards(graph, &functions);
+        let after = hazard_report(graph, &functions);
+        if !args.quiet {
+            println!(
+                "# hazards: {} static-1 hazards removed, {} remain; area now {} literals",
+                before.total_hazards(),
+                after.total_hazards(),
+                functions.iter().map(|f| f.literals).sum::<usize>(),
+            );
+            let circuit = Circuit::new(graph, &functions).expect("functions cover outputs");
+            let sim = closed_loop_check(graph, &circuit);
+            println!(
+                "# closed-loop check: {} states, {} transitions, conforming: {}",
+                sim.states_visited,
+                sim.transitions,
+                sim.is_conforming()
+            );
+        }
+    }
+
+    for f in &functions {
+        println!("{} = {}", f.name, f.sop);
+        if args.pla {
+            print!("{}", modsyn_logic::write_pla(f.sop.cover()));
+        }
+    }
+    if args.dot {
+        let graph = graph.as_ref().expect("graph derived for --dot");
+        println!("{}", modsyn_sg::to_dot(graph));
+    }
+    if args.verilog {
+        let graph = graph.as_ref().expect("graph derived for --verilog");
+        println!("{}", modsyn::to_verilog(&report.benchmark, graph, &functions));
+    }
+    ExitCode::SUCCESS
+}

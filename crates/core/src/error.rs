@@ -1,0 +1,94 @@
+//! Error type for the synthesis flows.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the synthesis flows.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// State-graph derivation or transformation failed.
+    Sg(modsyn_sg::SgError),
+    /// The SAT solver hit its backtrack limit before a verdict — the
+    /// paper's "SAT Backtrack Limit" abort of the direct method.
+    BacktrackLimit {
+        /// Number of state signals being attempted when the limit hit.
+        state_signals: usize,
+        /// Seconds spent before aborting.
+        elapsed: f64,
+    },
+    /// No satisfying state-signal assignment exists up to the configured
+    /// signal cap.
+    NoSolution {
+        /// Largest number of state signals tried.
+        max_signals: usize,
+    },
+    /// The Lavagno-style baseline only accepts live safe free-choice STGs.
+    NotFreeChoice,
+    /// The Lavagno-style baseline found no race-free assignment without
+    /// state splitting — the analogue of the SIS "internal state error".
+    StateSplittingRequired,
+    /// Logic derivation failed (the final graph still violates CSC).
+    CscUnresolved {
+        /// Number of conflicting pairs remaining.
+        remaining_conflicts: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Sg(e) => write!(f, "state graph error: {e}"),
+            SynthesisError::BacktrackLimit { state_signals, elapsed } => write!(
+                f,
+                "sat backtrack limit reached with {state_signals} state signals after {elapsed:.1}s"
+            ),
+            SynthesisError::NoSolution { max_signals } => {
+                write!(f, "no csc solution with up to {max_signals} state signals")
+            }
+            SynthesisError::NotFreeChoice => {
+                write!(f, "method is restricted to live safe free-choice STGs")
+            }
+            SynthesisError::StateSplittingRequired => {
+                write!(f, "no race-free assignment without state splitting")
+            }
+            SynthesisError::CscUnresolved { remaining_conflicts } => {
+                write!(f, "csc still violated: {remaining_conflicts} conflicting pairs remain")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<modsyn_sg::SgError> for SynthesisError {
+    fn from(e: modsyn_sg::SgError) -> Self {
+        SynthesisError::Sg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynthesisError::NoSolution { max_signals: 5 };
+        assert!(e.to_string().contains('5'));
+        assert!(SynthesisError::NotFreeChoice.to_string().contains("free-choice"));
+    }
+
+    #[test]
+    fn sg_errors_chain() {
+        let e: SynthesisError =
+            modsyn_sg::SgError::TooManySignals { requested: 70 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

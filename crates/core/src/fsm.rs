@@ -1,0 +1,394 @@
+//! Incompletely-specified FSM state minimisation — minimal closed covers.
+//!
+//! The paper's reference [17] (Puri & Gu, *An Efficient Algorithm to Search
+//! for Minimal Closed Covers in Sequential Machines*, IEEE TCAD 1993) is
+//! the state-minimisation engine behind the Lavagno-style flow ("state
+//! minimization [17] and critical race-free state assignment"). This module
+//! implements the classical pipeline on the state graphs appearing in this
+//! crate:
+//!
+//! 1. **Compatibility**: two states are compatible when no input word
+//!    distinguishes their (partial) outputs — computed here as the greatest
+//!    fixpoint over the pair graph.
+//! 2. **Maximal compatibles** by recursive expansion.
+//! 3. **Minimal closed cover**: a minimum set of compatibles that covers
+//!    all states and is closed under the implied-pair relation, found by
+//!    branch and bound.
+//!
+//! For the synthesis flow the interesting instance is the *quotient-like*
+//! reduction of a state graph: states with equal codes and equal non-input
+//! excitation (USC-equivalent states) are behaviourally compatible and can
+//! merge, shrinking the flow table the Lavagno comparator works on.
+
+use std::collections::HashSet;
+
+use modsyn_sg::{EdgeLabel, StateGraph};
+
+/// One compatible: a set of original states merged into one reduced state.
+pub type Compatible = Vec<usize>;
+
+/// Result of [`minimise_states`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedCover {
+    /// The chosen compatibles (each sorted ascending), covering all states.
+    pub cover: Vec<Compatible>,
+    /// Number of states of the original machine.
+    pub original_states: usize,
+}
+
+impl ClosedCover {
+    /// Number of reduced states.
+    pub fn reduced_states(&self) -> usize {
+        self.cover.len()
+    }
+}
+
+/// Pairwise compatibility of state-graph states as sequential-machine
+/// states: outputs = the implied values of the non-input signals; inputs =
+/// the signal edges. Two states are compatible iff they agree on every
+/// non-input implied value (where both are defined — here always) and every
+/// common transition leads to a compatible pair (greatest fixpoint).
+pub fn compatible_pairs(graph: &StateGraph) -> Vec<Vec<bool>> {
+    let n = graph.state_count();
+    let non_inputs: Vec<usize> = (0..graph.signals().len())
+        .filter(|&s| graph.signals()[s].kind.is_non_input())
+        .collect();
+
+    let mut compatible = vec![vec![true; n]; n];
+    // Base: output disagreement.
+    for a in 0..n {
+        for b in a + 1..n {
+            let clash = non_inputs
+                .iter()
+                .any(|&s| graph.implied_value(a, s) != graph.implied_value(b, s));
+            if clash {
+                compatible[a][b] = false;
+                compatible[b][a] = false;
+            }
+        }
+    }
+    // Fixpoint: propagate incompatibility backwards over common labels.
+    let succ = |s: usize| -> Vec<(EdgeLabel, usize)> {
+        graph.out_edges(s).map(|e| (e.label, e.to)).collect()
+    };
+    let succs: Vec<Vec<(EdgeLabel, usize)>> = (0..n).map(succ).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in 0..n {
+            for b in a + 1..n {
+                if !compatible[a][b] {
+                    continue;
+                }
+                let bad = succs[a].iter().any(|&(la, ta)| {
+                    succs[b]
+                        .iter()
+                        .any(|&(lb, tb)| la == lb && !compatible[ta.min(tb)][ta.max(tb)])
+                });
+                if bad {
+                    compatible[a][b] = false;
+                    compatible[b][a] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    compatible
+}
+
+/// All maximal compatibles (maximal cliques of the compatibility relation),
+/// via Bron–Kerbosch with pivoting.
+pub fn maximal_compatibles(compatible: &[Vec<bool>]) -> Vec<Compatible> {
+    let n = compatible.len();
+    // Bron–Kerbosch expects an irreflexive adjacency relation.
+    let mut adj = compatible.to_vec();
+    for (v, row) in adj.iter_mut().enumerate() {
+        row[v] = false;
+    }
+    let mut result: Vec<Compatible> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x: Vec<usize> = Vec::new();
+    bron_kerbosch(&adj, &mut r, p, x, &mut result);
+    for c in &mut result {
+        c.sort_unstable();
+    }
+    result.sort();
+    result
+}
+
+fn bron_kerbosch(
+    adj: &[Vec<bool>],
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Compatible>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // Pivot: vertex with most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| adj[u][v]).count())
+        .expect("P ∪ X nonempty");
+    let candidates: Vec<usize> = p.iter().copied().filter(|&v| !adj[pivot][v]).collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        let np: Vec<usize> = p.iter().copied().filter(|&u| adj[v][u]).collect();
+        let nx: Vec<usize> = x.iter().copied().filter(|&u| adj[v][u]).collect();
+        r.push(v);
+        bron_kerbosch(adj, r, np, nx, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// The implied pairs of a compatible: merging the states of `c` forces, for
+/// each common edge label, the set of successors to be merged too.
+fn implied_sets(graph: &StateGraph, c: &[usize]) -> Vec<Vec<usize>> {
+    let mut by_label: std::collections::HashMap<EdgeLabel, HashSet<usize>> =
+        std::collections::HashMap::new();
+    for &s in c {
+        for e in graph.out_edges(s) {
+            by_label.entry(e.label).or_default().insert(e.to);
+        }
+    }
+    by_label
+        .into_values()
+        .filter(|set| set.len() > 1)
+        .map(|set| {
+            let mut v: Vec<usize> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Finds a minimal closed cover of the graph's states by compatibles,
+/// branch and bound over the maximal compatibles (reference \[17\]'s
+/// problem). `max_nodes` bounds the search; on exhaustion the best cover
+/// found so far is returned (still a valid closed cover).
+pub fn minimise_states(graph: &StateGraph, max_nodes: usize) -> ClosedCover {
+    let n = graph.state_count();
+    let compatible = compatible_pairs(graph);
+    let maximals = maximal_compatibles(&compatible);
+
+    // Quick exit: everything pairwise incompatible.
+    if maximals.iter().all(|c| c.len() == 1) {
+        return ClosedCover {
+            cover: (0..n).map(|s| vec![s]).collect(),
+            original_states: n,
+        };
+    }
+
+    // Greedy initial solution: repeatedly take the maximal compatible
+    // covering the most uncovered states, then close under implication.
+    let mut greedy: Vec<Compatible> = Vec::new();
+    let mut covered: HashSet<usize> = HashSet::new();
+    while covered.len() < n {
+        let best = maximals
+            .iter()
+            .max_by_key(|c| c.iter().filter(|s| !covered.contains(s)).count())
+            .expect("maximals cover all states");
+        greedy.push(best.clone());
+        covered.extend(best.iter().copied());
+    }
+    close_cover(graph, &maximals, &mut greedy);
+
+    // Branch and bound for a smaller closed cover.
+    let mut best = greedy.clone();
+    let mut nodes = 0usize;
+    let mut partial: Vec<Compatible> = Vec::new();
+    search_cover(
+        graph,
+        &maximals,
+        n,
+        &mut partial,
+        &mut best,
+        &mut nodes,
+        max_nodes,
+    );
+
+    best.sort();
+    best.dedup();
+    ClosedCover { cover: best, original_states: n }
+}
+
+/// Ensures the cover is closed: every implied set of a member is contained
+/// in some member, adding maximal compatibles as needed.
+fn close_cover(graph: &StateGraph, maximals: &[Compatible], cover: &mut Vec<Compatible>) {
+    loop {
+        let mut missing: Option<Vec<usize>> = None;
+        'outer: for c in cover.iter() {
+            for implied in implied_sets(graph, c) {
+                let contained = cover
+                    .iter()
+                    .any(|m| implied.iter().all(|s| m.contains(s)));
+                if !contained {
+                    missing = Some(implied);
+                    break 'outer;
+                }
+            }
+        }
+        match missing {
+            None => return,
+            Some(set) => {
+                let host = maximals
+                    .iter()
+                    .find(|m| set.iter().all(|s| m.contains(s)))
+                    .cloned()
+                    .unwrap_or(set);
+                cover.push(host);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_cover(
+    graph: &StateGraph,
+    maximals: &[Compatible],
+    n: usize,
+    partial: &mut Vec<Compatible>,
+    best: &mut Vec<Compatible>,
+    nodes: &mut usize,
+    max_nodes: usize,
+) {
+    *nodes += 1;
+    if *nodes > max_nodes || partial.len() + 1 >= best.len() {
+        return;
+    }
+    let covered: HashSet<usize> = partial.iter().flatten().copied().collect();
+    let Some(uncovered) = (0..n).find(|s| !covered.contains(s)) else {
+        // Complete cover: close it and compare.
+        let mut candidate = partial.clone();
+        close_cover(graph, maximals, &mut candidate);
+        if candidate.len() < best.len() {
+            *best = candidate;
+        }
+        return;
+    };
+    for m in maximals.iter().filter(|m| m.contains(&uncovered)) {
+        partial.push(m.clone());
+        search_cover(graph, maximals, n, partial, best, nodes, max_nodes);
+        partial.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::{derive, DeriveOptions};
+    use modsyn_stg::{benchmarks, parse_g};
+
+    #[test]
+    fn combinational_behaviour_collapses_to_two_rows() {
+        // The plain handshake is the combinational wire b = a; with
+        // unspecified input columns as don't-cares the flow table reduces
+        // to the two rows {b implied 0} and {b implied 1}.
+        let stg = parse_g(
+            ".model hs\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let cover = minimise_states(&sg, 10_000);
+        assert_eq!(cover.reduced_states(), 2);
+    }
+
+    #[test]
+    fn repeated_wire_cycles_merge() {
+        // z follows a through two pulses per cycle: behaviourally the same
+        // wire, so the 8-state graph reduces to 2 rows.
+        let stg = parse_g(
+            ".model u\n.inputs a\n.outputs z\n.graph\na+ z+\nz+ a-\na- z-\nz- a+/2\na+/2 z+/2\nz+/2 a-/2\na-/2 z-/2\nz-/2 a+\n.marking { <z-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        assert_eq!(sg.state_count(), 8);
+        let cover = minimise_states(&sg, 10_000);
+        assert_eq!(cover.reduced_states(), 2, "{:?}", cover.cover);
+    }
+
+    #[test]
+    fn reduction_respects_the_output_class_lower_bound() {
+        // States with different implied-output vectors can never merge, so
+        // the distinct implied vectors bound the reduced size from below.
+        for name in ["vbe-ex1", "nouse", "sendr-done"] {
+            let sg = derive(&benchmarks::by_name(name).unwrap(), &DeriveOptions::default())
+                .unwrap();
+            let non_inputs: Vec<usize> = (0..sg.signals().len())
+                .filter(|&s| sg.signals()[s].kind.is_non_input())
+                .collect();
+            let mut vectors: Vec<Vec<bool>> = (0..sg.state_count())
+                .map(|s| {
+                    non_inputs
+                        .iter()
+                        .map(|&k| sg.implied_value(s, k))
+                        .collect()
+                })
+                .collect();
+            vectors.sort();
+            vectors.dedup();
+            let cover = minimise_states(&sg, 10_000);
+            assert!(
+                cover.reduced_states() >= vectors.len(),
+                "{name}: {} rows < {} output classes",
+                cover.reduced_states(),
+                vectors.len()
+            );
+            assert!(cover.reduced_states() <= sg.state_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn cover_is_total_and_closed() {
+        for name in ["vbe-ex1", "nouse", "sendr-done"] {
+            let stg = benchmarks::by_name(name).unwrap();
+            let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+            let cover = minimise_states(&sg, 10_000);
+            // Total.
+            let covered: HashSet<usize> = cover.cover.iter().flatten().copied().collect();
+            assert_eq!(covered.len(), sg.state_count(), "{name}");
+            // Closed.
+            for c in &cover.cover {
+                for implied in implied_sets(&sg, c) {
+                    assert!(
+                        cover
+                            .cover
+                            .iter()
+                            .any(|m| implied.iter().all(|s| m.contains(s))),
+                        "{name}: implied set {implied:?} uncovered"
+                    );
+                }
+            }
+            // Compatibility inside each member.
+            let pairs = compatible_pairs(&sg);
+            for c in &cover.cover {
+                for (i, &a) in c.iter().enumerate() {
+                    for &b in &c[i + 1..] {
+                        assert!(pairs[a][b], "{name}: {a},{b} merged but incompatible");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_compatibles_are_maximal_cliques() {
+        // A 4-vertex path graph: maximal cliques are the 3 edges... as
+        // compatibility: 0-1, 1-2, 2-3.
+        let mut adj = vec![vec![false; 4]; 4];
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            adj[a][b] = true;
+            adj[b][a] = true;
+        }
+        let cliques = maximal_compatibles(&adj);
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+}

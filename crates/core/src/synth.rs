@@ -1,0 +1,205 @@
+//! End-to-end synthesis: STG in, logic functions and report out.
+
+use std::time::Instant;
+
+use modsyn_sat::SolverOptions;
+use modsyn_sg::{derive, DeriveOptions, StateGraph};
+use modsyn_stg::Stg;
+
+use crate::direct::direct_resolve;
+use crate::lavagno::{lavagno_resolve, LavagnoOptions};
+use crate::logic_fn::{derive_logic_with, total_literals, verify_logic, MinimizeMode, SignalFunction};
+use crate::modular::{modular_resolve, ModuleReport};
+use crate::solve::{CscSolveOptions, FormulaStat};
+use crate::SynthesisError;
+
+/// Which CSC-resolution method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's modular partitioning flow.
+    Modular,
+    /// The modular flow with BDD-based minimum-excitation assignment
+    /// extraction (the area refinement of the paper's conclusion).
+    ModularMinArea,
+    /// Vanbekbergen et al.'s direct (no decomposition) SAT flow.
+    Direct,
+    /// The Lavagno/Moon-style state-table flow.
+    Lavagno,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Method::Modular => "modular",
+            Method::ModularMinArea => "modular-min-area",
+            Method::Direct => "direct",
+            Method::Lavagno => "lavagno",
+        })
+    }
+}
+
+/// Configuration of a synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisOptions {
+    /// The method to run.
+    pub method: Method,
+    /// SAT solver options (heuristic, backtrack limit). The backtrack
+    /// limit is what makes the direct method abort on Table 1's large rows.
+    pub solver: SolverOptions,
+    /// State-graph derivation limits.
+    pub derive: DeriveOptions,
+    /// Extra state signals to try beyond the lower bound.
+    pub extra_signals: usize,
+    /// Two-level minimisation mode for the area numbers.
+    pub minimize: MinimizeMode,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            method: Method::Modular,
+            solver: SolverOptions::default(),
+            derive: DeriveOptions::default(),
+            extra_signals: 6,
+            minimize: MinimizeMode::Heuristic,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// Convenience constructor for a method with default limits.
+    pub fn for_method(method: Method) -> Self {
+        SynthesisOptions { method, ..Default::default() }
+    }
+}
+
+/// Everything a Table-1 row needs about one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Benchmark (STG model) name.
+    pub benchmark: String,
+    /// The method that produced this report.
+    pub method: Method,
+    /// States of the state graph derived from the input STG.
+    pub initial_states: usize,
+    /// Signals of the input STG.
+    pub initial_signals: usize,
+    /// States of the final expanded state graph.
+    pub final_states: usize,
+    /// Signals of the final graph (initial + inserted state signals).
+    pub final_signals: usize,
+    /// Total two-level literal count (the paper's area metric).
+    pub literals: usize,
+    /// Wall-clock seconds for resolution + logic derivation.
+    pub cpu_seconds: f64,
+    /// Statistics of every SAT formula attempted.
+    pub formulas: Vec<FormulaStat>,
+    /// Per-output module traces (modular method only).
+    pub modules: Vec<ModuleReport>,
+    /// The synthesised logic functions.
+    pub functions: Vec<SignalFunction>,
+}
+
+impl SynthesisReport {
+    /// Number of state signals inserted.
+    pub fn inserted_signals(&self) -> usize {
+        self.final_signals - self.initial_signals
+    }
+}
+
+/// Runs one method end-to-end on an STG: derive the state graph, resolve
+/// CSC, expand, derive and minimise the logic.
+///
+/// # Errors
+///
+/// Propagates every [`SynthesisError`] of the stages; see [`Method`] for
+/// the failures characteristic of each comparator.
+pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<SynthesisReport, SynthesisError> {
+    let start = Instant::now();
+    let initial = derive(stg, &options.derive)?;
+    let (graph, formulas, modules): (StateGraph, Vec<FormulaStat>, Vec<ModuleReport>) =
+        match options.method {
+            Method::Modular | Method::ModularMinArea => {
+                let solve = CscSolveOptions {
+                    solver: options.solver,
+                    extra_signals: options.extra_signals,
+                    name_prefix: "csc",
+                    min_area: options.method == Method::ModularMinArea,
+                };
+                let out = modular_resolve(&initial, &solve)?;
+                (out.graph, out.formulas, out.modules)
+            }
+            Method::Direct => {
+                let solve = CscSolveOptions {
+                    solver: options.solver,
+                    extra_signals: options.extra_signals,
+                    name_prefix: "csc",
+                    min_area: false,
+                };
+                let out = direct_resolve(&initial, &solve)?;
+                (out.graph, out.formulas, Vec::new())
+            }
+            Method::Lavagno => {
+                let out = lavagno_resolve(
+                    stg,
+                    &initial,
+                    &LavagnoOptions {
+                        max_backtracks: options.solver.max_backtracks,
+                        extra_signals: options.extra_signals.min(3),
+                    },
+                )?;
+                (out.graph, out.formulas, Vec::new())
+            }
+        };
+
+    let functions = derive_logic_with(&graph, options.minimize)?;
+    debug_assert!(verify_logic(&graph, &functions));
+    Ok(SynthesisReport {
+        benchmark: stg.name().to_string(),
+        method: options.method,
+        initial_states: initial.state_count(),
+        initial_signals: initial.signals().len(),
+        final_states: graph.state_count(),
+        final_signals: graph.signals().len(),
+        literals: total_literals(&functions),
+        cpu_seconds: start.elapsed().as_secs_f64(),
+        formulas,
+        modules,
+        functions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_stg::benchmarks;
+
+    #[test]
+    fn modular_end_to_end_on_vbe_ex1() {
+        let stg = benchmarks::vbe_ex1();
+        let report = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        assert_eq!(report.benchmark, "vbe-ex1");
+        assert_eq!(report.initial_signals, 2);
+        assert_eq!(report.final_signals, 3);
+        assert!(report.final_states > report.initial_states);
+        assert!(report.literals > 0);
+        assert_eq!(report.inserted_signals(), 1);
+    }
+
+    #[test]
+    fn methods_agree_on_resolvability() {
+        let stg = benchmarks::vbe_ex2();
+        for method in [Method::Modular, Method::Direct, Method::Lavagno] {
+            let report = synthesize(&stg, &SynthesisOptions::for_method(method))
+                .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert!(report.literals > 0, "{method}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Method::Modular.to_string(), "modular");
+        assert_eq!(Method::Direct.to_string(), "direct");
+        assert_eq!(Method::Lavagno.to_string(), "lavagno");
+    }
+}

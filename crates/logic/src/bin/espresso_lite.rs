@@ -1,0 +1,75 @@
+//! `espresso_lite` — minimise a single-output PLA.
+//!
+//! ```text
+//! espresso_lite <file.pla | -> [--exact] [--stats]
+//! ```
+//!
+//! Reads a single-output `.pla` (ON rows `1`, don't-care rows `-`), prints
+//! the minimised cover in the same format.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use modsyn_logic::{minimize, minimize_exact, parse_pla, write_pla, ExactLimits};
+
+fn main() -> ExitCode {
+    let mut source = String::new();
+    let mut exact = false;
+    let mut stats = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--exact" => exact = true,
+            "--stats" => stats = true,
+            other if source.is_empty() => source = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if source.is_empty() {
+        eprintln!("usage: espresso_lite <file.pla | -> [--exact] [--stats]");
+        return ExitCode::FAILURE;
+    }
+
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error reading stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{source}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let (on, dc) = match parse_pla(&text) {
+        Ok(covers) => covers,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if exact {
+        minimize_exact(&on, &dc, &ExactLimits::default())
+    } else {
+        minimize(&on, &dc)
+    };
+    if stats {
+        eprintln!(
+            "c {} -> {} cubes, {} -> {} literals",
+            on.cube_count(),
+            result.cover.cube_count(),
+            on.literal_count(),
+            result.cover.literal_count()
+        );
+    }
+    print!("{}", write_pla(&result.cover));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+//! Error type for the logic crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the logic layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// The number of names does not match the cover's variable universe.
+    UniverseMismatch {
+        /// Number of names supplied.
+        names: usize,
+        /// Number of variables in the cover.
+        variables: usize,
+    },
+    /// A `.pla` document was malformed.
+    ParsePla {
+        /// 1-based line number (0 for document-level problems).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UniverseMismatch { names, variables } => write!(
+                f,
+                "universe mismatch: {names} names for {variables} variables"
+            ),
+            LogicError::ParsePla { line, message } => {
+                write!(f, "pla parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = LogicError::UniverseMismatch { names: 2, variables: 5 };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,328 @@
+//! Exact two-level minimisation (Quine–McCluskey primes + branch-and-bound
+//! covering).
+//!
+//! The paper's area numbers come from `espresso -Dso -S1` — *exact*
+//! single-output minimisation. [`minimize_exact`] reproduces that: generate
+//! all prime implicants of `ON ∪ DC`, then select a minimum cover of the
+//! ON-set by branch and bound over the covering table (essential primes and
+//! row/column dominance first), minimising cube count and, among equal cube
+//! counts, literal count.
+
+use std::collections::HashSet;
+
+use crate::{minimize, Cover, Cube, MinimizeResult};
+
+/// Limits for [`minimize_exact`]; beyond them the heuristic espresso loop
+/// is used instead (exactness does not scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactLimits {
+    /// Maximum input variables (minterm enumeration is `2^n`).
+    pub max_vars: usize,
+    /// Maximum branch-and-bound nodes before falling back.
+    pub max_nodes: usize,
+    /// Maximum care minterms (prime generation is quadratic in them).
+    pub max_care_minterms: usize,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits { max_vars: 14, max_nodes: 200_000, max_care_minterms: 2_000 }
+    }
+}
+
+/// Exactly minimises `on` against the don't-care set `dc`.
+///
+/// Falls back to the heuristic [`minimize`] when the instance exceeds
+/// `limits` — the result is then still prime and irredundant, just not
+/// provably minimum.
+///
+/// ```
+/// use modsyn_logic::{minimize_exact, Cover, Cube, ExactLimits};
+/// // xor needs exactly 2 cubes / 4 literals.
+/// let on = Cover::from_cubes(2, vec![
+///     Cube::from_literals(2, &[(0, true), (1, false)]),
+///     Cube::from_literals(2, &[(0, false), (1, true)]),
+/// ]);
+/// let r = minimize_exact(&on, &Cover::empty(2), &ExactLimits::default());
+/// assert_eq!(r.cover.cube_count(), 2);
+/// assert_eq!(r.cover.literal_count(), 4);
+/// ```
+pub fn minimize_exact(on: &Cover, dc: &Cover, limits: &ExactLimits) -> MinimizeResult {
+    let n = on.num_vars();
+    assert_eq!(dc.num_vars(), n, "on/dc universe mismatch");
+    if n > limits.max_vars {
+        return minimize(on, dc);
+    }
+
+    // Enumerate care minterms.
+    let mut on_minterms: Vec<u32> = Vec::new();
+    let mut care_minterms: Vec<u32> = Vec::new();
+    for bits in 0u32..(1 << n) {
+        let values: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+        if on.covers_minterm(&values) {
+            on_minterms.push(bits);
+            care_minterms.push(bits);
+        } else if dc.covers_minterm(&values) {
+            care_minterms.push(bits);
+        }
+    }
+    if on_minterms.is_empty() {
+        return MinimizeResult { cover: Cover::empty(n), iterations: 0 };
+    }
+    if care_minterms.len() > limits.max_care_minterms {
+        return minimize(on, dc);
+    }
+
+    let primes = prime_implicants(n, &care_minterms);
+
+    // Covering table: per ON minterm, the primes covering it.
+    let covers_minterm = |p: &(u32, u32), m: u32| -> bool {
+        // p = (value, mask): mask bit set = literal position fixed to value.
+        (m ^ p.0) & p.1 == 0
+    };
+    let mut table: Vec<Vec<usize>> = on_minterms
+        .iter()
+        .map(|&m| {
+            (0..primes.len())
+                .filter(|&pi| covers_minterm(&primes[pi], m))
+                .collect()
+        })
+        .collect();
+
+    // Branch and bound over prime selections.
+    let literal_cost: Vec<usize> = primes.iter().map(|p| p.1.count_ones() as usize).collect();
+    let mut best: Option<(usize, usize, Vec<usize>)> = None; // cubes, literals, picks
+    let mut nodes = 0usize;
+    let mut picks: Vec<usize> = Vec::new();
+    branch(
+        &mut table,
+        &literal_cost,
+        &mut picks,
+        &mut best,
+        &mut nodes,
+        limits.max_nodes,
+    );
+
+    let Some((_, _, chosen)) = best else {
+        return minimize(on, dc); // node budget blown
+    };
+    let cubes = chosen.iter().map(|&pi| prime_to_cube(n, primes[pi]));
+    MinimizeResult { cover: Cover::from_cubes(n, cubes), iterations: nodes }
+}
+
+/// Quine–McCluskey prime generation over `(value, mask)` cubes — `mask`
+/// bits mark fixed positions.
+fn prime_implicants(n: usize, care: &[u32]) -> Vec<(u32, u32)> {
+    let full_mask: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut current: HashSet<(u32, u32)> =
+        care.iter().map(|&m| (m, full_mask)).collect();
+    let mut primes: Vec<(u32, u32)> = Vec::new();
+
+    while !current.is_empty() {
+        let items: Vec<(u32, u32)> = current.iter().copied().collect();
+        let mut merged_away: HashSet<(u32, u32)> = HashSet::new();
+        let mut next: HashSet<(u32, u32)> = HashSet::new();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                let (va, ma) = items[i];
+                let (vb, mb) = items[j];
+                if ma != mb {
+                    continue;
+                }
+                let diff = va ^ vb;
+                if diff.count_ones() == 1 && diff & ma != 0 {
+                    let mask = ma & !diff;
+                    next.insert((va & mask, mask));
+                    merged_away.insert(items[i]);
+                    merged_away.insert(items[j]);
+                }
+            }
+        }
+        for item in items {
+            if !merged_away.contains(&item) {
+                primes.push(item);
+            }
+        }
+        current = next;
+    }
+    primes
+}
+
+fn prime_to_cube(n: usize, (value, mask): (u32, u32)) -> Cube {
+    let mut cube = Cube::full(n);
+    for v in 0..n {
+        if mask >> v & 1 == 1 {
+            cube.set_literal(v, Some(value >> v & 1 == 1));
+        }
+    }
+    cube
+}
+
+fn branch(
+    table: &mut Vec<Vec<usize>>,
+    literal_cost: &[usize],
+    picks: &mut Vec<usize>,
+    best: &mut Option<(usize, usize, Vec<usize>)>,
+    nodes: &mut usize,
+    max_nodes: usize,
+) {
+    *nodes += 1;
+    if *nodes > max_nodes {
+        return;
+    }
+    // Bound: current cost.
+    let cost = (
+        picks.len(),
+        picks.iter().map(|&p| literal_cost[p]).sum::<usize>(),
+    );
+    if let Some((bc, bl, _)) = best {
+        if cost.0 > *bc || (cost.0 == *bc && cost.1 >= *bl) {
+            return;
+        }
+    }
+    // Find an uncovered row (pick the one with fewest options — most
+    // constrained first).
+    let uncovered: Option<usize> = table
+        .iter()
+        .enumerate()
+        .filter(|(_, options)| !options.is_empty())
+        .min_by_key(|(_, options)| options.len())
+        .map(|(i, _)| i);
+    let Some(row) = uncovered else {
+        // Everything covered (empty rows mean "already covered" here
+        // because we clear them on cover).
+        let all_done = table.iter().all(Vec::is_empty);
+        if all_done {
+            let entry = (cost.0, cost.1, picks.clone());
+            match best {
+                None => *best = Some(entry),
+                Some((bc, bl, _)) if cost.0 < *bc || (cost.0 == *bc && cost.1 < *bl) => {
+                    *best = Some(entry);
+                }
+                _ => {}
+            }
+        }
+        return;
+    };
+
+    let options = table[row].clone();
+    for pi in options {
+        // Apply: remove all rows covered by prime pi.
+        let mut removed: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (r, opts) in table.iter_mut().enumerate() {
+            if !opts.is_empty() && opts.contains(&pi) {
+                removed.push((r, std::mem::take(opts)));
+            }
+        }
+        picks.push(pi);
+        branch(table, literal_cost, picks, best, nodes, max_nodes);
+        picks.pop();
+        for (r, opts) in removed {
+            table[r] = opts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: usize, lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(n, lits)
+    }
+
+    #[test]
+    fn constant_functions() {
+        let r = minimize_exact(&Cover::empty(3), &Cover::empty(3), &ExactLimits::default());
+        assert!(r.cover.is_empty());
+        let r = minimize_exact(&Cover::one(3), &Cover::empty(3), &ExactLimits::default());
+        assert_eq!(r.cover.cube_count(), 1);
+        assert_eq!(r.cover.literal_count(), 0);
+    }
+
+    #[test]
+    fn majority_is_three_cubes_six_literals() {
+        let on = Cover::from_minterms(
+            3,
+            [
+                &[false, true, true][..],
+                &[true, false, true],
+                &[true, true, false],
+                &[true, true, true],
+            ],
+        );
+        let r = minimize_exact(&on, &Cover::empty(3), &ExactLimits::default());
+        assert_eq!(r.cover.cube_count(), 3);
+        assert_eq!(r.cover.literal_count(), 6);
+        assert!(r.cover.semantically_equals(&on));
+    }
+
+    #[test]
+    fn xor3_needs_four_cubes() {
+        let minterms: Vec<Vec<bool>> = (0u8..8)
+            .filter(|b| b.count_ones() % 2 == 1)
+            .map(|b| (0..3).map(|v| b >> v & 1 == 1).collect())
+            .collect();
+        let on = Cover::from_minterms(3, minterms.iter().map(Vec::as_slice));
+        let r = minimize_exact(&on, &Cover::empty(3), &ExactLimits::default());
+        assert_eq!(r.cover.cube_count(), 4);
+        assert_eq!(r.cover.literal_count(), 12);
+    }
+
+    #[test]
+    fn dont_cares_are_exploited() {
+        // ON = {11}, DC = everything else: constant 1.
+        let on = Cover::from_cubes(2, vec![cube(2, &[(0, true), (1, true)])]);
+        let dc = Cover::from_cubes(2, vec![
+            cube(2, &[(0, false)]),
+            cube(2, &[(1, false)]),
+        ]);
+        let r = minimize_exact(&on, &dc, &ExactLimits::default());
+        assert_eq!(r.cover.literal_count(), 0);
+    }
+
+    #[test]
+    fn exact_never_beats_brute_force_optimum_and_matches_semantics() {
+        let mut seed = 0x5bd1_e995_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let n = 4usize;
+            let truth: Vec<bool> = (0..(1 << n)).map(|_| next() % 3 == 0).collect();
+            let minterms: Vec<Vec<bool>> = truth
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t)
+                .map(|(bits, _)| (0..n).map(|v| bits >> v & 1 == 1).collect())
+                .collect();
+            if minterms.is_empty() {
+                continue;
+            }
+            let on = Cover::from_minterms(n, minterms.iter().map(Vec::as_slice));
+            let exact = minimize_exact(&on, &Cover::empty(n), &ExactLimits::default());
+            let heuristic = minimize(&on, &Cover::empty(n));
+            assert!(exact.cover.semantically_equals(&on));
+            assert!(
+                exact.cover.cube_count() <= heuristic.cover.cube_count(),
+                "exact {} > heuristic {}",
+                exact.cover.cube_count(),
+                heuristic.cover.cube_count()
+            );
+            if exact.cover.cube_count() == heuristic.cover.cube_count() {
+                assert!(exact.cover.literal_count() <= heuristic.cover.literal_count());
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_instances_fall_back_to_heuristic() {
+        let limits = ExactLimits { max_vars: 2, max_nodes: 10, max_care_minterms: 2_000 };
+        let on = Cover::from_cubes(3, vec![cube(3, &[(0, true)])]);
+        let r = minimize_exact(&on, &Cover::empty(3), &limits);
+        assert!(r.cover.semantically_equals(&on));
+    }
+}

@@ -1,0 +1,217 @@
+//! Gate-level timing simulation of a two-level cover.
+//!
+//! Static hazards are invisible at the functional level — `f` is 1 before
+//! and after the input change — and only appear once the AND/OR gates have
+//! real delays: the product term holding the output can switch off before
+//! its successor switches on, and the OR output glitches low. This module
+//! builds that gate network (one AND per cube, one OR) with configurable
+//! per-gate delays and simulates input sequences event-by-event, reporting
+//! every output transition — so hazard removal can be *demonstrated*, not
+//! just asserted.
+
+use std::collections::BTreeMap;
+
+use crate::Cover;
+
+/// Per-gate delays of the two-level network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Delay of each AND gate (one per cube, cover order).
+    pub and_delays: Vec<u64>,
+    /// Delay of the output OR gate.
+    pub or_delay: u64,
+}
+
+impl DelayModel {
+    /// Unit delays everywhere.
+    pub fn unit(cubes: usize) -> Self {
+        DelayModel { and_delays: vec![1; cubes], or_delay: 1 }
+    }
+}
+
+/// One simulated change of the OR output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputEvent {
+    /// Simulation time of the change.
+    pub time: u64,
+    /// The new output value.
+    pub value: bool,
+}
+
+/// Result of [`simulate_cover`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimulationTrace {
+    /// Every output transition, in time order.
+    pub output_events: Vec<OutputEvent>,
+    /// Glitches: settling phases in which the output changed more than
+    /// once (its functional value changes at most once per single-input
+    /// step, so extra edges are hazard pulses).
+    pub glitches: usize,
+}
+
+/// Simulates the AND–OR network of `cover` against an input sequence:
+/// `steps[i] = (time, input values after the step)`. Each step must change
+/// at most one input, and steps must be far enough apart for the network to
+/// settle (times strictly increasing; settle window = max delay sum).
+///
+/// Gates are zero-width (pure transport delay): an AND output at time `t`
+/// reflects its inputs at `t − delay`.
+///
+/// # Panics
+///
+/// Panics if the delay model does not match the cover or the step times are
+/// not strictly increasing.
+pub fn simulate_cover(
+    cover: &Cover,
+    delays: &DelayModel,
+    steps: &[(u64, Vec<bool>)],
+) -> SimulationTrace {
+    assert_eq!(delays.and_delays.len(), cover.cube_count(), "one delay per cube");
+    let mut trace = SimulationTrace::default();
+    if steps.is_empty() {
+        return trace;
+    }
+    for w in steps.windows(2) {
+        assert!(w[0].0 < w[1].0, "step times must increase");
+    }
+
+    // Piecewise-constant input waveform; evaluate gates with transport
+    // delays at every relevant time point.
+    let input_at = |t: i128| -> &Vec<bool> {
+        let mut current = &steps[0].1;
+        for (time, values) in steps {
+            if (*time as i128) <= t {
+                current = values;
+            } else {
+                break;
+            }
+        }
+        current
+    };
+
+    // Candidate event times: every step time shifted by every gate-path
+    // delay combination.
+    let mut times: Vec<u64> = Vec::new();
+    for (t, _) in steps {
+        for (ci, d) in delays.and_delays.iter().enumerate() {
+            let _ = ci;
+            times.push(t + d + delays.or_delay);
+        }
+    }
+    times.sort_unstable();
+    times.dedup();
+
+    let or_at = |t: u64| -> bool {
+        // AND i at time t sees inputs at t - and_delay[i]; OR sees ANDs at
+        // t - or_delay.
+        cover.cubes().iter().enumerate().any(|(i, cube)| {
+            let tin = t as i128 - delays.or_delay as i128 - delays.and_delays[i] as i128;
+            cube.covers_minterm(input_at(tin))
+        })
+    };
+
+    // Initial value (before any event).
+    let mut value = or_at(steps[0].0);
+    let mut events: Vec<OutputEvent> = Vec::new();
+    for &t in &times {
+        let v = or_at(t);
+        if v != value {
+            events.push(OutputEvent { time: t, value: v });
+            value = v;
+        }
+    }
+
+    // Glitch counting: group events by the input step window they belong
+    // to; more than one event per window is a hazard pulse.
+    let mut per_window: BTreeMap<usize, usize> = BTreeMap::new();
+    for e in &events {
+        let window = steps
+            .iter()
+            .rposition(|(t, _)| *t + delays.or_delay <= e.time)
+            .unwrap_or(0);
+        *per_window.entry(window).or_insert(0) += 1;
+    }
+    trace.glitches = per_window.values().filter(|&&c| c > 1).count();
+    trace.output_events = events;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    /// The textbook hazard function f = ab + a'c.
+    fn hazardous() -> Cover {
+        Cover::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true), (1, true)]),
+            Cube::from_literals(3, &[(0, false), (2, true)]),
+        ])
+    }
+
+    #[test]
+    fn static_one_hazard_manifests_with_skewed_delays() {
+        let f = hazardous();
+        // ab turns off fast (delay 1), a'c turns on slow (delay 3): the
+        // output must glitch low when a falls with b = c = 1.
+        let delays = DelayModel { and_delays: vec![1, 3], or_delay: 1 };
+        let steps = vec![
+            (0u64, vec![true, true, true]),
+            (100, vec![false, true, true]), // a falls
+        ];
+        let trace = simulate_cover(&f, &delays, &steps);
+        assert_eq!(trace.glitches, 1, "{:?}", trace.output_events);
+        // Down at 102 (fast AND off), back up at 104 (slow AND on).
+        assert_eq!(
+            trace.output_events,
+            vec![
+                OutputEvent { time: 102, value: false },
+                OutputEvent { time: 104, value: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn consensus_term_suppresses_the_glitch() {
+        let mut f = hazardous();
+        f.push(Cube::from_literals(3, &[(1, true), (2, true)])); // bc
+        let delays = DelayModel { and_delays: vec![1, 3, 2], or_delay: 1 };
+        let steps = vec![
+            (0u64, vec![true, true, true]),
+            (100, vec![false, true, true]),
+        ];
+        let trace = simulate_cover(&f, &delays, &steps);
+        assert_eq!(trace.glitches, 0, "{:?}", trace.output_events);
+        assert!(trace.output_events.is_empty(), "output stays high");
+    }
+
+    #[test]
+    fn clean_transitions_produce_single_edges() {
+        let f = hazardous();
+        let delays = DelayModel::unit(2);
+        let steps = vec![
+            (0u64, vec![false, true, false]), // f = 0
+            (100, vec![true, true, false]),   // a rises: f -> 1 via ab
+            (200, vec![true, false, false]),  // b falls: f -> 0
+        ];
+        let trace = simulate_cover(&f, &delays, &steps);
+        assert_eq!(trace.glitches, 0);
+        assert_eq!(trace.output_events.len(), 2);
+        assert!(trace.output_events[0].value);
+        assert!(!trace.output_events[1].value);
+    }
+
+    #[test]
+    fn favourable_delays_hide_the_hazard() {
+        // Same hazardous cover, but the turning-on AND is the fast one: no
+        // observable glitch (hazards are delay-dependent).
+        let f = hazardous();
+        let delays = DelayModel { and_delays: vec![3, 1], or_delay: 1 };
+        let steps = vec![
+            (0u64, vec![true, true, true]),
+            (100, vec![false, true, true]),
+        ];
+        let trace = simulate_cover(&f, &delays, &steps);
+        assert_eq!(trace.glitches, 0, "{:?}", trace.output_events);
+    }
+}

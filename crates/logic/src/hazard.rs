@@ -1,0 +1,120 @@
+//! Static hazard analysis of SOP implementations.
+//!
+//! The paper's flow notes that the derived prime-irredundant cover "may
+//! contain static and dynamic hazards which can be removed by using some
+//! known hazard removal techniques" (citing Lavagno/Keutzer/S-V, DAC '91).
+//! This module provides the detection side for **static-1 hazards**: a
+//! single-input change between two ON-set minterms that no single product
+//! term covers end-to-end, so the output can glitch low.
+
+use crate::Cover;
+
+/// Report of static-1 hazard analysis over a set of input transitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HazardReport {
+    /// The hazardous transitions: `(from, to)` minterm pairs with no common
+    /// covering cube.
+    pub hazardous: Vec<(Vec<bool>, Vec<bool>)>,
+    /// Number of transitions examined.
+    pub examined: usize,
+}
+
+impl HazardReport {
+    /// Whether the implementation is free of static-1 hazards on the
+    /// examined transitions.
+    pub fn is_clean(&self) -> bool {
+        self.hazardous.is_empty()
+    }
+}
+
+/// Checks the given single-input-change transitions for static-1 hazards.
+///
+/// A transition `(a, b)` is only meaningful when `f(a) = f(b) = 1` and the
+/// vectors differ in exactly one position; other pairs are skipped (not
+/// counted as examined).
+///
+/// ```
+/// use modsyn_logic::{static_hazards, Cover, Cube};
+/// // f = ab + a'c has a static-1 hazard on b=c=1 when a flips.
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::from_literals(3, &[(0, true), (1, true)]),
+///     Cube::from_literals(3, &[(0, false), (2, true)]),
+/// ]);
+/// let report = static_hazards(&f, &[(vec![true, true, true], vec![false, true, true])]);
+/// assert!(!report.is_clean());
+/// ```
+pub fn static_hazards(cover: &Cover, transitions: &[(Vec<bool>, Vec<bool>)]) -> HazardReport {
+    let mut report = HazardReport::default();
+    for (a, b) in transitions {
+        if a.len() != cover.num_vars() || b.len() != cover.num_vars() {
+            continue;
+        }
+        let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        if diff != 1 || !cover.covers_minterm(a) || !cover.covers_minterm(b) {
+            continue;
+        }
+        report.examined += 1;
+        let covered_jointly = cover
+            .cubes()
+            .iter()
+            .any(|c| c.covers_minterm(a) && c.covers_minterm(b));
+        if !covered_jointly {
+            report.hazardous.push((a.clone(), b.clone()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    fn classic_hazard_function() -> Cover {
+        // f = ab + a'c.
+        Cover::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true), (1, true)]),
+            Cube::from_literals(3, &[(0, false), (2, true)]),
+        ])
+    }
+
+    #[test]
+    fn detects_the_textbook_hazard() {
+        let f = classic_hazard_function();
+        let report = static_hazards(
+            &f,
+            &[(vec![true, true, true], vec![false, true, true])],
+        );
+        assert_eq!(report.examined, 1);
+        assert_eq!(report.hazardous.len(), 1);
+    }
+
+    #[test]
+    fn consensus_term_removes_the_hazard() {
+        // f = ab + a'c + bc is hazard-free on the same transition.
+        let mut f = classic_hazard_function();
+        f.push(Cube::from_literals(3, &[(1, true), (2, true)]));
+        let report = static_hazards(
+            &f,
+            &[(vec![true, true, true], vec![false, true, true])],
+        );
+        assert_eq!(report.examined, 1);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn irrelevant_pairs_are_skipped() {
+        let f = classic_hazard_function();
+        let report = static_hazards(
+            &f,
+            &[
+                // Two-bit change: skipped.
+                (vec![true, true, true], vec![false, false, true]),
+                // Output 0 on one side: skipped.
+                (vec![true, false, false], vec![false, false, false]),
+            ],
+        );
+        assert_eq!(report.examined, 0);
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,119 @@
+//! Named sum-of-products expressions.
+
+use std::fmt;
+
+use crate::{Cover, LogicError};
+
+/// A sum-of-products with human-readable input names, e.g. the logic
+/// function of one output signal of a synthesised circuit.
+///
+/// ```
+/// use modsyn_logic::{Cover, Cube, Sop};
+/// # fn main() -> Result<(), modsyn_logic::LogicError> {
+/// let cover = Cover::from_cubes(2, vec![
+///     Cube::from_literals(2, &[(0, true), (1, false)]),
+/// ]);
+/// let sop = Sop::new(vec!["req".into(), "ack".into()], cover)?;
+/// assert_eq!(sop.to_string(), "req & !ack");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    names: Vec<String>,
+    cover: Cover,
+}
+
+impl Sop {
+    /// Wraps a cover with input names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::UniverseMismatch`] if the name count does not
+    /// match the cover's variable count.
+    pub fn new(names: Vec<String>, cover: Cover) -> Result<Self, LogicError> {
+        if names.len() != cover.num_vars() {
+            return Err(LogicError::UniverseMismatch {
+                names: names.len(),
+                variables: cover.num_vars(),
+            });
+        }
+        Ok(Sop { names, cover })
+    }
+
+    /// The underlying cover.
+    pub fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// The input names, in variable order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Literal count — the paper's two-level area metric.
+    pub fn literal_count(&self) -> usize {
+        self.cover.literal_count()
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cover.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, cube) in self.cover.cubes().iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let lits = cube.literals();
+            if lits.is_empty() {
+                write!(f, "1")?;
+                continue;
+            }
+            for (k, (v, pol)) in lits.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " & ")?;
+                }
+                if !pol {
+                    write!(f, "!")?;
+                }
+                write!(f, "{}", self.names[*v])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    #[test]
+    fn mismatched_names_are_rejected() {
+        let cover = Cover::empty(3);
+        let err = Sop::new(vec!["a".into()], cover).unwrap_err();
+        assert_eq!(err, LogicError::UniverseMismatch { names: 1, variables: 3 });
+    }
+
+    #[test]
+    fn display_constant_cases() {
+        let zero = Sop::new(vec!["a".into()], Cover::empty(1)).unwrap();
+        assert_eq!(zero.to_string(), "0");
+        let one = Sop::new(vec!["a".into()], Cover::one(1)).unwrap();
+        assert_eq!(one.to_string(), "1");
+    }
+
+    #[test]
+    fn display_multi_term() {
+        let cover = Cover::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true), (2, false)]),
+            Cube::from_literals(3, &[(1, true)]),
+        ]);
+        let sop =
+            Sop::new(vec!["a".into(), "b".into(), "c".into()], cover).unwrap();
+        assert_eq!(sop.to_string(), "a & !c | b");
+        assert_eq!(sop.literal_count(), 3);
+    }
+}

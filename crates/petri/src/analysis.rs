@@ -1,0 +1,181 @@
+//! Structural classification of nets (marked graph / free choice / general).
+//!
+//! The paper positions its method against comparators that are restricted to
+//! marked graphs (Lin, Vanbekbergen '92 journal, Yu) or to safe free-choice
+//! nets (Lavagno & Moon). These predicates let the synthesis layers reproduce
+//! those restrictions.
+
+use crate::PetriNet;
+
+/// Structural class of a Petri net, from most to least restricted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetClass {
+    /// Every place has at most one fan-in and one fan-out transition
+    /// (pure concurrency, no choice).
+    MarkedGraph,
+    /// Every arc from a place with multiple fan-out leads to a transition
+    /// with that place as its sole fan-in (choice and concurrency never
+    /// interfere).
+    FreeChoice,
+    /// Anything else.
+    General,
+}
+
+impl std::fmt::Display for NetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NetClass::MarkedGraph => "marked graph",
+            NetClass::FreeChoice => "free choice",
+            NetClass::General => "general",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Structural facts about a net relevant to synthesis method applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralReport {
+    /// The net's structural class.
+    pub class: NetClass,
+    /// Number of places with more than one fan-out transition (choice
+    /// places).
+    pub choice_places: usize,
+    /// Number of transitions with more than one fan-in place
+    /// (synchronisations).
+    pub merge_transitions: usize,
+}
+
+impl PetriNet {
+    /// Classifies the net structurally.
+    ///
+    /// ```
+    /// use modsyn_petri::{NetClass, PetriNet};
+    /// # fn main() -> Result<(), modsyn_petri::PetriError> {
+    /// let mut net = PetriNet::new();
+    /// let p = net.add_place("p");
+    /// let t = net.add_transition("t");
+    /// net.add_arc_place_to_transition(p, t)?;
+    /// net.add_arc_transition_to_place(t, p)?;
+    /// net.set_initial_tokens(p, 1)?;
+    /// assert_eq!(net.classify(), NetClass::MarkedGraph);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn classify(&self) -> NetClass {
+        self.structural_report().class
+    }
+
+    /// Full structural report (class plus choice/merge counts).
+    pub fn structural_report(&self) -> StructuralReport {
+        let mut choice_places = 0usize;
+        let mut merge_transitions = 0usize;
+        let mut marked_graph = true;
+        let mut free_choice = true;
+
+        for p in self.place_ids() {
+            let place = self.place(p);
+            if place.fanout().len() > 1 {
+                choice_places += 1;
+                marked_graph = false;
+                // Free choice: every successor of a choice place must have
+                // this place as its unique fan-in.
+                for &t in place.fanout() {
+                    if self.transition(t).fanin().len() != 1 {
+                        free_choice = false;
+                    }
+                }
+            }
+            if place.fanin().len() > 1 {
+                marked_graph = false;
+            }
+        }
+        for t in self.transition_ids() {
+            if self.transition(t).fanin().len() > 1 {
+                merge_transitions += 1;
+            }
+        }
+
+        let class = if marked_graph {
+            NetClass::MarkedGraph
+        } else if free_choice {
+            NetClass::FreeChoice
+        } else {
+            NetClass::General
+        };
+        StructuralReport {
+            class,
+            choice_places,
+            merge_transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlaceId, TransitionId};
+
+    fn seq(net: &mut PetriNet, from: PlaceId, t: TransitionId, to: PlaceId) {
+        net.add_arc_place_to_transition(from, t).unwrap();
+        net.add_arc_transition_to_place(t, to).unwrap();
+    }
+
+    #[test]
+    fn cycle_is_marked_graph() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        seq(&mut net, p0, t0, p1);
+        seq(&mut net, p1, t1, p0);
+        assert_eq!(net.classify(), NetClass::MarkedGraph);
+    }
+
+    #[test]
+    fn pure_choice_is_free_choice() {
+        // p0 chooses between t0 and t1; both return via p1/p2.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        let t2 = net.add_transition("t2");
+        let t3 = net.add_transition("t3");
+        seq(&mut net, p0, t0, p1);
+        seq(&mut net, p0, t1, p2);
+        seq(&mut net, p1, t2, p0);
+        seq(&mut net, p2, t3, p0);
+        let report = net.structural_report();
+        assert_eq!(report.class, NetClass::FreeChoice);
+        assert_eq!(report.choice_places, 1);
+    }
+
+    #[test]
+    fn confusion_is_general() {
+        // Choice place p0 feeds t0 which also synchronises on p1:
+        // non-free-choice.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_place_to_transition(p0, t0).unwrap();
+        net.add_arc_place_to_transition(p1, t0).unwrap();
+        net.add_arc_place_to_transition(p0, t1).unwrap();
+        net.add_arc_transition_to_place(t0, p2).unwrap();
+        net.add_arc_transition_to_place(t1, p2).unwrap();
+        let report = net.structural_report();
+        assert_eq!(report.class, NetClass::General);
+        assert_eq!(report.merge_transitions, 1);
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(NetClass::MarkedGraph.to_string(), "marked graph");
+        assert_eq!(NetClass::FreeChoice.to_string(), "free choice");
+        assert_eq!(NetClass::General.to_string(), "general");
+    }
+}

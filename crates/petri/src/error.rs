@@ -1,0 +1,81 @@
+//! Error type for Petri-net construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{PlaceId, TransitionId};
+
+/// Errors raised while building or analysing a [`crate::PetriNet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// A duplicate arc between the same place and transition was added.
+    DuplicateArc {
+        /// Place endpoint of the offending arc.
+        place: PlaceId,
+        /// Transition endpoint of the offending arc.
+        transition: TransitionId,
+    },
+    /// Reachability exploration exceeded the configured marking budget.
+    MarkingBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// A place accumulated more tokens than the configured capacity allows,
+    /// i.e. the net is not `capacity`-bounded.
+    CapacityExceeded {
+        /// The offending place.
+        place: PlaceId,
+        /// The configured per-place token capacity.
+        capacity: u32,
+    },
+    /// The net has no tokens anywhere, so nothing can ever fire.
+    EmptyInitialMarking,
+    /// A transition has no fan-in places, which would make it fire
+    /// unboundedly from every marking.
+    SourceTransition {
+        /// The offending transition.
+        transition: TransitionId,
+    },
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::DuplicateArc { place, transition } => {
+                write!(f, "duplicate arc between {place} and {transition}")
+            }
+            PetriError::MarkingBudgetExceeded { budget } => {
+                write!(f, "reachability exceeded the budget of {budget} markings")
+            }
+            PetriError::CapacityExceeded { place, capacity } => {
+                write!(f, "place {place} exceeded token capacity {capacity}")
+            }
+            PetriError::EmptyInitialMarking => {
+                write!(f, "initial marking is empty, no transition can fire")
+            }
+            PetriError::SourceTransition { transition } => {
+                write!(f, "transition {transition} has no input places")
+            }
+        }
+    }
+}
+
+impl Error for PetriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = PetriError::MarkingBudgetExceeded { budget: 10 };
+        assert_eq!(err.to_string(), "reachability exceeded the budget of 10 markings");
+        let err = PetriError::DuplicateArc {
+            place: PlaceId::from_index(1),
+            transition: TransitionId::from_index(2),
+        };
+        assert!(err.to_string().contains("p1"));
+        assert!(err.to_string().contains("t2"));
+    }
+}

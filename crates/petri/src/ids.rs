@@ -1,0 +1,97 @@
+//! Typed index handles into a [`crate::PetriNet`].
+
+use std::fmt;
+
+/// Handle to a place in a [`crate::PetriNet`].
+///
+/// Obtained from [`crate::PetriNet::add_place`]; only meaningful for the net
+/// that created it.
+///
+/// ```
+/// use modsyn_petri::PetriNet;
+/// let mut net = PetriNet::new();
+/// let p = net.add_place("req_waiting");
+/// assert_eq!(net.place(p).name(), "req_waiting");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Handle to a transition in a [`crate::PetriNet`].
+///
+/// Obtained from [`crate::PetriNet::add_transition`].
+///
+/// ```
+/// use modsyn_petri::PetriNet;
+/// let mut net = PetriNet::new();
+/// let t = net.add_transition("req+");
+/// assert_eq!(net.transition(t).name(), "req+");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub(crate) u32);
+
+impl PlaceId {
+    /// Raw index of this place, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a raw index.
+    ///
+    /// The caller is responsible for the index being in range for the net it
+    /// is used with; out-of-range handles cause a panic on lookup.
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(index as u32)
+    }
+}
+
+impl TransitionId {
+    /// Raw index of this transition, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a raw index.
+    ///
+    /// The caller is responsible for the index being in range for the net it
+    /// is used with; out-of-range handles cause a panic on lookup.
+    pub fn from_index(index: usize) -> Self {
+        TransitionId(index as u32)
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_round_trips_index() {
+        let p = PlaceId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "p7");
+    }
+
+    #[test]
+    fn transition_id_round_trips_index() {
+        let t = TransitionId::from_index(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "t3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PlaceId::from_index(1) < PlaceId::from_index(2));
+        assert!(TransitionId::from_index(0) < TransitionId::from_index(9));
+    }
+}

@@ -1,0 +1,271 @@
+//! Place (S-) and transition (T-) invariants.
+//!
+//! An S-invariant is a weighting `y` of the places with `yᵀ·C = 0` for the
+//! incidence matrix `C`: the weighted token count is conserved by every
+//! firing. An S-invariant with weight 1 on its places and weighted initial
+//! marking 1 certifies that those places are 1-bounded and mutually
+//! exclusive — the structural safety certificates behind the STG
+//! benchmarks. A T-invariant is a firing-count vector `x` with `C·x = 0`
+//! (a cycle returning to the same marking).
+
+use crate::PetriNet;
+
+impl PetriNet {
+    /// The incidence matrix `C[p][t] = post(p, t) − pre(p, t)`.
+    pub fn incidence_matrix(&self) -> Vec<Vec<i64>> {
+        let mut c = vec![vec![0i64; self.transition_count()]; self.place_count()];
+        for t in self.transition_ids() {
+            for p in self.transition(t).fanin() {
+                c[p.index()][t.index()] -= 1;
+            }
+            for p in self.transition(t).fanout() {
+                c[p.index()][t.index()] += 1;
+            }
+        }
+        c
+    }
+
+    /// A basis of the left kernel of the incidence matrix: the S-invariants
+    /// (each a weight per place, scaled to integers with positive leading
+    /// weight).
+    pub fn place_invariants(&self) -> Vec<Vec<i64>> {
+        kernel_basis(&transpose(&self.incidence_matrix()))
+    }
+
+    /// A basis of the right kernel of the incidence matrix: the
+    /// T-invariants (each a firing count per transition).
+    pub fn transition_invariants(&self) -> Vec<Vec<i64>> {
+        kernel_basis(&self.incidence_matrix())
+    }
+
+    /// Whether every place is covered by some *non-negative* S-invariant
+    /// whose weighted initial marking equals 1 — a structural certificate
+    /// that the net is 1-safe.
+    ///
+    /// Conservative: the basis returned by [`PetriNet::place_invariants`]
+    /// may miss non-negative combinations, so `false` does not prove the
+    /// net unsafe.
+    pub fn covered_by_unit_invariants(&self) -> bool {
+        let invariants = self.place_invariants();
+        let m0 = self.initial_marking();
+        let mut covered = vec![false; self.place_count()];
+        for y in &invariants {
+            if y.iter().any(|&w| w < 0) {
+                continue;
+            }
+            let weighted: i64 = y
+                .iter()
+                .enumerate()
+                .map(|(p, &w)| w * i64::from(m0.as_slice()[p]))
+                .sum();
+            if weighted != 1 {
+                continue;
+            }
+            for (p, &w) in y.iter().enumerate() {
+                if w > 0 {
+                    covered[p] = true;
+                }
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+}
+
+fn transpose(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    let rows = m.len();
+    let cols = m[0].len();
+    (0..cols)
+        .map(|c| (0..rows).map(|r| m[r][c]).collect())
+        .collect()
+}
+
+/// Basis of `{ x : M·x = 0 }` over the rationals, returned as primitive
+/// integer vectors via fraction-free elimination.
+fn kernel_basis(matrix: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    if matrix.is_empty() {
+        return Vec::new();
+    }
+    let rows = matrix.len();
+    let cols = matrix[0].len();
+    let mut m: Vec<Vec<i128>> = matrix
+        .iter()
+        .map(|r| r.iter().map(|&x| x as i128).collect())
+        .collect();
+
+    // Fraction-free Gaussian elimination tracking pivot columns.
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut row = 0usize;
+    for col in 0..cols {
+        // Find a pivot.
+        let Some(pr) = (row..rows).find(|&r| m[r][col] != 0) else {
+            continue;
+        };
+        m.swap(row, pr);
+        let pivot = m[row][col];
+        for r in 0..rows {
+            if r == row || m[r][col] == 0 {
+                continue;
+            }
+            let factor = m[r][col];
+            for c in 0..cols {
+                m[r][c] = m[r][c] * pivot - m[row][c] * factor;
+            }
+            normalise(&mut m[r]);
+        }
+        pivot_cols.push(col);
+        row += 1;
+        if row == rows {
+            break;
+        }
+    }
+
+    // Free columns parameterise the kernel.
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_cols.contains(&free) {
+            continue;
+        }
+        // x[free] = 1; solve pivot entries.
+        let mut x = vec![0i128; cols];
+        x[free] = 1;
+        // Each pivot row r with pivot column pc: pivot·x[pc] + row[free]·1 = 0
+        // (all other free vars zero, other pivots eliminated).
+        let mut denom_lcm: i128 = 1;
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            let pivot = m[r][pc];
+            let rhs = -m[r][free];
+            if rhs == 0 {
+                continue;
+            }
+            // x[pc] = rhs / pivot — keep exact by scaling with lcm.
+            let g = gcd(rhs.abs(), pivot.abs());
+            let denom = (pivot / g).abs();
+            denom_lcm = lcm(denom_lcm, denom);
+        }
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            let pivot = m[r][pc];
+            let rhs = -m[r][free] * denom_lcm;
+            debug_assert_eq!(rhs % pivot, 0);
+            x[pc] = rhs / pivot;
+        }
+        x[free] = denom_lcm;
+        normalise(&mut x);
+        // Positive leading entry for canonical form.
+        if let Some(first) = x.iter().find(|&&v| v != 0) {
+            if *first < 0 {
+                for v in &mut x {
+                    *v = -*v;
+                }
+            }
+        }
+        basis.push(x.iter().map(|&v| v as i64).collect());
+    }
+    basis
+}
+
+fn normalise(row: &mut [i128]) {
+    let g = row.iter().fold(0i128, |acc, &v| gcd(acc, v.abs()));
+    if g > 1 {
+        for v in row {
+            *v /= g;
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 { 0 } else { a / gcd(a, b) * b }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{PetriNet, PlaceId, TransitionId};
+
+    fn ring(n: usize) -> PetriNet {
+        let mut net = PetriNet::new();
+        let places: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
+        let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+        for i in 0..n {
+            net.add_arc_place_to_transition(places[i], ts[i]).unwrap();
+            net.add_arc_transition_to_place(ts[i], places[(i + 1) % n]).unwrap();
+        }
+        net.set_initial_tokens(places[0], 1).unwrap();
+        net
+    }
+
+    #[test]
+    fn ring_has_the_all_ones_invariants() {
+        let net = ring(4);
+        let s = net.place_invariants();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0], vec![1, 1, 1, 1]);
+        let t = net.transition_invariants();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0], vec![1, 1, 1, 1]);
+        assert!(net.covered_by_unit_invariants());
+    }
+
+    #[test]
+    fn invariants_are_actually_invariant() {
+        let net = ring(5);
+        let c = net.incidence_matrix();
+        for y in net.place_invariants() {
+            for t in 0..net.transition_count() {
+                let dot: i64 = (0..net.place_count()).map(|p| y[p] * c[p][t]).sum();
+                assert_eq!(dot, 0);
+            }
+        }
+        for x in net.transition_invariants() {
+            for p in 0..net.place_count() {
+                let dot: i64 = (0..net.transition_count()).map(|t| x[t] * c[p][t]).sum();
+                assert_eq!(dot, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_independent_rings_have_two_invariants() {
+        let mut net = PetriNet::new();
+        for k in 0..2 {
+            let a = net.add_place(format!("a{k}"));
+            let b = net.add_place(format!("b{k}"));
+            let up = net.add_transition(format!("u{k}"));
+            let dn = net.add_transition(format!("d{k}"));
+            net.add_arc_place_to_transition(a, up).unwrap();
+            net.add_arc_transition_to_place(up, b).unwrap();
+            net.add_arc_place_to_transition(b, dn).unwrap();
+            net.add_arc_transition_to_place(dn, a).unwrap();
+            net.set_initial_tokens(a, 1).unwrap();
+        }
+        let s = net.place_invariants();
+        assert_eq!(s.len(), 2);
+        assert!(net.covered_by_unit_invariants());
+    }
+
+    #[test]
+    fn weighted_conservation_holds_along_firings() {
+        let net = ring(3);
+        let invariants = net.place_invariants();
+        let mut m = net.initial_marking();
+        let weight = |m: &crate::Marking, y: &[i64]| -> i64 {
+            y.iter()
+                .enumerate()
+                .map(|(p, &w)| w * i64::from(m.as_slice()[p]))
+                .sum()
+        };
+        let initial: Vec<i64> = invariants.iter().map(|y| weight(&m, y)).collect();
+        for _ in 0..7 {
+            let enabled = m.enabled_transitions(&net);
+            m = m.fire(&net, enabled[0]).unwrap();
+            for (y, &w0) in invariants.iter().zip(&initial) {
+                assert_eq!(weight(&m, y), w0);
+            }
+        }
+    }
+}

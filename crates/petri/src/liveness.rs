@@ -1,0 +1,145 @@
+//! Liveness analysis over the reachability graph.
+//!
+//! A transition is *live* when it can eventually fire from every reachable
+//! marking; a net is live when all transitions are. STG specifications must
+//! be live (every signal edge keeps recurring), so this check validates
+//! the benchmark generators beyond deadlock-freedom.
+
+use crate::{PetriError, PetriNet, ReachabilityGraph, ReachabilityOptions, TransitionId};
+
+/// Result of [`PetriNet::liveness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessReport {
+    /// Transitions that are not live, with one witness marking index (into
+    /// the reachability graph) from which they can never fire again.
+    pub dead: Vec<(TransitionId, usize)>,
+    /// Number of reachable markings examined.
+    pub markings: usize,
+}
+
+impl LivenessReport {
+    /// Whether every transition is live.
+    pub fn is_live(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
+
+impl PetriNet {
+    /// Checks liveness of every transition by backward reachability on the
+    /// marking graph: a transition `t` is live iff every marking can reach
+    /// some marking enabling `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PetriError`] from reachability analysis.
+    pub fn liveness(&self, options: &ReachabilityOptions) -> Result<LivenessReport, PetriError> {
+        let graph = self.reachability(options)?;
+        Ok(self.liveness_of(&graph))
+    }
+
+    /// [`PetriNet::liveness`] on an already-computed reachability graph.
+    pub fn liveness_of(&self, graph: &ReachabilityGraph) -> LivenessReport {
+        let n = graph.markings.len();
+        // Reverse adjacency.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &graph.edges {
+            preds[e.to].push(e.from);
+        }
+
+        let mut dead = Vec::new();
+        for t in self.transition_ids() {
+            // Markings where t is enabled.
+            let mut can_reach = vec![false; n];
+            let mut stack: Vec<usize> = graph
+                .edges
+                .iter()
+                .filter(|e| e.transition == t)
+                .map(|e| e.from)
+                .collect();
+            for &s in &stack {
+                can_reach[s] = true;
+            }
+            if stack.is_empty() {
+                dead.push((t, 0));
+                continue;
+            }
+            while let Some(s) = stack.pop() {
+                for &p in &preds[s] {
+                    if !can_reach[p] {
+                        can_reach[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            if let Some(witness) = can_reach.iter().position(|&r| !r) {
+                dead.push((t, witness));
+            }
+        }
+        LivenessReport { dead, markings: n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_simple_cycle_is_live() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.add_arc_place_to_transition(p0, t0).unwrap();
+        net.add_arc_transition_to_place(t0, p1).unwrap();
+        net.add_arc_place_to_transition(p1, t1).unwrap();
+        net.add_arc_transition_to_place(t1, p0).unwrap();
+        net.set_initial_tokens(p0, 1).unwrap();
+        let report = net.liveness(&ReachabilityOptions::default()).unwrap();
+        assert!(report.is_live());
+        assert_eq!(report.markings, 2);
+    }
+
+    #[test]
+    fn a_one_shot_transition_is_dead() {
+        // p0 -> t_once -> p1, and p1 -> t_loop -> p1: t_once fires once.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let once = net.add_transition("once");
+        let looping = net.add_transition("loop");
+        net.add_arc_place_to_transition(p0, once).unwrap();
+        net.add_arc_transition_to_place(once, p1).unwrap();
+        net.add_arc_place_to_transition(p1, looping).unwrap();
+        net.add_arc_transition_to_place(looping, p1).unwrap();
+        net.set_initial_tokens(p0, 1).unwrap();
+        let report = net.liveness(&ReachabilityOptions::default()).unwrap();
+        assert!(!report.is_live());
+        assert_eq!(report.dead.len(), 1);
+        assert_eq!(report.dead[0].0, once);
+    }
+
+    #[test]
+    fn free_choice_alternatives_are_both_live() {
+        // p0 chooses t_a or t_b; both return to p0.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let pa = net.add_place("pa");
+        let pb = net.add_place("pb");
+        let ta = net.add_transition("ta");
+        let tb = net.add_transition("tb");
+        let ra = net.add_transition("ra");
+        let rb = net.add_transition("rb");
+        net.add_arc_place_to_transition(p0, ta).unwrap();
+        net.add_arc_place_to_transition(p0, tb).unwrap();
+        net.add_arc_transition_to_place(ta, pa).unwrap();
+        net.add_arc_transition_to_place(tb, pb).unwrap();
+        net.add_arc_place_to_transition(pa, ra).unwrap();
+        net.add_arc_place_to_transition(pb, rb).unwrap();
+        net.add_arc_transition_to_place(ra, p0).unwrap();
+        net.add_arc_transition_to_place(rb, p0).unwrap();
+        net.set_initial_tokens(p0, 1).unwrap();
+        let report = net.liveness(&ReachabilityOptions::default()).unwrap();
+        assert!(report.is_live(), "{:?}", report.dead);
+    }
+}

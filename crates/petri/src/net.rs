@@ -1,0 +1,344 @@
+//! The static structure of a Petri net: places, transitions, flow relation.
+
+use std::fmt;
+
+use crate::{PetriError, PlaceId, TransitionId};
+
+/// A place (condition holder) in a [`PetriNet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    name: String,
+    pub(crate) fanin: Vec<TransitionId>,
+    pub(crate) fanout: Vec<TransitionId>,
+    pub(crate) initial_tokens: u32,
+}
+
+impl Place {
+    /// Human-readable name of this place.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Transitions depositing tokens into this place.
+    pub fn fanin(&self) -> &[TransitionId] {
+        &self.fanin
+    }
+
+    /// Transitions consuming tokens from this place.
+    pub fn fanout(&self) -> &[TransitionId] {
+        &self.fanout
+    }
+
+    /// Tokens on this place in the initial marking.
+    pub fn initial_tokens(&self) -> u32 {
+        self.initial_tokens
+    }
+}
+
+/// A transition (event) in a [`PetriNet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    name: String,
+    pub(crate) fanin: Vec<PlaceId>,
+    pub(crate) fanout: Vec<PlaceId>,
+}
+
+impl Transition {
+    /// Human-readable name of this transition.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Places that must be marked for this transition to be enabled.
+    pub fn fanin(&self) -> &[PlaceId] {
+        &self.fanin
+    }
+
+    /// Places that receive a token when this transition fires.
+    pub fn fanout(&self) -> &[PlaceId] {
+        &self.fanout
+    }
+}
+
+/// A Petri net `<P, T, F, M0>`: places, transitions, flow relation and
+/// initial marking.
+///
+/// Arcs carry weight 1 (sufficient for STG work, where nets are 1-safe in
+/// practice); multiplicities can be modelled by duplicate places if ever
+/// needed.
+///
+/// # Example
+///
+/// ```
+/// use modsyn_petri::PetriNet;
+///
+/// # fn main() -> Result<(), modsyn_petri::PetriError> {
+/// let mut net = PetriNet::new();
+/// let p = net.add_place("idle");
+/// let t = net.add_transition("go");
+/// net.add_arc_place_to_transition(p, t)?;
+/// net.add_arc_transition_to_place(t, p)?;
+/// net.set_initial_tokens(p, 1)?;
+/// assert!(net.initial_marking().enables(&net, t));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PetriNet {
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+}
+
+impl PetriNet {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a place with the given name and returns its handle.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(Place {
+            name: name.into(),
+            fanin: Vec::new(),
+            fanout: Vec::new(),
+            initial_tokens: 0,
+        });
+        id
+    }
+
+    /// Adds a transition with the given name and returns its handle.
+    pub fn add_transition(&mut self, name: impl Into<String>) -> TransitionId {
+        let id = TransitionId(self.transitions.len() as u32);
+        self.transitions.push(Transition {
+            name: name.into(),
+            fanin: Vec::new(),
+            fanout: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds an arc from `place` to `transition` (the place becomes part of
+    /// the transition's precondition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::DuplicateArc`] if the arc already exists.
+    pub fn add_arc_place_to_transition(
+        &mut self,
+        place: PlaceId,
+        transition: TransitionId,
+    ) -> Result<(), PetriError> {
+        if self.transitions[transition.index()].fanin.contains(&place) {
+            return Err(PetriError::DuplicateArc { place, transition });
+        }
+        self.transitions[transition.index()].fanin.push(place);
+        self.places[place.index()].fanout.push(transition);
+        Ok(())
+    }
+
+    /// Adds an arc from `transition` to `place` (the place becomes part of
+    /// the transition's postcondition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::DuplicateArc`] if the arc already exists.
+    pub fn add_arc_transition_to_place(
+        &mut self,
+        transition: TransitionId,
+        place: PlaceId,
+    ) -> Result<(), PetriError> {
+        if self.transitions[transition.index()].fanout.contains(&place) {
+            return Err(PetriError::DuplicateArc { place, transition });
+        }
+        self.transitions[transition.index()].fanout.push(place);
+        self.places[place.index()].fanin.push(transition);
+        Ok(())
+    }
+
+    /// Sets the number of tokens on `place` in the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// This method currently always succeeds; the `Result` is kept so
+    /// capacity policies can be added without breaking callers.
+    pub fn set_initial_tokens(&mut self, place: PlaceId, tokens: u32) -> Result<(), PetriError> {
+        self.places[place.index()].initial_tokens = tokens;
+        Ok(())
+    }
+
+    /// The place behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this net.
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.index()]
+    }
+
+    /// The transition behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this net.
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterator over all place handles.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len() as u32).map(PlaceId)
+    }
+
+    /// Iterator over all transition handles.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len() as u32).map(TransitionId)
+    }
+
+    /// Looks up a transition by name. Linear scan, intended for parsers and
+    /// tests, not hot paths.
+    pub fn find_transition(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TransitionId(i as u32))
+    }
+
+    /// Looks up a place by name. Linear scan.
+    pub fn find_place(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PlaceId(i as u32))
+    }
+
+    /// The initial marking `M0` recorded on the places.
+    pub fn initial_marking(&self) -> crate::Marking {
+        crate::Marking::from_tokens(self.places.iter().map(|p| p.initial_tokens))
+    }
+
+    /// Validates basic well-formedness used by the synthesis layers.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::EmptyInitialMarking`] if no place carries a token.
+    /// * [`PetriError::SourceTransition`] if some transition has no fan-in.
+    pub fn validate(&self) -> Result<(), PetriError> {
+        if self.places.iter().all(|p| p.initial_tokens == 0) {
+            return Err(PetriError::EmptyInitialMarking);
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.fanin.is_empty() {
+                return Err(PetriError::SourceTransition {
+                    transition: TransitionId(i as u32),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PetriNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "petri net: {} places, {} transitions",
+            self.places.len(),
+            self.transitions.len()
+        )?;
+        for t in &self.transitions {
+            let ins: Vec<_> = t.fanin.iter().map(|p| self.places[p.index()].name.as_str()).collect();
+            let outs: Vec<_> = t.fanout.iter().map(|p| self.places[p.index()].name.as_str()).collect();
+            writeln!(f, "  {} : {:?} -> {:?}", t.name, ins, outs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> (PetriNet, PlaceId, PlaceId, TransitionId, TransitionId) {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let t0 = net.add_transition("a+");
+        let t1 = net.add_transition("a-");
+        net.add_arc_place_to_transition(p0, t0).unwrap();
+        net.add_arc_transition_to_place(t0, p1).unwrap();
+        net.add_arc_place_to_transition(p1, t1).unwrap();
+        net.add_arc_transition_to_place(t1, p0).unwrap();
+        net.set_initial_tokens(p0, 1).unwrap();
+        (net, p0, p1, t0, t1)
+    }
+
+    #[test]
+    fn arcs_update_fanin_fanout() {
+        let (net, p0, p1, t0, t1) = two_cycle();
+        assert_eq!(net.transition(t0).fanin(), &[p0]);
+        assert_eq!(net.transition(t0).fanout(), &[p1]);
+        assert_eq!(net.place(p0).fanout(), &[t0]);
+        assert_eq!(net.place(p0).fanin(), &[t1]);
+        assert_eq!(net.place(p1).fanin(), &[t0]);
+    }
+
+    #[test]
+    fn duplicate_arc_is_rejected() {
+        let (mut net, p0, _p1, t0, _t1) = two_cycle();
+        let err = net.add_arc_place_to_transition(p0, t0).unwrap_err();
+        assert_eq!(
+            err,
+            PetriError::DuplicateArc { place: p0, transition: t0 }
+        );
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (net, p0, _p1, t0, _t1) = two_cycle();
+        assert_eq!(net.find_place("p0"), Some(p0));
+        assert_eq!(net.find_transition("a+"), Some(t0));
+        assert_eq!(net.find_transition("nope"), None);
+    }
+
+    #[test]
+    fn validate_accepts_live_cycle() {
+        let (net, ..) = two_cycle();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_empty_marking() {
+        let (mut net, p0, ..) = two_cycle();
+        net.set_initial_tokens(p0, 0).unwrap();
+        assert_eq!(net.validate(), Err(PetriError::EmptyInitialMarking));
+    }
+
+    #[test]
+    fn validate_rejects_source_transition() {
+        let (mut net, ..) = two_cycle();
+        let t = net.add_transition("orphan");
+        assert_eq!(
+            net.validate(),
+            Err(PetriError::SourceTransition { transition: t })
+        );
+    }
+
+    #[test]
+    fn display_mentions_structure() {
+        let (net, ..) = two_cycle();
+        let s = net.to_string();
+        assert!(s.contains("2 places"));
+        assert!(s.contains("a+"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the Petri-net substrate.
+
+use modsyn_petri::{PetriNet, PlaceId, ReachabilityOptions, TransitionId};
+use proptest::prelude::*;
+
+/// Builds a ring of `n` places/transitions with extra chord arcs — always a
+/// connected, bounded net when only one token circulates.
+fn ring(n: usize, chords: &[(usize, usize)]) -> PetriNet {
+    let mut net = PetriNet::new();
+    let places: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
+    let transitions: Vec<TransitionId> =
+        (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+    for i in 0..n {
+        net.add_arc_place_to_transition(places[i], transitions[i]).unwrap();
+        net.add_arc_transition_to_place(transitions[i], places[(i + 1) % n]).unwrap();
+    }
+    // Chords: transition i also deposits into a second place j and consumes
+    // it back at j's transition — these keep the net a marked graph.
+    for &(i, j) in chords {
+        let (i, j) = (i % n, j % n);
+        if i == j {
+            continue;
+        }
+        let extra = net.add_place(format!("c{i}_{j}"));
+        let _ = net.add_arc_transition_to_place(transitions[i], extra);
+        let _ = net.add_arc_place_to_transition(extra, transitions[j]);
+    }
+    net.set_initial_tokens(places[0], 1).unwrap();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_token_rings_have_n_markings(n in 2usize..12) {
+        let net = ring(n, &[]);
+        let g = net.reachability(&ReachabilityOptions::default()).unwrap();
+        prop_assert_eq!(g.markings.len(), n);
+        prop_assert!(g.is_safe());
+        prop_assert!(g.deadlocks().is_empty());
+        // Exactly one outgoing edge per marking in a plain ring.
+        prop_assert_eq!(g.edges.len(), n);
+    }
+
+    #[test]
+    fn firing_preserves_token_count_in_rings(n in 2usize..10, steps in 0usize..30) {
+        let net = ring(n, &[]);
+        let mut m = net.initial_marking();
+        for _ in 0..steps {
+            let enabled = m.enabled_transitions(&net);
+            prop_assert_eq!(enabled.len(), 1, "ring has one enabled transition");
+            m = m.fire(&net, enabled[0]).unwrap();
+            prop_assert_eq!(m.total_tokens(), 1);
+        }
+    }
+
+    #[test]
+    fn reachability_never_panics_on_chorded_rings(
+        n in 3usize..8,
+        chords in proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+    ) {
+        let net = ring(n, &chords);
+        // Chorded rings can deadlock (a chord place may starve) but must
+        // never panic or report inconsistent graphs.
+        if let Ok(g) = net.reachability(&ReachabilityOptions::default()) {
+            prop_assert!(!g.markings.is_empty());
+            for e in &g.edges {
+                prop_assert!(e.from < g.markings.len());
+                prop_assert!(e.to < g.markings.len());
+                // Edge endpoints really are one firing apart.
+                let fired = g.markings[e.from].fire(&net, e.transition).unwrap();
+                prop_assert_eq!(&fired, &g.markings[e.to]);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_stable_under_arc_insertion_order(
+        n in 3usize..7,
+        seed in 0u64..1000,
+    ) {
+        // Build the same ring twice with chords added in different orders;
+        // the structural class must match.
+        let c1 = [(seed as usize % n, (seed as usize + 1) % n)];
+        let a = ring(n, &c1);
+        let b = ring(n, &c1);
+        prop_assert_eq!(a.classify(), b.classify());
+    }
+}

@@ -1,0 +1,114 @@
+//! `modsat` — solve a DIMACS CNF file.
+//!
+//! ```text
+//! modsat <file.cnf | -> [--chrono] [--heuristic first|jw|moms|activity]
+//!        [--max-backtracks N] [--stats]
+//! ```
+//!
+//! Prints `s SATISFIABLE` + a `v` model line, `s UNSATISFIABLE`, or
+//! `s UNKNOWN` (limit reached), following the SAT-competition output
+//! conventions.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use modsyn_sat::{parse_dimacs, Heuristic, Lit, Outcome, Solver, SolverOptions, Var};
+
+fn main() -> ExitCode {
+    let mut source = String::new();
+    let mut options = SolverOptions::default();
+    let mut show_stats = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chrono" => options.learning = false,
+            "--heuristic" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--heuristic needs a value");
+                    return ExitCode::FAILURE;
+                };
+                options.heuristic = match v.as_str() {
+                    "first" => Heuristic::FirstUnassigned,
+                    "jw" => Heuristic::JeroslowWang,
+                    "moms" => Heuristic::Moms,
+                    "activity" => Heuristic::Activity,
+                    other => {
+                        eprintln!("unknown heuristic {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--max-backtracks" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-backtracks needs a number");
+                    return ExitCode::FAILURE;
+                };
+                options.max_backtracks = Some(v);
+            }
+            "--stats" => show_stats = true,
+            other if source.is_empty() => source = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if source.is_empty() {
+        eprintln!(
+            "usage: modsat <file.cnf | -> [--chrono] [--heuristic first|jw|moms|activity] [--max-backtracks N] [--stats]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error reading stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{source}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let formula = match parse_dimacs(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut solver = Solver::new(&formula, options);
+    let outcome = solver.solve();
+    if show_stats {
+        eprintln!("c {}", solver.stats());
+    }
+    match outcome {
+        Outcome::Satisfiable(model) => {
+            println!("s SATISFIABLE");
+            let line: Vec<String> = (0..formula.num_vars())
+                .map(|i| {
+                    let v = Var::new(i);
+                    Lit::with_polarity(v, model.value(v)).to_dimacs().to_string()
+                })
+                .collect();
+            println!("v {} 0", line.join(" "));
+            ExitCode::from(10)
+        }
+        Outcome::Unsatisfiable => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        Outcome::BacktrackLimit | Outcome::DecisionLimit => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+    }
+}

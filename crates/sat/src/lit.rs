@@ -1,0 +1,150 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::num::NonZeroI32;
+
+/// A boolean variable, identified by a dense 0-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates the variable with the given index.
+    pub fn new(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// Dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`true` = positive).
+    pub fn with_polarity(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The variable this literal mentions.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is a negated literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is a positive literal.
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Dense index (usable for watch lists): `2*var + negated`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal back from [`Lit::index`].
+    pub fn from_index(index: usize) -> Self {
+        Lit(index as u32)
+    }
+
+    /// DIMACS encoding: 1-based, negative for negated literals.
+    pub fn to_dimacs(self) -> NonZeroI32 {
+        let mag = self.var().0 as i32 + 1;
+        NonZeroI32::new(if self.is_negative() { -mag } else { mag })
+            .expect("magnitude is at least 1")
+    }
+
+    /// Parses a DIMACS literal (1-based, sign = polarity).
+    pub fn from_dimacs(value: NonZeroI32) -> Self {
+        let var = Var((value.get().unsigned_abs()) - 1);
+        Lit::with_polarity(var, value.get() > 0)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_round_trip() {
+        let v = Var::new(5);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+    }
+
+    #[test]
+    fn index_packing() {
+        let v = Var::new(3);
+        assert_eq!(Lit::positive(v).index(), 6);
+        assert_eq!(Lit::negative(v).index(), 7);
+        assert_eq!(Lit::from_index(7), Lit::negative(v));
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let v = Var::new(0);
+        assert_eq!(Lit::positive(v).to_dimacs().get(), 1);
+        assert_eq!(Lit::negative(v).to_dimacs().get(), -1);
+        let l = Lit::from_dimacs(NonZeroI32::new(-4).unwrap());
+        assert_eq!(l.var(), Var::new(3));
+        assert!(l.is_negative());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(2);
+        assert_eq!(Lit::positive(v).to_string(), "x2");
+        assert_eq!(Lit::negative(v).to_string(), "!x2");
+    }
+}

@@ -1,0 +1,88 @@
+//! Satisfying assignments.
+
+use crate::{CnfFormula, Lit, Var};
+
+/// A complete satisfying assignment returned by the solver.
+///
+/// ```
+/// use modsyn_sat::{Model, Var};
+/// let m = Model::from_values(vec![true, false]);
+/// assert!(m.value(Var::new(0)));
+/// assert!(!m.value(Var::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Builds a model from per-variable values (index order).
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// Value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the model.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Whether the literal is true under this model.
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.value(lit.var()) != lit.is_negative()
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Checks the model against a formula (every clause satisfied).
+    pub fn check(&self, formula: &CnfFormula) -> bool {
+        formula.evaluate(&self.values)
+    }
+
+    /// Raw per-variable values.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfies_respects_polarity() {
+        let m = Model::from_values(vec![true, false]);
+        let a = Var::new(0);
+        let b = Var::new(1);
+        assert!(m.satisfies(Lit::positive(a)));
+        assert!(!m.satisfies(Lit::negative(a)));
+        assert!(m.satisfies(Lit::negative(b)));
+    }
+
+    #[test]
+    fn check_validates_against_formula() {
+        let mut f = CnfFormula::new(2);
+        let a = Var::new(0);
+        let b = Var::new(1);
+        f.add_clause([Lit::positive(a), Lit::positive(b)]);
+        assert!(Model::from_values(vec![true, false]).check(&f));
+        assert!(!Model::from_values(vec![false, false]).check(&f));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Model::from_values(vec![]).is_empty());
+        assert_eq!(Model::from_values(vec![true]).len(), 1);
+    }
+}

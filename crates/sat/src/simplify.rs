@@ -1,0 +1,195 @@
+//! Preprocessing: unit propagation and pure-literal elimination.
+
+use crate::{CnfFormula, Lit};
+
+/// Result of [`simplify`]: a reduced formula plus the assignments that were
+/// forced while reducing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplifyResult {
+    /// The simplified formula, over the same variable universe.
+    pub formula: CnfFormula,
+    /// Literals fixed by unit propagation or pure-literal elimination.
+    pub forced: Vec<Lit>,
+    /// Whether simplification already proved the formula unsatisfiable.
+    pub unsat: bool,
+}
+
+/// Exhaustively applies unit propagation and pure-literal elimination.
+///
+/// The returned formula has the same satisfiability as the input;
+/// [`SimplifyResult::forced`] records values any model must take (modulo
+/// pure-literal choices, which are sound but not necessary).
+///
+/// ```
+/// use modsyn_sat::{simplify, CnfFormula, Lit, Var};
+/// let mut f = CnfFormula::new(2);
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// f.add_clause([Lit::positive(a)]);
+/// f.add_clause([Lit::negative(a), Lit::positive(b)]);
+/// let r = simplify(&f);
+/// assert!(!r.unsat);
+/// assert_eq!(r.formula.clause_count(), 0); // everything propagated away
+/// assert_eq!(r.forced.len(), 2);
+/// ```
+pub fn simplify(formula: &CnfFormula) -> SimplifyResult {
+    const UNASSIGNED: u8 = 2;
+    let n = formula.num_vars();
+    let mut values = vec![UNASSIGNED; n];
+    let mut clauses: Vec<Vec<Lit>> = formula.clauses().to_vec();
+    let mut forced: Vec<Lit> = Vec::new();
+    let mut unsat = formula.contains_empty_clause();
+
+    let assign = |values: &mut Vec<u8>, forced: &mut Vec<Lit>, lit: Lit| -> bool {
+        let idx = lit.var().index();
+        let want = u8::from(lit.is_positive());
+        match values[idx] {
+            v if v == UNASSIGNED => {
+                values[idx] = want;
+                forced.push(lit);
+                true
+            }
+            v => v == want,
+        }
+    };
+
+    while !unsat {
+        let mut changed = false;
+
+        // Drop satisfied clauses, remove false literals, detect units and
+        // empties.
+        let mut next: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+        for clause in clauses.drain(..) {
+            let mut reduced: Vec<Lit> = Vec::with_capacity(clause.len());
+            let mut satisfied = false;
+            for l in clause {
+                match values[l.var().index()] {
+                    v if v == UNASSIGNED => reduced.push(l),
+                    v => {
+                        if (v == 1) != l.is_negative() {
+                            satisfied = true;
+                            break;
+                        }
+                        changed = true; // literal dropped
+                    }
+                }
+            }
+            if satisfied {
+                changed = true;
+                continue;
+            }
+            match reduced.len() {
+                0 => {
+                    unsat = true;
+                    break;
+                }
+                1 => {
+                    if !assign(&mut values, &mut forced, reduced[0]) {
+                        unsat = true;
+                        break;
+                    }
+                    changed = true;
+                }
+                _ => next.push(reduced),
+            }
+        }
+        if unsat {
+            clauses.clear();
+            break;
+        }
+        clauses = next;
+
+        // Pure-literal elimination over the remaining clauses.
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in &clauses {
+            for l in clause {
+                if l.is_positive() {
+                    pos[l.var().index()] = true;
+                } else {
+                    neg[l.var().index()] = true;
+                }
+            }
+        }
+        for i in 0..n {
+            if values[i] != UNASSIGNED {
+                continue;
+            }
+            if pos[i] ^ neg[i] {
+                let lit = Lit::with_polarity(crate::Var::new(i), pos[i]);
+                let ok = assign(&mut values, &mut forced, lit);
+                debug_assert!(ok, "pure literal cannot conflict");
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = CnfFormula::new(n);
+    if unsat {
+        out.add_clause([]);
+    } else {
+        out.extend(clauses);
+    }
+    SimplifyResult { formula: out, forced, unsat }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolverOptions, Var};
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::with_polarity(Var::new(i), pos)
+    }
+
+    #[test]
+    fn unit_chain_fully_propagates() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause([lit(0, true)]);
+        f.add_clause([lit(0, false), lit(1, true)]);
+        f.add_clause([lit(1, false), lit(2, true)]);
+        let r = simplify(&f);
+        assert!(!r.unsat);
+        assert_eq!(r.forced.len(), 3);
+        assert_eq!(r.formula.clause_count(), 0);
+    }
+
+    #[test]
+    fn conflict_is_detected() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([lit(0, true)]);
+        f.add_clause([lit(0, false)]);
+        let r = simplify(&f);
+        assert!(r.unsat);
+        assert!(r.formula.contains_empty_clause());
+    }
+
+    #[test]
+    fn pure_literals_are_fixed() {
+        // x0 appears only positively.
+        let mut f = CnfFormula::new(2);
+        f.add_clause([lit(0, true), lit(1, true)]);
+        f.add_clause([lit(0, true), lit(1, false)]);
+        let r = simplify(&f);
+        assert!(!r.unsat);
+        assert!(r.forced.contains(&lit(0, true)));
+        assert_eq!(r.formula.clause_count(), 0);
+    }
+
+    #[test]
+    fn simplification_preserves_satisfiability() {
+        let mut f = CnfFormula::new(4);
+        f.add_clause([lit(0, true), lit(1, true)]);
+        f.add_clause([lit(0, false), lit(2, true)]);
+        f.add_clause([lit(2, false), lit(3, false)]);
+        f.add_clause([lit(1, false), lit(3, true)]);
+        let r = simplify(&f);
+        let before = solve(&f, SolverOptions::default()).is_sat();
+        let after = !r.unsat && solve(&r.formula, SolverOptions::default()).is_sat();
+        assert_eq!(before, after);
+    }
+}

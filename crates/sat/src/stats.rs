@@ -1,0 +1,40 @@
+//! Solver run statistics.
+
+use std::fmt;
+
+/// Counters accumulated over one [`crate::Solver::solve`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Chronological backtracks (conflicts).
+    pub backtracks: u64,
+    /// Highest decision level reached.
+    pub max_level: usize,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} backtracks={} max_level={}",
+            self.decisions, self.propagations, self.backtracks, self.max_level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = SolverStats { decisions: 1, propagations: 2, backtracks: 3, max_level: 4 };
+        let text = s.to_string();
+        for needle in ["decisions=1", "propagations=2", "backtracks=3", "max_level=4"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

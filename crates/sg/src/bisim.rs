@@ -1,0 +1,165 @@
+//! Bisimulation checking between state graphs.
+//!
+//! Used to verify the central soundness property of state-signal insertion:
+//! expanding a graph with new signals and then hiding those signals again
+//! must leave the observable behaviour unchanged — the quotient is
+//! bisimilar to the original graph.
+
+use std::collections::HashMap;
+
+use modsyn_stg::Polarity;
+
+use crate::{EdgeLabel, StateGraph};
+
+/// Whether the two rooted graphs are strongly bisimilar, comparing edges by
+/// **signal name** and polarity (indices may differ between the graphs);
+/// ε edges must match ε edges.
+///
+/// Runs classic partition refinement on the disjoint union of the graphs
+/// and checks that the two initial states end in the same block.
+///
+/// ```
+/// use modsyn_sg::{bisimilar, derive, DeriveOptions};
+/// use modsyn_stg::benchmarks;
+/// # fn main() -> Result<(), modsyn_sg::SgError> {
+/// let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default())?;
+/// assert!(bisimilar(&sg, &sg));
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisimilar(a: &StateGraph, b: &StateGraph) -> bool {
+    // Unified label space over names.
+    let mut label_ids: HashMap<(String, Option<Polarity>), usize> = HashMap::new();
+    let mut label_of = |graph: &StateGraph, label: EdgeLabel| -> usize {
+        let key = match label {
+            EdgeLabel::Epsilon => ("\u{3b5}".to_string(), None),
+            EdgeLabel::Signal { signal, polarity } => {
+                (graph.signals()[signal].name.clone(), Some(polarity))
+            }
+        };
+        let next = label_ids.len();
+        *label_ids.entry(key).or_insert(next)
+    };
+
+    // Disjoint union: states of `a` are 0..na, of `b` are na..na+nb.
+    let na = a.state_count();
+    let total = na + b.state_count();
+    let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); total]; // (label, to)
+    for e in a.edges() {
+        let l = label_of(a, e.label);
+        edges[e.from].push((l, e.to));
+    }
+    for e in b.edges() {
+        let l = label_of(b, e.label);
+        edges[na + e.from].push((l, na + e.to));
+    }
+
+    // Partition refinement: iteratively split blocks by their label→block
+    // transition signatures.
+    let mut block: Vec<usize> = vec![0; total];
+    let mut block_count = 1usize;
+    loop {
+        let mut signatures: HashMap<(usize, Vec<(usize, usize)>), usize> = HashMap::new();
+        let mut next_block: Vec<usize> = vec![0; total];
+        for s in 0..total {
+            let mut sig: Vec<(usize, usize)> =
+                edges[s].iter().map(|&(l, t)| (l, block[t])).collect();
+            sig.sort_unstable();
+            sig.dedup();
+            let key = (block[s], sig);
+            let fresh = signatures.len();
+            next_block[s] = *signatures.entry(key).or_insert(fresh);
+        }
+        let next_count = signatures.len();
+        if next_count == block_count {
+            block = next_block;
+            break;
+        }
+        block = next_block;
+        block_count = next_count;
+    }
+
+    block[a.initial()] == block[na + b.initial()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, DeriveOptions, SignalMeta};
+    use modsyn_stg::{benchmarks, SignalKind};
+
+    fn meta(name: &str) -> SignalMeta {
+        SignalMeta { name: name.into(), kind: SignalKind::Output }
+    }
+
+    #[test]
+    fn identical_graphs_are_bisimilar() {
+        for name in ["vbe-ex1", "nouse", "nak-pa"] {
+            let sg = derive(&benchmarks::by_name(name).unwrap(), &DeriveOptions::default())
+                .unwrap();
+            assert!(bisimilar(&sg, &sg), "{name}");
+        }
+    }
+
+    #[test]
+    fn unrolled_cycle_is_bisimilar_to_the_original() {
+        // A 2-state toggle vs its 4-state unrolling.
+        let lab = |signal, polarity| EdgeLabel::Signal { signal, polarity };
+        let mut small = StateGraph::new(vec![meta("x")]).unwrap();
+        let s0 = small.add_state(0);
+        let s1 = small.add_state(1);
+        small.add_edge(s0, s1, lab(0, Polarity::Rise));
+        small.add_edge(s1, s0, lab(0, Polarity::Fall));
+
+        let mut big = StateGraph::new(vec![meta("x")]).unwrap();
+        let t: Vec<usize> = (0..4).map(|i| big.add_state(i as u64 % 2)).collect();
+        big.add_edge(t[0], t[1], lab(0, Polarity::Rise));
+        big.add_edge(t[1], t[2], lab(0, Polarity::Fall));
+        big.add_edge(t[2], t[3], lab(0, Polarity::Rise));
+        big.add_edge(t[3], t[0], lab(0, Polarity::Fall));
+
+        assert!(bisimilar(&small, &big));
+    }
+
+    #[test]
+    fn different_protocols_are_not_bisimilar() {
+        let lab = |signal, polarity| EdgeLabel::Signal { signal, polarity };
+        let mut a = StateGraph::new(vec![meta("x"), meta("y")]).unwrap();
+        let a0 = a.add_state(0b00);
+        let a1 = a.add_state(0b01);
+        a.add_edge(a0, a1, lab(0, Polarity::Rise));
+        a.add_edge(a1, a0, lab(0, Polarity::Fall));
+
+        // Same shape but a different signal name on the edges.
+        let mut b = StateGraph::new(vec![meta("x"), meta("y")]).unwrap();
+        let b0 = b.add_state(0b00);
+        let b1 = b.add_state(0b10);
+        b.add_edge(b0, b1, lab(1, Polarity::Rise));
+        b.add_edge(b1, b0, lab(1, Polarity::Fall));
+
+        assert!(!bisimilar(&a, &b));
+    }
+
+    #[test]
+    fn choice_vs_determinised_choice_is_distinguished() {
+        // a graph that chooses x+ or y+ from the start vs one that first
+        // commits silently — classic bisimulation counterexample.
+        let lab = |signal, polarity| EdgeLabel::Signal { signal, polarity };
+        let mut a = StateGraph::new(vec![meta("x"), meta("y")]).unwrap();
+        let a0 = a.add_state(0);
+        let ax = a.add_state(0b01);
+        let ay = a.add_state(0b10);
+        a.add_edge(a0, ax, lab(0, Polarity::Rise));
+        a.add_edge(a0, ay, lab(1, Polarity::Rise));
+        a.add_edge(ax, a0, lab(0, Polarity::Fall));
+        a.add_edge(ay, a0, lab(1, Polarity::Fall));
+
+        let mut b = StateGraph::new(vec![meta("x"), meta("y")]).unwrap();
+        let b0 = b.add_state(0);
+        let bx = b.add_state(0b01);
+        b.add_edge(b0, bx, lab(0, Polarity::Rise));
+        b.add_edge(bx, b0, lab(0, Polarity::Fall));
+
+        assert!(!bisimilar(&a, &b));
+    }
+}

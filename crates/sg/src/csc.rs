@@ -1,0 +1,210 @@
+//! USC/CSC conflict detection (paper Section 2).
+
+use std::collections::HashMap;
+
+use crate::StateGraph;
+
+/// Result of analysing a state graph for state-coding conflicts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CscAnalysis {
+    /// Pairs of distinct states with equal codes **and equal** non-input
+    /// excitation — allowed by CSC, but constrained during state-signal
+    /// insertion so no new conflict appears (`N_usc` in the paper).
+    pub usc_pairs: Vec<(usize, usize)>,
+    /// Pairs of distinct states with equal codes and **different** non-input
+    /// excitation — genuine CSC violations (`N_csc`).
+    pub csc_pairs: Vec<(usize, usize)>,
+    /// `Max_csc`: the largest number of excitation-distinct classes sharing
+    /// one code.
+    pub max_csc: usize,
+    /// `ceil(log2(Max_csc))` — the paper's lower bound on the number of
+    /// state signals needed.
+    pub lower_bound: usize,
+}
+
+impl CscAnalysis {
+    /// Whether the graph satisfies complete state coding.
+    pub fn satisfies_csc(&self) -> bool {
+        self.csc_pairs.is_empty()
+    }
+
+    /// Whether the graph satisfies unique state coding (no code sharing at
+    /// all).
+    pub fn satisfies_usc(&self) -> bool {
+        self.csc_pairs.is_empty() && self.usc_pairs.is_empty()
+    }
+}
+
+impl StateGraph {
+    /// Whether a CSC conflict between states `x` and `y` is *structurally
+    /// resolvable*: a state signal distinguishing them must hold opposite
+    /// stable values at the two states, so it has to fire somewhere on
+    /// every `x → y` path and on every `y → x` path — and it may only fire
+    /// across **non-input** edges. If either state reaches the other
+    /// through input edges alone, no insertion can separate them.
+    pub fn csc_pair_structurally_resolvable(&self, x: usize, y: usize) -> bool {
+        !self.input_only_reach(x, y) && !self.input_only_reach(y, x)
+    }
+
+    /// Whether `to` is reachable from `from` using only input-labelled (or
+    /// ε) edges.
+    fn input_only_reach(&self, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; self.state_count()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(s) = stack.pop() {
+            for e in self.out_edges(s) {
+                let follow = match e.label {
+                    crate::EdgeLabel::Epsilon => true,
+                    crate::EdgeLabel::Signal { signal, .. } => {
+                        !self.signals()[signal].kind.is_non_input()
+                    }
+                };
+                if follow && !seen[e.to] {
+                    if e.to == to {
+                        return true;
+                    }
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// The CSC pairs of `analysis` that fail
+    /// [`StateGraph::csc_pair_structurally_resolvable`].
+    pub fn unresolvable_csc_pairs(&self, analysis: &CscAnalysis) -> Vec<(usize, usize)> {
+        analysis
+            .csc_pairs
+            .iter()
+            .copied()
+            .filter(|&(x, y)| !self.csc_pair_structurally_resolvable(x, y))
+            .collect()
+    }
+
+    /// Detects all USC/CSC conflicts and computes the state-signal lower
+    /// bound.
+    pub fn csc_analysis(&self) -> CscAnalysis {
+        // Group states by code.
+        let mut by_code: HashMap<u64, Vec<usize>> = HashMap::new();
+        for s in 0..self.state_count() {
+            by_code.entry(self.code(s)).or_default().push(s);
+        }
+
+        let mut analysis = CscAnalysis { max_csc: 1, ..Default::default() };
+        if self.state_count() == 0 {
+            analysis.max_csc = 0;
+            return analysis;
+        }
+        for group in by_code.values() {
+            if group.len() < 2 {
+                continue;
+            }
+            // Subgroup by non-input excitation.
+            let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
+            for &s in group {
+                classes.entry(self.non_input_excitation(s)).or_default().push(s);
+            }
+            analysis.max_csc = analysis.max_csc.max(classes.len());
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if self.non_input_excitation(a) == self.non_input_excitation(b) {
+                        analysis.usc_pairs.push((a, b));
+                    } else {
+                        analysis.csc_pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        analysis.lower_bound = usize::BITS as usize
+            - (analysis.max_csc.max(1) - 1).leading_zeros() as usize;
+        analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{derive, DeriveOptions, EdgeLabel, SignalMeta};
+    use modsyn_stg::{benchmarks, parse_g, Polarity, SignalKind};
+
+    #[test]
+    fn clean_handshake_satisfies_csc() {
+        let stg = parse_g(
+            ".model hs\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let csc = sg.csc_analysis();
+        assert!(csc.satisfies_csc());
+        assert!(csc.satisfies_usc());
+        assert_eq!(csc.max_csc, 1);
+        assert_eq!(csc.lower_bound, 0);
+    }
+
+    #[test]
+    fn double_pulse_output_violates_csc() {
+        // a+ b+ b- a- b+ b-: states after a+ and after the first b- share
+        // code 10 with different b excitation; likewise 00.
+        let stg = parse_g(
+            ".model dp\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ b-\nb- a-\na- b+/2\nb+/2 b-/2\nb-/2 a+\n.marking { <b-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let csc = sg.csc_analysis();
+        assert!(!csc.satisfies_csc());
+        assert_eq!(csc.csc_pairs.len(), 2);
+        assert_eq!(csc.max_csc, 2);
+        assert_eq!(csc.lower_bound, 1);
+    }
+
+    #[test]
+    fn usc_only_conflicts_are_distinguished() {
+        // Two identical input pulses: codes repeat but excitation is equal,
+        // so USC fails while CSC holds.
+        let stg = parse_g(
+            ".model u\n.inputs a\n.graph\na+ a-\na- a+/2\na+/2 a-/2\na-/2 a+\n.marking { <a-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let csc = sg.csc_analysis();
+        assert!(csc.satisfies_csc());
+        assert!(!csc.satisfies_usc());
+        assert_eq!(csc.usc_pairs.len(), 2);
+    }
+
+    #[test]
+    fn every_benchmark_has_csc_conflicts() {
+        // The paper inserts state signals into every Table-1 row, so every
+        // stand-in must actually violate CSC.
+        for (name, stg) in benchmarks::all() {
+            let sg = derive(&stg, &DeriveOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let csc = sg.csc_analysis();
+            assert!(
+                !csc.satisfies_csc(),
+                "{name}: expected CSC conflicts, found none"
+            );
+            assert!(csc.lower_bound >= 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_grows_logarithmically() {
+        // Hand-build a graph with 5 equal-coded, excitation-distinct states.
+        let signals: Vec<SignalMeta> = (0..5)
+            .map(|i| SignalMeta { name: format!("o{i}"), kind: SignalKind::Output })
+            .collect();
+        let mut sg = crate::StateGraph::new(signals).unwrap();
+        let states: Vec<usize> = (0..5).map(|_| sg.add_state(0)).collect();
+        let sink = sg.add_state(0b11111);
+        // State i excites output i only (edges don't need to be consistent
+        // for this analysis-level test).
+        for (i, &s) in states.iter().enumerate() {
+            sg.add_edge(s, sink, EdgeLabel::Signal { signal: i, polarity: Polarity::Rise });
+        }
+        let csc = sg.csc_analysis();
+        assert_eq!(csc.max_csc, 5);
+        assert_eq!(csc.lower_bound, 3); // ceil(log2 5)
+    }
+}

@@ -1,0 +1,195 @@
+//! Deriving a state graph from an STG.
+
+use std::collections::HashMap;
+
+use modsyn_petri::Marking;
+use modsyn_stg::Stg;
+
+use crate::{EdgeLabel, SgError, SignalMeta, StateGraph};
+
+/// Limits and policies for [`derive()`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeriveOptions {
+    /// Maximum number of states before aborting with
+    /// [`SgError::StateBudgetExceeded`].
+    pub max_states: usize,
+}
+
+impl Default for DeriveOptions {
+    fn default() -> Self {
+        DeriveOptions { max_states: 500_000 }
+    }
+}
+
+/// Exhaustively generates the state graph of `stg` (paper Section 2),
+/// tracking the consistent state assignment along every firing.
+///
+/// Initial signal values are taken from
+/// [`Stg::infer_initial_values`].
+/// Dummy STG transitions become ε edges.
+///
+/// # Errors
+///
+/// * [`SgError::Inconsistent`] if some firing contradicts the current code
+///   (e.g. `a+` fires while `a = 1`) or the same marking is reached with two
+///   different codes.
+/// * [`SgError::TooManySignals`] for more than 64 signals.
+/// * [`SgError::StateBudgetExceeded`] / [`SgError::Stg`] for blow-ups and
+///   malformed nets.
+pub fn derive(stg: &Stg, options: &DeriveOptions) -> Result<StateGraph, SgError> {
+    let signals: Vec<SignalMeta> = stg
+        .signal_ids()
+        .map(|s| SignalMeta {
+            name: stg.signal(s).name().to_string(),
+            kind: stg.signal(s).kind(),
+        })
+        .collect();
+    let mut graph = StateGraph::new(signals)?;
+
+    let initial_values = stg.infer_initial_values()?;
+    let mut initial_code = 0u64;
+    for (i, &v) in initial_values.iter().enumerate() {
+        if v {
+            initial_code |= 1 << i;
+        }
+    }
+
+    let net = stg.net();
+    let m0 = net.initial_marking();
+    let mut index: HashMap<Marking, usize> = HashMap::new();
+    let mut markings: Vec<Marking> = Vec::new();
+
+    let s0 = graph.add_state(initial_code);
+    graph.set_initial(s0);
+    index.insert(m0.clone(), s0);
+    markings.push(m0);
+
+    let mut frontier = 0usize;
+    while frontier < markings.len() {
+        let m = markings[frontier].clone();
+        let code = graph.code(frontier);
+        for t in m.enabled_transitions(net) {
+            let next_marking = m.fire(net, t).expect("enabled transition fires");
+            // Work out the next code and the edge label.
+            let (label, next_code) = match stg.label(t) {
+                None => (EdgeLabel::Epsilon, code),
+                Some(l) => {
+                    let bit = 1u64 << l.signal.index();
+                    let current = code & bit != 0;
+                    if current != l.polarity.value_before() {
+                        return Err(SgError::Inconsistent {
+                            signal: stg.signal(l.signal).name().to_string(),
+                            detail: format!(
+                                "fires {}{} while its value is {}",
+                                stg.signal(l.signal).name(),
+                                l.polarity,
+                                u8::from(current)
+                            ),
+                        });
+                    }
+                    let label = EdgeLabel::Signal {
+                        signal: l.signal.index(),
+                        polarity: l.polarity,
+                    };
+                    (label, code ^ bit)
+                }
+            };
+            let to = match index.get(&next_marking) {
+                Some(&existing) => {
+                    if graph.code(existing) != next_code {
+                        return Err(SgError::Inconsistent {
+                            signal: "<marking>".to_string(),
+                            detail: format!(
+                                "marking reached with codes {:b} and {:b}",
+                                graph.code(existing),
+                                next_code
+                            ),
+                        });
+                    }
+                    existing
+                }
+                None => {
+                    if markings.len() >= options.max_states {
+                        return Err(SgError::StateBudgetExceeded {
+                            budget: options.max_states,
+                        });
+                    }
+                    let s = graph.add_state(next_code);
+                    index.insert(next_marking.clone(), s);
+                    markings.push(next_marking);
+                    s
+                }
+            };
+            graph.add_edge(frontier, to, label);
+        }
+        frontier += 1;
+    }
+
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_stg::{benchmarks, parse_g};
+
+    #[test]
+    fn handshake_codes_are_consistent() {
+        let stg = parse_g(
+            ".model hs\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        assert_eq!(sg.state_count(), 4);
+        // Codes visited: 00 -> 01 (a+) -> 11 (b+) -> 10 (a-) -> 00.
+        let mut codes: Vec<u64> = (0..4).map(|s| sg.code(s)).collect();
+        codes.sort_unstable();
+        assert_eq!(codes, vec![0b00, 0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn inconsistent_stg_is_rejected() {
+        // a+ followed by a+ again.
+        let stg = parse_g(
+            ".model bad\n.inputs a\n.graph\na+ a+/2\na+/2 a-\na- a-/2\na-/2 a+\n.marking { <a-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            derive(&stg, &DeriveOptions::default()),
+            Err(SgError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let stg = benchmarks::mr0();
+        assert!(matches!(
+            derive(&stg, &DeriveOptions { max_states: 10 }),
+            Err(SgError::StateBudgetExceeded { budget: 10 })
+        ));
+    }
+
+    #[test]
+    fn benchmark_state_counts_match_reachability() {
+        for (name, stg) in benchmarks::all() {
+            let sg = derive(&stg, &DeriveOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reach = stg
+                .net()
+                .reachability(&modsyn_petri::ReachabilityOptions::default())
+                .unwrap();
+            assert_eq!(sg.state_count(), reach.markings.len(), "{name}");
+            assert_eq!(sg.edge_count(), reach.edges.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn dummies_become_epsilon_edges() {
+        let stg = parse_g(
+            ".model d\n.inputs a\n.dummy e\n.graph\na+ e\ne a-\na- a+\n.marking { <a-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        assert!(sg.edges().iter().any(|e| e.label == EdgeLabel::Epsilon));
+    }
+}

@@ -1,0 +1,87 @@
+//! Graphviz DOT export for state graphs.
+
+use std::fmt::Write as _;
+
+use modsyn_stg::Polarity;
+
+use crate::{EdgeLabel, StateGraph};
+
+/// Renders a state graph as a Graphviz `dot` digraph: states labelled with
+/// their binary codes, the initial state double-circled, and conflicting
+/// states (same code) filled.
+///
+/// ```
+/// use modsyn_sg::{derive, to_dot, DeriveOptions};
+/// use modsyn_stg::benchmarks;
+/// # fn main() -> Result<(), modsyn_sg::SgError> {
+/// let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default())?;
+/// let dot = to_dot(&sg);
+/// assert!(dot.contains("doublecircle"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &StateGraph) -> String {
+    let analysis = graph.csc_analysis();
+    let mut conflicting = vec![false; graph.state_count()];
+    for &(a, b) in &analysis.csc_pairs {
+        conflicting[a] = true;
+        conflicting[b] = true;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph sg {{");
+    for s in 0..graph.state_count() {
+        let shape = if s == graph.initial() { "doublecircle" } else { "circle" };
+        let fill = if conflicting[s] {
+            ", style=filled, fillcolor=lightcoral"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  s{s} [shape={shape}{fill}, label=\"{}\\n{}\"];",
+            s,
+            graph.code_string(s)
+        );
+    }
+    for e in graph.edges() {
+        let label = match e.label {
+            EdgeLabel::Signal { signal, polarity } => format!(
+                "{}{}",
+                graph.signals()[signal].name,
+                match polarity {
+                    Polarity::Rise => "+",
+                    Polarity::Fall => "-",
+                }
+            ),
+            EdgeLabel::Epsilon => "ε".to_string(),
+        };
+        let _ = writeln!(out, "  s{} -> s{} [label=\"{label}\"];", e.from, e.to);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, DeriveOptions};
+    use modsyn_stg::benchmarks;
+
+    #[test]
+    fn conflicting_states_are_highlighted() {
+        let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default()).unwrap();
+        let dot = to_dot(&sg);
+        assert!(dot.contains("lightcoral"));
+        assert_eq!(dot.matches("->").count(), sg.edge_count());
+    }
+
+    #[test]
+    fn every_state_appears() {
+        let sg = derive(&benchmarks::nouse(), &DeriveOptions::default()).unwrap();
+        let dot = to_dot(&sg);
+        for s in 0..sg.state_count() {
+            assert!(dot.contains(&format!("s{s} [")), "missing state {s}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for state-graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while deriving or transforming state graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgError {
+    /// The STG violates consistent state assignment: a transition fired
+    /// against the current value of its signal.
+    Inconsistent {
+        /// Name of the offending signal.
+        signal: String,
+        /// Textual description of the state where it happened.
+        detail: String,
+    },
+    /// More signals than the 64 the packed state code supports.
+    TooManySignals {
+        /// Requested signal count.
+        requested: usize,
+    },
+    /// The underlying STG failed validation or reachability.
+    Stg(modsyn_stg::StgError),
+    /// State enumeration exceeded the configured budget.
+    StateBudgetExceeded {
+        /// The exceeded budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::Inconsistent { signal, detail } => {
+                write!(f, "inconsistent STG: signal {signal:?} {detail}")
+            }
+            SgError::TooManySignals { requested } => {
+                write!(f, "too many signals: {requested} exceeds the 64-bit code limit")
+            }
+            SgError::Stg(e) => write!(f, "stg error: {e}"),
+            SgError::StateBudgetExceeded { budget } => {
+                write!(f, "state enumeration exceeded budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for SgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgError::Stg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<modsyn_stg::StgError> for SgError {
+    fn from(e: modsyn_stg::StgError) -> Self {
+        SgError::Stg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SgError::TooManySignals { requested: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = SgError::Inconsistent { signal: "a".into(), detail: "fired a+ at 1".into() };
+        assert!(e.to_string().contains('a'));
+    }
+
+    #[test]
+    fn stg_errors_chain() {
+        let e: SgError = modsyn_stg::StgError::NoTransitions { signal: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,303 @@
+//! State-signal insertion by state splitting.
+//!
+//! Once the SAT layer has assigned each state a value from
+//! `{0, 1, Up, Down}` for every new state signal, the state graph is
+//! *expanded*: excited states split into before/after copies joined by the
+//! state signal's own transition, realising the assignment as concrete
+//! circuit behaviour (paper Sections 3.3 and 3.5, Figure 3).
+
+use modsyn_stg::{Polarity, SignalKind};
+
+use crate::{EdgeLabel, SgError, SignalMeta, StateGraph};
+
+/// The four-valued state-variable domain of the SAT-CSC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quat {
+    /// Stable low.
+    Zero,
+    /// Stable high.
+    One,
+    /// Excited to rise (value 0, about to become 1).
+    Up,
+    /// Excited to fall (value 1, about to become 0).
+    Down,
+}
+
+impl Quat {
+    /// The binary value contributed to the state code.
+    pub fn bit(self) -> bool {
+        matches!(self, Quat::One | Quat::Down)
+    }
+
+    /// Whether the state signal is in transition.
+    pub fn is_excited(self) -> bool {
+        matches!(self, Quat::Up | Quat::Down)
+    }
+}
+
+impl std::fmt::Display for Quat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Quat::Zero => "0",
+            Quat::One => "1",
+            Quat::Up => "Up",
+            Quat::Down => "Down",
+        })
+    }
+}
+
+/// A 4-valued assignment for one new state signal over every state of a
+/// state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSignalAssignment {
+    /// Name of the new signal (e.g. `csc0`).
+    pub name: String,
+    /// One value per state, indexed by state id.
+    pub values: Vec<Quat>,
+}
+
+/// Expands `graph` with the given state signals, splitting excited states.
+///
+/// Assignments are indexed by the states of the *input* graph; when several
+/// signals are inserted, later signals' values carry over to the split
+/// copies of earlier ones (concurrent insertion).
+///
+/// # Errors
+///
+/// Returns [`SgError::Inconsistent`] if an assignment violates the
+/// consistency rules along some edge (e.g. value `0` jumping to `1` with no
+/// excited region in between — the paper's Figure 3(j) cases), and
+/// [`SgError::TooManySignals`] if the expansion exceeds 64 signals.
+pub fn insert_state_signals(
+    graph: &StateGraph,
+    assignments: &[StateSignalAssignment],
+) -> Result<StateGraph, SgError> {
+    let mut current = graph.clone();
+    // Values of the signals still to insert, re-indexed as states split.
+    let mut pending: Vec<StateSignalAssignment> = assignments.to_vec();
+
+    while !pending.is_empty() {
+        let assignment = pending.remove(0);
+        let (next, origin) = insert_one(&current, &assignment)?;
+        for later in &mut pending {
+            later.values = origin.iter().map(|&o| later.values[o]).collect();
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Inserts one state signal; returns the new graph and, per new state, the
+/// index of the state it was copied from.
+fn insert_one(
+    graph: &StateGraph,
+    assignment: &StateSignalAssignment,
+) -> Result<(StateGraph, Vec<usize>), SgError> {
+    assert_eq!(
+        assignment.values.len(),
+        graph.state_count(),
+        "assignment must cover every state"
+    );
+    let mut signals = graph.signals().to_vec();
+    let new_idx = signals.len();
+    signals.push(SignalMeta {
+        name: assignment.name.clone(),
+        kind: SignalKind::Internal,
+    });
+    let mut out = StateGraph::new(signals)?;
+    let bit = 1u64 << new_idx;
+
+    // Copies per original state: `lo` (signal = 0), `hi` (signal = 1).
+    let mut lo: Vec<Option<usize>> = vec![None; graph.state_count()];
+    let mut hi: Vec<Option<usize>> = vec![None; graph.state_count()];
+    let mut origin: Vec<usize> = Vec::new();
+
+    for s in 0..graph.state_count() {
+        let base = graph.code(s);
+        match assignment.values[s] {
+            Quat::Zero => {
+                lo[s] = Some(out.add_state(base));
+                origin.push(s);
+            }
+            Quat::One => {
+                hi[s] = Some(out.add_state(base | bit));
+                origin.push(s);
+            }
+            Quat::Up | Quat::Down => {
+                let l = out.add_state(base);
+                origin.push(s);
+                let h = out.add_state(base | bit);
+                origin.push(s);
+                lo[s] = Some(l);
+                hi[s] = Some(h);
+                if assignment.values[s] == Quat::Up {
+                    out.add_edge(l, h, EdgeLabel::Signal {
+                        signal: new_idx,
+                        polarity: Polarity::Rise,
+                    });
+                } else {
+                    out.add_edge(h, l, EdgeLabel::Signal {
+                        signal: new_idx,
+                        polarity: Polarity::Fall,
+                    });
+                }
+            }
+        }
+    }
+
+    let bad = |from: usize, to: usize| -> SgError {
+        SgError::Inconsistent {
+            signal: assignment.name.clone(),
+            detail: format!(
+                "assignment {} -> {} along edge {from} -> {to} is not realisable",
+                assignment.values[from], assignment.values[to]
+            ),
+        }
+    };
+
+    for e in graph.edges() {
+        use Quat::{Down, One, Up, Zero};
+        let (vf, vt) = (assignment.values[e.from], assignment.values[e.to]);
+        let pick = |side: &Vec<Option<usize>>, s: usize| side[s].expect("copy exists");
+        match (vf, vt) {
+            (Zero, Zero) | (Zero, Up) => {
+                out.add_edge(pick(&lo, e.from), pick(&lo, e.to), e.label);
+            }
+            (One, One) | (One, Down) => {
+                out.add_edge(pick(&hi, e.from), pick(&hi, e.to), e.label);
+            }
+            (Up, Up) | (Down, Down) => {
+                out.add_edge(pick(&lo, e.from), pick(&lo, e.to), e.label);
+                out.add_edge(pick(&hi, e.from), pick(&hi, e.to), e.label);
+            }
+            (Up, One) => {
+                out.add_edge(pick(&hi, e.from), pick(&hi, e.to), e.label);
+            }
+            (Down, Zero) => {
+                out.add_edge(pick(&lo, e.from), pick(&lo, e.to), e.label);
+            }
+            _ => return Err(bad(e.from, e.to)),
+        }
+    }
+
+    let init = graph.initial();
+    let init_copy = match assignment.values[init] {
+        Quat::Zero | Quat::Up => lo[init].expect("initial copy exists"),
+        Quat::One | Quat::Down => hi[init].expect("initial copy exists"),
+    };
+    out.set_initial(init_copy);
+    Ok((out, origin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, DeriveOptions};
+    use modsyn_stg::parse_g;
+
+    fn double_pulse() -> StateGraph {
+        let stg = parse_g(
+            ".model dp\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ b-\nb- a-\na- b+/2\nb+/2 b-/2\nb-/2 a+\n.marking { <b-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        derive(&stg, &DeriveOptions::default()).unwrap()
+    }
+
+    /// Find the hand-solvable assignment for the double-pulse example:
+    /// raise `n` during the first half, lower it during the second.
+    fn resolving_assignment(sg: &StateGraph) -> StateSignalAssignment {
+        // States in firing order from initial: s0 (00) -a+-> s1 (01,a=1)
+        // -b+-> s2 (11) -b--> s3 (01) -a--> s4 (00) -b+-> s5 (10) -b--> s0.
+        // Wait: bit order is a=bit0, b=bit1. Choose: n rises across the
+        // first b pulse, falls across the second.
+        let mut values = vec![Quat::Zero; sg.state_count()];
+        // Walk the cycle from the initial state.
+        let mut order = vec![sg.initial()];
+        let mut cur = sg.initial();
+        loop {
+            let next = sg.out_edges(cur).next().expect("cycle").to;
+            if next == sg.initial() {
+                break;
+            }
+            order.push(next);
+            cur = next;
+        }
+        assert_eq!(order.len(), 6);
+        // order: s0, a+, b+, b-, a-, b+2 (then b-2 closes the cycle).
+        // Conflicting states (after a+ vs after first b-, and initial vs
+        // after a-) must take *stable, opposite* values; the excited
+        // regions sit on the non-conflicting pulse states.
+        values[order[0]] = Quat::Zero;
+        values[order[1]] = Quat::Zero;
+        values[order[2]] = Quat::Up; // n+ fires across the first b-
+        values[order[3]] = Quat::One;
+        values[order[4]] = Quat::One;
+        values[order[5]] = Quat::Down; // n- fires across the second b-
+        StateSignalAssignment { name: "csc0".into(), values }
+    }
+
+    #[test]
+    fn expansion_splits_excited_states() {
+        let sg = double_pulse();
+        let assignment = resolving_assignment(&sg);
+        let excited = assignment.values.iter().filter(|v| v.is_excited()).count();
+        let expanded = insert_state_signals(&sg, &[assignment]).unwrap();
+        assert_eq!(expanded.state_count(), sg.state_count() + excited);
+        assert_eq!(expanded.signals().len(), 3);
+        assert_eq!(expanded.signals()[2].name, "csc0");
+        assert_eq!(expanded.signals()[2].kind, SignalKind::Internal);
+    }
+
+    #[test]
+    fn expansion_resolves_the_conflict() {
+        let sg = double_pulse();
+        assert!(!sg.csc_analysis().satisfies_csc());
+        let expanded = insert_state_signals(&sg, &[resolving_assignment(&sg)]).unwrap();
+        let csc = expanded.csc_analysis();
+        assert!(csc.satisfies_csc(), "pairs left: {:?}", csc.csc_pairs);
+    }
+
+    #[test]
+    fn expanded_graph_stays_consistent() {
+        let sg = double_pulse();
+        let expanded = insert_state_signals(&sg, &[resolving_assignment(&sg)]).unwrap();
+        // Every edge flips exactly the labelled signal's bit.
+        for e in expanded.edges() {
+            let EdgeLabel::Signal { signal, polarity } = e.label else {
+                panic!("no epsilon edges expected");
+            };
+            let before = expanded.value(e.from, signal);
+            let after = expanded.value(e.to, signal);
+            assert_eq!(before, polarity.value_before(), "edge {e:?}");
+            assert_eq!(after, polarity.value_after(), "edge {e:?}");
+            let others = expanded.code(e.from) ^ expanded.code(e.to);
+            assert_eq!(others, 1 << signal, "only one bit changes");
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_is_rejected() {
+        let sg = double_pulse();
+        // Value jumps 0 -> 1 with no excitation: Figure 3(j).
+        let mut values = vec![Quat::Zero; sg.state_count()];
+        let first_succ = sg.out_edges(sg.initial()).next().unwrap().to;
+        values[first_succ] = Quat::One;
+        let a = StateSignalAssignment { name: "bad".into(), values };
+        assert!(matches!(
+            insert_state_signals(&sg, &[a]),
+            Err(SgError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn all_stable_assignment_is_identity_sized() {
+        let sg = double_pulse();
+        let a = StateSignalAssignment {
+            name: "n".into(),
+            values: vec![Quat::Zero; sg.state_count()],
+        };
+        let expanded = insert_state_signals(&sg, &[a]).unwrap();
+        assert_eq!(expanded.state_count(), sg.state_count());
+        assert_eq!(expanded.edge_count(), sg.edge_count());
+    }
+}

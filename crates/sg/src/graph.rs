@@ -1,0 +1,307 @@
+//! The state-graph data structure.
+
+use std::fmt;
+
+use modsyn_stg::{Polarity, SignalKind};
+
+use crate::SgError;
+
+/// Name and role of a signal tracked in a state graph's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalMeta {
+    /// Signal name.
+    pub name: String,
+    /// Interface role (inserted state signals are [`SignalKind::Internal`]).
+    pub kind: SignalKind,
+}
+
+/// Label on a state-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// A signal edge: position in the graph's signal list plus polarity.
+    Signal {
+        /// Index into [`StateGraph::signals`].
+        signal: usize,
+        /// Rising or falling.
+        polarity: Polarity,
+    },
+    /// A silent (ε) edge — produced by signal hiding or dummy transitions.
+    Epsilon,
+}
+
+/// One transition of the state graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source state index.
+    pub from: usize,
+    /// Target state index.
+    pub to: usize,
+    /// The fired signal edge (or ε).
+    pub label: EdgeLabel,
+}
+
+/// A finite automaton over binary state codes.
+///
+/// Codes are packed into a `u64` (bit *i* = value of signal *i*), limiting
+/// graphs to 64 signals — far beyond the paper's largest benchmark (11
+/// signals + a handful of state signals).
+///
+/// ```
+/// use modsyn_sg::{EdgeLabel, StateGraph, SignalMeta};
+/// use modsyn_stg::{Polarity, SignalKind};
+///
+/// # fn main() -> Result<(), modsyn_sg::SgError> {
+/// let mut sg = StateGraph::new(vec![SignalMeta {
+///     name: "a".into(),
+///     kind: SignalKind::Output,
+/// }])?;
+/// let s0 = sg.add_state(0b0);
+/// let s1 = sg.add_state(0b1);
+/// sg.add_edge(s0, s1, EdgeLabel::Signal { signal: 0, polarity: Polarity::Rise });
+/// sg.add_edge(s1, s0, EdgeLabel::Signal { signal: 0, polarity: Polarity::Fall });
+/// assert_eq!(sg.state_count(), 2);
+/// assert_eq!(sg.excited(s0, 0), Some(Polarity::Rise));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateGraph {
+    signals: Vec<SignalMeta>,
+    codes: Vec<u64>,
+    edges: Vec<Edge>,
+    out: Vec<Vec<u32>>,
+    initial: usize,
+}
+
+impl StateGraph {
+    /// Creates an empty graph over the given signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgError::TooManySignals`] beyond 64 signals.
+    pub fn new(signals: Vec<SignalMeta>) -> Result<Self, SgError> {
+        if signals.len() > 64 {
+            return Err(SgError::TooManySignals { requested: signals.len() });
+        }
+        Ok(StateGraph {
+            signals,
+            codes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            initial: 0,
+        })
+    }
+
+    /// Adds a state with the given packed code, returning its index.
+    pub fn add_state(&mut self, code: u64) -> usize {
+        self.codes.push(code);
+        self.out.push(Vec::new());
+        self.codes.len() - 1
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint or the label's signal is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, label: EdgeLabel) {
+        assert!(from < self.codes.len() && to < self.codes.len(), "edge endpoint out of range");
+        if let EdgeLabel::Signal { signal, .. } = label {
+            assert!(signal < self.signals.len(), "label signal out of range");
+        }
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge { from, to, label });
+        self.out[from].push(idx);
+    }
+
+    /// Marks a state as initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn set_initial(&mut self, state: usize) {
+        assert!(state < self.codes.len());
+        self.initial = state;
+    }
+
+    /// The initial state's index.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The signal metadata, in code-bit order.
+    pub fn signals(&self) -> &[SignalMeta] {
+        &self.signals
+    }
+
+    /// Index of a signal by name.
+    pub fn signal_index(&self, name: &str) -> Option<usize> {
+        self.signals.iter().position(|s| s.name == name)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a state.
+    pub fn out_edges(&self, state: usize) -> impl Iterator<Item = &Edge> + '_ {
+        self.out[state].iter().map(move |&i| &self.edges[i as usize])
+    }
+
+    /// Packed code of a state.
+    pub fn code(&self, state: usize) -> u64 {
+        self.codes[state]
+    }
+
+    /// Value of `signal` in `state`.
+    pub fn value(&self, state: usize, signal: usize) -> bool {
+        self.codes[state] >> signal & 1 == 1
+    }
+
+    /// The polarity with which `signal` is excited in `state` (an outgoing
+    /// edge fires it), if any.
+    pub fn excited(&self, state: usize, signal: usize) -> Option<Polarity> {
+        self.out_edges(state).find_map(|e| match e.label {
+            EdgeLabel::Signal { signal: s, polarity } if s == signal => Some(polarity),
+            _ => None,
+        })
+    }
+
+    /// Bitmask of non-input signals excited in `state` — the quantity CSC
+    /// compares between equal-coded states.
+    pub fn non_input_excitation(&self, state: usize) -> u64 {
+        let mut mask = 0u64;
+        for e in self.out_edges(state) {
+            if let EdgeLabel::Signal { signal, .. } = e.label {
+                if self.signals[signal].kind.is_non_input() {
+                    mask |= 1 << signal;
+                }
+            }
+        }
+        mask
+    }
+
+    /// The *implied value* of `signal` in `state`: its next stable value —
+    /// flipped when excited, current otherwise. This is what the logic
+    /// function of a non-input signal must produce in this state.
+    pub fn implied_value(&self, state: usize, signal: usize) -> bool {
+        match self.excited(state, signal) {
+            Some(p) => p.value_after(),
+            None => self.value(state, signal),
+        }
+    }
+
+    /// Formats a state's code as a 0/1 string in signal order.
+    pub fn code_string(&self, state: usize) -> String {
+        (0..self.signals.len())
+            .map(|s| if self.value(state, s) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Mask with one bit per declared signal.
+    pub fn full_mask(&self) -> u64 {
+        if self.signals.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.signals.len()) - 1
+        }
+    }
+}
+
+impl fmt::Display for StateGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state graph: {} states, {} edges, {} signals",
+            self.codes.len(),
+            self.edges.len(),
+            self.signals.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, kind: SignalKind) -> SignalMeta {
+        SignalMeta { name: name.into(), kind }
+    }
+
+    fn two_signal_cycle() -> StateGraph {
+        // a+ b+ a- b- cycle; a input, b output.
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+        ])
+        .unwrap();
+        let s = [
+            sg.add_state(0b00),
+            sg.add_state(0b01),
+            sg.add_state(0b11),
+            sg.add_state(0b10),
+        ];
+        let lab = |signal, polarity| EdgeLabel::Signal { signal, polarity };
+        sg.add_edge(s[0], s[1], lab(0, Polarity::Rise));
+        sg.add_edge(s[1], s[2], lab(1, Polarity::Rise));
+        sg.add_edge(s[2], s[3], lab(0, Polarity::Fall));
+        sg.add_edge(s[3], s[0], lab(1, Polarity::Fall));
+        sg
+    }
+
+    #[test]
+    fn values_and_codes() {
+        let sg = two_signal_cycle();
+        assert!(sg.value(1, 0));
+        assert!(!sg.value(1, 1));
+        assert_eq!(sg.code_string(2), "11");
+        assert_eq!(sg.full_mask(), 0b11);
+    }
+
+    #[test]
+    fn excitation_and_implied_values() {
+        let sg = two_signal_cycle();
+        // State 1 (a=1,b=0): b+ is enabled.
+        assert_eq!(sg.excited(1, 1), Some(Polarity::Rise));
+        assert!(sg.implied_value(1, 1), "excited to rise implies next value 1");
+        assert!(sg.implied_value(2, 0) == false || sg.excited(2, 0).is_some());
+        // State 0: nothing excites b.
+        assert_eq!(sg.excited(0, 1), None);
+        assert!(!sg.implied_value(0, 1));
+    }
+
+    #[test]
+    fn non_input_excitation_masks_inputs() {
+        let sg = two_signal_cycle();
+        assert_eq!(sg.non_input_excitation(0), 0, "only a+ (input) is excited");
+        assert_eq!(sg.non_input_excitation(1), 0b10, "b+ is excited");
+    }
+
+    #[test]
+    fn too_many_signals_is_rejected() {
+        let signals = (0..65)
+            .map(|i| meta(&format!("s{i}"), SignalKind::Input))
+            .collect();
+        assert!(matches!(
+            StateGraph::new(signals),
+            Err(SgError::TooManySignals { requested: 65 })
+        ));
+    }
+
+    #[test]
+    fn display_counts() {
+        let sg = two_signal_cycle();
+        assert_eq!(sg.to_string(), "state graph: 4 states, 4 edges, 2 signals");
+    }
+}

@@ -1,0 +1,235 @@
+//! Signal hiding and state merging — the modular state graph construction.
+//!
+//! Hiding a signal labels all its transitions ε and merges ε-connected
+//! states (paper Section 3.3, "similar to the conversion of a finite
+//! automaton with ε transitions to one without").
+
+use std::collections::HashMap;
+
+use crate::{EdgeLabel, SgError, SignalMeta, StateGraph};
+
+/// Result of hiding signals: the merged graph plus the cover maps needed to
+/// propagate assignments back (paper Section 3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quotient {
+    /// The modular (merged) state graph over the kept signals.
+    pub graph: StateGraph,
+    /// For every original state, the quotient state that covers it
+    /// (`cover(M)` in the paper).
+    pub state_map: Vec<usize>,
+    /// For every original signal index, its index in the quotient graph
+    /// (`None` for hidden signals).
+    pub signal_map: Vec<Option<usize>>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+impl StateGraph {
+    /// Hides the given signals: their transitions become ε and ε-connected
+    /// states merge into single quotient states. Pre-existing ε edges merge
+    /// as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgError::TooManySignals`] only in the degenerate case of a
+    /// malformed signal list (cannot normally happen when shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hidden index is out of range.
+    pub fn hide_signals(&self, hidden: &[usize]) -> Result<Quotient, SgError> {
+        let hidden_mask: u64 = hidden
+            .iter()
+            .map(|&s| {
+                assert!(s < self.signals().len(), "hidden signal out of range");
+                1u64 << s
+            })
+            .fold(0, |a, b| a | b);
+
+        let is_hidden_label = |label: EdgeLabel| match label {
+            EdgeLabel::Epsilon => true,
+            EdgeLabel::Signal { signal, .. } => hidden_mask >> signal & 1 == 1,
+        };
+
+        // Merge ε-connected states.
+        let mut uf = UnionFind::new(self.state_count());
+        for e in self.edges() {
+            if is_hidden_label(e.label) {
+                uf.union(e.from, e.to);
+            }
+        }
+
+        // Compact signal universe.
+        let mut signal_map: Vec<Option<usize>> = Vec::with_capacity(self.signals().len());
+        let mut kept_signals: Vec<SignalMeta> = Vec::new();
+        for (i, meta) in self.signals().iter().enumerate() {
+            if hidden_mask >> i & 1 == 1 {
+                signal_map.push(None);
+            } else {
+                signal_map.push(Some(kept_signals.len()));
+                kept_signals.push(meta.clone());
+            }
+        }
+        let mut graph = StateGraph::new(kept_signals)?;
+
+        // Restrict a code to the kept signals.
+        let restrict = |code: u64| -> u64 {
+            let mut out = 0u64;
+            for (i, mapped) in signal_map.iter().enumerate() {
+                if let Some(j) = mapped {
+                    if code >> i & 1 == 1 {
+                        out |= 1 << j;
+                    }
+                }
+            }
+            out
+        };
+
+        // Allocate quotient states per union-find class.
+        let mut class_to_state: HashMap<usize, usize> = HashMap::new();
+        let mut state_map = vec![0usize; self.state_count()];
+        for s in 0..self.state_count() {
+            let root = uf.find(s);
+            let q = *class_to_state
+                .entry(root)
+                .or_insert_with(|| graph.add_state(restrict(self.code(s))));
+            state_map[s] = q;
+            debug_assert_eq!(
+                graph.code(q),
+                restrict(self.code(s)),
+                "merged states must agree on kept-signal values"
+            );
+        }
+        graph.set_initial(state_map[self.initial()]);
+
+        // Surviving edges, deduplicated.
+        let mut seen: HashMap<(usize, usize, EdgeLabel), ()> = HashMap::new();
+        for e in self.edges() {
+            if is_hidden_label(e.label) {
+                continue;
+            }
+            let EdgeLabel::Signal { signal, polarity } = e.label else {
+                continue;
+            };
+            let label = EdgeLabel::Signal {
+                signal: signal_map[signal].expect("kept signal maps"),
+                polarity,
+            };
+            let key = (state_map[e.from], state_map[e.to], label);
+            if seen.insert(key, ()).is_none() {
+                graph.add_edge(key.0, key.1, label);
+            }
+        }
+
+        Ok(Quotient { graph, state_map, signal_map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive, DeriveOptions};
+    use modsyn_stg::parse_g;
+
+    fn double_pulse() -> StateGraph {
+        let stg = parse_g(
+            ".model dp\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ b-\nb- a-\na- b+/2\nb+/2 b-/2\nb-/2 a+\n.marking { <b-/2,a+> }\n.end\n",
+        )
+        .unwrap();
+        derive(&stg, &DeriveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn hiding_a_signal_merges_its_transitions() {
+        let sg = double_pulse();
+        assert_eq!(sg.state_count(), 6);
+        let a = sg.signal_index("a").unwrap();
+        let q = sg.hide_signals(&[a]).unwrap();
+        // a+ and a- edges collapse: 6 states -> 4.
+        assert_eq!(q.graph.state_count(), 4);
+        assert_eq!(q.graph.signals().len(), 1);
+        assert_eq!(q.signal_map[a], None);
+        // Cover map is total and surjective.
+        assert_eq!(q.state_map.len(), 6);
+        let mut covered: Vec<usize> = q.state_map.clone();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered.len(), q.graph.state_count());
+    }
+
+    #[test]
+    fn merged_codes_restrict_to_kept_signals() {
+        let sg = double_pulse();
+        let a = sg.signal_index("a").unwrap();
+        let b = sg.signal_index("b").unwrap();
+        let q = sg.hide_signals(&[a]).unwrap();
+        for s in 0..sg.state_count() {
+            let orig_b = sg.value(s, b);
+            let quot_b = q.graph.value(q.state_map[s], 0);
+            assert_eq!(orig_b, quot_b, "state {s}");
+        }
+    }
+
+    #[test]
+    fn hiding_nothing_is_identity_up_to_iso() {
+        let sg = double_pulse();
+        let q = sg.hide_signals(&[]).unwrap();
+        assert_eq!(q.graph.state_count(), sg.state_count());
+        assert_eq!(q.graph.edge_count(), sg.edge_count());
+    }
+
+    #[test]
+    fn hiding_everything_collapses_to_one_state() {
+        let sg = double_pulse();
+        let q = sg.hide_signals(&[0, 1]).unwrap();
+        assert_eq!(q.graph.state_count(), 1);
+        assert_eq!(q.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn quotient_preserves_initial_state() {
+        let sg = double_pulse();
+        let a = sg.signal_index("a").unwrap();
+        let q = sg.hide_signals(&[a]).unwrap();
+        assert_eq!(q.graph.initial(), q.state_map[sg.initial()]);
+    }
+
+    #[test]
+    fn parallel_edges_are_deduplicated() {
+        let sg = double_pulse();
+        let b = sg.signal_index("b").unwrap();
+        let q = sg.hide_signals(&[b]).unwrap();
+        // Only a's 2 edges survive; the merged graph has 2 states.
+        assert_eq!(q.graph.state_count(), 2);
+        assert!(q.graph.edge_count() <= 2);
+    }
+}

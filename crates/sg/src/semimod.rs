@@ -1,0 +1,116 @@
+//! Semi-modularity checking.
+//!
+//! A non-input signal excited in a state must stay excited (or have fired)
+//! after any other transition fires — otherwise the circuit contains a
+//! potential hazard (the excitation was withdrawn). Input signals are exempt:
+//! the environment may withdraw them through free choice.
+
+use crate::{EdgeLabel, StateGraph};
+
+/// One semi-modularity violation: `signal` was excited in `state` but is no
+/// longer excited (and did not fire) after taking `via` to `successor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiModularityViolation {
+    /// The state where the excitation was observed.
+    pub state: usize,
+    /// The excited signal that got disabled.
+    pub signal: usize,
+    /// The state reached by the disabling transition.
+    pub successor: usize,
+    /// The signal whose firing disabled it.
+    pub via: usize,
+}
+
+/// Outcome of [`StateGraph::semi_modularity`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SemiModularityReport {
+    /// All violations found.
+    pub violations: Vec<SemiModularityViolation>,
+}
+
+impl SemiModularityReport {
+    /// Whether the graph is semi-modular with respect to non-input signals.
+    pub fn is_semi_modular(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl StateGraph {
+    /// Checks semi-modularity of every non-input signal.
+    pub fn semi_modularity(&self) -> SemiModularityReport {
+        let mut report = SemiModularityReport::default();
+        for state in 0..self.state_count() {
+            for signal in 0..self.signals().len() {
+                if !self.signals()[signal].kind.is_non_input() {
+                    continue;
+                }
+                let Some(polarity) = self.excited(state, signal) else {
+                    continue;
+                };
+                for e in self.out_edges(state) {
+                    let via = match e.label {
+                        EdgeLabel::Signal { signal: s, .. } => s,
+                        EdgeLabel::Epsilon => continue,
+                    };
+                    if via == signal {
+                        continue; // the excitation fired
+                    }
+                    if self.excited(e.to, signal) != Some(polarity) {
+                        report.violations.push(SemiModularityViolation {
+                            state,
+                            signal,
+                            successor: e.to,
+                            via,
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{derive, DeriveOptions};
+    use modsyn_stg::{benchmarks, parse_g};
+
+    #[test]
+    fn benchmarks_are_semi_modular() {
+        for (name, stg) in benchmarks::all() {
+            let sg = derive(&stg, &DeriveOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = sg.semi_modularity();
+            assert!(
+                report.is_semi_modular(),
+                "{name}: {:?}",
+                &report.violations[..report.violations.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn output_choice_violates_semi_modularity() {
+        // A free choice between two OUTPUT transitions: firing one disables
+        // the other.
+        let stg = parse_g(
+            ".model oc\n.inputs a\n.outputs x y\n.graph\np0 x+ y+\nx+ x-\nx- pm\ny+ y-\ny- pm\npm a+\na+ a-\na- p0\n.marking { p0 }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let report = sg.semi_modularity();
+        assert!(!report.is_semi_modular());
+        // Both directions are reported: x disabled by y and vice versa.
+        assert!(report.violations.len() >= 2);
+    }
+
+    #[test]
+    fn input_choice_is_allowed() {
+        let stg = parse_g(
+            ".model ic\n.inputs a b\n.outputs z\n.graph\np0 a+ b+\na+ z+\nb+ z+/2\nz+ a-\nz+/2 b-\na- z-\nb- z-/2\nz- p0\nz-/2 p0\n.marking { p0 }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        assert!(sg.semi_modularity().is_semi_modular());
+    }
+}

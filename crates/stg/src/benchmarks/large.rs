@@ -1,0 +1,236 @@
+//! The large Table-1 benchmarks (~58–302 states).
+//!
+//! These model master controllers dispatching several concurrent
+//! sub-handshakes (the structure of the original `mr`/`mmu` memory
+//! controllers): a master request forks into parallel resource handshakes
+//! whose interleavings dominate the state count.
+
+use crate::{Frag, SignalId, SignalKind, Stg, StgBuilder};
+
+fn built(stg: Result<Stg, crate::StgError>) -> Stg {
+    stg.expect("benchmark construction is static and well-formed")
+}
+
+/// One full four-phase handshake `p+ q+ p- q-`.
+fn hs(p: SignalId, q: SignalId) -> Frag {
+    Frag::seq([Frag::rise(p), Frag::rise(q), Frag::fall(p), Frag::fall(q)])
+}
+
+/// A double handshake `p+ q+ p- q- p+ q+ p- q-` — the second beat repeats
+/// the first beat's codes with different excitation, the conflict motif
+/// whose insertion room sits on the non-input `p` edges.
+fn double_hs(p: SignalId, q: SignalId) -> Frag {
+    Frag::seq([
+        Frag::rise(p),
+        Frag::rise(q),
+        Frag::fall(p),
+        Frag::fall(q),
+        Frag::rise(p),
+        Frag::rise(q),
+        Frag::fall(p),
+        Frag::fall(q),
+    ])
+}
+
+/// `vbe4a` stand-in: 6 signals, ~58 states — two concurrent handshake pairs
+/// run twice per master cycle.
+pub fn vbe4a() -> Stg {
+    let mut b = StgBuilder::new("vbe4a");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let x = b.signal("x", SignalKind::Output).expect("fresh");
+    let y = b.signal("y", SignalKind::Input).expect("fresh");
+    let z = b.signal("z", SignalKind::Output).expect("fresh");
+    let w = b.signal("w", SignalKind::Input).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par([double_hs(x, y), double_hs(z, w)]),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ])))
+}
+
+/// `sbuf-ram-write` stand-in: 10 signals, ~58 states.
+pub fn sbuf_ram_write() -> Stg {
+    let mut b = StgBuilder::new("sbuf-ram-write");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let dack = b.signal("dack", SignalKind::Input).expect("fresh");
+    let wsel = b.signal("wsel", SignalKind::Output).expect("fresh");
+    let wen = b.signal("wen", SignalKind::Output).expect("fresh");
+    let lt = b.signal("latch", SignalKind::Output).expect("fresh");
+    let pr = b.signal("prechrg", SignalKind::Output).expect("fresh");
+    let vd = b.signal("valid", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let bs = b.signal("bufsel", SignalKind::Output).expect("fresh");
+    let dn = b.signal("done", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(wsel),
+        Frag::par([
+            Frag::seq([Frag::rise(wen), Frag::rise(lt), Frag::fall(wen)]),
+            Frag::seq([Frag::rise(bs), Frag::rise(dack), Frag::fall(bs)]),
+        ]),
+        Frag::rise(vd),
+        Frag::par([
+            Frag::seq([Frag::fall(lt), Frag::fall(dack)]),
+            Frag::seq([Frag::rise(pr), Frag::fall(wsel)]),
+        ]),
+        Frag::rise(ack),
+        Frag::rise(dn),
+        Frag::par([Frag::fall(req), Frag::fall(pr), Frag::fall(vd)]),
+        Frag::fall(ack),
+        Frag::fall(dn),
+        Frag::rise(dn),
+        Frag::fall(dn),
+    ])))
+}
+
+/// `mmu1` stand-in: 8 signals, ~82 states — a master forking into two full
+/// resource handshakes plus a short third strand.
+pub fn mmu1() -> Stg {
+    let mut b = StgBuilder::new("mmu1");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let p1 = b.signal("p1", SignalKind::Output).expect("fresh");
+    let q1 = b.signal("q1", SignalKind::Input).expect("fresh");
+    let p2 = b.signal("p2", SignalKind::Output).expect("fresh");
+    let q2 = b.signal("q2", SignalKind::Input).expect("fresh");
+    let p3 = b.signal("p3", SignalKind::Output).expect("fresh");
+    let q3 = b.signal("q3", SignalKind::Input).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par([
+            hs(p1, q1),
+            hs(p2, q2),
+            Frag::seq([Frag::rise(p3), Frag::rise(q3)]),
+        ]),
+        Frag::fall(p3),
+        Frag::fall(q3),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ])))
+}
+
+/// `mmu0` stand-in: 8 signals, ~174 states — like [`mmu1`] but the third
+/// strand runs a double-pulse, deepening the interleaving.
+pub fn mmu0() -> Stg {
+    let mut b = StgBuilder::new("mmu0");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let p1 = b.signal("p1", SignalKind::Output).expect("fresh");
+    let q1 = b.signal("q1", SignalKind::Input).expect("fresh");
+    let p2 = b.signal("p2", SignalKind::Output).expect("fresh");
+    let q2 = b.signal("q2", SignalKind::Input).expect("fresh");
+    let p3 = b.signal("p3", SignalKind::Output).expect("fresh");
+    let q3 = b.signal("q3", SignalKind::Input).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par([
+            hs(p1, q1),
+            hs(p2, q2),
+            double_hs(p3, q3),
+        ]),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ])))
+}
+
+/// `mr1` stand-in: 8 signals, ~190 states — two resource strands of three
+/// signals each, every signal cycling twice per master round.
+pub fn mr1() -> Stg {
+    let mut b = StgBuilder::new("mr1");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let p1 = b.signal("p1", SignalKind::Output).expect("fresh");
+    let q1 = b.signal("q1", SignalKind::Input).expect("fresh");
+    let s1 = b.signal("s1", SignalKind::Output).expect("fresh");
+    let p2 = b.signal("p2", SignalKind::Output).expect("fresh");
+    let q2 = b.signal("q2", SignalKind::Input).expect("fresh");
+    let s2 = b.signal("s2", SignalKind::Output).expect("fresh");
+    let strand = |p: SignalId, q: SignalId, s: SignalId| {
+        Frag::seq([
+            Frag::rise(p),
+            Frag::rise(q),
+            Frag::rise(s),
+            Frag::fall(p),
+            Frag::fall(q),
+            Frag::fall(s),
+            Frag::rise(p),
+            Frag::rise(q),
+            Frag::rise(s),
+            Frag::fall(p),
+            Frag::fall(q),
+            Frag::fall(s),
+        ])
+    };
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par([strand(p1, q1, s1), strand(p2, q2, s2)]),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ])))
+}
+
+/// `mr0` stand-in: 11 signals, ~302 states — three resource strands of
+/// three signals each under one master handshake.
+pub fn mr0() -> Stg {
+    let mut b = StgBuilder::new("mr0");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let mut strands = Vec::new();
+    for i in 1..=3 {
+        let p = b.signal(format!("p{i}"), SignalKind::Output).expect("fresh");
+        let q = b.signal(format!("q{i}"), SignalKind::Input).expect("fresh");
+        let s = b.signal(format!("s{i}"), SignalKind::Output).expect("fresh");
+        strands.push(Frag::seq([
+            Frag::rise(p),
+            Frag::rise(q),
+            Frag::rise(s),
+            Frag::fall(p),
+            Frag::fall(q),
+            Frag::fall(s),
+        ]));
+    }
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par(strands),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::ReachabilityOptions;
+
+    fn states(stg: &Stg) -> usize {
+        stg.net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap()
+            .markings
+            .len()
+    }
+
+    #[test]
+    fn large_benchmarks_scale_as_designed() {
+        let mr0 = states(&mr0());
+        let mr1 = states(&mr1());
+        let mmu0 = states(&mmu0());
+        let mmu1 = states(&mmu1());
+        assert!(mr0 > mr1, "mr0 {mr0} should exceed mr1 {mr1}");
+        assert!(mmu0 > mmu1, "mmu0 {mmu0} should exceed mmu1 {mmu1}");
+        assert!(mr0 > 200);
+    }
+
+    #[test]
+    fn vbe4a_and_sbuf_ram_write_are_mid_double_digits() {
+        assert!((29..=116).contains(&states(&vbe4a())));
+        assert!((29..=116).contains(&states(&sbuf_ram_write())));
+    }
+}

@@ -1,0 +1,417 @@
+//! The mid-size Table-1 benchmarks (~14–56 states).
+
+use crate::{Frag, Polarity, SignalKind, Stg, StgBuilder};
+
+fn built(stg: Result<Stg, crate::StgError>) -> Stg {
+    stg.expect("benchmark construction is static and well-formed")
+}
+
+/// `wrdata` stand-in: 4 signals, ~16 states.
+pub fn wrdata() -> Stg {
+    let mut b = StgBuilder::new("wrdata");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let w = b.signal("we", SignalKind::Output).expect("fresh");
+    let d = b.signal("dack", SignalKind::Output).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par([
+            Frag::seq([Frag::rise(w), Frag::fall(w)]),
+            Frag::seq([Frag::rise(d), Frag::fall(d)]),
+        ]),
+        Frag::rise(w),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(w),
+        Frag::fall(a),
+    ])))
+}
+
+/// `pa` stand-in: 4 signals, ~18 states.
+pub fn pa() -> Stg {
+    let mut b = StgBuilder::new("pa");
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("a", SignalKind::Output).expect("fresh");
+    let y = b.signal("b", SignalKind::Output).expect("fresh");
+    let z = b.signal("c", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::rise(a),
+        Frag::par([
+            Frag::seq([Frag::rise(y), Frag::fall(y)]),
+            Frag::seq([Frag::rise(z), Frag::fall(z)]),
+        ]),
+        Frag::fall(a),
+        Frag::fall(r),
+        Frag::rise(y),
+        Frag::rise(z),
+        Frag::fall(y),
+        Frag::fall(z),
+    ])))
+}
+
+/// `sbuf-read-ctl` stand-in: 6 signals, ~14 states.
+pub fn sbuf_read_ctl() -> Stg {
+    let mut b = StgBuilder::new("sbuf-read-ctl");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let ramdone = b.signal("ramdone", SignalKind::Input).expect("fresh");
+    let pr = b.signal("prbar", SignalKind::Output).expect("fresh");
+    let pa = b.signal("pack", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let busy = b.signal("busy", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(pr),
+        Frag::rise(pa),
+        Frag::fall(pr),
+        Frag::fall(pa),
+        Frag::par([Frag::rise(busy), Frag::rise(ramdone)]),
+        Frag::rise(ack),
+        Frag::fall(req),
+        Frag::rise(pr),
+        Frag::fall(pr),
+        Frag::par([Frag::fall(busy), Frag::fall(ramdone)]),
+        Frag::fall(ack),
+    ])))
+}
+
+/// `atod` stand-in: 6 signals, ~20 states.
+pub fn atod() -> Stg {
+    let mut b = StgBuilder::new("atod");
+    let go = b.signal("go", SignalKind::Input).expect("fresh");
+    let cmp = b.signal("cmp", SignalKind::Input).expect("fresh");
+    let lt = b.signal("lt", SignalKind::Output).expect("fresh");
+    let ld = b.signal("ld", SignalKind::Output).expect("fresh");
+    let q = b.signal("q", SignalKind::Output).expect("fresh");
+    let done = b.signal("done", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(go),
+        Frag::rise(lt),
+        Frag::rise(cmp),
+        Frag::par([
+            Frag::seq([Frag::rise(ld), Frag::fall(ld)]),
+            Frag::seq([Frag::fall(lt), Frag::rise(q)]),
+        ]),
+        Frag::fall(cmp),
+        Frag::rise(done),
+        Frag::par([Frag::fall(go), Frag::fall(q)]),
+        Frag::rise(ld),
+        Frag::fall(ld),
+        Frag::fall(done),
+    ])))
+}
+
+/// `sbuf-send-ctl` stand-in: 6 signals, ~20 states.
+pub fn sbuf_send_ctl() -> Stg {
+    let mut b = StgBuilder::new("sbuf-send-ctl");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let done = b.signal("done", SignalKind::Input).expect("fresh");
+    let sp = b.signal("sendpkt", SignalKind::Output).expect("fresh");
+    let la = b.signal("latch", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let idle = b.signal("idle", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(la),
+        Frag::par([
+            Frag::seq([Frag::rise(sp), Frag::rise(done), Frag::fall(sp)]),
+            Frag::seq([Frag::fall(la), Frag::rise(idle)]),
+        ]),
+        Frag::rise(ack),
+        Frag::par([Frag::fall(req), Frag::fall(done), Frag::fall(idle)]),
+        Frag::fall(ack),
+    ])))
+}
+
+/// `sbuf-send-pkt2` stand-in: 6 signals, ~21 states.
+pub fn sbuf_send_pkt2() -> Stg {
+    let mut b = StgBuilder::new("sbuf-send-pkt2");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let dack = b.signal("dack", SignalKind::Input).expect("fresh");
+    let tx = b.signal("tx", SignalKind::Output).expect("fresh");
+    let dreq = b.signal("dreq", SignalKind::Output).expect("fresh");
+    let shift = b.signal("shift", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(dreq),
+        Frag::rise(dack),
+        Frag::par([
+            Frag::seq([Frag::rise(tx), Frag::rise(shift), Frag::fall(shift)]),
+            Frag::seq([Frag::fall(dreq), Frag::fall(dack)]),
+        ]),
+        Frag::fall(tx),
+        Frag::rise(shift),
+        Frag::rise(ack),
+        Frag::fall(req),
+        Frag::fall(shift),
+        Frag::fall(ack),
+    ])))
+}
+
+/// `alloc-outbound` stand-in: 7 signals, ~17 states.
+pub fn alloc_outbound() -> Stg {
+    let mut b = StgBuilder::new("alloc-outbound");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let gnt = b.signal("gnt", SignalKind::Input).expect("fresh");
+    let ar = b.signal("allocreq", SignalKind::Output).expect("fresh");
+    let sv = b.signal("setvalid", SignalKind::Output).expect("fresh");
+    let sd = b.signal("send", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let rel = b.signal("release", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(ar),
+        Frag::rise(gnt),
+        Frag::par([
+            Frag::seq([Frag::rise(sv), Frag::fall(sv)]),
+            Frag::seq([Frag::fall(ar), Frag::fall(gnt)]),
+        ]),
+        Frag::rise(sd),
+        Frag::rise(ack),
+        Frag::par([Frag::fall(req), Frag::fall(sd), Frag::rise(rel)]),
+        Frag::fall(rel),
+        Frag::fall(ack),
+    ])))
+}
+
+/// `ram-read-sbuf` stand-in: 10 signals, ~36 states.
+pub fn ram_read_sbuf() -> Stg {
+    let mut b = StgBuilder::new("ram-read-sbuf");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let pr = b.signal("prechrg", SignalKind::Input).expect("fresh");
+    let ra = b.signal("rasel", SignalKind::Output).expect("fresh");
+    let rd = b.signal("rden", SignalKind::Output).expect("fresh");
+    let wen = b.signal("wen", SignalKind::Output).expect("fresh");
+    let lt = b.signal("latch", SignalKind::Output).expect("fresh");
+    let vd = b.signal("valid", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let bs = b.signal("bufsel", SignalKind::Output).expect("fresh");
+    let dn = b.signal("done", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(ra),
+        Frag::par([
+            Frag::seq([Frag::rise(rd), Frag::rise(lt), Frag::fall(rd)]),
+            Frag::seq([Frag::rise(bs), Frag::rise(wen), Frag::fall(bs)]),
+        ]),
+        Frag::rise(vd),
+        Frag::par([
+            Frag::seq([Frag::fall(lt), Frag::fall(wen)]),
+            Frag::seq([Frag::rise(pr), Frag::fall(ra)]),
+        ]),
+        Frag::rise(ack),
+        Frag::rise(dn),
+        Frag::par([Frag::fall(req), Frag::fall(pr), Frag::fall(vd)]),
+        Frag::fall(ack),
+        Frag::fall(dn),
+        Frag::rise(dn),
+        Frag::fall(dn),
+    ])))
+}
+
+/// `pe-rcv-ifc-fc` stand-in: 8 signals, ~46 states, live safe free-choice
+/// (an incoming packet is either consumed locally or forwarded).
+pub fn pe_rcv_ifc_fc() -> Stg {
+    let mut b = StgBuilder::new("pe-rcv-ifc-fc");
+    let rcv = b.signal("rcv", SignalKind::Input).expect("fresh");
+    let hdr = b.signal("hdr", SignalKind::Input).expect("fresh");
+    let lo = b.signal("local", SignalKind::Output).expect("fresh");
+    let la = b.signal("lack", SignalKind::Input).expect("fresh");
+    let fw = b.signal("fwd", SignalKind::Output).expect("fresh");
+    let fa = b.signal("fack", SignalKind::Input).expect("fresh");
+    let st = b.signal("strobe", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(rcv),
+        Frag::par([
+            Frag::seq([Frag::rise(ack), Frag::fall(ack)]),
+            Frag::rise(st),
+        ]),
+        Frag::rise(hdr),
+        // The environment decides (input transitions head both branches).
+        Frag::choice([
+            // Consume locally (two beats).
+            Frag::seq([
+                Frag::rise(la),
+                Frag::rise(lo),
+                Frag::fall(la),
+                Frag::fall(lo),
+                Frag::rise(la),
+                Frag::rise(lo),
+                Frag::fall(la),
+                Frag::fall(lo),
+            ]),
+            // Forward (two beats).
+            Frag::seq([
+                Frag::rise(fa),
+                Frag::rise(fw),
+                Frag::fall(fa),
+                Frag::fall(fw),
+                Frag::rise(fa),
+                Frag::rise(fw),
+                Frag::fall(fa),
+                Frag::fall(fw),
+            ]),
+        ]),
+        Frag::par([
+            Frag::seq([Frag::fall(st), Frag::fall(hdr)]),
+            Frag::seq([Frag::rise(ack), Frag::fall(rcv)]),
+        ]),
+        Frag::rise(st),
+        Frag::fall(st),
+        Frag::fall(ack),
+    ])))
+}
+
+/// `nak-pa` stand-in: 9 signals, ~56 states, free-choice — the environment
+/// either starts the transfer (`xack+`) or requests a negative acknowledge
+/// (`nrq+`).
+pub fn nak_pa() -> Stg {
+    let mut b = StgBuilder::new("nak-pa");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let xack = b.signal("xack", SignalKind::Input).expect("fresh");
+    let nrq = b.signal("nrq", SignalKind::Input).expect("fresh");
+    let xfer = b.signal("xfer", SignalKind::Output).expect("fresh");
+    let buf = b.signal("buf", SignalKind::Output).expect("fresh");
+    let wr = b.signal("wr", SignalKind::Output).expect("fresh");
+    let ack = b.signal("ack", SignalKind::Output).expect("fresh");
+    let nak = b.signal("nak", SignalKind::Output).expect("fresh");
+    let done = b.signal("done", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::choice([
+            // Accept: run the transfer with double-buffered writes.
+            Frag::seq([
+                Frag::rise(xack),
+                Frag::rise(xfer),
+                Frag::par([
+                    Frag::fall(xack),
+                    Frag::seq([
+                        Frag::rise(buf),
+                        Frag::rise(wr),
+                        Frag::fall(buf),
+                        Frag::fall(wr),
+                        Frag::rise(buf),
+                        Frag::rise(wr),
+                        Frag::fall(buf),
+                        Frag::fall(wr),
+                    ]),
+                ]),
+                Frag::fall(xfer),
+                Frag::rise(ack),
+                Frag::fall(ack),
+            ]),
+            // Reject: pulse nak.
+            Frag::seq([
+                Frag::rise(nrq),
+                Frag::rise(nak),
+                Frag::fall(nrq),
+                Frag::fall(nak),
+            ]),
+        ]),
+        Frag::par([
+            Frag::seq([Frag::rise(done), Frag::fall(done)]),
+            Frag::fall(req),
+        ]),
+        Frag::rise(done),
+        Frag::fall(done),
+    ])))
+}
+
+/// `alex-nonfc` stand-in: 6 signals, ~24 states, **non-free-choice**
+/// (an arbiter place shared between two request paths — the structure the
+/// Lavagno flow rejects).
+pub fn alex_nonfc() -> Stg {
+    let mut stg = Stg::new("alex-nonfc");
+    let r1 = stg.add_signal("r1", SignalKind::Input).expect("fresh");
+    let r2 = stg.add_signal("r2", SignalKind::Input).expect("fresh");
+    let g1 = stg.add_signal("g1", SignalKind::Output).expect("fresh");
+    let g2 = stg.add_signal("g2", SignalKind::Output).expect("fresh");
+    let d1 = stg.add_signal("d1", SignalKind::Output).expect("fresh");
+    let d2 = stg.add_signal("d2", SignalKind::Output).expect("fresh");
+
+    // Two client cycles plus a shared mutual-exclusion place. Each request
+    // transition r+ consumes the mutex AND its own idle place, so the mutex
+    // place's fan-outs do not have singleton fan-ins: non-free-choice by
+    // construction. The competitors are inputs (the environment serialises
+    // its requests), keeping the graph semi-modular for outputs.
+    let mutex = stg.add_place("mutex");
+    stg.set_tokens(mutex, 1).expect("in range");
+
+    let client = |stg: &mut Stg, r, g, d| {
+        let rp = stg.add_transition(r, Polarity::Rise);
+        let gp = stg.add_transition(g, Polarity::Rise);
+        let dp = stg.add_transition(d, Polarity::Rise);
+        let dm = stg.add_transition(d, Polarity::Fall);
+        let rm = stg.add_transition(r, Polarity::Fall);
+        let gm = stg.add_transition(g, Polarity::Fall);
+        // r+ g+ d+ d- r- g-: the d pulse inside the grant window repeats
+        // the code after g+, creating a CSC conflict.
+        stg.arc(rp, gp).expect("fresh arc");
+        stg.arc(gp, dp).expect("fresh arc");
+        stg.arc(dp, dm).expect("fresh arc");
+        stg.arc(dm, rm).expect("fresh arc");
+        stg.arc(rm, gm).expect("fresh arc");
+        let idle = stg.arc(gm, rp).expect("fresh arc");
+        stg.set_tokens(idle, 1).expect("in range");
+        // Critical section: the request takes the mutex; the data pulse's
+        // completion returns it, so the release handshake (r-, g-) of one
+        // client overlaps the other client's critical section.
+        stg.arc_from_place(mutex, rp).expect("fresh arc");
+        stg.arc_into_place(dm, mutex).expect("fresh arc");
+    };
+    client(&mut stg, r1, g1, d1);
+    client(&mut stg, r2, g2, d2);
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::{NetClass, ReachabilityOptions};
+
+    #[test]
+    fn alex_nonfc_is_general_class() {
+        let stg = alex_nonfc();
+        assert_eq!(stg.net().classify(), NetClass::General);
+    }
+
+    #[test]
+    fn choice_benchmarks_are_free_choice() {
+        for stg in [pe_rcv_ifc_fc(), nak_pa()] {
+            assert_eq!(stg.net().classify(), NetClass::FreeChoice, "{}", stg.name());
+        }
+    }
+
+    #[test]
+    fn marked_graph_benchmarks_have_no_choice() {
+        for stg in [wrdata(), pa(), ram_read_sbuf()] {
+            assert_eq!(stg.net().classify(), NetClass::MarkedGraph, "{}", stg.name());
+        }
+    }
+
+    #[test]
+    fn medium_benchmarks_are_live_and_safe() {
+        for stg in [
+            wrdata(),
+            pa(),
+            sbuf_read_ctl(),
+            atod(),
+            sbuf_send_ctl(),
+            sbuf_send_pkt2(),
+            alloc_outbound(),
+            ram_read_sbuf(),
+            pe_rcv_ifc_fc(),
+            nak_pa(),
+            alex_nonfc(),
+        ] {
+            let g = stg
+                .net()
+                .reachability(&ReachabilityOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+            assert!(g.is_safe(), "{}", stg.name());
+            assert!(g.deadlocks().is_empty(), "{}", stg.name());
+        }
+    }
+}

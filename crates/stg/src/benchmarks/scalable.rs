@@ -1,0 +1,148 @@
+//! Parameterised benchmark families for scaling studies.
+//!
+//! Table 1 fixes each benchmark's size; these generators expose the size
+//! knobs so the Criterion benches can sweep state-space growth: the
+//! master-read family scales the number of concurrent resource strands
+//! (state count grows as `(2·beats·3 + 1)^strands`), the pipeline family
+//! scales depth with linear state growth.
+
+use crate::{Frag, SignalId, SignalKind, Stg, StgBuilder};
+
+/// A master controller forking into `strands` concurrent three-wire
+/// resource strands, each cycling `beats` times per master round — the
+/// generalisation of the `mr0`/`mr1` stand-ins (`mr0` = 3 strands × 1 beat,
+/// `mr1` = 2 strands × 2 beats).
+///
+/// # Panics
+///
+/// Panics if `strands` or `beats` is zero, or if the signal count would
+/// exceed the 64-signal code limit.
+pub fn master_read(strands: usize, beats: usize) -> Stg {
+    assert!(strands > 0 && beats > 0, "degenerate master_read");
+    assert!(2 + strands * 3 <= 64, "too many signals");
+    let mut b = StgBuilder::new(format!("master-read-{strands}x{beats}"));
+    let r = b.signal("req", SignalKind::Input).expect("fresh");
+    let a = b.signal("ack", SignalKind::Output).expect("fresh");
+    let mut branches = Vec::with_capacity(strands);
+    for i in 1..=strands {
+        let p = b
+            .signal(format!("p{i}"), SignalKind::Output)
+            .expect("fresh");
+        let q = b.signal(format!("q{i}"), SignalKind::Input).expect("fresh");
+        let s = b
+            .signal(format!("s{i}"), SignalKind::Output)
+            .expect("fresh");
+        let mut events = Vec::with_capacity(beats * 6);
+        for _ in 0..beats {
+            events.extend([
+                Frag::rise(p),
+                Frag::rise(q),
+                Frag::rise(s),
+                Frag::fall(p),
+                Frag::fall(q),
+                Frag::fall(s),
+            ]);
+        }
+        branches.push(Frag::seq(events));
+    }
+    b.cycle(Frag::seq([
+        Frag::rise(r),
+        Frag::par(branches),
+        Frag::rise(a),
+        Frag::fall(r),
+        Frag::fall(a),
+    ]))
+    .expect("static construction is well-formed")
+}
+
+/// A linear `stages`-deep pipeline controller: stage `i` handshakes with
+/// stage `i+1` before releasing stage `i-1`; every stage's acknowledge
+/// pulses twice per token, giving one CSC conflict per stage. State count
+/// grows linearly with `stages`.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or the signal count would exceed 64.
+pub fn pipeline(stages: usize) -> Stg {
+    assert!(stages > 0, "degenerate pipeline");
+    assert!(2 * stages + 1 <= 64, "too many signals");
+    let mut b = StgBuilder::new(format!("pipeline-{stages}"));
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let mut wires: Vec<(SignalId, SignalId)> = Vec::with_capacity(stages);
+    for i in 0..stages {
+        let r = b
+            .signal(format!("r{i}"), SignalKind::Output)
+            .expect("fresh");
+        let a = b.signal(format!("a{i}"), SignalKind::Input).expect("fresh");
+        wires.push((r, a));
+    }
+    // Token walks the stages front to back, then acknowledges ripple back.
+    let mut events = vec![Frag::rise(req)];
+    for &(r, a) in &wires {
+        events.push(Frag::rise(r));
+        events.push(Frag::rise(a));
+    }
+    events.push(Frag::fall(req));
+    for &(r, a) in wires.iter().rev() {
+        events.push(Frag::fall(r));
+        events.push(Frag::fall(a));
+        // Second pulse: the CSC-conflict motif per stage.
+        events.push(Frag::rise(r));
+        events.push(Frag::fall(r));
+    }
+    b.cycle(Frag::seq(events))
+        .expect("static construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::ReachabilityOptions;
+
+    fn states(stg: &Stg) -> usize {
+        stg.net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap()
+            .markings
+            .len()
+    }
+
+    #[test]
+    fn master_read_matches_its_closed_form() {
+        // One strand of b beats contributes (6b + 1) interleaving slots.
+        for (strands, beats) in [(1, 1), (2, 1), (3, 1), (2, 2)] {
+            let stg = master_read(strands, beats);
+            let expected = (6 * beats + 1).pow(strands as u32) + 3;
+            assert_eq!(states(&stg), expected, "{strands}x{beats}");
+        }
+    }
+
+    #[test]
+    fn mr_family_members_agree_with_table_rows() {
+        // mr0 = master_read(3, 1), mr1 = master_read(2, 2).
+        assert_eq!(states(&master_read(3, 1)), states(&crate::benchmarks::mr0()));
+        assert_eq!(states(&master_read(2, 2)), states(&crate::benchmarks::mr1()));
+    }
+
+    #[test]
+    fn pipeline_grows_linearly() {
+        // The sequential pipeline adds exactly six states per stage.
+        assert_eq!(states(&pipeline(2)), 14);
+        assert_eq!(states(&pipeline(3)), 20);
+        assert_eq!(states(&pipeline(4)), 26);
+        assert_eq!(states(&pipeline(8)), 50);
+    }
+
+    #[test]
+    fn scalable_families_are_valid_stgs() {
+        for stg in [master_read(2, 1), master_read(1, 3), pipeline(3)] {
+            stg.validate().unwrap();
+            let g = stg
+                .net()
+                .reachability(&ReachabilityOptions::default())
+                .unwrap();
+            assert!(g.is_safe());
+            assert!(g.deadlocks().is_empty());
+        }
+    }
+}

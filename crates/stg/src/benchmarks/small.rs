@@ -1,0 +1,153 @@
+//! The small Table-1 benchmarks (up to ~16 states).
+
+use crate::{Frag, SignalKind, Stg, StgBuilder};
+
+fn built(stg: Result<Stg, crate::StgError>) -> Stg {
+    stg.expect("benchmark construction is static and well-formed")
+}
+
+/// `vbe-ex1` stand-in: 2 signals, ~6 states.
+///
+/// The output pulses twice per input cycle — the smallest STG whose CSC
+/// conflict is resolvable with exactly one state signal.
+pub fn vbe_ex1() -> Stg {
+    let mut b = StgBuilder::new("vbe-ex1");
+    let a = b.signal("a", SignalKind::Input).expect("fresh");
+    let y = b.signal("b", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(a),
+        Frag::rise(y),
+        Frag::fall(y),
+        Frag::fall(a),
+        Frag::rise(y),
+        Frag::fall(y),
+    ])))
+}
+
+/// `vbe-ex2` stand-in: 2 signals, ~8 states.
+///
+/// The output pulses three times per input cycle; the middle pulse
+/// conflicts with both of its neighbours, forcing **two** state signals
+/// (matching the paper's `vbe-ex2` row, which also gains two).
+pub fn vbe_ex2() -> Stg {
+    let mut b = StgBuilder::new("vbe-ex2");
+    let a = b.signal("a", SignalKind::Input).expect("fresh");
+    let y = b.signal("b", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(a),
+        Frag::rise(y),
+        Frag::fall(y),
+        Frag::rise(y),
+        Frag::fall(y),
+        Frag::fall(a),
+        Frag::rise(y),
+        Frag::fall(y),
+    ])))
+}
+
+/// `sendr-done` stand-in: 3 signals, ~7 states.
+pub fn sendr_done() -> Stg {
+    let mut b = StgBuilder::new("sendr-done");
+    let req = b.signal("req", SignalKind::Input).expect("fresh");
+    let d = b.signal("d", SignalKind::Output).expect("fresh");
+    let done = b.signal("done", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::rise(d),
+        Frag::fall(d),
+        Frag::rise(done),
+        Frag::fall(req),
+        Frag::rise(d),
+        Frag::fall(d),
+        Frag::fall(done),
+    ])))
+}
+
+/// `nousc-ser` stand-in: 3 signals, ~8 states, fully serial.
+pub fn nousc_ser() -> Stg {
+    let mut b = StgBuilder::new("nousc-ser");
+    let a = b.signal("a", SignalKind::Input).expect("fresh");
+    let y = b.signal("b", SignalKind::Output).expect("fresh");
+    let z = b.signal("c", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(a),
+        Frag::rise(y),
+        Frag::fall(y),
+        Frag::rise(z),
+        Frag::fall(a),
+        Frag::rise(y),
+        Frag::fall(y),
+        Frag::fall(z),
+    ])))
+}
+
+/// `nouse` stand-in: 3 signals, ~12 states, concurrent output pulses.
+pub fn nouse() -> Stg {
+    let mut b = StgBuilder::new("nouse");
+    let a = b.signal("a", SignalKind::Input).expect("fresh");
+    let y = b.signal("b", SignalKind::Output).expect("fresh");
+    let z = b.signal("c", SignalKind::Output).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(a),
+        Frag::par([
+            Frag::seq([Frag::rise(y), Frag::fall(y)]),
+            Frag::rise(z),
+        ]),
+        Frag::fall(a),
+        Frag::fall(z),
+        Frag::rise(y),
+        Frag::fall(y),
+    ])))
+}
+
+/// `fifo` stand-in: 4 signals, ~16 states — a single FIFO stage with the
+/// downstream handshake overlapping the upstream release.
+pub fn fifo() -> Stg {
+    let mut b = StgBuilder::new("fifo");
+    let r1 = b.signal("ri", SignalKind::Input).expect("fresh");
+    let a1 = b.signal("ao", SignalKind::Output).expect("fresh");
+    let r2 = b.signal("ro", SignalKind::Output).expect("fresh");
+    let a2 = b.signal("ai", SignalKind::Input).expect("fresh");
+    built(b.cycle(Frag::seq([
+        Frag::rise(r1),
+        Frag::par([
+            Frag::seq([Frag::rise(a1), Frag::fall(r1)]),
+            Frag::seq([
+                Frag::rise(r2),
+                Frag::rise(a2),
+                Frag::fall(r2),
+                Frag::fall(a2),
+            ]),
+        ]),
+        Frag::fall(a1),
+    ])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::ReachabilityOptions;
+
+    fn states(stg: &Stg) -> usize {
+        stg.net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap()
+            .markings
+            .len()
+    }
+
+    #[test]
+    fn vbe_ex1_has_six_states() {
+        assert_eq!(states(&vbe_ex1()), 6);
+    }
+
+    #[test]
+    fn small_benchmarks_infer_initial_values() {
+        for stg in [vbe_ex1(), vbe_ex2(), sendr_done(), nousc_ser(), nouse(), fifo()] {
+            let values = stg.infer_initial_values().unwrap();
+            assert_eq!(values.len(), stg.signal_count());
+            // All benchmarks start with every signal low.
+            assert!(values.iter().all(|&v| !v), "{}", stg.name());
+        }
+    }
+}

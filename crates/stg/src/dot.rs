@@ -1,0 +1,113 @@
+//! Graphviz DOT export for STGs.
+
+use std::fmt::Write as _;
+
+use crate::{SignalKind, Stg};
+
+/// Renders the STG's Petri net as a Graphviz `dot` digraph: transitions as
+/// boxes (inputs dashed), places as circles (implicit single-fanin/fanout
+/// places collapsed into labelled arcs), marked places with a token dot.
+///
+/// ```
+/// use modsyn_stg::{parse_g, to_dot};
+/// # fn main() -> Result<(), modsyn_stg::StgError> {
+/// let stg = parse_g("
+/// .model m
+/// .inputs a
+/// .outputs b
+/// .graph
+/// a+ b+
+/// b+ a-
+/// a- b-
+/// b- a+
+/// .marking { <b-,a+> }
+/// .end
+/// ")?;
+/// let dot = to_dot(&stg);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("\"a+\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(stg: &Stg) -> String {
+    let net = stg.net();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", stg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+
+    for t in net.transition_ids() {
+        let dashed = match stg.label(t) {
+            Some(l) => stg.signal(l.signal).kind() == SignalKind::Input,
+            None => false,
+        };
+        let style = if dashed { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box{style}];",
+            net.transition(t).name()
+        );
+    }
+
+    let implicit = |p: modsyn_petri::PlaceId| {
+        net.place(p).fanin().len() == 1
+            && net.place(p).fanout().len() == 1
+            && net.place(p).initial_tokens() == 0
+    };
+    for p in net.place_ids() {
+        let place = net.place(p);
+        if implicit(p) {
+            let from = net.transition(place.fanin()[0]).name();
+            let to = net.transition(place.fanout()[0]).name();
+            let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+        } else if !place.fanin().is_empty() || !place.fanout().is_empty() {
+            let marked = if place.initial_tokens() > 0 {
+                ", label=\"●\""
+            } else {
+                ", label=\"\""
+            };
+            let _ = writeln!(out, "  \"{}\" [shape=circle{marked}];", place.name());
+            for &t in place.fanin() {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", net.transition(t).name(), place.name());
+            }
+            for &t in place.fanout() {
+                let _ = writeln!(out, "  \"{}\" -> \"{}\";", place.name(), net.transition(t).name());
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_mentions_every_transition() {
+        let stg = benchmarks::vbe_ex1();
+        let dot = to_dot(&stg);
+        for t in stg.net().transition_ids() {
+            assert!(
+                dot.contains(&format!("\"{}\"", stg.net().transition(t).name())),
+                "missing {}",
+                stg.net().transition(t).name()
+            );
+        }
+    }
+
+    #[test]
+    fn choice_places_are_explicit_nodes() {
+        let stg = benchmarks::nak_pa();
+        let dot = to_dot(&stg);
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains('●'), "marked place rendered");
+    }
+
+    #[test]
+    fn inputs_are_dashed() {
+        let stg = benchmarks::vbe_ex1();
+        let dot = to_dot(&stg);
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for STG construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use modsyn_petri::PetriError;
+
+/// Errors raised while building, parsing or analysing an [`crate::Stg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// A signal with this name already exists.
+    DuplicateSignal {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A `.g` line referenced a signal never declared in `.inputs` /
+    /// `.outputs` / `.internal`.
+    UnknownSignal {
+        /// The undeclared name.
+        name: String,
+    },
+    /// A signal has no transitions, so its initial value cannot be inferred.
+    NoTransitions {
+        /// The offending signal name.
+        signal: String,
+    },
+    /// A `.g` document was structurally malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying Petri-net operation failed.
+    Petri(PetriError),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::DuplicateSignal { name } => write!(f, "duplicate signal {name:?}"),
+            StgError::UnknownSignal { name } => write!(f, "unknown signal {name:?}"),
+            StgError::NoTransitions { signal } => {
+                write!(f, "signal {signal:?} has no transitions")
+            }
+            StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            StgError::Petri(e) => write!(f, "petri net error: {e}"),
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Petri(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PetriError> for StgError {
+    fn from(e: PetriError) -> Self {
+        StgError::Petri(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn petri_errors_convert_and_chain() {
+        let err: StgError = PetriError::EmptyInitialMarking.into();
+        assert!(err.to_string().contains("petri net error"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn parse_error_carries_location() {
+        let err = StgError::Parse { line: 7, message: "bad token".into() };
+        assert!(err.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Parser for the `.g` (astg) text format used by SIS and petrify.
+//!
+//! Supported sections: `.model`, `.inputs`, `.outputs`, `.internal`,
+//! `.dummy`, `.graph`, `.marking`, `.end`. Graph lines are
+//! `source target target …` where each token is a transition
+//! (`sig+`, `sig-`, optionally `/instance`), a dummy name, or an explicit
+//! place name. Markings accept explicit places and implicit-place pairs
+//! `<t1,t2>`.
+
+use std::collections::HashMap;
+
+use modsyn_petri::{PlaceId, TransitionId};
+
+use crate::{Polarity, SignalKind, Stg, StgError};
+
+/// Parses a `.g` document into an [`Stg`].
+///
+/// # Errors
+///
+/// Returns [`StgError::Parse`] with a line number on malformed input,
+/// [`StgError::UnknownSignal`] for transitions of undeclared signals.
+///
+/// ```
+/// use modsyn_stg::parse_g;
+/// # fn main() -> Result<(), modsyn_stg::StgError> {
+/// let stg = parse_g("
+/// .model tiny
+/// .inputs a
+/// .outputs b
+/// .graph
+/// a+ b+
+/// b+ a-
+/// a- b-
+/// b- a+
+/// .marking { <b-,a+> }
+/// .end
+/// ")?;
+/// assert_eq!(stg.signal_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_g(input: &str) -> Result<Stg, StgError> {
+    let mut parser = Parser::new();
+    parser.run(input)?;
+    Ok(parser.stg)
+}
+
+struct Parser {
+    stg: Stg,
+    /// Named transitions: "a+", "a+/2", dummies by name.
+    transitions: HashMap<String, TransitionId>,
+    /// Explicit places by name.
+    places: HashMap<String, PlaceId>,
+    in_graph: bool,
+    /// Arc-target pairs resolved to implicit places, for `.marking`.
+    implicit: HashMap<(TransitionId, TransitionId), PlaceId>,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            stg: Stg::new("unnamed"),
+            transitions: HashMap::new(),
+            places: HashMap::new(),
+            in_graph: false,
+            implicit: HashMap::new(),
+        }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> StgError {
+        StgError::Parse { line, message: message.into() }
+    }
+
+    fn run(&mut self, input: &str) -> Result<(), StgError> {
+        let mut signal_decls: Vec<(String, SignalKind)> = Vec::new();
+        let mut dummy_decls: Vec<String> = Vec::new();
+        let mut graph_lines: Vec<(usize, String)> = Vec::new();
+        let mut marking_line: Option<(usize, String)> = None;
+        let mut model = String::from("unnamed");
+
+        for (i, raw) in input.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".model") {
+                model = rest.trim().to_string();
+            } else if let Some(rest) = line.strip_prefix(".inputs") {
+                for name in rest.split_whitespace() {
+                    signal_decls.push((name.to_string(), SignalKind::Input));
+                }
+            } else if let Some(rest) = line.strip_prefix(".outputs") {
+                for name in rest.split_whitespace() {
+                    signal_decls.push((name.to_string(), SignalKind::Output));
+                }
+            } else if let Some(rest) = line.strip_prefix(".internal") {
+                for name in rest.split_whitespace() {
+                    signal_decls.push((name.to_string(), SignalKind::Internal));
+                }
+            } else if let Some(rest) = line.strip_prefix(".dummy") {
+                for name in rest.split_whitespace() {
+                    dummy_decls.push(name.to_string());
+                }
+            } else if line == ".graph" {
+                self.in_graph = true;
+            } else if let Some(rest) = line.strip_prefix(".marking") {
+                marking_line = Some((lineno, rest.trim().to_string()));
+            } else if line == ".end" {
+                break;
+            } else if line.starts_with('.') {
+                return Err(Self::err(lineno, format!("unknown directive {line:?}")));
+            } else if self.in_graph {
+                graph_lines.push((lineno, line.to_string()));
+            } else {
+                return Err(Self::err(lineno, "graph line before .graph"));
+            }
+        }
+
+        self.stg = Stg::new(model);
+        for (name, kind) in signal_decls {
+            self.stg.add_signal(name, kind)?;
+        }
+        let dummies = dummy_decls;
+
+        // First pass: create all transitions mentioned anywhere.
+        for (lineno, line) in &graph_lines {
+            for token in line.split_whitespace() {
+                self.ensure_node(token, &dummies, *lineno)?;
+            }
+        }
+        // Second pass: arcs.
+        for (lineno, line) in &graph_lines {
+            let mut tokens = line.split_whitespace();
+            let src = tokens
+                .next()
+                .ok_or_else(|| Self::err(*lineno, "empty graph line"))?;
+            for dst in tokens {
+                self.add_arc(src, dst, *lineno)?;
+            }
+        }
+        // Marking.
+        if let Some((lineno, text)) = marking_line {
+            self.parse_marking(&text, lineno)?;
+        }
+        Ok(())
+    }
+
+    fn is_transition_token(token: &str) -> bool {
+        let base = token.split('/').next().unwrap_or(token);
+        base.ends_with('+') || base.ends_with('-')
+    }
+
+    /// Creates the transition or remembers the place named by `token`.
+    fn ensure_node(
+        &mut self,
+        token: &str,
+        dummies: &[String],
+        lineno: usize,
+    ) -> Result<(), StgError> {
+        if self.transitions.contains_key(token) || self.places.contains_key(token) {
+            return Ok(());
+        }
+        if Self::is_transition_token(token) {
+            let (base, _inst) = split_instance(token, lineno)?;
+            let (sig_name, polarity) = split_polarity(&base, lineno)?;
+            let signal = self
+                .stg
+                .find_signal(&sig_name)
+                .ok_or(StgError::UnknownSignal { name: sig_name })?;
+            let t = self.stg.add_transition(signal, polarity);
+            // The STG assigns canonical names; map the token as written too.
+            self.transitions.insert(token.to_string(), t);
+            Ok(())
+        } else if dummies.iter().any(|d| d == token) {
+            let t = self.stg.add_dummy(token);
+            self.transitions.insert(token.to_string(), t);
+            Ok(())
+        } else {
+            let p = self.stg.add_place(token);
+            self.places.insert(token.to_string(), p);
+            Ok(())
+        }
+    }
+
+    fn add_arc(&mut self, src: &str, dst: &str, lineno: usize) -> Result<(), StgError> {
+        match (
+            self.transitions.get(src).copied(),
+            self.transitions.get(dst).copied(),
+            self.places.get(src).copied(),
+            self.places.get(dst).copied(),
+        ) {
+            (Some(t1), Some(t2), _, _) => {
+                let p = self.stg.arc(t1, t2)?;
+                self.implicit.insert((t1, t2), p);
+                Ok(())
+            }
+            (Some(t), None, _, Some(p)) => self.stg.arc_into_place(t, p),
+            (None, Some(t), Some(p), _) => self.stg.arc_from_place(p, t),
+            _ => Err(Self::err(
+                lineno,
+                format!("arc between two places: {src} -> {dst}"),
+            )),
+        }
+    }
+
+    fn parse_marking(&mut self, text: &str, lineno: usize) -> Result<(), StgError> {
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| Self::err(lineno, "marking must be wrapped in { }"))?;
+        // Tokens: explicit place names, or <t1,t2> implicit pairs. Repeated
+        // mentions accumulate tokens.
+        let mut tokens: std::collections::HashMap<modsyn_petri::PlaceId, u32> =
+            std::collections::HashMap::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if let Some(after) = rest.strip_prefix('<') {
+                let end = after
+                    .find('>')
+                    .ok_or_else(|| Self::err(lineno, "unterminated <t1,t2> marking"))?;
+                let pair = &after[..end];
+                let (a, b) = pair
+                    .split_once(',')
+                    .ok_or_else(|| Self::err(lineno, "implicit marking needs two transitions"))?;
+                let t1 = self
+                    .transitions
+                    .get(a.trim())
+                    .copied()
+                    .ok_or_else(|| Self::err(lineno, format!("unknown transition {a:?}")))?;
+                let t2 = self
+                    .transitions
+                    .get(b.trim())
+                    .copied()
+                    .ok_or_else(|| Self::err(lineno, format!("unknown transition {b:?}")))?;
+                let p = self
+                    .implicit
+                    .get(&(t1, t2))
+                    .copied()
+                    .ok_or_else(|| Self::err(lineno, format!("no arc <{a},{b}> to mark")))?;
+                *tokens.entry(p).or_insert(0) += 1;
+                rest = after[end + 1..].trim_start();
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                let name = &rest[..end];
+                let p = self
+                    .places
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| Self::err(lineno, format!("unknown place {name:?}")))?;
+                *tokens.entry(p).or_insert(0) += 1;
+                rest = rest[end..].trim_start();
+            }
+        }
+        for (p, count) in tokens {
+            self.stg.set_tokens(p, count)?;
+        }
+        Ok(())
+    }
+}
+
+fn split_instance(token: &str, lineno: usize) -> Result<(String, u32), StgError> {
+    match token.split_once('/') {
+        None => Ok((token.to_string(), 1)),
+        Some((base, inst)) => {
+            let n: u32 = inst.parse().map_err(|_| {
+                Parser::err(lineno, format!("bad instance suffix in {token:?}"))
+            })?;
+            Ok((base.to_string(), n))
+        }
+    }
+}
+
+fn split_polarity(base: &str, lineno: usize) -> Result<(String, Polarity), StgError> {
+    if let Some(name) = base.strip_suffix('+') {
+        Ok((name.to_string(), Polarity::Rise))
+    } else if let Some(name) = base.strip_suffix('-') {
+        Ok((name.to_string(), Polarity::Fall))
+    } else {
+        Err(Parser::err(lineno, format!("expected +/- suffix in {base:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::ReachabilityOptions;
+
+    const HANDSHAKE: &str = "
+.model hs
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn parses_simple_handshake() {
+        let stg = parse_g(HANDSHAKE).unwrap();
+        assert_eq!(stg.name(), "hs");
+        assert_eq!(stg.signal_count(), 2);
+        assert_eq!(stg.net().transition_count(), 4);
+        let g = stg
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        assert_eq!(g.markings.len(), 4);
+    }
+
+    #[test]
+    fn explicit_places_and_choice() {
+        let src = "
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+/2
+c+ p1
+c+/2 p1
+p1 a-
+a- c-
+c- p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        // a- fires in both branches? No: p1 merges; a- then c- back to p0.
+        assert_eq!(stg.net().transition_count(), 6);
+        let p0 = stg.net().find_place("p0").unwrap();
+        assert_eq!(stg.net().place(p0).initial_tokens(), 1);
+    }
+
+    #[test]
+    fn unknown_signal_is_reported() {
+        let src = ".model x\n.inputs a\n.graph\na+ z+\nz+ a-\na- a+\n.marking { <a-,a+> }\n.end\n";
+        assert!(matches!(
+            parse_g(src),
+            Err(StgError::UnknownSignal { name }) if name == "z"
+        ));
+    }
+
+    #[test]
+    fn dummies_are_supported() {
+        let src = "
+.model d
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let t = stg.net().find_transition("eps").unwrap();
+        assert_eq!(stg.label(t), None);
+    }
+
+    #[test]
+    fn bad_marking_is_rejected() {
+        let src = ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { <a+,a+> }\n.end\n";
+        assert!(matches!(parse_g(src), Err(StgError::Parse { .. })));
+    }
+
+    #[test]
+    fn marking_with_multiple_tokens() {
+        let src = "
+.model two
+.inputs a b
+.graph
+a+ a-
+a- a+
+b+ b-
+b- b+
+.marking { <a-,a+> <b-,b+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let g = stg
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        assert_eq!(g.markings.len(), 4);
+    }
+
+    #[test]
+    fn repeated_marking_mentions_accumulate_tokens() {
+        // Two tokens on one explicit place (a non-safe net, still parseable).
+        let src = "
+.model two_tokens
+.inputs a
+.graph
+p0 a+
+a+ a-
+a- p0
+.marking { p0 p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let p0 = stg.net().find_place("p0").unwrap();
+        assert_eq!(stg.net().place(p0).initial_tokens(), 2);
+    }
+
+    #[test]
+    fn unknown_directive_errors() {
+        assert!(matches!(
+            parse_g(".bogus\n"),
+            Err(StgError::Parse { line: 1, .. })
+        ));
+    }
+}

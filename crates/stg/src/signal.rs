@@ -1,0 +1,141 @@
+//! Signals and signal transitions.
+
+use std::fmt;
+
+/// Handle to a signal of an [`crate::Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Dense index of this signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a handle from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Interface role of a signal.
+///
+/// The paper splits signals into the input set `S_I` and the non-input set
+/// `S_NI` (outputs and internal signals). Only non-input signals get logic
+/// functions; only non-input excitation participates in CSC conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment.
+    Input,
+    /// Driven by the synthesised circuit, visible at the interface.
+    Output,
+    /// Driven by the synthesised circuit, not visible (includes inserted
+    /// state signals).
+    Internal,
+}
+
+impl SignalKind {
+    /// Whether the circuit (not the environment) drives this signal.
+    pub fn is_non_input(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignalKind::Input => "input",
+            SignalKind::Output => "output",
+            SignalKind::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// `s+`: the signal changes 0 → 1.
+    Rise,
+    /// `s-`: the signal changes 1 → 0.
+    Fall,
+}
+
+impl Polarity {
+    /// The opposite direction.
+    pub fn opposite(self) -> Polarity {
+        match self {
+            Polarity::Rise => Polarity::Fall,
+            Polarity::Fall => Polarity::Rise,
+        }
+    }
+
+    /// The signal value *before* a transition of this polarity.
+    pub fn value_before(self) -> bool {
+        matches!(self, Polarity::Fall)
+    }
+
+    /// The signal value *after* a transition of this polarity.
+    pub fn value_after(self) -> bool {
+        matches!(self, Polarity::Rise)
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Polarity::Rise => "+",
+            Polarity::Fall => "-",
+        })
+    }
+}
+
+/// Label on a net transition: which signal edge it represents.
+///
+/// `instance` distinguishes multiple occurrences of the same edge in one
+/// STG (written `a+/2` in the `.g` format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionLabel {
+    /// The signal this transition toggles.
+    pub signal: SignalId,
+    /// Rising or falling edge.
+    pub polarity: Polarity,
+    /// 1-based occurrence number within the STG.
+    pub instance: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_semantics() {
+        assert_eq!(Polarity::Rise.opposite(), Polarity::Fall);
+        assert!(!Polarity::Rise.value_before());
+        assert!(Polarity::Rise.value_after());
+        assert!(Polarity::Fall.value_before());
+        assert!(!Polarity::Fall.value_after());
+        assert_eq!(Polarity::Rise.to_string(), "+");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!SignalKind::Input.is_non_input());
+        assert!(SignalKind::Output.is_non_input());
+        assert!(SignalKind::Internal.is_non_input());
+        assert_eq!(SignalKind::Output.to_string(), "output");
+    }
+
+    #[test]
+    fn signal_id_round_trip() {
+        let s = SignalId::from_index(4);
+        assert_eq!(s.index(), 4);
+        assert_eq!(s.to_string(), "s4");
+    }
+}

@@ -1,0 +1,458 @@
+//! The signal transition graph type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use modsyn_petri::{PetriNet, PlaceId, TransitionId};
+
+use crate::{Polarity, SignalId, SignalKind, StgError, TransitionLabel};
+
+/// Name and role of one STG signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    name: String,
+    kind: SignalKind,
+}
+
+impl SignalInfo {
+    /// The signal's name as written in `.g` files.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The signal's interface role.
+    pub fn kind(&self) -> SignalKind {
+        self.kind
+    }
+}
+
+/// A signal transition graph: a Petri net whose transitions are labelled
+/// with rising/falling edges of interface signals.
+///
+/// # Example
+///
+/// A two-signal handshake `a+ → b+ → a- → b-`:
+///
+/// ```
+/// use modsyn_stg::{Polarity, SignalKind, Stg};
+///
+/// # fn main() -> Result<(), modsyn_stg::StgError> {
+/// let mut stg = Stg::new("handshake");
+/// let a = stg.add_signal("a", SignalKind::Input)?;
+/// let b = stg.add_signal("b", SignalKind::Output)?;
+/// let ap = stg.add_transition(a, Polarity::Rise);
+/// let bp = stg.add_transition(b, Polarity::Rise);
+/// let am = stg.add_transition(a, Polarity::Fall);
+/// let bm = stg.add_transition(b, Polarity::Fall);
+/// stg.arc(ap, bp)?;
+/// stg.arc(bp, am)?;
+/// stg.arc(am, bm)?;
+/// let back = stg.arc(bm, ap)?;
+/// stg.set_tokens(back, 1)?;
+/// assert_eq!(stg.signal_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stg {
+    name: String,
+    net: PetriNet,
+    signals: Vec<SignalInfo>,
+    /// Per net transition: its signal edge, or `None` for a dummy (ε) event.
+    labels: Vec<Option<TransitionLabel>>,
+}
+
+impl Stg {
+    /// Creates an empty STG with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Stg {
+            name: name.into(),
+            net: PetriNet::new(),
+            signals: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying Petri net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// Declares a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StgError::DuplicateSignal`] if the name is taken.
+    pub fn add_signal(
+        &mut self,
+        name: impl Into<String>,
+        kind: SignalKind,
+    ) -> Result<SignalId, StgError> {
+        let name = name.into();
+        if self.signals.iter().any(|s| s.name == name) {
+            return Err(StgError::DuplicateSignal { name });
+        }
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(SignalInfo { name, kind });
+        Ok(id)
+    }
+
+    /// Info for a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn signal(&self, id: SignalId) -> &SignalInfo {
+        &self.signals[id.index()]
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// All signal handles in declaration order.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len() as u32).map(SignalId)
+    }
+
+    /// Handles of all non-input (output and internal) signals.
+    pub fn non_input_signals(&self) -> Vec<SignalId> {
+        self.signal_ids()
+            .filter(|&s| self.signal(s).kind.is_non_input())
+            .collect()
+    }
+
+    /// Handles of all output signals.
+    pub fn output_signals(&self) -> Vec<SignalId> {
+        self.signal_ids()
+            .filter(|&s| self.signal(s).kind == SignalKind::Output)
+            .collect()
+    }
+
+    /// Looks a signal up by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId(i as u32))
+    }
+
+    /// Adds a transition for an edge of `signal`; occurrence numbers are
+    /// assigned automatically (`a+`, then `a+/2`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn add_transition(&mut self, signal: SignalId, polarity: Polarity) -> TransitionId {
+        let instance = self
+            .labels
+            .iter()
+            .flatten()
+            .filter(|l| l.signal == signal && l.polarity == polarity)
+            .count() as u32
+            + 1;
+        let base = format!("{}{}", self.signals[signal.index()].name, polarity);
+        let name = if instance == 1 {
+            base
+        } else {
+            format!("{base}/{instance}")
+        };
+        let t = self.net.add_transition(name);
+        self.labels.push(Some(TransitionLabel {
+            signal,
+            polarity,
+            instance,
+        }));
+        t
+    }
+
+    /// Adds an unlabelled (dummy / ε) transition.
+    pub fn add_dummy(&mut self, name: impl Into<String>) -> TransitionId {
+        let t = self.net.add_transition(name);
+        self.labels.push(None);
+        t
+    }
+
+    /// The label of a net transition (`None` for dummies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn label(&self, t: TransitionId) -> Option<TransitionLabel> {
+        self.labels[t.index()]
+    }
+
+    /// All transitions labelled with `signal`.
+    pub fn transitions_of(&self, signal: SignalId) -> Vec<TransitionId> {
+        self.net
+            .transition_ids()
+            .filter(|&t| self.labels[t.index()].is_some_and(|l| l.signal == signal))
+            .collect()
+    }
+
+    /// Adds an explicit place.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.net.add_place(name)
+    }
+
+    /// Connects two transitions through a fresh implicit place (the STG
+    /// convention: "every place with a single fanin and fanout transition is
+    /// represented by an arc"). Returns the created place so the caller can
+    /// mark it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`modsyn_petri::PetriError`] on duplicate arcs.
+    pub fn arc(&mut self, from: TransitionId, to: TransitionId) -> Result<PlaceId, StgError> {
+        let name = format!(
+            "<{},{}>",
+            self.net.transition(from).name(),
+            self.net.transition(to).name()
+        );
+        let p = self.net.add_place(name);
+        self.net.add_arc_transition_to_place(from, p)?;
+        self.net.add_arc_place_to_transition(p, to)?;
+        Ok(p)
+    }
+
+    /// Arc from a transition into an explicit place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`modsyn_petri::PetriError`] on duplicate arcs.
+    pub fn arc_into_place(&mut self, from: TransitionId, place: PlaceId) -> Result<(), StgError> {
+        self.net.add_arc_transition_to_place(from, place)?;
+        Ok(())
+    }
+
+    /// Arc from an explicit place into a transition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`modsyn_petri::PetriError`] on duplicate arcs.
+    pub fn arc_from_place(&mut self, place: PlaceId, to: TransitionId) -> Result<(), StgError> {
+        self.net.add_arc_place_to_transition(place, to)?;
+        Ok(())
+    }
+
+    /// Sets the initial tokens on a place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`modsyn_petri::PetriError`].
+    pub fn set_tokens(&mut self, place: PlaceId, tokens: u32) -> Result<(), StgError> {
+        self.net.set_initial_tokens(place, tokens)?;
+        Ok(())
+    }
+
+    /// The *immediate input set* of a signal: signals whose transitions
+    /// directly precede (cause) some transition of `signal` in the STG.
+    /// The signal itself is excluded.
+    ///
+    /// This is the seed of the paper's `determine_input_set` procedure.
+    pub fn immediate_inputs(&self, signal: SignalId) -> BTreeSet<SignalId> {
+        let mut set = BTreeSet::new();
+        for t in self.transitions_of(signal) {
+            for &p in self.net.transition(t).fanin() {
+                for &pred in self.net.place(p).fanin() {
+                    if let Some(label) = self.labels[pred.index()] {
+                        if label.signal != signal {
+                            set.insert(label.signal);
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Infers each signal's initial value from the net: a signal whose next
+    /// enabled-in-the-future transition is a rise starts at 0, a fall starts
+    /// at 1.
+    ///
+    /// The inference walks the reachability-free structural approximation:
+    /// it fires the token game only as far as needed — concretely, for each
+    /// signal it finds the polarity of the first reachable transition by BFS
+    /// over the net from the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StgError::NoTransitions`] for a signal with no transitions,
+    /// or a propagated Petri error if the net is malformed.
+    pub fn infer_initial_values(&self) -> Result<Vec<bool>, StgError> {
+        use std::collections::{HashSet, VecDeque};
+
+        self.net.validate()?;
+        let mut values: Vec<Option<bool>> = vec![None; self.signals.len()];
+        let mut remaining = self.signals.len();
+
+        // BFS over markings until every signal's first edge has been seen.
+        let mut seen: HashSet<modsyn_petri::Marking> = HashSet::new();
+        let mut queue = VecDeque::new();
+        let m0 = self.net.initial_marking();
+        seen.insert(m0.clone());
+        queue.push_back(m0);
+        let budget = 1_000_000usize;
+        let mut explored = 0usize;
+
+        while let Some(m) = queue.pop_front() {
+            if remaining == 0 {
+                break;
+            }
+            explored += 1;
+            if explored > budget {
+                break;
+            }
+            for t in m.enabled_transitions(&self.net) {
+                if let Some(label) = self.labels[t.index()] {
+                    let slot = &mut values[label.signal.index()];
+                    if slot.is_none() {
+                        *slot = Some(label.polarity.value_before());
+                        remaining -= 1;
+                    }
+                }
+                let next = m.fire(&self.net, t).expect("enabled transition fires");
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| StgError::NoTransitions {
+                    signal: self.signals[i].name.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Stg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stg {}: {} signals, {} transitions, {} places",
+            self.name,
+            self.signals.len(),
+            self.net.transition_count(),
+            self.net.place_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake() -> Stg {
+        let mut stg = Stg::new("hs");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let b = stg.add_signal("b", SignalKind::Output).unwrap();
+        let ap = stg.add_transition(a, Polarity::Rise);
+        let bp = stg.add_transition(b, Polarity::Rise);
+        let am = stg.add_transition(a, Polarity::Fall);
+        let bm = stg.add_transition(b, Polarity::Fall);
+        stg.arc(ap, bp).unwrap();
+        stg.arc(bp, am).unwrap();
+        stg.arc(am, bm).unwrap();
+        let back = stg.arc(bm, ap).unwrap();
+        stg.set_tokens(back, 1).unwrap();
+        stg
+    }
+
+    #[test]
+    fn duplicate_signal_rejected() {
+        let mut stg = Stg::new("x");
+        stg.add_signal("a", SignalKind::Input).unwrap();
+        let err = stg.add_signal("a", SignalKind::Output).unwrap_err();
+        assert!(matches!(err, StgError::DuplicateSignal { .. }));
+    }
+
+    #[test]
+    fn transition_names_carry_instances() {
+        let mut stg = Stg::new("x");
+        let a = stg.add_signal("a", SignalKind::Output).unwrap();
+        let t1 = stg.add_transition(a, Polarity::Rise);
+        let t2 = stg.add_transition(a, Polarity::Rise);
+        assert_eq!(stg.net().transition(t1).name(), "a+");
+        assert_eq!(stg.net().transition(t2).name(), "a+/2");
+        assert_eq!(stg.label(t2).unwrap().instance, 2);
+        assert_eq!(stg.transitions_of(a), vec![t1, t2]);
+    }
+
+    #[test]
+    fn immediate_inputs_follow_causal_arcs() {
+        let stg = handshake();
+        let a = stg.find_signal("a").unwrap();
+        let b = stg.find_signal("b").unwrap();
+        assert_eq!(stg.immediate_inputs(b), BTreeSet::from([a]));
+        assert_eq!(stg.immediate_inputs(a), BTreeSet::from([b]));
+    }
+
+    #[test]
+    fn initial_values_inferred_from_marking() {
+        let stg = handshake();
+        // Token sits before a+: both signals start low.
+        assert_eq!(stg.infer_initial_values().unwrap(), vec![false, false]);
+    }
+
+    #[test]
+    fn initial_values_mid_cycle() {
+        let mut stg = Stg::new("hs2");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let ap = stg.add_transition(a, Polarity::Rise);
+        let am = stg.add_transition(a, Polarity::Fall);
+        stg.arc(ap, am).unwrap();
+        let back = stg.arc(am, ap).unwrap();
+        stg.set_tokens(back, 0).unwrap();
+        // Mark the place before a- instead: a starts high.
+        let p = stg.net().find_place("<a+,a->").unwrap();
+        stg.set_tokens(p, 1).unwrap();
+        assert_eq!(stg.infer_initial_values().unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn no_transition_signal_is_an_error() {
+        let mut stg = handshake();
+        stg.add_signal("ghost", SignalKind::Input).unwrap();
+        assert!(matches!(
+            stg.infer_initial_values(),
+            Err(StgError::NoTransitions { .. })
+        ));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let stg = handshake();
+        let s = stg.to_string();
+        assert!(s.contains("2 signals"));
+        assert!(s.contains("4 transitions"));
+    }
+
+    #[test]
+    fn dummy_transitions_have_no_label() {
+        let mut stg = Stg::new("d");
+        let t = stg.add_dummy("eps");
+        assert_eq!(stg.label(t), None);
+    }
+
+    #[test]
+    fn output_and_non_input_lists() {
+        let mut stg = Stg::new("k");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let b = stg.add_signal("b", SignalKind::Output).unwrap();
+        let c = stg.add_signal("c", SignalKind::Internal).unwrap();
+        assert_eq!(stg.output_signals(), vec![b]);
+        assert_eq!(stg.non_input_signals(), vec![b, c]);
+        assert_eq!(stg.signal(a).kind(), SignalKind::Input);
+    }
+}

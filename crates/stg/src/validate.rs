@@ -1,0 +1,114 @@
+//! Structural validation of STGs.
+
+use crate::{Polarity, Stg, StgError};
+
+/// Structural facts about an STG gathered by [`Stg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StgReport {
+    /// Signals with unbalanced rise/fall transition counts. Balanced counts
+    /// are necessary (not sufficient) for consistency on live cyclic STGs.
+    pub unbalanced_signals: Vec<String>,
+    /// Signals with no transitions at all.
+    pub silent_signals: Vec<String>,
+    /// Whether the net passed basic Petri-net validation.
+    pub net_ok: bool,
+}
+
+impl StgReport {
+    /// Whether no problems were found.
+    pub fn is_clean(&self) -> bool {
+        self.unbalanced_signals.is_empty() && self.silent_signals.is_empty() && self.net_ok
+    }
+}
+
+impl Stg {
+    /// Checks structural sanity: the net validates, every signal has
+    /// transitions, and each signal has as many rising as falling
+    /// transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found as an [`StgError`]; call
+    /// [`Stg::validation_report`] for a full listing instead.
+    pub fn validate(&self) -> Result<(), StgError> {
+        let report = self.validation_report();
+        if !report.net_ok {
+            self.net().validate()?;
+        }
+        if let Some(name) = report.silent_signals.first() {
+            return Err(StgError::NoTransitions { signal: name.clone() });
+        }
+        if let Some(name) = report.unbalanced_signals.first() {
+            return Err(StgError::Parse {
+                line: 0,
+                message: format!("signal {name:?} has unbalanced rise/fall transitions"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Gathers all structural problems without failing fast.
+    pub fn validation_report(&self) -> StgReport {
+        let mut unbalanced = Vec::new();
+        let mut silent = Vec::new();
+        for s in self.signal_ids() {
+            let ts = self.transitions_of(s);
+            if ts.is_empty() {
+                silent.push(self.signal(s).name().to_string());
+                continue;
+            }
+            let rises = ts
+                .iter()
+                .filter(|&&t| self.label(t).is_some_and(|l| l.polarity == Polarity::Rise))
+                .count();
+            if rises * 2 != ts.len() {
+                unbalanced.push(self.signal(s).name().to_string());
+            }
+        }
+        StgReport {
+            unbalanced_signals: unbalanced,
+            silent_signals: silent,
+            net_ok: self.net().validate().is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_g, SignalKind, Stg, StgError};
+
+    #[test]
+    fn clean_stg_validates() {
+        let stg = parse_g(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        stg.validate().unwrap();
+        assert!(stg.validation_report().is_clean());
+    }
+
+    #[test]
+    fn unbalanced_signal_is_flagged() {
+        let stg = parse_g(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a+/2\na+/2 b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let report = stg.validation_report();
+        assert_eq!(report.unbalanced_signals, vec!["a".to_string()]);
+        assert!(matches!(stg.validate(), Err(StgError::Parse { .. })));
+    }
+
+    #[test]
+    fn silent_signal_is_flagged() {
+        let mut stg = Stg::new("s");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        stg.add_signal("quiet", SignalKind::Output).unwrap();
+        let t1 = stg.add_transition(a, crate::Polarity::Rise);
+        let t2 = stg.add_transition(a, crate::Polarity::Fall);
+        stg.arc(t1, t2).unwrap();
+        let p = stg.arc(t2, t1).unwrap();
+        stg.set_tokens(p, 1).unwrap();
+        let report = stg.validation_report();
+        assert_eq!(report.silent_signals, vec!["quiet".to_string()]);
+    }
+}

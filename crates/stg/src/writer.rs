@@ -1,0 +1,175 @@
+//! Serialising STGs back to the `.g` format.
+
+use std::fmt::Write as _;
+
+use crate::{SignalKind, Stg};
+
+/// Renders an [`Stg`] as a `.g` document.
+///
+/// Implicit places (single fan-in, single fan-out) are written as arcs;
+/// other places are written explicitly. The output round-trips through
+/// [`crate::parse_g`].
+///
+/// ```
+/// use modsyn_stg::{parse_g, write_g};
+/// # fn main() -> Result<(), modsyn_stg::StgError> {
+/// let stg = parse_g("
+/// .model m
+/// .inputs a
+/// .outputs b
+/// .graph
+/// a+ b+
+/// b+ a-
+/// a- b-
+/// b- a+
+/// .marking { <b-,a+> }
+/// .end
+/// ")?;
+/// let text = write_g(&stg);
+/// let again = parse_g(&text)?;
+/// assert_eq!(again.signal_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_g(stg: &Stg) -> String {
+    let net = stg.net();
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+
+    for (directive, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let names: Vec<&str> = stg
+            .signal_ids()
+            .filter(|&s| stg.signal(s).kind() == kind)
+            .map(|s| stg.signal(s).name())
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{directive} {}", names.join(" "));
+        }
+    }
+    let dummies: Vec<&str> = net
+        .transition_ids()
+        .filter(|&t| stg.label(t).is_none())
+        .map(|t| net.transition(t).name())
+        .collect();
+    if !dummies.is_empty() {
+        let _ = writeln!(out, ".dummy {}", dummies.join(" "));
+    }
+
+    let _ = writeln!(out, ".graph");
+    let is_implicit = |p: modsyn_petri::PlaceId| {
+        net.place(p).fanin().len() == 1 && net.place(p).fanout().len() == 1
+    };
+
+    // Arcs through implicit places.
+    for p in net.place_ids() {
+        if is_implicit(p) {
+            let from = net.place(p).fanin()[0];
+            let to = net.place(p).fanout()[0];
+            let _ = writeln!(
+                out,
+                "{} {}",
+                net.transition(from).name(),
+                net.transition(to).name()
+            );
+        }
+    }
+    // Explicit places.
+    for p in net.place_ids() {
+        if is_implicit(p) {
+            continue;
+        }
+        let place = net.place(p);
+        if place.fanin().is_empty() && place.fanout().is_empty() {
+            continue;
+        }
+        for &t in place.fanin() {
+            let _ = writeln!(out, "{} {}", net.transition(t).name(), place.name());
+        }
+        for &t in place.fanout() {
+            let _ = writeln!(out, "{} {}", place.name(), net.transition(t).name());
+        }
+    }
+
+    // Marking.
+    let mut marks = Vec::new();
+    for p in net.place_ids() {
+        let tokens = net.place(p).initial_tokens();
+        for _ in 0..tokens {
+            if is_implicit(p) {
+                let from = net.place(p).fanin()[0];
+                let to = net.place(p).fanout()[0];
+                marks.push(format!(
+                    "<{},{}>",
+                    net.transition(from).name(),
+                    net.transition(to).name()
+                ));
+            } else {
+                marks.push(net.place(p).name().to_string());
+            }
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_g;
+    use modsyn_petri::ReachabilityOptions;
+
+    #[test]
+    fn round_trip_preserves_state_count() {
+        let src = "
+.model rt
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+/2
+c+ p1
+c+/2 p1
+p1 a-
+a- c-
+c- p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let text = write_g(&stg);
+        let again = parse_g(&text).unwrap();
+        let n1 = stg
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap()
+            .markings
+            .len();
+        let n2 = again
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap()
+            .markings
+            .len();
+        assert_eq!(n1, n2);
+        assert_eq!(stg.signal_count(), again.signal_count());
+    }
+
+    #[test]
+    fn writer_emits_sections() {
+        let stg = parse_g(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let text = write_g(&stg);
+        assert!(text.contains(".model m"));
+        assert!(text.contains(".inputs a"));
+        assert!(text.contains(".outputs b"));
+        assert!(text.contains(".marking { <b-,a+> }"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Build a custom asynchronous controller from scratch with the STG DSL
+//! and synthesise it.
+//!
+//! The controller is a small DMA-style engine: a request starts two
+//! concurrent activities (address latch and data strobe); when both finish
+//! the engine acknowledges, then performs a cleanup strobe before becoming
+//! idle again — the cleanup reuses the same strobe wire, which creates the
+//! CSC conflict the synthesiser must fix with a state signal.
+//!
+//! Run with: `cargo run -p modsyn-examples --example custom_controller`
+
+use modsyn::{synthesize, verify_logic, Method, SynthesisOptions};
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::{Frag, SignalKind, StgBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = StgBuilder::new("dma-engine");
+    let req = b.signal("req", SignalKind::Input)?;
+    let latch = b.signal("latch", SignalKind::Output)?;
+    let strobe = b.signal("strobe", SignalKind::Output)?;
+    let ack = b.signal("ack", SignalKind::Output)?;
+
+    let stg = b.cycle(Frag::seq([
+        Frag::rise(req),
+        Frag::par([
+            Frag::seq([Frag::rise(latch), Frag::fall(latch)]),
+            Frag::seq([Frag::rise(strobe), Frag::fall(strobe)]),
+        ]),
+        Frag::rise(ack),
+        Frag::fall(req),
+        // Cleanup strobe: same wire, second pulse per cycle.
+        Frag::rise(strobe),
+        Frag::fall(strobe),
+        Frag::fall(ack),
+    ]))?;
+    println!("built: {stg}");
+
+    let sg = derive(&stg, &DeriveOptions::default())?;
+    println!(
+        "state graph has {} states; CSC conflicts: {}",
+        sg.state_count(),
+        sg.csc_analysis().csc_pairs.len()
+    );
+
+    let report = synthesize(&stg, &SynthesisOptions::for_method(Method::Modular))?;
+    println!(
+        "inserted {} state signal(s); area {} literals",
+        report.inserted_signals(),
+        report.literals
+    );
+    for f in &report.functions {
+        println!("  {:8} = {}", f.name, f.sop);
+    }
+
+    // The library verifies internally, but the check is publicly available:
+    let final_graph = {
+        let sg = derive(&stg, &DeriveOptions::default())?;
+        let out = modsyn::modular_resolve(&sg, &modsyn::CscSolveOptions::default())?;
+        out.graph
+    };
+    let functions = modsyn::derive_logic(&final_graph)?;
+    assert!(verify_logic(&final_graph, &functions));
+    println!("verification: every function matches its implied value in every state");
+    Ok(())
+}

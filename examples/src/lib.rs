@@ -1,0 +1,3 @@
+//! Host package for the runnable examples in `examples/examples/`.
+//!
+//! Run one with e.g. `cargo run -p modsyn-examples --example quickstart`.

@@ -1,0 +1,3 @@
+//! Host package for the workspace-level integration tests in `tests/tests/`.
+//!
+//! Run them with `cargo test -p modsyn-tests`.

@@ -1,0 +1,109 @@
+//! Boundary and stress cases across crates.
+
+use modsyn_sg::{EdgeLabel, SgError, SignalMeta, StateGraph};
+use modsyn_stg::{parse_g, write_g, Polarity, SignalKind};
+
+fn meta(name: String) -> SignalMeta {
+    SignalMeta { name, kind: SignalKind::Output }
+}
+
+#[test]
+fn state_graph_supports_exactly_64_signals() {
+    let signals: Vec<SignalMeta> = (0..64).map(|i| meta(format!("s{i}"))).collect();
+    let mut sg = StateGraph::new(signals).unwrap();
+    assert_eq!(sg.full_mask(), u64::MAX);
+    let all_ones = sg.add_state(u64::MAX);
+    let all_but_top = sg.add_state(u64::MAX >> 1);
+    sg.add_edge(all_ones, all_but_top, EdgeLabel::Signal {
+        signal: 63,
+        polarity: Polarity::Fall,
+    });
+    assert!(sg.value(all_ones, 63));
+    assert!(!sg.value(all_but_top, 63));
+    assert_eq!(sg.code(all_ones) ^ sg.code(all_but_top), 1 << 63);
+    // 65 signals must be rejected.
+    let too_many: Vec<SignalMeta> = (0..65).map(|i| meta(format!("t{i}"))).collect();
+    assert!(matches!(
+        StateGraph::new(too_many),
+        Err(SgError::TooManySignals { requested: 65 })
+    ));
+}
+
+#[test]
+fn deep_instance_numbers_round_trip_through_g() {
+    // A signal with five pulses: instances up to /5.
+    let mut lines = String::from(".model inst\n.inputs a\n.outputs b\n.graph\n");
+    let mut prev = "a+".to_string();
+    for i in 1..=5 {
+        let (bp, bm) = if i == 1 {
+            ("b+".to_string(), "b-".to_string())
+        } else {
+            (format!("b+/{i}"), format!("b-/{i}"))
+        };
+        lines.push_str(&format!("{prev} {bp}\n{bp} {bm}\n"));
+        prev = bm;
+    }
+    lines.push_str(&format!("{prev} a-\na- a+\n.marking {{ <a-,a+> }}\n.end\n"));
+    let stg = parse_g(&lines).unwrap();
+    let b = stg.find_signal("b").unwrap();
+    assert_eq!(stg.transitions_of(b).len(), 10);
+    let again = parse_g(&write_g(&stg)).unwrap();
+    assert_eq!(again.transitions_of(again.find_signal("b").unwrap()).len(), 10);
+}
+
+#[test]
+fn empty_and_degenerate_graphs_are_handled() {
+    // A state graph with one state and no edges.
+    let mut sg = StateGraph::new(vec![meta("x".into())]).unwrap();
+    let s = sg.add_state(0);
+    sg.set_initial(s);
+    let analysis = sg.csc_analysis();
+    assert!(analysis.satisfies_csc());
+    assert!(analysis.satisfies_usc());
+    assert_eq!(analysis.lower_bound, 0);
+    // Hiding the only signal collapses to a single silent state.
+    let q = sg.hide_signals(&[0]).unwrap();
+    assert_eq!(q.graph.state_count(), 1);
+    assert_eq!(q.graph.signals().len(), 0);
+}
+
+#[test]
+fn sat_formula_with_many_variables_solves() {
+    use modsyn_sat::{solve, CnfFormula, Lit, SolverOptions, Var};
+    // A 2000-variable implication chain: forces all true.
+    let n = 2000;
+    let mut f = CnfFormula::new(n);
+    f.add_clause([Lit::positive(Var::new(0))]);
+    for i in 1..n {
+        f.add_clause([Lit::negative(Var::new(i - 1)), Lit::positive(Var::new(i))]);
+    }
+    let out = solve(&f, SolverOptions::default());
+    let model = out.model().expect("chain is satisfiable");
+    assert!(model.value(Var::new(n - 1)));
+}
+
+#[test]
+fn logic_cover_survives_wide_universes() {
+    use modsyn_logic::{minimize, Cover, Cube};
+    // 40 variables (beyond one cube word): f = x0 & x39.
+    let n = 40;
+    let on = Cover::from_cubes(n, vec![Cube::from_literals(n, &[(0, true), (39, true)])]);
+    let r = minimize(&on, &Cover::empty(n));
+    assert_eq!(r.cover.literal_count(), 2);
+    let mut values = vec![false; n];
+    values[0] = true;
+    values[39] = true;
+    assert!(r.cover.covers_minterm(&values));
+}
+
+#[test]
+fn every_benchmark_stg_is_live() {
+    use modsyn_petri::ReachabilityOptions;
+    for (name, stg) in modsyn_stg::benchmarks::all() {
+        let report = stg
+            .net()
+            .liveness(&ReachabilityOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.is_live(), "{name}: dead transitions {:?}", report.dead);
+    }
+}

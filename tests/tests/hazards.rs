@@ -1,0 +1,100 @@
+//! End-to-end hazard story: detection, gate-level manifestation, removal.
+
+use modsyn::{derive_logic, hazard_report, modular_resolve, remove_static_hazards, CscSolveOptions};
+use modsyn_logic::{simulate_cover, static_hazards, Cover, DelayModel};
+use modsyn_sg::{derive, DeriveOptions, EdgeLabel};
+use modsyn_stg::benchmarks;
+
+/// Adversarial delays for a hazardous transition `from -> to` on `cover`:
+/// cubes covering only the `from` endpoint (about to turn off) get the
+/// minimum delay, everything else the maximum — the worst case for a
+/// static-1 pulse.
+fn adversarial_delays(cover: &Cover, from: &[bool], to: &[bool]) -> DelayModel {
+    let and_delays = cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            if c.covers_minterm(from) && !c.covers_minterm(to) {
+                1
+            } else {
+                5
+            }
+        })
+        .collect();
+    DelayModel { and_delays, or_delay: 1 }
+}
+
+#[test]
+fn detected_hazards_manifest_and_removal_silences_them() {
+    let mut demonstrated = 0usize;
+    for name in ["wrdata", "pa", "vbe-ex1", "nouse"] {
+        let stg = benchmarks::by_name(name).unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let out = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
+        let functions = derive_logic(&out.graph).unwrap();
+        let n = out.graph.signals().len();
+        let vals =
+            |s: usize| (0..n).map(|i| out.graph.value(s, i)).collect::<Vec<bool>>();
+        let transitions: Vec<(Vec<bool>, Vec<bool>)> = out
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.label, EdgeLabel::Signal { .. }))
+            .map(|e| (vals(e.from), vals(e.to)))
+            .collect();
+
+        let repaired = remove_static_hazards(&out.graph, &functions);
+
+        for (f, fixed) in functions.iter().zip(&repaired) {
+            let report = static_hazards(f.sop.cover(), &transitions);
+            for (from, to) in &report.hazardous {
+                let delays = adversarial_delays(f.sop.cover(), from, to);
+                let steps = vec![(0u64, from.clone()), (100, to.clone())];
+                let before = simulate_cover(f.sop.cover(), &delays, &steps);
+                assert!(
+                    before.glitches >= 1,
+                    "{name}/{}: detected hazard did not manifest",
+                    f.name
+                );
+                demonstrated += 1;
+
+                // The repaired cover on the same transition, with the same
+                // adversarial policy applied to its own cubes.
+                let delays = adversarial_delays(fixed.sop.cover(), from, to);
+                let after = simulate_cover(fixed.sop.cover(), &delays, &steps);
+                assert_eq!(
+                    after.glitches, 0,
+                    "{name}/{}: hazard survived removal",
+                    f.name
+                );
+            }
+        }
+    }
+    assert!(
+        demonstrated >= 1,
+        "expected at least one hazardous transition across the sample"
+    );
+}
+
+#[test]
+fn hazard_free_results_stay_clean_under_any_single_step() {
+    // After removal, every specification transition of every function is
+    // glitch-free under the adversarial delay policy.
+    let stg = benchmarks::wrdata();
+    let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+    let out = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
+    let functions = derive_logic(&out.graph).unwrap();
+    let repaired = remove_static_hazards(&out.graph, &functions);
+    let n = out.graph.signals().len();
+    let vals = |s: usize| (0..n).map(|i| out.graph.value(s, i)).collect::<Vec<bool>>();
+
+    for f in &repaired {
+        for e in out.graph.edges() {
+            let (from, to) = (vals(e.from), vals(e.to));
+            let delays = adversarial_delays(f.sop.cover(), &from, &to);
+            let steps = vec![(0u64, from), (100, to)];
+            let trace = simulate_cover(f.sop.cover(), &delays, &steps);
+            assert_eq!(trace.glitches, 0, "{}", f.name);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the two-level minimiser.
+
+use modsyn_logic::{complement, is_tautology, minimize, Cover, Cube};
+use proptest::prelude::*;
+
+/// Strategy: a random cover over `n` variables.
+fn cover_strategy(n: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u8..3, n..=n),
+        0..8,
+    )
+    .prop_map(move |rows| {
+        let cubes = rows.into_iter().map(|row| {
+            let mut c = Cube::full(n);
+            for (v, &code) in row.iter().enumerate() {
+                match code {
+                    0 => c.set_literal(v, Some(false)),
+                    1 => c.set_literal(v, Some(true)),
+                    _ => {}
+                }
+            }
+            c
+        });
+        Cover::from_cubes(n, cubes)
+    })
+}
+
+fn minterms(n: usize) -> Vec<Vec<bool>> {
+    (0u32..(1 << n))
+        .map(|bits| (0..n).map(|v| bits >> v & 1 == 1).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minimize_preserves_semantics(on in cover_strategy(4)) {
+        let dc = Cover::empty(4);
+        let r = minimize(&on, &dc);
+        for m in minterms(4) {
+            prop_assert_eq!(
+                r.cover.covers_minterm(&m),
+                on.covers_minterm(&m),
+                "differs on {:?}", m
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_never_increases_cost(on in cover_strategy(4)) {
+        let r = minimize(&on, &Cover::empty(4));
+        prop_assert!(r.cover.cube_count() <= on.cube_count().max(1));
+        prop_assert!(r.cover.literal_count() <= on.literal_count());
+    }
+
+    #[test]
+    fn minimize_result_is_prime_and_irredundant(on in cover_strategy(4)) {
+        let dc = Cover::empty(4);
+        let r = minimize(&on, &dc);
+        let off = complement(&on.union(&dc));
+        for (i, c) in r.cover.cubes().iter().enumerate() {
+            // Prime: raising any literal hits the OFF-set.
+            for (v, _) in c.literals() {
+                let mut raised = c.clone();
+                raised.set_literal(v, None);
+                prop_assert!(
+                    off.cubes().iter().any(|oc| oc.intersects(&raised)),
+                    "cube {} not prime", c
+                );
+            }
+            // Irredundant: dropping the cube loses coverage.
+            let rest = Cover::from_cubes(
+                4,
+                r.cover
+                    .cubes()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, x)| x.clone()),
+            );
+            prop_assert!(!rest.covers_cube(c), "cube {} redundant", c);
+        }
+    }
+
+    #[test]
+    fn complement_is_exact(f in cover_strategy(4)) {
+        let g = complement(&f);
+        for m in minterms(4) {
+            prop_assert_ne!(f.covers_minterm(&m), g.covers_minterm(&m));
+        }
+    }
+
+    #[test]
+    fn tautology_matches_brute_force(f in cover_strategy(4)) {
+        let brute = minterms(4).iter().all(|m| f.covers_minterm(m));
+        prop_assert_eq!(is_tautology(&f), brute);
+    }
+
+    #[test]
+    fn dont_cares_only_shrink_cost(on in cover_strategy(4), dc in cover_strategy(4)) {
+        // Remove overlap so ON and DC are disjoint.
+        let dc = Cover::from_cubes(
+            4,
+            dc.cubes()
+                .iter()
+                .filter(|c| !on.cubes().iter().any(|oc| oc.intersects(c)))
+                .cloned(),
+        );
+        let plain = minimize(&on, &Cover::empty(4));
+        let with_dc = minimize(&on, &dc);
+        prop_assert!(with_dc.cover.literal_count() <= plain.cover.literal_count());
+        // Result stays within ON ∪ DC and covers ON.
+        let allowed = on.union(&dc);
+        for m in minterms(4) {
+            if on.covers_minterm(&m) {
+                prop_assert!(with_dc.cover.covers_minterm(&m));
+            }
+            if with_dc.cover.covers_minterm(&m) {
+                prop_assert!(allowed.covers_minterm(&m));
+            }
+        }
+    }
+}

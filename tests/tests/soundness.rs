@@ -1,0 +1,90 @@
+//! Theorem-level soundness checks of the insertion machinery.
+
+use modsyn::{modular_resolve, CscSolveOptions};
+use modsyn_sg::{bisimilar, derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+/// The paper's behaviour-conservation property: inserting state signals and
+/// then hiding them again leaves the observable behaviour unchanged — the
+/// quotient of the expanded graph by the inserted signals is bisimilar to
+/// the original state graph.
+#[test]
+fn insertion_conserves_observable_behaviour() {
+    for name in [
+        "vbe-ex1",
+        "vbe-ex2",
+        "sendr-done",
+        "nousc-ser",
+        "nouse",
+        "fifo",
+        "wrdata",
+        "pa",
+        "atod",
+        "sbuf-read-ctl",
+        "sbuf-send-ctl",
+        "alloc-outbound",
+        "alex-nonfc",
+        "nak-pa",
+        "pe-rcv-ifc-fc",
+    ] {
+        let stg = benchmarks::by_name(name).unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let out = modular_resolve(&sg, &CscSolveOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inserted: Vec<usize> = out
+            .inserted
+            .iter()
+            .map(|n| out.graph.signal_index(n).expect("inserted signal exists"))
+            .collect();
+        let hidden = out.graph.hide_signals(&inserted).unwrap();
+        assert!(
+            bisimilar(&hidden.graph, &sg),
+            "{name}: expansion + hiding is not behaviour-preserving"
+        );
+    }
+}
+
+/// Hiding the inserted signals must also give back exactly the original
+/// state count (the split copies re-merge along the inserted edges).
+#[test]
+fn hiding_inserted_signals_restores_the_state_count() {
+    for name in ["vbe-ex1", "nouse", "wrdata", "fifo"] {
+        let stg = benchmarks::by_name(name).unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let out = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
+        let inserted: Vec<usize> = out
+            .inserted
+            .iter()
+            .map(|n| out.graph.signal_index(n).unwrap())
+            .collect();
+        let hidden = out.graph.hide_signals(&inserted).unwrap();
+        assert_eq!(hidden.graph.state_count(), sg.state_count(), "{name}");
+        assert_eq!(hidden.graph.edge_count(), sg.edge_count(), "{name}");
+    }
+}
+
+/// The min-area (BDD) flow must preserve behaviour exactly like the SAT
+/// flow.
+#[test]
+fn min_area_flow_is_also_behaviour_preserving() {
+    // The mmu0 BDD build is release-speed only; debug runs cover the
+    // smaller rows.
+    let names: &[&str] = if cfg!(debug_assertions) {
+        &["nak-pa", "fifo"]
+    } else {
+        &["mmu0", "nak-pa", "fifo"]
+    };
+    for &name in names {
+        let stg = benchmarks::by_name(name).unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let options = CscSolveOptions { min_area: true, ..Default::default() };
+        let out = modular_resolve(&sg, &options).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inserted: Vec<usize> = out
+            .inserted
+            .iter()
+            .map(|n| out.graph.signal_index(n).unwrap())
+            .collect();
+        let hidden = out.graph.hide_signals(&inserted).unwrap();
+        assert!(bisimilar(&hidden.graph, &sg), "{name}");
+    }
+}

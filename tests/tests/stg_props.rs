@@ -1,0 +1,137 @@
+//! Property-based tests: randomly generated STGs keep the library's
+//! invariants.
+
+use modsyn_sg::{derive, DeriveOptions, EdgeLabel};
+use modsyn_stg::{Frag, SignalId, SignalKind, Stg, StgBuilder};
+use proptest::prelude::*;
+
+/// A compact recipe for a random but well-formed cyclic STG: a sequence of
+/// "phases"; each phase either pulses one output, runs a full handshake, or
+/// forks two pulses in parallel.
+#[derive(Debug, Clone)]
+enum Phase {
+    Pulse(u8),
+    Handshake(u8, u8),
+    ParPulses(u8, u8),
+}
+
+fn phase_strategy(signals: u8) -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        (0..signals).prop_map(Phase::Pulse),
+        (0..signals, 0..signals).prop_map(|(a, b)| Phase::Handshake(a, b)),
+        (0..signals, 0..signals).prop_map(|(a, b)| Phase::ParPulses(a, b)),
+    ]
+}
+
+fn build(phases: &[Phase], signals: u8) -> Option<Stg> {
+    let mut b = StgBuilder::new("random");
+    let ids: Vec<SignalId> = (0..signals)
+        .map(|i| {
+            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            b.signal(format!("s{i}"), kind).expect("unique names")
+        })
+        .collect();
+    let pulse = |s: u8| Frag::seq([Frag::rise(ids[s as usize]), Frag::fall(ids[s as usize])]);
+    // Exercise every signal once so initial values are always inferable.
+    let mut frags: Vec<Frag> = (0..signals).map(pulse).collect();
+    for p in phases {
+        match *p {
+            Phase::Pulse(a) => frags.push(pulse(a % signals)),
+            Phase::Handshake(a, b) => {
+                let (a, b) = (a % signals, b % signals);
+                if a == b {
+                    frags.push(pulse(a));
+                } else {
+                    frags.push(Frag::seq([
+                        Frag::rise(ids[a as usize]),
+                        Frag::rise(ids[b as usize]),
+                        Frag::fall(ids[a as usize]),
+                        Frag::fall(ids[b as usize]),
+                    ]));
+                }
+            }
+            Phase::ParPulses(a, b) => {
+                let (a, b) = (a % signals, b % signals);
+                if a == b {
+                    frags.push(pulse(a));
+                } else {
+                    frags.push(Frag::seq([
+                        Frag::par([pulse(a), pulse(b)]),
+                        pulse((a + 1) % signals),
+                    ]));
+                }
+            }
+        }
+    }
+    b.cycle(Frag::seq(frags)).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_stgs_derive_consistent_state_graphs(
+        phases in proptest::collection::vec(phase_strategy(4), 1..5)
+    ) {
+        let Some(stg) = build(&phases, 4) else { return Ok(()) };
+        let sg = derive(&stg, &DeriveOptions::default()).expect("DSL output is consistent");
+        prop_assert!(sg.state_count() >= 2);
+        // Every edge flips exactly its signal's bit.
+        for e in sg.edges() {
+            let EdgeLabel::Signal { signal, polarity } = e.label else {
+                panic!("no dummies generated");
+            };
+            prop_assert_eq!(sg.value(e.from, signal), polarity.value_before());
+            prop_assert_eq!(sg.code(e.from) ^ sg.code(e.to), 1u64 << signal);
+        }
+    }
+
+    #[test]
+    fn hiding_signals_never_grows_the_graph(
+        phases in proptest::collection::vec(phase_strategy(4), 1..5),
+        hide_mask in 0u8..16,
+    ) {
+        let Some(stg) = build(&phases, 4) else { return Ok(()) };
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let hidden: Vec<usize> =
+            (0..4).filter(|i| hide_mask >> i & 1 == 1).collect();
+        let q = sg.hide_signals(&hidden).unwrap();
+        prop_assert!(q.graph.state_count() <= sg.state_count());
+        prop_assert!(q.graph.edge_count() <= sg.edge_count());
+        // The cover map is total and lands in range.
+        prop_assert_eq!(q.state_map.len(), sg.state_count());
+        for &m in &q.state_map {
+            prop_assert!(m < q.graph.state_count());
+        }
+        // Codes restrict faithfully.
+        for s in 0..sg.state_count() {
+            for (orig, mapped) in q.signal_map.iter().enumerate() {
+                if let Some(new) = mapped {
+                    prop_assert_eq!(
+                        sg.value(s, orig),
+                        q.graph.value(q.state_map[s], *new)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modular_synthesis_handles_random_solvable_stgs(
+        phases in proptest::collection::vec(phase_strategy(3), 1..4)
+    ) {
+        let Some(stg) = build(&phases, 3) else { return Ok(()) };
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let analysis = sg.csc_analysis();
+        // Only exercise instances the theory says are solvable.
+        if !sg.unresolvable_csc_pairs(&analysis).is_empty() {
+            return Ok(());
+        }
+        let out = modsyn::modular_resolve(&sg, &modsyn::CscSolveOptions::default());
+        if let Ok(out) = out {
+            prop_assert!(out.graph.csc_analysis().satisfies_csc());
+            let functions = modsyn::derive_logic(&out.graph).unwrap();
+            prop_assert!(modsyn::verify_logic(&out.graph, &functions));
+        }
+    }
+}
