@@ -71,6 +71,28 @@ pub fn build_from_cnf(manager: &mut BddManager, formula: &CnfFormula) -> Result<
     Ok(layer[0])
 }
 
+/// [`build_from_cnf`] wrapped in a `bdd.build` observability span recording
+/// the formula size and the manager's node count afterwards. With a disabled
+/// tracer this is exactly [`build_from_cnf`].
+pub fn build_from_cnf_traced(
+    manager: &mut BddManager,
+    formula: &CnfFormula,
+    tracer: &modsyn_obs::Tracer,
+) -> Result<Bdd, BddError> {
+    if !tracer.is_enabled() {
+        return build_from_cnf(manager, formula);
+    }
+    let _span = tracer.span("bdd.build");
+    tracer.gauge("vars", formula.num_vars() as f64);
+    tracer.gauge("clauses", formula.clause_count() as f64);
+    let result = build_from_cnf(manager, formula);
+    tracer.gauge("nodes", manager.node_count() as f64);
+    if result.is_err() {
+        tracer.note("error", "node budget exceeded");
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,8 +43,13 @@ mod tests {
 
     #[test]
     fn display_mentions_numbers() {
-        assert!(BddError::NodeBudgetExceeded { budget: 7 }.to_string().contains('7'));
-        let e = BddError::VariableOutOfRange { variable: 9, declared: 2 };
+        assert!(BddError::NodeBudgetExceeded { budget: 7 }
+            .to_string()
+            .contains('7'));
+        let e = BddError::VariableOutOfRange {
+            variable: 9,
+            declared: 2,
+        };
         assert!(e.to_string().contains('9'));
     }
 }

@@ -36,6 +36,6 @@ mod error;
 mod manager;
 mod sat_ops;
 
-pub use cnf::build_from_cnf;
+pub use cnf::{build_from_cnf, build_from_cnf_traced};
 pub use error::BddError;
 pub use manager::{Bdd, BddManager};

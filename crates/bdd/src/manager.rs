@@ -47,7 +47,11 @@ impl BddManager {
     /// Creates a manager with an explicit node budget; operations that
     /// would exceed it fail with [`BddError::NodeBudgetExceeded`].
     pub fn with_budget(num_vars: usize, node_budget: usize) -> Self {
-        let terminal = |var| Node { var, lo: FALSE, hi: FALSE };
+        let terminal = |var| Node {
+            var,
+            lo: FALSE,
+            hi: FALSE,
+        };
         BddManager {
             num_vars,
             // Index 0 = FALSE terminal, 1 = TRUE terminal (children unused).
@@ -89,7 +93,9 @@ impl BddManager {
             return Ok(id);
         }
         if self.nodes.len() >= self.node_budget {
-            return Err(BddError::NodeBudgetExceeded { budget: self.node_budget });
+            return Err(BddError::NodeBudgetExceeded {
+                budget: self.node_budget,
+            });
         }
         let id = Bdd(self.nodes.len() as u32);
         self.nodes.push(node);
@@ -104,7 +110,10 @@ impl BddManager {
     /// [`BddError::VariableOutOfRange`] if `i >= num_vars`.
     pub fn var(&mut self, i: usize) -> Result<Bdd, BddError> {
         if i >= self.num_vars {
-            return Err(BddError::VariableOutOfRange { variable: i, declared: self.num_vars });
+            return Err(BddError::VariableOutOfRange {
+                variable: i,
+                declared: self.num_vars,
+            });
         }
         self.mk(i as u32, FALSE, TRUE)
     }
@@ -116,7 +125,10 @@ impl BddManager {
     /// [`BddError::VariableOutOfRange`] if `i >= num_vars`.
     pub fn nvar(&mut self, i: usize) -> Result<Bdd, BddError> {
         if i >= self.num_vars {
-            return Err(BddError::VariableOutOfRange { variable: i, declared: self.num_vars });
+            return Err(BddError::VariableOutOfRange {
+                variable: i,
+                declared: self.num_vars,
+            });
         }
         self.mk(i as u32, TRUE, FALSE)
     }
@@ -253,7 +265,10 @@ impl BddManager {
     /// Propagates the node budget and variable range.
     pub fn restrict(&mut self, f: Bdd, i: usize, value: bool) -> Result<Bdd, BddError> {
         if i >= self.num_vars {
-            return Err(BddError::VariableOutOfRange { variable: i, declared: self.num_vars });
+            return Err(BddError::VariableOutOfRange {
+                variable: i,
+                declared: self.num_vars,
+            });
         }
         self.restrict_inner(f, i as u32, value, &mut HashMap::new())
     }
@@ -274,7 +289,11 @@ impl BddManager {
         let var = self.var_of(f);
         let (lo, hi) = self.children(f);
         let r = if var == i {
-            if value { hi } else { lo }
+            if value {
+                hi
+            } else {
+                lo
+            }
         } else {
             let nlo = self.restrict_inner(lo, i, value, cache)?;
             let nhi = self.restrict_inner(hi, i, value, cache)?;

@@ -39,8 +39,8 @@ impl BddManager {
             };
             cv - var - 1
         };
-        let total = (self.count_inner(lo, cache) << gap(lo))
-            + (self.count_inner(hi, cache) << gap(hi));
+        let total =
+            (self.count_inner(lo, cache) << gap(lo)) + (self.count_inner(hi, cache) << gap(hi));
         cache.insert(f, total);
         total
     }
@@ -146,10 +146,16 @@ impl BddManager {
         while !self.is_terminal(cur) {
             let (var, lo, hi) = self.node(cur);
             let (c0, c1) = costs[var as usize];
-            let lo_cost = c0 + skipped(var + 1, lo)
-                + *best.get(&lo).unwrap_or(&if lo == self.one() { 0.0 } else { f64::INFINITY });
-            let hi_cost = c1 + skipped(var + 1, hi)
-                + *best.get(&hi).unwrap_or(&if hi == self.one() { 0.0 } else { f64::INFINITY });
+            let lo_cost = c0
+                + skipped(var + 1, lo)
+                + *best
+                    .get(&lo)
+                    .unwrap_or(&if lo == self.one() { 0.0 } else { f64::INFINITY });
+            let hi_cost = c1
+                + skipped(var + 1, hi)
+                + *best
+                    .get(&hi)
+                    .unwrap_or(&if hi == self.one() { 0.0 } else { f64::INFINITY });
             if lo_cost <= hi_cost {
                 assignment[var as usize] = false;
                 cur = lo;
@@ -243,8 +249,9 @@ mod tests {
                 let b = lit((next() % n as u64) as usize, next() % 2 == 0);
                 f.add_clause([a, b]);
             }
-            let costs: Vec<(f64, f64)> =
-                (0..n).map(|_| ((next() % 7) as f64, (next() % 7) as f64)).collect();
+            let costs: Vec<(f64, f64)> = (0..n)
+                .map(|_| ((next() % 7) as f64, (next() % 7) as f64))
+                .collect();
             let mut m = BddManager::new(n);
             let bdd = build_from_cnf(&mut m, &f).unwrap();
             let Some(got) = m.min_cost_sat(bdd, &costs) else {

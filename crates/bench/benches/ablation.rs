@@ -2,9 +2,7 @@
 //! modular formula set vs the single direct formula, per benchmark.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use modsyn::{
-    determine_input_set, encode_csc, modular_resolve, CscSolveOptions,
-};
+use modsyn::{determine_input_set, encode_csc, modular_resolve, CscSolveOptions};
 use modsyn_sat::{Solver, SolverOptions};
 use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
@@ -51,5 +49,9 @@ fn bench_modular_vs_direct_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_input_set_derivation, bench_modular_vs_direct_solve);
+criterion_group!(
+    benches,
+    bench_input_set_derivation,
+    bench_modular_vs_direct_solve
+);
 criterion_main!(benches);

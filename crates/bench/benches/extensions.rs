@@ -20,8 +20,7 @@ fn bench_bdd(c: &mut Criterion) {
         let encoding = encode_csc(&sg, &analysis, m);
         group.bench_function(format!("build+mincost/{name}"), |b| {
             b.iter(|| {
-                let mut mgr =
-                    BddManager::with_budget(encoding.formula.num_vars(), 2_000_000);
+                let mut mgr = BddManager::with_budget(encoding.formula.num_vars(), 2_000_000);
                 let bdd = build_from_cnf(&mut mgr, &encoding.formula).expect("fits");
                 let costs = vec![(0.0, 1.0); encoding.formula.num_vars()];
                 mgr.min_cost_sat(bdd, &costs)

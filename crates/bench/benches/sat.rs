@@ -33,9 +33,7 @@ fn bench_csc_encodings(c: &mut Criterion) {
         let analysis = sg.csc_analysis();
         let encoding = encode_csc(&sg, &analysis, analysis.lower_bound.max(1));
         group.bench_function(format!("cdcl/{name}"), |b| {
-            b.iter(|| {
-                Solver::new(&encoding.formula, SolverOptions::default()).solve()
-            })
+            b.iter(|| Solver::new(&encoding.formula, SolverOptions::default()).solve())
         });
     }
     group.finish();

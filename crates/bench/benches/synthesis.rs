@@ -18,7 +18,16 @@ fn options(method: Method) -> SynthesisOptions {
 fn bench_modular(c: &mut Criterion) {
     let mut group = c.benchmark_group("modular");
     group.sample_size(10);
-    for name in ["vbe-ex1", "nouse", "wrdata", "atod", "ram-read-sbuf", "mmu1", "mmu0", "mr0"] {
+    for name in [
+        "vbe-ex1",
+        "nouse",
+        "wrdata",
+        "atod",
+        "ram-read-sbuf",
+        "mmu1",
+        "mmu0",
+        "mr0",
+    ] {
         let stg = benchmarks::by_name(name).expect("known");
         group.bench_function(name, |b| {
             b.iter(|| synthesize(&stg, &options(Method::Modular)).expect("modular solves"))
@@ -32,7 +41,14 @@ fn bench_direct(c: &mut Criterion) {
     group.sample_size(10);
     // Rows the direct method solves within the Table-1 limit; the aborting
     // rows (mr0/mr1/mmu0) are measured by time-to-abort in `table1`.
-    for name in ["vbe-ex1", "nouse", "wrdata", "atod", "ram-read-sbuf", "mmu1"] {
+    for name in [
+        "vbe-ex1",
+        "nouse",
+        "wrdata",
+        "atod",
+        "ram-read-sbuf",
+        "mmu1",
+    ] {
         let stg = benchmarks::by_name(name).expect("known");
         group.bench_function(name, |b| {
             b.iter(|| synthesize(&stg, &options(Method::Direct)).expect("direct solves"))

@@ -8,13 +8,18 @@
 //!   minimum-excitation model (the paper conclusion's area refinement).
 //!
 //! Run with: `cargo run -p modsyn-bench --release --bin ablation`
+//!
+//! The A1 (formula sizes) and A3 (assignment extraction) measurements are
+//! also written as machine-readable records to `BENCH_ablation.json`.
 
 use modsyn::{encode_csc, modular_resolve, synthesize, CscSolveOptions, Method, SynthesisOptions};
+use modsyn_obs::Json;
 use modsyn_sat::{Heuristic, Outcome, Solver, SolverOptions};
 use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
 
 fn main() {
+    let mut a1_records: Vec<Json> = Vec::new();
     println!("A1: decomposition ablation — largest SAT instance solved\n");
     println!(
         "{:<16} {:>14} {:>14} {:>8}",
@@ -30,14 +35,34 @@ fn main() {
             .ok()
             .and_then(|o| o.formulas.iter().map(|f| f.clauses).max());
         match largest {
-            Some(c) => println!(
-                "{:<16} {:>14} {:>14} {:>7.1}x",
-                name,
-                c,
-                direct.formula.clause_count(),
-                direct.formula.clause_count() as f64 / c.max(1) as f64
-            ),
-            None => println!("{name:<16} {:>14} {:>14}", "-", direct.formula.clause_count()),
+            Some(c) => {
+                let ratio = direct.formula.clause_count() as f64 / c.max(1) as f64;
+                println!(
+                    "{:<16} {:>14} {:>14} {:>7.1}x",
+                    name,
+                    c,
+                    direct.formula.clause_count(),
+                    ratio
+                );
+                a1_records.push(Json::obj([
+                    ("benchmark", Json::from(name)),
+                    ("modular_largest_clauses", Json::from(c)),
+                    ("direct_clauses", Json::from(direct.formula.clause_count())),
+                    ("ratio", Json::from(ratio)),
+                ]));
+            }
+            None => {
+                println!(
+                    "{name:<16} {:>14} {:>14}",
+                    "-",
+                    direct.formula.clause_count()
+                );
+                a1_records.push(Json::obj([
+                    ("benchmark", Json::from(name)),
+                    ("modular_largest_clauses", Json::Null),
+                    ("direct_clauses", Json::from(direct.formula.clause_count())),
+                ]));
+            }
         }
     }
 
@@ -87,10 +112,18 @@ fn main() {
         "STG", "so-terms", "shared-terms", "so-lits", "shared-lits"
     );
     for (name, stg) in benchmarks::all() {
-        let Ok(sg) = derive(&stg, &DeriveOptions::default()) else { continue };
-        let Ok(out) = modular_resolve(&sg, &CscSolveOptions::default()) else { continue };
-        let Ok(functions) = modsyn::derive_logic(&out.graph) else { continue };
-        let Ok((shared, _)) = modsyn::derive_logic_shared(&out.graph) else { continue };
+        let Ok(sg) = derive(&stg, &DeriveOptions::default()) else {
+            continue;
+        };
+        let Ok(out) = modular_resolve(&sg, &CscSolveOptions::default()) else {
+            continue;
+        };
+        let Ok(functions) = modsyn::derive_logic(&out.graph) else {
+            continue;
+        };
+        let Ok((shared, _)) = modsyn::derive_logic_shared(&out.graph) else {
+            continue;
+        };
         let so_terms: usize = functions.iter().map(|f| f.sop.cover().cube_count()).sum();
         let so_lits: usize = functions.iter().map(|f| f.literals).sum();
         println!(
@@ -103,14 +136,39 @@ fn main() {
         );
     }
 
-    println!("\nA3: assignment extraction — SAT first-model vs BDD minimum-excitation (literals)\n");
-    println!("{:<16} {:>10} {:>14} {:>8}", "STG", "sat-pick", "bdd-min-area", "delta");
+    println!(
+        "\nA3: assignment extraction — SAT first-model vs BDD minimum-excitation (literals)\n"
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>8}",
+        "STG", "sat-pick", "bdd-min-area", "delta"
+    );
+    let mut a3_records: Vec<Json> = Vec::new();
     for (name, stg) in benchmarks::all() {
         let a = synthesize(&stg, &SynthesisOptions::for_method(Method::Modular));
         let b = synthesize(&stg, &SynthesisOptions::for_method(Method::ModularMinArea));
         if let (Ok(a), Ok(b)) = (a, b) {
             let delta = b.literals as i64 - a.literals as i64;
-            println!("{:<16} {:>10} {:>14} {:>+8}", name, a.literals, b.literals, delta);
+            println!(
+                "{:<16} {:>10} {:>14} {:>+8}",
+                name, a.literals, b.literals, delta
+            );
+            a3_records.push(Json::obj([
+                ("benchmark", Json::from(name)),
+                ("sat_pick_literals", Json::from(a.literals)),
+                ("bdd_min_area_literals", Json::from(b.literals)),
+                ("delta", Json::from(delta)),
+            ]));
         }
+    }
+
+    let json = Json::obj([
+        ("version", Json::from(1u64)),
+        ("a1_decomposition", Json::Arr(a1_records)),
+        ("a3_assignment_extraction", Json::Arr(a3_records)),
+    ]);
+    match std::fs::write("BENCH_ablation.json", json.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_ablation.json"),
+        Err(e) => eprintln!("error: cannot write BENCH_ablation.json: {e}"),
     }
 }

@@ -9,8 +9,10 @@
 
 use modsyn_bench::{run_table, Measured, TABLE1_BACKTRACK_LIMIT};
 
-fn improvement(rows: &[(&str, Measured, Measured, Measured)], pick: impl Fn(&(
-    &str, Measured, Measured, Measured)) -> (Option<usize>, Option<usize>)) -> (f64, usize) {
+fn improvement(
+    rows: &[(&str, Measured, Measured, Measured)],
+    pick: impl Fn(&(&str, Measured, Measured, Measured)) -> (Option<usize>, Option<usize>),
+) -> (f64, usize) {
     let mut total = 0.0f64;
     let mut counted = 0usize;
     for row in rows {
@@ -22,7 +24,14 @@ fn improvement(rows: &[(&str, Measured, Measured, Measured)], pick: impl Fn(&(
             }
         }
     }
-    (if counted > 0 { 100.0 * total / counted as f64 } else { 0.0 }, counted)
+    (
+        if counted > 0 {
+            100.0 * total / counted as f64
+        } else {
+            0.0
+        },
+        counted,
+    )
 }
 
 fn main() {
@@ -33,7 +42,10 @@ fn main() {
     let rows = run_table(limit);
 
     println!("two-level area (literals of the prime-irredundant cover):\n");
-    println!("{:<16} {:>8} {:>8} {:>8}", "STG", "modular", "direct", "lavagno");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "STG", "modular", "direct", "lavagno"
+    );
     for (name, m, d, l) in &rows {
         println!(
             "{:<16} {:>8} {:>8} {:>8}",
@@ -44,10 +56,8 @@ fn main() {
         );
     }
 
-    let (vs_direct, n_direct) =
-        improvement(&rows, |(_, m, d, _)| (m.literals(), d.literals()));
-    let (vs_lavagno, n_lavagno) =
-        improvement(&rows, |(_, m, _, l)| (m.literals(), l.literals()));
+    let (vs_direct, n_direct) = improvement(&rows, |(_, m, d, _)| (m.literals(), d.literals()));
+    let (vs_lavagno, n_lavagno) = improvement(&rows, |(_, m, _, l)| (m.literals(), l.literals()));
     println!(
         "\naverage area improvement vs direct:  {vs_direct:+.1}% over {n_direct} comparable rows (paper: 12%)"
     );

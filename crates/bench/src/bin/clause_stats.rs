@@ -13,7 +13,9 @@ use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mmu0".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mmu0".to_string());
     let Some(stg) = benchmarks::by_name(&name) else {
         eprintln!("unknown benchmark {name:?}");
         std::process::exit(1);
@@ -56,7 +58,5 @@ fn main() {
 
     let largest_module = out.formulas.iter().map(|f| f.clauses).max().unwrap_or(0);
     let ratio = direct.formula.clause_count() as f64 / largest_module.max(1) as f64;
-    println!(
-        "\nlargest modular formula is {ratio:.1}x smaller than the direct formula"
-    );
+    println!("\nlargest modular formula is {ratio:.1}x smaller than the direct formula");
 }

@@ -5,14 +5,21 @@
 //! and prints our measurement next to the paper's number.
 //!
 //! Run with: `cargo run -p modsyn-bench --release --bin table1 [limit]`
+//!
+//! Besides the text table, writes every measurement as machine-readable
+//! records to `BENCH_table1.json` in the current directory.
 
 use modsyn_bench::{
-    paper_row, run_table, Measured, PaperOutcome, TABLE1_BACKTRACK_LIMIT,
+    paper_row, run_table, table1_json, Measured, PaperOutcome, TABLE1_BACKTRACK_LIMIT,
 };
 
 fn paper_cell(outcome: &PaperOutcome) -> String {
     match outcome {
-        PaperOutcome::Solved { final_signals, literals, cpu } => {
+        PaperOutcome::Solved {
+            final_signals,
+            literals,
+            cpu,
+        } => {
             format!("{final_signals} sig / {literals} lit / {cpu}s")
         }
         PaperOutcome::BacktrackLimit { cpu: Some(c) } => format!("SAT Backtrack Limit ({c}s)"),
@@ -31,7 +38,12 @@ fn main() {
     println!("Table 1 reproduction (backtrack limit {limit}); paper values in parentheses.\n");
     println!(
         "{:<16} {:>6} {:>4} | {:<44} | {:<44} | {:<44}",
-        "STG", "states", "sig", "Our Method (Decomposition)", "Vanbekbergen et al. (No Decomposition)", "Lavagno and Moon et al."
+        "STG",
+        "states",
+        "sig",
+        "Our Method (Decomposition)",
+        "Vanbekbergen et al. (No Decomposition)",
+        "Lavagno and Moon et al."
     );
     println!("{}", "-".repeat(170));
 
@@ -43,7 +55,13 @@ fn main() {
             name,
             paper.initial_states,
             paper.initial_signals,
-            format!("{} ({} sig / {} lit / {}s)", modular.cell(), paper.ours.1, paper.ours.2, paper.ours.3),
+            format!(
+                "{} ({} sig / {} lit / {}s)",
+                modular.cell(),
+                paper.ours.1,
+                paper.ours.2,
+                paper.ours.3
+            ),
             format!("{} ({})", direct.cell(), paper_cell(&paper.direct)),
             format!("{} ({})", lavagno.cell(), paper_cell(&paper.lavagno)),
         );
@@ -69,17 +87,23 @@ fn main() {
         .filter(|(_, _, d, _)| matches!(d, Measured::BacktrackLimit { .. }))
         .map(|(n, ..)| *n)
         .collect();
-    println!("  direct aborted on: {direct_aborts:?} (paper: [\"mr0\", \"mr1\", \"mmu0\", \"mmu1\"])");
+    println!(
+        "  direct aborted on: {direct_aborts:?} (paper: [\"mr0\", \"mr1\", \"mmu0\", \"mmu1\"])"
+    );
     let lavagno_errors: Vec<(&str, String)> = rows
         .iter()
         .filter_map(|(n, _, _, l)| match l {
-            Measured::NotFreeChoice | Measured::StateSplittingRequired => {
-                Some((*n, l.cell()))
-            }
+            Measured::NotFreeChoice | Measured::StateSplittingRequired => Some((*n, l.cell())),
             _ => None,
         })
         .collect();
     println!(
         "  lavagno-style rejections: {lavagno_errors:?} (paper: alex-nonfc non-FC; mmu0, pa internal state error)"
     );
+
+    let json = table1_json(limit, &rows);
+    match std::fs::write("BENCH_table1.json", json.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_table1.json ({} records)", 3 * rows.len()),
+        Err(e) => eprintln!("error: cannot write BENCH_table1.json: {e}"),
+    }
 }

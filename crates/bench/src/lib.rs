@@ -5,8 +5,9 @@
 //! benchmark × method with the standard limits; [`run_table`] produces the
 //! whole comparison.
 
-use modsyn::{synthesize, Method, SynthesisError, SynthesisOptions};
-use modsyn_sat::SolverOptions;
+use modsyn::{synthesize, FormulaStat, Method, SynthesisError, SynthesisOptions};
+use modsyn_obs::Json;
+use modsyn_sat::{SolverOptions, SolverStats};
 use modsyn_stg::benchmarks;
 
 /// A comparator's result for one Table-1 row as printed in the paper.
@@ -53,29 +54,346 @@ use PaperOutcome::{BacktrackLimit, InternalStateError, NonFreeChoice, Solved};
 
 /// The paper's Table 1, transcribed.
 pub const PAPER_TABLE1: [PaperRow; 23] = [
-    PaperRow { name: "mr0", initial_states: 302, initial_signals: 11, ours: (469, 14, 41, 2.80), direct: BacktrackLimit { cpu: None }, lavagno: Solved { final_signals: 13, literals: 86, cpu: 1084.5 } },
-    PaperRow { name: "mr1", initial_states: 190, initial_signals: 8, ours: (373, 12, 55, 1.73), direct: BacktrackLimit { cpu: Some(872.9) }, lavagno: Solved { final_signals: 10, literals: 53, cpu: 237.5 } },
-    PaperRow { name: "mmu0", initial_states: 174, initial_signals: 8, ours: (441, 11, 49, 0.87), direct: BacktrackLimit { cpu: Some(406.3) }, lavagno: InternalStateError },
-    PaperRow { name: "mmu1", initial_states: 82, initial_signals: 8, ours: (131, 10, 50, 0.37), direct: BacktrackLimit { cpu: Some(101.3) }, lavagno: Solved { final_signals: 10, literals: 37, cpu: 47.8 } },
-    PaperRow { name: "sbuf-ram-write", initial_states: 58, initial_signals: 10, ours: (93, 12, 59, 0.36), direct: Solved { final_signals: 12, literals: 74, cpu: 5.21 }, lavagno: Solved { final_signals: 12, literals: 35, cpu: 54.6 } },
-    PaperRow { name: "vbe4a", initial_states: 58, initial_signals: 6, ours: (106, 8, 37, 0.19), direct: Solved { final_signals: 8, literals: 40, cpu: 0.25 }, lavagno: Solved { final_signals: 8, literals: 41, cpu: 5.5 } },
-    PaperRow { name: "nak-pa", initial_states: 56, initial_signals: 9, ours: (59, 10, 25, 0.20), direct: Solved { final_signals: 10, literals: 32, cpu: 0.08 }, lavagno: Solved { final_signals: 10, literals: 41, cpu: 20.8 } },
-    PaperRow { name: "pe-rcv-ifc-fc", initial_states: 46, initial_signals: 8, ours: (50, 9, 48, 0.24), direct: Solved { final_signals: 9, literals: 50, cpu: 0.13 }, lavagno: Solved { final_signals: 9, literals: 62, cpu: 14.3 } },
-    PaperRow { name: "ram-read-sbuf", initial_states: 36, initial_signals: 10, ours: (44, 11, 28, 0.15), direct: Solved { final_signals: 11, literals: 44, cpu: 0.06 }, lavagno: Solved { final_signals: 11, literals: 23, cpu: 65.2 } },
-    PaperRow { name: "alex-nonfc", initial_states: 24, initial_signals: 6, ours: (31, 7, 26, 0.05), direct: Solved { final_signals: 7, literals: 22, cpu: 0.03 }, lavagno: NonFreeChoice },
-    PaperRow { name: "sbuf-send-pkt2", initial_states: 21, initial_signals: 6, ours: (26, 7, 20, 0.04), direct: Solved { final_signals: 7, literals: 29, cpu: 0.04 }, lavagno: Solved { final_signals: 7, literals: 14, cpu: 8.6 } },
-    PaperRow { name: "sbuf-send-ctl", initial_states: 20, initial_signals: 6, ours: (32, 8, 33, 0.09), direct: Solved { final_signals: 8, literals: 35, cpu: 0.03 }, lavagno: Solved { final_signals: 8, literals: 43, cpu: 3.4 } },
-    PaperRow { name: "atod", initial_states: 20, initial_signals: 6, ours: (26, 7, 15, 0.02), direct: Solved { final_signals: 7, literals: 16, cpu: 0.01 }, lavagno: Solved { final_signals: 7, literals: 19, cpu: 2.9 } },
-    PaperRow { name: "pa", initial_states: 18, initial_signals: 4, ours: (34, 6, 18, 0.12), direct: Solved { final_signals: 6, literals: 22, cpu: 0.06 }, lavagno: InternalStateError },
-    PaperRow { name: "alloc-outbound", initial_states: 17, initial_signals: 7, ours: (29, 9, 33, 0.09), direct: Solved { final_signals: 9, literals: 27, cpu: 0.04 }, lavagno: Solved { final_signals: 9, literals: 23, cpu: 2.5 } },
-    PaperRow { name: "wrdata", initial_states: 16, initial_signals: 4, ours: (20, 5, 17, 0.03), direct: Solved { final_signals: 5, literals: 18, cpu: 0.01 }, lavagno: Solved { final_signals: 5, literals: 21, cpu: 0.9 } },
-    PaperRow { name: "fifo", initial_states: 16, initial_signals: 4, ours: (23, 5, 15, 0.03), direct: Solved { final_signals: 5, literals: 17, cpu: 0.02 }, lavagno: Solved { final_signals: 5, literals: 15, cpu: 0.7 } },
-    PaperRow { name: "sbuf-read-ctl", initial_states: 14, initial_signals: 6, ours: (18, 7, 16, 0.06), direct: Solved { final_signals: 7, literals: 20, cpu: 0.01 }, lavagno: Solved { final_signals: 7, literals: 15, cpu: 1.5 } },
-    PaperRow { name: "nouse", initial_states: 12, initial_signals: 3, ours: (16, 4, 12, 0.01), direct: Solved { final_signals: 4, literals: 12, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 14, cpu: 0.5 } },
-    PaperRow { name: "vbe-ex2", initial_states: 8, initial_signals: 2, ours: (12, 4, 18, 0.08), direct: Solved { final_signals: 4, literals: 18, cpu: 0.03 }, lavagno: Solved { final_signals: 4, literals: 21, cpu: 0.5 } },
-    PaperRow { name: "nousc-ser", initial_states: 8, initial_signals: 3, ours: (10, 4, 9, 0.02), direct: Solved { final_signals: 4, literals: 9, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 11, cpu: 0.4 } },
-    PaperRow { name: "sendr-done", initial_states: 7, initial_signals: 3, ours: (10, 4, 8, 0.02), direct: Solved { final_signals: 4, literals: 8, cpu: 0.01 }, lavagno: Solved { final_signals: 4, literals: 6, cpu: 0.4 } },
-    PaperRow { name: "vbe-ex1", initial_states: 5, initial_signals: 2, ours: (8, 3, 7, 0.01), direct: Solved { final_signals: 3, literals: 7, cpu: 0.01 }, lavagno: Solved { final_signals: 3, literals: 7, cpu: 0.3 } },
+    PaperRow {
+        name: "mr0",
+        initial_states: 302,
+        initial_signals: 11,
+        ours: (469, 14, 41, 2.80),
+        direct: BacktrackLimit { cpu: None },
+        lavagno: Solved {
+            final_signals: 13,
+            literals: 86,
+            cpu: 1084.5,
+        },
+    },
+    PaperRow {
+        name: "mr1",
+        initial_states: 190,
+        initial_signals: 8,
+        ours: (373, 12, 55, 1.73),
+        direct: BacktrackLimit { cpu: Some(872.9) },
+        lavagno: Solved {
+            final_signals: 10,
+            literals: 53,
+            cpu: 237.5,
+        },
+    },
+    PaperRow {
+        name: "mmu0",
+        initial_states: 174,
+        initial_signals: 8,
+        ours: (441, 11, 49, 0.87),
+        direct: BacktrackLimit { cpu: Some(406.3) },
+        lavagno: InternalStateError,
+    },
+    PaperRow {
+        name: "mmu1",
+        initial_states: 82,
+        initial_signals: 8,
+        ours: (131, 10, 50, 0.37),
+        direct: BacktrackLimit { cpu: Some(101.3) },
+        lavagno: Solved {
+            final_signals: 10,
+            literals: 37,
+            cpu: 47.8,
+        },
+    },
+    PaperRow {
+        name: "sbuf-ram-write",
+        initial_states: 58,
+        initial_signals: 10,
+        ours: (93, 12, 59, 0.36),
+        direct: Solved {
+            final_signals: 12,
+            literals: 74,
+            cpu: 5.21,
+        },
+        lavagno: Solved {
+            final_signals: 12,
+            literals: 35,
+            cpu: 54.6,
+        },
+    },
+    PaperRow {
+        name: "vbe4a",
+        initial_states: 58,
+        initial_signals: 6,
+        ours: (106, 8, 37, 0.19),
+        direct: Solved {
+            final_signals: 8,
+            literals: 40,
+            cpu: 0.25,
+        },
+        lavagno: Solved {
+            final_signals: 8,
+            literals: 41,
+            cpu: 5.5,
+        },
+    },
+    PaperRow {
+        name: "nak-pa",
+        initial_states: 56,
+        initial_signals: 9,
+        ours: (59, 10, 25, 0.20),
+        direct: Solved {
+            final_signals: 10,
+            literals: 32,
+            cpu: 0.08,
+        },
+        lavagno: Solved {
+            final_signals: 10,
+            literals: 41,
+            cpu: 20.8,
+        },
+    },
+    PaperRow {
+        name: "pe-rcv-ifc-fc",
+        initial_states: 46,
+        initial_signals: 8,
+        ours: (50, 9, 48, 0.24),
+        direct: Solved {
+            final_signals: 9,
+            literals: 50,
+            cpu: 0.13,
+        },
+        lavagno: Solved {
+            final_signals: 9,
+            literals: 62,
+            cpu: 14.3,
+        },
+    },
+    PaperRow {
+        name: "ram-read-sbuf",
+        initial_states: 36,
+        initial_signals: 10,
+        ours: (44, 11, 28, 0.15),
+        direct: Solved {
+            final_signals: 11,
+            literals: 44,
+            cpu: 0.06,
+        },
+        lavagno: Solved {
+            final_signals: 11,
+            literals: 23,
+            cpu: 65.2,
+        },
+    },
+    PaperRow {
+        name: "alex-nonfc",
+        initial_states: 24,
+        initial_signals: 6,
+        ours: (31, 7, 26, 0.05),
+        direct: Solved {
+            final_signals: 7,
+            literals: 22,
+            cpu: 0.03,
+        },
+        lavagno: NonFreeChoice,
+    },
+    PaperRow {
+        name: "sbuf-send-pkt2",
+        initial_states: 21,
+        initial_signals: 6,
+        ours: (26, 7, 20, 0.04),
+        direct: Solved {
+            final_signals: 7,
+            literals: 29,
+            cpu: 0.04,
+        },
+        lavagno: Solved {
+            final_signals: 7,
+            literals: 14,
+            cpu: 8.6,
+        },
+    },
+    PaperRow {
+        name: "sbuf-send-ctl",
+        initial_states: 20,
+        initial_signals: 6,
+        ours: (32, 8, 33, 0.09),
+        direct: Solved {
+            final_signals: 8,
+            literals: 35,
+            cpu: 0.03,
+        },
+        lavagno: Solved {
+            final_signals: 8,
+            literals: 43,
+            cpu: 3.4,
+        },
+    },
+    PaperRow {
+        name: "atod",
+        initial_states: 20,
+        initial_signals: 6,
+        ours: (26, 7, 15, 0.02),
+        direct: Solved {
+            final_signals: 7,
+            literals: 16,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 7,
+            literals: 19,
+            cpu: 2.9,
+        },
+    },
+    PaperRow {
+        name: "pa",
+        initial_states: 18,
+        initial_signals: 4,
+        ours: (34, 6, 18, 0.12),
+        direct: Solved {
+            final_signals: 6,
+            literals: 22,
+            cpu: 0.06,
+        },
+        lavagno: InternalStateError,
+    },
+    PaperRow {
+        name: "alloc-outbound",
+        initial_states: 17,
+        initial_signals: 7,
+        ours: (29, 9, 33, 0.09),
+        direct: Solved {
+            final_signals: 9,
+            literals: 27,
+            cpu: 0.04,
+        },
+        lavagno: Solved {
+            final_signals: 9,
+            literals: 23,
+            cpu: 2.5,
+        },
+    },
+    PaperRow {
+        name: "wrdata",
+        initial_states: 16,
+        initial_signals: 4,
+        ours: (20, 5, 17, 0.03),
+        direct: Solved {
+            final_signals: 5,
+            literals: 18,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 5,
+            literals: 21,
+            cpu: 0.9,
+        },
+    },
+    PaperRow {
+        name: "fifo",
+        initial_states: 16,
+        initial_signals: 4,
+        ours: (23, 5, 15, 0.03),
+        direct: Solved {
+            final_signals: 5,
+            literals: 17,
+            cpu: 0.02,
+        },
+        lavagno: Solved {
+            final_signals: 5,
+            literals: 15,
+            cpu: 0.7,
+        },
+    },
+    PaperRow {
+        name: "sbuf-read-ctl",
+        initial_states: 14,
+        initial_signals: 6,
+        ours: (18, 7, 16, 0.06),
+        direct: Solved {
+            final_signals: 7,
+            literals: 20,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 7,
+            literals: 15,
+            cpu: 1.5,
+        },
+    },
+    PaperRow {
+        name: "nouse",
+        initial_states: 12,
+        initial_signals: 3,
+        ours: (16, 4, 12, 0.01),
+        direct: Solved {
+            final_signals: 4,
+            literals: 12,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 4,
+            literals: 14,
+            cpu: 0.5,
+        },
+    },
+    PaperRow {
+        name: "vbe-ex2",
+        initial_states: 8,
+        initial_signals: 2,
+        ours: (12, 4, 18, 0.08),
+        direct: Solved {
+            final_signals: 4,
+            literals: 18,
+            cpu: 0.03,
+        },
+        lavagno: Solved {
+            final_signals: 4,
+            literals: 21,
+            cpu: 0.5,
+        },
+    },
+    PaperRow {
+        name: "nousc-ser",
+        initial_states: 8,
+        initial_signals: 3,
+        ours: (10, 4, 9, 0.02),
+        direct: Solved {
+            final_signals: 4,
+            literals: 9,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 4,
+            literals: 11,
+            cpu: 0.4,
+        },
+    },
+    PaperRow {
+        name: "sendr-done",
+        initial_states: 7,
+        initial_signals: 3,
+        ours: (10, 4, 8, 0.02),
+        direct: Solved {
+            final_signals: 4,
+            literals: 8,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 4,
+            literals: 6,
+            cpu: 0.4,
+        },
+    },
+    PaperRow {
+        name: "vbe-ex1",
+        initial_states: 5,
+        initial_signals: 2,
+        ours: (8, 3, 7, 0.01),
+        direct: Solved {
+            final_signals: 3,
+            literals: 7,
+            cpu: 0.01,
+        },
+        lavagno: Solved {
+            final_signals: 3,
+            literals: 7,
+            cpu: 0.3,
+        },
+    },
 ];
 
 /// The backtrack limit playing the role of the SIS abort in Table-1 runs.
@@ -94,8 +412,8 @@ pub enum Measured {
         literals: usize,
         /// Wall-clock seconds.
         cpu: f64,
-        /// (variables, clauses, satisfiable) of every SAT formula solved.
-        formulas: Vec<(usize, usize, bool)>,
+        /// Every SAT formula attempted, with its solver counters.
+        formulas: Vec<FormulaStat>,
     },
     /// The solver hit the Table-1 backtrack limit.
     BacktrackLimit {
@@ -130,7 +448,12 @@ impl Measured {
     /// Short cell text for tables.
     pub fn cell(&self) -> String {
         match self {
-            Measured::Solved { final_signals, literals, cpu, .. } => {
+            Measured::Solved {
+                final_signals,
+                literals,
+                cpu,
+                ..
+            } => {
                 format!("{final_signals} sig / {literals} lit / {cpu:.2}s")
             }
             Measured::BacktrackLimit { cpu } => format!("SAT Backtrack Limit ({cpu:.2}s)"),
@@ -160,11 +483,7 @@ pub fn run_row(name: &str, method: Method, backtrack_limit: u64) -> Measured {
             final_signals: report.final_signals,
             literals: report.literals,
             cpu: report.cpu_seconds,
-            formulas: report
-                .formulas
-                .iter()
-                .map(|f| (f.variables, f.clauses, f.satisfiable))
-                .collect(),
+            formulas: report.formulas.clone(),
         },
         Err(SynthesisError::BacktrackLimit { .. }) => Measured::BacktrackLimit {
             cpu: started.elapsed().as_secs_f64(),
@@ -193,6 +512,113 @@ pub fn run_table(backtrack_limit: u64) -> Vec<(&'static str, Measured, Measured,
 /// The paper row for a benchmark name.
 pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER_TABLE1.iter().find(|r| r.name == name)
+}
+
+fn solver_stats_json(s: &SolverStats) -> Json {
+    Json::obj([
+        ("decisions", Json::from(s.decisions)),
+        ("propagations", Json::from(s.propagations)),
+        ("backtracks", Json::from(s.backtracks)),
+        ("conflicts", Json::from(s.conflicts)),
+        ("learned_clauses", Json::from(s.learned_clauses)),
+        ("learned_literals", Json::from(s.learned_literals)),
+        ("restarts", Json::from(s.restarts)),
+        ("peak_clauses", Json::from(s.peak_clauses)),
+        ("max_level", Json::from(s.max_level)),
+    ])
+}
+
+fn formula_json(f: &FormulaStat) -> Json {
+    Json::obj([
+        ("state_signals", Json::from(f.state_signals)),
+        ("variables", Json::from(f.variables)),
+        ("clauses", Json::from(f.clauses)),
+        ("satisfiable", Json::from(f.satisfiable)),
+        ("solver", solver_stats_json(&f.solver)),
+    ])
+}
+
+/// One machine-readable record for a benchmark × method measurement — the
+/// rows of `BENCH_table1.json`.
+pub fn measured_record(benchmark: &str, method: Method, measured: &Measured) -> Json {
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("benchmark", Json::from(benchmark)),
+        ("method", Json::from(method.to_string())),
+    ];
+    match measured {
+        Measured::Solved {
+            final_states,
+            final_signals,
+            literals,
+            cpu,
+            formulas,
+        } => {
+            let peak_vars = formulas.iter().map(|f| f.variables).max().unwrap_or(0);
+            let peak_clauses = formulas.iter().map(|f| f.clauses).max().unwrap_or(0);
+            let mut total = SolverStats::default();
+            for f in formulas {
+                total.decisions += f.solver.decisions;
+                total.propagations += f.solver.propagations;
+                total.backtracks += f.solver.backtracks;
+                total.conflicts += f.solver.conflicts;
+                total.learned_clauses += f.solver.learned_clauses;
+                total.learned_literals += f.solver.learned_literals;
+                total.restarts += f.solver.restarts;
+                total.peak_clauses = total.peak_clauses.max(f.solver.peak_clauses);
+                total.max_level = total.max_level.max(f.solver.max_level);
+            }
+            fields.extend([
+                ("outcome", Json::from("solved")),
+                ("wall_s", Json::from(*cpu)),
+                ("final_states", Json::from(*final_states)),
+                ("final_signals", Json::from(*final_signals)),
+                ("literals", Json::from(*literals)),
+                ("peak_vars", Json::from(peak_vars)),
+                ("peak_clauses", Json::from(peak_clauses)),
+                ("solver", solver_stats_json(&total)),
+                (
+                    "formulas",
+                    Json::Arr(formulas.iter().map(formula_json).collect()),
+                ),
+            ]);
+        }
+        Measured::BacktrackLimit { cpu } => {
+            fields.extend([
+                ("outcome", Json::from("backtrack-limit")),
+                ("wall_s", Json::from(*cpu)),
+            ]);
+        }
+        Measured::NotFreeChoice => fields.push(("outcome", Json::from("non-free-choice"))),
+        Measured::StateSplittingRequired => {
+            fields.push(("outcome", Json::from("state-splitting-required")));
+        }
+        Measured::Failed(e) => {
+            fields.extend([
+                ("outcome", Json::from("failed")),
+                ("error", Json::from(e.as_str())),
+            ]);
+        }
+    }
+    Json::obj(fields)
+}
+
+/// The full `BENCH_table1.json` document: one record per benchmark × method
+/// plus the run configuration.
+pub fn table1_json(
+    backtrack_limit: u64,
+    rows: &[(&'static str, Measured, Measured, Measured)],
+) -> Json {
+    let mut records = Vec::with_capacity(3 * rows.len());
+    for (name, modular, direct, lavagno) in rows {
+        records.push(measured_record(name, Method::Modular, modular));
+        records.push(measured_record(name, Method::Direct, direct));
+        records.push(measured_record(name, Method::Lavagno, lavagno));
+    }
+    Json::obj([
+        ("version", Json::from(1u64)),
+        ("backtrack_limit", Json::from(backtrack_limit)),
+        ("records", Json::Arr(records)),
+    ])
 }
 
 #[cfg(test)]
@@ -232,5 +658,30 @@ mod tests {
         let m = run_row("alex-nonfc", Method::Lavagno, TABLE1_BACKTRACK_LIMIT);
         assert!(matches!(m, Measured::NotFreeChoice));
         assert_eq!(m.literals(), None);
+    }
+
+    #[test]
+    fn measured_record_round_trips_through_json() {
+        let m = run_row("vbe-ex1", Method::Modular, TABLE1_BACKTRACK_LIMIT);
+        let record = measured_record("vbe-ex1", Method::Modular, &m);
+        let parsed = modsyn_obs::parse_json(&record.pretty()).unwrap();
+        assert_eq!(parsed.get("benchmark").unwrap().as_str(), Some("vbe-ex1"));
+        assert_eq!(parsed.get("outcome").unwrap().as_str(), Some("solved"));
+        assert!(parsed.get("peak_clauses").unwrap().as_f64().unwrap() > 0.0);
+        let formulas = parsed.get("formulas").unwrap().as_arr().unwrap();
+        assert!(!formulas.is_empty());
+        let sat = formulas.last().unwrap();
+        assert!(sat.get("solver").unwrap().get("propagations").is_some());
+    }
+
+    #[test]
+    fn failure_records_carry_their_outcome() {
+        let record = measured_record("alex-nonfc", Method::Lavagno, &Measured::NotFreeChoice);
+        let parsed = modsyn_obs::parse_json(&record.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("outcome").unwrap().as_str(),
+            Some("non-free-choice")
+        );
+        assert!(parsed.get("literals").is_none());
     }
 }

@@ -12,14 +12,20 @@
 //! Graphviz format; `--verilog` emits a structural netlist; `--exact` uses
 //! exact two-level minimisation; `--hazards` runs the static-hazard
 //! post-process plus a closed-loop conformance check.
+//!
+//! Observability: `--stats` prints a per-phase span tree (timings, SAT
+//! counters, per-module formula sizes) to **stderr**; `--trace-json FILE`
+//! writes the same trace as JSON. Neither touches stdout, so piping `--pla`
+//! or `--verilog` output stays clean.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
 use modsyn::{
-    closed_loop_check, hazard_report, remove_static_hazards, synthesize, Circuit, Method,
+    closed_loop_check, hazard_report, remove_static_hazards, synthesize_traced, Circuit, Method,
     MinimizeMode, SynthesisOptions,
 };
+use modsyn_obs::Tracer;
 use modsyn_sat::SolverOptions;
 
 struct Args {
@@ -32,11 +38,14 @@ struct Args {
     exact: bool,
     hazards: bool,
     quiet: bool,
+    stats: bool,
+    trace_json: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
-     [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet]"
+     [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet] [--stats] \
+     [--trace-json FILE]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         exact: false,
         hazards: false,
         quiet: false,
+        stats: false,
+        trace_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,6 +85,10 @@ fn parse_args() -> Result<Args, String> {
             "--exact" => args.exact = true,
             "--hazards" => args.hazards = true,
             "--quiet" => args.quiet = true,
+            "--stats" => args.stats = true,
+            "--trace-json" => {
+                args.trace_json = Some(it.next().ok_or("--trace-json needs a file")?);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if args.source.is_empty() => args.source = other.to_string(),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -85,7 +100,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn load_stg(source: &str) -> Result<modsyn_stg::Stg, String> {
+fn load_stg(source: &str, tracer: &Tracer) -> Result<modsyn_stg::Stg, String> {
     if let Some(name) = source.strip_prefix("benchmark:") {
         return modsyn_stg::benchmarks::by_name(name)
             .ok_or_else(|| format!("unknown benchmark {name:?}"));
@@ -99,7 +114,7 @@ fn load_stg(source: &str) -> Result<modsyn_stg::Stg, String> {
     } else {
         std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?
     };
-    modsyn_stg::parse_g(&text).map_err(|e| e.to_string())
+    modsyn_stg::parse_g_traced(&text, tracer).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -110,7 +125,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let stg = match load_stg(&args.source) {
+    let tracer = if args.stats || args.trace_json.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let stg = match load_stg(&args.source, &tracer) {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -128,10 +148,11 @@ fn main() -> ExitCode {
             ..SolverOptions::default()
         };
     }
-    let report = match synthesize(&stg, &options) {
+    let report = match synthesize_traced(&stg, &options, &tracer) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("synthesis failed: {e}");
+            let _ = emit_observability(&args, &tracer);
             return ExitCode::FAILURE;
         }
     };
@@ -160,7 +181,11 @@ fn main() -> ExitCode {
             min_area: args.method == Method::ModularMinArea,
             ..Default::default()
         };
-        Some(modsyn::modular_resolve(&sg, &solve).expect("already resolved once").graph)
+        Some(
+            modsyn::modular_resolve(&sg, &solve)
+                .expect("already resolved once")
+                .graph,
+        )
     } else {
         None
     };
@@ -201,7 +226,31 @@ fn main() -> ExitCode {
     }
     if args.verilog {
         let graph = graph.as_ref().expect("graph derived for --verilog");
-        println!("{}", modsyn::to_verilog(&report.benchmark, graph, &functions));
+        println!(
+            "{}",
+            modsyn::to_verilog(&report.benchmark, graph, &functions)
+        );
+    }
+    emit_observability(&args, &tracer)
+}
+
+/// Renders the trace after the run: `--stats` to stderr (stdout carries the
+/// synthesised logic and must stay machine-consumable), `--trace-json` to
+/// the named file. Returns `FAILURE` if the trace file cannot be written.
+#[must_use]
+fn emit_observability(args: &Args, tracer: &Tracer) -> ExitCode {
+    if !tracer.is_enabled() {
+        return ExitCode::SUCCESS;
+    }
+    let report = tracer.report();
+    if args.stats {
+        eprint!("{}", report.render());
+    }
+    if let Some(path) = &args.trace_json {
+        if let Err(e) = std::fs::write(path, report.to_json().pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -42,12 +42,10 @@ impl Circuit {
             .iter()
             .map(|s| s.kind.is_non_input())
             .collect();
-        if driven
-            .iter()
-            .zip(&slots)
-            .any(|(&d, s)| d && s.is_none())
-        {
-            return Err(SynthesisError::CscUnresolved { remaining_conflicts: 0 });
+        if driven.iter().zip(&slots).any(|(&d, s)| d && s.is_none()) {
+            return Err(SynthesisError::CscUnresolved {
+                remaining_conflicts: 0,
+            });
         }
         Ok(Circuit {
             names: graph.signals().iter().map(|s| s.name.clone()).collect(),
@@ -122,8 +120,7 @@ pub fn closed_loop_check(graph: &StateGraph, circuit: &Circuit) -> SimulationRep
     while let Some(state) = queue.pop_front() {
         report.states_visited += 1;
         let values: Vec<bool> = (0..n).map(|i| graph.value(state, i)).collect();
-        let commanded: HashSet<usize> =
-            circuit.excited_outputs(&values).into_iter().collect();
+        let commanded: HashSet<usize> = circuit.excited_outputs(&values).into_iter().collect();
         let specified: HashSet<usize> = (0..n)
             .filter(|&i| {
                 graph.signals()[i].kind.is_non_input() && graph.excited(state, i).is_some()
@@ -238,11 +235,7 @@ pub fn remove_static_hazards(
             let literals = cover.literal_count();
             SignalFunction {
                 name: f.name.clone(),
-                sop: modsyn_logic::Sop::new(
-                    f.sop.names().to_vec(),
-                    cover,
-                )
-                .expect("same universe"),
+                sop: modsyn_logic::Sop::new(f.sop.names().to_vec(), cover).expect("same universe"),
                 literals,
             }
         })
@@ -252,8 +245,8 @@ pub fn remove_static_hazards(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::modular::modular_resolve;
     use crate::logic_fn::{derive_logic, verify_logic};
+    use crate::modular::modular_resolve;
     use crate::solve::CscSolveOptions;
     use modsyn_sg::{derive, DeriveOptions};
     use modsyn_stg::benchmarks;
@@ -285,11 +278,8 @@ mod tests {
         let n = graph.signals().len();
         functions[0] = SignalFunction {
             name: functions[0].name.clone(),
-            sop: modsyn_logic::Sop::new(
-                functions[0].sop.names().to_vec(),
-                Cover::empty(n),
-            )
-            .unwrap(),
+            sop: modsyn_logic::Sop::new(functions[0].sop.names().to_vec(), Cover::empty(n))
+                .unwrap(),
             literals: 0,
         };
         let circuit = Circuit::new(&graph, &functions).unwrap();

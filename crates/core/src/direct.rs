@@ -7,7 +7,7 @@
 
 use modsyn_sg::{insert_state_signals, StateGraph};
 
-use crate::solve::{solve_csc, CscSolveOptions, FormulaStat};
+use crate::solve::{solve_csc_scoped_traced, CscSolveOptions, FormulaStat, ResolveScope};
 use crate::SynthesisError;
 
 /// Result of [`direct_resolve`].
@@ -33,12 +33,35 @@ pub fn direct_resolve(
     initial: &StateGraph,
     options: &CscSolveOptions,
 ) -> Result<DirectOutcome, SynthesisError> {
-    let solution = solve_csc(initial, options, 0)?;
+    direct_resolve_traced(initial, options, &modsyn_obs::Tracer::disabled())
+}
+
+/// [`direct_resolve`] under a `direct` observability span: the complete
+/// graph's size as gauges plus the nested `csc.attempt` spans (one big
+/// formula each — the contrast with the modular `module:*` spans).
+///
+/// # Errors
+///
+/// As [`direct_resolve`].
+pub fn direct_resolve_traced(
+    initial: &StateGraph,
+    options: &CscSolveOptions,
+    tracer: &modsyn_obs::Tracer,
+) -> Result<DirectOutcome, SynthesisError> {
+    let _span = tracer.span("direct");
+    tracer.gauge("states", initial.state_count() as f64);
+    tracer.gauge("signals", initial.signals().len() as f64);
+    let solution = solve_csc_scoped_traced(initial, options, 0, ResolveScope::All, tracer)?;
+    tracer.counter("inserted", solution.assignments.len() as u64);
     let graph = insert_state_signals(initial, &solution.assignments)?;
     debug_assert!(graph.csc_analysis().satisfies_csc());
     Ok(DirectOutcome {
         graph,
-        inserted: solution.assignments.iter().map(|a| a.name.clone()).collect(),
+        inserted: solution
+            .assignments
+            .iter()
+            .map(|a| a.name.clone())
+            .collect(),
         formulas: solution.formulas,
     })
 }
@@ -79,7 +102,10 @@ mod tests {
         let stg = benchmarks::mmu1();
         let sg = derive(&stg, &DeriveOptions::default()).unwrap();
         let options = CscSolveOptions {
-            solver: SolverOptions { max_backtracks: Some(2), ..Default::default() },
+            solver: SolverOptions {
+                max_backtracks: Some(2),
+                ..Default::default()
+            },
             ..Default::default()
         };
         match direct_resolve(&sg, &options) {

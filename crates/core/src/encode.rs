@@ -59,14 +59,14 @@ impl Encoding {
         (0..self.state_signals)
             .map(|k| {
                 let values = (0..self.states)
-                    .map(|s| {
-                        match (model.value(self.a(s, k)), model.value(self.b(s, k))) {
+                    .map(
+                        |s| match (model.value(self.a(s, k)), model.value(self.b(s, k))) {
                             (false, false) => Quat::Zero,
                             (false, true) => Quat::One,
                             (true, false) => Quat::Up,
                             (true, true) => Quat::Down,
-                        }
-                    })
+                        },
+                    )
                     .collect();
                 StateSignalAssignment {
                     name: format!("{prefix}{}", name_offset + k),
@@ -138,7 +138,11 @@ pub fn encode_csc_partial(
     assert!(m > 0, "at least one state signal is required");
     let states = graph.state_count();
     let mut formula = CnfFormula::new(2 * states * m);
-    let enc = Encoding { formula: CnfFormula::new(0), state_signals: m, states };
+    let enc = Encoding {
+        formula: CnfFormula::new(0),
+        state_signals: m,
+        states,
+    };
 
     // Family 1: edge consistency / semi-modularity.
     for e in graph.edges() {
@@ -274,7 +278,14 @@ mod tests {
     fn edge_pair_table_matches_figure_3() {
         use Quat::{Down, One, Up, Zero};
         // Allowed without firing.
-        for (f, t) in [(Zero, Zero), (One, One), (Up, Up), (Down, Down), (Zero, Up), (One, Down)] {
+        for (f, t) in [
+            (Zero, Zero),
+            (One, One),
+            (Up, Up),
+            (Down, Down),
+            (Zero, Up),
+            (One, Down),
+        ] {
             assert!(edge_pair_allowed(f, t, false), "{f}->{t}");
         }
         // Firing allowed only on non-input edges.
@@ -283,7 +294,16 @@ mod tests {
         assert!(edge_pair_allowed(Down, Zero, true));
         assert!(!edge_pair_allowed(Down, Zero, false));
         // Figure 3(j) inconsistencies are always forbidden.
-        for (f, t) in [(Zero, One), (One, Zero), (Zero, Down), (One, Up), (Up, Down), (Down, Up), (Up, Zero), (Down, One)] {
+        for (f, t) in [
+            (Zero, One),
+            (One, Zero),
+            (Zero, Down),
+            (One, Up),
+            (Up, Down),
+            (Down, Up),
+            (Up, Zero),
+            (Down, One),
+        ] {
             assert!(!edge_pair_allowed(f, t, true), "{f}->{t}");
         }
     }

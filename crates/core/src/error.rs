@@ -39,7 +39,10 @@ impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthesisError::Sg(e) => write!(f, "state graph error: {e}"),
-            SynthesisError::BacktrackLimit { state_signals, elapsed } => write!(
+            SynthesisError::BacktrackLimit {
+                state_signals,
+                elapsed,
+            } => write!(
                 f,
                 "sat backtrack limit reached with {state_signals} state signals after {elapsed:.1}s"
             ),
@@ -52,8 +55,13 @@ impl fmt::Display for SynthesisError {
             SynthesisError::StateSplittingRequired => {
                 write!(f, "no race-free assignment without state splitting")
             }
-            SynthesisError::CscUnresolved { remaining_conflicts } => {
-                write!(f, "csc still violated: {remaining_conflicts} conflicting pairs remain")
+            SynthesisError::CscUnresolved {
+                remaining_conflicts,
+            } => {
+                write!(
+                    f,
+                    "csc still violated: {remaining_conflicts} conflicting pairs remain"
+                )
             }
         }
     }
@@ -82,13 +90,14 @@ mod tests {
     fn display_is_informative() {
         let e = SynthesisError::NoSolution { max_signals: 5 };
         assert!(e.to_string().contains('5'));
-        assert!(SynthesisError::NotFreeChoice.to_string().contains("free-choice"));
+        assert!(SynthesisError::NotFreeChoice
+            .to_string()
+            .contains("free-choice"));
     }
 
     #[test]
     fn sg_errors_chain() {
-        let e: SynthesisError =
-            modsyn_sg::SgError::TooManySignals { requested: 70 }.into();
+        let e: SynthesisError = modsyn_sg::SgError::TooManySignals { requested: 70 }.into();
         assert!(Error::source(&e).is_some());
     }
 }

@@ -56,6 +56,7 @@ pub fn compatible_pairs(graph: &StateGraph) -> Vec<Vec<bool>> {
 
     let mut compatible = vec![vec![true; n]; n];
     // Base: output disagreement.
+    #[allow(clippy::needless_range_loop)] // symmetric pair table: indexes [a][b] and [b][a]
     for a in 0..n {
         for b in a + 1..n {
             let clash = non_inputs
@@ -217,7 +218,10 @@ pub fn minimise_states(graph: &StateGraph, max_nodes: usize) -> ClosedCover {
 
     best.sort();
     best.dedup();
-    ClosedCover { cover: best, original_states: n }
+    ClosedCover {
+        cover: best,
+        original_states: n,
+    }
 }
 
 /// Ensures the cover is closed: every implied set of a member is contained
@@ -227,9 +231,7 @@ fn close_cover(graph: &StateGraph, maximals: &[Compatible], cover: &mut Vec<Comp
         let mut missing: Option<Vec<usize>> = None;
         'outer: for c in cover.iter() {
             for implied in implied_sets(graph, c) {
-                let contained = cover
-                    .iter()
-                    .any(|m| implied.iter().all(|s| m.contains(s)));
+                let contained = cover.iter().any(|m| implied.iter().all(|s| m.contains(s)));
                 if !contained {
                     missing = Some(implied);
                     break 'outer;
@@ -320,18 +322,16 @@ mod tests {
         // States with different implied-output vectors can never merge, so
         // the distinct implied vectors bound the reduced size from below.
         for name in ["vbe-ex1", "nouse", "sendr-done"] {
-            let sg = derive(&benchmarks::by_name(name).unwrap(), &DeriveOptions::default())
-                .unwrap();
+            let sg = derive(
+                &benchmarks::by_name(name).unwrap(),
+                &DeriveOptions::default(),
+            )
+            .unwrap();
             let non_inputs: Vec<usize> = (0..sg.signals().len())
                 .filter(|&s| sg.signals()[s].kind.is_non_input())
                 .collect();
             let mut vectors: Vec<Vec<bool>> = (0..sg.state_count())
-                .map(|s| {
-                    non_inputs
-                        .iter()
-                        .map(|&k| sg.implied_value(s, k))
-                        .collect()
-                })
+                .map(|s| non_inputs.iter().map(|&k| sg.implied_value(s, k)).collect())
                 .collect();
             vectors.sort();
             vectors.dedup();

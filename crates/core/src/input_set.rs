@@ -26,7 +26,9 @@ pub struct InputSet {
 pub fn immediate_inputs(graph: &StateGraph, output: usize) -> BTreeSet<usize> {
     let mut set = BTreeSet::new();
     for e in graph.edges() {
-        let EdgeLabel::Signal { signal, .. } = e.label else { continue };
+        let EdgeLabel::Signal { signal, .. } = e.label else {
+            continue;
+        };
         if signal == output {
             continue;
         }
@@ -48,6 +50,22 @@ pub fn immediate_inputs(graph: &StateGraph, output: usize) -> BTreeSet<usize> {
 ///
 /// Propagates [`SgError`] from quotient construction.
 pub fn determine_input_set(graph: &StateGraph, output: usize) -> Result<InputSet, SgError> {
+    determine_input_set_traced(graph, output, &modsyn_obs::Tracer::disabled())
+}
+
+/// [`determine_input_set`] with observability counters: the greedy loop's
+/// hiding trials are tallied as `input_set.kept_trials` /
+/// `input_set.rejected_trials` (counters only, no span — this runs once per
+/// output per modular iteration and the tree would drown in it).
+///
+/// # Errors
+///
+/// As [`determine_input_set`].
+pub fn determine_input_set_traced(
+    graph: &StateGraph,
+    output: usize,
+    tracer: &modsyn_obs::Tracer,
+) -> Result<InputSet, SgError> {
     let immediate = immediate_inputs(graph, output);
     let mut hidden: Vec<usize> = Vec::new();
 
@@ -56,7 +74,7 @@ pub fn determine_input_set(graph: &StateGraph, output: usize) -> Result<InputSet
     // unresolvable inside the module (their non-input room was hidden) are
     // not counted — the module defers them to other outputs.
     let analyse = |hidden: &[usize]| -> Result<(usize, usize), SgError> {
-        let q = graph.hide_signals(hidden)?;
+        let q = graph.hide_signals_traced(hidden, tracer)?;
         let a = q.graph.csc_analysis();
         let resolvable = a.csc_pairs.len() - q.graph.unresolvable_csc_pairs(&a).len();
         Ok((resolvable, a.lower_bound))
@@ -76,6 +94,9 @@ pub fn determine_input_set(graph: &StateGraph, output: usize) -> Result<InputSet
             hidden = trial;
             n_csc = csc_new;
             lower_bound = lb_new;
+            tracer.counter("input_set.kept_trials", 1);
+        } else {
+            tracer.counter("input_set.rejected_trials", 1);
         }
     }
 

@@ -47,7 +47,10 @@ pub struct LavagnoOptions {
 
 impl Default for LavagnoOptions {
     fn default() -> Self {
-        LavagnoOptions { max_backtracks: None, extra_signals: 3 }
+        LavagnoOptions {
+            max_backtracks: None,
+            extra_signals: 3,
+        }
     }
 }
 
@@ -109,6 +112,7 @@ pub fn lavagno_resolve(
             clauses: encoding.formula.clause_count(),
             variables: encoding.formula.num_vars(),
             satisfiable: outcome.is_sat(),
+            solver: solver.stats(),
         });
         match outcome {
             Outcome::Satisfiable(model) => {

@@ -50,19 +50,20 @@ pub use circuit::{
     closed_loop_check, hazard_report, remove_static_hazards, Circuit, HazardSummary,
     SimulationReport,
 };
-pub use direct::{direct_resolve, DirectOutcome};
+pub use direct::{direct_resolve, direct_resolve_traced, DirectOutcome};
 pub use encode::{encode_csc, encode_csc_partial, Encoding};
 pub use error::SynthesisError;
-pub use fsm::{
-    compatible_pairs, maximal_compatibles, minimise_states, ClosedCover, Compatible,
-};
-pub use input_set::{determine_input_set, immediate_inputs, InputSet};
+pub use fsm::{compatible_pairs, maximal_compatibles, minimise_states, ClosedCover, Compatible};
+pub use input_set::{determine_input_set, determine_input_set_traced, immediate_inputs, InputSet};
 pub use lavagno::{lavagno_resolve, LavagnoOptions, LavagnoOutcome};
 pub use logic_fn::{
-    derive_logic, derive_logic_shared, derive_logic_with, total_literals, verify_logic,
-    MinimizeMode, SignalFunction,
+    derive_logic, derive_logic_shared, derive_logic_traced, derive_logic_with, total_literals,
+    verify_logic, MinimizeMode, SignalFunction,
 };
-pub use modular::{modular_resolve, ModularOutcome, ModuleReport};
+pub use modular::{modular_resolve, modular_resolve_traced, ModularOutcome, ModuleReport};
 pub use netlist::to_verilog;
-pub use solve::{solve_csc, solve_csc_scoped, CscSolution, CscSolveOptions, FormulaStat, ResolveScope};
-pub use synth::{synthesize, Method, SynthesisOptions, SynthesisReport};
+pub use solve::{
+    solve_csc, solve_csc_scoped, solve_csc_scoped_traced, CscSolution, CscSolveOptions,
+    FormulaStat, ResolveScope,
+};
+pub use synth::{synthesize, synthesize_traced, Method, SynthesisOptions, SynthesisReport};

@@ -6,7 +6,8 @@
 //! prime-irredundant cover comes from the espresso loop and its literal
 //! count is the paper's area metric.
 
-use modsyn_logic::{complement, minimize, minimize_exact, Cover, ExactLimits, Sop};
+use modsyn_logic::{complement, minimize_exact, minimize_traced, Cover, ExactLimits, Sop};
+use modsyn_obs::Tracer;
 use modsyn_sg::StateGraph;
 
 use crate::SynthesisError;
@@ -55,6 +56,22 @@ pub fn derive_logic_with(
     graph: &StateGraph,
     mode: MinimizeMode,
 ) -> Result<Vec<SignalFunction>, SynthesisError> {
+    derive_logic_traced(graph, mode, &Tracer::disabled())
+}
+
+/// [`derive_logic_with`] under a `logic` observability span: one
+/// `logic:<signal>` child per derived function (nesting the `espresso` span
+/// in heuristic mode) plus a `literals` gauge with the total area metric.
+///
+/// # Errors
+///
+/// As [`derive_logic`].
+pub fn derive_logic_traced(
+    graph: &StateGraph,
+    mode: MinimizeMode,
+    tracer: &Tracer,
+) -> Result<Vec<SignalFunction>, SynthesisError> {
+    let _span = tracer.span("logic");
     let analysis = graph.csc_analysis();
     if !analysis.satisfies_csc() {
         return Err(SynthesisError::CscUnresolved {
@@ -68,9 +85,7 @@ pub fn derive_logic_with(
     let mut reachable: Vec<u64> = (0..graph.state_count()).map(|s| graph.code(s)).collect();
     reachable.sort_unstable();
     reachable.dedup();
-    let code_to_values = |code: u64| -> Vec<bool> {
-        (0..n).map(|k| code >> k & 1 == 1).collect()
-    };
+    let code_to_values = |code: u64| -> Vec<bool> { (0..n).map(|k| code >> k & 1 == 1).collect() };
     let reachable_cover = Cover::from_minterms(
         n,
         reachable
@@ -97,19 +112,22 @@ pub fn derive_logic_with(
         on_codes.dedup();
         let on_minterms: Vec<Vec<bool>> = on_codes.iter().map(|&c| code_to_values(c)).collect();
         let on = Cover::from_minterms(n, on_minterms.iter().map(Vec::as_slice));
+        let signal_span = tracer.span(&format!("logic:{}", names[k]));
         let result = match mode {
-            MinimizeMode::Heuristic => minimize(&on, &dc),
+            MinimizeMode::Heuristic => minimize_traced(&on, &dc, tracer),
             MinimizeMode::Exact => minimize_exact(&on, &dc, &ExactLimits::default()),
         };
         let literals = result.cover.literal_count();
-        let sop = Sop::new(names.clone(), result.cover)
-            .expect("names match the cover universe");
+        tracer.gauge("literals", literals as f64);
+        drop(signal_span);
+        let sop = Sop::new(names.clone(), result.cover).expect("names match the cover universe");
         functions.push(SignalFunction {
             name: names[k].clone(),
             sop,
             literals,
         });
     }
+    tracer.gauge("total_literals", total_literals(&functions) as f64);
     Ok(functions)
 }
 
@@ -171,7 +189,9 @@ pub fn derive_logic_shared(
 pub fn verify_logic(graph: &StateGraph, functions: &[SignalFunction]) -> bool {
     let n = graph.signals().len();
     for f in functions {
-        let Some(k) = graph.signal_index(&f.name) else { return false };
+        let Some(k) = graph.signal_index(&f.name) else {
+            return false;
+        };
         for s in 0..graph.state_count() {
             let values: Vec<bool> = (0..n).map(|i| graph.value(s, i)).collect();
             if f.sop.cover().covers_minterm(&values) != graph.implied_value(s, k) {

@@ -1,9 +1,10 @@
 //! The modular partitioning flow (paper Section 3, Figures 4–6).
 
+use modsyn_obs::Tracer;
 use modsyn_sg::{insert_state_signals, StateGraph, StateSignalAssignment};
 
-use crate::input_set::determine_input_set;
-use crate::solve::{solve_csc, solve_csc_scoped, CscSolveOptions, FormulaStat, ResolveScope};
+use crate::input_set::determine_input_set_traced;
+use crate::solve::{solve_csc_scoped_traced, CscSolveOptions, FormulaStat, ResolveScope};
 use crate::SynthesisError;
 
 /// Per-output trace of the modular flow.
@@ -52,6 +53,25 @@ pub fn modular_resolve(
     initial: &StateGraph,
     options: &CscSolveOptions,
 ) -> Result<ModularOutcome, SynthesisError> {
+    modular_resolve_traced(initial, options, &Tracer::disabled())
+}
+
+/// [`modular_resolve`] with observability: the whole flow runs under a
+/// `modular` span; every iteration gets a `select` span (module derivation
+/// and ranking), every solved module a `module:<output>` span carrying the
+/// paper's headline metrics (kept signals, module states, conflicts, peak
+/// formula vars/clauses, inserted signals), and the final cleanup a
+/// `residual` span.
+///
+/// # Errors
+///
+/// As [`modular_resolve`].
+pub fn modular_resolve_traced(
+    initial: &StateGraph,
+    options: &CscSolveOptions,
+    tracer: &Tracer,
+) -> Result<ModularOutcome, SynthesisError> {
+    let _span = tracer.span("modular");
     let mut graph = initial.clone();
     let mut outcome = ModularOutcome {
         graph: initial.clone(),
@@ -78,10 +98,16 @@ pub fn modular_resolve(
         }
         // Pick the unsolved module with the fewest locally-resolvable
         // conflicts.
-        let mut best: Option<(usize, crate::input_set::InputSet, modsyn_sg::Quotient, usize)> =
-            None;
+        let select = tracer.span("select");
+        let mut best: Option<(
+            usize,
+            crate::input_set::InputSet,
+            modsyn_sg::Quotient,
+            usize,
+        )> = None;
+        let mut candidates = 0u64;
         for &output in &outputs {
-            let set = determine_input_set(&graph, output)?;
+            let set = determine_input_set_traced(&graph, output, tracer)?;
             let quotient = graph.hide_signals(&set.hidden)?;
             let analysis = quotient.graph.csc_analysis();
             let conflicts =
@@ -89,23 +115,53 @@ pub fn modular_resolve(
             if conflicts == 0 {
                 continue;
             }
-            if best.as_ref().map_or(true, |&(_, _, _, c)| conflicts < c) {
+            candidates += 1;
+            if best.as_ref().is_none_or(|&(_, _, _, c)| conflicts < c) {
                 best = Some((output, set, quotient, conflicts));
             }
         }
+        tracer.counter("candidates", candidates);
+        drop(select);
         let Some((output, set, quotient, conflicts)) = best else {
             break; // residual conflicts are invisible to every module
         };
 
-        let solution = solve_csc_scoped(
+        let output_name = graph.signals()[output].name.clone();
+        let module_span = tracer.span(&format!("module:{output_name}"));
+        tracer.note("output", &output_name);
+        tracer.gauge("kept_signals", set.kept.len() as f64);
+        tracer.gauge("module_states", quotient.graph.state_count() as f64);
+        tracer.gauge("conflicts", conflicts as f64);
+        let solution = solve_csc_scoped_traced(
             &quotient.graph,
             options,
             outcome.inserted.len(),
             ResolveScope::ResolvableOnly,
+            tracer,
         )?;
+        tracer.gauge(
+            "vars",
+            solution
+                .formulas
+                .iter()
+                .map(|f| f.variables)
+                .max()
+                .unwrap_or(0) as f64,
+        );
+        tracer.gauge(
+            "clauses",
+            solution
+                .formulas
+                .iter()
+                .map(|f| f.clauses)
+                .max()
+                .unwrap_or(0) as f64,
+        );
+        tracer.counter("inserted", solution.assignments.len() as u64);
+        drop(module_span);
         outcome.formulas.extend(solution.formulas.iter().copied());
         outcome.modules.push(ModuleReport {
-            output: graph.signals()[output].name.clone(),
+            output: output_name,
             kept_signals: set.kept.len(),
             module_states: quotient.graph.state_count(),
             module_conflicts: conflicts,
@@ -137,7 +193,16 @@ pub fn modular_resolve(
     // modular state in every module survive the loop; one final (small)
     // solve on the complete graph removes them.
     if !graph.csc_analysis().satisfies_csc() {
-        let solution = solve_csc(&graph, options, outcome.inserted.len())?;
+        let residual = tracer.span("residual");
+        let solution = solve_csc_scoped_traced(
+            &graph,
+            options,
+            outcome.inserted.len(),
+            ResolveScope::All,
+            tracer,
+        )?;
+        tracer.counter("inserted", solution.assignments.len() as u64);
+        drop(residual);
         outcome.formulas.extend(solution.formulas.iter().copied());
         for a in &solution.assignments {
             outcome.inserted.push(a.name.clone());
@@ -159,8 +224,7 @@ mod tests {
     fn resolve(name: &str) -> ModularOutcome {
         let stg = benchmarks::by_name(name).expect("known benchmark");
         let sg = derive(&stg, &DeriveOptions::default()).unwrap();
-        modular_resolve(&sg, &CscSolveOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
+        modular_resolve(&sg, &CscSolveOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"))
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use std::time::Instant;
 
-use modsyn_sat::{Outcome, Solver, SolverOptions};
+use modsyn_obs::Tracer;
+use modsyn_sat::{Outcome, Solver, SolverOptions, SolverStats};
 use modsyn_sg::{StateGraph, StateSignalAssignment};
 
 use crate::encode::encode_csc_partial;
@@ -56,10 +57,11 @@ impl Default for CscSolveOptions {
 /// caller falls back to SAT).
 fn bdd_min_area_model(
     encoding: &crate::encode::Encoding,
+    tracer: &Tracer,
 ) -> Result<Option<modsyn_sat::Model>, ()> {
     let num_vars = encoding.formula.num_vars();
     let mut manager = modsyn_bdd::BddManager::with_budget(num_vars, 2_000_000);
-    let bdd = match modsyn_bdd::build_from_cnf(&mut manager, &encoding.formula) {
+    let bdd = match modsyn_bdd::build_from_cnf_traced(&mut manager, &encoding.formula, tracer) {
         Ok(b) => b,
         Err(_) => return Err(()),
     };
@@ -111,6 +113,9 @@ pub struct FormulaStat {
     pub variables: usize,
     /// Whether this formula was satisfiable.
     pub satisfiable: bool,
+    /// SAT solver counters for this attempt (all zero on the BDD path,
+    /// which never runs the solver).
+    pub solver: SolverStats,
 }
 
 /// Result of [`solve_csc`].
@@ -158,9 +163,29 @@ pub fn solve_csc_scoped(
     name_offset: usize,
     scope: ResolveScope,
 ) -> Result<CscSolution, SynthesisError> {
+    solve_csc_scoped_traced(graph, options, name_offset, scope, &Tracer::disabled())
+}
+
+/// [`solve_csc_scoped`] with observability: each signal count `m` attempted
+/// becomes a `csc.attempt` span carrying the formula size (`m`, `vars`,
+/// `clauses`), the nested `sat.solve` / `bdd.build` span, and the outcome.
+///
+/// # Errors
+///
+/// As [`solve_csc`].
+pub fn solve_csc_scoped_traced(
+    graph: &StateGraph,
+    options: &CscSolveOptions,
+    name_offset: usize,
+    scope: ResolveScope,
+    tracer: &Tracer,
+) -> Result<CscSolution, SynthesisError> {
     let analysis = graph.csc_analysis();
     if analysis.satisfies_csc() {
-        return Ok(CscSolution { assignments: Vec::new(), formulas: Vec::new() });
+        return Ok(CscSolution {
+            assignments: Vec::new(),
+            formulas: Vec::new(),
+        });
     }
     let unresolvable = graph.unresolvable_csc_pairs(&analysis);
     let resolve: Vec<(usize, usize)> = match scope {
@@ -183,7 +208,10 @@ pub fn solve_csc_scoped(
                 .filter(|p| !unresolvable.contains(p))
                 .collect();
             if pairs.is_empty() {
-                return Ok(CscSolution { assignments: Vec::new(), formulas: Vec::new() });
+                return Ok(CscSolution {
+                    assignments: Vec::new(),
+                    formulas: Vec::new(),
+                });
             }
             pairs
         }
@@ -201,24 +229,37 @@ pub fn solve_csc_scoped(
 
     while m <= cap {
         let encoding = encode_csc_partial(graph, &analysis, &resolve, m);
+        let attempt = tracer.span("csc.attempt");
+        tracer.gauge("m", m as f64);
+        tracer.gauge("vars", encoding.formula.num_vars() as f64);
+        tracer.gauge("clauses", encoding.formula.clause_count() as f64);
         if options.min_area {
-            match bdd_min_area_model(&encoding) {
+            match bdd_min_area_model(&encoding, tracer) {
                 Ok(Some(model)) => {
+                    tracer.note("outcome", "sat (bdd)");
+                    drop(attempt);
                     formulas.push(FormulaStat {
                         state_signals: m,
                         clauses: encoding.formula.clause_count(),
                         variables: encoding.formula.num_vars(),
                         satisfiable: true,
+                        solver: SolverStats::default(),
                     });
                     let assignments = encoding.decode(&model, options.name_prefix, name_offset);
-                    return Ok(CscSolution { assignments, formulas });
+                    return Ok(CscSolution {
+                        assignments,
+                        formulas,
+                    });
                 }
                 Ok(None) => {
+                    tracer.note("outcome", "unsat (bdd)");
+                    drop(attempt);
                     formulas.push(FormulaStat {
                         state_signals: m,
                         clauses: encoding.formula.clause_count(),
                         variables: encoding.formula.num_vars(),
                         satisfiable: false,
+                        solver: SolverStats::default(),
                     });
                     m += 1;
                     continue;
@@ -226,22 +267,28 @@ pub fn solve_csc_scoped(
                 Err(()) => {
                     // Node budget blown: fall through to the SAT path for
                     // this m.
+                    tracer.note("bdd", "node budget exceeded; SAT fallback");
                 }
             }
         }
         let mut solver = Solver::new(&encoding.formula, options.solver);
-        let outcome = solver.solve();
+        let outcome = solver.solve_traced(tracer);
         formulas.push(FormulaStat {
             state_signals: m,
             clauses: encoding.formula.clause_count(),
             variables: encoding.formula.num_vars(),
             satisfiable: outcome.is_sat(),
+            solver: solver.stats(),
         });
+        drop(attempt);
         match outcome {
             Outcome::Satisfiable(model) => {
                 let model = shrink_excitation(&encoding, model);
                 let assignments = encoding.decode(&model, options.name_prefix, name_offset);
-                return Ok(CscSolution { assignments, formulas });
+                return Ok(CscSolution {
+                    assignments,
+                    formulas,
+                });
             }
             Outcome::Unsatisfiable => {
                 m += 1;
@@ -292,10 +339,50 @@ mod tests {
     }
 
     #[test]
+    fn formula_stats_carry_solver_counters() {
+        let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default()).unwrap();
+        let solution = solve_csc(&sg, &CscSolveOptions::default(), 0).unwrap();
+        let sat_attempt = solution.formulas.iter().find(|f| f.satisfiable).unwrap();
+        assert!(sat_attempt.solver.propagations > 0);
+        assert!(sat_attempt.solver.peak_clauses >= sat_attempt.clauses);
+    }
+
+    #[test]
+    fn traced_solve_emits_one_attempt_span_per_m() {
+        let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default()).unwrap();
+        let tracer = Tracer::enabled();
+        let solution = solve_csc_scoped_traced(
+            &sg,
+            &CscSolveOptions::default(),
+            0,
+            ResolveScope::All,
+            &tracer,
+        )
+        .unwrap();
+        let report = tracer.report();
+        let attempts = report.spans_with_prefix("csc.attempt");
+        assert_eq!(attempts.len(), solution.formulas.len());
+        for span in &attempts {
+            assert!(span.gauge("clauses").unwrap() > 0.0);
+            // Each attempt nests exactly one solver span.
+            assert_eq!(
+                span.children
+                    .iter()
+                    .filter(|c| c.name == "sat.solve")
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
     fn backtrack_limit_is_surfaced() {
         let sg = derive(&benchmarks::mmu0(), &DeriveOptions::default()).unwrap();
         let options = CscSolveOptions {
-            solver: SolverOptions { max_backtracks: Some(1), ..Default::default() },
+            solver: SolverOptions {
+                max_backtracks: Some(1),
+                ..Default::default()
+            },
             ..Default::default()
         };
         match solve_csc(&sg, &options, 0) {

@@ -2,14 +2,17 @@
 
 use std::time::Instant;
 
+use modsyn_obs::Tracer;
 use modsyn_sat::SolverOptions;
-use modsyn_sg::{derive, DeriveOptions, StateGraph};
+use modsyn_sg::{derive_traced, DeriveOptions, StateGraph};
 use modsyn_stg::Stg;
 
-use crate::direct::direct_resolve;
+use crate::direct::direct_resolve_traced;
 use crate::lavagno::{lavagno_resolve, LavagnoOptions};
-use crate::logic_fn::{derive_logic_with, total_literals, verify_logic, MinimizeMode, SignalFunction};
-use crate::modular::{modular_resolve, ModuleReport};
+use crate::logic_fn::{
+    derive_logic_traced, total_literals, verify_logic, MinimizeMode, SignalFunction,
+};
+use crate::modular::{modular_resolve_traced, ModuleReport};
 use crate::solve::{CscSolveOptions, FormulaStat};
 use crate::SynthesisError;
 
@@ -69,7 +72,10 @@ impl Default for SynthesisOptions {
 impl SynthesisOptions {
     /// Convenience constructor for a method with default limits.
     pub fn for_method(method: Method) -> Self {
-        SynthesisOptions { method, ..Default::default() }
+        SynthesisOptions {
+            method,
+            ..Default::default()
+        }
     }
 }
 
@@ -114,9 +120,31 @@ impl SynthesisReport {
 ///
 /// Propagates every [`SynthesisError`] of the stages; see [`Method`] for
 /// the failures characteristic of each comparator.
-pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<SynthesisReport, SynthesisError> {
+pub fn synthesize(
+    stg: &Stg,
+    options: &SynthesisOptions,
+) -> Result<SynthesisReport, SynthesisError> {
+    synthesize_traced(stg, options, &Tracer::disabled())
+}
+
+/// [`synthesize`] with observability: the whole run is wrapped in a
+/// `synthesize` span with the benchmark and method as notes, and every stage
+/// (state-graph derivation, CSC resolution, logic derivation) nests its own
+/// spans under it.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_traced(
+    stg: &Stg,
+    options: &SynthesisOptions,
+    tracer: &Tracer,
+) -> Result<SynthesisReport, SynthesisError> {
     let start = Instant::now();
-    let initial = derive(stg, &options.derive)?;
+    let _span = tracer.span("synthesize");
+    tracer.note("benchmark", stg.name());
+    tracer.note("method", &options.method.to_string());
+    let initial = derive_traced(stg, &options.derive, tracer)?;
     let (graph, formulas, modules): (StateGraph, Vec<FormulaStat>, Vec<ModuleReport>) =
         match options.method {
             Method::Modular | Method::ModularMinArea => {
@@ -126,7 +154,7 @@ pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<SynthesisRepo
                     name_prefix: "csc",
                     min_area: options.method == Method::ModularMinArea,
                 };
-                let out = modular_resolve(&initial, &solve)?;
+                let out = modular_resolve_traced(&initial, &solve, tracer)?;
                 (out.graph, out.formulas, out.modules)
             }
             Method::Direct => {
@@ -136,7 +164,7 @@ pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<SynthesisRepo
                     name_prefix: "csc",
                     min_area: false,
                 };
-                let out = direct_resolve(&initial, &solve)?;
+                let out = direct_resolve_traced(&initial, &solve, tracer)?;
                 (out.graph, out.formulas, Vec::new())
             }
             Method::Lavagno => {
@@ -152,7 +180,7 @@ pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<SynthesisRepo
             }
         };
 
-    let functions = derive_logic_with(&graph, options.minimize)?;
+    let functions = derive_logic_traced(&graph, options.minimize, tracer)?;
     debug_assert!(verify_logic(&graph, &functions));
     Ok(SynthesisReport {
         benchmark: stg.name().to_string(),

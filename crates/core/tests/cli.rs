@@ -1,0 +1,84 @@
+//! CLI contract tests: stdout carries only machine-consumable output; the
+//! observability options write to stderr and files.
+
+use std::process::Command;
+
+fn modsyn(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_modsyn"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn stats_go_to_stderr_and_never_contaminate_stdout() {
+    let out = modsyn(&["benchmark:vbe-ex1", "--quiet", "--pla", "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+
+    // stdout: only function and PLA lines, no `#` summary, no span tree.
+    assert!(!stdout.is_empty());
+    for line in stdout.lines() {
+        assert!(
+            line.contains('=')
+                || line.starts_with('.')
+                || line.chars().next().is_some_and(|c| "01-".contains(c)),
+            "unexpected stdout line: {line:?}"
+        );
+    }
+    assert!(!stdout.contains('#'), "summary leaked into stdout");
+    assert!(!stdout.contains("├─"), "span tree leaked into stdout");
+
+    // stderr: the span tree with the pipeline stages.
+    assert!(stderr.contains("synthesize"), "stderr: {stderr}");
+    assert!(stderr.contains("modular"));
+    assert!(stderr.contains("sat.solve"));
+}
+
+#[test]
+fn trace_json_file_is_well_formed() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("modsyn-cli-trace-{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let out = modsyn(&[
+        "benchmark:vbe-ex2",
+        "--method",
+        "direct",
+        "--trace-json",
+        path_str,
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let parsed = modsyn_obs::parse_json(&text).expect("valid JSON");
+    let spans = parsed.get("spans").unwrap().as_arr().unwrap();
+    assert_eq!(spans[0].get("name").unwrap().as_str(), Some("synthesize"));
+}
+
+#[test]
+fn unwritable_trace_json_path_fails_the_run() {
+    let out = modsyn(&[
+        "benchmark:vbe-ex1",
+        "--trace-json",
+        "/nonexistent-dir/trace.json",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot write"), "stderr: {stderr}");
+}
+
+#[test]
+fn without_observability_flags_stderr_stays_empty() {
+    let out = modsyn(&["benchmark:vbe-ex1"]);
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "unexpected stderr output");
+}
+
+#[test]
+fn usage_mentions_the_observability_flags() {
+    let out = modsyn(&["--help"]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--stats"));
+    assert!(stderr.contains("--trace-json"));
+}

@@ -114,10 +114,13 @@ mod tests {
 
     #[test]
     fn union_with_complement_is_tautology() {
-        let f = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true), (1, false)]),
-            cube(3, &[(1, true), (2, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                cube(3, &[(0, true), (1, false)]),
+                cube(3, &[(1, true), (2, true)]),
+            ],
+        );
         let g = complement(&f);
         assert!(is_tautology(&f.union(&g)));
         // And disjoint:
@@ -126,10 +129,10 @@ mod tests {
 
     #[test]
     fn double_complement_is_identity_semantically() {
-        let f = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true)]),
-            cube(3, &[(1, false), (2, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![cube(3, &[(0, true)]), cube(3, &[(1, false), (2, true)])],
+        );
         let ff = complement(&complement(&f));
         assert!(f.semantically_equals(&ff));
     }

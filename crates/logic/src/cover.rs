@@ -24,12 +24,18 @@ pub struct Cover {
 impl Cover {
     /// The empty cover (constant 0) over `num_vars`.
     pub fn empty(num_vars: usize) -> Self {
-        Cover { num_vars, cubes: Vec::new() }
+        Cover {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// A cover holding the single universal cube (constant 1).
     pub fn one(num_vars: usize) -> Self {
-        Cover { num_vars, cubes: vec![Cube::full(num_vars)] }
+        Cover {
+            num_vars,
+            cubes: vec![Cube::full(num_vars)],
+        }
     }
 
     /// Builds a cover from cubes; empty cubes are dropped.
@@ -51,7 +57,7 @@ impl Cover {
         num_vars: usize,
         minterms: impl IntoIterator<Item = &'a [bool]>,
     ) -> Self {
-        Cover::from_cubes(num_vars, minterms.into_iter().map(|m| Cube::from_minterm(m)))
+        Cover::from_cubes(num_vars, minterms.into_iter().map(Cube::from_minterm))
     }
 
     /// Number of variables.
@@ -116,7 +122,10 @@ impl Cover {
             }
             out.push(row);
         }
-        Cover { num_vars: self.num_vars, cubes: out }
+        Cover {
+            num_vars: self.num_vars,
+            cubes: out,
+        }
     }
 
     /// Cofactor by a single literal.
@@ -135,7 +144,10 @@ impl Cover {
         debug_assert_eq!(self.num_vars, other.num_vars);
         let mut cubes = self.cubes.clone();
         cubes.extend(other.cubes.iter().cloned());
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Pairwise intersection of two covers (product of sums of products).
@@ -150,7 +162,10 @@ impl Cover {
                 }
             }
         }
-        Cover { num_vars: self.num_vars, cubes }
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
     }
 
     /// Removes cubes single-cube-contained in another cube of the cover.
@@ -173,7 +188,8 @@ impl Cover {
             }
         }
         let mut it = keep.iter();
-        self.cubes.retain(|_| *it.next().expect("keep has one entry per cube"));
+        self.cubes
+            .retain(|_| *it.next().expect("keep has one entry per cube"));
     }
 
     /// Picks the most binate variable (appears in both polarities, maximum
@@ -219,7 +235,10 @@ impl Cover {
     ///
     /// Panics if the universe exceeds 24 variables.
     pub fn semantically_equals(&self, other: &Cover) -> bool {
-        assert!(self.num_vars <= 24, "too many variables for exhaustive check");
+        assert!(
+            self.num_vars <= 24,
+            "too many variables for exhaustive check"
+        );
         debug_assert_eq!(self.num_vars, other.num_vars);
         let mut values = vec![false; self.num_vars];
         for bits in 0u64..(1u64 << self.num_vars) {
@@ -254,10 +273,13 @@ mod tests {
     use super::*;
 
     fn xor2() -> Cover {
-        Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true), (1, false)]),
-            Cube::from_literals(2, &[(0, false), (1, true)]),
-        ])
+        Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true), (1, false)]),
+                Cube::from_literals(2, &[(0, false), (1, true)]),
+            ],
+        )
     }
 
     #[test]
@@ -280,10 +302,13 @@ mod tests {
 
     #[test]
     fn covers_cube_via_tautology() {
-        let f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(0, false)]),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, false)]),
+            ],
+        );
         assert!(f.covers_cube(&Cube::full(2)));
         let g = xor2();
         assert!(!g.covers_cube(&Cube::full(2)));
@@ -304,11 +329,14 @@ mod tests {
 
     #[test]
     fn drop_contained_removes_subsumed_rows() {
-        let mut f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(0, true), (1, true)]),
-            Cube::from_literals(2, &[(0, true)]), // duplicate
-        ]);
+        let mut f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, true), (1, true)]),
+                Cube::from_literals(2, &[(0, true)]), // duplicate
+            ],
+        );
         f.drop_contained();
         assert_eq!(f.cube_count(), 1);
         assert_eq!(f.cubes()[0].literal_count(), 1);
@@ -334,10 +362,13 @@ mod tests {
     #[test]
     fn semantic_equality() {
         let f = xor2();
-        let g = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, false), (1, true)]),
-            Cube::from_literals(2, &[(0, true), (1, false)]),
-        ]);
+        let g = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, false), (1, true)]),
+                Cube::from_literals(2, &[(0, true), (1, false)]),
+            ],
+        );
         assert!(f.semantically_equals(&g));
         assert!(!f.semantically_equals(&Cover::one(2)));
     }

@@ -118,18 +118,19 @@ impl Cube {
     pub fn is_empty(&self) -> bool {
         // A slot is empty iff both bits are 0. Detect any 00 pair.
         for (i, &w) in self.words.iter().enumerate() {
-            let vars_here = if i + 1 == self.words.len() && self.num_vars % VARS_PER_WORD != 0 {
-                self.num_vars % VARS_PER_WORD
-            } else {
-                VARS_PER_WORD
-            };
+            let vars_here =
+                if i + 1 == self.words.len() && !self.num_vars.is_multiple_of(VARS_PER_WORD) {
+                    self.num_vars % VARS_PER_WORD
+                } else {
+                    VARS_PER_WORD
+                };
             let lo = w & 0x5555_5555_5555_5555;
             let hi = (w >> 1) & 0x5555_5555_5555_5555;
             let nonempty = lo | hi; // slot has some bit
             let mask = if vars_here == VARS_PER_WORD {
                 0x5555_5555_5555_5555
             } else {
-                (1u64 << (2 * vars_here)) - 1 & 0x5555_5555_5555_5555
+                ((1u64 << (2 * vars_here)) - 1) & 0x5555_5555_5555_5555
             };
             if nonempty & mask != mask {
                 return true;
@@ -140,7 +141,9 @@ impl Cube {
 
     /// Number of literals (non-don't-care variables).
     pub fn literal_count(&self) -> usize {
-        (0..self.num_vars).filter(|&v| self.literal(v).is_some()).count()
+        (0..self.num_vars)
+            .filter(|&v| self.literal(v).is_some())
+            .count()
     }
 
     /// Bitwise intersection; empty if the cubes conflict on some variable.
@@ -152,7 +155,10 @@ impl Cube {
             .zip(&other.words)
             .map(|(a, b)| a & b)
             .collect();
-        Cube { num_vars: self.num_vars, words }
+        Cube {
+            num_vars: self.num_vars,
+            words,
+        }
     }
 
     /// Whether the two cubes share at least one minterm.
@@ -193,7 +199,10 @@ impl Cube {
             .zip(&other.words)
             .map(|(a, b)| a | b)
             .collect();
-        Cube { num_vars: self.num_vars, words }
+        Cube {
+            num_vars: self.num_vars,
+            words,
+        }
     }
 
     /// Whether the cube contains the given minterm.

@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn display_mentions_counts() {
-        let e = LogicError::UniverseMismatch { names: 2, variables: 5 };
+        let e = LogicError::UniverseMismatch {
+            names: 2,
+            variables: 5,
+        };
         assert!(e.to_string().contains('2'));
         assert!(e.to_string().contains('5'));
     }

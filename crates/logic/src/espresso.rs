@@ -179,7 +179,26 @@ pub fn minimize(on: &Cover, dc: &Cover) -> MinimizeResult {
         "minimised cover intersects the OFF-set"
     );
 
-    MinimizeResult { cover: f, iterations }
+    MinimizeResult {
+        cover: f,
+        iterations,
+    }
+}
+
+/// [`minimize`] wrapped in an `espresso` observability span recording cube
+/// counts before/after, the literal count, and the iteration total. With a
+/// disabled tracer this is exactly [`minimize`].
+pub fn minimize_traced(on: &Cover, dc: &Cover, tracer: &modsyn_obs::Tracer) -> MinimizeResult {
+    if !tracer.is_enabled() {
+        return minimize(on, dc);
+    }
+    let _span = tracer.span("espresso");
+    tracer.gauge("cubes_in", on.cube_count() as f64);
+    let result = minimize(on, dc);
+    tracer.counter("iterations", result.iterations as u64);
+    tracer.gauge("cubes_out", result.cover.cube_count() as f64);
+    tracer.gauge("literals", result.literal_count() as f64);
+    result
 }
 
 #[cfg(test)]
@@ -194,10 +213,13 @@ mod tests {
     #[test]
     fn merge_adjacent_minterms() {
         // ab + ab' = a.
-        let on = Cover::from_cubes(2, vec![
-            cube(2, &[(0, true), (1, true)]),
-            cube(2, &[(0, true), (1, false)]),
-        ]);
+        let on = Cover::from_cubes(
+            2,
+            vec![
+                cube(2, &[(0, true), (1, true)]),
+                cube(2, &[(0, true), (1, false)]),
+            ],
+        );
         let r = minimize(&on, &Cover::empty(2));
         assert_eq!(r.cover.cube_count(), 1);
         assert_eq!(r.cover.literal_count(), 1);
@@ -206,10 +228,13 @@ mod tests {
 
     #[test]
     fn xor_cannot_be_reduced() {
-        let on = Cover::from_cubes(2, vec![
-            cube(2, &[(0, true), (1, false)]),
-            cube(2, &[(0, false), (1, true)]),
-        ]);
+        let on = Cover::from_cubes(
+            2,
+            vec![
+                cube(2, &[(0, true), (1, false)]),
+                cube(2, &[(0, false), (1, true)]),
+            ],
+        );
         let r = minimize(&on, &Cover::empty(2));
         assert_eq!(r.cover.cube_count(), 2);
         assert_eq!(r.cover.literal_count(), 4);
@@ -219,23 +244,45 @@ mod tests {
     fn dont_cares_enable_collapse() {
         // ON = {11}, DC = {10, 01, 00}: function can become constant 1.
         let on = Cover::from_cubes(2, vec![cube(2, &[(0, true), (1, true)])]);
-        let dc = Cover::from_cubes(2, vec![
-            cube(2, &[(0, true), (1, false)]),
-            cube(2, &[(0, false)]),
-        ]);
+        let dc = Cover::from_cubes(
+            2,
+            vec![cube(2, &[(0, true), (1, false)]), cube(2, &[(0, false)])],
+        );
         let r = minimize(&on, &dc);
         assert_eq!(r.cover.literal_count(), 0);
         assert!(is_tautology(&r.cover));
     }
 
     #[test]
+    fn minimize_traced_records_an_espresso_span() {
+        let on = Cover::from_cubes(
+            2,
+            vec![
+                cube(2, &[(0, true), (1, true)]),
+                cube(2, &[(0, true), (1, false)]),
+            ],
+        );
+        let tracer = modsyn_obs::Tracer::enabled();
+        let r = minimize_traced(&on, &Cover::empty(2), &tracer);
+        let report = tracer.report();
+        let spans = report.spans_with_prefix("espresso");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].gauge("cubes_in"), Some(2.0));
+        assert_eq!(spans[0].gauge("cubes_out"), Some(1.0));
+        assert_eq!(spans[0].counter("iterations"), Some(r.iterations as u64));
+    }
+
+    #[test]
     fn redundant_consensus_cube_is_removed() {
         // ab + a'c + bc: the bc term is redundant.
-        let on = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true), (1, true)]),
-            cube(3, &[(0, false), (2, true)]),
-            cube(3, &[(1, true), (2, true)]),
-        ]);
+        let on = Cover::from_cubes(
+            3,
+            vec![
+                cube(3, &[(0, true), (1, true)]),
+                cube(3, &[(0, false), (2, true)]),
+                cube(3, &[(1, true), (2, true)]),
+            ],
+        );
         let r = minimize(&on, &Cover::empty(3));
         assert_eq!(r.cover.cube_count(), 2);
         assert!(r.cover.semantically_equals(&on));
@@ -243,11 +290,14 @@ mod tests {
 
     #[test]
     fn expanded_cubes_are_prime() {
-        let on = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true), (1, true), (2, true)]),
-            cube(3, &[(0, true), (1, true), (2, false)]),
-            cube(3, &[(0, true), (1, false), (2, true)]),
-        ]);
+        let on = Cover::from_cubes(
+            3,
+            vec![
+                cube(3, &[(0, true), (1, true), (2, true)]),
+                cube(3, &[(0, true), (1, true), (2, false)]),
+                cube(3, &[(0, true), (1, false), (2, true)]),
+            ],
+        );
         let r = minimize(&on, &Cover::empty(3));
         // Every cube must be prime: raising any literal must hit the OFF-set.
         let off = complement(&on);
@@ -304,17 +354,18 @@ mod tests {
             }
             let on = Cover::from_minterms(n, minterms.iter().map(|m| m.as_slice()));
             let r = minimize(&on, &Cover::empty(n));
-            assert!(r.cover.semantically_equals(&on), "on:\n{on}\nresult:\n{}", r.cover);
+            assert!(
+                r.cover.semantically_equals(&on),
+                "on:\n{on}\nresult:\n{}",
+                r.cover
+            );
             assert!(r.cover.literal_count() <= on.literal_count());
         }
     }
 
     #[test]
     fn reduce_keeps_coverage() {
-        let on = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true)]),
-            cube(3, &[(1, true)]),
-        ]);
+        let on = Cover::from_cubes(3, vec![cube(3, &[(0, true)]), cube(3, &[(1, true)])]);
         let reduced = reduce(&on, &Cover::empty(3));
         for c in on.cubes() {
             assert!(reduced.covers_cube(c), "lost {c}");

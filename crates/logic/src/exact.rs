@@ -26,7 +26,11 @@ pub struct ExactLimits {
 
 impl Default for ExactLimits {
     fn default() -> Self {
-        ExactLimits { max_vars: 14, max_nodes: 200_000, max_care_minterms: 2_000 }
+        ExactLimits {
+            max_vars: 14,
+            max_nodes: 200_000,
+            max_care_minterms: 2_000,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ pub fn minimize_exact(on: &Cover, dc: &Cover, limits: &ExactLimits) -> MinimizeR
         }
     }
     if on_minterms.is_empty() {
-        return MinimizeResult { cover: Cover::empty(n), iterations: 0 };
+        return MinimizeResult {
+            cover: Cover::empty(n),
+            iterations: 0,
+        };
     }
     if care_minterms.len() > limits.max_care_minterms {
         return minimize(on, dc);
@@ -107,15 +114,17 @@ pub fn minimize_exact(on: &Cover, dc: &Cover, limits: &ExactLimits) -> MinimizeR
         return minimize(on, dc); // node budget blown
     };
     let cubes = chosen.iter().map(|&pi| prime_to_cube(n, primes[pi]));
-    MinimizeResult { cover: Cover::from_cubes(n, cubes), iterations: nodes }
+    MinimizeResult {
+        cover: Cover::from_cubes(n, cubes),
+        iterations: nodes,
+    }
 }
 
 /// Quine–McCluskey prime generation over `(value, mask)` cubes — `mask`
 /// bits mark fixed positions.
 fn prime_implicants(n: usize, care: &[u32]) -> Vec<(u32, u32)> {
     let full_mask: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
-    let mut current: HashSet<(u32, u32)> =
-        care.iter().map(|&m| (m, full_mask)).collect();
+    let mut current: HashSet<(u32, u32)> = care.iter().map(|&m| (m, full_mask)).collect();
     let mut primes: Vec<(u32, u32)> = Vec::new();
 
     while !current.is_empty() {
@@ -273,10 +282,7 @@ mod tests {
     fn dont_cares_are_exploited() {
         // ON = {11}, DC = everything else: constant 1.
         let on = Cover::from_cubes(2, vec![cube(2, &[(0, true), (1, true)])]);
-        let dc = Cover::from_cubes(2, vec![
-            cube(2, &[(0, false)]),
-            cube(2, &[(1, false)]),
-        ]);
+        let dc = Cover::from_cubes(2, vec![cube(2, &[(0, false)]), cube(2, &[(1, false)])]);
         let r = minimize_exact(&on, &dc, &ExactLimits::default());
         assert_eq!(r.cover.literal_count(), 0);
     }
@@ -320,7 +326,11 @@ mod tests {
 
     #[test]
     fn oversized_instances_fall_back_to_heuristic() {
-        let limits = ExactLimits { max_vars: 2, max_nodes: 10, max_care_minterms: 2_000 };
+        let limits = ExactLimits {
+            max_vars: 2,
+            max_nodes: 10,
+            max_care_minterms: 2_000,
+        };
         let on = Cover::from_cubes(3, vec![cube(3, &[(0, true)])]);
         let r = minimize_exact(&on, &Cover::empty(3), &limits);
         assert!(r.cover.semantically_equals(&on));

@@ -25,7 +25,10 @@ pub struct DelayModel {
 impl DelayModel {
     /// Unit delays everywhere.
     pub fn unit(cubes: usize) -> Self {
-        DelayModel { and_delays: vec![1; cubes], or_delay: 1 }
+        DelayModel {
+            and_delays: vec![1; cubes],
+            or_delay: 1,
+        }
     }
 }
 
@@ -66,7 +69,11 @@ pub fn simulate_cover(
     delays: &DelayModel,
     steps: &[(u64, Vec<bool>)],
 ) -> SimulationTrace {
-    assert_eq!(delays.and_delays.len(), cover.cube_count(), "one delay per cube");
+    assert_eq!(
+        delays.and_delays.len(),
+        cover.cube_count(),
+        "one delay per cube"
+    );
     let mut trace = SimulationTrace::default();
     if steps.is_empty() {
         return trace;
@@ -143,10 +150,13 @@ mod tests {
 
     /// The textbook hazard function f = ab + a'c.
     fn hazardous() -> Cover {
-        Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (1, true)]),
-            Cube::from_literals(3, &[(0, false), (2, true)]),
-        ])
+        Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, true)]),
+                Cube::from_literals(3, &[(0, false), (2, true)]),
+            ],
+        )
     }
 
     #[test]
@@ -154,7 +164,10 @@ mod tests {
         let f = hazardous();
         // ab turns off fast (delay 1), a'c turns on slow (delay 3): the
         // output must glitch low when a falls with b = c = 1.
-        let delays = DelayModel { and_delays: vec![1, 3], or_delay: 1 };
+        let delays = DelayModel {
+            and_delays: vec![1, 3],
+            or_delay: 1,
+        };
         let steps = vec![
             (0u64, vec![true, true, true]),
             (100, vec![false, true, true]), // a falls
@@ -165,8 +178,14 @@ mod tests {
         assert_eq!(
             trace.output_events,
             vec![
-                OutputEvent { time: 102, value: false },
-                OutputEvent { time: 104, value: true },
+                OutputEvent {
+                    time: 102,
+                    value: false
+                },
+                OutputEvent {
+                    time: 104,
+                    value: true
+                },
             ]
         );
     }
@@ -175,7 +194,10 @@ mod tests {
     fn consensus_term_suppresses_the_glitch() {
         let mut f = hazardous();
         f.push(Cube::from_literals(3, &[(1, true), (2, true)])); // bc
-        let delays = DelayModel { and_delays: vec![1, 3, 2], or_delay: 1 };
+        let delays = DelayModel {
+            and_delays: vec![1, 3, 2],
+            or_delay: 1,
+        };
         let steps = vec![
             (0u64, vec![true, true, true]),
             (100, vec![false, true, true]),
@@ -206,7 +228,10 @@ mod tests {
         // Same hazardous cover, but the turning-on AND is the fast one: no
         // observable glitch (hazards are delay-dependent).
         let f = hazardous();
-        let delays = DelayModel { and_delays: vec![3, 1], or_delay: 1 };
+        let delays = DelayModel {
+            and_delays: vec![3, 1],
+            or_delay: 1,
+        };
         let steps = vec![
             (0u64, vec![true, true, true]),
             (100, vec![false, true, true]),

@@ -72,19 +72,19 @@ mod tests {
 
     fn classic_hazard_function() -> Cover {
         // f = ab + a'c.
-        Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (1, true)]),
-            Cube::from_literals(3, &[(0, false), (2, true)]),
-        ])
+        Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, true)]),
+                Cube::from_literals(3, &[(0, false), (2, true)]),
+            ],
+        )
     }
 
     #[test]
     fn detects_the_textbook_hazard() {
         let f = classic_hazard_function();
-        let report = static_hazards(
-            &f,
-            &[(vec![true, true, true], vec![false, true, true])],
-        );
+        let report = static_hazards(&f, &[(vec![true, true, true], vec![false, true, true])]);
         assert_eq!(report.examined, 1);
         assert_eq!(report.hazardous.len(), 1);
     }
@@ -94,10 +94,7 @@ mod tests {
         // f = ab + a'c + bc is hazard-free on the same transition.
         let mut f = classic_hazard_function();
         f.push(Cube::from_literals(3, &[(1, true), (2, true)]));
-        let report = static_hazards(
-            &f,
-            &[(vec![true, true, true], vec![false, true, true])],
-        );
+        let report = static_hazards(&f, &[(vec![true, true, true], vec![false, true, true])]);
         assert_eq!(report.examined, 1);
         assert!(report.is_clean());
     }

@@ -45,7 +45,7 @@ pub use complement::complement;
 pub use cover::Cover;
 pub use cube::Cube;
 pub use error::LogicError;
-pub use espresso::{expand, irredundant, minimize, reduce, MinimizeResult};
+pub use espresso::{expand, irredundant, minimize, minimize_traced, reduce, MinimizeResult};
 pub use exact::{minimize_exact, ExactLimits};
 pub use gatesim::{simulate_cover, DelayModel, OutputEvent, SimulationTrace};
 pub use hazard::{static_hazards, HazardReport};

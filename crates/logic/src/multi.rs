@@ -105,15 +105,16 @@ pub fn minimize_multi(on: &[Cover], dc: &[Cover]) -> MultiCover {
     // Expand phase: raise input literals where every connected output's
     // OFF-set permits; then widen the output mask with every compatible,
     // useful output.
+    #[allow(clippy::needless_range_loop)] // `cubes` is re-borrowed mutably inside the loop
     for i in 0..cubes.len() {
         let mut cube = cubes[i].cube.clone();
         let mask = cubes[i].outputs;
         for (v, _pol) in cube.literals() {
             let mut raised = cube.clone();
             raised.set_literal(v, None);
-            let ok = (0..m).filter(|&o| mask >> o & 1 == 1).all(|o| {
-                !offs[o].cubes().iter().any(|oc| oc.intersects(&raised))
-            });
+            let ok = (0..m)
+                .filter(|&o| mask >> o & 1 == 1)
+                .all(|o| !offs[o].cubes().iter().any(|oc| oc.intersects(&raised)));
             if ok {
                 cube = raised;
             }
@@ -134,6 +135,7 @@ pub fn minimize_multi(on: &[Cover], dc: &[Cover]) -> MultiCover {
 
     // Irredundant phase, per output: drop connections whose contribution
     // is covered by the other connected terms plus the don't-cares.
+    #[allow(clippy::needless_range_loop)] // `o` also masks `cubes[i].outputs`
     for o in 0..m {
         // Process most-specific terms first, as in the single-output loop.
         let mut order: Vec<usize> = (0..cubes.len())
@@ -157,7 +159,11 @@ pub fn minimize_multi(on: &[Cover], dc: &[Cover]) -> MultiCover {
     }
     cubes.retain(|mc| mc.outputs != 0);
 
-    let result = MultiCover { num_vars: n, num_outputs: m, cubes };
+    let result = MultiCover {
+        num_vars: n,
+        num_outputs: m,
+        cubes,
+    };
     debug_assert!((0..m).all(|o| {
         let f = result.function(o);
         on[o].cubes().iter().all(|c| f.union(&dc[o]).covers_cube(c))
@@ -180,10 +186,10 @@ mod tests {
     fn shared_term_is_discovered() {
         // f0 = ab, f1 = ab + c: the ab term should be shared.
         let f0 = Cover::from_cubes(3, vec![cube(3, &[(0, true), (1, true)])]);
-        let f1 = Cover::from_cubes(3, vec![
-            cube(3, &[(0, true), (1, true)]),
-            cube(3, &[(2, true)]),
-        ]);
+        let f1 = Cover::from_cubes(
+            3,
+            vec![cube(3, &[(0, true), (1, true)]), cube(3, &[(2, true)])],
+        );
         let dc = vec![Cover::empty(3), Cover::empty(3)];
         let result = minimize_multi(&[f0.clone(), f1.clone()], &dc);
         assert_eq!(result.term_count(), 2, "{:?}", result.cubes());
@@ -262,10 +268,7 @@ mod tests {
             assert!(f.semantically_equals(if o == 0 { &f0 } else { &f1 }));
         }
         // f1's only term is ab (a would hit f1's OFF-set), f0's is a.
-        assert!(result
-            .cubes()
-            .iter()
-            .all(|mc| mc.outputs.count_ones() == 1));
+        assert!(result.cubes().iter().all(|mc| mc.outputs.count_ones() == 1));
     }
 
     #[test]

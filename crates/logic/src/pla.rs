@@ -56,11 +56,7 @@ pub fn parse_pla(input: &str) -> Result<(Cover, Cover), LogicError> {
                 let _ = rest;
                 continue;
             }
-            num_inputs = Some(
-                rest.trim()
-                    .parse()
-                    .map_err(|_| err("bad .i count"))?,
-            );
+            num_inputs = Some(rest.trim().parse().map_err(|_| err("bad .i count"))?);
         } else if let Some(rest) = line.strip_prefix(".o") {
             if rest.starts_with('b') {
                 continue; // .ob output labels
@@ -98,7 +94,10 @@ pub fn parse_pla(input: &str) -> Result<(Cover, Cover), LogicError> {
             }
         }
     }
-    let n = num_inputs.ok_or(LogicError::ParsePla { line: 0, message: "missing .i".into() })?;
+    let n = num_inputs.ok_or(LogicError::ParsePla {
+        line: 0,
+        message: "missing .i".into(),
+    })?;
     Ok((Cover::from_cubes(n, on), Cover::from_cubes(n, dc)))
 }
 
@@ -109,10 +108,13 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_semantics() {
-        let f = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (1, false)]),
-            Cube::from_literals(3, &[(2, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, false)]),
+                Cube::from_literals(3, &[(2, true)]),
+            ],
+        );
         let (on, dc) = parse_pla(&write_pla(&f)).unwrap();
         assert!(dc.is_empty());
         assert!(on.semantically_equals(&f));

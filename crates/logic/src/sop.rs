@@ -94,7 +94,13 @@ mod tests {
     fn mismatched_names_are_rejected() {
         let cover = Cover::empty(3);
         let err = Sop::new(vec!["a".into()], cover).unwrap_err();
-        assert_eq!(err, LogicError::UniverseMismatch { names: 1, variables: 3 });
+        assert_eq!(
+            err,
+            LogicError::UniverseMismatch {
+                names: 1,
+                variables: 3
+            }
+        );
     }
 
     #[test]
@@ -107,12 +113,14 @@ mod tests {
 
     #[test]
     fn display_multi_term() {
-        let cover = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (2, false)]),
-            Cube::from_literals(3, &[(1, true)]),
-        ]);
-        let sop =
-            Sop::new(vec!["a".into(), "b".into(), "c".into()], cover).unwrap();
+        let cover = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (2, false)]),
+                Cube::from_literals(3, &[(1, true)]),
+            ],
+        );
+        let sop = Sop::new(vec!["a".into(), "b".into(), "c".into()], cover).unwrap();
         assert_eq!(sop.to_string(), "a & !c | b");
         assert_eq!(sop.literal_count(), 3);
     }

@@ -88,8 +88,7 @@ mod tests {
         let n = 3;
         let mut cubes = Vec::new();
         for bits in 0..(1 << n) {
-            let lits: Vec<(usize, bool)> =
-                (0..n).map(|v| (v, bits >> v & 1 == 1)).collect();
+            let lits: Vec<(usize, bool)> = (0..n).map(|v| (v, bits >> v & 1 == 1)).collect();
             cubes.push(cube(n, &lits));
         }
         assert!(is_tautology(&Cover::from_cubes(n, cubes)));
@@ -100,8 +99,7 @@ mod tests {
         let n = 3;
         let mut cubes = Vec::new();
         for bits in 1..(1 << n) {
-            let lits: Vec<(usize, bool)> =
-                (0..n).map(|v| (v, bits >> v & 1 == 1)).collect();
+            let lits: Vec<(usize, bool)> = (0..n).map(|v| (v, bits >> v & 1 == 1)).collect();
             cubes.push(cube(n, &lits));
         }
         assert!(!is_tautology(&Cover::from_cubes(n, cubes)));
@@ -110,11 +108,14 @@ mod tests {
     #[test]
     fn mixed_granularity_tautology() {
         // a + a'b + a'b' = 1.
-        let f = Cover::from_cubes(2, vec![
-            cube(2, &[(0, true)]),
-            cube(2, &[(0, false), (1, true)]),
-            cube(2, &[(0, false), (1, false)]),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                cube(2, &[(0, true)]),
+                cube(2, &[(0, false), (1, true)]),
+                cube(2, &[(0, false), (1, false)]),
+            ],
+        );
         assert!(is_tautology(&f));
     }
 

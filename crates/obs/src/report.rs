@@ -1,0 +1,410 @@
+//! Aggregating raw events into a span tree, the human-readable summary
+//! renderer, and the machine-readable JSON dump.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::tracer::Event;
+
+/// One span with its aggregated metrics and children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span id from the tracer.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Start time, µs since tracer creation.
+    pub start_us: u64,
+    /// End time, `None` if still open at capture.
+    pub end_us: Option<u64>,
+    /// Nested spans in chronological order.
+    pub children: Vec<SpanNode>,
+    /// Counters summed over the span (insertion order).
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, last write wins (insertion order).
+    pub gauges: Vec<(String, f64)>,
+    /// Annotations in recording order.
+    pub notes: Vec<(String, String)>,
+}
+
+impl SpanNode {
+    /// Span duration in µs; open spans run until `capture_us`.
+    pub fn duration_us(&self, capture_us: u64) -> u64 {
+        self.end_us
+            .unwrap_or(capture_us)
+            .saturating_sub(self.start_us)
+    }
+
+    /// Value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of a note, if recorded.
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth-first spans of this subtree (self included) satisfying `pred`.
+    pub fn spans_where<'a>(&'a self, pred: &dyn Fn(&SpanNode) -> bool) -> Vec<&'a SpanNode> {
+        let mut out = Vec::new();
+        if pred(self) {
+            out.push(self);
+        }
+        for c in &self.children {
+            out.extend(c.spans_where(pred));
+        }
+        out
+    }
+}
+
+/// The aggregated run report: the span forest plus top-level metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Top-level spans in chronological order.
+    pub roots: Vec<SpanNode>,
+    /// Counters recorded outside any span.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges recorded outside any span.
+    pub gauges: Vec<(String, f64)>,
+    /// Notes recorded outside any span.
+    pub notes: Vec<(String, String)>,
+    /// Capture time, µs since tracer creation.
+    pub capture_us: u64,
+}
+
+fn add_counter(counters: &mut Vec<(String, u64)>, name: &str, delta: u64) {
+    match counters.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v += delta,
+        None => counters.push((name.to_string(), delta)),
+    }
+}
+
+fn set_gauge(gauges: &mut Vec<(String, f64)>, name: &str, value: f64) {
+    match gauges.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => gauges.push((name.to_string(), value)),
+    }
+}
+
+impl Report {
+    /// Builds the report from a raw event log. `capture_us` bounds the
+    /// duration of spans still open.
+    pub fn from_events(events: &[Event], capture_us: u64) -> Report {
+        let mut nodes: BTreeMap<u64, SpanNode> = BTreeMap::new();
+        let mut parent_of: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        let mut report = Report {
+            capture_us,
+            ..Report::default()
+        };
+
+        for event in events {
+            match event {
+                Event::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    at_us,
+                } => {
+                    parent_of.insert(*id, *parent);
+                    nodes.insert(
+                        *id,
+                        SpanNode {
+                            id: *id,
+                            name: name.clone(),
+                            start_us: *at_us,
+                            end_us: None,
+                            children: Vec::new(),
+                            counters: Vec::new(),
+                            gauges: Vec::new(),
+                            notes: Vec::new(),
+                        },
+                    );
+                }
+                Event::SpanEnd { id, at_us } => {
+                    if let Some(node) = nodes.get_mut(id) {
+                        node.end_us = Some(*at_us);
+                    }
+                }
+                Event::Counter { span, name, delta } => {
+                    match span.and_then(|s| nodes.get_mut(&s)) {
+                        Some(node) => add_counter(&mut node.counters, name, *delta),
+                        None => add_counter(&mut report.counters, name, *delta),
+                    }
+                }
+                Event::Gauge { span, name, value } => match span.and_then(|s| nodes.get_mut(&s)) {
+                    Some(node) => set_gauge(&mut node.gauges, name, *value),
+                    None => set_gauge(&mut report.gauges, name, *value),
+                },
+                Event::Note { span, key, value } => match span.and_then(|s| nodes.get_mut(&s)) {
+                    Some(node) => node.notes.push((key.clone(), value.clone())),
+                    None => report.notes.push((key.clone(), value.clone())),
+                },
+            }
+        }
+
+        // Ids increase with creation time, so every parent has a smaller id
+        // than its children; folding children in reverse id order keeps
+        // each child's subtree complete when it moves into its parent.
+        let ids: Vec<u64> = nodes.keys().rev().copied().collect();
+        for id in ids {
+            let Some(Some(parent)) = parent_of.get(&id) else {
+                continue;
+            };
+            let node = nodes.remove(&id).expect("node exists");
+            if let Some(p) = nodes.get_mut(parent) {
+                p.children.insert(0, node);
+            }
+        }
+        report.roots = nodes.into_values().collect();
+        report
+    }
+
+    /// Depth-first spans whose name satisfies `pred`.
+    pub fn spans_where<'a>(&'a self, pred: &dyn Fn(&SpanNode) -> bool) -> Vec<&'a SpanNode> {
+        fn walk<'a>(
+            node: &'a SpanNode,
+            pred: &dyn Fn(&SpanNode) -> bool,
+            out: &mut Vec<&'a SpanNode>,
+        ) {
+            if pred(node) {
+                out.push(node);
+            }
+            for c in &node.children {
+                walk(c, pred, out);
+            }
+        }
+        let mut out = Vec::new();
+        for r in &self.roots {
+            walk(r, pred, &mut out);
+        }
+        out
+    }
+
+    /// Depth-first spans whose name starts with `prefix`.
+    pub fn spans_with_prefix<'a>(&'a self, prefix: &str) -> Vec<&'a SpanNode> {
+        self.spans_where(&|n| n.name.starts_with(prefix))
+    }
+
+    /// Renders the human-readable summary tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            self.render_node(root, "", true, true, &mut out);
+        }
+        let mut top = String::new();
+        push_metrics(&mut top, &self.counters, &self.gauges, &self.notes);
+        if !top.is_empty() {
+            out.push_str("top-level:");
+            out.push_str(&top);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_node(&self, node: &SpanNode, prefix: &str, last: bool, root: bool, out: &mut String) {
+        let (branch, child_prefix) = if root {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let label = format!("{branch}{}", node.name);
+        let duration = format_us(node.duration_us(self.capture_us));
+        let pad = 48usize.saturating_sub(label.chars().count()).max(1);
+        out.push_str(&label);
+        out.push(' ');
+        for _ in 0..pad {
+            out.push('·');
+        }
+        out.push(' ');
+        out.push_str(&duration);
+        if node.end_us.is_none() {
+            out.push_str(" (open)");
+        }
+        push_metrics(out, &node.counters, &node.gauges, &node.notes);
+        out.push('\n');
+        for (i, c) in node.children.iter().enumerate() {
+            self.render_node(c, &child_prefix, i + 1 == node.children.len(), false, out);
+        }
+    }
+
+    /// The full machine-readable dump: span tree with timings and metrics.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::from(1u64)),
+            ("capture_us", Json::from(self.capture_us)),
+            (
+                "spans",
+                Json::Arr(self.roots.iter().map(|r| self.span_json(r)).collect()),
+            ),
+            ("counters", metrics_json(&self.counters, |&v| Json::from(v))),
+            ("gauges", metrics_json(&self.gauges, |&v| Json::from(v))),
+            ("notes", notes_json(&self.notes)),
+        ])
+    }
+
+    fn span_json(&self, node: &SpanNode) -> Json {
+        Json::obj([
+            ("name", Json::from(node.name.as_str())),
+            ("id", Json::from(node.id)),
+            ("start_us", Json::from(node.start_us)),
+            ("end_us", node.end_us.map_or(Json::Null, Json::from)),
+            ("duration_us", Json::from(node.duration_us(self.capture_us))),
+            ("counters", metrics_json(&node.counters, |&v| Json::from(v))),
+            ("gauges", metrics_json(&node.gauges, |&v| Json::from(v))),
+            ("notes", notes_json(&node.notes)),
+            (
+                "children",
+                Json::Arr(node.children.iter().map(|c| self.span_json(c)).collect()),
+            ),
+        ])
+    }
+}
+
+fn metrics_json<T>(metrics: &[(String, T)], value: impl Fn(&T) -> Json) -> Json {
+    Json::Obj(metrics.iter().map(|(k, v)| (k.clone(), value(v))).collect())
+}
+
+fn notes_json(notes: &[(String, String)]) -> Json {
+    // Notes may repeat a key, so they dump as [key, value] pairs.
+    Json::Arr(
+        notes
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::from(k.as_str()), Json::from(v.as_str())]))
+            .collect(),
+    )
+}
+
+fn push_metrics(
+    out: &mut String,
+    counters: &[(String, u64)],
+    gauges: &[(String, f64)],
+    notes: &[(String, String)],
+) {
+    for (k, v) in counters {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    for (k, v) in gauges {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    for (k, v) in notes {
+        out.push_str(&format!(" {k}={v}"));
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::parse_json;
+    use crate::tracer::Tracer;
+
+    fn sample() -> Tracer {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            {
+                let _a = t.span("phase-a");
+                t.counter("items", 3);
+                t.counter("items", 2);
+                t.gauge("size", 10.0);
+                t.gauge("size", 12.5);
+            }
+            {
+                let _b = t.span("phase-b");
+                t.note("outcome", "ok");
+            }
+        }
+        t.counter("loose", 1);
+        t
+    }
+
+    #[test]
+    fn tree_structure_and_aggregation() {
+        let report = sample().report();
+        assert_eq!(report.roots.len(), 1);
+        let run = &report.roots[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children.len(), 2);
+        let a = &run.children[0];
+        assert_eq!(a.counter("items"), Some(5), "counters sum");
+        assert_eq!(a.gauge("size"), Some(12.5), "last gauge wins");
+        assert_eq!(run.children[1].note("outcome"), Some("ok"));
+        assert_eq!(report.counters, vec![("loose".to_string(), 1)]);
+        assert!(run.end_us.is_some());
+    }
+
+    #[test]
+    fn render_shows_every_span_and_metric() {
+        let text = sample().report().render();
+        for needle in [
+            "run",
+            "phase-a",
+            "phase-b",
+            "items=5",
+            "size=12.5",
+            "outcome=ok",
+            "loose=1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_dump_round_trips_and_has_spans() {
+        let json = sample().report().to_json();
+        let parsed = parse_json(&json.pretty()).unwrap();
+        let spans = parsed.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        let children = spans[0].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(children.len(), 2);
+        assert_eq!(
+            children[0]
+                .get("counters")
+                .unwrap()
+                .get("items")
+                .unwrap()
+                .as_f64(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn spans_with_prefix_walks_depth_first() {
+        let report = sample().report();
+        assert_eq!(report.spans_with_prefix("phase-").len(), 2);
+        assert_eq!(report.spans_with_prefix("run").len(), 1);
+        assert!(report.spans_with_prefix("nope").is_empty());
+    }
+
+    #[test]
+    fn open_spans_render_with_capture_bound() {
+        let t = Tracer::enabled();
+        let _open = t.span("still-open");
+        let report = t.report();
+        assert_eq!(report.roots.len(), 1);
+        assert!(report.roots[0].end_us.is_none());
+        assert!(report.render().contains("(open)"));
+    }
+}

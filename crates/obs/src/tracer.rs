@@ -1,0 +1,345 @@
+//! The span tracer and its thread-safe event sink.
+//!
+//! A [`Tracer`] is a cheap clonable handle. [`Tracer::disabled`] (the
+//! default) carries no sink at all: every recording method starts with a
+//! branch on `inner.is_none()` and returns before any formatting or
+//! allocation happens, which is what keeps instrumented hot paths zero-cost
+//! when observability is off. [`Tracer::enabled`] shares one mutex-guarded
+//! event log between all clones.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::report::Report;
+
+/// One recorded observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Span id, unique within the tracer.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+        /// Microseconds since the tracer was created.
+        at_us: u64,
+    },
+    /// A span closed (its guard dropped).
+    SpanEnd {
+        /// The span that closed.
+        id: u64,
+        /// Microseconds since the tracer was created.
+        at_us: u64,
+    },
+    /// A named counter increment, attributed to the innermost open span.
+    Counter {
+        /// Owning span (`None` at top level).
+        span: Option<u64>,
+        /// Counter name.
+        name: String,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A named gauge sample (last write wins per span).
+    Gauge {
+        /// Owning span (`None` at top level).
+        span: Option<u64>,
+        /// Gauge name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A key/value annotation.
+    Note {
+        /// Owning span (`None` at top level).
+        span: Option<u64>,
+        /// Annotation key.
+        key: String,
+        /// Annotation value.
+        value: String,
+    },
+}
+
+#[derive(Debug)]
+struct State {
+    events: Vec<Event>,
+    /// Open-span stack; metrics attach to the top.
+    stack: Vec<u64>,
+    next_span: u64,
+}
+
+#[derive(Debug)]
+struct Sink {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Sink {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panicking instrumented thread must not take observability down
+        // with it; the event log stays usable.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A clonable tracing handle. See the module docs for the enabled/disabled
+/// design.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Sink>>,
+}
+
+impl Tracer {
+    /// A tracer that records events (shared by all clones).
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Sink {
+                epoch: Instant::now(),
+                state: Mutex::new(State {
+                    events: Vec::new(),
+                    stack: Vec::new(),
+                    next_span: 0,
+                }),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every method returns immediately without locking,
+    /// formatting or allocating.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether events are being recorded. Callers computing anything
+    /// non-trivial purely for tracing should branch on this first.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a nested span; it closes when the returned guard drops (also
+    /// on unwind).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(sink) = &self.inner else {
+            return SpanGuard {
+                tracer: Tracer::disabled(),
+                id: None,
+            };
+        };
+        let at_us = sink.now_us();
+        let mut st = sink.lock();
+        let id = st.next_span;
+        st.next_span += 1;
+        let parent = st.stack.last().copied();
+        st.events.push(Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            at_us,
+        });
+        st.stack.push(id);
+        SpanGuard {
+            tracer: self.clone(),
+            id: Some(id),
+        }
+    }
+
+    /// Adds `delta` to the named counter of the innermost open span.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = sink.lock();
+        let span = st.stack.last().copied();
+        st.events.push(Event::Counter {
+            span,
+            name: name.to_string(),
+            delta,
+        });
+    }
+
+    /// Samples the named gauge on the innermost open span.
+    pub fn gauge(&self, name: &str, value: f64) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = sink.lock();
+        let span = st.stack.last().copied();
+        st.events.push(Event::Gauge {
+            span,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Attaches a key/value annotation to the innermost open span.
+    pub fn note(&self, key: &str, value: &str) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = sink.lock();
+        let span = st.stack.last().copied();
+        st.events.push(Event::Note {
+            span,
+            key: key.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    /// A snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(sink) => sink.lock().events.clone(),
+        }
+    }
+
+    /// Builds the aggregated [`Report`] (span tree + metrics) from the
+    /// events recorded so far.
+    pub fn report(&self) -> Report {
+        match &self.inner {
+            None => Report::from_events(&[], 0),
+            Some(sink) => {
+                let now = sink.now_us();
+                Report::from_events(&sink.lock().events, now)
+            }
+        }
+    }
+}
+
+/// Closes its span on drop. Returned by [`Tracer::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: Option<u64>,
+}
+
+impl SpanGuard {
+    /// The span id, `None` for a disabled tracer.
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let Some(sink) = &self.tracer.inner else {
+            return;
+        };
+        let at_us = sink.now_us();
+        let mut st = sink.lock();
+        // Guards are usually dropped LIFO, but tolerate out-of-order drops.
+        if let Some(pos) = st.stack.iter().rposition(|&s| s == id) {
+            st.stack.remove(pos);
+        }
+        st.events.push(Event::SpanEnd { id, at_us });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let _span = t.span("x");
+        t.counter("c", 1);
+        t.gauge("g", 1.0);
+        t.note("k", "v");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_metrics() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.span("outer");
+            t.counter("top", 1);
+            {
+                let _inner = t.span("inner");
+                t.counter("deep", 2);
+            }
+        }
+        let events = t.events();
+        let ids: Vec<(u64, Option<u64>)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { id, parent, .. } => Some((*id, *parent)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![(0, None), (1, Some(0))]);
+        assert!(events.iter().any(
+            |e| matches!(e, Event::Counter { span: Some(0), name, delta: 1 } if name == "top")
+        ));
+        assert!(events.iter().any(
+            |e| matches!(e, Event::Counter { span: Some(1), name, delta: 2 } if name == "deep")
+        ));
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::SpanEnd { .. }))
+            .count();
+        assert_eq!(ends, 2);
+    }
+
+    #[test]
+    fn span_closes_on_unwind() {
+        let t = Tracer::enabled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = t.span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let events = t.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanEnd { id: 0, .. })),
+            "span did not close on unwind: {events:?}"
+        );
+        // The stack unwound too: a new span is a root again.
+        let _after = t.span("after");
+        assert!(t
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::SpanStart { parent: None, name, .. } if name == "after")));
+    }
+
+    #[test]
+    fn clones_share_the_sink_across_threads() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        let handle = std::thread::spawn(move || {
+            t2.counter("thread", 5);
+        });
+        handle.join().unwrap();
+        t.counter("main", 1);
+        let events = t.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::Counter { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_tolerated() {
+        let t = Tracer::enabled();
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // drop outer first
+        t.counter("after", 1);
+        drop(b);
+        // "after" attaches to b, the only still-open span.
+        assert!(t
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Counter { span: Some(1), .. })));
+    }
+}

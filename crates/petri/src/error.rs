@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_specific() {
         let err = PetriError::MarkingBudgetExceeded { budget: 10 };
-        assert_eq!(err.to_string(), "reachability exceeded the budget of 10 markings");
+        assert_eq!(
+            err.to_string(),
+            "reachability exceeded the budget of 10 markings"
+        );
         let err = PetriError::DuplicateArc {
             place: PlaceId::from_index(1),
             transition: TransitionId::from_index(2),

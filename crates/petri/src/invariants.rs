@@ -110,6 +110,7 @@ fn kernel_basis(matrix: &[Vec<i64>]) -> Vec<Vec<i64>> {
                 continue;
             }
             let factor = m[r][col];
+            #[allow(clippy::needless_range_loop)] // indexes two rows of `m` at once
             for c in 0..cols {
                 m[r][c] = m[r][c] * pivot - m[row][c] * factor;
             }
@@ -176,11 +177,19 @@ fn normalise(row: &mut [i128]) {
 }
 
 fn gcd(a: i128, b: i128) -> i128 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 fn lcm(a: i128, b: i128) -> i128 {
-    if a == 0 || b == 0 { 0 } else { a / gcd(a, b) * b }
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
 }
 
 #[cfg(test)]
@@ -190,10 +199,13 @@ mod tests {
     fn ring(n: usize) -> PetriNet {
         let mut net = PetriNet::new();
         let places: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
-        let ts: Vec<TransitionId> = (0..n).map(|i| net.add_transition(format!("t{i}"))).collect();
+        let ts: Vec<TransitionId> = (0..n)
+            .map(|i| net.add_transition(format!("t{i}")))
+            .collect();
         for i in 0..n {
             net.add_arc_place_to_transition(places[i], ts[i]).unwrap();
-            net.add_arc_transition_to_place(ts[i], places[(i + 1) % n]).unwrap();
+            net.add_arc_transition_to_place(ts[i], places[(i + 1) % n])
+                .unwrap();
         }
         net.set_initial_tokens(places[0], 1).unwrap();
         net
@@ -212,6 +224,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // t/p are matrix coordinates
     fn invariants_are_actually_invariant() {
         let net = ring(5);
         let c = net.incidence_matrix();

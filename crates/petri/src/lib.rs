@@ -49,5 +49,5 @@ pub use error::PetriError;
 pub use ids::{PlaceId, TransitionId};
 pub use liveness::LivenessReport;
 pub use marking::Marking;
-pub use net::{Place, PetriNet, Transition};
+pub use net::{PetriNet, Place, Transition};
 pub use reachability::{ReachabilityGraph, ReachabilityOptions, ReachedEdge};

@@ -69,7 +69,9 @@ impl Marking {
 
     /// All transitions enabled in this marking, in id order.
     pub fn enabled_transitions(&self, net: &PetriNet) -> Vec<TransitionId> {
-        net.transition_ids().filter(|&t| self.enables(net, t)).collect()
+        net.transition_ids()
+            .filter(|&t| self.enables(net, t))
+            .collect()
     }
 
     /// Fires `t`, producing the successor marking, or `None` if `t` is not
@@ -121,7 +123,9 @@ mod tests {
     fn net_with_choice() -> (PetriNet, Vec<PlaceId>, Vec<TransitionId>) {
         let mut net = PetriNet::new();
         let p: Vec<_> = (0..3).map(|i| net.add_place(format!("p{i}"))).collect();
-        let t: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"))).collect();
+        let t: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}")))
+            .collect();
         net.add_arc_place_to_transition(p[0], t[0]).unwrap();
         net.add_arc_transition_to_place(t[0], p[1]).unwrap();
         net.add_arc_place_to_transition(p[1], t[1]).unwrap();

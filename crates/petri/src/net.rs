@@ -257,8 +257,16 @@ impl fmt::Display for PetriNet {
             self.transitions.len()
         )?;
         for t in &self.transitions {
-            let ins: Vec<_> = t.fanin.iter().map(|p| self.places[p.index()].name.as_str()).collect();
-            let outs: Vec<_> = t.fanout.iter().map(|p| self.places[p.index()].name.as_str()).collect();
+            let ins: Vec<_> = t
+                .fanin
+                .iter()
+                .map(|p| self.places[p.index()].name.as_str())
+                .collect();
+            let outs: Vec<_> = t
+                .fanout
+                .iter()
+                .map(|p| self.places[p.index()].name.as_str())
+                .collect();
             writeln!(f, "  {} : {:?} -> {:?}", t.name, ins, outs)?;
         }
         Ok(())
@@ -299,7 +307,10 @@ mod tests {
         let err = net.add_arc_place_to_transition(p0, t0).unwrap_err();
         assert_eq!(
             err,
-            PetriError::DuplicateArc { place: p0, transition: t0 }
+            PetriError::DuplicateArc {
+                place: p0,
+                transition: t0
+            }
         );
     }
 

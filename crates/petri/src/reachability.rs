@@ -93,7 +93,9 @@ impl PetriNet {
         while frontier < markings.len() {
             let m = markings[frontier].clone();
             for t in self.transition_ids() {
-                let Some(next) = m.fire(self, t) else { continue };
+                let Some(next) = m.fire(self, t) else {
+                    continue;
+                };
                 if next.max_tokens_on_a_place() > options.capacity {
                     let place = next
                         .as_slice()
@@ -131,12 +133,52 @@ impl PetriNet {
 
         Ok(ReachabilityGraph { markings, edges })
     }
+
+    /// [`PetriNet::reachability`] wrapped in a `petri.reach` observability
+    /// span recording the explored marking and edge counts. With a disabled
+    /// tracer this is exactly [`PetriNet::reachability`].
+    pub fn reachability_traced(
+        &self,
+        options: &ReachabilityOptions,
+        tracer: &modsyn_obs::Tracer,
+    ) -> Result<ReachabilityGraph, PetriError> {
+        if !tracer.is_enabled() {
+            return self.reachability(options);
+        }
+        let _span = tracer.span("petri.reach");
+        let result = self.reachability(options);
+        match &result {
+            Ok(graph) => {
+                tracer.gauge("markings", graph.markings.len() as f64);
+                tracer.gauge("edges", graph.edges.len() as f64);
+            }
+            Err(e) => tracer.note("error", &e.to_string()),
+        }
+        result
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::PlaceId;
+
+    #[test]
+    fn reachability_traced_records_graph_size() {
+        let net = two_independent_cycles();
+        let tracer = modsyn_obs::Tracer::enabled();
+        let graph = net
+            .reachability_traced(&ReachabilityOptions::default(), &tracer)
+            .unwrap();
+        let report = tracer.report();
+        let spans = report.spans_with_prefix("petri.reach");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].gauge("markings"),
+            Some(graph.markings.len() as f64)
+        );
+        assert_eq!(spans[0].gauge("edges"), Some(graph.edges.len() as f64));
+    }
 
     /// Two independent 2-cycles: 2 x 2 = 4 reachable markings.
     fn two_independent_cycles() -> PetriNet {
@@ -195,10 +237,15 @@ mod tests {
         net.add_arc_transition_to_place(t, p0).unwrap();
         net.add_arc_transition_to_place(t, p1).unwrap();
         net.set_initial_tokens(p0, 1).unwrap();
-        let err = net.reachability(&ReachabilityOptions::default()).unwrap_err();
+        let err = net
+            .reachability(&ReachabilityOptions::default())
+            .unwrap_err();
         assert_eq!(
             err,
-            PetriError::CapacityExceeded { place: PlaceId::from_index(1), capacity: 1 }
+            PetriError::CapacityExceeded {
+                place: PlaceId::from_index(1),
+                capacity: 1
+            }
         );
     }
 

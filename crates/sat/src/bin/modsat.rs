@@ -96,7 +96,9 @@ fn main() -> ExitCode {
             let line: Vec<String> = (0..formula.num_vars())
                 .map(|i| {
                     let v = Var::new(i);
-                    Lit::with_polarity(v, model.value(v)).to_dimacs().to_string()
+                    Lit::with_polarity(v, model.value(v))
+                        .to_dimacs()
+                        .to_string()
                 })
                 .collect();
             println!("v {} 0", line.join(" "));

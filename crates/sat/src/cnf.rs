@@ -132,7 +132,12 @@ impl Extend<Clause> for CnfFormula {
 
 impl fmt::Display for CnfFormula {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cnf: {} vars, {} clauses", self.num_vars, self.clauses.len())
+        write!(
+            f,
+            "cnf: {} vars, {} clauses",
+            self.num_vars,
+            self.clauses.len()
+        )
     }
 }
 

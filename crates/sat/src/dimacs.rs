@@ -42,18 +42,20 @@ pub fn parse_dimacs(input: &str) -> Result<CnfFormula, SatError> {
             match (kind, vars) {
                 (Some("cnf"), Some(v)) => formula = Some(CnfFormula::new(v)),
                 _ => {
-                    return Err(SatError::MalformedHeader { line: line.to_string() });
+                    return Err(SatError::MalformedHeader {
+                        line: line.to_string(),
+                    });
                 }
             }
             continue;
         }
-        let f = formula
-            .as_mut()
-            .ok_or_else(|| SatError::MalformedHeader { line: line.to_string() })?;
+        let f = formula.as_mut().ok_or_else(|| SatError::MalformedHeader {
+            line: line.to_string(),
+        })?;
         for token in line.split_whitespace() {
-            let value: i32 = token
-                .parse()
-                .map_err(|_| SatError::MalformedLiteral { token: token.to_string() })?;
+            let value: i32 = token.parse().map_err(|_| SatError::MalformedLiteral {
+                token: token.to_string(),
+            })?;
             if value == 0 {
                 f.add_clause(current.drain(..));
                 continue;
@@ -69,7 +71,9 @@ pub fn parse_dimacs(input: &str) -> Result<CnfFormula, SatError> {
             ));
         }
     }
-    let mut f = formula.ok_or_else(|| SatError::MalformedHeader { line: String::new() })?;
+    let mut f = formula.ok_or_else(|| SatError::MalformedHeader {
+        line: String::new(),
+    })?;
     if !current.is_empty() {
         f.add_clause(current);
     }
@@ -89,7 +93,12 @@ pub fn parse_dimacs(input: &str) -> Result<CnfFormula, SatError> {
 /// ```
 pub fn write_dimacs(formula: &CnfFormula) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "p cnf {} {}", formula.num_vars(), formula.clause_count());
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.clause_count()
+    );
     for clause in formula.clauses() {
         for l in clause {
             let _ = write!(out, "{} ", l.to_dimacs());
@@ -124,7 +133,10 @@ mod tests {
     fn parse_rejects_out_of_range() {
         assert!(matches!(
             parse_dimacs("p cnf 2 1\n3 0\n"),
-            Err(SatError::VariableOutOfRange { variable: 3, declared: 2 })
+            Err(SatError::VariableOutOfRange {
+                variable: 3,
+                declared: 2
+            })
         ));
     }
 
@@ -147,6 +159,9 @@ mod tests {
         let g = parse_dimacs(&write_dimacs(&f)).unwrap();
         let a = solve(&f, SolverOptions::default());
         let b = solve(&g, SolverOptions::default());
-        assert!(matches!((a, b), (Outcome::Satisfiable(_), Outcome::Satisfiable(_))));
+        assert!(matches!(
+            (a, b),
+            (Outcome::Satisfiable(_), Outcome::Satisfiable(_))
+        ));
     }
 }

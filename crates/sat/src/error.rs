@@ -36,7 +36,10 @@ impl fmt::Display for SatError {
                 write!(f, "malformed dimacs literal: {token:?}")
             }
             SatError::VariableOutOfRange { variable, declared } => {
-                write!(f, "variable {variable} out of range, header declared {declared}")
+                write!(
+                    f,
+                    "variable {variable} out of range, header declared {declared}"
+                )
             }
         }
     }
@@ -50,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SatError::VariableOutOfRange { variable: 9, declared: 3 };
+        let e = SatError::VariableOutOfRange {
+            variable: 9,
+            declared: 3,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
     }

@@ -134,7 +134,11 @@ pub fn simplify(formula: &CnfFormula) -> SimplifyResult {
     } else {
         out.extend(clauses);
     }
-    SimplifyResult { formula: out, forced, unsat }
+    SimplifyResult {
+        formula: out,
+        forced,
+        unsat,
+    }
 }
 
 #[cfg(test)]

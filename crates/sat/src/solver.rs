@@ -2,6 +2,8 @@
 //! classic chronological DPLL (the branch-and-bound mode of the original
 //! SIS solver, kept for baselines and ablations).
 
+use modsyn_obs::Tracer;
+
 use crate::heuristic::static_scores;
 use crate::{CnfFormula, Heuristic, Lit, Model, SolverStats, Var};
 
@@ -118,7 +120,11 @@ impl<'f> Solver<'f> {
         let n = formula.num_vars();
         let scores = static_scores(
             formula,
-            if options.learning { Heuristic::JeroslowWang } else { options.heuristic },
+            if options.learning {
+                Heuristic::JeroslowWang
+            } else {
+                options.heuristic
+            },
         );
         // Seed dynamic activity with the static scores so early decisions
         // are informed.
@@ -203,7 +209,13 @@ impl<'f> Solver<'f> {
                 let first = clause[0];
                 let first_val = {
                     let v = self.values[first.var().index()];
-                    if v == UNASSIGNED { UNASSIGNED } else if first.is_negative() { v ^ 1 } else { v }
+                    if v == UNASSIGNED {
+                        UNASSIGNED
+                    } else if first.is_negative() {
+                        v ^ 1
+                    } else {
+                        v
+                    }
                 };
                 if first_val == 1 {
                     i += 1;
@@ -265,7 +277,7 @@ impl<'f> Solver<'f> {
                     continue;
                 }
                 let s = self.activity[i];
-                if best.map_or(true, |(bs, _)| s > bs) {
+                if best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, i));
                 }
             }
@@ -278,7 +290,7 @@ impl<'f> Solver<'f> {
             }
             let (p, q) = self.scores[i];
             let s = p + q;
-            if best.map_or(true, |(bs, _)| s > bs) {
+            if best.is_none_or(|(bs, _)| s > bs) {
                 best = Some((s, i));
             }
         }
@@ -400,6 +412,7 @@ impl<'f> Solver<'f> {
         self.watches[lits[0].index()].push(cid);
         self.watches[lits[1].index()].push(cid);
         self.clauses.push(lits);
+        self.stats.peak_clauses = self.stats.peak_clauses.max(self.clauses.len());
         cid
     }
 
@@ -453,6 +466,40 @@ impl<'f> Solver<'f> {
         }
     }
 
+    /// [`Solver::solve`] wrapped in a `sat.solve` observability span:
+    /// formula size as gauges, the full [`SolverStats`] as counters, and the
+    /// outcome as a note. With a disabled tracer this is exactly
+    /// [`Solver::solve`] — the search loops themselves are untouched.
+    pub fn solve_traced(&mut self, tracer: &Tracer) -> Outcome {
+        if !tracer.is_enabled() {
+            return self.solve();
+        }
+        let _span = tracer.span("sat.solve");
+        tracer.gauge("vars", self.formula.num_vars() as f64);
+        tracer.gauge("clauses", self.formula.clause_count() as f64);
+        let outcome = self.solve();
+        let s = self.stats;
+        tracer.counter("decisions", s.decisions);
+        tracer.counter("propagations", s.propagations);
+        tracer.counter("backtracks", s.backtracks);
+        tracer.counter("conflicts", s.conflicts);
+        tracer.counter("learned_clauses", s.learned_clauses);
+        tracer.counter("learned_literals", s.learned_literals);
+        tracer.counter("restarts", s.restarts);
+        tracer.gauge("peak_clauses", s.peak_clauses as f64);
+        tracer.gauge("max_level", s.max_level as f64);
+        tracer.note(
+            "outcome",
+            match &outcome {
+                Outcome::Satisfiable(_) => "sat",
+                Outcome::Unsatisfiable => "unsat",
+                Outcome::BacktrackLimit => "backtrack-limit",
+                Outcome::DecisionLimit => "decision-limit",
+            },
+        );
+        outcome
+    }
+
     fn build_model(&self) -> Model {
         let values = self.values.iter().map(|&v| v == 1).collect();
         let model = Model::from_values(values);
@@ -467,6 +514,7 @@ impl<'f> Solver<'f> {
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
+                self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if let Some(limit) = self.options.max_backtracks {
                     if self.stats.backtracks > limit {
@@ -477,6 +525,8 @@ impl<'f> Solver<'f> {
                     return Outcome::Unsatisfiable;
                 }
                 let (learned, backjump) = self.analyze(conflict);
+                self.stats.learned_clauses += 1;
+                self.stats.learned_literals += learned.len() as u64;
                 self.activity_inc *= 1.0 / 0.95;
                 // Backjump.
                 let target = self.level_starts[backjump as usize];
@@ -497,8 +547,14 @@ impl<'f> Solver<'f> {
 
             if conflicts_since_restart >= restart_limit {
                 conflicts_since_restart = 0;
+                self.stats.restarts += 1;
                 restart_limit = restart_limit + restart_limit / 2;
-                self.unassign_to(self.level_starts.first().copied().unwrap_or(self.trail.len()));
+                self.unassign_to(
+                    self.level_starts
+                        .first()
+                        .copied()
+                        .unwrap_or(self.trail.len()),
+                );
                 self.level_starts.clear();
                 continue;
             }
@@ -522,6 +578,7 @@ impl<'f> Solver<'f> {
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
+                self.stats.conflicts += 1;
                 if self.options.heuristic == Heuristic::Activity {
                     for l in self.clauses[conflict as usize].clone() {
                         self.bump(l.var());
@@ -597,7 +654,10 @@ mod tests {
     }
 
     fn chrono() -> SolverOptions {
-        SolverOptions { learning: false, ..Default::default() }
+        SolverOptions {
+            learning: false,
+            ..Default::default()
+        }
     }
 
     /// Pigeonhole principle PHP(n+1, n): unsatisfiable, exponential for DPLL.
@@ -661,9 +721,15 @@ mod tests {
             for learning in [true, false] {
                 let out = solve(
                     &f,
-                    SolverOptions { heuristic: h, learning, ..Default::default() },
+                    SolverOptions {
+                        heuristic: h,
+                        learning,
+                        ..Default::default()
+                    },
                 );
-                let model = out.model().unwrap_or_else(|| panic!("{h:?}/{learning} failed"));
+                let model = out
+                    .model()
+                    .unwrap_or_else(|| panic!("{h:?}/{learning} failed"));
                 assert!(model.check(&f));
             }
         }
@@ -689,7 +755,10 @@ mod tests {
         let f = pigeonhole(8);
         let out = solve(
             &f,
-            SolverOptions { max_backtracks: Some(50), ..Default::default() },
+            SolverOptions {
+                max_backtracks: Some(50),
+                ..Default::default()
+            },
         );
         assert_eq!(out, Outcome::BacktrackLimit);
         assert!(!out.is_decided());
@@ -700,7 +769,10 @@ mod tests {
         let f = pigeonhole(7);
         let out = solve(
             &f,
-            SolverOptions { max_decisions: Some(3), ..Default::default() },
+            SolverOptions {
+                max_decisions: Some(3),
+                ..Default::default()
+            },
         );
         assert_eq!(out, Outcome::DecisionLimit);
     }
@@ -713,6 +785,55 @@ mod tests {
         let stats = solver.stats();
         assert!(stats.backtracks > 0);
         assert!(stats.decisions > 0);
+        assert_eq!(stats.conflicts, stats.backtracks);
+        assert!(stats.learned_clauses > 0, "CDCL must learn on conflicts");
+        assert!(stats.learned_literals >= stats.learned_clauses);
+        assert!(stats.peak_clauses >= f.clause_count());
+    }
+
+    #[test]
+    fn chronological_mode_learns_nothing() {
+        let f = pigeonhole(3);
+        let mut solver = Solver::new(&f, chrono());
+        let _ = solver.solve();
+        let stats = solver.stats();
+        assert!(stats.conflicts > 0);
+        assert_eq!(stats.learned_clauses, 0);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.peak_clauses, f.clause_count());
+    }
+
+    #[test]
+    fn restarts_fire_on_long_cdcl_runs() {
+        let f = pigeonhole(6); // needs well over 100 conflicts
+        let mut solver = Solver::new(&f, SolverOptions::default());
+        let _ = solver.solve();
+        assert!(solver.stats().restarts > 0);
+    }
+
+    #[test]
+    fn solve_traced_records_a_span_with_counters() {
+        let f = pigeonhole(3);
+        let tracer = Tracer::enabled();
+        let mut solver = Solver::new(&f, SolverOptions::default());
+        let outcome = solver.solve_traced(&tracer);
+        assert_eq!(outcome, Outcome::Unsatisfiable);
+        let report = tracer.report();
+        let spans = report.spans_with_prefix("sat.solve");
+        assert_eq!(spans.len(), 1);
+        let span = spans[0];
+        assert_eq!(span.gauge("clauses"), Some(f.clause_count() as f64));
+        assert!(span.counter("conflicts").unwrap() > 0);
+        assert_eq!(span.note("outcome"), Some("unsat"));
+    }
+
+    #[test]
+    fn solve_traced_with_disabled_tracer_matches_solve() {
+        let f = pigeonhole(3);
+        let mut a = Solver::new(&f, SolverOptions::default());
+        let mut b = Solver::new(&f, SolverOptions::default());
+        assert_eq!(a.solve(), b.solve_traced(&Tracer::disabled()));
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -89,14 +89,20 @@ mod tests {
     use modsyn_stg::{benchmarks, SignalKind};
 
     fn meta(name: &str) -> SignalMeta {
-        SignalMeta { name: name.into(), kind: SignalKind::Output }
+        SignalMeta {
+            name: name.into(),
+            kind: SignalKind::Output,
+        }
     }
 
     #[test]
     fn identical_graphs_are_bisimilar() {
         for name in ["vbe-ex1", "nouse", "nak-pa"] {
-            let sg = derive(&benchmarks::by_name(name).unwrap(), &DeriveOptions::default())
-                .unwrap();
+            let sg = derive(
+                &benchmarks::by_name(name).unwrap(),
+                &DeriveOptions::default(),
+            )
+            .unwrap();
             assert!(bisimilar(&sg, &sg), "{name}");
         }
     }

@@ -92,7 +92,10 @@ impl StateGraph {
             by_code.entry(self.code(s)).or_default().push(s);
         }
 
-        let mut analysis = CscAnalysis { max_csc: 1, ..Default::default() };
+        let mut analysis = CscAnalysis {
+            max_csc: 1,
+            ..Default::default()
+        };
         if self.state_count() == 0 {
             analysis.max_csc = 0;
             return analysis;
@@ -104,7 +107,10 @@ impl StateGraph {
             // Subgroup by non-input excitation.
             let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
             for &s in group {
-                classes.entry(self.non_input_excitation(s)).or_default().push(s);
+                classes
+                    .entry(self.non_input_excitation(s))
+                    .or_default()
+                    .push(s);
             }
             analysis.max_csc = analysis.max_csc.max(classes.len());
             for (i, &a) in group.iter().enumerate() {
@@ -117,8 +123,8 @@ impl StateGraph {
                 }
             }
         }
-        analysis.lower_bound = usize::BITS as usize
-            - (analysis.max_csc.max(1) - 1).leading_zeros() as usize;
+        analysis.lower_bound =
+            usize::BITS as usize - (analysis.max_csc.max(1) - 1).leading_zeros() as usize;
         analysis
     }
 }
@@ -178,8 +184,8 @@ mod tests {
         // The paper inserts state signals into every Table-1 row, so every
         // stand-in must actually violate CSC.
         for (name, stg) in benchmarks::all() {
-            let sg = derive(&stg, &DeriveOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let sg =
+                derive(&stg, &DeriveOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
             let csc = sg.csc_analysis();
             assert!(
                 !csc.satisfies_csc(),
@@ -193,7 +199,10 @@ mod tests {
     fn lower_bound_grows_logarithmically() {
         // Hand-build a graph with 5 equal-coded, excitation-distinct states.
         let signals: Vec<SignalMeta> = (0..5)
-            .map(|i| SignalMeta { name: format!("o{i}"), kind: SignalKind::Output })
+            .map(|i| SignalMeta {
+                name: format!("o{i}"),
+                kind: SignalKind::Output,
+            })
             .collect();
         let mut sg = crate::StateGraph::new(signals).unwrap();
         let states: Vec<usize> = (0..5).map(|_| sg.add_state(0)).collect();
@@ -201,7 +210,14 @@ mod tests {
         // State i excites output i only (edges don't need to be consistent
         // for this analysis-level test).
         for (i, &s) in states.iter().enumerate() {
-            sg.add_edge(s, sink, EdgeLabel::Signal { signal: i, polarity: Polarity::Rise });
+            sg.add_edge(
+                s,
+                sink,
+                EdgeLabel::Signal {
+                    signal: i,
+                    polarity: Polarity::Rise,
+                },
+            );
         }
         let csc = sg.csc_analysis();
         assert_eq!(csc.max_csc, 5);

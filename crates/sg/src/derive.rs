@@ -17,7 +17,9 @@ pub struct DeriveOptions {
 
 impl Default for DeriveOptions {
     fn default() -> Self {
-        DeriveOptions { max_states: 500_000 }
+        DeriveOptions {
+            max_states: 500_000,
+        }
     }
 }
 
@@ -36,6 +38,31 @@ impl Default for DeriveOptions {
 /// * [`SgError::TooManySignals`] for more than 64 signals.
 /// * [`SgError::StateBudgetExceeded`] / [`SgError::Stg`] for blow-ups and
 ///   malformed nets.
+///
+/// [`derive()`] wrapped in an `sg.derive` observability span recording the
+/// resulting state and edge counts. With a disabled tracer this is exactly
+/// [`derive()`].
+pub fn derive_traced(
+    stg: &Stg,
+    options: &DeriveOptions,
+    tracer: &modsyn_obs::Tracer,
+) -> Result<StateGraph, SgError> {
+    if !tracer.is_enabled() {
+        return derive(stg, options);
+    }
+    let _span = tracer.span("sg.derive");
+    tracer.gauge("signals", stg.signal_ids().count() as f64);
+    let result = derive(stg, options);
+    match &result {
+        Ok(graph) => {
+            tracer.gauge("states", graph.state_count() as f64);
+            tracer.gauge("edges", graph.edge_count() as f64);
+        }
+        Err(e) => tracer.note("error", &e.to_string()),
+    }
+    result
+}
+
 pub fn derive(stg: &Stg, options: &DeriveOptions) -> Result<StateGraph, SgError> {
     let signals: Vec<SignalMeta> = stg
         .signal_ids()
@@ -172,8 +199,8 @@ mod tests {
     #[test]
     fn benchmark_state_counts_match_reachability() {
         for (name, stg) in benchmarks::all() {
-            let sg = derive(&stg, &DeriveOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let sg =
+                derive(&stg, &DeriveOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
             let reach = stg
                 .net()
                 .reachability(&modsyn_petri::ReachabilityOptions::default())
@@ -181,6 +208,18 @@ mod tests {
             assert_eq!(sg.state_count(), reach.markings.len(), "{name}");
             assert_eq!(sg.edge_count(), reach.edges.len(), "{name}");
         }
+    }
+
+    #[test]
+    fn derive_traced_records_graph_size() {
+        let stg = benchmarks::vbe_ex1();
+        let tracer = modsyn_obs::Tracer::enabled();
+        let sg = derive_traced(&stg, &DeriveOptions::default(), &tracer).unwrap();
+        let report = tracer.report();
+        let spans = report.spans_with_prefix("sg.derive");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].gauge("states"), Some(sg.state_count() as f64));
+        assert_eq!(spans[0].gauge("edges"), Some(sg.edge_count() as f64));
     }
 
     #[test]

@@ -30,8 +30,13 @@ pub fn to_dot(graph: &StateGraph) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "digraph sg {{");
+    #[allow(clippy::needless_range_loop)] // `s` names the state, not just an index
     for s in 0..graph.state_count() {
-        let shape = if s == graph.initial() { "doublecircle" } else { "circle" };
+        let shape = if s == graph.initial() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let fill = if conflicting[s] {
             ", style=filled, fillcolor=lightcoral"
         } else {

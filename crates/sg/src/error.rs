@@ -36,7 +36,10 @@ impl fmt::Display for SgError {
                 write!(f, "inconsistent STG: signal {signal:?} {detail}")
             }
             SgError::TooManySignals { requested } => {
-                write!(f, "too many signals: {requested} exceeds the 64-bit code limit")
+                write!(
+                    f,
+                    "too many signals: {requested} exceeds the 64-bit code limit"
+                )
             }
             SgError::Stg(e) => write!(f, "stg error: {e}"),
             SgError::StateBudgetExceeded { budget } => {
@@ -69,7 +72,10 @@ mod tests {
     fn display_variants() {
         let e = SgError::TooManySignals { requested: 99 };
         assert!(e.to_string().contains("99"));
-        let e = SgError::Inconsistent { signal: "a".into(), detail: "fired a+ at 1".into() };
+        let e = SgError::Inconsistent {
+            signal: "a".into(),
+            detail: "fired a+ at 1".into(),
+        };
         assert!(e.to_string().contains('a'));
     }
 

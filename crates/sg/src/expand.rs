@@ -131,15 +131,23 @@ fn insert_one(
                 lo[s] = Some(l);
                 hi[s] = Some(h);
                 if assignment.values[s] == Quat::Up {
-                    out.add_edge(l, h, EdgeLabel::Signal {
-                        signal: new_idx,
-                        polarity: Polarity::Rise,
-                    });
+                    out.add_edge(
+                        l,
+                        h,
+                        EdgeLabel::Signal {
+                            signal: new_idx,
+                            polarity: Polarity::Rise,
+                        },
+                    );
                 } else {
-                    out.add_edge(h, l, EdgeLabel::Signal {
-                        signal: new_idx,
-                        polarity: Polarity::Fall,
-                    });
+                    out.add_edge(
+                        h,
+                        l,
+                        EdgeLabel::Signal {
+                            signal: new_idx,
+                            polarity: Polarity::Fall,
+                        },
+                    );
                 }
             }
         }
@@ -233,7 +241,10 @@ mod tests {
         values[order[3]] = Quat::One;
         values[order[4]] = Quat::One;
         values[order[5]] = Quat::Down; // n- fires across the second b-
-        StateSignalAssignment { name: "csc0".into(), values }
+        StateSignalAssignment {
+            name: "csc0".into(),
+            values,
+        }
     }
 
     #[test]
@@ -282,7 +293,10 @@ mod tests {
         let mut values = vec![Quat::Zero; sg.state_count()];
         let first_succ = sg.out_edges(sg.initial()).next().unwrap().to;
         values[first_succ] = Quat::One;
-        let a = StateSignalAssignment { name: "bad".into(), values };
+        let a = StateSignalAssignment {
+            name: "bad".into(),
+            values,
+        };
         assert!(matches!(
             insert_state_signals(&sg, &[a]),
             Err(SgError::Inconsistent { .. })

@@ -81,7 +81,9 @@ impl StateGraph {
     /// Returns [`SgError::TooManySignals`] beyond 64 signals.
     pub fn new(signals: Vec<SignalMeta>) -> Result<Self, SgError> {
         if signals.len() > 64 {
-            return Err(SgError::TooManySignals { requested: signals.len() });
+            return Err(SgError::TooManySignals {
+                requested: signals.len(),
+            });
         }
         Ok(StateGraph {
             signals,
@@ -105,7 +107,10 @@ impl StateGraph {
     ///
     /// Panics if an endpoint or the label's signal is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, label: EdgeLabel) {
-        assert!(from < self.codes.len() && to < self.codes.len(), "edge endpoint out of range");
+        assert!(
+            from < self.codes.len() && to < self.codes.len(),
+            "edge endpoint out of range"
+        );
         if let EdgeLabel::Signal { signal, .. } = label {
             assert!(signal < self.signals.len(), "label signal out of range");
         }
@@ -156,7 +161,9 @@ impl StateGraph {
 
     /// Outgoing edges of a state.
     pub fn out_edges(&self, state: usize) -> impl Iterator<Item = &Edge> + '_ {
-        self.out[state].iter().map(move |&i| &self.edges[i as usize])
+        self.out[state]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Packed code of a state.
@@ -173,7 +180,10 @@ impl StateGraph {
     /// edge fires it), if any.
     pub fn excited(&self, state: usize, signal: usize) -> Option<Polarity> {
         self.out_edges(state).find_map(|e| match e.label {
-            EdgeLabel::Signal { signal: s, polarity } if s == signal => Some(polarity),
+            EdgeLabel::Signal {
+                signal: s,
+                polarity,
+            } if s == signal => Some(polarity),
             _ => None,
         })
     }
@@ -236,7 +246,10 @@ mod tests {
     use super::*;
 
     fn meta(name: &str, kind: SignalKind) -> SignalMeta {
-        SignalMeta { name: name.into(), kind }
+        SignalMeta {
+            name: name.into(),
+            kind,
+        }
     }
 
     fn two_signal_cycle() -> StateGraph {
@@ -274,8 +287,11 @@ mod tests {
         let sg = two_signal_cycle();
         // State 1 (a=1,b=0): b+ is enabled.
         assert_eq!(sg.excited(1, 1), Some(Polarity::Rise));
-        assert!(sg.implied_value(1, 1), "excited to rise implies next value 1");
-        assert!(sg.implied_value(2, 0) == false || sg.excited(2, 0).is_some());
+        assert!(
+            sg.implied_value(1, 1),
+            "excited to rise implies next value 1"
+        );
+        assert!(!sg.implied_value(2, 0) || sg.excited(2, 0).is_some());
         // State 0: nothing excites b.
         assert_eq!(sg.excited(0, 1), None);
         assert!(!sg.implied_value(0, 1));

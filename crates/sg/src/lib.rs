@@ -43,7 +43,7 @@ mod semimod;
 
 pub use bisim::bisimilar;
 pub use csc::CscAnalysis;
-pub use derive::{derive, DeriveOptions};
+pub use derive::{derive, derive_traced, DeriveOptions};
 pub use dot::to_dot;
 pub use error::SgError;
 pub use expand::{insert_state_signals, Quat, StateSignalAssignment};

@@ -28,7 +28,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -117,6 +119,7 @@ impl StateGraph {
         // Allocate quotient states per union-find class.
         let mut class_to_state: HashMap<usize, usize> = HashMap::new();
         let mut state_map = vec![0usize; self.state_count()];
+        #[allow(clippy::needless_range_loop)] // `s` is also fed to `uf.find`/`self.code`
         for s in 0..self.state_count() {
             let root = uf.find(s);
             let q = *class_to_state
@@ -150,7 +153,33 @@ impl StateGraph {
             }
         }
 
-        Ok(Quotient { graph, state_map, signal_map })
+        Ok(Quotient {
+            graph,
+            state_map,
+            signal_map,
+        })
+    }
+
+    /// [`StateGraph::hide_signals`] with lightweight observability counters.
+    ///
+    /// Deliberately records counters only (no span): input-set search calls
+    /// this in a hot greedy loop, and per-call spans would dominate the
+    /// trace. Counters aggregate across calls: `sg.hide.calls`,
+    /// `sg.hide.merged_states` (states eliminated by ε-merging).
+    pub fn hide_signals_traced(
+        &self,
+        hidden: &[usize],
+        tracer: &modsyn_obs::Tracer,
+    ) -> Result<Quotient, SgError> {
+        let quotient = self.hide_signals(hidden)?;
+        if tracer.is_enabled() {
+            tracer.counter("sg.hide.calls", 1);
+            tracer.counter(
+                "sg.hide.merged_states",
+                (self.state_count() - quotient.graph.state_count()) as u64,
+            );
+        }
+        Ok(quotient)
     }
 }
 

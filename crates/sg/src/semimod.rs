@@ -78,8 +78,8 @@ mod tests {
     #[test]
     fn benchmarks_are_semi_modular() {
         for (name, stg) in benchmarks::all() {
-            let sg = derive(&stg, &DeriveOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let sg =
+                derive(&stg, &DeriveOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
             let report = sg.semi_modularity();
             assert!(
                 report.is_semi_modular(),

@@ -127,11 +127,7 @@ pub fn mmu0() -> Stg {
     let q3 = b.signal("q3", SignalKind::Input).expect("fresh");
     built(b.cycle(Frag::seq([
         Frag::rise(r),
-        Frag::par([
-            hs(p1, q1),
-            hs(p2, q2),
-            double_hs(p3, q3),
-        ]),
+        Frag::par([hs(p1, q1), hs(p2, q2), double_hs(p3, q3)]),
         Frag::rise(a),
         Frag::fall(r),
         Frag::fall(a),
@@ -183,9 +179,13 @@ pub fn mr0() -> Stg {
     let a = b.signal("ack", SignalKind::Output).expect("fresh");
     let mut strands = Vec::new();
     for i in 1..=3 {
-        let p = b.signal(format!("p{i}"), SignalKind::Output).expect("fresh");
+        let p = b
+            .signal(format!("p{i}"), SignalKind::Output)
+            .expect("fresh");
         let q = b.signal(format!("q{i}"), SignalKind::Input).expect("fresh");
-        let s = b.signal(format!("s{i}"), SignalKind::Output).expect("fresh");
+        let s = b
+            .signal(format!("s{i}"), SignalKind::Output)
+            .expect("fresh");
         strands.push(Frag::seq([
             Frag::rise(p),
             Frag::rise(q),

@@ -387,7 +387,12 @@ mod tests {
     #[test]
     fn marked_graph_benchmarks_have_no_choice() {
         for stg in [wrdata(), pa(), ram_read_sbuf()] {
-            assert_eq!(stg.net().classify(), NetClass::MarkedGraph, "{}", stg.name());
+            assert_eq!(
+                stg.net().classify(),
+                NetClass::MarkedGraph,
+                "{}",
+                stg.name()
+            );
         }
     }
 

@@ -29,12 +29,12 @@ mod scalable;
 mod small;
 
 pub use large::{mmu0, mmu1, mr0, mr1, sbuf_ram_write, vbe4a};
-pub use scalable::{master_read, pipeline};
 pub use medium::{
     alex_nonfc, alloc_outbound, atod, nak_pa, pa, pe_rcv_ifc_fc, ram_read_sbuf, sbuf_read_ctl,
     sbuf_send_ctl, sbuf_send_pkt2, wrdata,
 };
-pub use small::{fifo, nouse, nousc_ser, sendr_done, vbe_ex1, vbe_ex2};
+pub use scalable::{master_read, pipeline};
+pub use small::{fifo, nousc_ser, nouse, sendr_done, vbe_ex1, vbe_ex2};
 
 use crate::Stg;
 
@@ -52,29 +52,121 @@ pub struct PaperSpec {
 /// The specification columns of Table 1, in the paper's row order
 /// (largest first).
 pub const PAPER_SPECS: [PaperSpec; 23] = [
-    PaperSpec { name: "mr0", initial_states: 302, initial_signals: 11 },
-    PaperSpec { name: "mr1", initial_states: 190, initial_signals: 8 },
-    PaperSpec { name: "mmu0", initial_states: 174, initial_signals: 8 },
-    PaperSpec { name: "mmu1", initial_states: 82, initial_signals: 8 },
-    PaperSpec { name: "sbuf-ram-write", initial_states: 58, initial_signals: 10 },
-    PaperSpec { name: "vbe4a", initial_states: 58, initial_signals: 6 },
-    PaperSpec { name: "nak-pa", initial_states: 56, initial_signals: 9 },
-    PaperSpec { name: "pe-rcv-ifc-fc", initial_states: 46, initial_signals: 8 },
-    PaperSpec { name: "ram-read-sbuf", initial_states: 36, initial_signals: 10 },
-    PaperSpec { name: "alex-nonfc", initial_states: 24, initial_signals: 6 },
-    PaperSpec { name: "sbuf-send-pkt2", initial_states: 21, initial_signals: 6 },
-    PaperSpec { name: "sbuf-send-ctl", initial_states: 20, initial_signals: 6 },
-    PaperSpec { name: "atod", initial_states: 20, initial_signals: 6 },
-    PaperSpec { name: "pa", initial_states: 18, initial_signals: 4 },
-    PaperSpec { name: "alloc-outbound", initial_states: 17, initial_signals: 7 },
-    PaperSpec { name: "wrdata", initial_states: 16, initial_signals: 4 },
-    PaperSpec { name: "fifo", initial_states: 16, initial_signals: 4 },
-    PaperSpec { name: "sbuf-read-ctl", initial_states: 14, initial_signals: 6 },
-    PaperSpec { name: "nouse", initial_states: 12, initial_signals: 3 },
-    PaperSpec { name: "vbe-ex2", initial_states: 8, initial_signals: 2 },
-    PaperSpec { name: "nousc-ser", initial_states: 8, initial_signals: 3 },
-    PaperSpec { name: "sendr-done", initial_states: 7, initial_signals: 3 },
-    PaperSpec { name: "vbe-ex1", initial_states: 5, initial_signals: 2 },
+    PaperSpec {
+        name: "mr0",
+        initial_states: 302,
+        initial_signals: 11,
+    },
+    PaperSpec {
+        name: "mr1",
+        initial_states: 190,
+        initial_signals: 8,
+    },
+    PaperSpec {
+        name: "mmu0",
+        initial_states: 174,
+        initial_signals: 8,
+    },
+    PaperSpec {
+        name: "mmu1",
+        initial_states: 82,
+        initial_signals: 8,
+    },
+    PaperSpec {
+        name: "sbuf-ram-write",
+        initial_states: 58,
+        initial_signals: 10,
+    },
+    PaperSpec {
+        name: "vbe4a",
+        initial_states: 58,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "nak-pa",
+        initial_states: 56,
+        initial_signals: 9,
+    },
+    PaperSpec {
+        name: "pe-rcv-ifc-fc",
+        initial_states: 46,
+        initial_signals: 8,
+    },
+    PaperSpec {
+        name: "ram-read-sbuf",
+        initial_states: 36,
+        initial_signals: 10,
+    },
+    PaperSpec {
+        name: "alex-nonfc",
+        initial_states: 24,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "sbuf-send-pkt2",
+        initial_states: 21,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "sbuf-send-ctl",
+        initial_states: 20,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "atod",
+        initial_states: 20,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "pa",
+        initial_states: 18,
+        initial_signals: 4,
+    },
+    PaperSpec {
+        name: "alloc-outbound",
+        initial_states: 17,
+        initial_signals: 7,
+    },
+    PaperSpec {
+        name: "wrdata",
+        initial_states: 16,
+        initial_signals: 4,
+    },
+    PaperSpec {
+        name: "fifo",
+        initial_states: 16,
+        initial_signals: 4,
+    },
+    PaperSpec {
+        name: "sbuf-read-ctl",
+        initial_states: 14,
+        initial_signals: 6,
+    },
+    PaperSpec {
+        name: "nouse",
+        initial_states: 12,
+        initial_signals: 3,
+    },
+    PaperSpec {
+        name: "vbe-ex2",
+        initial_states: 8,
+        initial_signals: 2,
+    },
+    PaperSpec {
+        name: "nousc-ser",
+        initial_states: 8,
+        initial_signals: 3,
+    },
+    PaperSpec {
+        name: "sendr-done",
+        initial_states: 7,
+        initial_signals: 3,
+    },
+    PaperSpec {
+        name: "vbe-ex1",
+        initial_states: 5,
+        initial_signals: 2,
+    },
 ];
 
 /// Builds every benchmark, in Table-1 row order.

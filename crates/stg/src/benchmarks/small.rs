@@ -89,10 +89,7 @@ pub fn nouse() -> Stg {
     let z = b.signal("c", SignalKind::Output).expect("fresh");
     built(b.cycle(Frag::seq([
         Frag::rise(a),
-        Frag::par([
-            Frag::seq([Frag::rise(y), Frag::fall(y)]),
-            Frag::rise(z),
-        ]),
+        Frag::par([Frag::seq([Frag::rise(y), Frag::fall(y)]), Frag::rise(z)]),
         Frag::fall(a),
         Frag::fall(z),
         Frag::rise(y),
@@ -143,7 +140,14 @@ mod tests {
 
     #[test]
     fn small_benchmarks_infer_initial_values() {
-        for stg in [vbe_ex1(), vbe_ex2(), sendr_done(), nousc_ser(), nouse(), fifo()] {
+        for stg in [
+            vbe_ex1(),
+            vbe_ex2(),
+            sendr_done(),
+            nousc_ser(),
+            nouse(),
+            fifo(),
+        ] {
             let values = stg.infer_initial_values().unwrap();
             assert_eq!(values.len(), stg.signal_count());
             // All benchmarks start with every signal low.

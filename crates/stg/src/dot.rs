@@ -67,10 +67,20 @@ pub fn to_dot(stg: &Stg) -> String {
             };
             let _ = writeln!(out, "  \"{}\" [shape=circle{marked}];", place.name());
             for &t in place.fanin() {
-                let _ = writeln!(out, "  \"{}\" -> \"{}\";", net.transition(t).name(), place.name());
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\";",
+                    net.transition(t).name(),
+                    place.name()
+                );
             }
             for &t in place.fanout() {
-                let _ = writeln!(out, "  \"{}\" -> \"{}\";", place.name(), net.transition(t).name());
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\";",
+                    place.name(),
+                    net.transition(t).name()
+                );
             }
         }
     }

@@ -99,7 +99,9 @@ pub struct StgBuilder {
 impl StgBuilder {
     /// Starts a builder for a model with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        StgBuilder { stg: Stg::new(name) }
+        StgBuilder {
+            stg: Stg::new(name),
+        }
     }
 
     /// Declares a signal.
@@ -189,11 +191,7 @@ impl StgBuilder {
         Ok(vec![Pending::Transitions(vec![t])])
     }
 
-    fn compile(
-        &mut self,
-        frag: &Frag,
-        pending: Vec<Pending>,
-    ) -> Result<Vec<Pending>, StgError> {
+    fn compile(&mut self, frag: &Frag, pending: Vec<Pending>) -> Result<Vec<Pending>, StgError> {
         match frag {
             Frag::Event(signal, polarity) => {
                 let t = self.stg.add_transition(*signal, *polarity);
@@ -224,9 +222,7 @@ impl StgBuilder {
                 if let Some(bad) = branches.iter().find(|b| !b.is_single_exit()) {
                     return Err(StgError::Parse {
                         line: 0,
-                        message: format!(
-                            "choice branch must end in a single event: {bad:?}"
-                        ),
+                        message: format!("choice branch must end in a single event: {bad:?}"),
                     });
                 }
                 // One shared choice place per pending group; every branch's
@@ -248,8 +244,7 @@ impl StgBuilder {
                 }
                 let mut exit_ts = Vec::new();
                 for branch in branches {
-                    let outs =
-                        self.compile(branch, vec![Pending::Places(entry_places.clone())])?;
+                    let outs = self.compile(branch, vec![Pending::Places(entry_places.clone())])?;
                     for out in outs {
                         match out {
                             Pending::Transitions(ts) | Pending::Merge(ts) => {
@@ -362,10 +357,7 @@ mod tests {
         let stg = b
             .cycle(Frag::seq([
                 Frag::rise(a),
-                Frag::par([
-                    Frag::seq([Frag::rise(c), Frag::fall(c)]),
-                    Frag::fall(a),
-                ]),
+                Frag::par([Frag::seq([Frag::rise(c), Frag::fall(c)]), Frag::fall(a)]),
                 Frag::rise(a),
                 Frag::fall(a),
             ]))

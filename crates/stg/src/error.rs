@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn parse_error_carries_location() {
-        let err = StgError::Parse { line: 7, message: "bad token".into() };
+        let err = StgError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(err.to_string().contains("line 7"));
     }
 }

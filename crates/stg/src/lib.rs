@@ -53,7 +53,7 @@ mod writer;
 pub use dot::to_dot;
 pub use dsl::{Frag, StgBuilder};
 pub use error::StgError;
-pub use parser::parse_g;
+pub use parser::{parse_g, parse_g_traced};
 pub use signal::{Polarity, SignalId, SignalKind, TransitionLabel};
 pub use stg::{SignalInfo, Stg};
 pub use validate::StgReport;

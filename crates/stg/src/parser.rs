@@ -45,6 +45,26 @@ pub fn parse_g(input: &str) -> Result<Stg, StgError> {
     Ok(parser.stg)
 }
 
+/// [`parse_g`] wrapped in an `stg.parse` observability span recording the
+/// parsed net's size. With a disabled tracer this is exactly [`parse_g`].
+pub fn parse_g_traced(input: &str, tracer: &modsyn_obs::Tracer) -> Result<Stg, StgError> {
+    if !tracer.is_enabled() {
+        return parse_g(input);
+    }
+    let _span = tracer.span("stg.parse");
+    let result = parse_g(input);
+    match &result {
+        Ok(stg) => {
+            tracer.note("model", stg.name());
+            tracer.gauge("signals", stg.signal_count() as f64);
+            tracer.gauge("transitions", stg.net().transition_count() as f64);
+            tracer.gauge("places", stg.net().place_count() as f64);
+        }
+        Err(e) => tracer.note("error", &e.to_string()),
+    }
+    result
+}
+
 struct Parser {
     stg: Stg,
     /// Named transitions: "a+", "a+/2", dummies by name.
@@ -68,7 +88,10 @@ impl Parser {
     }
 
     fn err(line: usize, message: impl Into<String>) -> StgError {
-        StgError::Parse { line, message: message.into() }
+        StgError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     fn run(&mut self, input: &str) -> Result<(), StgError> {
@@ -264,9 +287,9 @@ fn split_instance(token: &str, lineno: usize) -> Result<(String, u32), StgError>
     match token.split_once('/') {
         None => Ok((token.to_string(), 1)),
         Some((base, inst)) => {
-            let n: u32 = inst.parse().map_err(|_| {
-                Parser::err(lineno, format!("bad instance suffix in {token:?}"))
-            })?;
+            let n: u32 = inst
+                .parse()
+                .map_err(|_| Parser::err(lineno, format!("bad instance suffix in {token:?}")))?;
             Ok((base.to_string(), n))
         }
     }
@@ -278,7 +301,10 @@ fn split_polarity(base: &str, lineno: usize) -> Result<(String, Polarity), StgEr
     } else if let Some(name) = base.strip_suffix('-') {
         Ok((name.to_string(), Polarity::Fall))
     } else {
-        Err(Parser::err(lineno, format!("expected +/- suffix in {base:?}")))
+        Err(Parser::err(
+            lineno,
+            format!("expected +/- suffix in {base:?}"),
+        ))
     }
 }
 

@@ -36,7 +36,9 @@ impl Stg {
             self.net().validate()?;
         }
         if let Some(name) = report.silent_signals.first() {
-            return Err(StgError::NoTransitions { signal: name.clone() });
+            return Err(StgError::NoTransitions {
+                signal: name.clone(),
+            });
         }
         if let Some(name) = report.unbalanced_signals.first() {
             return Err(StgError::Parse {

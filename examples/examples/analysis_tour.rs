@@ -12,7 +12,9 @@ use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "wrdata".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "wrdata".to_string());
     let stg = benchmarks::by_name(&name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
     println!("== {name} ==\n{stg}");
 

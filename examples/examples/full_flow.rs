@@ -12,13 +12,18 @@ use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nak-pa".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nak-pa".to_string());
     let stg = benchmarks::by_name(&name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
     println!("specification: {stg}");
 
     // 1. Resolve CSC with the BDD-backed minimum-excitation extraction.
     let sg = derive(&stg, &DeriveOptions::default())?;
-    let options = CscSolveOptions { min_area: true, ..Default::default() };
+    let options = CscSolveOptions {
+        min_area: true,
+        ..Default::default()
+    };
     let resolved = modular_resolve(&sg, &options)?;
     println!(
         "resolved: {} state signal(s) inserted, {} -> {} states",

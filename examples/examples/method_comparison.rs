@@ -9,7 +9,9 @@ use modsyn_sat::SolverOptions;
 use modsyn_stg::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mmu1".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mmu1".to_string());
     let stg = benchmarks::by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name:?}; see modsyn_stg::benchmarks"))?;
 

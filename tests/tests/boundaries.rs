@@ -4,7 +4,10 @@ use modsyn_sg::{EdgeLabel, SgError, SignalMeta, StateGraph};
 use modsyn_stg::{parse_g, write_g, Polarity, SignalKind};
 
 fn meta(name: String) -> SignalMeta {
-    SignalMeta { name, kind: SignalKind::Output }
+    SignalMeta {
+        name,
+        kind: SignalKind::Output,
+    }
 }
 
 #[test]
@@ -14,10 +17,14 @@ fn state_graph_supports_exactly_64_signals() {
     assert_eq!(sg.full_mask(), u64::MAX);
     let all_ones = sg.add_state(u64::MAX);
     let all_but_top = sg.add_state(u64::MAX >> 1);
-    sg.add_edge(all_ones, all_but_top, EdgeLabel::Signal {
-        signal: 63,
-        polarity: Polarity::Fall,
-    });
+    sg.add_edge(
+        all_ones,
+        all_but_top,
+        EdgeLabel::Signal {
+            signal: 63,
+            polarity: Polarity::Fall,
+        },
+    );
     assert!(sg.value(all_ones, 63));
     assert!(!sg.value(all_but_top, 63));
     assert_eq!(sg.code(all_ones) ^ sg.code(all_but_top), 1 << 63);
@@ -48,7 +55,10 @@ fn deep_instance_numbers_round_trip_through_g() {
     let b = stg.find_signal("b").unwrap();
     assert_eq!(stg.transitions_of(b).len(), 10);
     let again = parse_g(&write_g(&stg)).unwrap();
-    assert_eq!(again.transitions_of(again.find_signal("b").unwrap()).len(), 10);
+    assert_eq!(
+        again.transitions_of(again.find_signal("b").unwrap()).len(),
+        10
+    );
 }
 
 #[test]
@@ -104,6 +114,10 @@ fn every_benchmark_stg_is_live() {
             .net()
             .liveness(&ReachabilityOptions::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(report.is_live(), "{name}: dead transitions {:?}", report.dead);
+        assert!(
+            report.is_live(),
+            "{name}: dead transitions {:?}",
+            report.dead
+        );
     }
 }

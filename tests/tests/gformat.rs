@@ -2,7 +2,7 @@
 //! serialisation and re-parsing with identical synthesis behaviour.
 
 use modsyn_sg::{derive, DeriveOptions};
-use modsyn_stg::{parse_g, write_g, benchmarks};
+use modsyn_stg::{benchmarks, parse_g, write_g};
 
 #[test]
 fn every_benchmark_round_trips_through_g_format() {

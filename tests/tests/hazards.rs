@@ -1,6 +1,6 @@
 //! End-to-end hazard story: detection, gate-level manifestation, removal.
 
-use modsyn::{derive_logic, hazard_report, modular_resolve, remove_static_hazards, CscSolveOptions};
+use modsyn::{derive_logic, modular_resolve, remove_static_hazards, CscSolveOptions};
 use modsyn_logic::{simulate_cover, static_hazards, Cover, DelayModel};
 use modsyn_sg::{derive, DeriveOptions, EdgeLabel};
 use modsyn_stg::benchmarks;
@@ -21,7 +21,10 @@ fn adversarial_delays(cover: &Cover, from: &[bool], to: &[bool]) -> DelayModel {
             }
         })
         .collect();
-    DelayModel { and_delays, or_delay: 1 }
+    DelayModel {
+        and_delays,
+        or_delay: 1,
+    }
 }
 
 #[test]
@@ -33,8 +36,7 @@ fn detected_hazards_manifest_and_removal_silences_them() {
         let out = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
         let functions = derive_logic(&out.graph).unwrap();
         let n = out.graph.signals().len();
-        let vals =
-            |s: usize| (0..n).map(|i| out.graph.value(s, i)).collect::<Vec<bool>>();
+        let vals = |s: usize| (0..n).map(|i| out.graph.value(s, i)).collect::<Vec<bool>>();
         let transitions: Vec<(Vec<bool>, Vec<bool>)> = out
             .graph
             .edges()

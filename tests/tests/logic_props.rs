@@ -1,3 +1,6 @@
+//! Property tests (gated): enable with `--features proptest-tests` after
+//! re-adding the proptest dev-dependency (needs network; see Cargo.toml).
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests for the two-level minimiser.
 
 use modsyn_logic::{complement, is_tautology, minimize, Cover, Cube};
@@ -5,24 +8,22 @@ use proptest::prelude::*;
 
 /// Strategy: a random cover over `n` variables.
 fn cover_strategy(n: usize) -> impl Strategy<Value = Cover> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u8..3, n..=n),
-        0..8,
-    )
-    .prop_map(move |rows| {
-        let cubes = rows.into_iter().map(|row| {
-            let mut c = Cube::full(n);
-            for (v, &code) in row.iter().enumerate() {
-                match code {
-                    0 => c.set_literal(v, Some(false)),
-                    1 => c.set_literal(v, Some(true)),
-                    _ => {}
+    proptest::collection::vec(proptest::collection::vec(0u8..3, n..=n), 0..8).prop_map(
+        move |rows| {
+            let cubes = rows.into_iter().map(|row| {
+                let mut c = Cube::full(n);
+                for (v, &code) in row.iter().enumerate() {
+                    match code {
+                        0 => c.set_literal(v, Some(false)),
+                        1 => c.set_literal(v, Some(true)),
+                        _ => {}
+                    }
                 }
-            }
-            c
-        });
-        Cover::from_cubes(n, cubes)
-    })
+                c
+            });
+            Cover::from_cubes(n, cubes)
+        },
+    )
 }
 
 fn minterms(n: usize) -> Vec<Vec<bool>> {

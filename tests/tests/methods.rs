@@ -61,7 +61,10 @@ fn direct_method_aborts_on_the_largest_benchmark() {
     let stg = benchmarks::mr0();
     match synthesize(&stg, &with_limit(Method::Direct, 5_000)) {
         Err(SynthesisError::BacktrackLimit { .. }) => {}
-        other => panic!("expected backtrack-limit abort, got {:?}", other.map(|r| r.literals)),
+        other => panic!(
+            "expected backtrack-limit abort, got {:?}",
+            other.map(|r| r.literals)
+        ),
     }
 }
 
@@ -103,12 +106,6 @@ fn formula_decomposition_shrinks_instances() {
         direct.formula.num_vars()
     );
     assert!(
-        modular
-            .formulas
-            .iter()
-            .map(|f| f.clauses)
-            .max()
-            .unwrap()
-            < direct.formula.clause_count()
+        modular.formulas.iter().map(|f| f.clauses).max().unwrap() < direct.formula.clause_count()
     );
 }

@@ -31,7 +31,10 @@ fn modular_flow_resolves_and_verifies_small_benchmarks() {
         let stg = benchmarks::by_name(name).unwrap();
         let report = synthesize(&stg, &SynthesisOptions::for_method(Method::Modular))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(report.inserted_signals() >= 1, "{name}: no state signal inserted");
+        assert!(
+            report.inserted_signals() >= 1,
+            "{name}: no state signal inserted"
+        );
         assert!(report.literals > 0, "{name}");
         assert!(report.final_states >= report.initial_states, "{name}");
         // Every non-input signal of the final graph got a function (the

