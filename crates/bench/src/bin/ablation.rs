@@ -7,60 +7,84 @@
 //! * A3 — assignment extraction: SAT's first model vs the BDD's
 //!   minimum-excitation model (the paper conclusion's area refinement).
 //!
-//! Run with: `cargo run -p modsyn-bench --release --bin ablation`
+//! Run with: `cargo run -p modsyn-bench --release --bin ablation [--jobs N]`
+//!
+//! `--jobs N` fans the per-benchmark measurements of A1 and A3 over N
+//! worker threads (the print order is unchanged — results are joined in
+//! input order).
 //!
 //! The A1 (formula sizes) and A3 (assignment extraction) measurements are
 //! also written as machine-readable records to `BENCH_ablation.json`.
 
 use modsyn::{encode_csc, modular_resolve, synthesize, CscSolveOptions, Method, SynthesisOptions};
 use modsyn_obs::Json;
+use modsyn_par::{par_map, unwrap_or_resume};
 use modsyn_sat::{Heuristic, Outcome, Solver, SolverOptions};
 use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::benchmarks;
 
+fn parse_jobs() -> usize {
+    let mut jobs = 1;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            jobs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&j| j >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(1);
+                });
+        } else {
+            eprintln!("usage: ablation [--jobs N] (got {arg:?})");
+            std::process::exit(1);
+        }
+    }
+    jobs
+}
+
 fn main() {
+    let jobs = parse_jobs();
+    let all = benchmarks::all();
+
     let mut a1_records: Vec<Json> = Vec::new();
     println!("A1: decomposition ablation — largest SAT instance solved\n");
     println!(
         "{:<16} {:>14} {:>14} {:>8}",
         "STG", "modular (cls)", "direct (cls)", "ratio"
     );
-    for (name, stg) in benchmarks::all() {
-        let sg = derive(&stg, &DeriveOptions::default()).expect("derives");
+    let a1_measured: Vec<(Option<usize>, usize)> = par_map(jobs, &all, |_, (_, stg)| {
+        let sg = derive(stg, &DeriveOptions::default()).expect("derives");
         let analysis = sg.csc_analysis();
         let direct = encode_csc(&sg, &analysis, analysis.lower_bound.max(1));
-        let modular = modular_resolve(&sg, &CscSolveOptions::default());
-        let largest = modular
-            .as_ref()
+        let largest = modular_resolve(&sg, &CscSolveOptions::default())
             .ok()
             .and_then(|o| o.formulas.iter().map(|f| f.clauses).max());
+        (largest, direct.formula.clause_count())
+    })
+    .into_iter()
+    .map(unwrap_or_resume)
+    .collect();
+    for ((name, _), (largest, direct_clauses)) in all.iter().zip(a1_measured) {
+        let name = *name;
         match largest {
             Some(c) => {
-                let ratio = direct.formula.clause_count() as f64 / c.max(1) as f64;
-                println!(
-                    "{:<16} {:>14} {:>14} {:>7.1}x",
-                    name,
-                    c,
-                    direct.formula.clause_count(),
-                    ratio
-                );
+                let ratio = direct_clauses as f64 / c.max(1) as f64;
+                println!("{name:<16} {c:>14} {direct_clauses:>14} {ratio:>7.1}x");
                 a1_records.push(Json::obj([
                     ("benchmark", Json::from(name)),
                     ("modular_largest_clauses", Json::from(c)),
-                    ("direct_clauses", Json::from(direct.formula.clause_count())),
+                    ("direct_clauses", Json::from(direct_clauses)),
                     ("ratio", Json::from(ratio)),
                 ]));
             }
             None => {
-                println!(
-                    "{name:<16} {:>14} {:>14}",
-                    "-",
-                    direct.formula.clause_count()
-                );
+                println!("{name:<16} {:>14} {direct_clauses:>14}", "-");
                 a1_records.push(Json::obj([
                     ("benchmark", Json::from(name)),
                     ("modular_largest_clauses", Json::Null),
-                    ("direct_clauses", Json::from(direct.formula.clause_count())),
+                    ("direct_clauses", Json::from(direct_clauses)),
                 ]));
             }
         }
@@ -144,22 +168,30 @@ fn main() {
         "STG", "sat-pick", "bdd-min-area", "delta"
     );
     let mut a3_records: Vec<Json> = Vec::new();
-    for (name, stg) in benchmarks::all() {
-        let a = synthesize(&stg, &SynthesisOptions::for_method(Method::Modular));
-        let b = synthesize(&stg, &SynthesisOptions::for_method(Method::ModularMinArea));
-        if let (Ok(a), Ok(b)) = (a, b) {
-            let delta = b.literals as i64 - a.literals as i64;
-            println!(
-                "{:<16} {:>10} {:>14} {:>+8}",
-                name, a.literals, b.literals, delta
-            );
-            a3_records.push(Json::obj([
-                ("benchmark", Json::from(name)),
-                ("sat_pick_literals", Json::from(a.literals)),
-                ("bdd_min_area_literals", Json::from(b.literals)),
-                ("delta", Json::from(delta)),
-            ]));
+    let a3_measured: Vec<Option<(usize, usize)>> = par_map(jobs, &all, |_, (_, stg)| {
+        let a = synthesize(stg, &SynthesisOptions::for_method(Method::Modular));
+        let b = synthesize(stg, &SynthesisOptions::for_method(Method::ModularMinArea));
+        match (a, b) {
+            (Ok(a), Ok(b)) => Some((a.literals, b.literals)),
+            _ => None,
         }
+    })
+    .into_iter()
+    .map(unwrap_or_resume)
+    .collect();
+    for ((name, _), measured) in all.iter().zip(a3_measured) {
+        let Some((sat_pick, bdd_min)) = measured else {
+            continue;
+        };
+        let name = *name;
+        let delta = bdd_min as i64 - sat_pick as i64;
+        println!("{name:<16} {sat_pick:>10} {bdd_min:>14} {delta:>+8}");
+        a3_records.push(Json::obj([
+            ("benchmark", Json::from(name)),
+            ("sat_pick_literals", Json::from(sat_pick)),
+            ("bdd_min_area_literals", Json::from(bdd_min)),
+            ("delta", Json::from(delta)),
+        ]));
     }
 
     let json = Json::obj([

@@ -4,13 +4,24 @@
 //! method and the Lavagno-style method under the standard backtrack limit,
 //! and prints our measurement next to the paper's number.
 //!
-//! Run with: `cargo run -p modsyn-bench --release --bin table1 [limit]`
+//! Run with:
+//! `cargo run -p modsyn-bench --release --bin table1 [limit] [--jobs N] [--small]`
+//!
+//! `--jobs N` (default 1) additionally re-runs the table on an N-worker
+//! pool and reports the wall-clock comparison; `--small` restricts the run
+//! to the rows with fewer than 80 initial states (the CI smoke subset).
 //!
 //! Besides the text table, writes every measurement as machine-readable
-//! records to `BENCH_table1.json` in the current directory.
+//! records to `BENCH_table1.json` in the current directory; with
+//! `--jobs N > 1` the document gains a `parallel` section with per-row and
+//! total wall clocks for jobs=1 vs jobs=N.
+
+use std::process::ExitCode;
 
 use modsyn_bench::{
-    paper_row, run_table, table1_json, Measured, PaperOutcome, TABLE1_BACKTRACK_LIMIT,
+    paper_row, parallel_json, run_rows_pooled, run_rows_timed, small_rows,
+    table1_json_with_parallel, Measured, PaperOutcome, PaperRow, PAPER_TABLE1,
+    TABLE1_BACKTRACK_LIMIT,
 };
 
 fn paper_cell(outcome: &PaperOutcome) -> String {
@@ -29,11 +40,53 @@ fn paper_cell(outcome: &PaperOutcome) -> String {
     }
 }
 
-fn main() {
-    let limit: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(TABLE1_BACKTRACK_LIMIT);
+struct Args {
+    limit: u64,
+    jobs: usize,
+    small: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        limit: TABLE1_BACKTRACK_LIMIT,
+        jobs: 1,
+        small: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| "bad --jobs value".to_string())?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--small" => args.small = true,
+            other => {
+                args.limit = other.parse().map_err(|_| {
+                    format!("usage: table1 [limit] [--jobs N] [--small] (got {other:?})")
+                })?;
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let limit = args.limit;
+    let selected: Vec<PaperRow> = if args.small {
+        small_rows()
+    } else {
+        PAPER_TABLE1.to_vec()
+    };
 
     println!("Table 1 reproduction (backtrack limit {limit}); paper values in parentheses.\n");
     println!(
@@ -47,8 +100,9 @@ fn main() {
     );
     println!("{}", "-".repeat(170));
 
-    let rows = run_table(limit);
-    for (name, modular, direct, lavagno) in &rows {
+    let sequential = run_rows_timed(limit, &selected);
+    let rows = &sequential.rows;
+    for (name, modular, direct, lavagno) in rows {
         let paper = paper_row(name).expect("row exists");
         println!(
             "{:<16} {:>6} {:>4} | {:<44} | {:<44} | {:<44}",
@@ -69,7 +123,7 @@ fn main() {
 
     println!("\nsummary:");
     println!("  modular vs direct wall-clock on the large rows (direct time is time-to-abort when it hit the limit):");
-    for (name, modular, direct, _) in &rows {
+    for (name, modular, direct, _) in rows {
         let Some(m) = modular.cpu() else { continue };
         let Some(d) = direct.cpu() else { continue };
         if d < 0.05 {
@@ -101,9 +155,33 @@ fn main() {
         "  lavagno-style rejections: {lavagno_errors:?} (paper: alex-nonfc non-FC; mmu0, pa internal state error)"
     );
 
-    let json = table1_json(limit, &rows);
+    let parallel = if args.jobs > 1 {
+        println!(
+            "\nparallel: re-running the table on a {}-worker pool...",
+            args.jobs
+        );
+        let pooled = run_rows_pooled(limit, args.jobs, &selected);
+        println!(
+            "  jobs=1 total {:>7.2}s vs jobs={} total {:>7.2}s -> {:.2}x",
+            sequential.total_wall_s,
+            args.jobs,
+            pooled.total_wall_s,
+            sequential.total_wall_s / pooled.total_wall_s.max(1e-9),
+        );
+        Some(parallel_json(args.jobs, &sequential, &pooled))
+    } else {
+        None
+    };
+
+    let json = table1_json_with_parallel(limit, rows, parallel);
     match std::fs::write("BENCH_table1.json", json.pretty()) {
-        Ok(()) => println!("\nwrote BENCH_table1.json ({} records)", 3 * rows.len()),
-        Err(e) => eprintln!("error: cannot write BENCH_table1.json: {e}"),
+        Ok(()) => {
+            println!("\nwrote BENCH_table1.json ({} records)", 3 * rows.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_table1.json: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -5,8 +5,11 @@
 //! benchmark × method with the standard limits; [`run_table`] produces the
 //! whole comparison.
 
+use std::time::Instant;
+
 use modsyn::{synthesize, FormulaStat, Method, SynthesisError, SynthesisOptions};
 use modsyn_obs::Json;
+use modsyn_par::{JobHandle, WorkerPool};
 use modsyn_sat::{SolverOptions, SolverStats};
 use modsyn_stg::benchmarks;
 
@@ -514,6 +517,130 @@ pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
     PAPER_TABLE1.iter().find(|r| r.name == name)
 }
 
+/// The Table-1 rows with fewer than 80 initial states — everything except
+/// `mr0`, `mr1`, `mmu0` and `mmu1`, whose direct runs take minutes at the
+/// standard limit. The CI parallel smoke job runs on this subset.
+pub fn small_rows() -> Vec<PaperRow> {
+    PAPER_TABLE1
+        .iter()
+        .copied()
+        .filter(|r| r.initial_states < 80)
+        .collect()
+}
+
+/// A timed table run: the measurements plus wall-clock accounting, produced
+/// by [`run_rows_timed`] (sequential) and [`run_rows_pooled`] (worker pool).
+#[derive(Debug, Clone)]
+pub struct TimedTable {
+    /// Per-row measurements, in input order — same shape as [`run_table`].
+    pub rows: Vec<(&'static str, Measured, Measured, Measured)>,
+    /// Per-row wall clock: the summed duration of the row's three method
+    /// runs. Comparable between sequential and pooled runs (it is time
+    /// *spent on* the row, not time-to-completion under interleaving).
+    pub row_wall_s: Vec<f64>,
+    /// Overall wall clock of the whole run.
+    pub total_wall_s: f64,
+}
+
+fn timed_row(name: &'static str, method: Method, backtrack_limit: u64) -> (Measured, f64) {
+    let started = Instant::now();
+    let measured = run_row(name, method, backtrack_limit);
+    (measured, started.elapsed().as_secs_f64())
+}
+
+/// [`run_table`] restricted to `rows`, run sequentially (jobs = 1), timing
+/// every benchmark × method execution.
+pub fn run_rows_timed(backtrack_limit: u64, rows: &[PaperRow]) -> TimedTable {
+    let started = Instant::now();
+    let mut out = Vec::with_capacity(rows.len());
+    let mut row_wall_s = Vec::with_capacity(rows.len());
+    for row in rows {
+        let (modular, tm) = timed_row(row.name, Method::Modular, backtrack_limit);
+        let (direct, td) = timed_row(row.name, Method::Direct, backtrack_limit);
+        let (lavagno, tl) = timed_row(row.name, Method::Lavagno, backtrack_limit);
+        out.push((row.name, modular, direct, lavagno));
+        row_wall_s.push(tm + td + tl);
+    }
+    TimedTable {
+        rows: out,
+        row_wall_s,
+        total_wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// [`run_rows_timed`] with every benchmark × method run submitted as a job
+/// to a [`WorkerPool`] of `jobs` workers. Handles are joined in input
+/// order, so the returned rows are identical to the sequential ones; only
+/// the wall clocks differ. `jobs <= 1` falls back to the sequential runner.
+pub fn run_rows_pooled(backtrack_limit: u64, jobs: usize, rows: &[PaperRow]) -> TimedTable {
+    if jobs <= 1 {
+        return run_rows_timed(backtrack_limit, rows);
+    }
+    let started = Instant::now();
+    let pool = WorkerPool::new(jobs);
+    let handles: Vec<Vec<JobHandle<(Measured, f64)>>> = rows
+        .iter()
+        .map(|row| {
+            let name = row.name;
+            [Method::Modular, Method::Direct, Method::Lavagno]
+                .into_iter()
+                .map(|method| {
+                    pool.submit(&format!("{name}:{method}"), move || {
+                        timed_row(name, method, backtrack_limit)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(rows.len());
+    let mut row_wall_s = Vec::with_capacity(rows.len());
+    for (row, row_handles) in rows.iter().zip(handles) {
+        let mut results = row_handles.into_iter().map(|h| {
+            h.join()
+                .unwrap_or_else(|p| (Measured::Failed(p.to_string()), 0.0))
+        });
+        let (modular, tm) = results.next().expect("three jobs per row");
+        let (direct, td) = results.next().expect("three jobs per row");
+        let (lavagno, tl) = results.next().expect("three jobs per row");
+        out.push((row.name, modular, direct, lavagno));
+        row_wall_s.push(tm + td + tl);
+    }
+    drop(pool);
+    TimedTable {
+        rows: out,
+        row_wall_s,
+        total_wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The `parallel` section of `BENCH_table1.json`: per-row and total wall
+/// clocks of a jobs = 1 run next to a jobs = N pooled run of the same rows.
+pub fn parallel_json(jobs: usize, sequential: &TimedTable, pooled: &TimedTable) -> Json {
+    let rows: Vec<Json> = sequential
+        .rows
+        .iter()
+        .zip(&sequential.row_wall_s)
+        .zip(&pooled.row_wall_s)
+        .map(|(((name, ..), &seq), &par)| {
+            Json::obj([
+                ("benchmark", Json::from(*name)),
+                ("sequential_s", Json::from(seq)),
+                ("parallel_s", Json::from(par)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("jobs", Json::from(jobs)),
+        ("sequential_total_s", Json::from(sequential.total_wall_s)),
+        ("parallel_total_s", Json::from(pooled.total_wall_s)),
+        (
+            "speedup",
+            Json::from(sequential.total_wall_s / pooled.total_wall_s.max(1e-9)),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
 fn solver_stats_json(s: &SolverStats) -> Json {
     Json::obj([
         ("decisions", Json::from(s.decisions)),
@@ -608,17 +735,31 @@ pub fn table1_json(
     backtrack_limit: u64,
     rows: &[(&'static str, Measured, Measured, Measured)],
 ) -> Json {
+    table1_json_with_parallel(backtrack_limit, rows, None)
+}
+
+/// [`table1_json`] with an optional `parallel` section (see
+/// [`parallel_json`]) recording jobs = 1 vs jobs = N wall clocks.
+pub fn table1_json_with_parallel(
+    backtrack_limit: u64,
+    rows: &[(&'static str, Measured, Measured, Measured)],
+    parallel: Option<Json>,
+) -> Json {
     let mut records = Vec::with_capacity(3 * rows.len());
     for (name, modular, direct, lavagno) in rows {
         records.push(measured_record(name, Method::Modular, modular));
         records.push(measured_record(name, Method::Direct, direct));
         records.push(measured_record(name, Method::Lavagno, lavagno));
     }
-    Json::obj([
+    let mut fields = vec![
         ("version", Json::from(1u64)),
         ("backtrack_limit", Json::from(backtrack_limit)),
         ("records", Json::Arr(records)),
-    ])
+    ];
+    if let Some(parallel) = parallel {
+        fields.push(("parallel", parallel));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -672,6 +813,56 @@ mod tests {
         assert!(!formulas.is_empty());
         let sat = formulas.last().unwrap();
         assert!(sat.get("solver").unwrap().get("propagations").is_some());
+    }
+
+    #[test]
+    fn small_rows_exclude_the_four_large_benchmarks() {
+        let names: Vec<&str> = small_rows().iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 19);
+        for big in ["mr0", "mr1", "mmu0", "mmu1"] {
+            assert!(!names.contains(&big), "{big} should be filtered out");
+        }
+        assert!(names.contains(&"vbe-ex1"));
+    }
+
+    #[test]
+    fn pooled_rows_match_the_sequential_ones() {
+        let rows: Vec<PaperRow> = ["vbe-ex1", "sendr-done", "nousc-ser"]
+            .iter()
+            .map(|n| *paper_row(n).unwrap())
+            .collect();
+        let seq = run_rows_timed(TABLE1_BACKTRACK_LIMIT, &rows);
+        let pooled = run_rows_pooled(TABLE1_BACKTRACK_LIMIT, 3, &rows);
+        assert_eq!(seq.rows.len(), pooled.rows.len());
+        assert_eq!(seq.row_wall_s.len(), rows.len());
+        for ((sn, sm, sd, sl), (pn, pm, pd, pl)) in seq.rows.iter().zip(&pooled.rows) {
+            assert_eq!(sn, pn);
+            for (s, p) in [(sm, pm), (sd, pd), (sl, pl)] {
+                assert_eq!(std::mem::discriminant(s), std::mem::discriminant(p), "{sn}");
+                assert_eq!(s.literals(), p.literals(), "{sn}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_section_round_trips_through_json() {
+        let rows: Vec<PaperRow> = vec![*paper_row("vbe-ex1").unwrap()];
+        let seq = run_rows_timed(TABLE1_BACKTRACK_LIMIT, &rows);
+        let pooled = run_rows_pooled(TABLE1_BACKTRACK_LIMIT, 2, &rows);
+        let doc = table1_json_with_parallel(
+            TABLE1_BACKTRACK_LIMIT,
+            &seq.rows,
+            Some(parallel_json(2, &seq, &pooled)),
+        );
+        let parsed = modsyn_obs::parse_json(&doc.pretty()).unwrap();
+        let parallel = parsed.get("parallel").unwrap();
+        assert_eq!(parallel.get("jobs").unwrap().as_f64(), Some(2.0));
+        assert!(parallel.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+        let rows = parallel.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("benchmark").unwrap().as_str(), Some("vbe-ex1"));
+        assert!(rows[0].get("sequential_s").unwrap().as_f64().is_some());
+        assert!(rows[0].get("parallel_s").unwrap().as_f64().is_some());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! modsyn <file.g | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno]
-//!        [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet]
+//!        [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog]
+//!        [--exact] [--hazards] [--quiet]
 //! ```
 //!
 //! Reads an STG (a `.g` file, `-` for stdin, or `benchmark:<name>` for one
@@ -17,21 +18,31 @@
 //! counters, per-module formula sizes) to **stderr**; `--trace-json FILE`
 //! writes the same trace as JSON. Neither touches stdout, so piping `--pla`
 //! or `--verilog` output stays clean.
+//!
+//! Parallelism: `--jobs N` (default: the machine's available parallelism)
+//! fans the modular candidate derivation and the per-signal logic
+//! minimisation over N threads; the output is identical for every N.
+//! `--timeout-ms T` aborts the run cooperatively after T milliseconds with
+//! a clean message on stderr and a non-zero exit (stdout stays empty).
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use modsyn::{
     closed_loop_check, hazard_report, remove_static_hazards, synthesize_traced, Circuit, Method,
-    MinimizeMode, SynthesisOptions,
+    MinimizeMode, SynthesisError, SynthesisOptions,
 };
 use modsyn_obs::Tracer;
+use modsyn_par::{available_jobs, CancelToken};
 use modsyn_sat::SolverOptions;
 
 struct Args {
     source: String,
     method: Method,
     limit: Option<u64>,
+    jobs: usize,
+    timeout_ms: Option<u64>,
     pla: bool,
     dot: bool,
     verilog: bool,
@@ -44,8 +55,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
-     [--limit N] [--pla] [--dot] [--verilog] [--exact] [--hazards] [--quiet] [--stats] \
-     [--trace-json FILE]"
+     [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog] [--exact] [--hazards] \
+     [--quiet] [--stats] [--trace-json FILE]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         source: String::new(),
         method: Method::Modular,
         limit: None,
+        jobs: available_jobs(),
+        timeout_ms: None,
         pla: false,
         dot: false,
         verilog: false,
@@ -78,6 +91,17 @@ fn parse_args() -> Result<Args, String> {
             "--limit" => {
                 let v = it.next().ok_or("--limit needs a value")?;
                 args.limit = Some(v.parse().map_err(|_| "bad --limit value")?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| "bad --jobs value")?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                args.timeout_ms = Some(v.parse().map_err(|_| "bad --timeout-ms value")?);
             }
             "--pla" => args.pla = true,
             "--dot" => args.dot = true,
@@ -139,6 +163,10 @@ fn main() -> ExitCode {
     };
 
     let mut options = SynthesisOptions::for_method(args.method);
+    options.jobs = args.jobs;
+    if let Some(ms) = args.timeout_ms {
+        options.cancel = CancelToken::with_deadline(Duration::from_millis(ms));
+    }
     if args.exact {
         options.minimize = MinimizeMode::Exact;
     }
@@ -150,6 +178,11 @@ fn main() -> ExitCode {
     }
     let report = match synthesize_traced(&stg, &options, &tracer) {
         Ok(r) => r,
+        Err(e @ SynthesisError::Aborted { .. }) => {
+            eprintln!("synthesis aborted: {e}");
+            let _ = emit_observability(&args, &tracer);
+            return ExitCode::FAILURE;
+        }
         Err(e) => {
             eprintln!("synthesis failed: {e}");
             let _ = emit_observability(&args, &tracer);

@@ -33,6 +33,12 @@ pub enum SynthesisError {
         /// Number of conflicting pairs remaining.
         remaining_conflicts: usize,
     },
+    /// The run was cancelled (explicitly or by a `--timeout-ms` deadline)
+    /// before a verdict.
+    Aborted {
+        /// Seconds spent before the cancellation was observed.
+        elapsed: f64,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -62,6 +68,9 @@ impl fmt::Display for SynthesisError {
                     f,
                     "csc still violated: {remaining_conflicts} conflicting pairs remain"
                 )
+            }
+            SynthesisError::Aborted { elapsed } => {
+                write!(f, "aborted by cancellation after {elapsed:.1}s")
             }
         }
     }

@@ -16,6 +16,7 @@
 //! * it searches with the naive first-unassigned branching rule, modelling
 //!   the older, less informed search.
 
+use modsyn_par::CancelToken;
 use modsyn_petri::NetClass;
 use modsyn_sat::{Heuristic, Lit, Outcome, Solver, SolverOptions};
 use modsyn_sg::{insert_state_signals, StateGraph};
@@ -36,13 +37,16 @@ pub struct LavagnoOutcome {
 }
 
 /// Options for the Lavagno-style flow.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LavagnoOptions {
     /// Backtrack limit for the underlying search.
     pub max_backtracks: Option<u64>,
     /// How many state signals beyond the lower bound to try before
     /// declaring that state splitting would be required.
     pub extra_signals: usize,
+    /// Cooperative cancellation, polled inside the search. Inert by
+    /// default.
+    pub cancel: CancelToken,
 }
 
 impl Default for LavagnoOptions {
@@ -50,6 +54,7 @@ impl Default for LavagnoOptions {
         LavagnoOptions {
             max_backtracks: None,
             extra_signals: 3,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -105,7 +110,8 @@ pub fn lavagno_resolve(
                 }
             }
         }
-        let mut solver = Solver::new(&encoding.formula, solver_options);
+        let mut solver =
+            Solver::new(&encoding.formula, solver_options).with_cancel(options.cancel.clone());
         let outcome = solver.solve();
         formulas.push(FormulaStat {
             state_signals: m,
@@ -129,6 +135,11 @@ pub fn lavagno_resolve(
             Outcome::BacktrackLimit | Outcome::DecisionLimit => {
                 return Err(SynthesisError::BacktrackLimit {
                     state_signals: m,
+                    elapsed: start.elapsed().as_secs_f64(),
+                });
+            }
+            Outcome::Aborted => {
+                return Err(SynthesisError::Aborted {
                     elapsed: start.elapsed().as_secs_f64(),
                 });
             }

@@ -57,10 +57,13 @@ pub use fsm::{compatible_pairs, maximal_compatibles, minimise_states, ClosedCove
 pub use input_set::{determine_input_set, determine_input_set_traced, immediate_inputs, InputSet};
 pub use lavagno::{lavagno_resolve, LavagnoOptions, LavagnoOutcome};
 pub use logic_fn::{
-    derive_logic, derive_logic_shared, derive_logic_traced, derive_logic_with, total_literals,
-    verify_logic, MinimizeMode, SignalFunction,
+    derive_logic, derive_logic_jobs_traced, derive_logic_shared, derive_logic_traced,
+    derive_logic_with, total_literals, verify_logic, MinimizeMode, SignalFunction,
 };
-pub use modular::{modular_resolve, modular_resolve_traced, ModularOutcome, ModuleReport};
+pub use modular::{
+    modular_resolve, modular_resolve_jobs, modular_resolve_jobs_traced, modular_resolve_traced,
+    ModularOutcome, ModuleReport,
+};
 pub use netlist::to_verilog;
 pub use solve::{
     solve_csc, solve_csc_scoped, solve_csc_scoped_traced, CscSolution, CscSolveOptions,

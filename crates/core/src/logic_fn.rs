@@ -8,6 +8,7 @@
 
 use modsyn_logic::{complement, minimize_exact, minimize_traced, Cover, ExactLimits, Sop};
 use modsyn_obs::Tracer;
+use modsyn_par::{par_map, unwrap_or_resume};
 use modsyn_sg::StateGraph;
 
 use crate::SynthesisError;
@@ -71,6 +72,25 @@ pub fn derive_logic_traced(
     mode: MinimizeMode,
     tracer: &Tracer,
 ) -> Result<Vec<SignalFunction>, SynthesisError> {
+    derive_logic_jobs_traced(graph, mode, 1, tracer)
+}
+
+/// [`derive_logic_traced`] minimising up to `jobs` signals concurrently.
+///
+/// The per-signal minimisations are independent; the ordered parallel map
+/// keeps the returned functions identical (content and order) to the
+/// sequential ones for every `jobs` value. With `jobs > 1` the
+/// `logic:<signal>` spans root on their worker threads.
+///
+/// # Errors
+///
+/// As [`derive_logic`].
+pub fn derive_logic_jobs_traced(
+    graph: &StateGraph,
+    mode: MinimizeMode,
+    jobs: usize,
+    tracer: &Tracer,
+) -> Result<Vec<SignalFunction>, SynthesisError> {
     let _span = tracer.span("logic");
     let analysis = graph.csc_analysis();
     if !analysis.satisfies_csc() {
@@ -97,11 +117,12 @@ pub fn derive_logic_traced(
     );
     let dc = complement(&reachable_cover);
 
-    let mut functions = Vec::new();
-    for k in 0..n {
-        if !graph.signals()[k].kind.is_non_input() {
-            continue;
-        }
+    let targets: Vec<usize> = (0..n)
+        .filter(|&k| graph.signals()[k].kind.is_non_input())
+        .collect();
+    let names_ref = &names;
+    let dc_ref = &dc;
+    let functions: Vec<SignalFunction> = par_map(jobs, &targets, |_, &k| {
         let mut on_codes: Vec<u64> = Vec::new();
         for s in 0..graph.state_count() {
             if graph.implied_value(s, k) {
@@ -112,21 +133,25 @@ pub fn derive_logic_traced(
         on_codes.dedup();
         let on_minterms: Vec<Vec<bool>> = on_codes.iter().map(|&c| code_to_values(c)).collect();
         let on = Cover::from_minterms(n, on_minterms.iter().map(Vec::as_slice));
-        let signal_span = tracer.span(&format!("logic:{}", names[k]));
+        let signal_span = tracer.span(&format!("logic:{}", names_ref[k]));
         let result = match mode {
-            MinimizeMode::Heuristic => minimize_traced(&on, &dc, tracer),
-            MinimizeMode::Exact => minimize_exact(&on, &dc, &ExactLimits::default()),
+            MinimizeMode::Heuristic => minimize_traced(&on, dc_ref, tracer),
+            MinimizeMode::Exact => minimize_exact(&on, dc_ref, &ExactLimits::default()),
         };
         let literals = result.cover.literal_count();
         tracer.gauge("literals", literals as f64);
         drop(signal_span);
-        let sop = Sop::new(names.clone(), result.cover).expect("names match the cover universe");
-        functions.push(SignalFunction {
-            name: names[k].clone(),
+        let sop =
+            Sop::new(names_ref.clone(), result.cover).expect("names match the cover universe");
+        SignalFunction {
+            name: names_ref[k].clone(),
             sop,
             literals,
-        });
-    }
+        }
+    })
+    .into_iter()
+    .map(unwrap_or_resume)
+    .collect();
     tracer.gauge("total_literals", total_literals(&functions) as f64);
     Ok(functions)
 }
@@ -246,6 +271,19 @@ mod tests {
             derive_logic(&sg),
             Err(SynthesisError::CscUnresolved { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_logic_derivation_matches_sequential() {
+        let stg = benchmarks::nouse();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let out = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
+        let tracer = Tracer::disabled();
+        let seq =
+            derive_logic_jobs_traced(&out.graph, MinimizeMode::Heuristic, 1, &tracer).unwrap();
+        let par =
+            derive_logic_jobs_traced(&out.graph, MinimizeMode::Heuristic, 4, &tracer).unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]

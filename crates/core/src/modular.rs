@@ -1,9 +1,12 @@
 //! The modular partitioning flow (paper Section 3, Figures 4–6).
 
-use modsyn_obs::Tracer;
-use modsyn_sg::{insert_state_signals, StateGraph, StateSignalAssignment};
+use std::time::Instant;
 
-use crate::input_set::determine_input_set_traced;
+use modsyn_obs::Tracer;
+use modsyn_par::{par_map, unwrap_or_resume};
+use modsyn_sg::{insert_state_signals, Quotient, StateGraph, StateSignalAssignment};
+
+use crate::input_set::{determine_input_set_traced, InputSet};
 use crate::solve::{solve_csc_scoped_traced, CscSolveOptions, FormulaStat, ResolveScope};
 use crate::SynthesisError;
 
@@ -56,6 +59,46 @@ pub fn modular_resolve(
     modular_resolve_traced(initial, options, &Tracer::disabled())
 }
 
+/// [`modular_resolve`] deriving each iteration's per-output candidate
+/// modules on up to `jobs` worker threads.
+///
+/// The candidate derivations (input-set computation, signal hiding,
+/// quotient CSC analysis) are independent per output, so they run as an
+/// ordered [`par_map`]; the ranking, the single best-module SAT solve and
+/// the propagation stay sequential and identical to [`modular_resolve`].
+/// The outcome is therefore **byte-for-byte the same** for every `jobs`
+/// value — parallelism changes wall-clock only. `jobs <= 1` runs inline.
+///
+/// # Errors
+///
+/// As [`modular_resolve`], plus [`SynthesisError::Aborted`] when
+/// `options.cancel` fires between iterations or inside a solve.
+pub fn modular_resolve_jobs(
+    initial: &StateGraph,
+    options: &CscSolveOptions,
+    jobs: usize,
+) -> Result<ModularOutcome, SynthesisError> {
+    modular_resolve_jobs_traced(initial, options, jobs, &Tracer::disabled())
+}
+
+/// One output's candidate module: input set, quotient graph, and its
+/// locally-resolvable conflict count (`None` when nothing is locally
+/// resolvable, so the module need not be solved).
+type Candidate = Option<(InputSet, Quotient, usize)>;
+
+fn derive_candidate(
+    graph: &StateGraph,
+    output: usize,
+    tracer: &Tracer,
+) -> Result<Candidate, SynthesisError> {
+    let set = determine_input_set_traced(graph, output, tracer)?;
+    let quotient = graph.hide_signals(&set.hidden)?;
+    let analysis = quotient.graph.csc_analysis();
+    let conflicts =
+        analysis.csc_pairs.len() - quotient.graph.unresolvable_csc_pairs(&analysis).len();
+    Ok((conflicts > 0).then_some((set, quotient, conflicts)))
+}
+
 /// [`modular_resolve`] with observability: the whole flow runs under a
 /// `modular` span; every iteration gets a `select` span (module derivation
 /// and ranking), every solved module a `module:<output>` span carrying the
@@ -71,7 +114,25 @@ pub fn modular_resolve_traced(
     options: &CscSolveOptions,
     tracer: &Tracer,
 ) -> Result<ModularOutcome, SynthesisError> {
+    modular_resolve_jobs_traced(initial, options, 1, tracer)
+}
+
+/// [`modular_resolve_jobs`] with observability (see
+/// [`modular_resolve_traced`] for the span structure; with `jobs > 1` the
+/// per-output derivation spans root on their worker threads instead of
+/// nesting under `select`).
+///
+/// # Errors
+///
+/// As [`modular_resolve_jobs`].
+pub fn modular_resolve_jobs_traced(
+    initial: &StateGraph,
+    options: &CscSolveOptions,
+    jobs: usize,
+    tracer: &Tracer,
+) -> Result<ModularOutcome, SynthesisError> {
     let _span = tracer.span("modular");
+    let start = Instant::now();
     let mut graph = initial.clone();
     let mut outcome = ModularOutcome {
         graph: initial.clone(),
@@ -93,28 +154,29 @@ pub fn modular_resolve_traced(
     // near-complete-graph modules (outputs triggered by everything, where
     // nothing can be hidden) are rarely solved at full size.
     for _iteration in 0..4 * outputs.len().max(1) {
+        if options.cancel.is_cancelled() {
+            return Err(SynthesisError::Aborted {
+                elapsed: start.elapsed().as_secs_f64(),
+            });
+        }
         if graph.csc_analysis().satisfies_csc() {
             break;
         }
         // Pick the unsolved module with the fewest locally-resolvable
-        // conflicts.
+        // conflicts. The per-output derivations are independent, so they
+        // fan out over `jobs` threads; the ordered reduction below makes
+        // the chosen module identical for every `jobs` value.
         let select = tracer.span("select");
-        let mut best: Option<(
-            usize,
-            crate::input_set::InputSet,
-            modsyn_sg::Quotient,
-            usize,
-        )> = None;
+        let graph_ref = &graph;
+        let derived = par_map(jobs, &outputs, |_, &output| {
+            derive_candidate(graph_ref, output, tracer)
+        });
+        let mut best: Option<(usize, InputSet, Quotient, usize)> = None;
         let mut candidates = 0u64;
-        for &output in &outputs {
-            let set = determine_input_set_traced(&graph, output, tracer)?;
-            let quotient = graph.hide_signals(&set.hidden)?;
-            let analysis = quotient.graph.csc_analysis();
-            let conflicts =
-                analysis.csc_pairs.len() - quotient.graph.unresolvable_csc_pairs(&analysis).len();
-            if conflicts == 0 {
+        for (&output, result) in outputs.iter().zip(derived) {
+            let Some((set, quotient, conflicts)) = unwrap_or_resume(result)? else {
                 continue;
-            }
+            };
             candidates += 1;
             if best.as_ref().is_none_or(|&(_, _, _, c)| conflicts < c) {
                 best = Some((output, set, quotient, conflicts));
@@ -265,6 +327,34 @@ mod tests {
             };
             assert_eq!(out.graph.value(e.from, signal), polarity.value_before());
             assert_eq!(out.graph.value(e.to, signal), polarity.value_after());
+        }
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_exactly() {
+        for name in ["vbe-ex2", "nouse", "sbuf-read-ctl"] {
+            let stg = benchmarks::by_name(name).expect("known benchmark");
+            let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+            let seq = modular_resolve_jobs(&sg, &CscSolveOptions::default(), 1).unwrap();
+            let par = modular_resolve_jobs(&sg, &CscSolveOptions::default(), 4).unwrap();
+            assert_eq!(seq.inserted, par.inserted, "{name}: inserted diverged");
+            assert_eq!(seq.modules, par.modules, "{name}: module reports diverged");
+            assert_eq!(seq.formulas, par.formulas, "{name}: formula stats diverged");
+            assert_eq!(seq.graph.state_count(), par.graph.state_count());
+        }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_flow() {
+        let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default()).unwrap();
+        let options = CscSolveOptions {
+            cancel: modsyn_par::CancelToken::new(),
+            ..Default::default()
+        };
+        options.cancel.cancel();
+        match modular_resolve(&sg, &options) {
+            Err(SynthesisError::Aborted { .. }) => {}
+            other => panic!("expected Aborted, got {other:?}"),
         }
     }
 

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use modsyn_obs::Tracer;
+use modsyn_par::CancelToken;
 use modsyn_sat::{Outcome, Solver, SolverOptions, SolverStats};
 use modsyn_sg::{StateGraph, StateSignalAssignment};
 
@@ -22,7 +23,10 @@ pub enum ResolveScope {
 }
 
 /// Options for one CSC-satisfaction solve.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// No longer `Copy` since cancellation support: the [`CancelToken`] holds
+/// an `Arc`. Call sites pass `&CscSolveOptions` or clone explicitly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CscSolveOptions {
     /// SAT solver configuration (heuristic, backtrack limit).
     pub solver: SolverOptions,
@@ -37,6 +41,10 @@ pub struct CscSolveOptions {
     /// conclusion points to. Falls back to the SAT path when the BDD
     /// exceeds its node budget.
     pub min_area: bool,
+    /// Cooperative cancellation: checked between signal counts and polled
+    /// inside the SAT search. Inert by default; compares by identity, so
+    /// two default options values are still equal.
+    pub cancel: CancelToken,
 }
 
 impl Default for CscSolveOptions {
@@ -46,6 +54,7 @@ impl Default for CscSolveOptions {
             extra_signals: 6,
             name_prefix: "csc",
             min_area: false,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -228,6 +237,11 @@ pub fn solve_csc_scoped_traced(
     let cap = m + options.extra_signals;
 
     while m <= cap {
+        if options.cancel.is_cancelled() {
+            return Err(SynthesisError::Aborted {
+                elapsed: start.elapsed().as_secs_f64(),
+            });
+        }
         let encoding = encode_csc_partial(graph, &analysis, &resolve, m);
         let attempt = tracer.span("csc.attempt");
         tracer.gauge("m", m as f64);
@@ -271,7 +285,8 @@ pub fn solve_csc_scoped_traced(
                 }
             }
         }
-        let mut solver = Solver::new(&encoding.formula, options.solver);
+        let mut solver =
+            Solver::new(&encoding.formula, options.solver).with_cancel(options.cancel.clone());
         let outcome = solver.solve_traced(tracer);
         formulas.push(FormulaStat {
             state_signals: m,
@@ -296,6 +311,11 @@ pub fn solve_csc_scoped_traced(
             Outcome::BacktrackLimit | Outcome::DecisionLimit => {
                 return Err(SynthesisError::BacktrackLimit {
                     state_signals: m,
+                    elapsed: start.elapsed().as_secs_f64(),
+                });
+            }
+            Outcome::Aborted => {
+                return Err(SynthesisError::Aborted {
                     elapsed: start.elapsed().as_secs_f64(),
                 });
             }

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use modsyn_obs::Tracer;
+use modsyn_par::CancelToken;
 use modsyn_sat::SolverOptions;
 use modsyn_sg::{derive_traced, DeriveOptions, StateGraph};
 use modsyn_stg::Stg;
@@ -10,9 +11,9 @@ use modsyn_stg::Stg;
 use crate::direct::direct_resolve_traced;
 use crate::lavagno::{lavagno_resolve, LavagnoOptions};
 use crate::logic_fn::{
-    derive_logic_traced, total_literals, verify_logic, MinimizeMode, SignalFunction,
+    derive_logic_jobs_traced, total_literals, verify_logic, MinimizeMode, SignalFunction,
 };
-use crate::modular::{modular_resolve_traced, ModuleReport};
+use crate::modular::{modular_resolve_jobs_traced, ModuleReport};
 use crate::solve::{CscSolveOptions, FormulaStat};
 use crate::SynthesisError;
 
@@ -55,6 +56,15 @@ pub struct SynthesisOptions {
     pub extra_signals: usize,
     /// Two-level minimisation mode for the area numbers.
     pub minimize: MinimizeMode,
+    /// Worker threads for the parallel stages (modular candidate
+    /// derivation, per-signal logic minimisation). `1` (the default) runs
+    /// everything inline; any value produces an identical
+    /// [`SynthesisReport`] apart from `cpu_seconds`.
+    pub jobs: usize,
+    /// Cooperative cancellation for the whole run (the CLI's
+    /// `--timeout-ms`). Surfaces as [`SynthesisError::Aborted`]. Inert by
+    /// default.
+    pub cancel: CancelToken,
 }
 
 impl Default for SynthesisOptions {
@@ -65,6 +75,8 @@ impl Default for SynthesisOptions {
             derive: DeriveOptions::default(),
             extra_signals: 6,
             minimize: MinimizeMode::Heuristic,
+            jobs: 1,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -153,8 +165,9 @@ pub fn synthesize_traced(
                     extra_signals: options.extra_signals,
                     name_prefix: "csc",
                     min_area: options.method == Method::ModularMinArea,
+                    cancel: options.cancel.clone(),
                 };
-                let out = modular_resolve_traced(&initial, &solve, tracer)?;
+                let out = modular_resolve_jobs_traced(&initial, &solve, options.jobs, tracer)?;
                 (out.graph, out.formulas, out.modules)
             }
             Method::Direct => {
@@ -163,6 +176,7 @@ pub fn synthesize_traced(
                     extra_signals: options.extra_signals,
                     name_prefix: "csc",
                     min_area: false,
+                    cancel: options.cancel.clone(),
                 };
                 let out = direct_resolve_traced(&initial, &solve, tracer)?;
                 (out.graph, out.formulas, Vec::new())
@@ -174,13 +188,14 @@ pub fn synthesize_traced(
                     &LavagnoOptions {
                         max_backtracks: options.solver.max_backtracks,
                         extra_signals: options.extra_signals.min(3),
+                        cancel: options.cancel.clone(),
                     },
                 )?;
                 (out.graph, out.formulas, Vec::new())
             }
         };
 
-    let functions = derive_logic_traced(&graph, options.minimize, tracer)?;
+    let functions = derive_logic_jobs_traced(&graph, options.minimize, options.jobs, tracer)?;
     debug_assert!(verify_logic(&graph, &functions));
     Ok(SynthesisReport {
         benchmark: stg.name().to_string(),

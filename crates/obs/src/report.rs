@@ -197,6 +197,22 @@ impl Report {
         self.spans_where(&|n| n.name.starts_with(prefix))
     }
 
+    /// Sum of the named counter over the top level and every span — the
+    /// natural aggregate when concurrent workers each recorded into their
+    /// own span.
+    pub fn total_counter(&self, name: &str) -> u64 {
+        let top = self
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v);
+        top + self
+            .spans_where(&|_| true)
+            .iter()
+            .map(|s| s.counter(name).unwrap_or(0))
+            .sum::<u64>()
+    }
+
     /// Renders the human-readable summary tree.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -7,7 +7,9 @@
 //! when observability is off. [`Tracer::enabled`] shares one mutex-guarded
 //! event log between all clones.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::Instant;
 
 use crate::report::Report;
@@ -65,9 +67,20 @@ pub enum Event {
 #[derive(Debug)]
 struct State {
     events: Vec<Event>,
-    /// Open-span stack; metrics attach to the top.
-    stack: Vec<u64>,
+    /// Open-span stacks, one per thread; metrics recorded by a thread
+    /// attach to the top of *that thread's* stack. Keeping the stacks
+    /// per-thread is what lets worker-pool threads trace concurrently
+    /// without corrupting each other's span nesting.
+    stacks: HashMap<ThreadId, Vec<u64>>,
     next_span: u64,
+}
+
+impl State {
+    fn current_span(&self) -> Option<u64> {
+        self.stacks
+            .get(&std::thread::current().id())
+            .and_then(|s| s.last().copied())
+    }
 }
 
 #[derive(Debug)]
@@ -105,7 +118,7 @@ impl Tracer {
                 epoch: Instant::now(),
                 state: Mutex::new(State {
                     events: Vec::new(),
-                    stack: Vec::new(),
+                    stacks: HashMap::new(),
                     next_span: 0,
                 }),
             })),
@@ -137,14 +150,17 @@ impl Tracer {
         let mut st = sink.lock();
         let id = st.next_span;
         st.next_span += 1;
-        let parent = st.stack.last().copied();
+        let parent = st.current_span();
         st.events.push(Event::SpanStart {
             id,
             parent,
             name: name.to_string(),
             at_us,
         });
-        st.stack.push(id);
+        st.stacks
+            .entry(std::thread::current().id())
+            .or_default()
+            .push(id);
         SpanGuard {
             tracer: self.clone(),
             id: Some(id),
@@ -155,7 +171,7 @@ impl Tracer {
     pub fn counter(&self, name: &str, delta: u64) {
         let Some(sink) = &self.inner else { return };
         let mut st = sink.lock();
-        let span = st.stack.last().copied();
+        let span = st.current_span();
         st.events.push(Event::Counter {
             span,
             name: name.to_string(),
@@ -167,7 +183,7 @@ impl Tracer {
     pub fn gauge(&self, name: &str, value: f64) {
         let Some(sink) = &self.inner else { return };
         let mut st = sink.lock();
-        let span = st.stack.last().copied();
+        let span = st.current_span();
         st.events.push(Event::Gauge {
             span,
             name: name.to_string(),
@@ -179,7 +195,7 @@ impl Tracer {
     pub fn note(&self, key: &str, value: &str) {
         let Some(sink) = &self.inner else { return };
         let mut st = sink.lock();
-        let span = st.stack.last().copied();
+        let span = st.current_span();
         st.events.push(Event::Note {
             span,
             key: key.to_string(),
@@ -230,10 +246,26 @@ impl Drop for SpanGuard {
         };
         let at_us = sink.now_us();
         let mut st = sink.lock();
-        // Guards are usually dropped LIFO, but tolerate out-of-order drops.
-        if let Some(pos) = st.stack.iter().rposition(|&s| s == id) {
-            st.stack.remove(pos);
+        // Guards are usually dropped LIFO on the thread that opened them,
+        // but tolerate out-of-order and cross-thread drops: prefer the
+        // dropping thread's stack, then search the others.
+        let tid = std::thread::current().id();
+        let mut removed = false;
+        if let Some(stack) = st.stacks.get_mut(&tid) {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+                removed = true;
+            }
         }
+        if !removed {
+            for stack in st.stacks.values_mut() {
+                if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                    stack.remove(pos);
+                    break;
+                }
+            }
+        }
+        st.stacks.retain(|_, stack| !stack.is_empty());
         st.events.push(Event::SpanEnd { id, at_us });
     }
 }
@@ -326,6 +358,33 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn worker_threads_get_independent_span_stacks() {
+        let t = Tracer::enabled();
+        let _main = t.span("main");
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let _w = t2.span("worker");
+            t2.counter("work", 1);
+        })
+        .join()
+        .unwrap();
+        t.counter("steps", 1);
+        let events = t.events();
+        // The worker span roots at its own thread, not under "main"...
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SpanStart { parent: None, name, .. } if name == "worker")));
+        // ...its counter attaches to it...
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Counter { span: Some(1), name, .. } if name == "work")));
+        // ...and the main thread's stack is untouched by the worker.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Counter { span: Some(0), name, .. } if name == "steps")));
     }
 
     #[test]

@@ -2,22 +2,31 @@
 //!
 //! ```text
 //! modsat <file.cnf | -> [--chrono] [--heuristic first|jw|moms|activity]
-//!        [--max-backtracks N] [--stats]
+//!        [--max-backtracks N] [--timeout-ms T] [--portfolio] [--stats]
 //! ```
 //!
 //! Prints `s SATISFIABLE` + a `v` model line, `s UNSATISFIABLE`, or
-//! `s UNKNOWN` (limit reached), following the SAT-competition output
-//! conventions.
+//! `s UNKNOWN` (limit reached or timed out), following the
+//! SAT-competition output conventions. `--portfolio` races the standard
+//! configuration portfolio instead of a single solver; `--timeout-ms`
+//! aborts the search cooperatively after `T` milliseconds.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use modsyn_sat::{parse_dimacs, Heuristic, Lit, Outcome, Solver, SolverOptions, Var};
+use modsyn_par::CancelToken;
+use modsyn_sat::{
+    parse_dimacs, solve_portfolio, standard_portfolio, Heuristic, Lit, Outcome, Solver,
+    SolverOptions, Var,
+};
 
 fn main() -> ExitCode {
     let mut source = String::new();
     let mut options = SolverOptions::default();
     let mut show_stats = false;
+    let mut portfolio = false;
+    let mut timeout_ms: Option<u64> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -46,6 +55,14 @@ fn main() -> ExitCode {
                 };
                 options.max_backtracks = Some(v);
             }
+            "--timeout-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--timeout-ms needs a number");
+                    return ExitCode::FAILURE;
+                };
+                timeout_ms = Some(v);
+            }
+            "--portfolio" => portfolio = true,
             "--stats" => show_stats = true,
             other if source.is_empty() => source = other.to_string(),
             other => {
@@ -56,7 +73,7 @@ fn main() -> ExitCode {
     }
     if source.is_empty() {
         eprintln!(
-            "usage: modsat <file.cnf | -> [--chrono] [--heuristic first|jw|moms|activity] [--max-backtracks N] [--stats]"
+            "usage: modsat <file.cnf | -> [--chrono] [--heuristic first|jw|moms|activity] [--max-backtracks N] [--timeout-ms T] [--portfolio] [--stats]"
         );
         return ExitCode::FAILURE;
     }
@@ -85,11 +102,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut solver = Solver::new(&formula, options);
-    let outcome = solver.solve();
-    if show_stats {
-        eprintln!("c {}", solver.stats());
-    }
+    let cancel = match timeout_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    let outcome = if portfolio {
+        let result = solve_portfolio(&formula, &standard_portfolio(options), &cancel);
+        if show_stats {
+            for (i, run) in result.runs.iter().enumerate() {
+                let mark = if result.winner == Some(i) { " *" } else { "" };
+                eprintln!("c [{i}{mark}] {:?}: {}", run.options.heuristic, run.stats);
+            }
+        }
+        result.outcome
+    } else {
+        let mut solver = Solver::new(&formula, options).with_cancel(cancel);
+        let outcome = solver.solve();
+        if show_stats {
+            eprintln!("c {}", solver.stats());
+        }
+        outcome
+    };
     match outcome {
         Outcome::Satisfiable(model) => {
             println!("s SATISFIABLE");
@@ -108,7 +141,7 @@ fn main() -> ExitCode {
             println!("s UNSATISFIABLE");
             ExitCode::from(20)
         }
-        Outcome::BacktrackLimit | Outcome::DecisionLimit => {
+        Outcome::BacktrackLimit | Outcome::DecisionLimit | Outcome::Aborted => {
             println!("s UNKNOWN");
             ExitCode::SUCCESS
         }

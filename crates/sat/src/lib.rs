@@ -39,6 +39,7 @@ mod error;
 mod heuristic;
 mod lit;
 mod model;
+mod portfolio;
 mod simplify;
 mod solver;
 mod stats;
@@ -49,6 +50,9 @@ pub use error::SatError;
 pub use heuristic::Heuristic;
 pub use lit::{Lit, Var};
 pub use model::Model;
+pub use portfolio::{
+    solve_portfolio, solve_portfolio_traced, standard_portfolio, PortfolioResult, PortfolioRun,
+};
 pub use simplify::{simplify, SimplifyResult};
 pub use solver::{solve, Outcome, Solver, SolverOptions};
 pub use stats::SolverStats;

@@ -3,6 +3,7 @@
 //! SIS solver, kept for baselines and ablations).
 
 use modsyn_obs::Tracer;
+use modsyn_par::CancelToken;
 
 use crate::heuristic::static_scores;
 use crate::{CnfFormula, Heuristic, Lit, Model, SolverStats, Var};
@@ -49,6 +50,9 @@ pub enum Outcome {
     BacktrackLimit,
     /// The decision limit was hit before a verdict.
     DecisionLimit,
+    /// The solver's [`CancelToken`] fired (explicit cancellation or an
+    /// expired deadline) before a verdict.
+    Aborted,
 }
 
 impl Outcome {
@@ -112,7 +116,17 @@ pub struct Solver<'f> {
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
     stats: SolverStats,
+    /// Cooperative cancellation, polled every [`CANCEL_POLL_MASK`]+1
+    /// search-loop iterations. Inert by default.
+    cancel: CancelToken,
+    /// Iteration counter driving the cancellation poll cadence.
+    tick: u64,
 }
+
+/// The search loops poll the cancel token once every `CANCEL_POLL_MASK + 1`
+/// iterations, keeping the atomic load (and possible clock read) off the
+/// hot path.
+const CANCEL_POLL_MASK: u64 = 0xFF;
 
 impl<'f> Solver<'f> {
     /// Prepares a solver for `formula`.
@@ -147,7 +161,29 @@ impl<'f> Solver<'f> {
             saved_phase: vec![false; n],
             seen: vec![false; n],
             stats: SolverStats::default(),
+            cancel: CancelToken::never(),
+            tick: 0,
         }
+    }
+
+    /// Attaches a cancellation token: the search loops poll it
+    /// periodically and return [`Outcome::Aborted`] once it fires. Keeping
+    /// this off [`SolverOptions`] preserves that type's `Copy` contract
+    /// (DESIGN.md §7).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether the cancel token should abort the search; polled every
+    /// `CANCEL_POLL_MASK + 1` calls (and on the first).
+    fn poll_cancelled(&mut self) -> bool {
+        if !self.cancel.is_cancellable() {
+            return false;
+        }
+        self.tick = self.tick.wrapping_add(1);
+        (self.tick & CANCEL_POLL_MASK) == 1 && self.cancel.is_cancelled()
     }
 
     /// Statistics of the last [`Solver::solve`] run.
@@ -450,6 +486,7 @@ impl<'f> Solver<'f> {
         }
         self.clauses.clear();
         self.activity_inc = 1.0;
+        self.tick = 0;
     }
 
     /// Runs the search to completion or to a limit. Repeated calls restart
@@ -495,6 +532,7 @@ impl<'f> Solver<'f> {
                 Outcome::Unsatisfiable => "unsat",
                 Outcome::BacktrackLimit => "backtrack-limit",
                 Outcome::DecisionLimit => "decision-limit",
+                Outcome::Aborted => "aborted",
             },
         );
         outcome
@@ -512,6 +550,9 @@ impl<'f> Solver<'f> {
         let mut conflicts_since_restart = 0u64;
 
         loop {
+            if self.poll_cancelled() {
+                return Outcome::Aborted;
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
                 self.stats.conflicts += 1;
@@ -576,6 +617,9 @@ impl<'f> Solver<'f> {
 
     fn solve_chronological(&mut self) -> Outcome {
         loop {
+            if self.poll_cancelled() {
+                return Outcome::Aborted;
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
                 self.stats.conflicts += 1;
@@ -848,6 +892,62 @@ mod tests {
             assert_eq!(first, second);
             assert!(first.is_sat());
         }
+    }
+
+    #[test]
+    fn a_cancelled_token_aborts_both_engines() {
+        let f = pigeonhole(6);
+        for opts in [SolverOptions::default(), chrono()] {
+            let token = CancelToken::new();
+            token.cancel();
+            let out = Solver::new(&f, opts).with_cancel(token).solve();
+            assert_eq!(out, Outcome::Aborted);
+            assert!(!out.is_decided());
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_a_hard_instance_quickly() {
+        use std::time::{Duration, Instant};
+        // PHP(10,9) takes far longer than the deadline to decide.
+        let f = pigeonhole(9);
+        let token = CancelToken::with_deadline(Duration::from_millis(20));
+        let started = Instant::now();
+        let out = Solver::new(&f, SolverOptions::default())
+            .with_cancel(token)
+            .solve();
+        assert_eq!(out, Outcome::Aborted);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cooperative abort must land well before the instance decides"
+        );
+    }
+
+    #[test]
+    fn an_inert_token_changes_nothing() {
+        let f = pigeonhole(3);
+        let mut plain = Solver::new(&f, SolverOptions::default());
+        let mut tokened =
+            Solver::new(&f, SolverOptions::default()).with_cancel(CancelToken::never());
+        assert_eq!(plain.solve(), tokened.solve());
+        assert_eq!(plain.stats(), tokened.stats());
+    }
+
+    #[test]
+    fn aborted_outcome_is_noted_by_solve_traced() {
+        let f = pigeonhole(6);
+        let token = CancelToken::new();
+        token.cancel();
+        let tracer = Tracer::enabled();
+        let outcome = Solver::new(&f, SolverOptions::default())
+            .with_cancel(token)
+            .solve_traced(&tracer);
+        assert_eq!(outcome, Outcome::Aborted);
+        let report = tracer.report();
+        assert_eq!(
+            report.spans_with_prefix("sat.solve")[0].note("outcome"),
+            Some("aborted")
+        );
     }
 
     #[test]
