@@ -1,0 +1,306 @@
+//! Observable-behaviour equivalence of two state graphs.
+//!
+//! Two solved graphs (or a solved graph and its specification) are
+//! *equivalent* when, after hiding every internal signal — inserted state
+//! signals are [`modsyn_stg::SignalKind::Internal`] — their initial states
+//! are related by a **weak bisimulation**: every observable move of one can
+//! be matched by the other up to silent (τ) moves, recursively.
+//!
+//! The check computes the τ-saturated transition systems and runs partition
+//! refinement on their disjoint union; strong bisimilarity of the saturated
+//! systems coincides with weak bisimilarity of the originals.
+
+use std::collections::{BTreeSet, HashMap};
+
+use modsyn_sg::{EdgeLabel, StateGraph};
+use modsyn_stg::Polarity;
+
+use crate::CheckError;
+
+/// The observable alphabet: names of non-internal signals, sorted.
+fn alphabet(sg: &StateGraph) -> Vec<String> {
+    let mut names: Vec<String> = sg
+        .signals()
+        .iter()
+        .filter(|s| s.kind != modsyn_stg::SignalKind::Internal)
+        .map(|s| s.name.clone())
+        .collect();
+    names.sort();
+    names
+}
+
+/// τ (label `None`) for ε edges and internal-signal edges, the observable
+/// `(name, polarity)` otherwise.
+fn observable_label(sg: &StateGraph, label: EdgeLabel) -> Option<(String, Polarity)> {
+    match label {
+        EdgeLabel::Epsilon => None,
+        EdgeLabel::Signal { signal, polarity } => {
+            let meta = &sg.signals()[signal];
+            if meta.kind == modsyn_stg::SignalKind::Internal {
+                None
+            } else {
+                Some((meta.name.clone(), polarity))
+            }
+        }
+    }
+}
+
+/// Per-state τ-reflexive-transitive closure.
+fn tau_closure(states: usize, tau_edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); states];
+    for &(from, to) in tau_edges {
+        succ[from].push(to);
+    }
+    (0..states)
+        .map(|start| {
+            let mut seen = vec![false; states];
+            let mut stack = vec![start];
+            let mut closure = Vec::new();
+            seen[start] = true;
+            while let Some(s) = stack.pop() {
+                closure.push(s);
+                for &t in &succ[s] {
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            closure.sort_unstable();
+            closure
+        })
+        .collect()
+}
+
+/// The weak transition relation of one graph under a shared label map:
+/// `weak[s]` holds `(label, t)` pairs, label 0 = τ.
+fn saturate(
+    sg: &StateGraph,
+    label_ids: &mut HashMap<(String, Polarity), usize>,
+) -> Vec<BTreeSet<(usize, usize)>> {
+    let n = sg.state_count();
+    let mut tau_edges = Vec::new();
+    let mut vis_from: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // per state: (label, to)
+    for e in sg.edges() {
+        match observable_label(sg, e.label) {
+            None => tau_edges.push((e.from, e.to)),
+            Some(key) => {
+                let next = label_ids.len() + 1; // 0 is reserved for τ
+                let id = *label_ids.entry(key).or_insert(next);
+                vis_from[e.from].push((id, e.to));
+            }
+        }
+    }
+    let closure = tau_closure(n, &tau_edges);
+    let mut weak: Vec<BTreeSet<(usize, usize)>> = vec![BTreeSet::new(); n];
+    for s in 0..n {
+        // s =τ=> t  iff  t ∈ τ*(s)   (reflexive by construction).
+        for &t in &closure[s] {
+            weak[s].insert((0, t));
+        }
+        // s =a=> t  iff  s' ∈ τ*(s), s' -a-> s'', t ∈ τ*(s'').
+        for &mid in &closure[s] {
+            for &(label, to) in &vis_from[mid] {
+                for &t in &closure[to] {
+                    weak[s].insert((label, t));
+                }
+            }
+        }
+    }
+    weak
+}
+
+/// Checks weak bisimilarity of the two graphs' initial states over their
+/// common observable alphabet.
+///
+/// # Errors
+///
+/// [`CheckError::NotEquivalent`] when the observable alphabets differ or
+/// no weak bisimulation relates the initial states.
+pub fn check_equivalence(a: &StateGraph, b: &StateGraph) -> Result<(), CheckError> {
+    let alpha_a = alphabet(a);
+    let alpha_b = alphabet(b);
+    let not_equivalent = || CheckError::NotEquivalent {
+        left_alphabet: alpha_a.clone(),
+        right_alphabet: alpha_b.clone(),
+    };
+    if alpha_a != alpha_b {
+        return Err(not_equivalent());
+    }
+
+    let mut label_ids = HashMap::new();
+    let weak_a = saturate(a, &mut label_ids);
+    let weak_b = saturate(b, &mut label_ids);
+
+    // Partition refinement on the disjoint union of the saturated systems.
+    let na = a.state_count();
+    let total = na + b.state_count();
+    let weak_of = |s: usize| -> &BTreeSet<(usize, usize)> {
+        if s < na {
+            &weak_a[s]
+        } else {
+            &weak_b[s - na]
+        }
+    };
+    let offset_of = |s: usize| if s < na { 0 } else { na };
+
+    let mut block = vec![0usize; total];
+    let mut block_count = 1usize;
+    loop {
+        let mut signatures: HashMap<Vec<(usize, usize)>, usize> = HashMap::new();
+        let mut next_block = vec![0usize; total];
+        for s in 0..total {
+            let mut sig: Vec<(usize, usize)> = weak_of(s)
+                .iter()
+                .map(|&(label, t)| (label, block[t + offset_of(s)]))
+                .collect();
+            sig.sort_unstable();
+            sig.dedup();
+            // Refine: states only stay together if they were together.
+            sig.push((usize::MAX, block[s]));
+            let fresh = signatures.len();
+            next_block[s] = *signatures.entry(sig).or_insert(fresh);
+        }
+        let next_count = signatures.len();
+        block = next_block;
+        if next_count == block_count {
+            break;
+        }
+        block_count = next_count;
+    }
+
+    if block[a.initial()] == block[na + b.initial()] {
+        Ok(())
+    } else {
+        Err(not_equivalent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::SignalMeta;
+    use modsyn_stg::SignalKind;
+
+    fn meta(name: &str, kind: SignalKind) -> SignalMeta {
+        SignalMeta {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    fn lab(signal: usize, polarity: Polarity) -> EdgeLabel {
+        EdgeLabel::Signal { signal, polarity }
+    }
+
+    fn toggle(name: &str) -> StateGraph {
+        let mut sg = StateGraph::new(vec![meta(name, SignalKind::Output)]).unwrap();
+        let s0 = sg.add_state(0);
+        let s1 = sg.add_state(1);
+        sg.add_edge(s0, s1, lab(0, Polarity::Rise));
+        sg.add_edge(s1, s0, lab(0, Polarity::Fall));
+        sg
+    }
+
+    #[test]
+    fn graph_is_equivalent_to_itself() {
+        let sg = toggle("x");
+        check_equivalence(&sg, &sg).unwrap();
+    }
+
+    #[test]
+    fn internal_stutter_is_invisible() {
+        // x+ x- vs x+ i+ x- i- with i internal: weakly bisimilar.
+        let plain = toggle("x");
+        let mut sg = StateGraph::new(vec![
+            meta("x", SignalKind::Output),
+            meta("i", SignalKind::Internal),
+        ])
+        .unwrap();
+        let s00 = sg.add_state(0b00);
+        let s01 = sg.add_state(0b01);
+        let s11 = sg.add_state(0b11);
+        let s10 = sg.add_state(0b10);
+        sg.add_edge(s00, s01, lab(0, Polarity::Rise));
+        sg.add_edge(s01, s11, lab(1, Polarity::Rise));
+        sg.add_edge(s11, s10, lab(0, Polarity::Fall));
+        sg.add_edge(s10, s00, lab(1, Polarity::Fall));
+        check_equivalence(&plain, &sg).unwrap();
+        check_equivalence(&sg, &plain).unwrap();
+    }
+
+    #[test]
+    fn alphabet_mismatch_is_reported() {
+        let a = toggle("x");
+        let b = toggle("y");
+        match check_equivalence(&a, &b) {
+            Err(CheckError::NotEquivalent {
+                left_alphabet,
+                right_alphabet,
+            }) => {
+                assert_eq!(left_alphabet, vec!["x".to_string()]);
+                assert_eq!(right_alphabet, vec!["y".to_string()]);
+            }
+            other => panic!("expected alphabet mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_behaviour_is_rejected() {
+        // x+ x- cycle vs x+ x- x+/2 x-/2 where the second pulse is
+        // guarded by an extra OBSERVABLE signal.
+        let a = toggle("x");
+        let mut b = StateGraph::new(vec![
+            meta("x", SignalKind::Output),
+            meta("y", SignalKind::Output),
+        ])
+        .unwrap();
+        let s00 = b.add_state(0b00);
+        let s01 = b.add_state(0b01);
+        let s11 = b.add_state(0b11);
+        let s10 = b.add_state(0b10);
+        b.add_edge(s00, s01, lab(0, Polarity::Rise));
+        b.add_edge(s01, s11, lab(1, Polarity::Rise));
+        b.add_edge(s11, s10, lab(0, Polarity::Fall));
+        b.add_edge(s10, s00, lab(1, Polarity::Fall));
+        assert!(check_equivalence(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tau_choice_commitment_is_distinguished() {
+        // Weak bisimulation is branching-sensitive: committing to one of
+        // two observable moves via τ first is NOT equivalent to offering
+        // both. (x+ | y+) vs τ;x+ | τ;y+ style.
+        let mut offer = StateGraph::new(vec![
+            meta("x", SignalKind::Output),
+            meta("y", SignalKind::Output),
+        ])
+        .unwrap();
+        let o0 = offer.add_state(0b00);
+        let ox = offer.add_state(0b01);
+        let oy = offer.add_state(0b10);
+        offer.add_edge(o0, ox, lab(0, Polarity::Rise));
+        offer.add_edge(o0, oy, lab(1, Polarity::Rise));
+        offer.add_edge(ox, o0, lab(0, Polarity::Fall));
+        offer.add_edge(oy, o0, lab(1, Polarity::Fall));
+
+        let mut commit = StateGraph::new(vec![
+            meta("x", SignalKind::Output),
+            meta("y", SignalKind::Output),
+        ])
+        .unwrap();
+        let c0 = commit.add_state(0b00);
+        let cx0 = commit.add_state(0b00);
+        let cy0 = commit.add_state(0b00);
+        let cx = commit.add_state(0b01);
+        let cy = commit.add_state(0b10);
+        commit.add_edge(c0, cx0, EdgeLabel::Epsilon);
+        commit.add_edge(c0, cy0, EdgeLabel::Epsilon);
+        commit.add_edge(cx0, cx, lab(0, Polarity::Rise));
+        commit.add_edge(cy0, cy, lab(1, Polarity::Rise));
+        commit.add_edge(cx, c0, lab(0, Polarity::Fall));
+        commit.add_edge(cy, c0, lab(1, Polarity::Fall));
+
+        assert!(check_equivalence(&offer, &commit).is_err());
+    }
+}

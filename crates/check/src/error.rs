@@ -1,0 +1,180 @@
+//! Typed verdicts of the oracle.
+
+use std::error::Error;
+use std::fmt;
+
+/// A definitional property the checked object violates.
+///
+/// Every variant carries enough context to locate the offending states by
+/// index in the graph that was checked, so a differ failure message alone
+/// identifies the counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// Two distinct reachable states carry the same code (USC violation).
+    UscViolation {
+        /// First state index.
+        a: usize,
+        /// Second state index.
+        b: usize,
+        /// The shared code, rendered as a 0/1 string in signal order.
+        code: String,
+    },
+    /// Two distinct reachable states carry the same code but enable
+    /// different non-input signal sets (CSC violation).
+    CscViolation {
+        /// First state index.
+        a: usize,
+        /// Second state index.
+        b: usize,
+        /// The shared code, rendered as a 0/1 string in signal order.
+        code: String,
+        /// Names of non-input signals enabled in `a` but not `b`, and vice
+        /// versa.
+        differing: Vec<String>,
+    },
+    /// An edge does not toggle exactly its own signal's bit, or fires a
+    /// signal from the wrong value (consistency violation: some path would
+    /// carry two `+` or two `-` edges of one signal in a row).
+    Inconsistent {
+        /// Source state of the offending edge.
+        state: usize,
+        /// Name of the fired signal (`"ε"` for a silent edge).
+        signal: String,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// A state is unreachable from the initial state, so code-based
+    /// checks would silently ignore it.
+    Unreachable {
+        /// The unreachable state's index.
+        state: usize,
+    },
+    /// A non-input signal of the graph has no gate function in the
+    /// netlist handed to the simulator.
+    MissingFunction {
+        /// The undriven signal's name.
+        signal: String,
+    },
+    /// The gate netlist commands an output change the specification does
+    /// not prescribe in some state, or fails to command a prescribed one.
+    Nonconforming {
+        /// The state where circuit and specification disagree.
+        state: usize,
+        /// The disagreeing signal's name.
+        signal: String,
+        /// Whether the specification (as opposed to the circuit) wants the
+        /// signal to change there.
+        spec_excited: bool,
+    },
+    /// Firing one transition disables an excited non-input signal without
+    /// it having fired: under the unbounded-gate-delay model the victim's
+    /// gate may already be switching, so the circuit can glitch
+    /// (computation interference / semi-modularity violation).
+    NotSpeedIndependent {
+        /// The state in which both signals were enabled.
+        state: usize,
+        /// The transition that fired, as `name+`/`name-`.
+        fired: String,
+        /// The non-input signal whose excitation was withdrawn.
+        victim: String,
+    },
+    /// The two graphs are not observation-equivalent after hiding their
+    /// internal signals: no weak bisimulation relates the initial states.
+    NotEquivalent {
+        /// Observable signal alphabet of the first graph.
+        left_alphabet: Vec<String>,
+        /// Observable signal alphabet of the second graph.
+        right_alphabet: Vec<String>,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UscViolation { a, b, code } => {
+                write!(f, "usc violation: states {a} and {b} share code {code}")
+            }
+            CheckError::CscViolation {
+                a,
+                b,
+                code,
+                differing,
+            } => write!(
+                f,
+                "csc violation: states {a} and {b} share code {code} but differ on enabled \
+                 non-inputs {{{}}}",
+                differing.join(", ")
+            ),
+            CheckError::Inconsistent {
+                state,
+                signal,
+                detail,
+            } => write!(
+                f,
+                "inconsistent state assignment at state {state}, signal {signal}: {detail}"
+            ),
+            CheckError::Unreachable { state } => {
+                write!(f, "state {state} is unreachable from the initial state")
+            }
+            CheckError::MissingFunction { signal } => {
+                write!(f, "non-input signal {signal} has no gate function")
+            }
+            CheckError::Nonconforming {
+                state,
+                signal,
+                spec_excited,
+            } => write!(
+                f,
+                "circuit does not conform at state {state}: signal {signal} is {} by the \
+                 specification but {} by the gates",
+                if *spec_excited { "excited" } else { "stable" },
+                if *spec_excited { "stable" } else { "excited" },
+            ),
+            CheckError::NotSpeedIndependent {
+                state,
+                fired,
+                victim,
+            } => write!(
+                f,
+                "not speed-independent: firing {fired} in state {state} disables pending \
+                 non-input {victim} (possible glitch under unbounded gate delay)"
+            ),
+            CheckError::NotEquivalent {
+                left_alphabet,
+                right_alphabet,
+            } => write!(
+                f,
+                "graphs are not observation-equivalent over alphabets {{{}}} / {{{}}}",
+                left_alphabet.join(", "),
+                right_alphabet.join(", ")
+            ),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_counterexample() {
+        let e = CheckError::CscViolation {
+            a: 3,
+            b: 7,
+            code: "0101".into(),
+            differing: vec!["y".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7') && s.contains("0101") && s.contains('y'));
+
+        let e = CheckError::NotSpeedIndependent {
+            state: 4,
+            fired: "a+".into(),
+            victim: "b".into(),
+        };
+        assert!(e.to_string().contains("a+"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The state-coding and consistency checkers.
+//!
+//! Each checker is written directly against the paper's definitions using
+//! only the passive accessors of [`StateGraph`] — none of the analysis code
+//! in `modsyn-sg` (`csc_analysis`, `hide_signals`, …) is reused, so a bug
+//! there cannot mask itself here.
+
+use std::collections::HashMap;
+
+use modsyn_sg::{EdgeLabel, StateGraph};
+
+use crate::CheckError;
+
+/// States reachable from the initial state, in BFS order.
+fn reachable(sg: &StateGraph) -> Vec<usize> {
+    let mut seen = vec![false; sg.state_count()];
+    let mut order = Vec::new();
+    if sg.state_count() == 0 {
+        return order;
+    }
+    let mut queue = std::collections::VecDeque::from([sg.initial()]);
+    seen[sg.initial()] = true;
+    while let Some(s) = queue.pop_front() {
+        order.push(s);
+        for e in sg.out_edges(s) {
+            if !seen[e.to] {
+                seen[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    order
+}
+
+/// Every state must be reachable; otherwise code-sharing checks would
+/// silently skip part of the graph.
+fn check_reachable(sg: &StateGraph) -> Result<Vec<usize>, CheckError> {
+    let order = reachable(sg);
+    if order.len() != sg.state_count() {
+        let mut seen = vec![false; sg.state_count()];
+        for &s in &order {
+            seen[s] = true;
+        }
+        let state = seen.iter().position(|&r| !r).expect("some state missing");
+        return Err(CheckError::Unreachable { state });
+    }
+    Ok(order)
+}
+
+/// The set of non-input signals enabled (excited) in a state, computed
+/// straight from the outgoing edges.
+fn enabled_non_inputs(sg: &StateGraph, state: usize) -> u64 {
+    let mut mask = 0u64;
+    for e in sg.out_edges(state) {
+        if let EdgeLabel::Signal { signal, .. } = e.label {
+            if sg.signals()[signal].kind.is_non_input() {
+                mask |= 1 << signal;
+            }
+        }
+    }
+    mask
+}
+
+/// **Definition (consistency).** Along every firing sequence, the edges of
+/// each signal strictly alternate `+`, `-`, `+`, … starting from the
+/// signal's initial value, and every state's code records exactly the
+/// signals that have risen an odd number of times.
+///
+/// Checked edge-locally, which is equivalent: if every `s+` edge leaves a
+/// state where `s = 0` and enters one where `s = 1` (and conversely for
+/// `s-`), and no edge changes any *other* bit, then along any path the
+/// edges of `s` must alternate, whatever the path.
+///
+/// Silent (ε) edges must not change the code at all.
+///
+/// # Errors
+///
+/// [`CheckError::Inconsistent`] with the offending edge, or
+/// [`CheckError::Unreachable`] if some state cannot be reached at all.
+pub fn check_consistency(sg: &StateGraph) -> Result<(), CheckError> {
+    check_reachable(sg)?;
+    for e in sg.edges() {
+        match e.label {
+            EdgeLabel::Epsilon => {
+                if sg.code(e.from) != sg.code(e.to) {
+                    return Err(CheckError::Inconsistent {
+                        state: e.from,
+                        signal: "\u{3b5}".into(),
+                        detail: format!(
+                            "silent edge changes the code from {} to {}",
+                            sg.code_string(e.from),
+                            sg.code_string(e.to)
+                        ),
+                    });
+                }
+            }
+            EdgeLabel::Signal { signal, polarity } => {
+                let name = sg.signals()[signal].name.clone();
+                if sg.value(e.from, signal) != polarity.value_before() {
+                    return Err(CheckError::Inconsistent {
+                        state: e.from,
+                        signal: name,
+                        detail: format!(
+                            "{polarity} edge fires from value {}",
+                            u8::from(sg.value(e.from, signal))
+                        ),
+                    });
+                }
+                if sg.value(e.to, signal) != polarity.value_after() {
+                    return Err(CheckError::Inconsistent {
+                        state: e.from,
+                        signal: name,
+                        detail: format!(
+                            "{polarity} edge lands on value {}",
+                            u8::from(sg.value(e.to, signal))
+                        ),
+                    });
+                }
+                if sg.code(e.from) ^ sg.code(e.to) != 1u64 << signal {
+                    return Err(CheckError::Inconsistent {
+                        state: e.from,
+                        signal: name,
+                        detail: format!(
+                            "edge changes other bits: {} -> {}",
+                            sg.code_string(e.from),
+                            sg.code_string(e.to)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Definition (USC).** No two distinct reachable states share a code.
+///
+/// # Errors
+///
+/// [`CheckError::UscViolation`] with the first offending pair, or
+/// [`CheckError::Unreachable`].
+pub fn check_usc(sg: &StateGraph) -> Result<(), CheckError> {
+    let order = check_reachable(sg)?;
+    let mut first_with_code: HashMap<u64, usize> = HashMap::new();
+    for s in order {
+        if let Some(&prev) = first_with_code.get(&sg.code(s)) {
+            return Err(CheckError::UscViolation {
+                a: prev,
+                b: s,
+                code: sg.code_string(s),
+            });
+        }
+        first_with_code.insert(sg.code(s), s);
+    }
+    Ok(())
+}
+
+/// **Definition (CSC).** Any two reachable states with equal codes enable
+/// exactly the same set of non-input signals — so the next value of every
+/// non-input signal is a function of the code alone.
+///
+/// # Errors
+///
+/// [`CheckError::CscViolation`] naming the signals whose excitation
+/// differs, or [`CheckError::Unreachable`].
+pub fn check_csc(sg: &StateGraph) -> Result<(), CheckError> {
+    let order = check_reachable(sg)?;
+    let mut by_code: HashMap<u64, Vec<usize>> = HashMap::new();
+    for s in order {
+        by_code.entry(sg.code(s)).or_default().push(s);
+    }
+    for group in by_code.values() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                let ea = enabled_non_inputs(sg, a);
+                let eb = enabled_non_inputs(sg, b);
+                if ea != eb {
+                    let differing: Vec<String> = (0..sg.signals().len())
+                        .filter(|&k| (ea ^ eb) >> k & 1 == 1)
+                        .map(|k| sg.signals()[k].name.clone())
+                        .collect();
+                    return Err(CheckError::CscViolation {
+                        a,
+                        b,
+                        code: sg.code_string(a),
+                        differing,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::SignalMeta;
+    use modsyn_stg::{Polarity, SignalKind};
+
+    fn meta(name: &str, kind: SignalKind) -> SignalMeta {
+        SignalMeta {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    fn lab(signal: usize, polarity: Polarity) -> EdgeLabel {
+        EdgeLabel::Signal { signal, polarity }
+    }
+
+    /// a+ b+ a- b- handshake: clean on every property.
+    fn handshake() -> StateGraph {
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+        ])
+        .unwrap();
+        let s: Vec<usize> = [0b00, 0b01, 0b11, 0b10]
+            .into_iter()
+            .map(|c| sg.add_state(c))
+            .collect();
+        sg.add_edge(s[0], s[1], lab(0, Polarity::Rise));
+        sg.add_edge(s[1], s[2], lab(1, Polarity::Rise));
+        sg.add_edge(s[2], s[3], lab(0, Polarity::Fall));
+        sg.add_edge(s[3], s[0], lab(1, Polarity::Fall));
+        sg
+    }
+
+    #[test]
+    fn handshake_passes_everything() {
+        let sg = handshake();
+        check_consistency(&sg).unwrap();
+        check_usc(&sg).unwrap();
+        check_csc(&sg).unwrap();
+    }
+
+    #[test]
+    fn shared_code_same_excitation_fails_usc_only() {
+        // Two a-pulses: codes repeat with equal (empty) output excitation.
+        let mut sg = StateGraph::new(vec![meta("a", SignalKind::Input)]).unwrap();
+        let s: Vec<usize> = [0b0, 0b1, 0b0, 0b1]
+            .into_iter()
+            .map(|c| sg.add_state(c))
+            .collect();
+        sg.add_edge(s[0], s[1], lab(0, Polarity::Rise));
+        sg.add_edge(s[1], s[2], lab(0, Polarity::Fall));
+        sg.add_edge(s[2], s[3], lab(0, Polarity::Rise));
+        sg.add_edge(s[3], s[0], lab(0, Polarity::Fall));
+        check_consistency(&sg).unwrap();
+        check_csc(&sg).unwrap();
+        assert!(matches!(
+            check_usc(&sg),
+            Err(CheckError::UscViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn differing_excitation_fails_csc() {
+        // Double output pulse: state 0 (code 0) excites b, state 2 (code 0)
+        // does not excite b but excites a-like input; use output b twice.
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+        ])
+        .unwrap();
+        // a+ b+ b- a- then b+ b- again from code 00 — second visit of 00
+        // excites b (output) while first visit excites only a (input).
+        let s0 = sg.add_state(0b00);
+        let s1 = sg.add_state(0b01);
+        let s2 = sg.add_state(0b11);
+        let s3 = sg.add_state(0b01);
+        let s4 = sg.add_state(0b00);
+        let s5 = sg.add_state(0b10);
+        sg.add_edge(s0, s1, lab(0, Polarity::Rise));
+        sg.add_edge(s1, s2, lab(1, Polarity::Rise));
+        sg.add_edge(s2, s3, lab(1, Polarity::Fall));
+        sg.add_edge(s3, s4, lab(0, Polarity::Fall));
+        sg.add_edge(s4, s5, lab(1, Polarity::Rise));
+        sg.add_edge(s5, s0, lab(1, Polarity::Fall));
+        check_consistency(&sg).unwrap();
+        let err = check_csc(&sg).unwrap_err();
+        match err {
+            CheckError::CscViolation { differing, .. } => {
+                assert_eq!(differing, vec!["b".to_string()]);
+            }
+            other => panic!("expected csc violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_polarity_fails_consistency() {
+        let mut sg = StateGraph::new(vec![meta("a", SignalKind::Input)]).unwrap();
+        let s0 = sg.add_state(0b1);
+        let s1 = sg.add_state(0b0);
+        // a+ out of a state where a is already 1.
+        sg.add_edge(s0, s1, lab(0, Polarity::Rise));
+        sg.add_edge(s1, s0, lab(0, Polarity::Rise));
+        assert!(matches!(
+            check_consistency(&sg),
+            Err(CheckError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_bit_flip_fails_consistency() {
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+        ])
+        .unwrap();
+        let s0 = sg.add_state(0b00);
+        let s1 = sg.add_state(0b11); // a+ also flips b's bit
+        sg.add_edge(s0, s1, lab(0, Polarity::Rise));
+        sg.add_edge(s1, s0, lab(0, Polarity::Fall));
+        let err = check_consistency(&sg).unwrap_err();
+        assert!(err.to_string().contains("other bits"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_state_is_reported() {
+        let mut sg = StateGraph::new(vec![meta("a", SignalKind::Input)]).unwrap();
+        let s0 = sg.add_state(0b0);
+        let s1 = sg.add_state(0b1);
+        sg.add_edge(s0, s1, lab(0, Polarity::Rise));
+        sg.add_edge(s1, s0, lab(0, Polarity::Fall));
+        sg.add_state(0b0); // orphan
+        assert!(matches!(
+            check_csc(&sg),
+            Err(CheckError::Unreachable { state: 2 })
+        ));
+    }
+
+    #[test]
+    fn epsilon_edges_must_preserve_codes() {
+        let mut sg = StateGraph::new(vec![meta("a", SignalKind::Input)]).unwrap();
+        let s0 = sg.add_state(0b0);
+        let s1 = sg.add_state(0b1);
+        sg.add_edge(s0, s1, EdgeLabel::Epsilon);
+        sg.add_edge(s1, s0, lab(0, Polarity::Fall));
+        assert!(matches!(
+            check_consistency(&sg),
+            Err(CheckError::Inconsistent { .. })
+        ));
+    }
+}

@@ -1,0 +1,313 @@
+//! Speed-independence of the derived gate netlist.
+//!
+//! The synthesised circuit is one two-level AND–OR network per non-input
+//! signal. Under the unbounded-gate-delay model the circuit is glitch-free
+//! against its specification exactly when, in the closed loop of circuit
+//! and state graph,
+//!
+//! 1. **conformance** — in every reachable specification state, the set of
+//!    non-input signals whose gate output disagrees with their current
+//!    value equals the set the specification excites there, and
+//! 2. **persistence (semi-modularity)** — an excited non-input signal stays
+//!    excited until it fires: no other transition may withdraw the
+//!    excitation, because the victim's gate could already be switching and
+//!    would emit a runt pulse (computation interference).
+//!
+//! The netlist representation here is deliberately minimal (cubes as
+//! literal lists, evaluated by brute force) so this checker shares no code
+//! with `modsyn-logic`'s cover machinery.
+
+use modsyn_sg::{EdgeLabel, StateGraph};
+
+use crate::CheckError;
+
+/// One literal of a product term: signal index and required value.
+pub type SopLiteral = (usize, bool);
+
+/// A sum-of-products next-state function over the graph's signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SopFn {
+    /// The driven signal's name.
+    pub name: String,
+    /// Product terms; each is a conjunction of literals. An empty cube is
+    /// the constant 1, an empty cube list the constant 0.
+    pub cubes: Vec<Vec<SopLiteral>>,
+}
+
+impl SopFn {
+    /// Evaluates the function on a full signal-value vector.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        self.cubes
+            .iter()
+            .any(|cube| cube.iter().all(|&(var, want)| values[var] == want))
+    }
+}
+
+/// The gate-level circuit: one [`SopFn`] per driven signal, indexed like
+/// the state graph's signal list (`None` for environment-driven inputs).
+#[derive(Debug, Clone, Default)]
+pub struct GateNetlist {
+    functions: Vec<Option<SopFn>>,
+}
+
+impl GateNetlist {
+    /// An empty netlist over `signals` signal slots.
+    pub fn new(signals: usize) -> Self {
+        GateNetlist {
+            functions: vec![None; signals],
+        }
+    }
+
+    /// Installs the function driving signal slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, function: SopFn) {
+        self.functions[index] = Some(function);
+    }
+
+    /// The function driving slot `index`, if any.
+    pub fn function(&self, index: usize) -> Option<&SopFn> {
+        self.functions[index].as_ref()
+    }
+}
+
+/// Checks conformance and output persistence of `netlist` against `sg`
+/// (see the module docs for the two properties).
+///
+/// # Errors
+///
+/// * [`CheckError::MissingFunction`] — a non-input signal has no gates,
+/// * [`CheckError::Nonconforming`] — gates and specification disagree on
+///   which outputs should change in some state,
+/// * [`CheckError::NotSpeedIndependent`] — a fired transition withdraws a
+///   pending non-input excitation,
+/// * [`CheckError::Unreachable`] is *not* raised here: only reachable
+///   states matter for circuit behaviour, so the walk simply starts at the
+///   initial state.
+pub fn check_speed_independence(netlist: &GateNetlist, sg: &StateGraph) -> Result<(), CheckError> {
+    let n = sg.signals().len();
+    for (i, meta) in sg.signals().iter().enumerate() {
+        if meta.kind.is_non_input() && netlist.function(i).is_none() {
+            return Err(CheckError::MissingFunction {
+                signal: meta.name.clone(),
+            });
+        }
+    }
+
+    // The non-input signals the gates command to change, given values.
+    let commanded = |values: &[bool]| -> Vec<usize> {
+        (0..n)
+            .filter(|&i| {
+                netlist
+                    .function(i)
+                    .is_some_and(|f| f.eval(values) != values[i])
+            })
+            .collect()
+    };
+    let values_of = |state: usize| -> Vec<bool> { (0..n).map(|i| sg.value(state, i)).collect() };
+
+    let mut seen = vec![false; sg.state_count()];
+    let mut queue = std::collections::VecDeque::from([sg.initial()]);
+    seen[sg.initial()] = true;
+    while let Some(state) = queue.pop_front() {
+        let values = values_of(state);
+        let excited = commanded(&values);
+
+        // 1. Conformance: gates vs specification, per signal.
+        for i in 0..n {
+            if !sg.signals()[i].kind.is_non_input() {
+                continue;
+            }
+            let by_gates = excited.contains(&i);
+            let by_spec = sg.excited(state, i).is_some();
+            if by_gates != by_spec {
+                return Err(CheckError::Nonconforming {
+                    state,
+                    signal: sg.signals()[i].name.clone(),
+                    spec_excited: by_spec,
+                });
+            }
+        }
+
+        // 2. Persistence: firing any enabled transition must leave every
+        //    other pending non-input excitation intact.
+        for e in sg.out_edges(state) {
+            let fired = match e.label {
+                EdgeLabel::Signal { signal, polarity } => {
+                    format!("{}{}", sg.signals()[signal].name, polarity)
+                }
+                EdgeLabel::Epsilon => "\u{3b5}".to_string(),
+            };
+            let fired_signal = match e.label {
+                EdgeLabel::Signal { signal, .. } => Some(signal),
+                EdgeLabel::Epsilon => None,
+            };
+            let next_values = values_of(e.to);
+            for &victim in &excited {
+                if Some(victim) == fired_signal {
+                    continue; // it fired — excitation consumed, not withdrawn
+                }
+                let f = netlist.function(victim).expect("checked above");
+                let still_pending = f.eval(&next_values) != next_values[victim];
+                if !still_pending {
+                    return Err(CheckError::NotSpeedIndependent {
+                        state,
+                        fired,
+                        victim: sg.signals()[victim].name.clone(),
+                    });
+                }
+            }
+            if !seen[e.to] {
+                seen[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::SignalMeta;
+    use modsyn_stg::{Polarity, SignalKind};
+
+    fn meta(name: &str, kind: SignalKind) -> SignalMeta {
+        SignalMeta {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    fn lab(signal: usize, polarity: Polarity) -> EdgeLabel {
+        EdgeLabel::Signal { signal, polarity }
+    }
+
+    /// a+ b+ a- b- handshake with b = f(a, b).
+    fn handshake() -> StateGraph {
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+        ])
+        .unwrap();
+        let s: Vec<usize> = [0b00, 0b01, 0b11, 0b10]
+            .into_iter()
+            .map(|c| sg.add_state(c))
+            .collect();
+        sg.add_edge(s[0], s[1], lab(0, Polarity::Rise));
+        sg.add_edge(s[1], s[2], lab(1, Polarity::Rise));
+        sg.add_edge(s[2], s[3], lab(0, Polarity::Fall));
+        sg.add_edge(s[3], s[0], lab(1, Polarity::Fall));
+        sg
+    }
+
+    #[test]
+    fn correct_buffer_is_speed_independent() {
+        let sg = handshake();
+        let mut netlist = GateNetlist::new(2);
+        // b's next value is simply a (a C-element-free buffer).
+        netlist.set(
+            1,
+            SopFn {
+                name: "b".into(),
+                cubes: vec![vec![(0, true)]],
+            },
+        );
+        check_speed_independence(&netlist, &sg).unwrap();
+    }
+
+    #[test]
+    fn missing_function_is_typed() {
+        let sg = handshake();
+        let netlist = GateNetlist::new(2);
+        assert!(matches!(
+            check_speed_independence(&netlist, &sg),
+            Err(CheckError::MissingFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_gate_is_nonconforming() {
+        let sg = handshake();
+        let mut netlist = GateNetlist::new(2);
+        netlist.set(
+            1,
+            SopFn {
+                name: "b".into(),
+                cubes: vec![vec![]], // constant 1
+            },
+        );
+        let err = check_speed_independence(&netlist, &sg).unwrap_err();
+        assert!(matches!(err, CheckError::Nonconforming { .. }), "{err}");
+    }
+
+    #[test]
+    fn withdrawn_excitation_is_caught() {
+        // Two concurrent inputs a, c and an output b excited only while
+        // a=1 and c=0: firing c+ withdraws b's excitation.
+        let mut sg = StateGraph::new(vec![
+            meta("a", SignalKind::Input),
+            meta("b", SignalKind::Output),
+            meta("c", SignalKind::Input),
+        ])
+        .unwrap();
+        // 000 -a+-> 001; then either b+ (011) or c+ (101);
+        // from 101 continue c- back etc. Keep the graph small: the
+        // conformance check passes (spec also excites b at 001) but firing
+        // c+ at 001 leads to 101 where the gate no longer drives b up —
+        // yet the spec at 101 doesn't excite b either, so conformance
+        // holds and only persistence trips.
+        let s000 = sg.add_state(0b000);
+        let s001 = sg.add_state(0b001);
+        let s011 = sg.add_state(0b011);
+        let s101 = sg.add_state(0b101);
+        let s111 = sg.add_state(0b111);
+        sg.add_edge(s000, s001, lab(0, Polarity::Rise));
+        sg.add_edge(s001, s011, lab(1, Polarity::Rise));
+        sg.add_edge(s001, s101, lab(2, Polarity::Rise));
+        sg.add_edge(s011, s111, lab(2, Polarity::Rise));
+        sg.add_edge(s111, s000, EdgeLabel::Epsilon); // close it off (test only)
+        sg.add_edge(s101, s000, EdgeLabel::Epsilon);
+        let mut netlist = GateNetlist::new(3);
+        // b rises only while a ∧ ¬c; b holds itself once high.
+        netlist.set(
+            1,
+            SopFn {
+                name: "b".into(),
+                cubes: vec![vec![(0, true), (2, false)], vec![(1, true)]],
+            },
+        );
+        let err = check_speed_independence(&netlist, &sg).unwrap_err();
+        match err {
+            CheckError::NotSpeedIndependent { fired, victim, .. } => {
+                assert_eq!(fired, "c+");
+                assert_eq!(victim, "b");
+            }
+            CheckError::Nonconforming { .. } => {
+                // The little graph above is not a full spec; reaching the
+                // persistence check requires conformance first. If the
+                // shapes drift, fail loudly so the test gets fixed.
+                panic!("test graph no longer conforms; adjust the fixture");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn sop_eval_semantics() {
+        let f = SopFn {
+            name: "f".into(),
+            cubes: vec![vec![(0, true), (1, false)], vec![(2, true)]],
+        };
+        assert!(f.eval(&[true, false, false]));
+        assert!(f.eval(&[false, true, true]));
+        assert!(!f.eval(&[false, false, false]));
+        let zero = SopFn {
+            name: "z".into(),
+            cubes: vec![],
+        };
+        assert!(!zero.eval(&[true]));
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! modsyn <file.g | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno]
 //!        [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog]
-//!        [--exact] [--hazards] [--quiet]
+//!        [--exact] [--hazards] [--check] [--quiet]
 //! ```
 //!
 //! Reads an STG (a `.g` file, `-` for stdin, or `benchmark:<name>` for one
@@ -12,7 +12,10 @@
 //! function as a single-output PLA; `--dot` prints the final state graph in
 //! Graphviz format; `--verilog` emits a structural netlist; `--exact` uses
 //! exact two-level minimisation; `--hazards` runs the static-hazard
-//! post-process plus a closed-loop conformance check.
+//! post-process plus a closed-loop conformance check; `--check` certifies
+//! the result against the independent `modsyn-check` oracle (consistency,
+//! CSC, speed independence, observable equivalence to the specification)
+//! and exits non-zero on any violation.
 //!
 //! Observability: `--stats` prints a per-phase span tree (timings, SAT
 //! counters, per-module formula sizes) to **stderr**; `--trace-json FILE`
@@ -48,6 +51,7 @@ struct Args {
     verilog: bool,
     exact: bool,
     hazards: bool,
+    check: bool,
     quiet: bool,
     stats: bool,
     trace_json: Option<String>,
@@ -56,7 +60,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
      [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog] [--exact] [--hazards] \
-     [--quiet] [--stats] [--trace-json FILE]"
+     [--check] [--quiet] [--stats] [--trace-json FILE]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         verilog: false,
         exact: false,
         hazards: false,
+        check: false,
         quiet: false,
         stats: false,
         trace_json: None,
@@ -108,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
             "--verilog" => args.verilog = true,
             "--exact" => args.exact = true,
             "--hazards" => args.hazards = true,
+            "--check" => args.check = true,
             "--quiet" => args.quiet = true,
             "--stats" => args.stats = true,
             "--trace-json" => {
@@ -204,28 +210,30 @@ fn main() -> ExitCode {
         );
     }
 
-    // Re-derive the final graph for the post-processing options.
-    let need_graph = args.dot || args.hazards || args.verilog;
-    let graph = if need_graph {
-        let sg = modsyn_sg::derive(&stg, &modsyn_sg::DeriveOptions::default())
-            .expect("already derived once");
-        let solve = modsyn::CscSolveOptions {
-            solver: options.solver,
-            min_area: args.method == Method::ModularMinArea,
-            ..Default::default()
-        };
-        Some(
-            modsyn::modular_resolve(&sg, &solve)
-                .expect("already resolved once")
-                .graph,
-        )
-    } else {
-        None
-    };
+    // The report carries the solved graph; no re-derivation needed.
+    let graph = &report.graph;
+
+    if args.check {
+        let spec = modsyn_sg::derive(&stg, &options.derive).expect("already derived once");
+        let netlist = modsyn::gate_netlist(graph, &report.functions);
+        match modsyn_check::verify_solution(Some(&spec), graph, &netlist) {
+            Ok(()) => {
+                if !args.quiet {
+                    println!(
+                        "# check: ok (consistency, CSC, speed independence, equivalence over {} states)",
+                        graph.state_count()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let mut functions = report.functions.clone();
     if args.hazards {
-        let graph = graph.as_ref().expect("graph derived for --hazards");
         let before = hazard_report(graph, &functions);
         functions = remove_static_hazards(graph, &functions);
         let after = hazard_report(graph, &functions);
@@ -254,11 +262,9 @@ fn main() -> ExitCode {
         }
     }
     if args.dot {
-        let graph = graph.as_ref().expect("graph derived for --dot");
         println!("{}", modsyn_sg::to_dot(graph));
     }
     if args.verilog {
-        let graph = graph.as_ref().expect("graph derived for --verilog");
         println!(
             "{}",
             modsyn::to_verilog(&report.benchmark, graph, &functions)

@@ -6,13 +6,21 @@
 //! current binary value, so `(a,b)` maps `(0,0)=0`, `(0,1)=1`, `(1,0)=Up`,
 //! `(1,1)=Down`.
 //!
-//! Three clause families are emitted:
+//! Four clause families are emitted:
 //!
-//! 1. **Consistency + semi-modularity**, one clause per (edge, signal,
-//!    forbidden value pair). The allowed pairs follow the cyclic progression
+//! 1. **Consistency**, one clause per (edge, signal, forbidden value pair).
+//!    The allowed pairs follow the cyclic progression
 //!    `0 → Up → 1 → Down → 0`; `(Up,1)`/`(Down,0)` — the state signal fires
 //!    across the edge — are additionally forbidden on **input** edges, since
 //!    an insertion may not delay the environment.
+//!
+//! 1.5. **Persistence**: on every concurrency diamond, the expansion must
+//!    not produce a state copy that an edge enters while the concurrent
+//!    pending non-input transition's edge is absent from it — the inserted
+//!    signal would *withdraw* an excitation, breaking semi-modularity of
+//!    the expanded graph (and so speed independence of any conforming
+//!    circuit).
+//!
 //! 2. **CSC resolution**: each conflicting pair must be distinguished by at
 //!    least one state signal that is *stable with opposite values* on the
 //!    two states (an excited region overlapping a conflict state cannot
@@ -100,6 +108,27 @@ fn edge_pair_allowed(from: Quat, to: Quat, allow_fire: bool) -> bool {
     ) || (allow_fire && matches!((from, to), (Up, One) | (Down, Zero)))
 }
 
+/// Whether the expansion places a copy of an edge with values `(from, to)`
+/// in the low (signal = 0) copy of its endpoints. Mirrors
+/// `modsyn_sg::insert_state_signals` exactly.
+fn edge_in_lo(from: Quat, to: Quat) -> bool {
+    use Quat::{Down, Up, Zero};
+    matches!(
+        (from, to),
+        (Zero, Zero) | (Zero, Up) | (Up, Up) | (Down, Down) | (Down, Zero)
+    )
+}
+
+/// Whether the expansion places a copy of an edge with values `(from, to)`
+/// in the high (signal = 1) copy of its endpoints.
+fn edge_in_hi(from: Quat, to: Quat) -> bool {
+    use Quat::{Down, One, Up};
+    matches!(
+        (from, to),
+        (One, One) | (One, Down) | (Up, Up) | (Down, Down) | (Up, One)
+    )
+}
+
 /// Whether a USC (equal code, equal excitation) pair may take values
 /// `(vi, vj)` without creating a new conflict between split copies.
 fn usc_pair_allowed(vi: Quat, vj: Quat) -> bool {
@@ -172,6 +201,82 @@ pub fn encode_csc_partial(
                         Lit::with_polarity(enc.a(e.to, k), !at),
                         Lit::with_polarity(enc.b(e.to, k), !bt),
                     ]);
+                }
+            }
+        }
+    }
+
+    // Family 1.5: persistence across concurrency diamonds. Expansion keeps
+    // an edge only in the copies its value pair selects (`edge_in_lo` /
+    // `edge_in_hi`); entering a state copy through one leg of a diamond
+    // where the other leg's edge is absent would *withdraw* a pending
+    // non-input excitation — the expanded graph would not be semi-modular
+    // and the victim's gate could emit a runt pulse. For every diamond
+    // (t: p -> s fired while u: p -> b stays pending, with u re-enabled as
+    // s -> c), forbid each otherwise-consistent value combination in which
+    // some entered copy of `s` has lost `u`.
+    let mut diamonds = std::collections::BTreeSet::new();
+    for p in 0..states {
+        for t in graph.out_edges(p) {
+            let (t_equality, t_fire, t_signal) = match t.label {
+                EdgeLabel::Epsilon => (true, false, None),
+                EdgeLabel::Signal { signal, .. } => (
+                    false,
+                    graph.signals()[signal].kind.is_non_input(),
+                    Some(signal),
+                ),
+            };
+            for u in graph.out_edges(p) {
+                let EdgeLabel::Signal { signal, .. } = u.label else {
+                    continue;
+                };
+                if !graph.signals()[signal].kind.is_non_input() || Some(signal) == t_signal {
+                    continue;
+                }
+                for c in graph.out_edges(t.to).filter(|e| e.label == u.label) {
+                    diamonds.insert((p, t.to, u.to, c.to, t_equality, t_fire));
+                }
+            }
+        }
+    }
+    for &(p, s, b, c, t_equality, t_fire) in &diamonds {
+        for k in 0..m {
+            for &vp in &ALL_QUATS {
+                for &vs in &ALL_QUATS {
+                    let t_ok = if t_equality {
+                        vp == vs
+                    } else {
+                        edge_pair_allowed(vp, vs, t_fire)
+                    };
+                    if !t_ok {
+                        continue; // family 1 already forbids this pair
+                    }
+                    for &vb in &ALL_QUATS {
+                        if !edge_pair_allowed(vp, vb, true) {
+                            continue;
+                        }
+                        for &vc in &ALL_QUATS {
+                            if !edge_pair_allowed(vs, vc, true) {
+                                continue;
+                            }
+                            let withdrawn =
+                                (edge_in_lo(vp, vs) && edge_in_lo(vp, vb) && !edge_in_lo(vs, vc))
+                                    || (edge_in_hi(vp, vs)
+                                        && edge_in_hi(vp, vb)
+                                        && !edge_in_hi(vs, vc));
+                            if !withdrawn {
+                                continue;
+                            }
+                            let lits = [(p, vp), (s, vs), (b, vb), (c, vc)].map(|(st, v)| {
+                                let (av, bv) = quat_bits(v);
+                                [
+                                    Lit::with_polarity(enc.a(st, k), !av),
+                                    Lit::with_polarity(enc.b(st, k), !bv),
+                                ]
+                            });
+                            formula.add_clause(lits.into_iter().flatten());
+                        }
+                    }
                 }
             }
         }
@@ -344,6 +449,64 @@ mod tests {
         // Base layout plus one aux per (csc pair, signal) and per-USC-pair
         // escape machinery.
         assert!(e2.formula.num_vars() >= 2 * sg.state_count() * 2 + 2 * analysis.csc_pairs.len());
+    }
+
+    #[test]
+    fn persistence_family_forbids_withdrawing_diamonds() {
+        // Regression for the encoding bug the oracle caught on `fifo` and
+        // five other Table-1 benchmarks: without clause family 1.5 the
+        // solver could assign the diamond values (1, ↓, ↓, 0) — the fired
+        // leg (1, ↓) and the pending leg (1, ↓) both land in the *hi* copy
+        // of the expansion, but the re-enabled pending edge (↓, 0) lands
+        // only in the *lo* copy, so entering the hi copy withdraws the
+        // pending excitation (a glitch under unbounded gate delay). Pin a
+        // concurrency diamond to exactly those values and the formula must
+        // be unsatisfiable; unpinned it must stay satisfiable.
+        let stg = parse_g(
+            ".model dia\n.outputs x y z\n.graph\nz+ x+\nz+ y+\nx+ z-\ny+ z-\nz- x-\nz- y-\nx- z+\ny- z+\n.marking { <x-,z+> <y-,z+> }\n.end\n",
+        )
+        .unwrap();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let analysis = sg.csc_analysis();
+        let enc = encode_csc(&sg, &analysis, 1);
+        assert!(
+            solve(&enc.formula, SolverOptions::default()).is_sat(),
+            "unpinned diamond formula must be satisfiable"
+        );
+
+        // Locate a diamond p -(x+)-> s with pending y+: p -(y+)-> b and
+        // s -(y+)-> c.
+        let x = sg.signal_index("x").unwrap();
+        let y = sg.signal_index("y").unwrap();
+        let fires = |e: &modsyn_sg::Edge, sig: usize| {
+            matches!(e.label, EdgeLabel::Signal { signal, polarity }
+                if signal == sig && polarity == modsyn_stg::Polarity::Rise)
+        };
+        let (p, s, b, c) = (0..sg.state_count())
+            .find_map(|p| {
+                let s = sg.out_edges(p).find(|e| fires(e, x))?.to;
+                let b = sg.out_edges(p).find(|e| fires(e, y))?.to;
+                let c = sg.out_edges(s).find(|e| fires(e, y))?.to;
+                Some((p, s, b, c))
+            })
+            .expect("the net contains an x/y concurrency diamond");
+
+        let mut pinned = enc.formula.clone();
+        for (state, value) in [
+            (p, Quat::One),
+            (s, Quat::Down),
+            (b, Quat::Down),
+            (c, Quat::Zero),
+        ] {
+            let (av, bv) = quat_bits(value);
+            pinned.add_clause([Lit::with_polarity(enc.a(state, 0), av)]);
+            pinned.add_clause([Lit::with_polarity(enc.b(state, 0), bv)]);
+        }
+        assert_eq!(
+            solve(&pinned, SolverOptions::default()),
+            Outcome::Unsatisfiable,
+            "the withdrawing diamond assignment must be forbidden"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+mod checker;
 mod circuit;
 mod direct;
 mod encode;
@@ -46,6 +47,7 @@ mod netlist;
 mod solve;
 mod synth;
 
+pub use checker::{certify_report, gate_netlist};
 pub use circuit::{
     closed_loop_check, hazard_report, remove_static_hazards, Circuit, HazardSummary,
     SimulationReport,

@@ -116,6 +116,12 @@ pub struct SynthesisReport {
     pub modules: Vec<ModuleReport>,
     /// The synthesised logic functions.
     pub functions: Vec<SignalFunction>,
+    /// Names of the inserted state signals, in insertion order.
+    pub inserted: Vec<String>,
+    /// The final expanded, CSC-satisfying state graph the functions were
+    /// derived from — returned so an *independent* checker (`modsyn-check`)
+    /// can certify the result without re-running any pipeline stage.
+    pub graph: StateGraph,
 }
 
 impl SynthesisReport {
@@ -157,43 +163,43 @@ pub fn synthesize_traced(
     tracer.note("benchmark", stg.name());
     tracer.note("method", &options.method.to_string());
     let initial = derive_traced(stg, &options.derive, tracer)?;
-    let (graph, formulas, modules): (StateGraph, Vec<FormulaStat>, Vec<ModuleReport>) =
-        match options.method {
-            Method::Modular | Method::ModularMinArea => {
-                let solve = CscSolveOptions {
-                    solver: options.solver,
-                    extra_signals: options.extra_signals,
-                    name_prefix: "csc",
-                    min_area: options.method == Method::ModularMinArea,
+    type Resolved = (StateGraph, Vec<String>, Vec<FormulaStat>, Vec<ModuleReport>);
+    let (graph, inserted, formulas, modules): Resolved = match options.method {
+        Method::Modular | Method::ModularMinArea => {
+            let solve = CscSolveOptions {
+                solver: options.solver,
+                extra_signals: options.extra_signals,
+                name_prefix: "csc",
+                min_area: options.method == Method::ModularMinArea,
+                cancel: options.cancel.clone(),
+            };
+            let out = modular_resolve_jobs_traced(&initial, &solve, options.jobs, tracer)?;
+            (out.graph, out.inserted, out.formulas, out.modules)
+        }
+        Method::Direct => {
+            let solve = CscSolveOptions {
+                solver: options.solver,
+                extra_signals: options.extra_signals,
+                name_prefix: "csc",
+                min_area: false,
+                cancel: options.cancel.clone(),
+            };
+            let out = direct_resolve_traced(&initial, &solve, tracer)?;
+            (out.graph, out.inserted, out.formulas, Vec::new())
+        }
+        Method::Lavagno => {
+            let out = lavagno_resolve(
+                stg,
+                &initial,
+                &LavagnoOptions {
+                    max_backtracks: options.solver.max_backtracks,
+                    extra_signals: options.extra_signals.min(3),
                     cancel: options.cancel.clone(),
-                };
-                let out = modular_resolve_jobs_traced(&initial, &solve, options.jobs, tracer)?;
-                (out.graph, out.formulas, out.modules)
-            }
-            Method::Direct => {
-                let solve = CscSolveOptions {
-                    solver: options.solver,
-                    extra_signals: options.extra_signals,
-                    name_prefix: "csc",
-                    min_area: false,
-                    cancel: options.cancel.clone(),
-                };
-                let out = direct_resolve_traced(&initial, &solve, tracer)?;
-                (out.graph, out.formulas, Vec::new())
-            }
-            Method::Lavagno => {
-                let out = lavagno_resolve(
-                    stg,
-                    &initial,
-                    &LavagnoOptions {
-                        max_backtracks: options.solver.max_backtracks,
-                        extra_signals: options.extra_signals.min(3),
-                        cancel: options.cancel.clone(),
-                    },
-                )?;
-                (out.graph, out.formulas, Vec::new())
-            }
-        };
+                },
+            )?;
+            (out.graph, out.inserted, out.formulas, Vec::new())
+        }
+    };
 
     let functions = derive_logic_jobs_traced(&graph, options.minimize, options.jobs, tracer)?;
     debug_assert!(verify_logic(&graph, &functions));
@@ -209,6 +215,8 @@ pub fn synthesize_traced(
         formulas,
         modules,
         functions,
+        inserted,
+        graph,
     })
 }
 

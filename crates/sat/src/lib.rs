@@ -36,6 +36,7 @@
 mod cnf;
 mod dimacs;
 mod error;
+mod exhaustive;
 mod heuristic;
 mod lit;
 mod model;
@@ -47,6 +48,7 @@ mod stats;
 pub use cnf::{Clause, CnfFormula};
 pub use dimacs::{parse_dimacs, write_dimacs};
 pub use error::SatError;
+pub use exhaustive::{solve_exhaustive, EXHAUSTIVE_VAR_LIMIT};
 pub use heuristic::Heuristic;
 pub use lit::{Lit, Var};
 pub use model::Model;

@@ -100,10 +100,13 @@ impl StateGraph {
             analysis.max_csc = 0;
             return analysis;
         }
-        for group in by_code.values() {
-            if group.len() < 2 {
-                continue;
-            }
+        // HashMap iteration order varies per instance; downstream consumers
+        // (the SAT-CSC encoder numbers auxiliary variables and emits clauses
+        // in pair order) need a deterministic pair list, so process the
+        // groups in state order.
+        let mut groups: Vec<&Vec<usize>> = by_code.values().filter(|g| g.len() >= 2).collect();
+        groups.sort_unstable_by_key(|g| g[0]);
+        for group in groups {
             // Subgroup by non-input excitation.
             let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
             for &s in group {
@@ -146,6 +149,26 @@ mod tests {
         assert!(csc.satisfies_usc());
         assert_eq!(csc.max_csc, 1);
         assert_eq!(csc.lower_bound, 0);
+    }
+
+    #[test]
+    fn pair_order_is_deterministic_across_calls_and_threads() {
+        // The SAT-CSC encoder numbers auxiliary variables in pair order, so
+        // two analyses of the same graph must agree exactly — including
+        // when one runs on a worker thread (serial vs --jobs runs must
+        // produce bit-identical formulas).
+        let stg = benchmarks::mr1();
+        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+        let a1 = sg.csc_analysis();
+        let a2 = sg.csc_analysis();
+        assert_eq!(a1.usc_pairs, a2.usc_pairs);
+        assert_eq!(a1.csc_pairs, a2.csc_pairs);
+        let sg2 = sg.clone();
+        let a3 = std::thread::spawn(move || sg2.csc_analysis())
+            .join()
+            .unwrap();
+        assert_eq!(a1.usc_pairs, a3.usc_pairs);
+        assert_eq!(a1.csc_pairs, a3.csc_pairs);
     }
 
     #[test]

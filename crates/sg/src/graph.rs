@@ -212,6 +212,31 @@ impl StateGraph {
         }
     }
 
+    /// All packed state codes, indexed by state. The independent checkers
+    /// in `modsyn-check` read codes through this slice rather than the
+    /// analysis helpers, so a bug in the latter cannot leak into the
+    /// oracle's view of the graph.
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// The enabled (excited) signal set of a state, straight off the
+    /// outgoing edges: every `(signal, polarity)` some edge fires. ε edges
+    /// contribute nothing. Sorted by signal index; a signal enabled by
+    /// several edges appears once.
+    pub fn enabled_set(&self, state: usize) -> Vec<(usize, Polarity)> {
+        let mut set: Vec<(usize, Polarity)> = self
+            .out_edges(state)
+            .filter_map(|e| match e.label {
+                EdgeLabel::Signal { signal, polarity } => Some((signal, polarity)),
+                EdgeLabel::Epsilon => None,
+            })
+            .collect();
+        set.sort_unstable_by_key(|&(s, _)| s);
+        set.dedup();
+        set
+    }
+
     /// Formats a state's code as a 0/1 string in signal order.
     pub fn code_string(&self, state: usize) -> String {
         (0..self.signals.len())
@@ -302,6 +327,15 @@ mod tests {
         let sg = two_signal_cycle();
         assert_eq!(sg.non_input_excitation(0), 0, "only a+ (input) is excited");
         assert_eq!(sg.non_input_excitation(1), 0b10, "b+ is excited");
+    }
+
+    #[test]
+    fn codes_and_enabled_set_accessors() {
+        let sg = two_signal_cycle();
+        assert_eq!(sg.codes(), &[0b00, 0b01, 0b11, 0b10]);
+        assert_eq!(sg.enabled_set(0), vec![(0, Polarity::Rise)]);
+        assert_eq!(sg.enabled_set(1), vec![(1, Polarity::Rise)]);
+        assert_eq!(sg.enabled_set(2), vec![(0, Polarity::Fall)]);
     }
 
     #[test]

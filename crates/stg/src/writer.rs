@@ -64,17 +64,65 @@ pub fn write_g(stg: &Stg) -> String {
         net.place(p).fanin().len() == 1 && net.place(p).fanout().len() == 1
     };
 
+    // The parser numbers each signal's transition instances by first
+    // appearance in the document (`a+`, then `a+/2`, …) regardless of any
+    // suffix the token carried, so the writer must emit that same
+    // numbering — otherwise `parse ∘ write` renames transitions on every
+    // trip instead of reaching a fixpoint. Walk the arcs in emission order
+    // and rename labelled transitions accordingly; dummies keep their
+    // declared names.
+    let mut emission_order = Vec::new();
+    let mut seen = vec![false; net.transition_count()];
+    let mut record = |t: modsyn_petri::TransitionId| {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            emission_order.push(t);
+        }
+    };
+    for p in net.place_ids() {
+        if is_implicit(p) {
+            record(net.place(p).fanin()[0]);
+            record(net.place(p).fanout()[0]);
+        }
+    }
+    for p in net.place_ids() {
+        if !is_implicit(p) {
+            net.place(p).fanin().iter().for_each(|&t| record(t));
+            net.place(p).fanout().iter().for_each(|&t| record(t));
+        }
+    }
+    let mut canonical: Vec<Option<String>> = vec![None; net.transition_count()];
+    let mut instances: std::collections::HashMap<(usize, crate::Polarity), u32> =
+        std::collections::HashMap::new();
+    for &t in &emission_order {
+        canonical[t.index()] = Some(match stg.label(t) {
+            None => net.transition(t).name().to_string(),
+            Some(label) => {
+                let n = instances
+                    .entry((label.signal.index(), label.polarity))
+                    .or_insert(0);
+                *n += 1;
+                let base = format!("{}{}", stg.signal(label.signal).name(), label.polarity);
+                if *n == 1 {
+                    base
+                } else {
+                    format!("{base}/{n}")
+                }
+            }
+        });
+    }
+    let name_of = |t: modsyn_petri::TransitionId| {
+        canonical[t.index()]
+            .clone()
+            .unwrap_or_else(|| net.transition(t).name().to_string())
+    };
+
     // Arcs through implicit places.
     for p in net.place_ids() {
         if is_implicit(p) {
             let from = net.place(p).fanin()[0];
             let to = net.place(p).fanout()[0];
-            let _ = writeln!(
-                out,
-                "{} {}",
-                net.transition(from).name(),
-                net.transition(to).name()
-            );
+            let _ = writeln!(out, "{} {}", name_of(from), name_of(to));
         }
     }
     // Explicit places.
@@ -87,10 +135,10 @@ pub fn write_g(stg: &Stg) -> String {
             continue;
         }
         for &t in place.fanin() {
-            let _ = writeln!(out, "{} {}", net.transition(t).name(), place.name());
+            let _ = writeln!(out, "{} {}", name_of(t), place.name());
         }
         for &t in place.fanout() {
-            let _ = writeln!(out, "{} {}", place.name(), net.transition(t).name());
+            let _ = writeln!(out, "{} {}", place.name(), name_of(t));
         }
     }
 
@@ -102,11 +150,7 @@ pub fn write_g(stg: &Stg) -> String {
             if is_implicit(p) {
                 let from = net.place(p).fanin()[0];
                 let to = net.place(p).fanout()[0];
-                marks.push(format!(
-                    "<{},{}>",
-                    net.transition(from).name(),
-                    net.transition(to).name()
-                ));
+                marks.push(format!("<{},{}>", name_of(from), name_of(to)));
             } else {
                 marks.push(net.place(p).name().to_string());
             }

@@ -28,6 +28,35 @@ fn every_benchmark_round_trips_through_g_format() {
     }
 }
 
+/// `parse ∘ write` is idempotent: one round trip reaches a fixpoint, both
+/// at the text level and at the [`modsyn_stg::Stg`] structural level.
+fn assert_round_trip_fixpoint(name: &str, stg: &modsyn_stg::Stg) {
+    let t1 = write_g(stg);
+    let s2 = parse_g(&t1).unwrap_or_else(|e| panic!("{name}: {e}\n{t1}"));
+    let t2 = write_g(&s2);
+    assert_eq!(t1, t2, "{name}: text is not a write/parse fixpoint");
+    let s3 = parse_g(&t2).unwrap_or_else(|e| panic!("{name}: {e}\n{t2}"));
+    assert_eq!(s2, s3, "{name}: structure is not a write/parse fixpoint");
+}
+
+#[test]
+fn write_then_parse_is_idempotent_on_every_benchmark() {
+    for (name, stg) in benchmarks::all() {
+        assert_round_trip_fixpoint(name, &stg);
+    }
+}
+
+#[test]
+fn write_then_parse_is_idempotent_on_generated_stgs() {
+    use modsyn_check::{gen_stg, Profile};
+    for seed in 0..30 {
+        for profile in [Profile::Small, Profile::Medium] {
+            let stg = gen_stg(seed, profile);
+            assert_round_trip_fixpoint(&format!("seed {seed} {profile:?}"), &stg);
+        }
+    }
+}
+
 #[test]
 fn round_trip_preserves_signal_kinds_and_names() {
     let stg = benchmarks::nak_pa();

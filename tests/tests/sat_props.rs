@@ -1,58 +1,42 @@
-//! Property tests (gated): enable with `--features proptest-tests` after
-//! re-adding the proptest dev-dependency (needs network; see Cargo.toml).
-#![cfg(feature = "proptest-tests")]
-//! Property-based tests for the SAT substrate.
+//! Differential tests for the SAT substrate.
+//!
+//! The ungated part cross-checks three independent deciders on seeded
+//! random small CNFs — [`modsyn_sat::solve_exhaustive`] (brute force over
+//! all assignments, the ground truth), the DPLL engine under every
+//! heuristic × learning combination, and the thread portfolio — so a bug
+//! in any one of them shows up as a verdict disagreement with a
+//! reproducible seed. The proptest versions of these properties remain at
+//! the bottom, gated behind `--features proptest-tests` (the dependency
+//! needs network access to fetch; see `Cargo.toml`).
 
+use modsyn_check::rng::SplitMix64;
+use modsyn_par::CancelToken;
 use modsyn_sat::{
-    parse_dimacs, simplify, solve, write_dimacs, CnfFormula, Heuristic, Lit, Outcome,
-    SolverOptions, Var,
+    solve, solve_exhaustive, solve_portfolio, standard_portfolio, CnfFormula, Heuristic, Lit,
+    Outcome, SolverOptions, Var,
 };
-use proptest::prelude::*;
 
-/// Strategy: a random CNF over `n` variables as (var, polarity) clause
-/// lists.
-fn cnf_strategy(n: usize) -> impl Strategy<Value = CnfFormula> {
-    proptest::collection::vec(
-        proptest::collection::vec((0..n, proptest::bool::ANY), 1..4),
-        0..24,
-    )
-    .prop_map(move |clauses| {
-        let mut f = CnfFormula::new(n);
-        for clause in clauses {
-            f.add_clause(
-                clause
-                    .into_iter()
-                    .map(|(v, pol)| Lit::with_polarity(Var::new(v), pol)),
-            );
-        }
-        f
-    })
-}
-
-fn brute_force_sat(f: &CnfFormula) -> bool {
-    let n = f.num_vars();
-    (0u32..(1 << n)).any(|bits| {
-        let assignment: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
-        f.evaluate(&assignment)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn solver_agrees_with_brute_force(f in cnf_strategy(6)) {
-        let expected = brute_force_sat(&f);
-        let out = solve(&f, SolverOptions::default());
-        prop_assert_eq!(out.is_sat(), expected);
-        if let Outcome::Satisfiable(model) = out {
-            prop_assert!(model.check(&f));
-        }
+/// Draws a random CNF: up to `max_vars` variables, up to 24 clauses of 1–3
+/// literals. Small enough for `solve_exhaustive`, large enough to cover
+/// empty formulas, unit clauses, tautological clauses and UNSAT cores.
+fn random_cnf(rng: &mut SplitMix64, max_vars: usize) -> CnfFormula {
+    let n = 1 + rng.below(max_vars);
+    let mut f = CnfFormula::new(n);
+    for _ in 0..rng.below(24) {
+        let len = 1 + rng.below(3);
+        f.add_clause(
+            (0..len).map(|_| Lit::with_polarity(Var::new(rng.below(n)), rng.below(2) == 1)),
+        );
     }
+    f
+}
 
-    #[test]
-    fn engines_and_heuristics_agree(f in cnf_strategy(6)) {
-        let reference = solve(&f, SolverOptions::default()).is_sat();
+#[test]
+fn dpll_agrees_with_exhaustive_search_on_500_random_cnfs() {
+    let mut rng = SplitMix64::new(0x5a7_d1ff);
+    for case in 0..500 {
+        let f = random_cnf(&mut rng, 8);
+        let expected = solve_exhaustive(&f).is_sat();
         for heuristic in [
             Heuristic::FirstUnassigned,
             Heuristic::JeroslowWang,
@@ -60,40 +44,152 @@ proptest! {
             Heuristic::Activity,
         ] {
             for learning in [false, true] {
-                let opts = SolverOptions { heuristic, learning, ..Default::default() };
-                prop_assert_eq!(
-                    solve(&f, opts).is_sat(),
-                    reference,
-                    "{:?} learning={}", heuristic, learning
+                let opts = SolverOptions {
+                    heuristic,
+                    learning,
+                    ..SolverOptions::default()
+                };
+                let out = solve(&f, opts);
+                assert_eq!(
+                    out.is_sat(),
+                    expected,
+                    "case {case}: {heuristic:?} learning={learning} disagrees with brute force"
+                );
+                if let Outcome::Satisfiable(model) = out {
+                    assert!(model.check(&f), "case {case}: model does not satisfy");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_exhaustive_search_on_500_random_cnfs() {
+    let mut rng = SplitMix64::new(0x0f_f01d);
+    for case in 0..500 {
+        let f = random_cnf(&mut rng, 8);
+        let expected = solve_exhaustive(&f).is_sat();
+        let configs = standard_portfolio(SolverOptions::default());
+        let result = solve_portfolio(&f, &configs, &CancelToken::never());
+        assert_eq!(
+            result.outcome.is_sat(),
+            expected,
+            "case {case}: portfolio disagrees with brute force"
+        );
+        if let Outcome::Satisfiable(model) = result.outcome {
+            assert!(
+                model.check(&f),
+                "case {case}: portfolio model does not satisfy"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_model_satisfies_the_formula() {
+    let mut rng = SplitMix64::new(7);
+    for case in 0..100 {
+        let f = random_cnf(&mut rng, 6);
+        if let Outcome::Satisfiable(model) = solve_exhaustive(&f) {
+            assert!(model.check(&f), "case {case}");
+        }
+    }
+}
+
+#[cfg(feature = "proptest-tests")]
+mod proptests {
+    use modsyn_sat::{
+        parse_dimacs, simplify, solve, write_dimacs, CnfFormula, Heuristic, Lit, Outcome,
+        SolverOptions, Var,
+    };
+    use proptest::prelude::*;
+
+    /// Strategy: a random CNF over `n` variables as (var, polarity) clause
+    /// lists.
+    fn cnf_strategy(n: usize) -> impl Strategy<Value = CnfFormula> {
+        proptest::collection::vec(
+            proptest::collection::vec((0..n, proptest::bool::ANY), 1..4),
+            0..24,
+        )
+        .prop_map(move |clauses| {
+            let mut f = CnfFormula::new(n);
+            for clause in clauses {
+                f.add_clause(
+                    clause
+                        .into_iter()
+                        .map(|(v, pol)| Lit::with_polarity(Var::new(v), pol)),
                 );
             }
-        }
+            f
+        })
     }
 
-    #[test]
-    fn simplify_preserves_satisfiability(f in cnf_strategy(6)) {
-        let r = simplify(&f);
-        let before = solve(&f, SolverOptions::default()).is_sat();
-        let after = !r.unsat && solve(&r.formula, SolverOptions::default()).is_sat();
-        prop_assert_eq!(before, after);
-        // Forced literals extend to a model when satisfiable.
-        if before {
-            for lit in &r.forced {
-                // No forced literal may contradict another.
-                prop_assert!(!r.forced.contains(&!*lit));
+    fn brute_force_sat(f: &CnfFormula) -> bool {
+        let n = f.num_vars();
+        (0u32..(1 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            f.evaluate(&assignment)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn solver_agrees_with_brute_force(f in cnf_strategy(6)) {
+            let expected = brute_force_sat(&f);
+            let out = solve(&f, SolverOptions::default());
+            prop_assert_eq!(out.is_sat(), expected);
+            if let Outcome::Satisfiable(model) = out {
+                prop_assert!(model.check(&f));
             }
         }
-    }
 
-    #[test]
-    fn dimacs_round_trip_preserves_formula(f in cnf_strategy(5)) {
-        let text = write_dimacs(&f);
-        let again = parse_dimacs(&text).unwrap();
-        prop_assert_eq!(again.num_vars(), f.num_vars());
-        prop_assert_eq!(again.clause_count(), f.clause_count());
-        prop_assert_eq!(
-            solve(&again, SolverOptions::default()).is_sat(),
-            solve(&f, SolverOptions::default()).is_sat()
-        );
+        #[test]
+        fn engines_and_heuristics_agree(f in cnf_strategy(6)) {
+            let reference = solve(&f, SolverOptions::default()).is_sat();
+            for heuristic in [
+                Heuristic::FirstUnassigned,
+                Heuristic::JeroslowWang,
+                Heuristic::Moms,
+                Heuristic::Activity,
+            ] {
+                for learning in [false, true] {
+                    let opts = SolverOptions { heuristic, learning, ..Default::default() };
+                    prop_assert_eq!(
+                        solve(&f, opts).is_sat(),
+                        reference,
+                        "{:?} learning={}", heuristic, learning
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn simplify_preserves_satisfiability(f in cnf_strategy(6)) {
+            let r = simplify(&f);
+            let before = solve(&f, SolverOptions::default()).is_sat();
+            let after = !r.unsat && solve(&r.formula, SolverOptions::default()).is_sat();
+            prop_assert_eq!(before, after);
+            // Forced literals extend to a model when satisfiable.
+            if before {
+                for lit in &r.forced {
+                    // No forced literal may contradict another.
+                    prop_assert!(!r.forced.contains(&!*lit));
+                }
+            }
+        }
+
+        #[test]
+        fn dimacs_round_trip_preserves_formula(f in cnf_strategy(5)) {
+            let text = write_dimacs(&f);
+            let again = parse_dimacs(&text).unwrap();
+            prop_assert_eq!(again.num_vars(), f.num_vars());
+            prop_assert_eq!(again.clause_count(), f.clause_count());
+            prop_assert_eq!(
+                solve(&again, SolverOptions::default()).is_sat(),
+                solve(&f, SolverOptions::default()).is_sat()
+            );
+        }
     }
 }

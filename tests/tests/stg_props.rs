@@ -1,29 +1,25 @@
-//! Property tests (gated): enable with `--features proptest-tests` after
-//! re-adding the proptest dev-dependency (needs network; see Cargo.toml).
-#![cfg(feature = "proptest-tests")]
 //! Property-based tests: randomly generated STGs keep the library's
 //! invariants.
+//!
+//! The named `regression_*` tests at the top pin cases proptest found in
+//! the past (see `stg_props.proptest-regressions`); they run unguarded on
+//! every `cargo test`. The generative versions are gated behind
+//! `--features proptest-tests` (the dependency needs network access to
+//! fetch; see `Cargo.toml`).
 
-use modsyn_sg::{derive, DeriveOptions, EdgeLabel};
+use modsyn_sg::{derive, DeriveOptions, EdgeLabel, StateGraph};
 use modsyn_stg::{Frag, SignalId, SignalKind, Stg, StgBuilder};
-use proptest::prelude::*;
 
 /// A compact recipe for a random but well-formed cyclic STG: a sequence of
-/// "phases"; each phase either pulses one output, runs a full handshake, or
+/// "phases"; each phase either pulses one signal, runs a full handshake, or
 /// forks two pulses in parallel.
 #[derive(Debug, Clone)]
 enum Phase {
     Pulse(u8),
+    #[cfg_attr(not(feature = "proptest-tests"), allow(dead_code))]
     Handshake(u8, u8),
+    #[cfg_attr(not(feature = "proptest-tests"), allow(dead_code))]
     ParPulses(u8, u8),
-}
-
-fn phase_strategy(signals: u8) -> impl Strategy<Value = Phase> {
-    prop_oneof![
-        (0..signals).prop_map(Phase::Pulse),
-        (0..signals, 0..signals).prop_map(|(a, b)| Phase::Handshake(a, b)),
-        (0..signals, 0..signals).prop_map(|(a, b)| Phase::ParPulses(a, b)),
-    ]
 }
 
 fn build(phases: &[Phase], signals: u8) -> Option<Stg> {
@@ -73,72 +69,125 @@ fn build(phases: &[Phase], signals: u8) -> Option<Stg> {
     b.cycle(Frag::seq(frags)).ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_stgs_derive_consistent_state_graphs(
-        phases in proptest::collection::vec(phase_strategy(4), 1..5)
-    ) {
-        let Some(stg) = build(&phases, 4) else { return Ok(()) };
-        let sg = derive(&stg, &DeriveOptions::default()).expect("DSL output is consistent");
-        prop_assert!(sg.state_count() >= 2);
-        // Every edge flips exactly its signal's bit.
-        for e in sg.edges() {
-            let EdgeLabel::Signal { signal, polarity } = e.label else {
-                panic!("no dummies generated");
-            };
-            prop_assert_eq!(sg.value(e.from, signal), polarity.value_before());
-            prop_assert_eq!(sg.code(e.from) ^ sg.code(e.to), 1u64 << signal);
-        }
+fn assert_edges_flip_exactly_their_bit(sg: &StateGraph) {
+    for e in sg.edges() {
+        let EdgeLabel::Signal { signal, polarity } = e.label else {
+            panic!("no dummies generated");
+        };
+        assert_eq!(sg.value(e.from, signal), polarity.value_before());
+        assert_eq!(sg.code(e.from) ^ sg.code(e.to), 1u64 << signal);
     }
+}
 
-    #[test]
-    fn hiding_signals_never_grows_the_graph(
-        phases in proptest::collection::vec(phase_strategy(4), 1..5),
-        hide_mask in 0u8..16,
-    ) {
-        let Some(stg) = build(&phases, 4) else { return Ok(()) };
-        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
-        let hidden: Vec<usize> =
-            (0..4).filter(|i| hide_mask >> i & 1 == 1).collect();
-        let q = sg.hide_signals(&hidden).unwrap();
-        prop_assert!(q.graph.state_count() <= sg.state_count());
-        prop_assert!(q.graph.edge_count() <= sg.edge_count());
-        // The cover map is total and lands in range.
-        prop_assert_eq!(q.state_map.len(), sg.state_count());
-        for &m in &q.state_map {
-            prop_assert!(m < q.graph.state_count());
-        }
-        // Codes restrict faithfully.
-        for s in 0..sg.state_count() {
-            for (orig, mapped) in q.signal_map.iter().enumerate() {
-                if let Some(new) = mapped {
-                    prop_assert_eq!(
-                        sg.value(s, orig),
-                        q.graph.value(q.state_map[s], *new)
-                    );
-                }
+/// Pinned from `stg_props.proptest-regressions`: `phases = [Pulse(0)]`
+/// repeats the input's pulse right after the prelude already pulsed it, so
+/// the derived graph revisits codes. Deriving it must stay consistent.
+#[test]
+fn regression_repeated_input_pulse_derives_consistent_state_graph() {
+    let stg = build(&[Phase::Pulse(0)], 4).expect("recipe is well formed");
+    let sg = derive(&stg, &DeriveOptions::default()).expect("DSL output is consistent");
+    assert!(sg.state_count() >= 2);
+    assert_edges_flip_exactly_their_bit(&sg);
+}
+
+/// Pinned from `stg_props.proptest-regressions`: `phases = [Pulse(0)],
+/// hide_mask = 0` — hiding the *empty* signal set must be a faithful
+/// (if possibly ε-collapsing) quotient, not a no-op short-circuit.
+#[test]
+fn regression_hiding_no_signals_is_a_faithful_quotient() {
+    let stg = build(&[Phase::Pulse(0)], 4).expect("recipe is well formed");
+    let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+    let q = sg.hide_signals(&[]).unwrap();
+    assert!(q.graph.state_count() <= sg.state_count());
+    assert!(q.graph.edge_count() <= sg.edge_count());
+    // The cover map is total and lands in range.
+    assert_eq!(q.state_map.len(), sg.state_count());
+    for &m in &q.state_map {
+        assert!(m < q.graph.state_count());
+    }
+    // Codes restrict faithfully.
+    for s in 0..sg.state_count() {
+        for (orig, mapped) in q.signal_map.iter().enumerate() {
+            if let Some(new) = mapped {
+                assert_eq!(sg.value(s, orig), q.graph.value(q.state_map[s], *new));
             }
         }
     }
+}
 
-    #[test]
-    fn modular_synthesis_handles_random_solvable_stgs(
-        phases in proptest::collection::vec(phase_strategy(3), 1..4)
-    ) {
-        let Some(stg) = build(&phases, 3) else { return Ok(()) };
-        let sg = derive(&stg, &DeriveOptions::default()).unwrap();
-        let analysis = sg.csc_analysis();
-        // Only exercise instances the theory says are solvable.
-        if !sg.unresolvable_csc_pairs(&analysis).is_empty() {
-            return Ok(());
+#[cfg(feature = "proptest-tests")]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn phase_strategy(signals: u8) -> impl Strategy<Value = Phase> {
+        prop_oneof![
+            (0..signals).prop_map(Phase::Pulse),
+            (0..signals, 0..signals).prop_map(|(a, b)| Phase::Handshake(a, b)),
+            (0..signals, 0..signals).prop_map(|(a, b)| Phase::ParPulses(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_stgs_derive_consistent_state_graphs(
+            phases in proptest::collection::vec(phase_strategy(4), 1..5)
+        ) {
+            let Some(stg) = build(&phases, 4) else { return Ok(()) };
+            let sg = derive(&stg, &DeriveOptions::default()).expect("DSL output is consistent");
+            prop_assert!(sg.state_count() >= 2);
+            assert_edges_flip_exactly_their_bit(&sg);
         }
-        let out = modsyn::modular_resolve(&sg, &modsyn::CscSolveOptions::default());
-        if let Ok(out) = out {
-            prop_assert!(out.graph.csc_analysis().satisfies_csc());
-            let functions = modsyn::derive_logic(&out.graph).unwrap();
-            prop_assert!(modsyn::verify_logic(&out.graph, &functions));
+
+        #[test]
+        fn hiding_signals_never_grows_the_graph(
+            phases in proptest::collection::vec(phase_strategy(4), 1..5),
+            hide_mask in 0u8..16,
+        ) {
+            let Some(stg) = build(&phases, 4) else { return Ok(()) };
+            let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+            let hidden: Vec<usize> =
+                (0..4).filter(|i| hide_mask >> i & 1 == 1).collect();
+            let q = sg.hide_signals(&hidden).unwrap();
+            prop_assert!(q.graph.state_count() <= sg.state_count());
+            prop_assert!(q.graph.edge_count() <= sg.edge_count());
+            // The cover map is total and lands in range.
+            prop_assert_eq!(q.state_map.len(), sg.state_count());
+            for &m in &q.state_map {
+                prop_assert!(m < q.graph.state_count());
+            }
+            // Codes restrict faithfully.
+            for s in 0..sg.state_count() {
+                for (orig, mapped) in q.signal_map.iter().enumerate() {
+                    if let Some(new) = mapped {
+                        prop_assert_eq!(
+                            sg.value(s, orig),
+                            q.graph.value(q.state_map[s], *new)
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn modular_synthesis_handles_random_solvable_stgs(
+            phases in proptest::collection::vec(phase_strategy(3), 1..4)
+        ) {
+            let Some(stg) = build(&phases, 3) else { return Ok(()) };
+            let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+            let analysis = sg.csc_analysis();
+            // Only exercise instances the theory says are solvable.
+            if !sg.unresolvable_csc_pairs(&analysis).is_empty() {
+                return Ok(());
+            }
+            let out = modsyn::modular_resolve(&sg, &modsyn::CscSolveOptions::default());
+            if let Ok(out) = out {
+                prop_assert!(out.graph.csc_analysis().satisfies_csc());
+                let functions = modsyn::derive_logic(&out.graph).unwrap();
+                prop_assert!(modsyn::verify_logic(&out.graph, &functions));
+            }
         }
     }
 }
