@@ -1,0 +1,345 @@
+//! `loadgen` — replay the Table-1 suite against the synthesis service.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] [--repeat N]
+//!         [--small] [--timeout-ms T] [--out FILE]
+//! ```
+//!
+//! Without `--addr`, starts an in-process [`modsyn_svc::Server`] on a free
+//! port (with `--jobs` pool workers) and tears it down afterwards; with
+//! `--addr`, targets an already running `modsynd`.
+//!
+//! The run has two passes over the benchmark set (all 23 Table-1 rows, or
+//! the small subset with `--small`), each issuing `concurrency` parallel
+//! client threads, `--repeat` rounds per pass:
+//!
+//! * **cold** — first contact: every row is a cache miss and synthesises
+//!   on the pool (repeats of the same row within the pass may hit),
+//! * **warm** — same requests again: every row must be a cache hit.
+//!
+//! Every response is checked: status 200, `"certified":true` in the body.
+//! The summary (throughput and p50/p95/p99 latency per pass, plus the
+//! server's own `/metrics` counters) is printed and written to
+//! `BENCH_serve.json` (or `--out FILE`).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use modsyn_obs::{Json, Tracer};
+use modsyn_svc::{client, Metrics, Server, ServerConfig};
+
+struct Args {
+    addr: Option<String>,
+    concurrency: usize,
+    jobs: usize,
+    repeat: usize,
+    small: bool,
+    timeout: Duration,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        concurrency: 8,
+        jobs: modsyn_par::available_jobs().max(4),
+        repeat: 1,
+        small: false,
+        timeout: Duration::from_secs(120),
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--concurrency" => {
+                args.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|_| "bad --concurrency value")?;
+            }
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs value")?,
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|_| "bad --repeat value")?;
+            }
+            "--small" => args.small = true,
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --timeout-ms value")?;
+                args.timeout = Duration::from_millis(ms);
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] \
+                     [--repeat N] [--small] [--timeout-ms T] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.concurrency == 0 || args.repeat == 0 {
+        return Err("--concurrency and --repeat must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// One request's outcome.
+struct Sample {
+    latency: Duration,
+    status: u16,
+    cache: String,
+    certified: bool,
+}
+
+/// Latency/throughput summary of one pass.
+struct PassStats {
+    requests: usize,
+    errors: usize,
+    hits: usize,
+    wall: Duration,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarise(samples: &[Sample], wall: Duration) -> PassStats {
+    let mut latencies: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
+    latencies.sort_unstable();
+    PassStats {
+        requests: samples.len(),
+        errors: samples
+            .iter()
+            .filter(|s| s.status != 200 || !s.certified)
+            .count(),
+        hits: samples.iter().filter(|s| s.cache == "hit").count(),
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn pass_json(stats: &PassStats) -> Json {
+    let rps = if stats.wall.as_secs_f64() > 0.0 {
+        stats.requests as f64 / stats.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("requests", Json::from(stats.requests)),
+        ("errors", Json::from(stats.errors)),
+        ("cache_hits", Json::from(stats.hits)),
+        ("wall_seconds", Json::from(stats.wall.as_secs_f64())),
+        ("throughput_rps", Json::from(rps)),
+        ("p50_ms", Json::from(stats.p50.as_secs_f64() * 1e3)),
+        ("p95_ms", Json::from(stats.p95.as_secs_f64() * 1e3)),
+        ("p99_ms", Json::from(stats.p99.as_secs_f64() * 1e3)),
+    ])
+}
+
+/// Runs one pass: `work` items fanned over `concurrency` threads.
+fn run_pass(
+    addr: SocketAddr,
+    work: &[(String, String)], // (name, .g body)
+    concurrency: usize,
+    timeout: Duration,
+) -> (Vec<Sample>, Duration) {
+    let next = AtomicUsize::new(0);
+    let samples = Mutex::new(Vec::with_capacity(work.len()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, body)) = work.get(i) else { break };
+                let sent = Instant::now();
+                let sample = match client::request(
+                    addr,
+                    "POST",
+                    "/synth?method=modular",
+                    body.as_bytes(),
+                    timeout,
+                ) {
+                    Ok(response) => Sample {
+                        latency: sent.elapsed(),
+                        status: response.status,
+                        cache: response
+                            .header("x-modsyn-cache")
+                            .unwrap_or_default()
+                            .to_string(),
+                        certified: response.text().contains("\"certified\":true"),
+                    },
+                    Err(_) => Sample {
+                        latency: sent.elapsed(),
+                        status: 0,
+                        cache: String::new(),
+                        certified: false,
+                    },
+                };
+                samples
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(sample);
+            });
+        }
+    });
+    let wall = started.elapsed();
+    (samples.into_inner().unwrap(), wall)
+}
+
+fn fetch_metric(addr: SocketAddr, name: &str, timeout: Duration) -> Option<u64> {
+    let response = client::request(addr, "GET", "/metrics", b"", timeout).ok()?;
+    Metrics::parse_line(&response.text(), name)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The benchmark corpus, as the .g text a client would post.
+    let small_names: Vec<&str> = modsyn_bench::small_rows().iter().map(|r| r.name).collect();
+    let work: Vec<(String, String)> = modsyn_stg::benchmarks::all()
+        .into_iter()
+        .filter(|(name, _)| !args.small || small_names.contains(name))
+        .flat_map(|(name, stg)| {
+            let body = modsyn_stg::write_g(&stg);
+            std::iter::repeat_with(move || (name.to_string(), body.clone())).take(args.repeat)
+        })
+        .collect();
+
+    // Either target a running daemon or host one in-process.
+    let (addr, server_thread, handle) = match &args.addr {
+        Some(spec) => {
+            let addr: SocketAddr = match spec.parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: bad --addr {spec:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (addr, None, None)
+        }
+        None => {
+            let config = ServerConfig {
+                jobs: args.jobs,
+                queue_capacity: work.len().max(64),
+                ..ServerConfig::default()
+            };
+            let server = match Server::bind(config, Tracer::disabled()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run());
+            (addr, Some(thread), Some(handle))
+        }
+    };
+
+    eprintln!(
+        "loadgen: {} requests/pass ({} benchmarks x{} repeat), concurrency {}, server {}",
+        work.len(),
+        work.len() / args.repeat,
+        args.repeat,
+        args.concurrency,
+        addr,
+    );
+
+    let (cold_samples, cold_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
+    let cold = summarise(&cold_samples, cold_wall);
+    let (warm_samples, warm_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
+    let warm = summarise(&warm_samples, warm_wall);
+
+    let metrics = Json::obj(
+        [
+            "modsynd_requests_total",
+            "modsynd_cache_hits_total",
+            "modsynd_cache_misses_total",
+            "modsynd_cache_evictions_total",
+            "modsynd_shed_total",
+            "modsynd_aborted_total",
+            "modsynd_certified_total",
+        ]
+        .map(|name| {
+            (
+                name,
+                fetch_metric(addr, name, args.timeout).map_or(Json::Null, Json::from),
+            )
+        }),
+    );
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+    if let Some(thread) = server_thread {
+        let _ = thread.join();
+    }
+
+    let doc = Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("benchmarks", Json::from(work.len() / args.repeat)),
+                ("repeat", Json::from(args.repeat)),
+                ("concurrency", Json::from(args.concurrency)),
+                ("jobs", Json::from(args.jobs)),
+                ("small", Json::from(args.small)),
+                ("external", Json::from(args.addr.is_some())),
+            ]),
+        ),
+        ("cold", pass_json(&cold)),
+        ("warm", pass_json(&warm)),
+        ("server_metrics", metrics),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    for (label, stats) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{label}: {} req in {:.2}s ({:.1} rps), p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms, {} hits, {} errors",
+            stats.requests,
+            stats.wall.as_secs_f64(),
+            stats.requests as f64 / stats.wall.as_secs_f64().max(1e-9),
+            stats.p50.as_secs_f64() * 1e3,
+            stats.p95.as_secs_f64() * 1e3,
+            stats.p99.as_secs_f64() * 1e3,
+            stats.hits,
+            stats.errors,
+        );
+    }
+    println!("wrote {}", args.out);
+
+    // The warm pass must be all hits and error-free; the cold pass may
+    // contain within-pass hits (repeat > 1) but no errors.
+    if cold.errors > 0 || warm.errors > 0 || warm.hits < warm.requests {
+        eprintln!("error: serving run failed acceptance (errors or cold warm-pass entries)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -27,6 +27,13 @@
 //! minimisation over N threads; the output is identical for every N.
 //! `--timeout-ms T` aborts the run cooperatively after T milliseconds with
 //! a clean message on stderr and a non-zero exit (stdout stays empty).
+//!
+//! Exit codes (also printed by `--help`): `0` success; `1` usage error;
+//! `2` input error (unreadable file, unknown benchmark, `.g` parse
+//! failure); `3` synthesis failure (no solution, backtrack limit,
+//! unsupported STG class); `4` aborted by `--timeout-ms` or cancellation;
+//! `5` the `--check` oracle rejected the result. `--version` prints the
+//! crate version and exits 0.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -57,13 +64,38 @@ struct Args {
     trace_json: Option<String>,
 }
 
+/// Exit codes, kept distinct so scripts can tell failure classes apart.
+/// Documented in `--help` and the README.
+mod exit {
+    /// Bad command line.
+    pub const USAGE: u8 = 1;
+    /// Unreadable input, unknown benchmark, or `.g` parse failure.
+    pub const INPUT: u8 = 2;
+    /// Synthesis failed (no solution, backtrack limit, unsupported STG).
+    pub const SYNTH: u8 = 3;
+    /// Aborted by `--timeout-ms` or cancellation.
+    pub const ABORTED: u8 = 4;
+    /// The `--check` oracle rejected the synthesised result.
+    pub const CHECK: u8 = 5;
+}
+
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
      [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog] [--exact] [--hazards] \
-     [--check] [--quiet] [--stats] [--trace-json FILE]"
+     [--check] [--quiet] [--stats] [--trace-json FILE] [--version]\n\
+     \n\
+     exit codes: 0 success; 1 usage error; 2 input error (file/parse); \
+     3 synthesis failure; 4 aborted (--timeout-ms / cancellation); 5 --check oracle rejection"
 }
 
-fn parse_args() -> Result<Args, String> {
+/// What the command line asked for: a run, or an informational exit.
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+    Version,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = Args {
         source: String::new(),
         method: Method::Modular,
@@ -119,7 +151,8 @@ fn parse_args() -> Result<Args, String> {
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json needs a file")?);
             }
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "--version" | "-V" => return Ok(Parsed::Version),
             other if args.source.is_empty() => args.source = other.to_string(),
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -127,7 +160,7 @@ fn parse_args() -> Result<Args, String> {
     if args.source.is_empty() {
         return Err(usage().to_string());
     }
-    Ok(args)
+    Ok(Parsed::Run(Box::new(args)))
 }
 
 fn load_stg(source: &str, tracer: &Tracer) -> Result<modsyn_stg::Stg, String> {
@@ -149,10 +182,18 @@ fn load_stg(source: &str, tracer: &Tracer) -> Result<modsyn_stg::Stg, String> {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Run(a)) => a,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Ok(Parsed::Version) => {
+            println!("modsyn {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::USAGE);
         }
     };
     let tracer = if args.stats || args.trace_json.is_some() {
@@ -164,7 +205,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::INPUT);
         }
     };
 
@@ -187,12 +228,12 @@ fn main() -> ExitCode {
         Err(e @ SynthesisError::Aborted { .. }) => {
             eprintln!("synthesis aborted: {e}");
             let _ = emit_observability(&args, &tracer);
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::ABORTED);
         }
         Err(e) => {
             eprintln!("synthesis failed: {e}");
             let _ = emit_observability(&args, &tracer);
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::SYNTH);
         }
     };
 
@@ -227,7 +268,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("check failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::CHECK);
             }
         }
     }

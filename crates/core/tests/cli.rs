@@ -77,8 +77,38 @@ fn without_observability_flags_stderr_stays_empty() {
 
 #[test]
 fn usage_mentions_the_observability_flags() {
+    // --help is an informational success: usage on stdout, exit 0.
     let out = modsyn(&["--help"]);
-    let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("--stats"));
-    assert!(stderr.contains("--trace-json"));
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--stats"));
+    assert!(stdout.contains("--trace-json"));
+    assert!(stdout.contains("exit codes:"), "stdout: {stdout}");
+}
+
+#[test]
+fn version_flag_prints_the_crate_version() {
+    let out = modsyn(&["--version"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.trim(),
+        format!("modsyn {}", env!("CARGO_PKG_VERSION"))
+    );
+}
+
+#[test]
+fn failure_classes_map_to_distinct_exit_codes() {
+    // 1: usage error (unknown flag), stderr explains.
+    let out = modsyn(&["benchmark:vbe-ex1", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(1));
+    // 2: input error (unknown benchmark).
+    let out = modsyn(&["benchmark:no-such-benchmark"]);
+    assert_eq!(out.status.code(), Some(2));
+    // 3: synthesis failure (lavagno rejects the non-free-choice row).
+    let out = modsyn(&["benchmark:alex-nonfc", "--method", "lavagno"]);
+    assert_eq!(out.status.code(), Some(3));
+    // 4: aborted by --timeout-ms.
+    let out = modsyn(&["benchmark:mr0", "--method", "direct", "--timeout-ms", "1"]);
+    assert_eq!(out.status.code(), Some(4));
 }

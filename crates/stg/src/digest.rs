@@ -1,0 +1,140 @@
+//! Content-addressed STG identity: FNV-1a over the canonical `.g` text.
+//!
+//! The serving layer (`modsyn-svc`) caches synthesis results by *what the
+//! STG is*, not by the bytes the client happened to send: two `.g`
+//! documents that differ only in whitespace, arc ordering inside a line,
+//! or transition-instance spelling must map to the same cache entry. The
+//! canonical form is [`crate::write_g`]'s output — `parse ∘ write` is a
+//! fixpoint (property-tested over every Table-1 benchmark plus generated
+//! STGs), so hashing the written text gives a stable, structure-derived
+//! key.
+//!
+//! The hash is 64-bit FNV-1a: tiny, dependency-free, and fast on short
+//! inputs. It is a *cache key*, not a cryptographic commitment — collision
+//! resistance against adversarial inputs is explicitly out of scope (the
+//! service double-checks nothing on a hit beyond the key).
+
+use crate::{write_g, Stg};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// ```
+/// use modsyn_stg::fnv1a64;
+/// // Published FNV-1a test vectors.
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The canonical content digest of an STG: [`fnv1a64`] over the canonical
+/// [`write_g`] rendering.
+///
+/// Equal digests ⇔ equal canonical `.g` text, so any two parse trees of
+/// the same net (regardless of source formatting) share a digest, and the
+/// digest survives a round trip through `write_g`/`parse_g` unchanged.
+///
+/// ```
+/// use modsyn_stg::{parse_g, stg_digest, write_g};
+/// # fn main() -> Result<(), modsyn_stg::StgError> {
+/// let a = parse_g(".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n")?;
+/// // Same net, different formatting: extra blank lines and spacing.
+/// let b = parse_g(".model m\n\n.inputs  a\n.outputs  b\n.graph\n\na+  b+\nb+  a-\na-  b-\nb-  a+\n.marking  { <b-,a+> }\n.end\n")?;
+/// assert_eq!(stg_digest(&a), stg_digest(&b));
+/// let round = parse_g(&write_g(&a))?;
+/// assert_eq!(stg_digest(&a), stg_digest(&round));
+/// # Ok(())
+/// # }
+/// ```
+pub fn stg_digest(stg: &Stg) -> u64 {
+    fnv1a64(write_g(stg).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, parse_g};
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference vectors from the FNV specification draft.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_is_stable_across_roundtrip() {
+        for (name, stg) in benchmarks::all() {
+            let again = parse_g(&crate::write_g(&stg)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(stg_digest(&stg), stg_digest(&again), "{name}");
+        }
+    }
+
+    /// Cache keys must not drift silently: any change to `write_g`'s
+    /// canonical rendering (or to a benchmark generator) invalidates every
+    /// persisted digest, so it has to be a *deliberate* change that updates
+    /// these pinned values in the same commit.
+    #[test]
+    fn table1_digests_are_pinned() {
+        let pinned: &[(&str, u64)] = &PINNED;
+        let all = benchmarks::all();
+        assert_eq!(all.len(), pinned.len());
+        for ((name, stg), (pin_name, pin)) in all.iter().zip(pinned) {
+            assert_eq!(name, pin_name);
+            assert_eq!(
+                stg_digest(stg),
+                *pin,
+                "{name}: canonical digest drifted (write_g or the generator changed; \
+                 if intentional, re-pin with `cargo test -p modsyn-stg digest -- --nocapture`)"
+            );
+        }
+    }
+
+    // Regenerate with the `print_digests` test below (`--ignored --nocapture`).
+    const PINNED: [(&str, u64); 23] = [
+        ("mr0", 0xa09b_8a5e_bd27_71ec),
+        ("mr1", 0x24fb_3669_fc42_3129),
+        ("mmu0", 0x5bb9_8208_4e3b_c495),
+        ("mmu1", 0x4c19_8385_4ac7_1260),
+        ("sbuf-ram-write", 0x9814_5872_6ac8_5903),
+        ("vbe4a", 0x18ed_ba0a_2d63_d9de),
+        ("nak-pa", 0xf2c0_fdde_5ac6_2258),
+        ("pe-rcv-ifc-fc", 0x3362_4f5e_8701_8ae6),
+        ("ram-read-sbuf", 0x4303_2db2_9719_b1a8),
+        ("alex-nonfc", 0xc8db_a022_8d8c_aad8),
+        ("sbuf-send-pkt2", 0xf49d_5617_10c5_47a8),
+        ("sbuf-send-ctl", 0xb1a1_aeab_d4ca_9f9c),
+        ("atod", 0xdbf4_2494_4e56_b157),
+        ("pa", 0x03c0_80e4_f3b7_d04b),
+        ("alloc-outbound", 0x7201_4095_ee3f_9f7b),
+        ("wrdata", 0x7dce_d660_b000_913c),
+        ("fifo", 0x8346_e8b5_5ddf_63e9),
+        ("sbuf-read-ctl", 0x10d9_4ad4_2c47_1310),
+        ("nouse", 0x8c2b_be7a_9ef4_c1fc),
+        ("vbe-ex2", 0x964c_087e_b2c5_f9ce),
+        ("nousc-ser", 0x2760_88ef_d620_838a),
+        ("sendr-done", 0xacbe_192c_c943_cbd4),
+        ("vbe-ex1", 0xacca_6b41_4f46_2845),
+    ];
+
+    #[test]
+    #[ignore = "helper: prints the pinned-digest table for re-pinning"]
+    fn print_digests() {
+        for (name, stg) in benchmarks::all() {
+            println!("(\"{name}\", 0x{:016x}),", stg_digest(&stg));
+        }
+    }
+}

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod benchmarks;
+mod digest;
 mod dot;
 mod dsl;
 mod error;
@@ -50,6 +51,7 @@ mod stg;
 mod validate;
 mod writer;
 
+pub use digest::{fnv1a64, stg_digest};
 pub use dot::to_dot;
 pub use dsl::{Frag, StgBuilder};
 pub use error::StgError;

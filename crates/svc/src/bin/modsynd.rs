@@ -1,0 +1,156 @@
+//! `modsynd` — the synthesis service daemon.
+//!
+//! ```text
+//! modsynd [--addr HOST:PORT] [--jobs N] [--queue N] [--max-connections N]
+//!         [--cache-entries N] [--cache-bytes N] [--timeout-ms T]
+//!         [--max-body BYTES] [--limit N] [--stats] [--trace-json FILE]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7171`), prints one
+//! `listening on http://…` line to stdout (so scripts can wait for
+//! readiness), and serves until `POST /shutdown`, then drains gracefully.
+//!
+//! Endpoints: `POST /synth?method=modular|modular-min-area|direct|lavagno
+//! [&timeout_ms=T]` with a `.g` body; `GET /metrics`; `GET /healthz`;
+//! `POST /shutdown`. Every 200 from `/synth` is certified by the
+//! independent oracle before it is written.
+//!
+//! On exit, `--stats` renders the serving trace to stderr and
+//! `--trace-json FILE` writes it as JSON, mirroring the `modsyn` CLI.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use modsyn_obs::Tracer;
+use modsyn_svc::{Server, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: modsynd [--addr HOST:PORT] [--jobs N] [--queue N] [--max-connections N] \
+     [--cache-entries N] [--cache-bytes N] [--timeout-ms T] [--max-body BYTES] \
+     [--limit N] [--stats] [--trace-json FILE]\n\
+     \n\
+     Serves POST /synth (body: .g STG; query: method, timeout_ms), GET /metrics,\n\
+     GET /healthz, POST /shutdown. Every 200 is oracle-certified."
+}
+
+struct Args {
+    config: ServerConfig,
+    stats: bool,
+    trace_json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut stats = false;
+    let mut trace_json = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--jobs" => {
+                config.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs value")?;
+                if config.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    value("--queue")?.parse().map_err(|_| "bad --queue value")?;
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "bad --max-connections value")?;
+            }
+            "--cache-entries" => {
+                config.cache.max_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|_| "bad --cache-entries value")?;
+            }
+            "--cache-bytes" => {
+                config.cache.max_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "bad --cache-bytes value")?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --timeout-ms value")?;
+                config.request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-body" => {
+                config.limits.max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|_| "bad --max-body value")?;
+            }
+            "--limit" => {
+                config.backtrack_limit =
+                    Some(value("--limit")?.parse().map_err(|_| "bad --limit value")?);
+            }
+            "--stats" => stats = true,
+            "--trace-json" => trace_json = Some(value("--trace-json")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        config,
+        stats,
+        trace_json,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tracer = if args.stats || args.trace_json.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let server = match Server::bind(args.config, tracer.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    println!("listening on http://{}", server.local_addr());
+    // Scripts wait for the line above; make sure it is not stuck in a pipe
+    // buffer while the server blocks in accept().
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let result = server.run();
+    let metrics = handle.metrics();
+    eprint!("{}", metrics.render());
+    if let Err(e) = result {
+        eprintln!("error: server failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if tracer.is_enabled() {
+        let report = tracer.report();
+        if args.stats {
+            eprint!("{}", report.render());
+        }
+        if let Some(path) = &args.trace_json {
+            if let Err(e) = std::fs::write(path, report.to_json().pretty()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,485 @@
+//! A deliberately small HTTP/1.1 subset on `std::io` streams.
+//!
+//! The service speaks one-request-per-connection HTTP/1.1 (every response
+//! carries `Connection: close`), which removes keep-alive bookkeeping from
+//! the drain path: a connection is done exactly when its handler returns.
+//! The parser is hardened rather than featureful — every malformed input
+//! maps to a *typed* [`HttpError`] with a definite status code, so the
+//! server can always answer with a 4xx instead of panicking or hanging:
+//!
+//! * head larger than [`Limits::max_head`] → 431,
+//! * declared or actual body larger than [`Limits::max_body`] → 413,
+//! * unparsable `Content-Length` → 400 (absent means an empty body, per
+//!   RFC 7230 §3.3.3 — routes that require a body answer 411 themselves),
+//! * `Transfer-Encoding` (chunked uploads) → 501,
+//! * non-HTTP/1.x version → 505,
+//! * truncated head or body (peer hung up early) → 400.
+
+use std::io::{self, Read, Write};
+
+/// Parser limits; both have conservative service-wide defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (431 beyond).
+    pub max_head: usize,
+    /// Maximum request body bytes (413 beyond).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 16 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a complete request arrived.
+    Truncated,
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// A header line has no `:` separator.
+    BadHeader,
+    /// The version is not `HTTP/1.0` or `HTTP/1.1`.
+    UnsupportedVersion,
+    /// Request line + headers exceed [`Limits::max_head`].
+    HeadTooLarge(usize),
+    /// Declared or received body exceeds [`Limits::max_body`].
+    BodyTooLarge(usize),
+    /// A body-carrying method without `Content-Length`.
+    LengthRequired,
+    /// `Content-Length` is not a decimal number.
+    BadContentLength,
+    /// `Transfer-Encoding` is present (chunked bodies are unsupported).
+    UnsupportedTransferEncoding,
+    /// The socket itself failed (timeout, reset); no response is owed.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status line this error earns, or `None` when the socket is dead
+    /// and writing a response is pointless.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Truncated => Some((400, "Bad Request")),
+            HttpError::BadRequestLine => Some((400, "Bad Request")),
+            HttpError::BadHeader => Some((400, "Bad Request")),
+            HttpError::UnsupportedVersion => Some((505, "HTTP Version Not Supported")),
+            HttpError::HeadTooLarge(_) => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge(_) => Some((413, "Content Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::BadContentLength => Some((400, "Bad Request")),
+            HttpError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
+            // A read timeout is a slow client; it is owed a 408 if the
+            // socket will still take one. Other socket failures are not
+            // answerable at all.
+            HttpError::Io(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Some((408, "Request Timeout"))
+            }
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// A short machine-readable tag for error bodies and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HttpError::Truncated => "truncated",
+            HttpError::BadRequestLine => "bad-request-line",
+            HttpError::BadHeader => "bad-header",
+            HttpError::UnsupportedVersion => "unsupported-version",
+            HttpError::HeadTooLarge(_) => "head-too-large",
+            HttpError::BodyTooLarge(_) => "body-too-large",
+            HttpError::LengthRequired => "length-required",
+            HttpError::BadContentLength => "bad-content-length",
+            HttpError::UnsupportedTransferEncoding => "unsupported-transfer-encoding",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header line"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            HttpError::HeadTooLarge(n) => write!(f, "request head exceeds {n} bytes"),
+            HttpError::BodyTooLarge(n) => write!(f, "request body exceeds {n} bytes"),
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::BadContentLength => write!(f, "unparsable Content-Length"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported")
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request: method, split target, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names and trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Splits `a=1&b=2` into pairs, percent-decoding `%xx` and `+`.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads one request from `stream` under `limits`.
+///
+/// # Errors
+///
+/// A typed [`HttpError`]; callers map it to a status via
+/// [`HttpError::status`].
+pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, HttpError> {
+    let head = read_head(stream, limits.max_head)?;
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split("\r\n");
+
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequestLine);
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion);
+    }
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    let (path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    let query = parse_query(raw_query);
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+
+    // Per RFC 7230 §3.3.3 a request without Content-Length (and without
+    // Transfer-Encoding) has an empty body — `curl -X POST` sends exactly
+    // that. Routes that *need* a body answer 411 themselves.
+    let content_length = headers.iter().find(|(k, _)| k == "content-length");
+    let body = match content_length {
+        None => Vec::new(),
+        Some((_, v)) => {
+            let n: usize = v.parse().map_err(|_| HttpError::BadContentLength)?;
+            if n > limits.max_body {
+                return Err(HttpError::BodyTooLarge(limits.max_body));
+            }
+            let mut body = vec![0u8; n];
+            read_exact_or_truncated(stream, &mut body)?;
+            body
+        }
+    };
+
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads until the `\r\n\r\n` head terminator, capped at `max_head` bytes.
+fn read_head(stream: &mut impl Read, max_head: usize) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > max_head {
+                    return Err(HttpError::HeadTooLarge(max_head));
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return Ok(head);
+                }
+                // Be liberal: accept bare-LF line endings too.
+                if head.ends_with(b"\n\n") {
+                    head.truncate(head.len() - 2);
+                    let mut normalised = Vec::with_capacity(head.len());
+                    for &b in &head {
+                        if b == b'\n' && normalised.last() != Some(&b'\r') {
+                            normalised.extend_from_slice(b"\r\n");
+                        } else {
+                            normalised.push(b);
+                        }
+                    }
+                    return Ok(normalised);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+fn read_exact_or_truncated(stream: &mut impl Read, buf: &mut [u8]) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Extra headers (`Content-Length`, `Connection` are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`/`reason`.
+    pub fn new(status: u16, reason: &'static str) -> Response {
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        let mut r = Response::new(status, reason);
+        r.headers
+            .push(("Content-Type".into(), "text/plain; charset=utf-8".into()));
+        r.body = body.into().into_bytes();
+        r
+    }
+
+    /// An `application/json` response from pre-rendered bytes.
+    pub fn json_bytes(status: u16, reason: &'static str, body: Vec<u8>) -> Response {
+        let mut r = Response::new(status, reason);
+        r.headers
+            .push(("Content-Type".into(), "application/json".into()));
+        r.body = body;
+        r
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialises the response (adding `Content-Length` and
+    /// `Connection: close`) onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `write` failure.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_query_and_body() {
+        let req = parse(
+            b"POST /synth?method=modular&x=a%20b HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/synth");
+        assert_eq!(req.query_param("method"), Some("modular"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn accepts_bare_lf_heads() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: h\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_inputs() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::BadRequestLine)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        ));
+        // No Content-Length means an empty body, not an error (RFC 7230).
+        assert!(parse(b"POST /x HTTP/1.1\r\n\r\n").unwrap().body.is_empty());
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated)
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nBadHeader\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let small = Limits {
+            max_head: 32,
+            max_body: 4,
+        };
+        let mut big_head =
+            io::Cursor::new(b"GET /aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa HTTP/1.1\r\n\r\n".to_vec());
+        assert!(matches!(
+            read_request(&mut big_head, &small),
+            Err(HttpError::HeadTooLarge(32))
+        ));
+        let body_only = Limits {
+            max_head: 1024,
+            max_body: 4,
+        };
+        let mut big_body =
+            io::Cursor::new(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec());
+        assert!(matches!(
+            read_request(&mut big_body, &body_only),
+            Err(HttpError::BodyTooLarge(4))
+        ));
+    }
+
+    #[test]
+    fn response_carries_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "OK", "hi")
+            .with_header("X-Test", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Service counters and gauges, exposed on `GET /metrics`.
+//!
+//! The atomics here are the source of truth for the scrape endpoint (a
+//! gauge needs a *current* value, which the append-only `modsyn-obs` event
+//! log does not model); every counter increment is mirrored into the
+//! server's [`modsyn_obs::Tracer`] as well, so a `--trace-json` capture of
+//! a serving session shows the same story as `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use modsyn_obs::Tracer;
+
+/// All service metrics. Field order is the `/metrics` render order.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted off the listener (any endpoint).
+    pub requests: AtomicU64,
+    /// `/synth` requests answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// `/synth` requests that had to synthesise.
+    pub cache_misses: AtomicU64,
+    /// Cache entries evicted to make room.
+    pub cache_evictions: AtomicU64,
+    /// `/synth` requests refused with 503 by admission control.
+    pub shed: AtomicU64,
+    /// Synthesis runs cancelled by the per-request deadline.
+    pub aborted: AtomicU64,
+    /// Responses certified by the oracle (every 200 from `/synth`).
+    pub certified: AtomicU64,
+    /// Malformed requests answered with a typed 4xx/5xx.
+    pub http_errors: AtomicU64,
+    /// Synthesis failures (unsolvable/unsupported STGs, 422s).
+    pub synth_failures: AtomicU64,
+    /// Oracle rejections of our own output (500s; always a bug).
+    pub check_failures: AtomicU64,
+    /// Handler panics contained by the connection guard.
+    pub panics: AtomicU64,
+    /// Gauge: admitted `/synth` jobs waiting for a pool worker.
+    pub queue_depth: AtomicU64,
+    /// Gauge: `/synth` jobs currently executing on the pool.
+    pub in_flight: AtomicU64,
+    /// Gauge: open connections being handled.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter and mirrors it into `tracer`.
+    pub fn count(&self, counter: &AtomicU64, tracer: &Tracer, name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        tracer.counter(name, 1);
+    }
+
+    /// Renders the Prometheus-style text exposition (`name value` lines;
+    /// no type metadata, which scrapers treat as untyped).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in [
+            ("modsynd_requests_total", &self.requests),
+            ("modsynd_cache_hits_total", &self.cache_hits),
+            ("modsynd_cache_misses_total", &self.cache_misses),
+            ("modsynd_cache_evictions_total", &self.cache_evictions),
+            ("modsynd_shed_total", &self.shed),
+            ("modsynd_aborted_total", &self.aborted),
+            ("modsynd_certified_total", &self.certified),
+            ("modsynd_http_errors_total", &self.http_errors),
+            ("modsynd_synth_failures_total", &self.synth_failures),
+            ("modsynd_check_failures_total", &self.check_failures),
+            ("modsynd_panics_total", &self.panics),
+            ("modsynd_queue_depth", &self.queue_depth),
+            ("modsynd_in_flight", &self.in_flight),
+            ("modsynd_connections", &self.connections),
+        ] {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reads one metric back out of a rendered exposition (used by tests
+    /// and the loadgen report).
+    pub fn parse_line(rendered: &str, name: &str) -> Option<u64> {
+        rendered.lines().find_map(|line| {
+            let (n, v) = line.split_once(' ')?;
+            (n == name).then(|| v.parse().ok())?
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let m = Metrics::default();
+        m.requests.store(7, Ordering::Relaxed);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        let text = m.render();
+        assert_eq!(
+            Metrics::parse_line(&text, "modsynd_requests_total"),
+            Some(7)
+        );
+        assert_eq!(Metrics::parse_line(&text, "modsynd_queue_depth"), Some(3));
+        assert_eq!(
+            Metrics::parse_line(&text, "modsynd_cache_hits_total"),
+            Some(0)
+        );
+        assert_eq!(Metrics::parse_line(&text, "no_such_metric"), None);
+    }
+
+    #[test]
+    fn count_mirrors_into_tracer() {
+        let tracer = Tracer::enabled();
+        let m = Metrics::default();
+        m.count(&m.shed, &tracer, "shed");
+        m.count(&m.shed, &tracer, "shed");
+        assert_eq!(m.shed.load(Ordering::Relaxed), 2);
+        assert_eq!(tracer.report().total_counter("shed"), 2);
+    }
+}

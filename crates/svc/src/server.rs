@@ -1,0 +1,666 @@
+//! The synthesis server: accept loop, routing, admission control, drain.
+//!
+//! ## Request lifecycle (`POST /synth`)
+//!
+//! 1. The accept loop hands the connection to a handler thread (bounded by
+//!    [`ServerConfig::max_connections`]; beyond it the listener answers
+//!    503 inline without spawning).
+//! 2. The handler parses the request ([`crate::http`]) — every malformed
+//!    input is a typed 4xx/5xx, and a handler panic is contained by a
+//!    `catch_unwind` guard, so nothing a client sends can take down the
+//!    accept loop.
+//! 3. The body is parsed as a `.g` STG and hashed
+//!    ([`modsyn_stg::stg_digest`] ⊕ method) into the response cache. A hit
+//!    returns the previously certified body verbatim (`X-Modsyn-Cache:
+//!    hit`) without touching the pool.
+//! 4. A miss passes **admission control**: at most
+//!    [`ServerConfig::queue_capacity`] jobs may be admitted-but-unstarted;
+//!    beyond that the request is shed with `503` + `Retry-After` instead
+//!    of queueing unboundedly.
+//! 5. Admitted jobs run on the shared [`WorkerPool`] under a
+//!    [`CancelToken`] deadline — the smaller of the server-wide
+//!    [`ServerConfig::request_timeout`] and the client's `timeout_ms`
+//!    query parameter. A deadline that fires surfaces as `504`.
+//! 6. Every successful synthesis is certified against the independent
+//!    `modsyn-check` oracle (consistency, CSC, speed independence,
+//!    observation equivalence to the specification) *before* the 200 is
+//!    written; an oracle rejection is a 500 and a `check_failures` metric
+//!    — the service never serves an uncertified circuit.
+//!
+//! Response bodies are deterministic (no timestamps or timing fields), so
+//! identical requests produce byte-identical bodies whether computed or
+//! cached; per-run timing travels in the `X-Modsyn-Cpu-Us` header only.
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::shutdown`] (wired to `POST /shutdown`) stops the accept
+//! loop, then [`Server::run`] waits for open connections and admitted jobs
+//! to finish before returning — SIGTERM-style semantics without signal
+//! handlers, which `std` does not expose.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use modsyn::{certify_report, Method, SynthesisError, SynthesisOptions};
+use modsyn_obs::{Json, Tracer};
+use modsyn_par::{CancelToken, WorkerPool};
+use modsyn_stg::{parse_g, stg_digest, Stg};
+
+use crate::cache::{cache_key, CacheConfig, ShardedLru};
+use crate::http::{read_request, Limits, Request, Response};
+use crate::metrics::Metrics;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Synthesis pool workers.
+    pub jobs: usize,
+    /// Admitted-but-unstarted job bound; beyond it `/synth` sheds with 503.
+    pub queue_capacity: usize,
+    /// Open-connection bound; beyond it the listener answers 503 inline.
+    pub max_connections: usize,
+    /// Response cache bounds.
+    pub cache: CacheConfig,
+    /// Server-wide deadline for one synthesis run (`None` = unlimited).
+    /// The client's `timeout_ms` query parameter can only shorten it.
+    pub request_timeout: Option<Duration>,
+    /// Socket read/write timeout (slowloris guard).
+    pub io_timeout: Duration,
+    /// How long [`Server::run`] waits for in-flight work on drain.
+    pub drain_timeout: Duration,
+    /// HTTP parser limits (head/body caps).
+    pub limits: Limits,
+    /// SAT backtrack limit forwarded to the solver (`None` = crate
+    /// default). The Table-1 `direct` rows need a finite limit to fail
+    /// fast instead of spinning for hours.
+    pub backtrack_limit: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: modsyn_par::available_jobs(),
+            queue_capacity: 64,
+            max_connections: 256,
+            cache: CacheConfig::default(),
+            request_timeout: Some(Duration::from_secs(60)),
+            io_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+            backtrack_limit: None,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    pool: WorkerPool,
+    cache: ShardedLru<Arc<Vec<u8>>>,
+    metrics: Arc<Metrics>,
+    tracer: Tracer,
+    shutting_down: AtomicBool,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] consumes it.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Initiates a graceful drain: stop accepting, finish what's running.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
+            return; // already draining
+        }
+        self.shared.tracer.note("shutdown", "requested");
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `config.addr` and builds the pool, cache and metrics.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind(config: ServerConfig, tracer: Tracer) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = WorkerPool::with_tracer(config.jobs, tracer.clone());
+        let cache = ShardedLru::new(&config.cache);
+        let shared = Arc::new(Shared {
+            config,
+            pool,
+            cache,
+            metrics: Arc::new(Metrics::default()),
+            tracer,
+            shutting_down: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control valid for the server's whole life.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`] (or `POST
+    /// /shutdown`), then drains: waits for open connections and admitted
+    /// jobs, bounded by [`ServerConfig::drain_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures only; per-connection errors are handled.
+    pub fn run(self) -> std::io::Result<()> {
+        let _span = self.shared.tracer.span("serve");
+        let addr = self.addr;
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept errors (EMFILE, ECONNABORTED) must not
+                // kill the loop.
+                Err(_) => continue,
+            };
+            self.shared.metrics.count(
+                &self.shared.metrics.requests,
+                &self.shared.tracer,
+                "requests",
+            );
+
+            let open = self
+                .shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::AcqRel);
+            let guard = ConnectionGuard {
+                metrics: Arc::clone(&self.shared.metrics),
+            };
+            if open as usize >= self.shared.config.max_connections {
+                // Over the connection bound: shed inline, never spawn.
+                self.shared
+                    .metrics
+                    .count(&self.shared.metrics.shed, &self.shared.tracer, "shed");
+                Self::try_write(&stream, &shed_response(), &self.shared.config);
+                drop(guard);
+                continue;
+            }
+
+            let shared = Arc::clone(&self.shared);
+            let spawned = std::thread::Builder::new()
+                .name("modsynd-conn".to_string())
+                .spawn(move || {
+                    let shared = shared; // owns guard + shared for the whole connection
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(&shared, addr, &stream);
+                    }));
+                    if result.is_err() {
+                        shared.metrics.count(
+                            &shared.metrics.panics,
+                            &shared.tracer,
+                            "handler_panics",
+                        );
+                        Self::try_write(
+                            &stream,
+                            &error_response(
+                                500,
+                                "Internal Server Error",
+                                "panic",
+                                "handler panicked",
+                            ),
+                            &shared.config,
+                        );
+                    }
+                    drop(guard);
+                });
+            if spawned.is_err() {
+                // Thread spawn failed (resource exhaustion): shed.
+                self.shared
+                    .metrics
+                    .count(&self.shared.metrics.shed, &self.shared.tracer, "shed");
+                // The guard moved into the failed closure was dropped with it.
+            }
+        }
+
+        // Drain: connections first (each may still admit a job), then jobs.
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        let m = &self.shared.metrics;
+        while Instant::now() < deadline {
+            let busy = m.connections.load(Ordering::Acquire)
+                + m.queue_depth.load(Ordering::Acquire)
+                + m.in_flight.load(Ordering::Acquire);
+            if busy == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.tracer.note("shutdown", "drained");
+        Ok(())
+    }
+
+    fn try_write(stream: &TcpStream, response: &Response, config: &ServerConfig) {
+        let _ = stream.set_write_timeout(Some(config.io_timeout));
+        let mut stream = stream;
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+/// Decrements the open-connection gauge even if the handler panics.
+struct ConnectionGuard {
+    metrics: Arc<Metrics>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.metrics.connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn shed_response() -> Response {
+    error_response(
+        503,
+        "Service Unavailable",
+        "overloaded",
+        "admission queue is full",
+    )
+    .with_header("Retry-After", "1")
+}
+
+fn error_response(status: u16, reason: &'static str, tag: &str, detail: &str) -> Response {
+    let body = Json::obj([("error", Json::from(tag)), ("detail", Json::from(detail))]);
+    let mut rendered = String::new();
+    body.write(&mut rendered);
+    Response::json_bytes(status, reason, rendered.into_bytes())
+}
+
+fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let mut reader = stream;
+    let request = match read_request(&mut reader, &shared.config.limits) {
+        Ok(r) => r,
+        Err(e) => {
+            shared
+                .metrics
+                .count(&shared.metrics.http_errors, &shared.tracer, "http_errors");
+            if let Some((status, reason)) = e.status() {
+                let response = error_response(status, reason, e.tag(), &e.to_string());
+                Server::try_write(stream, &response, &shared.config);
+            }
+            return;
+        }
+    };
+    let response = route(shared, addr, &request);
+    Server::try_write(stream, &response, &shared.config);
+}
+
+fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                Response::text(503, "Service Unavailable", "draining\n")
+            } else {
+                Response::text(200, "OK", "ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            // The cache tracks its own evictions; sync before rendering.
+            shared
+                .metrics
+                .cache_evictions
+                .store(shared.cache.evictions(), Ordering::Relaxed);
+            Response::text(200, "OK", shared.metrics.render())
+        }
+        ("POST", "/shutdown") => {
+            ServerHandle {
+                addr,
+                shared: Arc::clone(shared),
+            }
+            .shutdown();
+            Response::text(202, "Accepted", "draining\n")
+        }
+        ("POST", "/synth") => synth(shared, request),
+        (_, "/synth") | (_, "/shutdown") => {
+            http_error_counted(shared);
+            error_response(405, "Method Not Allowed", "method-not-allowed", "use POST")
+                .with_header("Allow", "POST")
+        }
+        (_, "/healthz") | (_, "/metrics") => {
+            http_error_counted(shared);
+            error_response(405, "Method Not Allowed", "method-not-allowed", "use GET")
+                .with_header("Allow", "GET")
+        }
+        _ => {
+            http_error_counted(shared);
+            error_response(404, "Not Found", "not-found", "unknown path")
+        }
+    }
+}
+
+fn http_error_counted(shared: &Shared) {
+    shared
+        .metrics
+        .count(&shared.metrics.http_errors, &shared.tracer, "http_errors");
+}
+
+fn parse_method(name: &str) -> Option<Method> {
+    match name {
+        "modular" => Some(Method::Modular),
+        "modular-min-area" => Some(Method::ModularMinArea),
+        "direct" => Some(Method::Direct),
+        "lavagno" => Some(Method::Lavagno),
+        _ => None,
+    }
+}
+
+fn method_tag(method: Method) -> u8 {
+    match method {
+        Method::Modular => 0,
+        Method::ModularMinArea => 1,
+        Method::Direct => 2,
+        Method::Lavagno => 3,
+    }
+}
+
+fn synth(shared: &Shared, request: &Request) -> Response {
+    // A synthesis request needs a .g body; a POST without Content-Length
+    // parses as an empty one (RFC 7230), so point at the actual mistake.
+    if request.header("content-length").is_none() {
+        http_error_counted(shared);
+        return error_response(
+            411,
+            "Length Required",
+            "length-required",
+            "POST /synth needs a Content-Length and a .g body",
+        );
+    }
+    let method = match request.query_param("method") {
+        None => Method::Modular,
+        Some(name) => match parse_method(name) {
+            Some(m) => m,
+            None => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "unknown-method",
+                    "method must be modular|modular-min-area|direct|lavagno",
+                );
+            }
+        },
+    };
+    let client_timeout = match request.query_param("timeout_ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "bad-timeout",
+                    "timeout_ms must be an integer",
+                );
+            }
+        },
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => {
+            http_error_counted(shared);
+            return error_response(400, "Bad Request", "not-utf8", "body must be UTF-8 .g text");
+        }
+    };
+    let stg = match parse_g(text) {
+        Ok(s) => s,
+        Err(e) => {
+            http_error_counted(shared);
+            return error_response(400, "Bad Request", "parse", &e.to_string());
+        }
+    };
+
+    let digest = stg_digest(&stg);
+    let key = cache_key(digest, method_tag(method));
+    let digest_hex = format!("{digest:016x}");
+
+    if let Some(body) = shared.cache.get(key) {
+        shared
+            .metrics
+            .count(&shared.metrics.cache_hits, &shared.tracer, "cache_hits");
+        return Response::json_bytes(200, "OK", body.as_ref().clone())
+            .with_header("X-Modsyn-Cache", "hit")
+            .with_header("X-Modsyn-Digest", digest_hex);
+    }
+    shared
+        .metrics
+        .count(&shared.metrics.cache_misses, &shared.tracer, "cache_misses");
+
+    // Admission control: bound the admitted-but-unstarted queue.
+    let capacity = shared.config.queue_capacity as u64;
+    let admitted =
+        shared
+            .metrics
+            .queue_depth
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |depth| {
+                (depth < capacity).then_some(depth + 1)
+            });
+    if admitted.is_err() {
+        shared
+            .metrics
+            .count(&shared.metrics.shed, &shared.tracer, "shed");
+        return shed_response();
+    }
+
+    // Deadline: the tighter of the server-wide and the client's budget.
+    let timeout = match (shared.config.request_timeout, client_timeout) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let cancel = timeout.map_or_else(CancelToken::never, CancelToken::with_deadline);
+
+    let mut options = SynthesisOptions::for_method(method);
+    options.cancel = cancel;
+    options.jobs = 1; // the pool provides cross-request parallelism
+    if let Some(limit) = shared.config.backtrack_limit {
+        options.solver.max_backtracks = Some(limit);
+    }
+
+    let metrics = Arc::clone(&shared.metrics);
+    let started = Instant::now();
+    let handle = shared
+        .pool
+        .submit(&format!("synth:{}", stg.name()), move || {
+            metrics.queue_depth.fetch_sub(1, Ordering::AcqRel);
+            metrics.in_flight.fetch_add(1, Ordering::AcqRel);
+            let _guard = InFlightGuard { metrics: &metrics };
+            run_synthesis(&stg, &options)
+        });
+
+    match handle.join() {
+        Err(panic) => {
+            shared
+                .metrics
+                .count(&shared.metrics.panics, &shared.tracer, "synth_panics");
+            error_response(500, "Internal Server Error", "panic", &panic.message)
+        }
+        Ok(SynthOutcome::Aborted(e)) => {
+            shared
+                .metrics
+                .count(&shared.metrics.aborted, &shared.tracer, "aborted");
+            error_response(504, "Gateway Timeout", "aborted", &e)
+        }
+        Ok(SynthOutcome::Failed(e)) => {
+            shared.metrics.count(
+                &shared.metrics.synth_failures,
+                &shared.tracer,
+                "synth_failures",
+            );
+            error_response(
+                422,
+                "Unprocessable Entity",
+                synth_error_tag(&e),
+                &e.to_string(),
+            )
+        }
+        Ok(SynthOutcome::CheckFailed(detail)) => {
+            shared.metrics.count(
+                &shared.metrics.check_failures,
+                &shared.tracer,
+                "check_failures",
+            );
+            error_response(500, "Internal Server Error", "check-failed", &detail)
+        }
+        Ok(SynthOutcome::Certified { body }) => {
+            shared
+                .metrics
+                .count(&shared.metrics.certified, &shared.tracer, "certified");
+            let bytes = body.len();
+            shared.cache.insert(key, Arc::new(body.clone()), bytes);
+            Response::json_bytes(200, "OK", body)
+                .with_header("X-Modsyn-Cache", "miss")
+                .with_header("X-Modsyn-Digest", digest_hex)
+                .with_header("X-Modsyn-Cpu-Us", started.elapsed().as_micros().to_string())
+        }
+    }
+}
+
+struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+enum SynthOutcome {
+    /// Synthesised *and* oracle-certified; the rendered response body.
+    Certified { body: Vec<u8> },
+    /// The per-request deadline fired.
+    Aborted(String),
+    /// The STG is unsolvable/unsupported under this method (client's problem).
+    Failed(SynthesisError),
+    /// The oracle rejected our own output (our bug; never served as a 200).
+    CheckFailed(String),
+}
+
+fn synth_error_tag(e: &SynthesisError) -> &'static str {
+    match e {
+        SynthesisError::Sg(_) => "state-graph",
+        SynthesisError::BacktrackLimit { .. } => "backtrack-limit",
+        SynthesisError::NoSolution { .. } => "no-solution",
+        SynthesisError::NotFreeChoice => "not-free-choice",
+        SynthesisError::StateSplittingRequired => "state-splitting-required",
+        SynthesisError::CscUnresolved { .. } => "csc-unresolved",
+        SynthesisError::Aborted { .. } => "aborted",
+        _ => "synthesis-failed",
+    }
+}
+
+fn run_synthesis(stg: &Stg, options: &SynthesisOptions) -> SynthOutcome {
+    let report = match modsyn::synthesize(stg, options) {
+        Ok(r) => r,
+        Err(e @ SynthesisError::Aborted { .. }) => return SynthOutcome::Aborted(e.to_string()),
+        Err(e) => return SynthOutcome::Failed(e),
+    };
+    // Re-derive the unsolved specification graph so the oracle can check
+    // observation equivalence, not just the solved graph's own properties.
+    let spec = match modsyn_sg::derive(stg, &options.derive) {
+        Ok(s) => s,
+        Err(e) => return SynthOutcome::CheckFailed(format!("specification rederivation: {e}")),
+    };
+    if let Err(e) = certify_report(Some(&spec), &report) {
+        return SynthOutcome::CheckFailed(e.to_string());
+    }
+    SynthOutcome::Certified {
+        body: render_report(&report),
+    }
+}
+
+/// Renders the deterministic response body: no timing, no cache status —
+/// identical requests yield byte-identical bodies, computed or cached.
+fn render_report(report: &modsyn::SynthesisReport) -> Vec<u8> {
+    let functions = Json::Arr(
+        report
+            .functions
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("name", Json::from(f.name.as_str())),
+                    ("sop", Json::from(f.sop.to_string())),
+                    ("literals", Json::from(f.literals)),
+                ])
+            })
+            .collect(),
+    );
+    let inserted = Json::Arr(
+        report
+            .inserted
+            .iter()
+            .map(|s| Json::from(s.as_str()))
+            .collect(),
+    );
+    let body = Json::obj([
+        ("benchmark", Json::from(report.benchmark.as_str())),
+        ("method", Json::from(report.method.to_string())),
+        ("certified", Json::from(true)),
+        ("initial_states", Json::from(report.initial_states)),
+        ("initial_signals", Json::from(report.initial_signals)),
+        ("final_states", Json::from(report.final_states)),
+        ("final_signals", Json::from(report.final_signals)),
+        ("literals", Json::from(report.literals)),
+        ("inserted", inserted),
+        ("functions", functions),
+    ]);
+    let mut out = String::new();
+    body.write(&mut out);
+    out.push('\n');
+    out.into_bytes()
+}

@@ -1,0 +1,346 @@
+//! Integration tests for the synthesis service (`modsyn-svc`): caching,
+//! admission control, protocol hardening and graceful drain, all against
+//! a real listener on a loopback port.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use modsyn_obs::Tracer;
+use modsyn_svc::client::{self, ClientResponse};
+use modsyn_svc::{CacheConfig, Limits, Server, ServerConfig, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn start(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config, Tracer::disabled()).expect("bind loopback");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (handle, thread)
+}
+
+fn stop(handle: &ServerHandle, thread: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    thread.join().expect("server thread").expect("server run");
+}
+
+fn benchmark_g(name: &str) -> String {
+    modsyn_stg::write_g(&modsyn_stg::benchmarks::by_name(name).expect("known benchmark"))
+}
+
+fn post_synth(handle: &ServerHandle, body: &str) -> ClientResponse {
+    client::request(
+        handle.addr(),
+        "POST",
+        "/synth?method=modular",
+        body.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("synth request")
+}
+
+fn metric(handle: &ServerHandle, name: &str) -> u64 {
+    let response =
+        client::request(handle.addr(), "GET", "/metrics", b"", TIMEOUT).expect("metrics request");
+    modsyn_svc::Metrics::parse_line(&response.text(), name)
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{}", response.text()))
+}
+
+/// Sends raw bytes and reads whatever comes back (empty if the server
+/// just closed the connection).
+fn raw_roundtrip(handle: &ServerHandle, bytes: &[u8], close_write: bool) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    stream.write_all(bytes).expect("write");
+    if close_write {
+        stream.shutdown(Shutdown::Write).expect("half-close");
+    }
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn responses_are_certified_cached_and_byte_identical() {
+    let (handle, thread) = start(ServerConfig {
+        jobs: 4,
+        ..ServerConfig::default()
+    });
+    let g = benchmark_g("vbe-ex1");
+
+    let first = post_synth(&handle, &g);
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.header("x-modsyn-cache"), Some("miss"));
+    assert!(first.text().contains("\"certified\":true"));
+    assert!(first.header("x-modsyn-digest").is_some());
+
+    let second = post_synth(&handle, &g);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-modsyn-cache"), Some("hit"));
+    assert_eq!(
+        second.body, first.body,
+        "cached body must be byte-identical"
+    );
+
+    // A cosmetically different rendering of the same STG (extra blank
+    // line) must hash to the same canonical digest and hit.
+    let reformatted = format!("\n{g}");
+    let third = post_synth(&handle, &reformatted);
+    assert_eq!(third.status, 200);
+    assert_eq!(third.header("x-modsyn-cache"), Some("hit"));
+    assert_eq!(third.body, first.body);
+
+    assert_eq!(metric(&handle, "modsynd_cache_hits_total"), 2);
+    assert_eq!(metric(&handle, "modsynd_cache_misses_total"), 1);
+    assert_eq!(metric(&handle, "modsynd_certified_total"), 1);
+    stop(&handle, thread);
+}
+
+#[test]
+fn concurrent_stress_with_eviction_churn_stays_consistent() {
+    // A deliberately tiny cache (2 entries in one shard) under three
+    // distinct STGs: constant eviction churn, recomputation and races.
+    let (handle, thread) = start(ServerConfig {
+        jobs: 4,
+        cache: CacheConfig {
+            shards: 1,
+            max_entries: 2,
+            max_bytes: 1 << 20,
+        },
+        ..ServerConfig::default()
+    });
+    let names = ["vbe-ex1", "sendr-done", "nouse"];
+    let bodies: Vec<String> = names.iter().map(|n| benchmark_g(n)).collect();
+
+    let mut per_benchmark: Vec<Vec<Vec<u8>>> = vec![Vec::new(); names.len()];
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for worker in 0..8 {
+            let bodies = &bodies;
+            let handle = &handle;
+            workers.push(scope.spawn(move || {
+                let mut got: Vec<(usize, Vec<u8>)> = Vec::new();
+                for round in 0..6 {
+                    let which = (worker + round) % bodies.len();
+                    let response = post_synth(handle, &bodies[which]);
+                    assert_eq!(response.status, 200, "{}", response.text());
+                    got.push((which, response.body));
+                }
+                got
+            }));
+        }
+        for worker in workers {
+            for (which, body) in worker.join().expect("stress worker") {
+                per_benchmark[which].push(body);
+            }
+        }
+    });
+
+    // Byte-identical responses for identical requests, hit or miss.
+    for (which, bodies) in per_benchmark.iter().enumerate() {
+        assert!(!bodies.is_empty());
+        for body in bodies {
+            assert_eq!(
+                body, &bodies[0],
+                "{}: response bytes diverged",
+                names[which]
+            );
+        }
+    }
+    // Three working-set entries through a 2-entry cache must evict.
+    assert!(metric(&handle, "modsynd_cache_evictions_total") > 0);
+    let hits = metric(&handle, "modsynd_cache_hits_total");
+    let misses = metric(&handle, "modsynd_cache_misses_total");
+    assert_eq!(hits + misses, 48, "every request is a hit or a miss");
+    assert!(misses > 0);
+    stop(&handle, thread);
+}
+
+#[test]
+fn cache_capacity_bounds_hold_under_concurrent_insertions() {
+    use modsyn_svc::{cache_key, ShardedLru};
+    use std::sync::Arc;
+
+    let cache: ShardedLru<Arc<Vec<u8>>> = ShardedLru::new(&CacheConfig {
+        shards: 4,
+        max_entries: 16,
+        max_bytes: 4096,
+    });
+    std::thread::scope(|scope| {
+        for worker in 0..8u64 {
+            let cache = &cache;
+            scope.spawn(move || {
+                for i in 0..500u64 {
+                    let key = cache_key((worker * 10_007 + i).wrapping_mul(0x9e37_79b9), 0);
+                    cache.insert(key, Arc::new(vec![0u8; 16]), 16);
+                    cache.get(key);
+                }
+            });
+        }
+    });
+    assert!(cache.len() <= cache.shard_count() * cache.entry_budget());
+    assert!(cache.bytes() <= 4096);
+    assert!(cache.evictions() > 0);
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_accept_loop_survives() {
+    let (handle, thread) = start(ServerConfig {
+        limits: Limits {
+            max_head: 16 * 1024,
+            max_body: 2048,
+        },
+        ..ServerConfig::default()
+    });
+
+    // Bad method on a known path → 405 with Allow.
+    let got = raw_roundtrip(&handle, b"BREW /synth HTTP/1.1\r\nHost: t\r\n\r\n", false);
+    assert!(got.starts_with("HTTP/1.1 405"), "{got}");
+    assert!(got.contains("Allow: POST"), "{got}");
+
+    // Garbage request line → 400.
+    let got = raw_roundtrip(&handle, b"complete garbage\r\n\r\n", false);
+    assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+
+    // Unsupported version → 505.
+    let got = raw_roundtrip(&handle, b"GET /healthz HTTP/3\r\n\r\n", false);
+    assert!(got.starts_with("HTTP/1.1 505"), "{got}");
+
+    // Oversized body (declared > max_body) → 413.
+    let got = raw_roundtrip(
+        &handle,
+        b"POST /synth HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+        false,
+    );
+    assert!(got.starts_with("HTTP/1.1 413"), "{got}");
+
+    // POST without Content-Length → 411.
+    let got = raw_roundtrip(&handle, b"POST /synth HTTP/1.1\r\nHost: t\r\n\r\n", false);
+    assert!(got.starts_with("HTTP/1.1 411"), "{got}");
+
+    // Truncated request (peer gives up mid-body) → 400.
+    let got = raw_roundtrip(
+        &handle,
+        b"POST /synth HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        true,
+    );
+    assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+
+    // Invalid .g payload → 400 with the parser's message.
+    let response = post_synth(&handle, ".model broken\n.graph\nnot a transition\n.end\n");
+    assert_eq!(response.status, 400, "{}", response.text());
+    assert!(
+        response.text().contains("\"error\":\"parse\""),
+        "{}",
+        response.text()
+    );
+
+    // Unknown method value → 400.
+    let response = client::request(
+        handle.addr(),
+        "POST",
+        "/synth?method=quantum",
+        benchmark_g("vbe-ex1").as_bytes(),
+        TIMEOUT,
+    )
+    .expect("request");
+    assert_eq!(response.status, 400);
+
+    // Unknown path → 404.
+    let response = client::request(handle.addr(), "GET", "/nope", b"", TIMEOUT).expect("request");
+    assert_eq!(response.status, 404);
+
+    // All of the above must have left the accept loop serving.
+    assert!(metric(&handle, "modsynd_http_errors_total") >= 9);
+    let ok = post_synth(&handle, &benchmark_g("vbe-ex1"));
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    assert!(ok.text().contains("\"certified\":true"));
+    stop(&handle, thread);
+}
+
+#[test]
+fn saturated_admission_queue_sheds_with_503() {
+    // queue_capacity 0: every cache miss is shed before touching the pool.
+    let (handle, thread) = start(ServerConfig {
+        jobs: 1,
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let response = post_synth(&handle, &benchmark_g("vbe-ex1"));
+    assert_eq!(response.status, 503, "{}", response.text());
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert!(response.text().contains("\"error\":\"overloaded\""));
+    assert_eq!(metric(&handle, "modsynd_shed_total"), 1);
+    // Sheds must not poison the gauges.
+    assert_eq!(metric(&handle, "modsynd_queue_depth"), 0);
+    assert_eq!(metric(&handle, "modsynd_in_flight"), 0);
+    stop(&handle, thread);
+}
+
+#[test]
+fn deadline_expiry_surfaces_as_504_and_counts_aborted() {
+    let (handle, thread) = start(ServerConfig {
+        jobs: 2,
+        ..ServerConfig::default()
+    });
+    // mr0 takes ~1s to synthesise; a 1ms budget must abort cooperatively.
+    let response = client::request(
+        handle.addr(),
+        "POST",
+        "/synth?method=modular&timeout_ms=1",
+        benchmark_g("mr0").as_bytes(),
+        TIMEOUT,
+    )
+    .expect("request");
+    assert_eq!(response.status, 504, "{}", response.text());
+    assert!(response.text().contains("\"error\":\"aborted\""));
+    assert_eq!(metric(&handle, "modsynd_aborted_total"), 1);
+    // The failure is not cached: a retry without the deadline succeeds.
+    let retry = post_synth(&handle, &benchmark_g("mr0"));
+    assert_eq!(retry.status, 200, "{}", retry.text());
+    assert_eq!(retry.header("x-modsyn-cache"), Some("miss"));
+    stop(&handle, thread);
+}
+
+#[test]
+fn unsolvable_inputs_are_422_not_500() {
+    let (handle, thread) = start(ServerConfig::default());
+    // alex-nonfc is not free-choice: the lavagno baseline rejects it with
+    // a typed synthesis error, which the service maps to a 422.
+    let response = client::request(
+        handle.addr(),
+        "POST",
+        "/synth?method=lavagno",
+        benchmark_g("alex-nonfc").as_bytes(),
+        TIMEOUT,
+    )
+    .expect("request");
+    assert_eq!(response.status, 422, "{}", response.text());
+    assert!(
+        response.text().contains("\"error\":\"not-free-choice\""),
+        "{}",
+        response.text()
+    );
+    assert_eq!(metric(&handle, "modsynd_synth_failures_total"), 1);
+    stop(&handle, thread);
+}
+
+#[test]
+fn shutdown_endpoint_drains_gracefully() {
+    let (handle, thread) = start(ServerConfig::default());
+    // Healthy while serving…
+    let health = client::request(handle.addr(), "GET", "/healthz", b"", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+
+    let response =
+        client::request(handle.addr(), "POST", "/shutdown", b"", TIMEOUT).expect("shutdown");
+    assert_eq!(response.status, 202);
+    // run() must return (drain), not hang: join with the test's own clock.
+    thread.join().expect("server thread").expect("server run");
+    // Gauges drained to zero.
+    assert_eq!(handle.metrics().connections.load(Ordering::Acquire), 0);
+    assert_eq!(handle.metrics().in_flight.load(Ordering::Acquire), 0);
+}
