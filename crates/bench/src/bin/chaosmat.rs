@@ -1,0 +1,498 @@
+//! `chaosmat` — chaos certification across the synthesis stack.
+//!
+//! ```text
+//! chaosmat [--small] [--seed N] [--jobs N] [--out FILE]
+//! ```
+//!
+//! Runs the Table-1 suite (all 23 rows, or the small subset with
+//! `--small`) through a matrix of seeded fault plans and asserts the
+//! stack's robustness invariants, certifying every successful result
+//! against the independent `modsyn-check` oracle:
+//!
+//! * **pipeline** — for each fault plan (`sat.abort` bursts, conflict
+//!   storms), the supervised retry ladder must still produce a certified
+//!   result on every row, and that result must be byte-identical to the
+//!   fault-free baseline; once the plan's fault budget is disabled
+//!   ("faults clear"), a plain re-run must succeed too.
+//! * **pool** — every row synthesised as jobs on a `WorkerPool` armed
+//!   with worker-panic faults must, after supervised resubmission,
+//!   produce results byte-identical to the serial baseline, and the pool
+//!   must stay usable throughout.
+//! * **serving** — a `modsynd` server armed with svc I/O faults (accept
+//!   drops, torn reads/writes, slow peers), cache eviction storms and SAT
+//!   aborts must, against the backoff client, eventually serve every row
+//!   a certified `200` byte-identical to a clean server's response.
+//!
+//! Every injection decision derives from `--seed`, so a failing run
+//! reproduces exactly. The summary is written to `BENCH_chaos.json`
+//! (or `--out FILE`); any invariant violation exits non-zero.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use modsyn::{synthesize, synthesize_with_retry, RetryPolicy, SynthesisOptions, SynthesisReport};
+use modsyn_bench::{small_rows, PaperRow, PAPER_TABLE1, TABLE1_BACKTRACK_LIMIT};
+use modsyn_fault::{fnv1a64, FaultPlan, Faults};
+use modsyn_obs::{Json, Tracer};
+use modsyn_par::WorkerPool;
+use modsyn_sat::SolverOptions;
+use modsyn_stg::{benchmarks, write_g, Stg};
+use modsyn_svc::{client, Metrics, Server, ServerConfig};
+
+struct Args {
+    small: bool,
+    seed: u64,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        small: false,
+        seed: 0x000c_4a05,
+        jobs: 4,
+        out: "BENCH_chaos.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--small" => args.small = true,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed value")?,
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs value")?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: chaosmat [--small] [--seed N] [--jobs N] [--out FILE]".into())
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// A canonical byte-comparable rendering of a synthesis result: every
+/// field the oracle certifies, none of the timing noise. Two runs agree
+/// iff their fingerprints are identical strings.
+fn fingerprint(r: &SynthesisReport) -> String {
+    let mut s = format!(
+        "{}|{}|{}|{}|{}|{}",
+        r.benchmark,
+        r.method,
+        r.final_states,
+        r.final_signals,
+        r.literals,
+        r.inserted.join(",")
+    );
+    for f in &r.functions {
+        s.push_str(&format!("|{}={}", f.name, f.sop));
+    }
+    s
+}
+
+/// Certifies `report` against the independent oracle, including
+/// observation equivalence to the re-derived specification graph.
+fn certify(stg: &Stg, report: &SynthesisReport) -> Result<(), String> {
+    let spec =
+        modsyn_sg::derive(stg, &modsyn_sg::DeriveOptions::default()).map_err(|e| e.to_string())?;
+    modsyn::certify_report(Some(&spec), report).map_err(|e| e.to_string())
+}
+
+fn table1_options(faults: Faults) -> SynthesisOptions {
+    SynthesisOptions {
+        solver: SolverOptions {
+            max_backtracks: Some(TABLE1_BACKTRACK_LIMIT),
+            ..SolverOptions::default()
+        },
+        faults,
+        ..SynthesisOptions::default()
+    }
+}
+
+struct Violations(Vec<String>);
+
+impl Violations {
+    fn check(&mut self, ok: bool, context: &str) {
+        if !ok {
+            eprintln!("VIOLATION: {context}");
+            self.0.push(context.to_string());
+        }
+    }
+}
+
+/// The pipeline-leg fault plans: name → rule spec. Budgets are finite so
+/// every plan's faults eventually clear within the retry ladder.
+const PIPELINE_PLANS: [(&str, &str); 2] = [
+    ("sat-abort", "sat.abort*2"),
+    ("sat-storm", "sat.conflict-storm*3"),
+];
+
+/// The serving-leg chaos plan: svc I/O tears, a slow peer, cache eviction
+/// storms and SAT aborts, all budgeted so the service converges.
+const SERVING_PLAN: &str = "svc.accept*2@1/2,svc.read-torn*2@1/2,svc.write-torn*2@1/2,\
+svc.slow-peer*2~25,cache.evict-storm*3@1/2,sat.abort*3@1/2";
+
+fn pipeline_leg(
+    rows: &[PaperRow],
+    baselines: &[(String, Stg, String)],
+    seed: u64,
+    violations: &mut Violations,
+) -> Json {
+    let mut plans_json = Vec::new();
+    for (plan_name, spec) in PIPELINE_PLANS {
+        let mut injected = 0u64;
+        let mut escalated_rows = 0usize;
+        for (row, (name, stg, baseline)) in rows.iter().zip(baselines) {
+            assert_eq!(row.name, name.as_str());
+            let plan = FaultPlan::parse(plan_name, spec, seed ^ fnv1a64(name.as_bytes()))
+                .expect("static plan spec parses");
+            let faults = plan.arm();
+            let options = table1_options(faults.clone());
+            match synthesize_with_retry(stg, &options, &RetryPolicy::default()) {
+                Ok(out) => {
+                    if !out.attempts.is_empty() {
+                        escalated_rows += 1;
+                    }
+                    violations.check(
+                        certify(stg, &out.report).is_ok(),
+                        &format!("{plan_name}/{name}: ladder result failed certification"),
+                    );
+                    violations.check(
+                        fingerprint(&out.report) == *baseline,
+                        &format!("{plan_name}/{name}: ladder result differs from baseline"),
+                    );
+                }
+                Err(e) => violations.check(
+                    false,
+                    &format!("{plan_name}/{name}: ladder exhausted or failed: {e}"),
+                ),
+            }
+            injected += faults.total_injected();
+            // Faults clear: with the plan disabled a plain run must
+            // succeed and certify, no ladder needed.
+            faults.set_enabled(false);
+            match synthesize(stg, &table1_options(faults.clone())) {
+                Ok(report) => violations.check(
+                    certify(stg, &report).is_ok() && fingerprint(&report) == *baseline,
+                    &format!("{plan_name}/{name}: post-clear run differs or fails certification"),
+                ),
+                Err(e) => {
+                    violations.check(false, &format!("{plan_name}/{name}: post-clear run: {e}"));
+                }
+            }
+        }
+        eprintln!(
+            "chaosmat: pipeline plan {plan_name}: {} rows, {injected} faults injected, \
+             {escalated_rows} rows escalated",
+            rows.len()
+        );
+        plans_json.push(Json::obj([
+            ("plan", Json::from(plan_name)),
+            ("spec", Json::from(spec)),
+            ("rows", Json::from(rows.len())),
+            ("injected_faults", Json::from(injected)),
+            ("escalated_rows", Json::from(escalated_rows)),
+        ]));
+    }
+    Json::Arr(plans_json)
+}
+
+fn pool_leg(
+    baselines: &[(String, Stg, String)],
+    seed: u64,
+    jobs: usize,
+    violations: &mut Violations,
+) -> Json {
+    let plan = FaultPlan::parse("pool-panic", "pool.enqueue*2,pool.run*2,pool.drain*1", seed)
+        .expect("static plan spec parses");
+    let faults = plan.arm();
+    let pool = WorkerPool::with_tracer_and_faults(jobs, Tracer::disabled(), faults.clone());
+    let mut resubmissions = 0u64;
+    for (name, stg, baseline) in baselines {
+        let mut tries = 0;
+        let result = loop {
+            tries += 1;
+            let stg = stg.clone();
+            let options = table1_options(Faults::none());
+            let handle = pool.submit(&format!("chaos:{name}"), move || {
+                synthesize(&stg, &options).map(|r| fingerprint(&r))
+            });
+            match handle.join() {
+                Ok(r) => break Some(r),
+                // Contained worker panic or vanished job: resubmit, the
+                // supervision the pool's consumers owe their callers.
+                Err(_) if tries < 10 => {
+                    resubmissions += 1;
+                    continue;
+                }
+                Err(_) => break None,
+            }
+        };
+        match result {
+            Some(Ok(fp)) => violations.check(
+                fp == *baseline,
+                &format!("pool/{name}: jobs={jobs} result differs from serial baseline"),
+            ),
+            Some(Err(e)) => violations.check(false, &format!("pool/{name}: synthesis failed: {e}")),
+            None => violations.check(false, &format!("pool/{name}: job kept vanishing")),
+        }
+    }
+    // The pool must still be usable after every injected panic.
+    let alive = pool.submit("chaos:probe", || 21 * 2).join();
+    violations.check(
+        alive == Ok(42),
+        "pool: not usable after injected worker panics",
+    );
+    eprintln!(
+        "chaosmat: pool leg: {} rows on {jobs} workers, {} faults injected, {} resubmissions",
+        baselines.len(),
+        faults.total_injected(),
+        resubmissions,
+    );
+    Json::obj([
+        ("jobs", Json::from(jobs)),
+        ("rows", Json::from(baselines.len())),
+        ("injected_faults", Json::from(faults.total_injected())),
+        ("resubmissions", Json::from(resubmissions)),
+    ])
+}
+
+fn start_server(config: ServerConfig) -> std::io::Result<(SocketAddr, impl FnOnce())> {
+    let server = Server::bind(config, Tracer::disabled())?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    Ok((addr, move || {
+        handle.shutdown();
+        let _ = thread.join();
+    }))
+}
+
+fn serving_leg(
+    baselines: &[(String, Stg, String)],
+    seed: u64,
+    jobs: usize,
+    violations: &mut Violations,
+) -> Json {
+    let timeout = Duration::from_secs(120);
+    let server_config = |faults: Faults| ServerConfig {
+        jobs,
+        queue_capacity: baselines.len().max(64),
+        backtrack_limit: Some(TABLE1_BACKTRACK_LIMIT),
+        faults,
+        ..ServerConfig::default()
+    };
+
+    // Clean pass: the reference bodies every chaos response must match.
+    let (addr, stop) = match start_server(server_config(Faults::none())) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.check(false, &format!("serving: cannot bind clean server: {e}"));
+            return Json::Null;
+        }
+    };
+    let mut reference = Vec::with_capacity(baselines.len());
+    for (name, stg, _) in baselines {
+        let body = write_g(stg);
+        match client::request(
+            addr,
+            "POST",
+            "/synth?method=modular",
+            body.as_bytes(),
+            timeout,
+        ) {
+            Ok(r) if r.status == 200 && r.text().contains("\"certified\":true") => {
+                reference.push(r.body);
+            }
+            Ok(r) => {
+                violations.check(
+                    false,
+                    &format!("serving/{name}: clean server: {}", r.status),
+                );
+                reference.push(Vec::new());
+            }
+            Err(e) => {
+                violations.check(false, &format!("serving/{name}: clean server: {e}"));
+                reference.push(Vec::new());
+            }
+        }
+    }
+    stop();
+
+    // Chaos pass: armed server, backoff client, eventual byte-identical
+    // certified 200s.
+    let plan = FaultPlan::parse("svc-io", SERVING_PLAN, seed).expect("static plan spec parses");
+    let faults = plan.arm();
+    let (addr, stop) = match start_server(server_config(faults.clone())) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.check(false, &format!("serving: cannot bind chaos server: {e}"));
+            return Json::Null;
+        }
+    };
+    let mut rounds_total = 0u64;
+    for ((name, stg, _), expected) in baselines.iter().zip(&reference) {
+        let body = write_g(stg);
+        let policy = client::BackoffPolicy {
+            seed: seed ^ fnv1a64(name.as_bytes()),
+            ..client::BackoffPolicy::default()
+        };
+        let mut response = None;
+        for _round in 0..8 {
+            rounds_total += 1;
+            match client::request_with_backoff(
+                addr,
+                "POST",
+                "/synth?method=modular",
+                body.as_bytes(),
+                timeout,
+                &policy,
+            ) {
+                Ok(r) if r.status == 200 => {
+                    response = Some(r);
+                    break;
+                }
+                // 5xx (shed, breaker, injected abort) or a torn/dropped
+                // connection: the fault budget is finite, go again.
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        match response {
+            Some(r) => {
+                violations.check(
+                    r.text().contains("\"certified\":true"),
+                    &format!("serving/{name}: chaos 200 is not certified"),
+                );
+                violations.check(
+                    r.body == *expected,
+                    &format!("serving/{name}: chaos body differs from clean body"),
+                );
+            }
+            None => violations.check(
+                false,
+                &format!("serving/{name}: no 200 after faults cleared"),
+            ),
+        }
+    }
+    let metrics_text = client::request(addr, "GET", "/metrics", b"", timeout)
+        .map(|r| r.text())
+        .unwrap_or_default();
+    let injected_metric =
+        Metrics::parse_line(&metrics_text, "modsynd_injected_faults_total").unwrap_or(0);
+    stop();
+    violations.check(
+        faults.total_injected() > 0,
+        "serving: chaos plan never injected a fault",
+    );
+    eprintln!(
+        "chaosmat: serving leg: {} rows, {} faults injected ({} visible in /metrics), \
+         {rounds_total} client rounds",
+        baselines.len(),
+        faults.total_injected(),
+        injected_metric,
+    );
+    Json::obj([
+        ("rows", Json::from(baselines.len())),
+        ("plan", Json::from(SERVING_PLAN)),
+        ("injected_faults", Json::from(faults.total_injected())),
+        ("injected_faults_metric", Json::from(injected_metric)),
+        ("client_rounds", Json::from(rounds_total)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows: Vec<PaperRow> = if args.small {
+        small_rows()
+    } else {
+        PAPER_TABLE1.to_vec()
+    };
+    let mut violations = Violations(Vec::new());
+
+    // Fault-free serial baselines: the reference fingerprints, themselves
+    // oracle-certified.
+    eprintln!(
+        "chaosmat: {} rows, seed {}, jobs {}",
+        rows.len(),
+        args.seed,
+        args.jobs
+    );
+    let mut baselines = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let stg = benchmarks::by_name(row.name).expect("known benchmark");
+        match synthesize(&stg, &table1_options(Faults::none())) {
+            Ok(report) => {
+                violations.check(
+                    certify(&stg, &report).is_ok(),
+                    &format!("baseline/{}: failed certification", row.name),
+                );
+                let fp = fingerprint(&report);
+                baselines.push((row.name.to_string(), stg, fp));
+            }
+            Err(e) => {
+                violations.check(false, &format!("baseline/{}: {e}", row.name));
+                baselines.push((row.name.to_string(), stg, String::new()));
+            }
+        }
+    }
+
+    let pipeline = pipeline_leg(&rows, &baselines, args.seed, &mut violations);
+    let pool = pool_leg(&baselines, args.seed, args.jobs, &mut violations);
+    let serving = serving_leg(&baselines, args.seed, args.jobs, &mut violations);
+
+    let doc = Json::obj([
+        ("version", Json::from(1u64)),
+        (
+            "config",
+            Json::obj([
+                ("rows", Json::from(rows.len())),
+                ("small", Json::from(args.small)),
+                ("seed", Json::from(args.seed)),
+                ("jobs", Json::from(args.jobs)),
+                ("backtrack_limit", Json::from(TABLE1_BACKTRACK_LIMIT)),
+            ]),
+        ),
+        ("pipeline", pipeline),
+        ("pool", pool),
+        ("serving", serving),
+        (
+            "violations",
+            Json::Arr(
+                violations
+                    .0
+                    .iter()
+                    .map(|v| Json::from(v.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("passed", Json::from(violations.0.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    if violations.0.is_empty() {
+        println!(
+            "chaosmat: PASS — {} rows certified under every fault plan",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaosmat: FAIL — {} violations", violations.0.len());
+        for v in &violations.0 {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -154,6 +154,13 @@ fn pass_json(stats: &PassStats) -> Json {
 }
 
 /// Runs one pass: `work` items fanned over `concurrency` threads.
+///
+/// Each request runs under [`client::request_with_backoff`], so transient
+/// connect failures, torn responses and `Retry-After`-bearing 503s (load
+/// shed, open breaker) are retried with bounded jittered backoff instead
+/// of being counted as errors — the generator measures the service, not
+/// the luck of its own connections. The jitter seed varies per work item
+/// so retries do not synchronise into waves.
 fn run_pass(
     addr: SocketAddr,
     work: &[(String, String)], // (name, .g body)
@@ -168,13 +175,18 @@ fn run_pass(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((_, body)) = work.get(i) else { break };
+                let policy = client::BackoffPolicy {
+                    seed: client::BackoffPolicy::default().seed ^ i as u64,
+                    ..client::BackoffPolicy::default()
+                };
                 let sent = Instant::now();
-                let sample = match client::request(
+                let sample = match client::request_with_backoff(
                     addr,
                     "POST",
                     "/synth?method=modular",
                     body.as_bytes(),
                     timeout,
+                    &policy,
                 ) {
                     Ok(response) => Sample {
                         latency: sent.elapsed(),

@@ -22,6 +22,13 @@
 //! writes the same trace as JSON. Neither touches stdout, so piping `--pla`
 //! or `--verilog` output stays clean.
 //!
+//! Supervision: `--retry` wraps the run in the deterministic escalation
+//! ladder — on a backtrack-limit or timeout abort, the limit doubles (up
+//! to a cap), then the SAT portfolio races, then the modular flow falls
+//! back to lavagno. Exit code 4 always prints the attempt trace (method,
+//! backtrack limit, elapsed per rung) on stderr, so aborted runs are
+//! diagnosable without `--trace-json`.
+//!
 //! Parallelism: `--jobs N` (default: the machine's available parallelism)
 //! fans the modular candidate derivation and the per-signal logic
 //! minimisation over N threads; the output is identical for every N.
@@ -40,8 +47,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use modsyn::{
-    closed_loop_check, hazard_report, remove_static_hazards, synthesize_traced, Circuit, Method,
-    MinimizeMode, SynthesisError, SynthesisOptions,
+    closed_loop_check, hazard_report, remove_static_hazards, synthesize_traced,
+    synthesize_with_retry_traced, Attempt, Circuit, Method, MinimizeMode, RetryPolicy,
+    SynthesisError, SynthesisOptions,
 };
 use modsyn_obs::Tracer;
 use modsyn_par::{available_jobs, CancelToken};
@@ -62,6 +70,7 @@ struct Args {
     quiet: bool,
     stats: bool,
     trace_json: Option<String>,
+    retry: bool,
 }
 
 /// Exit codes, kept distinct so scripts can tell failure classes apart.
@@ -81,11 +90,15 @@ mod exit {
 
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
-     [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog] [--exact] [--hazards] \
-     [--check] [--quiet] [--stats] [--trace-json FILE] [--version]\n\
+     [--limit N] [--jobs N] [--timeout-ms T] [--retry] [--pla] [--dot] [--verilog] [--exact] \
+     [--hazards] [--check] [--quiet] [--stats] [--trace-json FILE] [--version]\n\
+     \n\
+     --retry climbs the supervised escalation ladder on capacity failures: \
+     double the backtrack limit, race the SAT portfolio, fall back to lavagno.\n\
      \n\
      exit codes: 0 success; 1 usage error; 2 input error (file/parse); \
-     3 synthesis failure; 4 aborted (--timeout-ms / cancellation); 5 --check oracle rejection"
+     3 synthesis failure; 4 aborted (--timeout-ms / cancellation / ladder exhausted); \
+     5 --check oracle rejection"
 }
 
 /// What the command line asked for: a run, or an informational exit.
@@ -111,6 +124,7 @@ fn parse_args() -> Result<Parsed, String> {
         quiet: false,
         stats: false,
         trace_json: None,
+        retry: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -148,6 +162,7 @@ fn parse_args() -> Result<Parsed, String> {
             "--check" => args.check = true,
             "--quiet" => args.quiet = true,
             "--stats" => args.stats = true,
+            "--retry" => args.retry = true,
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json needs a file")?);
             }
@@ -223,10 +238,44 @@ fn main() -> ExitCode {
             ..SolverOptions::default()
         };
     }
-    let report = match synthesize_traced(&stg, &options, &tracer) {
+    let result = if args.retry {
+        synthesize_with_retry_traced(&stg, &options, &RetryPolicy::default(), &tracer).map(|out| {
+            if !out.attempts.is_empty() && !args.quiet {
+                eprintln!(
+                    "retry: succeeded after {} failed attempt(s):",
+                    out.attempts.len()
+                );
+                eprint_attempts(&out.attempts);
+            }
+            out.report
+        })
+    } else {
+        synthesize_traced(&stg, &options, &tracer)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e @ SynthesisError::Aborted { .. }) => {
             eprintln!("synthesis aborted: {e}");
+            // Exit code 4 always carries a diagnosable attempt trace, even
+            // for single-attempt runs without --trace-json.
+            if let SynthesisError::Aborted { elapsed } = &e {
+                eprint_attempts(&[Attempt {
+                    method: options.method,
+                    backtrack_limit: options.solver.max_backtracks,
+                    portfolio: options.portfolio,
+                    elapsed: *elapsed,
+                    error: e.clone(),
+                }]);
+            }
+            let _ = emit_observability(&args, &tracer);
+            return ExitCode::from(exit::ABORTED);
+        }
+        Err(SynthesisError::Exhausted { attempts }) => {
+            eprintln!(
+                "synthesis aborted: retry ladder exhausted after {} attempt(s)",
+                attempts.len()
+            );
+            eprint_attempts(&attempts);
             let _ = emit_observability(&args, &tracer);
             return ExitCode::from(exit::ABORTED);
         }
@@ -312,6 +361,14 @@ fn main() -> ExitCode {
         );
     }
     emit_observability(&args, &tracer)
+}
+
+/// Prints the retry-ladder attempt trace (method, backtrack limit,
+/// elapsed, failure) to stderr, one indented line per attempt.
+fn eprint_attempts(attempts: &[Attempt]) {
+    for (i, attempt) in attempts.iter().enumerate() {
+        eprintln!("  attempt {}: {attempt}", i + 1);
+    }
 }
 
 /// Renders the trace after the run: `--stats` to stderr (stdout carries the

@@ -39,6 +39,13 @@ pub enum SynthesisError {
         /// Seconds spent before the cancellation was observed.
         elapsed: f64,
     },
+    /// Every rung of the supervised retry ladder failed retryably
+    /// (capacity, not correctness). Carries the full attempt trace so the
+    /// escalation history is diagnosable from the error alone.
+    Exhausted {
+        /// The failed attempts, in escalation order.
+        attempts: Vec<crate::retry::Attempt>,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -71,6 +78,17 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::Aborted { elapsed } => {
                 write!(f, "aborted by cancellation after {elapsed:.1}s")
+            }
+            SynthesisError::Exhausted { attempts } => {
+                write!(
+                    f,
+                    "retry ladder exhausted after {} attempts",
+                    attempts.len()
+                )?;
+                if let Some(last) = attempts.last() {
+                    write!(f, "; last: {last}")?;
+                }
+                Ok(())
             }
         }
     }

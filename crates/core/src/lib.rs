@@ -44,6 +44,7 @@ mod lavagno;
 mod logic_fn;
 mod modular;
 mod netlist;
+mod retry;
 mod solve;
 mod synth;
 
@@ -67,6 +68,10 @@ pub use modular::{
     ModularOutcome, ModuleReport,
 };
 pub use netlist::to_verilog;
+pub use retry::{
+    escalation_ladder, synthesize_with_retry, synthesize_with_retry_traced, Attempt, RetryOutcome,
+    RetryPolicy,
+};
 pub use solve::{
     solve_csc, solve_csc_scoped, solve_csc_scoped_traced, CscSolution, CscSolveOptions,
     FormulaStat, ResolveScope,

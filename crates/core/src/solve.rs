@@ -2,9 +2,12 @@
 
 use std::time::Instant;
 
+use modsyn_fault::Faults;
 use modsyn_obs::Tracer;
 use modsyn_par::CancelToken;
-use modsyn_sat::{Outcome, Solver, SolverOptions, SolverStats};
+use modsyn_sat::{
+    solve_portfolio_traced, standard_portfolio, Outcome, Solver, SolverOptions, SolverStats,
+};
 use modsyn_sg::{StateGraph, StateSignalAssignment};
 
 use crate::encode::encode_csc_partial;
@@ -45,6 +48,18 @@ pub struct CscSolveOptions {
     /// inside the SAT search. Inert by default; compares by identity, so
     /// two default options values are still equal.
     pub cancel: CancelToken,
+    /// Fault-injection handle threaded into the single-solver SAT path
+    /// (the `sat.*` sites). Inert by default; compares by identity, like
+    /// `cancel`. Deliberately *not* threaded into portfolio members — see
+    /// [`CscSolveOptions::portfolio`].
+    pub faults: Faults,
+    /// Race the [`standard_portfolio`] over each formula instead of one
+    /// tuned solver. Verdict-deterministic but trace-nondeterministic
+    /// (which member wins depends on scheduling), and immune to `sat.*`
+    /// fault plans by design: injecting into racing members would make the
+    /// *verdict* depend on thread scheduling, and the retry ladder relies
+    /// on this rung escaping single-solver faults.
+    pub portfolio: bool,
 }
 
 impl Default for CscSolveOptions {
@@ -55,6 +70,8 @@ impl Default for CscSolveOptions {
             name_prefix: "csc",
             min_area: false,
             cancel: CancelToken::never(),
+            faults: Faults::none(),
+            portfolio: false,
         }
     }
 }
@@ -285,15 +302,32 @@ pub fn solve_csc_scoped_traced(
                 }
             }
         }
-        let mut solver =
-            Solver::new(&encoding.formula, options.solver).with_cancel(options.cancel.clone());
-        let outcome = solver.solve_traced(tracer);
+        let (outcome, stats) = if options.portfolio {
+            let result = solve_portfolio_traced(
+                &encoding.formula,
+                &standard_portfolio(options.solver),
+                &options.cancel,
+                tracer,
+            );
+            let stats = result
+                .winner
+                .map(|i| result.runs[i].stats)
+                .unwrap_or_default();
+            (result.outcome, stats)
+        } else {
+            let mut solver = Solver::new(&encoding.formula, options.solver)
+                .with_cancel(options.cancel.clone())
+                .with_faults(options.faults.clone());
+            let outcome = solver.solve_traced(tracer);
+            let stats = solver.stats();
+            (outcome, stats)
+        };
         formulas.push(FormulaStat {
             state_signals: m,
             clauses: encoding.formula.clause_count(),
             variables: encoding.formula.num_vars(),
             satisfiable: outcome.is_sat(),
-            solver: solver.stats(),
+            solver: stats,
         });
         drop(attempt);
         match outcome {

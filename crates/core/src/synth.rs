@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use modsyn_fault::Faults;
 use modsyn_obs::Tracer;
 use modsyn_par::CancelToken;
 use modsyn_sat::SolverOptions;
@@ -65,6 +66,14 @@ pub struct SynthesisOptions {
     /// `--timeout-ms`). Surfaces as [`SynthesisError::Aborted`]. Inert by
     /// default.
     pub cancel: CancelToken,
+    /// Fault-injection handle threaded into the SAT stage (the `sat.*`
+    /// sites). Inert by default.
+    pub faults: Faults,
+    /// Race the standard SAT portfolio over each CSC formula instead of
+    /// one tuned solver — the retry ladder's escape hatch from
+    /// single-solver faults and pathological heuristic choices. See
+    /// [`crate::CscSolveOptions::portfolio`].
+    pub portfolio: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -77,6 +86,8 @@ impl Default for SynthesisOptions {
             minimize: MinimizeMode::Heuristic,
             jobs: 1,
             cancel: CancelToken::never(),
+            faults: Faults::none(),
+            portfolio: false,
         }
     }
 }
@@ -172,6 +183,8 @@ pub fn synthesize_traced(
                 name_prefix: "csc",
                 min_area: options.method == Method::ModularMinArea,
                 cancel: options.cancel.clone(),
+                faults: options.faults.clone(),
+                portfolio: options.portfolio,
             };
             let out = modular_resolve_jobs_traced(&initial, &solve, options.jobs, tracer)?;
             (out.graph, out.inserted, out.formulas, out.modules)
@@ -183,6 +196,8 @@ pub fn synthesize_traced(
                 name_prefix: "csc",
                 min_area: false,
                 cancel: options.cancel.clone(),
+                faults: options.faults.clone(),
+                portfolio: options.portfolio,
             };
             let out = direct_resolve_traced(&initial, &solve, tracer)?;
             (out.graph, out.inserted, out.formulas, Vec::new())

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 
+use modsyn_fault::{site, FaultHook, Faults};
 use modsyn_obs::Tracer;
 
 /// The number of workers to use when the caller does not care: the
@@ -50,6 +51,7 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     tracer: Tracer,
+    faults: Faults,
 }
 
 impl Shared {
@@ -93,8 +95,11 @@ impl<T> JobHandle<T> {
 /// * **Observability** — built [`WorkerPool::with_tracer`], each worker
 ///   runs under a `worker:<i>` span, each job under a `job:<label>` span on
 ///   that worker's thread, the queue depth is sampled as a `queue_depth`
-///   gauge on every submit, and contained panics count into a `panics`
-///   counter.
+///   gauge on every submit and every pop (so it returns to zero when the
+///   queue drains), and contained panics count into a `panics` counter.
+/// * **Fault injection** — built [`WorkerPool::with_tracer_and_faults`],
+///   the pool probes the `pool.*` sites per job; injections are mirrored
+///   into an `injected_faults` counter.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<thread::JoinHandle<()>>,
@@ -116,11 +121,24 @@ impl WorkerPool {
 
     /// A pool with `jobs` workers recording into `tracer`.
     pub fn with_tracer(jobs: usize, tracer: Tracer) -> WorkerPool {
+        WorkerPool::with_tracer_and_faults(jobs, tracer, Faults::none())
+    }
+
+    /// A pool with `jobs` workers, a tracer, and an armed fault plan. The
+    /// pool probes four sites per job — `pool.stall` (worker sleeps the
+    /// rule's delay before the job), `pool.enqueue` (panic as the worker
+    /// picks the job up, before the caller's closure runs), `pool.run`
+    /// (panic after the closure ran, discarding its result) and
+    /// `pool.drain` (the result channel is dropped before the send) — all
+    /// inside the pool's normal panic containment, so an injection
+    /// surfaces as `Err(JobPanic)` on that job's handle and nowhere else.
+    pub fn with_tracer_and_faults(jobs: usize, tracer: Tracer, faults: Faults) -> WorkerPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tracer,
+            faults,
         });
         let workers = (0..jobs.max(1))
             .map(|index| {
@@ -148,13 +166,37 @@ impl WorkerPool {
     {
         let (tx, rx) = mpsc::channel();
         let tracer = self.shared.tracer.clone();
+        let faults = self.shared.faults.clone();
         let label = label.to_string();
         let job: Job = Box::new(move || {
             let span = tracer.span(&format!("job:{label}"));
-            let result = catch_unwind(AssertUnwindSafe(f)).map_err(JobPanic::from_payload);
+            if let Some(delay) = faults.stall(site::POOL_STALL) {
+                tracer.counter("injected_faults", 1);
+                thread::sleep(delay);
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if faults.fire(site::POOL_ENQUEUE) {
+                    tracer.counter("injected_faults", 1);
+                    panic!("injected fault: {}", site::POOL_ENQUEUE);
+                }
+                let value = f();
+                if faults.fire(site::POOL_RUN) {
+                    tracer.counter("injected_faults", 1);
+                    panic!("injected fault: {}", site::POOL_RUN);
+                }
+                value
+            }))
+            .map_err(JobPanic::from_payload);
             drop(span);
             if result.is_err() {
                 tracer.counter("panics", 1);
+            }
+            if faults.fire(site::POOL_DRAIN) {
+                // Drop the sender without sending: the handle observes a
+                // vanished job ("dropped before completion").
+                tracer.counter("injected_faults", 1);
+                drop(tx);
+                return;
             }
             // The handle may have been dropped; the result is then unwanted.
             let _ = tx.send(result);
@@ -189,6 +231,9 @@ fn worker_loop(shared: &Shared, index: usize) {
             let mut queue = shared.lock_queue();
             loop {
                 if let Some(job) = queue.pop_front() {
+                    // Sample the post-pop depth so the gauge demonstrably
+                    // returns to zero once the queue drains.
+                    shared.tracer.gauge("queue_depth", queue.len() as f64);
                     break Some(job);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -299,5 +344,73 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn injected_enqueue_panic_prevents_the_job_from_running() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::POOL_ENQUEUE).times(1))
+            .arm();
+        let pool = WorkerPool::with_tracer_and_faults(1, Tracer::disabled(), faults);
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let err = pool
+            .submit("boom", move || flag.store(true, Ordering::SeqCst))
+            .join()
+            .unwrap_err();
+        assert!(err.message.contains("pool.enqueue"), "{err}");
+        assert!(
+            !ran.load(Ordering::SeqCst),
+            "enqueue faults pre-empt the job"
+        );
+        // Budget spent: the pool works again.
+        assert_eq!(pool.submit("ok", || 5).join().unwrap(), 5);
+    }
+
+    #[test]
+    fn injected_run_panic_discards_the_result_after_the_job_ran() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::POOL_RUN).times(1))
+            .arm();
+        let pool = WorkerPool::with_tracer_and_faults(1, Tracer::disabled(), faults);
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let err = pool
+            .submit("boom", move || flag.store(true, Ordering::SeqCst))
+            .join()
+            .unwrap_err();
+        assert!(err.message.contains("pool.run"), "{err}");
+        assert!(ran.load(Ordering::SeqCst), "run faults fire after the job");
+    }
+
+    #[test]
+    fn injected_drain_fault_surfaces_as_a_dropped_job() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::POOL_DRAIN).times(1))
+            .arm();
+        let pool = WorkerPool::with_tracer_and_faults(1, Tracer::disabled(), faults);
+        let err = pool.submit("gone", || 1).join().unwrap_err();
+        assert!(err.message.contains("dropped before completion"), "{err}");
+        assert_eq!(pool.submit("ok", || 2).join().unwrap(), 2);
+    }
+
+    #[test]
+    fn injected_stall_delays_but_completes_the_job() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        use std::time::{Duration, Instant};
+        let faults = FaultPlan::new("t", 1)
+            .rule(
+                FaultRule::at(site::POOL_STALL)
+                    .times(1)
+                    .delay(Duration::from_millis(30)),
+            )
+            .arm();
+        let pool = WorkerPool::with_tracer_and_faults(1, Tracer::disabled(), faults);
+        let started = Instant::now();
+        assert_eq!(pool.submit("slow", || 9).join().unwrap(), 9);
+        assert!(started.elapsed() >= Duration::from_millis(30));
     }
 }

@@ -2,6 +2,7 @@
 //! classic chronological DPLL (the branch-and-bound mode of the original
 //! SIS solver, kept for baselines and ablations).
 
+use modsyn_fault::{site, FaultHook, Faults};
 use modsyn_obs::Tracer;
 use modsyn_par::CancelToken;
 
@@ -121,6 +122,12 @@ pub struct Solver<'f> {
     cancel: CancelToken,
     /// Iteration counter driving the cancellation poll cadence.
     tick: u64,
+    /// Fault-injection handle, probed at the cancellation cadence. Inert
+    /// by default.
+    faults: Faults,
+    /// Iteration counter driving the fault-probe cadence (kept separate
+    /// from `tick` so arming faults never shifts the cancel poll points).
+    fault_tick: u64,
 }
 
 /// The search loops poll the cancel token once every `CANCEL_POLL_MASK + 1`
@@ -163,6 +170,8 @@ impl<'f> Solver<'f> {
             stats: SolverStats::default(),
             cancel: CancelToken::never(),
             tick: 0,
+            faults: Faults::none(),
+            fault_tick: 0,
         }
     }
 
@@ -176,6 +185,18 @@ impl<'f> Solver<'f> {
         self
     }
 
+    /// Attaches a fault-injection handle: the search loops probe the
+    /// `sat.abort` and `sat.conflict-storm` sites at the cancellation
+    /// cadence and return the corresponding outcome when a rule fires.
+    /// Like [`Solver::with_cancel`], this lives off [`SolverOptions`] to
+    /// preserve that type's `Copy` contract; a disarmed handle costs one
+    /// branch per poll window.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Faults) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Whether the cancel token should abort the search; polled every
     /// `CANCEL_POLL_MASK + 1` calls (and on the first).
     fn poll_cancelled(&mut self) -> bool {
@@ -184,6 +205,27 @@ impl<'f> Solver<'f> {
         }
         self.tick = self.tick.wrapping_add(1);
         (self.tick & CANCEL_POLL_MASK) == 1 && self.cancel.is_cancelled()
+    }
+
+    /// Probes the armed fault plan (if any) at the cancellation cadence:
+    /// `sat.abort` forces an early [`Outcome::Aborted`], and
+    /// `sat.conflict-storm` behaves as if the search just burned through
+    /// its whole backtrack budget ([`Outcome::BacktrackLimit`]).
+    fn poll_injected(&mut self) -> Option<Outcome> {
+        if !self.faults.is_armed() {
+            return None;
+        }
+        self.fault_tick = self.fault_tick.wrapping_add(1);
+        if (self.fault_tick & CANCEL_POLL_MASK) != 1 {
+            return None;
+        }
+        if self.faults.fire(site::SAT_ABORT) {
+            return Some(Outcome::Aborted);
+        }
+        if self.faults.fire(site::SAT_CONFLICT_STORM) {
+            return Some(Outcome::BacktrackLimit);
+        }
+        None
     }
 
     /// Statistics of the last [`Solver::solve`] run.
@@ -487,6 +529,7 @@ impl<'f> Solver<'f> {
         self.clauses.clear();
         self.activity_inc = 1.0;
         self.tick = 0;
+        self.fault_tick = 0;
     }
 
     /// Runs the search to completion or to a limit. Repeated calls restart
@@ -552,6 +595,9 @@ impl<'f> Solver<'f> {
         loop {
             if self.poll_cancelled() {
                 return Outcome::Aborted;
+            }
+            if let Some(injected) = self.poll_injected() {
+                return injected;
             }
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
@@ -619,6 +665,9 @@ impl<'f> Solver<'f> {
         loop {
             if self.poll_cancelled() {
                 return Outcome::Aborted;
+            }
+            if let Some(injected) = self.poll_injected() {
+                return injected;
             }
             if let Some(conflict) = self.propagate() {
                 self.stats.backtracks += 1;
@@ -948,6 +997,56 @@ mod tests {
             report.spans_with_prefix("sat.solve")[0].note("outcome"),
             Some("aborted")
         );
+    }
+
+    #[test]
+    fn an_armed_abort_fault_aborts_both_engines() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let f = pigeonhole(6);
+        for opts in [SolverOptions::default(), chrono()] {
+            let faults = FaultPlan::new("t", 1)
+                .rule(FaultRule::at(site::SAT_ABORT))
+                .arm();
+            let out = Solver::new(&f, opts).with_faults(faults.clone()).solve();
+            assert_eq!(out, Outcome::Aborted);
+            assert_eq!(faults.injected_at(site::SAT_ABORT), 1);
+        }
+    }
+
+    #[test]
+    fn a_conflict_storm_fault_reports_the_backtrack_limit() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let f = pigeonhole(6);
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::SAT_CONFLICT_STORM))
+            .arm();
+        let out = Solver::new(&f, SolverOptions::default())
+            .with_faults(faults)
+            .solve();
+        assert_eq!(out, Outcome::BacktrackLimit);
+    }
+
+    #[test]
+    fn an_exhausted_fault_budget_lets_the_search_finish() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        let f = pigeonhole(3);
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::SAT_ABORT).times(1))
+            .arm();
+        let mut solver = Solver::new(&f, SolverOptions::default()).with_faults(faults.clone());
+        assert_eq!(solver.solve(), Outcome::Aborted);
+        // The single-shot budget is spent; the retry decides the instance.
+        assert_eq!(solver.solve(), Outcome::Unsatisfiable);
+        assert_eq!(faults.total_injected(), 1);
+    }
+
+    #[test]
+    fn a_disarmed_handle_changes_nothing() {
+        let f = pigeonhole(3);
+        let mut plain = Solver::new(&f, SolverOptions::default());
+        let mut handled = Solver::new(&f, SolverOptions::default()).with_faults(Faults::none());
+        assert_eq!(plain.solve(), handled.solve());
+        assert_eq!(plain.stats(), handled.stats());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! modsynd [--addr HOST:PORT] [--jobs N] [--queue N] [--max-connections N]
 //!         [--cache-entries N] [--cache-bytes N] [--timeout-ms T]
 //!         [--max-body BYTES] [--limit N] [--stats] [--trace-json FILE]
+//!         [--faults SPEC] [--fault-seed N]
+//!         [--breaker-threshold F] [--breaker-cooldown-ms T]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`), prints one
@@ -17,20 +19,29 @@
 //!
 //! On exit, `--stats` renders the serving trace to stderr and
 //! `--trace-json FILE` writes it as JSON, mirroring the `modsyn` CLI.
+//!
+//! `--faults SPEC` arms a seeded fault plan for chaos runs (see
+//! [`modsyn_fault::FaultPlan::parse`] for the spec grammar); `--fault-seed`
+//! picks the plan's decision stream. `--breaker-threshold` and
+//! `--breaker-cooldown-ms` tune the per-method circuit breaker.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use modsyn_fault::FaultPlan;
 use modsyn_obs::Tracer;
 use modsyn_svc::{Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: modsynd [--addr HOST:PORT] [--jobs N] [--queue N] [--max-connections N] \
      [--cache-entries N] [--cache-bytes N] [--timeout-ms T] [--max-body BYTES] \
-     [--limit N] [--stats] [--trace-json FILE]\n\
+     [--limit N] [--stats] [--trace-json FILE] [--faults SPEC] [--fault-seed N] \
+     [--breaker-threshold F] [--breaker-cooldown-ms T]\n\
      \n\
      Serves POST /synth (body: .g STG; query: method, timeout_ms), GET /metrics,\n\
-     GET /healthz, POST /shutdown. Every 200 is oracle-certified."
+     GET /healthz, POST /shutdown. Every 200 is oracle-certified.\n\
+     --faults arms a seeded chaos plan, e.g. 'sat.abort*2,svc.write-torn@1/4'\n\
+     (rule grammar: site[*max][+skip][@num/denom][~delay_ms])."
 }
 
 struct Args {
@@ -46,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut stats = false;
     let mut trace_json = None;
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 0x000d_da05_u64;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -94,9 +107,31 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => stats = true,
             "--trace-json" => trace_json = Some(value("--trace-json")?),
+            "--faults" => fault_spec = Some(value("--faults")?),
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "bad --fault-seed value")?;
+            }
+            "--breaker-threshold" => {
+                config.breaker.failure_threshold = value("--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --breaker-threshold value")?;
+            }
+            "--breaker-cooldown-ms" => {
+                let ms: u64 = value("--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|_| "bad --breaker-cooldown-ms value")?;
+                config.breaker.cooldown = Duration::from_millis(ms);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
         }
+    }
+    if let Some(spec) = fault_spec {
+        let plan = FaultPlan::parse("modsynd", &spec, fault_seed)?;
+        eprintln!("chaos: armed fault plan {spec:?} (seed {fault_seed})");
+        config.faults = plan.arm();
     }
     Ok(Args {
         config,

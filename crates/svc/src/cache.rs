@@ -22,6 +22,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use modsyn_fault::{site, FaultHook, Faults};
+
 /// Cache bounds.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -62,6 +64,7 @@ pub struct ShardedLru<V: Clone> {
     per_shard_bytes: usize,
     clock: AtomicU64,
     evictions: AtomicU64,
+    faults: Faults,
 }
 
 impl<V: Clone> ShardedLru<V> {
@@ -82,7 +85,18 @@ impl<V: Clone> ShardedLru<V> {
             per_shard_bytes: (config.max_bytes / shards).max(1),
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            faults: Faults::none(),
         }
+    }
+
+    /// Attaches a fault-injection handle: an armed `cache.evict-storm`
+    /// rule empties the target shard on insert, modelling a pathological
+    /// eviction cascade. Harmless to correctness — the cache is an
+    /// economy, not a source of truth — but visible in the eviction
+    /// metric, which is exactly what chaos runs assert on.
+    pub fn with_faults(mut self, faults: Faults) -> ShardedLru<V> {
+        self.faults = faults;
+        self
     }
 
     fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
@@ -119,6 +133,11 @@ impl<V: Clone> ShardedLru<V> {
             shard.bytes -= old.bytes;
         }
         let mut evicted = 0;
+        if self.faults.fire(site::CACHE_EVICT_STORM) {
+            evicted += shard.map.len();
+            shard.map.clear();
+            shard.bytes = 0;
+        }
         while shard.map.len() + 1 > self.per_shard_entries
             || shard.bytes + bytes > self.per_shard_bytes
         {
@@ -265,6 +284,29 @@ mod tests {
         cache.insert(cache_key(1, 0), Arc::new(vec![]), 10);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes(), 10);
+    }
+
+    #[test]
+    fn an_eviction_storm_empties_the_shard_but_stays_correct() {
+        use modsyn_fault::FaultPlan;
+        let faults = FaultPlan::new("storm", 7)
+            .rule(
+                modsyn_fault::FaultRule::at(site::CACHE_EVICT_STORM)
+                    .skip(2)
+                    .times(1),
+            )
+            .arm();
+        let cache = tiny(1, 8, 1024).with_faults(faults.clone());
+        cache.insert(cache_key(1, 0), Arc::new(vec![]), 1);
+        cache.insert(cache_key(2, 0), Arc::new(vec![]), 1);
+        // The storm fires on this insert: both prior entries are dumped,
+        // the new one still lands, and lookups stay consistent.
+        cache.insert(cache_key(3, 0), Arc::new(b"v".to_vec()), 1);
+        assert_eq!(faults.total_injected(), 1);
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.get(cache_key(1, 0)).is_none());
+        assert_eq!(*cache.get(cache_key(3, 0)).unwrap(), b"v".to_vec());
+        assert_eq!(cache.bytes(), 1);
     }
 
     #[test]

@@ -4,12 +4,20 @@
 //! This exists so the `loadgen` bench binary, the integration tests and
 //! the CI smoke job can talk to `modsynd` without `curl` or an HTTP crate.
 //! It is **not** a general client: it assumes the close-delimited responses
-//! the server produces (reading to EOF, then trusting `Content-Length` if
-//! present).
+//! the server produces (reading to EOF). A `Content-Length` that does not
+//! match the bytes actually received is rejected as `InvalidData` — a torn
+//! write must surface as a retryable error, never as a truncated body.
+//!
+//! [`request_with_backoff`] adds the retry side: transient socket errors
+//! and `503`s are retried under capped, seeded-jitter exponential backoff
+//! that honours the server's `Retry-After` and bounds the *total* time
+//! spent sleeping, so a client never spins on a dead or draining server.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use modsyn_fault::SplitMix64;
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -80,17 +88,127 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(invalid)?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| {
             let (k, v) = line.split_once(':')?;
             Some((k.trim().to_ascii_lowercase(), v.trim().to_string()))
         })
         .collect();
+    let body = raw[head_end + 4..].to_vec();
+    // A declared length that disagrees with what arrived means the
+    // connection died mid-response (e.g. a torn write); callers must see
+    // an error, not a silently truncated body.
+    if let Some(declared) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if declared != body.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "truncated response: {} of {declared} body bytes",
+                    body.len()
+                ),
+            ));
+        }
+    }
     Ok(ClientResponse {
         status,
         headers,
-        body: raw[head_end + 4..].to_vec(),
+        body,
     })
+}
+
+/// Retry tuning for [`request_with_backoff`].
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// Total attempts, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Backoff base before the first retry; doubles per retry.
+    pub initial: Duration,
+    /// Cap on any single sleep (also caps an honoured `Retry-After`).
+    pub max_delay: Duration,
+    /// Cap on the *sum* of all sleeps; once spent, the last result is
+    /// returned as-is even if attempts remain.
+    pub max_total_wait: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 5,
+            initial: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            max_total_wait: Duration::from_secs(10),
+            seed: 0x6d6f_6473_796e, // "modsyn"
+        }
+    }
+}
+
+/// Picks the sleep before the next retry: the server's `Retry-After`
+/// verbatim (capped) when it sent one, otherwise equal-jitter exponential
+/// backoff — half the base deterministically, half drawn from `rng`.
+fn backoff_delay(
+    rng: &mut SplitMix64,
+    base: Duration,
+    retry_after: Option<u64>,
+    cap: Duration,
+) -> Duration {
+    match retry_after {
+        Some(secs) => Duration::from_secs(secs).min(cap),
+        None => {
+            let nanos = base.min(cap).as_nanos() as u64;
+            let half = nanos / 2;
+            Duration::from_nanos(half + rng.below(half as usize + 1) as u64)
+        }
+    }
+}
+
+/// [`request`] with retries: transient socket errors (connection refused
+/// or reset, torn responses) and `503`s are retried under `policy`,
+/// honouring a `Retry-After` header when the server sends one. Returns
+/// the first conclusive result — any non-503 response, the final 503, or
+/// the final socket error once attempts or the total wait budget run out.
+///
+/// # Errors
+///
+/// The last attempt's socket failure, when every attempt failed.
+pub fn request_with_backoff(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+    policy: &BackoffPolicy,
+) -> std::io::Result<ClientResponse> {
+    let mut rng = SplitMix64::new(policy.seed);
+    let mut base = policy.initial;
+    let mut slept = Duration::ZERO;
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        let result = request(addr, method, target, body, timeout);
+        let retry_after = match &result {
+            Ok(r) if r.status == 503 => r.header("retry-after").and_then(|v| v.parse::<u64>().ok()),
+            Ok(_) => return result,
+            Err(_) => None,
+        };
+        if attempt == attempts {
+            return result;
+        }
+        let delay = backoff_delay(&mut rng, base, retry_after, policy.max_delay);
+        let remaining = policy.max_total_wait.saturating_sub(slept);
+        if remaining.is_zero() {
+            return result; // wait budget spent: stop retrying
+        }
+        let delay = delay.min(remaining);
+        std::thread::sleep(delay);
+        slept += delay;
+        base = (base * 2).min(policy.max_delay);
+    }
+    unreachable!("loop returns on the final attempt")
 }
 
 #[cfg(test)]
@@ -109,5 +227,49 @@ mod tests {
     #[test]
     fn rejects_non_http() {
         assert!(parse_response(b"not http at all").is_err());
+    }
+
+    #[test]
+    fn rejects_a_truncated_body() {
+        let torn = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhalf";
+        let err = parse_response(torn).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"));
+        // An exact length still parses.
+        let whole = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nhalf";
+        assert_eq!(parse_response(whole).unwrap().text(), "half");
+    }
+
+    #[test]
+    fn backoff_honours_retry_after_and_caps_it() {
+        let mut rng = SplitMix64::new(1);
+        let cap = Duration::from_secs(2);
+        assert_eq!(
+            backoff_delay(&mut rng, Duration::from_millis(50), Some(1), cap),
+            Duration::from_secs(1)
+        );
+        // A hostile Retry-After is capped at max_delay.
+        assert_eq!(
+            backoff_delay(&mut rng, Duration::from_millis(50), Some(3600), cap),
+            cap
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_and_bounded() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(2);
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..20)
+                .map(|_| backoff_delay(&mut rng, base, None, cap))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same delays");
+        assert_ne!(a, draw(8), "different seed, different jitter");
+        for d in &a {
+            assert!(*d >= base / 2 && *d <= base, "equal-jitter range: {d:?}");
+        }
     }
 }

@@ -62,12 +62,14 @@
 //! # }
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod http;
 mod metrics;
 mod server;
 
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{cache_key, CacheConfig, ShardedLru};
 pub use http::{HttpError, Limits, Request, Response};
 pub use metrics::Metrics;

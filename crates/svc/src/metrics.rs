@@ -35,6 +35,14 @@ pub struct Metrics {
     pub check_failures: AtomicU64,
     /// Handler panics contained by the connection guard.
     pub panics: AtomicU64,
+    /// `/synth` requests rejected by an open circuit breaker (503s).
+    pub breaker_rejections: AtomicU64,
+    /// Circuit-breaker closed→open transitions.
+    pub breaker_opens: AtomicU64,
+    /// Faults fired by an armed [`modsyn_fault::FaultPlan`] in the svc
+    /// layer (accept drops, torn reads/writes, slow-peer stalls,
+    /// eviction storms). Always 0 in production.
+    pub injected_faults: AtomicU64,
     /// Gauge: admitted `/synth` jobs waiting for a pool worker.
     pub queue_depth: AtomicU64,
     /// Gauge: `/synth` jobs currently executing on the pool.
@@ -66,6 +74,9 @@ impl Metrics {
             ("modsynd_synth_failures_total", &self.synth_failures),
             ("modsynd_check_failures_total", &self.check_failures),
             ("modsynd_panics_total", &self.panics),
+            ("modsynd_breaker_rejections_total", &self.breaker_rejections),
+            ("modsynd_breaker_opens_total", &self.breaker_opens),
+            ("modsynd_injected_faults_total", &self.injected_faults),
             ("modsynd_queue_depth", &self.queue_depth),
             ("modsynd_in_flight", &self.in_flight),
             ("modsynd_connections", &self.connections),

@@ -45,10 +45,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use modsyn::{certify_report, Method, SynthesisError, SynthesisOptions};
+use modsyn_fault::{site, FaultHook, Faults};
 use modsyn_obs::{Json, Tracer};
 use modsyn_par::{CancelToken, WorkerPool};
 use modsyn_stg::{parse_g, stg_digest, Stg};
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{cache_key, CacheConfig, ShardedLru};
 use crate::http::{read_request, Limits, Request, Response};
 use crate::metrics::Metrics;
@@ -79,6 +81,12 @@ pub struct ServerConfig {
     /// default). The Table-1 `direct` rows need a finite limit to fail
     /// fast instead of spinning for hours.
     pub backtrack_limit: Option<u64>,
+    /// Per-method circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Fault-injection handle probed at the svc sites (`svc.*`,
+    /// `cache.evict-storm`) and threaded into each synthesis run's
+    /// `sat.*` sites. Inert by default.
+    pub faults: Faults,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +102,8 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(30),
             limits: Limits::default(),
             backtrack_limit: None,
+            breaker: BreakerConfig::default(),
+            faults: Faults::none(),
         }
     }
 }
@@ -105,6 +115,18 @@ struct Shared {
     metrics: Arc<Metrics>,
     tracer: Tracer,
     shutting_down: AtomicBool,
+    /// One breaker per method, indexed by [`method_tag`].
+    breakers: [CircuitBreaker; 4],
+}
+
+impl Shared {
+    fn injected_fault(&self) {
+        self.metrics.count(
+            &self.metrics.injected_faults,
+            &self.tracer,
+            "injected_faults",
+        );
+    }
 }
 
 /// A bound, not-yet-running server. [`Server::run`] consumes it.
@@ -152,8 +174,11 @@ impl Server {
     pub fn bind(config: ServerConfig, tracer: Tracer) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let pool = WorkerPool::with_tracer(config.jobs, tracer.clone());
-        let cache = ShardedLru::new(&config.cache);
+        let pool =
+            WorkerPool::with_tracer_and_faults(config.jobs, tracer.clone(), config.faults.clone());
+        let cache = ShardedLru::new(&config.cache).with_faults(config.faults.clone());
+        let now = Instant::now();
+        let breakers = [(); 4].map(|()| CircuitBreaker::new(config.breaker, now));
         let shared = Arc::new(Shared {
             config,
             pool,
@@ -161,6 +186,7 @@ impl Server {
             metrics: Arc::new(Metrics::default()),
             tracer,
             shutting_down: AtomicBool::new(false),
+            breakers,
         });
         Ok(Server {
             listener,
@@ -202,6 +228,12 @@ impl Server {
                 // kill the loop.
                 Err(_) => continue,
             };
+            if self.shared.config.faults.fire(site::SVC_ACCEPT) {
+                // Injected accept failure: drop the connection on the
+                // floor, exactly the transient-error branch above.
+                self.shared.injected_fault();
+                continue;
+            }
             self.shared.metrics.count(
                 &self.shared.metrics.requests,
                 &self.shared.tracer,
@@ -322,6 +354,12 @@ fn error_response(status: u16, reason: &'static str, tag: &str, detail: &str) ->
 fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    if shared.config.faults.fire(site::SVC_READ_TORN) {
+        // Injected torn read: hang up before reading; the client sees a
+        // premature EOF.
+        shared.injected_fault();
+        return;
+    }
     let mut reader = stream;
     let request = match read_request(&mut reader, &shared.config.limits) {
         Ok(r) => r,
@@ -337,6 +375,21 @@ fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream)
         }
     };
     let response = route(shared, addr, &request);
+    if let Some(delay) = shared.config.faults.stall(site::SVC_SLOW_PEER) {
+        shared.injected_fault();
+        std::thread::sleep(delay);
+    }
+    if shared.config.faults.fire(site::SVC_WRITE_TORN) {
+        // Injected torn write: serialise the response but hang up after
+        // half of it, so the client must treat the reply as garbage.
+        shared.injected_fault();
+        let mut bytes = Vec::new();
+        let _ = response.write_to(&mut bytes);
+        use std::io::Write as _;
+        let mut writer = stream;
+        let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+        return;
+    }
     Server::try_write(stream, &response, &shared.config);
 }
 
@@ -481,6 +534,27 @@ fn synth(shared: &Shared, request: &Request) -> Response {
         .metrics
         .count(&shared.metrics.cache_misses, &shared.tracer, "cache_misses");
 
+    // Circuit breaker: a method that keeps failing server-side (panics,
+    // deadline aborts, oracle rejections) is rejected up front for the
+    // cooldown instead of burning pool capacity. Cache hits above are
+    // always served — the breaker only guards fresh synthesis.
+    let breaker = &shared.breakers[method_tag(method) as usize];
+    let admission = breaker.admit(Instant::now());
+    if let Admission::Rejected { retry_after } = admission {
+        shared.metrics.count(
+            &shared.metrics.breaker_rejections,
+            &shared.tracer,
+            "breaker_rejections",
+        );
+        return error_response(
+            503,
+            "Service Unavailable",
+            "breaker-open",
+            "circuit breaker is open for this method",
+        )
+        .with_header("Retry-After", retry_after.to_string());
+    }
+
     // Admission control: bound the admitted-but-unstarted queue.
     let capacity = shared.config.queue_capacity as u64;
     let admitted =
@@ -491,6 +565,15 @@ fn synth(shared: &Shared, request: &Request) -> Response {
                 (depth < capacity).then_some(depth + 1)
             });
     if admitted.is_err() {
+        // A half-open probe shed before running must not wedge the
+        // breaker half-open forever; re-open it for another cooldown.
+        if admission == Admission::Probe && breaker.record(Instant::now(), false) {
+            shared.metrics.count(
+                &shared.metrics.breaker_opens,
+                &shared.tracer,
+                "breaker_opens",
+            );
+        }
         shared
             .metrics
             .count(&shared.metrics.shed, &shared.tracer, "shed");
@@ -507,6 +590,7 @@ fn synth(shared: &Shared, request: &Request) -> Response {
     let mut options = SynthesisOptions::for_method(method);
     options.cancel = cancel;
     options.jobs = 1; // the pool provides cross-request parallelism
+    options.faults = shared.config.faults.clone();
     if let Some(limit) = shared.config.backtrack_limit {
         options.solver.max_backtracks = Some(limit);
     }
@@ -522,7 +606,23 @@ fn synth(shared: &Shared, request: &Request) -> Response {
             run_synthesis(&stg, &options)
         });
 
-    match handle.join() {
+    let outcome = handle.join();
+    // Breaker verdict: server-side trouble (panic, deadline abort, oracle
+    // rejection) is failure; an unsolvable STG (422) is the *client's*
+    // problem and counts as success, so bad inputs cannot lock the method.
+    let healthy = matches!(
+        outcome,
+        Ok(SynthOutcome::Certified { .. }) | Ok(SynthOutcome::Failed(_))
+    );
+    if breaker.record(Instant::now(), healthy) {
+        shared.metrics.count(
+            &shared.metrics.breaker_opens,
+            &shared.tracer,
+            "breaker_opens",
+        );
+    }
+
+    match outcome {
         Err(panic) => {
             shared
                 .metrics
