@@ -1,0 +1,214 @@
+//! `benchguard` — fail CI when `BENCH_table1.json` regresses.
+//!
+//! ```text
+//! benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] [--floor N]
+//! ```
+//!
+//! Compares a freshly generated Table-1 document (default
+//! `BENCH_table1.json`) against a committed baseline (default
+//! `BENCH_table1.baseline.json`) record by record:
+//!
+//! * **outcome, literals, final signals, final states** must match the
+//!   baseline *exactly* — synthesis is deterministic, so any drift here is
+//!   a real behaviour change, not noise;
+//! * **solver backtracks** may drift within a tolerance band
+//!   (`--tolerance` percent of the baseline, default 25, with an absolute
+//!   `--floor`, default 100, so tiny baselines don't fail on ±1) —
+//!   heuristic-order tweaks legitimately move effort a little, but a
+//!   blow-up means a search regression even when the answer is right;
+//! * **wall clock** is reported but never gates — CI machines are noisy.
+//!
+//! Exit code 0 when every record passes, 1 with a per-record report when
+//! any fails, 2 on unreadable input.
+
+use std::process::ExitCode;
+
+use modsyn_obs::{parse_json, Json};
+
+struct Args {
+    current: String,
+    baseline: String,
+    tolerance_pct: f64,
+    floor: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        current: "BENCH_table1.json".to_string(),
+        baseline: "BENCH_table1.baseline.json".to_string(),
+        tolerance_pct: 25.0,
+        floor: 100.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--current" => args.current = value("--current")?,
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--tolerance" => {
+                args.tolerance_pct = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance value")?;
+            }
+            "--floor" => {
+                args.floor = value("--floor")?.parse().map_err(|_| "bad --floor value")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] \
+                     [--floor N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+type RecordKey = (String, String);
+
+/// `(benchmark, method)` → record, from a table document.
+fn index(doc: &Json) -> Result<Vec<(RecordKey, &Json)>, String> {
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("document has no records array")?;
+    records
+        .iter()
+        .map(|r| {
+            let key = |field: &str| {
+                r.get(field)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("record without {field}"))
+            };
+            Ok(((key("benchmark")?, key("method")?), r))
+        })
+        .collect()
+}
+
+fn num(record: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = record;
+    for p in path {
+        node = node.get(p)?;
+    }
+    node.as_f64()
+}
+
+/// One record pair's verdict: `Ok(wall ratio)` or `Err(reasons)`.
+fn compare(base: &Json, cur: &Json, tolerance_pct: f64, floor: f64) -> Result<(), Vec<String>> {
+    let mut reasons = Vec::new();
+
+    let outcome = |r: &Json| {
+        r.get("outcome")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let (base_outcome, cur_outcome) = (outcome(base), outcome(cur));
+    if base_outcome != cur_outcome {
+        reasons.push(format!("outcome {base_outcome} -> {cur_outcome}"));
+        return Err(reasons); // field-level checks are meaningless now
+    }
+
+    // Deterministic fields: exact.
+    for field in ["literals", "final_signals", "final_states"] {
+        let (b, c) = (num(base, &[field]), num(cur, &[field]));
+        if b != c {
+            reasons.push(format!("{field} {b:?} -> {c:?}"));
+        }
+    }
+
+    // Solver effort: banded.
+    if let Some(b) = num(base, &["solver", "backtracks"]) {
+        let c = num(cur, &["solver", "backtracks"]).unwrap_or(f64::NAN);
+        let band = (b * tolerance_pct / 100.0).max(floor);
+        if !(c - b).abs().le(&band) {
+            reasons.push(format!("solver.backtracks {b} -> {c} (band ±{band:.0})"));
+        }
+    }
+
+    if reasons.is_empty() {
+        Ok(())
+    } else {
+        Err(reasons)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let (base_index, cur_index) = match (index(&baseline), index(&current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut slowest: Option<(String, f64)> = None;
+    for (key, base) in &base_index {
+        let Some((_, cur)) = cur_index.iter().find(|(k, _)| k == key) else {
+            eprintln!("FAIL {}/{}: record missing from current run", key.0, key.1);
+            failures += 1;
+            continue;
+        };
+        match compare(base, cur, args.tolerance_pct, args.floor) {
+            Ok(()) => {}
+            Err(reasons) => {
+                eprintln!("FAIL {}/{}: {}", key.0, key.1, reasons.join("; "));
+                failures += 1;
+            }
+        }
+        // Wall clock: informational only.
+        if let (Some(b), Some(c)) = (num(base, &["wall_s"]), num(cur, &["wall_s"])) {
+            if b > 0.05 {
+                let ratio = c / b;
+                if slowest.as_ref().is_none_or(|(_, r)| ratio > *r) {
+                    slowest = Some((format!("{}/{}", key.0, key.1), ratio));
+                }
+            }
+        }
+    }
+
+    if let Some((key, ratio)) = slowest {
+        println!("wall-clock (informational): largest ratio {ratio:.2}x at {key}");
+    }
+    if failures > 0 {
+        eprintln!(
+            "benchguard: {failures} of {} baseline records regressed",
+            base_index.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "benchguard: {} records within tolerance ({}% / floor {})",
+        base_index.len(),
+        args.tolerance_pct,
+        args.floor
+    );
+    ExitCode::SUCCESS
+}

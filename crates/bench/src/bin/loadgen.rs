@@ -135,7 +135,7 @@ fn summarise(samples: &[Sample], wall: Duration) -> PassStats {
     }
 }
 
-fn pass_json(stats: &PassStats) -> Json {
+fn pass_json(stats: &PassStats, server_histograms: Json) -> Json {
     let rps = if stats.wall.as_secs_f64() > 0.0 {
         stats.requests as f64 / stats.wall.as_secs_f64()
     } else {
@@ -150,6 +150,10 @@ fn pass_json(stats: &PassStats) -> Json {
         ("p50_ms", Json::from(stats.p50.as_secs_f64() * 1e3)),
         ("p95_ms", Json::from(stats.p95.as_secs_f64() * 1e3)),
         ("p99_ms", Json::from(stats.p99.as_secs_f64() * 1e3)),
+        // The server's own view of the same traffic (log-scale
+        // histograms, µs, cumulative at scrape time) next to the
+        // client-side percentiles above.
+        ("server_histograms", server_histograms),
     ])
 }
 
@@ -220,6 +224,40 @@ fn fetch_metric(addr: SocketAddr, name: &str, timeout: Duration) -> Option<u64> 
     Metrics::parse_line(&response.text(), name)
 }
 
+/// The server-side latency histograms this run exercises, scraped from
+/// `/metrics`. Snapshots are cumulative over the server's life, so the
+/// warm-pass snapshot includes the cold pass — the delta is the reader's
+/// job; the generator records what the server observed.
+const SCRAPED_HISTOGRAMS: &[&str] = &[
+    "request_us:synth:modular",
+    "queue_wait_us",
+    "synth_cpu_us:modular",
+    "pool_wait_us",
+];
+
+fn fetch_histograms(addr: SocketAddr, timeout: Duration) -> Json {
+    let Some(rendered) = client::request(addr, "GET", "/metrics", b"", timeout)
+        .ok()
+        .map(|r| r.text())
+    else {
+        return Json::Null;
+    };
+    Json::obj(SCRAPED_HISTOGRAMS.iter().map(|name| {
+        let quantile =
+            |q: &str| Metrics::parse_hist(&rendered, name, q).map_or(Json::Null, Json::from);
+        (
+            *name,
+            Json::obj([
+                ("count", quantile("count")),
+                ("p50_us", quantile("p50")),
+                ("p90_us", quantile("p90")),
+                ("p99_us", quantile("p99")),
+                ("max_us", quantile("max")),
+            ]),
+        )
+    }))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -283,8 +321,10 @@ fn main() -> ExitCode {
 
     let (cold_samples, cold_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
     let cold = summarise(&cold_samples, cold_wall);
+    let cold_hists = fetch_histograms(addr, args.timeout);
     let (warm_samples, warm_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
     let warm = summarise(&warm_samples, warm_wall);
+    let warm_hists = fetch_histograms(addr, args.timeout);
 
     let metrics = Json::obj(
         [
@@ -323,8 +363,8 @@ fn main() -> ExitCode {
                 ("external", Json::from(args.addr.is_some())),
             ]),
         ),
-        ("cold", pass_json(&cold)),
-        ("warm", pass_json(&warm)),
+        ("cold", pass_json(&cold, cold_hists)),
+        ("warm", pass_json(&warm, warm_hists)),
         ("server_metrics", metrics),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.pretty()) {

@@ -166,6 +166,7 @@ pub fn synthesize_with_retry_traced(
     tracer: &Tracer,
 ) -> Result<RetryOutcome, SynthesisError> {
     let _span = tracer.span("retry.ladder");
+    let _flight = tracer.flight_span("retry.ladder");
     let rungs = escalation_ladder(base, policy);
     tracer.gauge("rungs", rungs.len() as f64);
     let mut attempts = Vec::new();
@@ -176,6 +177,7 @@ pub fn synthesize_with_retry_traced(
             None => base.cancel.clone(),
         };
         let attempt_span = tracer.span("retry.attempt");
+        let attempt_flight = tracer.flight_span("retry.attempt");
         tracer.note("method", &options.method.to_string());
         tracer.note(
             "backtrack_limit",
@@ -191,11 +193,13 @@ pub fn synthesize_with_retry_traced(
             Ok(report) => {
                 tracer.note("outcome", "ok");
                 drop(attempt_span);
+                drop(attempt_flight);
                 return Ok(RetryOutcome { report, attempts });
             }
             Err(error) => {
                 tracer.note("outcome", &error.to_string());
                 drop(attempt_span);
+                drop(attempt_flight);
                 let overall_cancelled = base.cancel.is_cancelled();
                 let retryable = is_retryable(&error, overall_cancelled);
                 attempts.push(Attempt {

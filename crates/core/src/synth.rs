@@ -171,6 +171,7 @@ pub fn synthesize_traced(
 ) -> Result<SynthesisReport, SynthesisError> {
     let start = Instant::now();
     let _span = tracer.span("synthesize");
+    let _flight = tracer.flight_span("synthesize");
     tracer.note("benchmark", stg.name());
     tracer.note("method", &options.method.to_string());
     let initial = derive_traced(stg, &options.derive, tracer)?;

@@ -1,0 +1,489 @@
+//! The always-on flight recorder: sharded, fixed-capacity ring buffers of
+//! compact events, lock-free on the record path.
+//!
+//! The PR-1 [`crate::Tracer`] sink is a mutex around an unbounded `Vec` —
+//! right for a single CLI run, wrong for a daemon that must record every
+//! request forever. The recorder trades detail for a hard bound: each
+//! shard is a ring of fixed slots, a writer claims a slot with one
+//! `fetch_add` on the shard head and publishes it seqlock-style (stamp set
+//! to a sentinel, fields stored, stamp set to `seq + 1` with `Release`),
+//! so recording never locks, never allocates, and old events are simply
+//! overwritten. A drain ([`FlightRecorder::snapshot`]) reads the stamp
+//! before and after the fields (with the matching fences) and skips any
+//! slot a concurrent writer tore. One benign race remains: if a writer is
+//! lapped by an entire ring's worth of events mid-publish, a slot can pair
+//! fields from two events — events are diagnostics, not transactions, and
+//! a sanely sized ring makes the window astronomically small.
+//!
+//! Threads are spread across shards by a lazily assigned per-thread index,
+//! so writers on different cores rarely contend even on the `fetch_add`.
+//! Event names must be `&'static str`: they are interned to small ids by
+//! pointer in a lock-free probe table (a mutex is taken only the first
+//! time a given name is ever seen), and resolved back to strings at drain
+//! time. Every event carries the recording tracer's trace id, which is
+//! what lets `GET /debug/flight?trace=…` reconstruct one request's span
+//! chain out of the shared ring.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Slot stamp sentinel meaning "a writer is mid-publish".
+const WRITING: u64 = u64::MAX;
+
+/// Name-table capacity. Instrumentation sites use a fixed vocabulary of
+/// `&'static` names, so a small table suffices; overflow degrades to the
+/// reserved `"?"` name rather than failing.
+const NAME_SLOTS: usize = 512;
+
+/// What happened. The recorder's whole vocabulary — kept deliberately
+/// small so a slot packs into five `u64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span opened (`value` unused).
+    SpanOpen,
+    /// A span closed (`value` = duration in µs).
+    SpanClose,
+    /// A counter-style observation (`value` = the amount).
+    Counter,
+    /// An armed fault site fired (`value` = how many times so far).
+    Fault,
+}
+
+impl FlightKind {
+    fn from_u64(v: u64) -> FlightKind {
+        match v & 0x3 {
+            0 => FlightKind::SpanOpen,
+            1 => FlightKind::SpanClose,
+            2 => FlightKind::Counter,
+            _ => FlightKind::Fault,
+        }
+    }
+
+    /// The kebab-case label used in JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::SpanOpen => "span-open",
+            FlightKind::SpanClose => "span-close",
+            FlightKind::Counter => "counter",
+            FlightKind::Fault => "fault",
+        }
+    }
+}
+
+/// One drained event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Per-shard sequence number (monotone within a shard; gaps mean the
+    /// ring wrapped past older events).
+    pub seq: u64,
+    /// Which shard recorded it.
+    pub shard: u32,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// Trace id of the request that recorded it; 0 when untraced.
+    pub trace: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Interned event name (`"?"` if the name table overflowed).
+    pub name: &'static str,
+    /// Kind-dependent payload (see [`FlightKind`]).
+    pub value: u64,
+}
+
+impl FlightEvent {
+    /// The event as a JSON object (trace rendered as 16-digit hex, the
+    /// same form the `X-Modsyn-Trace` header uses).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("shard", Json::from(self.shard as u64)),
+            ("at_us", Json::from(self.at_us)),
+            ("trace", Json::from(format!("{:016x}", self.trace))),
+            ("kind", Json::from(self.kind.label())),
+            ("name", Json::from(self.name)),
+            ("value", Json::from(self.value)),
+        ])
+    }
+}
+
+/// One ring slot: a seqlock of plain atomics. `stamp` is 0 (never
+/// written), [`WRITING`], or `seq + 1` once published.
+#[derive(Debug)]
+struct Slot {
+    stamp: AtomicU64,
+    at_us: AtomicU64,
+    trace: AtomicU64,
+    value: AtomicU64,
+    /// Packed `(name_id << 2) | kind`.
+    meta: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            at_us: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+/// Lock-free `&'static str` → id interner, keyed by the string's data
+/// pointer (distinct literals with equal text simply get distinct ids).
+#[derive(Debug)]
+struct NameTable {
+    /// Open-addressed probe table: `keys[i]` holds the string's data
+    /// pointer (0 = empty), `ids[i]` its id + 1. `ids` is published
+    /// before `keys`, so a reader that sees the key sees the id.
+    keys: Box<[AtomicUsize]>,
+    ids: Box<[AtomicUsize]>,
+    /// id → name, appended under the mutex on first registration only.
+    names: Mutex<Vec<&'static str>>,
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        NameTable {
+            keys: (0..NAME_SLOTS).map(|_| AtomicUsize::new(0)).collect(),
+            ids: (0..NAME_SLOTS).map(|_| AtomicUsize::new(0)).collect(),
+            // id 0 is the reserved overflow name.
+            names: Mutex::new(vec!["?"]),
+        }
+    }
+
+    fn lock_names(&self) -> std::sync::MutexGuard<'_, Vec<&'static str>> {
+        self.names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The id for `name`; lock-free after the first call with this
+    /// particular `&'static str`.
+    fn intern(&self, name: &'static str) -> u64 {
+        let ptr = name.as_ptr() as usize;
+        let mask = NAME_SLOTS - 1;
+        let mut i =
+            ptr.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (usize::BITS - NAME_SLOTS.trailing_zeros());
+        for _ in 0..NAME_SLOTS {
+            i &= mask;
+            let key = self.keys[i].load(Ordering::Acquire);
+            if key == ptr {
+                return (self.ids[i].load(Ordering::Acquire) - 1) as u64;
+            }
+            if key == 0 {
+                // Cold path: register under the mutex, re-checking the
+                // slot (a racing writer may have claimed it meanwhile).
+                let mut names = self.lock_names();
+                if self.keys[i].load(Ordering::Acquire) == 0 {
+                    if names.len() >= NAME_SLOTS {
+                        return 0; // table full: degrade to "?"
+                    }
+                    let id = names.len();
+                    names.push(name);
+                    self.ids[i].store(id + 1, Ordering::Release);
+                    self.keys[i].store(ptr, Ordering::Release);
+                    return id as u64;
+                }
+                continue; // slot was claimed: re-examine it
+            }
+            i += 1;
+        }
+        0
+    }
+
+    fn resolve(&self, id: u64) -> &'static str {
+        self.lock_names().get(id as usize).copied().unwrap_or("?")
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    shards: Box<[Shard]>,
+    names: NameTable,
+}
+
+/// A cheap clonable handle to the shared ring buffers. See the module
+/// docs for the memory model.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+/// Default shard count (power of two; threads hash onto shards).
+pub const DEFAULT_SHARDS: usize = 8;
+/// Default slots per shard.
+pub const DEFAULT_SLOTS: usize = 4096;
+
+thread_local! {
+    /// This thread's shard assignment, drawn once from a global
+    /// round-robin counter so writer threads spread evenly.
+    static SHARD_SEAT: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+static NEXT_SEAT: AtomicU64 = AtomicU64::new(0);
+
+fn thread_seat() -> u64 {
+    SHARD_SEAT.with(|seat| {
+        let mut s = seat.get();
+        if s == u64::MAX {
+            s = NEXT_SEAT.fetch_add(1, Ordering::Relaxed);
+            seat.set(s);
+        }
+        s
+    })
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_SHARDS, DEFAULT_SLOTS)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the default geometry (8 shards × 4096 slots).
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// A recorder with `shards` rings of `slots` slots each. Both are
+    /// clamped to at least 1; `shards` is rounded up to a power of two.
+    pub fn with_capacity(shards: usize, slots: usize) -> FlightRecorder {
+        let shards = shards.max(1).next_power_of_two();
+        let slots = slots.max(1);
+        FlightRecorder {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                shards: (0..shards)
+                    .map(|_| Shard {
+                        head: AtomicU64::new(0),
+                        slots: (0..slots).map(|_| Slot::empty()).collect(),
+                    })
+                    .collect(),
+                names: NameTable::new(),
+            }),
+        }
+    }
+
+    /// Microseconds since the recorder was created (the `at_us` clock).
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Total event capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.slots.len())
+            .sum::<usize>()
+    }
+
+    /// Total events ever recorded (including ones already overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Records one event. Lock-free: one `fetch_add` to claim the slot
+    /// plus plain atomic stores to fill it. Never allocates.
+    pub fn record(&self, kind: FlightKind, name: &'static str, trace: u64, value: u64) {
+        let name_id = self.inner.names.intern(name);
+        let at_us = self.now_us();
+        let shards = &self.inner.shards;
+        let shard = &shards[(thread_seat() as usize) & (shards.len() - 1)];
+        let seq = shard.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &shard.slots[(seq % shard.slots.len() as u64) as usize];
+        // Seqlock publish: sentinel, release fence (sentinel becomes
+        // visible before any field), fields, then the real stamp with
+        // Release so a reader that sees it sees every field.
+        slot.stamp.store(WRITING, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.at_us.store(at_us, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.meta
+            .store((name_id << 2) | kind as u64, Ordering::Relaxed);
+        slot.stamp.store(seq + 1, Ordering::Release);
+    }
+
+    /// Drains every published slot into a list sorted by time (ties broken
+    /// by shard and sequence). Slots a concurrent writer is mid-publish on
+    /// are skipped, never torn. May be called at any moment, including
+    /// while writers are recording.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::new();
+        for (shard_ix, shard) in self.inner.shards.iter().enumerate() {
+            for slot in shard.slots.iter() {
+                let before = slot.stamp.load(Ordering::Acquire);
+                if before == 0 || before == WRITING {
+                    continue;
+                }
+                let at_us = slot.at_us.load(Ordering::Relaxed);
+                let trace = slot.trace.load(Ordering::Relaxed);
+                let value = slot.value.load(Ordering::Relaxed);
+                let meta = slot.meta.load(Ordering::Relaxed);
+                // Acquire fence: the field loads above cannot drift past
+                // the stamp re-check below.
+                std::sync::atomic::fence(Ordering::Acquire);
+                let after = slot.stamp.load(Ordering::Relaxed);
+                if before != after {
+                    continue; // a writer reused the slot mid-read
+                }
+                out.push(FlightEvent {
+                    seq: before - 1,
+                    shard: shard_ix as u32,
+                    at_us,
+                    trace,
+                    kind: FlightKind::from_u64(meta),
+                    name: self.inner.names.resolve(meta >> 2),
+                    value,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.at_us, e.shard, e.seq));
+        out
+    }
+
+    /// [`FlightRecorder::snapshot`] filtered to one trace id.
+    pub fn events_for_trace(&self, trace: u64) -> Vec<FlightEvent> {
+        let mut out = self.snapshot();
+        out.retain(|e| e.trace == trace);
+        out
+    }
+
+    /// Renders events as the `/debug/flight` JSON document.
+    pub fn to_json(events: &[FlightEvent]) -> Json {
+        Json::obj([
+            ("count", Json::from(events.len())),
+            (
+                "events",
+                Json::Arr(events.iter().map(FlightEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let rec = FlightRecorder::with_capacity(1, 16);
+        rec.record(FlightKind::SpanOpen, "a", 7, 0);
+        rec.record(FlightKind::Counter, "b", 7, 42);
+        rec.record(FlightKind::SpanClose, "a", 7, 3);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.name).collect::<Vec<_>>(),
+            ["a", "b", "a"]
+        );
+        assert_eq!(events[1].kind, FlightKind::Counter);
+        assert_eq!(events[1].value, 42);
+        assert!(events.iter().all(|e| e.trace == 7));
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_events() {
+        let rec = FlightRecorder::with_capacity(1, 8);
+        for i in 0..50u64 {
+            rec.record(FlightKind::Counter, "tick", 0, i);
+        }
+        assert_eq!(rec.recorded(), 50);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 8, "bounded by capacity");
+        let values: Vec<u64> = events.iter().map(|e| e.value).collect();
+        assert_eq!(values, (42..50).collect::<Vec<_>>(), "newest survive");
+    }
+
+    #[test]
+    fn trace_filter_selects_one_request() {
+        let rec = FlightRecorder::with_capacity(2, 32);
+        for i in 0..10u64 {
+            rec.record(FlightKind::Counter, "x", i % 3, i);
+        }
+        let ours = rec.events_for_trace(1);
+        assert!(!ours.is_empty());
+        assert!(ours.iter().all(|e| e.trace == 1));
+        assert!(rec.events_for_trace(99).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_drains_stay_well_formed() {
+        let rec = FlightRecorder::with_capacity(4, 64);
+        let writers: Vec<_> = (0..8)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        rec.record(FlightKind::Counter, "spin", t, i);
+                    }
+                })
+            })
+            .collect();
+        // Drain repeatedly while writers hammer the rings.
+        for _ in 0..50 {
+            for e in rec.snapshot() {
+                assert_eq!(e.name, "spin");
+                assert_eq!(e.kind, FlightKind::Counter);
+                assert!(e.trace < 8 && e.value < 500, "torn slot leaked: {e:?}");
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 8 * 500);
+        assert!(rec.snapshot().len() <= rec.capacity());
+    }
+
+    #[test]
+    fn name_table_overflow_degrades_to_question_mark() {
+        let rec = FlightRecorder::with_capacity(1, 4);
+        // Leak distinct strings to exhaust the table; instrumentation
+        // never does this (fixed vocabulary), but overflow must be safe.
+        for i in 0..(NAME_SLOTS + 10) {
+            let name: &'static str = Box::leak(format!("n{i}").into_boxed_str());
+            rec.record(FlightKind::Counter, name, 0, 0);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.name == "?"));
+    }
+
+    #[test]
+    fn json_dump_round_trips() {
+        let rec = FlightRecorder::with_capacity(1, 8);
+        rec.record(FlightKind::SpanOpen, "svc.request", 0xdead_beef, 0);
+        let json = FlightRecorder::to_json(&rec.snapshot());
+        let text = json.pretty();
+        let parsed = crate::parse_json(&text).unwrap();
+        let events = parsed.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("trace").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(
+            events[0].get("kind").and_then(Json::as_str),
+            Some("span-open")
+        );
+    }
+}

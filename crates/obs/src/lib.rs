@@ -14,6 +14,18 @@
 //! * [`Json`] — a small hand-rolled JSON value with correct string
 //!   escaping, a writer (compact and pretty) and a parser for round-trip
 //!   tests and downstream tooling.
+//! * [`FlightRecorder`] — the always-on flight recorder: sharded
+//!   fixed-capacity rings of compact trace-tagged events, lock-free on the
+//!   record path, drainable at any moment (`/debug/flight` in `modsynd`).
+//! * [`Histogram`] / [`HistogramRegistry`] — log-scale fixed-bucket
+//!   latency histograms with mergeable snapshots and percentile queries
+//!   (the `p50/p90/p99/max` lines on `GET /metrics`).
+//!
+//! A [`Tracer`] ties the three planes together: the PR-1 event sink is
+//! opt-in, while a flight recorder, histogram registry and per-request
+//! trace id ([`Tracer::with_flight`], [`Tracer::with_histograms`],
+//! [`Tracer::with_trace`]) ride on any tracer — including a disabled one —
+//! at a cost low enough to leave on in production.
 //!
 //! # Example
 //!
@@ -34,10 +46,17 @@
 //! assert!(modsyn_obs::parse_json(&json).is_ok());
 //! ```
 
+mod flight;
+mod hist;
 mod json;
 mod report;
 mod tracer;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, DEFAULT_SHARDS, DEFAULT_SLOTS};
+pub use hist::{
+    bucket_floor, bucket_index, Histogram, HistogramRegistry, HistogramSnapshot, BUCKETS,
+    SUB_BUCKETS,
+};
 pub use json::{escape_into, parse_json, Json, JsonError};
 pub use report::{Report, SpanNode};
-pub use tracer::{Event, SpanGuard, Tracer};
+pub use tracer::{Event, FlightSpanGuard, SpanGuard, Tracer};

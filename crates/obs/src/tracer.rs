@@ -12,6 +12,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
 
+use crate::flight::{FlightKind, FlightRecorder};
+use crate::hist::HistogramRegistry;
 use crate::report::Report;
 
 /// One recorded observability event.
@@ -105,9 +107,22 @@ impl Sink {
 
 /// A clonable tracing handle. See the module docs for the enabled/disabled
 /// design.
+///
+/// Beyond the PR-1 event sink, a tracer can carry three always-on
+/// attachments, each independent of whether the sink is enabled:
+///
+/// * a [`FlightRecorder`] ([`Tracer::with_flight`]) receiving compact
+///   span/counter/fault events on a lock-free ring;
+/// * a [`HistogramRegistry`] ([`Tracer::with_histograms`]) receiving
+///   latency/size observations via [`Tracer::record_hist`];
+/// * a trace id ([`Tracer::with_trace`]) stamped onto every flight event,
+///   which is how one request's events are found again in the shared ring.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<Sink>>,
+    flight: Option<FlightRecorder>,
+    hists: Option<HistogramRegistry>,
+    trace_id: u64,
 }
 
 impl Tracer {
@@ -122,19 +137,107 @@ impl Tracer {
                     next_span: 0,
                 }),
             })),
+            ..Tracer::default()
         }
     }
 
     /// The no-op tracer: every method returns immediately without locking,
     /// formatting or allocating.
     pub fn disabled() -> Tracer {
-        Tracer { inner: None }
+        Tracer::default()
     }
 
     /// Whether events are being recorded. Callers computing anything
     /// non-trivial purely for tracing should branch on this first.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether *any* observability is attached: the event sink, a flight
+    /// recorder, or a histogram registry. Instrumented paths that would
+    /// skip tracing entirely must branch on this, not [`Tracer::is_enabled`],
+    /// or always-on telemetry silently disappears.
+    pub fn is_observed(&self) -> bool {
+        self.inner.is_some() || self.flight.is_some() || self.hists.is_some()
+    }
+
+    /// This tracer with `recorder` attached; all derived clones record
+    /// flight events into it.
+    pub fn with_flight(&self, recorder: FlightRecorder) -> Tracer {
+        Tracer {
+            flight: Some(recorder),
+            ..self.clone()
+        }
+    }
+
+    /// This tracer with `hists` attached; [`Tracer::record_hist`] calls on
+    /// derived clones land in it.
+    pub fn with_histograms(&self, hists: HistogramRegistry) -> Tracer {
+        Tracer {
+            hists: Some(hists),
+            ..self.clone()
+        }
+    }
+
+    /// This tracer stamped with `trace_id` (a cheap clone; the serving
+    /// path makes one per request and threads it through the job).
+    pub fn with_trace(&self, trace_id: u64) -> Tracer {
+        Tracer {
+            trace_id,
+            ..self.clone()
+        }
+    }
+
+    /// The trace id stamped on flight events; 0 when untraced.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The attached histogram registry, if any.
+    pub fn histograms(&self) -> Option<&HistogramRegistry> {
+        self.hists.as_ref()
+    }
+
+    /// Records `value` into the named histogram; a no-op without a
+    /// registry attached.
+    pub fn record_hist(&self, name: &str, value: u64) {
+        if let Some(hists) = &self.hists {
+            hists.record(name, value);
+        }
+    }
+
+    /// Records one flight event; a no-op without a recorder attached.
+    pub fn flight_event(&self, kind: FlightKind, name: &'static str, value: u64) {
+        if let Some(flight) = &self.flight {
+            flight.record(kind, name, self.trace_id, value);
+        }
+    }
+
+    /// Opens a flight-recorder span: a `SpanOpen` event now, a `SpanClose`
+    /// carrying the duration in µs when the guard drops (also on unwind).
+    /// Independent of [`Tracer::span`] — flight spans survive in the ring
+    /// after the sink's unbounded log would be unaffordable.
+    pub fn flight_span(&self, name: &'static str) -> FlightSpanGuard {
+        let Some(flight) = &self.flight else {
+            return FlightSpanGuard {
+                flight: None,
+                name,
+                trace: 0,
+                opened_us: 0,
+            };
+        };
+        flight.record(FlightKind::SpanOpen, name, self.trace_id, 0);
+        FlightSpanGuard {
+            flight: Some(flight.clone()),
+            name,
+            trace: self.trace_id,
+            opened_us: flight.now_us(),
+        }
     }
 
     /// Opens a nested span; it closes when the returned guard drops (also
@@ -220,6 +323,25 @@ impl Tracer {
                 let now = sink.now_us();
                 Report::from_events(&sink.lock().events, now)
             }
+        }
+    }
+}
+
+/// Closes its flight span on drop, recording the duration. Returned by
+/// [`Tracer::flight_span`].
+#[derive(Debug)]
+pub struct FlightSpanGuard {
+    flight: Option<FlightRecorder>,
+    name: &'static str,
+    trace: u64,
+    opened_us: u64,
+}
+
+impl Drop for FlightSpanGuard {
+    fn drop(&mut self) {
+        if let Some(flight) = &self.flight {
+            let dur_us = flight.now_us().saturating_sub(self.opened_us);
+            flight.record(FlightKind::SpanClose, self.name, self.trace, dur_us);
         }
     }
 }
@@ -385,6 +507,57 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::Counter { span: Some(0), name, .. } if name == "steps")));
+    }
+
+    #[test]
+    fn attachments_work_with_a_disabled_sink() {
+        let flight = FlightRecorder::with_capacity(1, 32);
+        let hists = HistogramRegistry::new();
+        let t = Tracer::disabled()
+            .with_flight(flight.clone())
+            .with_histograms(hists.clone())
+            .with_trace(0xabcd);
+        assert!(!t.is_enabled());
+        assert!(t.is_observed());
+        {
+            let _fs = t.flight_span("work");
+            t.flight_event(FlightKind::Counter, "steps", 3);
+            t.record_hist("latency_us", 120);
+        }
+        assert!(t.events().is_empty(), "the sink stays off");
+        let events = flight.events_for_trace(0xabcd);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["work", "steps", "work"]);
+        assert_eq!(events[0].kind, FlightKind::SpanOpen);
+        assert_eq!(events[2].kind, FlightKind::SpanClose);
+        assert_eq!(hists.snapshot()[0].1.count(), 1);
+    }
+
+    #[test]
+    fn with_trace_isolates_requests_in_the_shared_ring() {
+        let flight = FlightRecorder::with_capacity(1, 32);
+        let base = Tracer::disabled().with_flight(flight.clone());
+        assert_eq!(base.trace_id(), 0);
+        let a = base.with_trace(1);
+        let b = base.with_trace(2);
+        a.flight_event(FlightKind::Counter, "a", 0);
+        b.flight_event(FlightKind::Counter, "b", 0);
+        assert_eq!(flight.events_for_trace(1).len(), 1);
+        assert_eq!(flight.events_for_trace(2).len(), 1);
+        assert_eq!(flight.events_for_trace(1)[0].name, "a");
+    }
+
+    #[test]
+    fn flight_span_closes_on_unwind() {
+        let flight = FlightRecorder::with_capacity(1, 8);
+        let t = Tracer::disabled().with_flight(flight.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _fs = t.flight_span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let kinds: Vec<FlightKind> = flight.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [FlightKind::SpanOpen, FlightKind::SpanClose]);
     }
 
     #[test]

@@ -5,9 +5,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::Instant;
 
 use modsyn_fault::{site, FaultHook, Faults};
-use modsyn_obs::Tracer;
+use modsyn_obs::{FlightKind, Tracer};
 
 /// The number of workers to use when the caller does not care: the
 /// machine's available parallelism, 1 if it cannot be determined.
@@ -168,20 +169,30 @@ impl WorkerPool {
         let tracer = self.shared.tracer.clone();
         let faults = self.shared.faults.clone();
         let label = label.to_string();
+        let submitted = Instant::now();
         let job: Job = Box::new(move || {
+            // Enqueue-to-run wait: how long the job sat in the injector
+            // queue before a worker picked it up.
+            let wait_us = submitted.elapsed().as_micros() as u64;
+            tracer.record_hist("pool_wait_us", wait_us);
+            tracer.flight_event(FlightKind::Counter, "pool.wait_us", wait_us);
+            let _flight = tracer.flight_span("pool.job");
             let span = tracer.span(&format!("job:{label}"));
             if let Some(delay) = faults.stall(site::POOL_STALL) {
                 tracer.counter("injected_faults", 1);
+                tracer.flight_event(FlightKind::Fault, site::POOL_STALL, 1);
                 thread::sleep(delay);
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if faults.fire(site::POOL_ENQUEUE) {
                     tracer.counter("injected_faults", 1);
+                    tracer.flight_event(FlightKind::Fault, site::POOL_ENQUEUE, 1);
                     panic!("injected fault: {}", site::POOL_ENQUEUE);
                 }
                 let value = f();
                 if faults.fire(site::POOL_RUN) {
                     tracer.counter("injected_faults", 1);
+                    tracer.flight_event(FlightKind::Fault, site::POOL_RUN, 1);
                     panic!("injected fault: {}", site::POOL_RUN);
                 }
                 value
@@ -195,6 +206,7 @@ impl WorkerPool {
                 // Drop the sender without sending: the handle observes a
                 // vanished job ("dropped before completion").
                 tracer.counter("injected_faults", 1);
+                tracer.flight_event(FlightKind::Fault, site::POOL_DRAIN, 1);
                 drop(tx);
                 return;
             }
@@ -339,6 +351,60 @@ mod tests {
         let report = tracer.report();
         assert_eq!(report.spans_with_prefix("worker:").len(), 3);
         assert_eq!(report.spans_with_prefix("job:t").len(), 6);
+    }
+
+    #[test]
+    fn pool_records_queue_wait_and_flight_spans() {
+        use modsyn_obs::{FlightRecorder, HistogramRegistry};
+        let flight = FlightRecorder::with_capacity(2, 64);
+        let hists = HistogramRegistry::new();
+        let tracer = Tracer::disabled()
+            .with_flight(flight.clone())
+            .with_histograms(hists.clone());
+        {
+            let pool = WorkerPool::with_tracer(2, tracer);
+            let handles: Vec<_> = (0..5).map(|i| pool.submit("w", move || i)).collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let wait = hists
+            .snapshot()
+            .into_iter()
+            .find(|(n, _)| n == "pool_wait_us")
+            .expect("pool_wait_us registered")
+            .1;
+        assert_eq!(wait.count(), 5);
+        let events = flight.snapshot();
+        let opens = events
+            .iter()
+            .filter(|e| e.name == "pool.job" && e.kind == FlightKind::SpanOpen)
+            .count();
+        let closes = events
+            .iter()
+            .filter(|e| e.name == "pool.job" && e.kind == FlightKind::SpanClose)
+            .count();
+        assert_eq!((opens, closes), (5, 5));
+    }
+
+    #[test]
+    fn injected_faults_appear_in_the_flight_recorder() {
+        use modsyn_fault::{FaultPlan, FaultRule};
+        use modsyn_obs::FlightRecorder;
+        let flight = FlightRecorder::with_capacity(1, 32);
+        let faults = FaultPlan::new("t", 1)
+            .rule(FaultRule::at(site::POOL_ENQUEUE).times(1))
+            .arm();
+        let pool = WorkerPool::with_tracer_and_faults(
+            1,
+            Tracer::disabled().with_flight(flight.clone()),
+            faults,
+        );
+        assert!(pool.submit("boom", || 1).join().is_err());
+        assert!(flight
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == FlightKind::Fault && e.name == site::POOL_ENQUEUE));
     }
 
     #[test]

@@ -551,14 +551,30 @@ impl<'f> Solver<'f> {
     /// outcome as a note. With a disabled tracer this is exactly
     /// [`Solver::solve`] — the search loops themselves are untouched.
     pub fn solve_traced(&mut self, tracer: &Tracer) -> Outcome {
-        if !tracer.is_enabled() {
+        // `is_observed`, not `is_enabled`: the always-on flight recorder
+        // and histograms must see solves even when the event sink is off.
+        if !tracer.is_observed() {
             return self.solve();
         }
         let _span = tracer.span("sat.solve");
+        let _flight = tracer.flight_span("sat.solve");
         tracer.gauge("vars", self.formula.num_vars() as f64);
         tracer.gauge("clauses", self.formula.clause_count() as f64);
+        let fault_sites = [site::SAT_ABORT, site::SAT_CONFLICT_STORM];
+        let injected_before = fault_sites.map(|at| self.faults.injected_at(at));
         let outcome = self.solve();
+        // Injected fault-site fires land on the flight recorder with the
+        // solve's trace id, so a chaos run's aborts are attributable to
+        // the request that absorbed them.
+        for (at, before) in fault_sites.into_iter().zip(injected_before) {
+            let fired = self.faults.injected_at(at).saturating_sub(before);
+            if fired > 0 {
+                tracer.flight_event(modsyn_obs::FlightKind::Fault, at, fired);
+            }
+        }
         let s = self.stats;
+        tracer.record_hist("sat_conflicts", s.conflicts);
+        tracer.record_hist("sat_decisions", s.decisions);
         tracer.counter("decisions", s.decisions);
         tracer.counter("propagations", s.propagations);
         tracer.counter("backtracks", s.backtracks);
@@ -918,6 +934,30 @@ mod tests {
         assert_eq!(span.gauge("clauses"), Some(f.clause_count() as f64));
         assert!(span.counter("conflicts").unwrap() > 0);
         assert_eq!(span.note("outcome"), Some("unsat"));
+    }
+
+    #[test]
+    fn solve_traced_feeds_flight_and_histograms_with_the_sink_off() {
+        use modsyn_obs::{FlightKind, FlightRecorder, HistogramRegistry};
+        let flight = FlightRecorder::with_capacity(1, 32);
+        let hists = HistogramRegistry::new();
+        let tracer = Tracer::disabled()
+            .with_flight(flight.clone())
+            .with_histograms(hists.clone())
+            .with_trace(0x51);
+        let f = pigeonhole(3);
+        let mut solver = Solver::new(&f, SolverOptions::default());
+        assert_eq!(solver.solve_traced(&tracer), Outcome::Unsatisfiable);
+        let events = flight.events_for_trace(0x51);
+        assert!(events
+            .iter()
+            .any(|e| e.name == "sat.solve" && e.kind == FlightKind::SpanOpen));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "sat.solve" && e.kind == FlightKind::SpanClose));
+        let names: Vec<String> = hists.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"sat_conflicts".to_string()));
+        assert!(names.contains(&"sat_decisions".to_string()));
     }
 
     #[test]

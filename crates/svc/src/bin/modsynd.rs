@@ -6,6 +6,7 @@
 //!         [--max-body BYTES] [--limit N] [--stats] [--trace-json FILE]
 //!         [--faults SPEC] [--fault-seed N]
 //!         [--breaker-threshold F] [--breaker-cooldown-ms T]
+//!         [--access-log off|stderr|FILE] [--flight-slots N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`), prints one
@@ -14,8 +15,10 @@
 //!
 //! Endpoints: `POST /synth?method=modular|modular-min-area|direct|lavagno
 //! [&timeout_ms=T]` with a `.g` body; `GET /metrics`; `GET /healthz`;
-//! `POST /shutdown`. Every 200 from `/synth` is certified by the
-//! independent oracle before it is written.
+//! `GET /debug/flight[?trace=HEX][&limit=N]`; `POST /shutdown`. Every 200
+//! from `/synth` is certified by the independent oracle before it is
+//! written, carries an `X-Modsyn-Trace` id, and leaves its span chain in
+//! the always-on flight recorder.
 //!
 //! On exit, `--stats` renders the serving trace to stderr and
 //! `--trace-json FILE` writes it as JSON, mirroring the `modsyn` CLI.
@@ -24,22 +27,27 @@
 //! [`modsyn_fault::FaultPlan::parse`] for the spec grammar); `--fault-seed`
 //! picks the plan's decision stream. `--breaker-threshold` and
 //! `--breaker-cooldown-ms` tune the per-method circuit breaker.
+//! `--access-log` steers the per-request JSON log (the daemon defaults to
+//! `stderr`; embedded servers default to off); `--flight-slots` sizes the
+//! flight recorder's per-shard ring.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use modsyn_fault::FaultPlan;
 use modsyn_obs::Tracer;
-use modsyn_svc::{Server, ServerConfig};
+use modsyn_svc::{AccessLog, Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: modsynd [--addr HOST:PORT] [--jobs N] [--queue N] [--max-connections N] \
      [--cache-entries N] [--cache-bytes N] [--timeout-ms T] [--max-body BYTES] \
      [--limit N] [--stats] [--trace-json FILE] [--faults SPEC] [--fault-seed N] \
-     [--breaker-threshold F] [--breaker-cooldown-ms T]\n\
+     [--breaker-threshold F] [--breaker-cooldown-ms T] \
+     [--access-log off|stderr|FILE] [--flight-slots N]\n\
      \n\
      Serves POST /synth (body: .g STG; query: method, timeout_ms), GET /metrics,\n\
-     GET /healthz, POST /shutdown. Every 200 is oracle-certified.\n\
+     GET /healthz, GET /debug/flight, POST /shutdown. Every 200 is\n\
+     oracle-certified and trace-stamped (X-Modsyn-Trace).\n\
      --faults arms a seeded chaos plan, e.g. 'sat.abort*2,svc.write-torn@1/4'\n\
      (rule grammar: site[*max][+skip][@num/denom][~delay_ms])."
 }
@@ -53,6 +61,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7171".to_string(),
+        // The daemon logs requests by default; embedded servers stay quiet.
+        access_log: AccessLog::Stderr,
         ..ServerConfig::default()
     };
     let mut stats = false;
@@ -123,6 +133,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --breaker-cooldown-ms value")?;
                 config.breaker.cooldown = Duration::from_millis(ms);
+            }
+            "--access-log" => {
+                config.access_log = match value("--access-log")?.as_str() {
+                    "off" => AccessLog::Off,
+                    "stderr" => AccessLog::Stderr,
+                    path => AccessLog::File(path.into()),
+                };
+            }
+            "--flight-slots" => {
+                config.flight_slots = value("--flight-slots")?
+                    .parse()
+                    .map_err(|_| "bad --flight-slots value")?;
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),

@@ -58,13 +58,38 @@ pub fn request(
     body: &[u8],
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, target, &[], body, timeout)
+}
+
+/// [`request`] with extra request headers — e.g. `("X-Modsyn-Trace",
+/// "4242424242424242")` to propagate a caller-chosen trace id into the
+/// server's flight recorder and access log.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;

@@ -25,8 +25,15 @@
 //!   malformed input to a typed 4xx/5xx, and handler panics are contained;
 //!   nothing a client sends kills the accept loop.
 //! * **Observability** — `GET /metrics` exposes counters (requests, cache
-//!   hits/misses/evictions, shed, aborted, certified) and gauges (queue
-//!   depth, in-flight, connections), mirrored into `modsyn-obs` traces.
+//!   hits/misses/evictions, shed, aborted, certified), gauges (queue
+//!   depth, in-flight, connections) and log-scale latency histograms
+//!   (per-endpoint × per-method request latency, queue wait, synthesis
+//!   cpu time — p50/p90/p99/max), mirrored into `modsyn-obs` traces.
+//!   Every request carries a trace id (`X-Modsyn-Trace`, caller-suppliable)
+//!   stamped on every event in the always-on, fixed-memory flight
+//!   recorder; `GET /debug/flight?trace=<hex>` dumps a request's span
+//!   chain after the fact, and an optional JSON access log writes one
+//!   line per request.
 //! * **Graceful drain** — `POST /shutdown` (or [`ServerHandle::shutdown`])
 //!   stops the accept loop and waits for in-flight work.
 //!
@@ -72,5 +79,5 @@ mod server;
 pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{cache_key, CacheConfig, ShardedLru};
 pub use http::{HttpError, Limits, Request, Response};
-pub use metrics::Metrics;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use metrics::{Gauge, GaugeGuard, Metrics};
+pub use server::{AccessLog, Server, ServerConfig, ServerHandle};

@@ -1,14 +1,50 @@
-//! Service counters and gauges, exposed on `GET /metrics`.
+//! Service counters, gauges and latency histograms, exposed on
+//! `GET /metrics`.
 //!
 //! The atomics here are the source of truth for the scrape endpoint (a
 //! gauge needs a *current* value, which the append-only `modsyn-obs` event
 //! log does not model); every counter increment is mirrored into the
 //! server's [`modsyn_obs::Tracer`] as well, so a `--trace-json` capture of
 //! a serving session shows the same story as `/metrics`.
+//!
+//! The [`HistogramRegistry`] carried in [`Metrics::hists`] is the same
+//! registry the server attaches to its tracer at bind time, so request
+//! latency (per endpoint × method), queue wait, synthesis cpu time, pool
+//! wait and solver effort all land here and render as
+//! `modsynd_<metric>{key="…",q="p50|p90|p99|max|count"}` lines. The
+//! standard names are pre-registered in [`Metrics::default`] so a fresh
+//! scrape shows the full (all-zero) set — which is also what lets the
+//! exposition format be pinned by a test.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use modsyn_obs::Tracer;
+use modsyn_obs::{HistogramRegistry, Tracer};
+
+/// Histogram names pre-registered on every server. The first `:`-segment
+/// is the rendered metric name, the rest becomes the `key` label.
+pub const STANDARD_HISTOGRAMS: &[&str] = &[
+    "request_us:synth:modular",
+    "request_us:synth:modular-min-area",
+    "request_us:synth:direct",
+    "request_us:synth:lavagno",
+    "request_us:metrics",
+    "request_us:healthz",
+    "request_us:flight",
+    "request_us:shutdown",
+    "request_us:other",
+    "queue_wait_us",
+    "synth_cpu_us:modular",
+    "synth_cpu_us:modular-min-area",
+    "synth_cpu_us:direct",
+    "synth_cpu_us:lavagno",
+    "pool_wait_us",
+    "sat_conflicts",
+    "sat_decisions",
+];
+
+/// The quantile columns rendered per histogram.
+const QUANTILES: &[(&str, f64)] = &[("p50", 0.50), ("p90", 0.90), ("p99", 0.99)];
 
 /// All service metrics. Field order is the `/metrics` render order.
 #[derive(Debug, Default)]
@@ -39,6 +75,9 @@ pub struct Metrics {
     pub breaker_rejections: AtomicU64,
     /// Circuit-breaker closed→open transitions.
     pub breaker_opens: AtomicU64,
+    /// Retry-ladder escalations that ended in a served 200 (the request
+    /// recovered without the client noticing anything but latency).
+    pub retry_recoveries: AtomicU64,
     /// Faults fired by an armed [`modsyn_fault::FaultPlan`] in the svc
     /// layer (accept drops, torn reads/writes, slow-peer stalls,
     /// eviction storms). Always 0 in production.
@@ -49,17 +88,31 @@ pub struct Metrics {
     pub in_flight: AtomicU64,
     /// Gauge: open connections being handled.
     pub connections: AtomicU64,
+    /// Latency/effort histograms (see [`STANDARD_HISTOGRAMS`]).
+    pub hists: HistogramRegistry,
 }
 
 impl Metrics {
+    /// A fresh metrics block with the standard histograms pre-registered,
+    /// so `/metrics` exposes the full set from the first scrape.
+    pub fn new() -> Metrics {
+        let m = Metrics::default();
+        for name in STANDARD_HISTOGRAMS {
+            m.hists.handle(name);
+        }
+        m
+    }
+
     /// Bumps a counter and mirrors it into `tracer`.
     pub fn count(&self, counter: &AtomicU64, tracer: &Tracer, name: &str) {
         counter.fetch_add(1, Ordering::Relaxed);
         tracer.counter(name, 1);
     }
 
-    /// Renders the Prometheus-style text exposition (`name value` lines;
-    /// no type metadata, which scrapers treat as untyped).
+    /// Renders the Prometheus-style text exposition: `name value` counter
+    /// and gauge lines first (fixed order), then one
+    /// `modsynd_<metric>{key="…",q="…"} value` line per histogram
+    /// quantile, histograms sorted by name.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, value) in [
@@ -76,6 +129,7 @@ impl Metrics {
             ("modsynd_panics_total", &self.panics),
             ("modsynd_breaker_rejections_total", &self.breaker_rejections),
             ("modsynd_breaker_opens_total", &self.breaker_opens),
+            ("modsynd_retry_recoveries_total", &self.retry_recoveries),
             ("modsynd_injected_faults_total", &self.injected_faults),
             ("modsynd_queue_depth", &self.queue_depth),
             ("modsynd_in_flight", &self.in_flight),
@@ -86,16 +140,100 @@ impl Metrics {
             out.push_str(&value.load(Ordering::Relaxed).to_string());
             out.push('\n');
         }
+        for (name, snap) in self.hists.snapshot() {
+            let columns = QUANTILES
+                .iter()
+                .map(|&(q, frac)| (q, snap.percentile(frac)))
+                .chain([("max", snap.max()), ("count", snap.count())]);
+            for (q, value) in columns {
+                out.push_str(&Self::hist_line_name(&name, q));
+                out.push(' ');
+                out.push_str(&value.to_string());
+                out.push('\n');
+            }
+        }
         out
     }
 
+    /// The exposition token for one histogram quantile:
+    /// `modsynd_<metric>{key="rest",q="p99"}`, with the `key` label
+    /// omitted for an un-keyed name.
+    pub fn hist_line_name(registry_name: &str, q: &str) -> String {
+        match registry_name.split_once(':') {
+            Some((metric, key)) => format!("modsynd_{metric}{{key=\"{key}\",q=\"{q}\"}}"),
+            None => format!("modsynd_{registry_name}{{q=\"{q}\"}}"),
+        }
+    }
+
     /// Reads one metric back out of a rendered exposition (used by tests
-    /// and the loadgen report).
+    /// and the loadgen report). Works for plain and histogram lines — the
+    /// name is everything before the first space, labels included.
     pub fn parse_line(rendered: &str, name: &str) -> Option<u64> {
         rendered.lines().find_map(|line| {
             let (n, v) = line.split_once(' ')?;
             (n == name).then(|| v.parse().ok())?
         })
+    }
+
+    /// Reads one histogram quantile (`q` ∈ p50/p90/p99/max/count) for a
+    /// registry name out of a rendered exposition.
+    pub fn parse_hist(rendered: &str, registry_name: &str, q: &str) -> Option<u64> {
+        Self::parse_line(rendered, &Self::hist_line_name(registry_name, q))
+    }
+}
+
+/// The three service gauges, for [`GaugeGuard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// `modsynd_queue_depth`.
+    QueueDepth,
+    /// `modsynd_in_flight`.
+    InFlight,
+    /// `modsynd_connections`.
+    Connections,
+}
+
+impl Gauge {
+    fn cell(self, metrics: &Metrics) -> &AtomicU64 {
+        match self {
+            Gauge::QueueDepth => &metrics.queue_depth,
+            Gauge::InFlight => &metrics.in_flight,
+            Gauge::Connections => &metrics.connections,
+        }
+    }
+}
+
+/// An RAII increment of one service gauge: the decrement runs on drop, so
+/// early returns, contained panics and never-run pool closures all give
+/// the increment back. Every gauge update in the serving path goes
+/// through one of these — a leaked gauge is a drain that never finishes
+/// and an admission queue that slowly chokes.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    metrics: Arc<Metrics>,
+    gauge: Gauge,
+}
+
+impl GaugeGuard {
+    /// Increments `gauge` now; decrements it on drop.
+    pub fn enter(metrics: Arc<Metrics>, gauge: Gauge) -> GaugeGuard {
+        gauge.cell(&metrics).fetch_add(1, Ordering::AcqRel);
+        GaugeGuard { metrics, gauge }
+    }
+
+    /// Adopts an increment the caller already made (e.g. via a bounded
+    /// `fetch_update`), decrementing it on drop without a second
+    /// increment.
+    pub fn adopt(metrics: Arc<Metrics>, gauge: Gauge) -> GaugeGuard {
+        GaugeGuard { metrics, gauge }
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge
+            .cell(&self.metrics)
+            .fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -105,7 +243,7 @@ mod tests {
 
     #[test]
     fn render_and_parse_roundtrip() {
-        let m = Metrics::default();
+        let m = Metrics::new();
         m.requests.store(7, Ordering::Relaxed);
         m.queue_depth.store(3, Ordering::Relaxed);
         let text = m.render();
@@ -124,10 +262,95 @@ mod tests {
     #[test]
     fn count_mirrors_into_tracer() {
         let tracer = Tracer::enabled();
-        let m = Metrics::default();
+        let m = Metrics::new();
         m.count(&m.shed, &tracer, "shed");
         m.count(&m.shed, &tracer, "shed");
         assert_eq!(m.shed.load(Ordering::Relaxed), 2);
         assert_eq!(tracer.report().total_counter("shed"), 2);
+    }
+
+    #[test]
+    fn histogram_lines_render_and_parse() {
+        let m = Metrics::new();
+        for v in [100u64, 200, 300] {
+            m.hists.record("request_us:synth:modular", v);
+        }
+        let text = m.render();
+        assert_eq!(
+            Metrics::parse_hist(&text, "request_us:synth:modular", "count"),
+            Some(3)
+        );
+        assert_eq!(
+            Metrics::parse_hist(&text, "request_us:synth:modular", "max"),
+            Some(300)
+        );
+        let p50 = Metrics::parse_hist(&text, "request_us:synth:modular", "p50").unwrap();
+        assert!((190..=210).contains(&p50), "p50 ≈ 200, got {p50}");
+        // Un-keyed names render without the key label.
+        assert!(text.contains("modsynd_queue_wait_us{q=\"p50\"} 0\n"));
+    }
+
+    /// The full exposition of a fresh server is pinned: adding, removing
+    /// or reordering lines is a contract change for scrapers and must be
+    /// deliberate (update this test when it is).
+    #[test]
+    fn fresh_exposition_format_is_pinned() {
+        let counter_lines = "\
+modsynd_requests_total 0
+modsynd_cache_hits_total 0
+modsynd_cache_misses_total 0
+modsynd_cache_evictions_total 0
+modsynd_shed_total 0
+modsynd_aborted_total 0
+modsynd_certified_total 0
+modsynd_http_errors_total 0
+modsynd_synth_failures_total 0
+modsynd_check_failures_total 0
+modsynd_panics_total 0
+modsynd_breaker_rejections_total 0
+modsynd_breaker_opens_total 0
+modsynd_retry_recoveries_total 0
+modsynd_injected_faults_total 0
+modsynd_queue_depth 0
+modsynd_in_flight 0
+modsynd_connections 0
+";
+        let mut expected = String::from(counter_lines);
+        let mut names: Vec<&str> = STANDARD_HISTOGRAMS.to_vec();
+        names.sort_unstable();
+        for name in names {
+            for q in ["p50", "p90", "p99", "max", "count"] {
+                expected.push_str(&Metrics::hist_line_name(name, q));
+                expected.push_str(" 0\n");
+            }
+        }
+        assert_eq!(Metrics::new().render(), expected);
+    }
+
+    #[test]
+    fn gauge_guards_enter_adopt_and_release() {
+        let m = Arc::new(Metrics::new());
+        {
+            let _a = GaugeGuard::enter(Arc::clone(&m), Gauge::Connections);
+            let _b = GaugeGuard::enter(Arc::clone(&m), Gauge::Connections);
+            assert_eq!(m.connections.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(m.connections.load(Ordering::Relaxed), 0);
+        // Adopt: the increment happened elsewhere; the guard only releases.
+        m.queue_depth.fetch_add(1, Ordering::AcqRel);
+        drop(GaugeGuard::adopt(Arc::clone(&m), Gauge::QueueDepth));
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn gauge_guard_releases_on_unwind() {
+        let m = Arc::new(Metrics::new());
+        let metrics = Arc::clone(&m);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _g = GaugeGuard::enter(metrics, Gauge::InFlight);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
     }
 }

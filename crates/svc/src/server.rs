@@ -9,19 +9,31 @@
 //!    input is a typed 4xx/5xx, and a handler panic is contained by a
 //!    `catch_unwind` guard, so nothing a client sends can take down the
 //!    accept loop.
-//! 3. The body is parsed as a `.g` STG and hashed
+//! 3. The request is assigned a **trace id** — the client's
+//!    `X-Modsyn-Trace` header when it sent one, a fresh id otherwise. The
+//!    id is stamped on every flight-recorder event the request produces
+//!    (svc accept → pool run → retry ladder → SAT solve), echoed back as
+//!    an `X-Modsyn-Trace` response header, written to the JSON access log,
+//!    and queryable via `GET /debug/flight?trace=<hex>`.
+//! 4. The body is parsed as a `.g` STG and hashed
 //!    ([`modsyn_stg::stg_digest`] ⊕ method) into the response cache. A hit
 //!    returns the previously certified body verbatim (`X-Modsyn-Cache:
 //!    hit`) without touching the pool.
-//! 4. A miss passes **admission control**: at most
+//! 5. A miss passes **admission control**: at most
 //!    [`ServerConfig::queue_capacity`] jobs may be admitted-but-unstarted;
 //!    beyond that the request is shed with `503` + `Retry-After` instead
-//!    of queueing unboundedly.
-//! 5. Admitted jobs run on the shared [`WorkerPool`] under a
+//!    of queueing unboundedly. The admission ticket is an RAII
+//!    [`GaugeGuard`], so a job the pool never runs (injected panic,
+//!    dropped closure) still gives its slot back.
+//! 6. Admitted jobs run on the shared [`WorkerPool`] under a
 //!    [`CancelToken`] deadline — the smaller of the server-wide
 //!    [`ServerConfig::request_timeout`] and the client's `timeout_ms`
-//!    query parameter. A deadline that fires surfaces as `504`.
-//! 6. Every successful synthesis is certified against the independent
+//!    query parameter. A deadline that fires surfaces as `504`. Capacity
+//!    failures (backtrack limit, injected solver aborts) climb the
+//!    deterministic retry ladder (`modsyn::synthesize_with_retry_traced`,
+//!    with the lavagno fallback disabled so the response method always
+//!    matches the request) before the client sees an error.
+//! 7. Every successful synthesis is certified against the independent
 //!    `modsyn-check` oracle (consistency, CSC, speed independence,
 //!    observation equivalence to the specification) *before* the 200 is
 //!    written; an oracle rejection is a 500 and a `check_failures` metric
@@ -30,6 +42,16 @@
 //! Response bodies are deterministic (no timestamps or timing fields), so
 //! identical requests produce byte-identical bodies whether computed or
 //! cached; per-run timing travels in the `X-Modsyn-Cpu-Us` header only.
+//!
+//! ## Always-on observability
+//!
+//! The tracer handed to [`Server::bind`] is extended with a
+//! [`FlightRecorder`] (fixed-memory, lock-free; dumped by
+//! `GET /debug/flight`) and the metrics block's histogram registry
+//! (per-endpoint × per-method request latency, queue wait, synthesis cpu
+//! time, pool wait, solver effort — rendered as quantile lines on
+//! `GET /metrics`). Both stay on in production; neither allocates or
+//! locks on the hot path.
 //!
 //! ## Drain
 //!
@@ -40,20 +62,33 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use modsyn::{certify_report, Method, SynthesisError, SynthesisOptions};
+use modsyn::{certify_report, Method, RetryPolicy, SynthesisError, SynthesisOptions};
 use modsyn_fault::{site, FaultHook, Faults};
-use modsyn_obs::{Json, Tracer};
+use modsyn_obs::{FlightEvent, FlightKind, FlightRecorder, Json, Tracer};
 use modsyn_par::{CancelToken, WorkerPool};
 use modsyn_stg::{parse_g, stg_digest, Stg};
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{cache_key, CacheConfig, ShardedLru};
 use crate::http::{read_request, Limits, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Gauge, GaugeGuard, Metrics};
+
+/// Where the per-request JSON access log goes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum AccessLog {
+    /// No access log (the default for embedded/test servers).
+    #[default]
+    Off,
+    /// One JSON line per request on stderr (the `modsynd` default).
+    Stderr,
+    /// Append JSON lines to this file.
+    File(PathBuf),
+}
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +122,11 @@ pub struct ServerConfig {
     /// `cache.evict-storm`) and threaded into each synthesis run's
     /// `sat.*` sites. Inert by default.
     pub faults: Faults,
+    /// Flight-recorder ring capacity per shard (the recorder keeps
+    /// [`modsyn_obs::DEFAULT_SHARDS`] shards of this many slots).
+    pub flight_slots: usize,
+    /// Per-request access-log destination.
+    pub access_log: AccessLog,
 }
 
 impl Default for ServerConfig {
@@ -104,8 +144,26 @@ impl Default for ServerConfig {
             backtrack_limit: None,
             breaker: BreakerConfig::default(),
             faults: Faults::none(),
+            flight_slots: modsyn_obs::DEFAULT_SLOTS,
+            access_log: AccessLog::Off,
         }
     }
+}
+
+/// The splitmix64 finalizer: a cheap bijective mixer good enough to make
+/// sequential trace ids look unrelated.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug)]
+enum AccessSink {
+    Off,
+    Stderr,
+    File(Mutex<std::fs::File>),
 }
 
 struct Shared {
@@ -114,18 +172,66 @@ struct Shared {
     cache: ShardedLru<Arc<Vec<u8>>>,
     metrics: Arc<Metrics>,
     tracer: Tracer,
+    flight: FlightRecorder,
     shutting_down: AtomicBool,
     /// One breaker per method, indexed by [`method_tag`].
     breakers: [CircuitBreaker; 4],
+    /// Fresh-trace-id counter, mixed with `trace_salt` so ids from
+    /// different server instances do not collide on restart.
+    trace_seq: AtomicU64,
+    trace_salt: u64,
+    access: AccessSink,
 }
 
 impl Shared {
-    fn injected_fault(&self) {
+    fn injected_fault(&self, at: &'static str) {
         self.metrics.count(
             &self.metrics.injected_faults,
             &self.tracer,
             "injected_faults",
         );
+        self.tracer.flight_event(FlightKind::Fault, at, 1);
+    }
+
+    /// A fresh nonzero trace id (0 means "untraced" throughout).
+    fn next_trace(&self) -> u64 {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        mix64(self.trace_salt ^ seq).max(1)
+    }
+
+    /// Writes one structured access-log line, if a sink is configured.
+    fn log_access(
+        &self,
+        trace: u64,
+        method: &str,
+        path: &str,
+        status: u16,
+        latency_us: u64,
+        endpoint: &str,
+    ) {
+        if matches!(self.access, AccessSink::Off) {
+            return;
+        }
+        let line = Json::obj([
+            ("trace", Json::from(format!("{trace:016x}"))),
+            ("method", Json::from(method)),
+            ("path", Json::from(path)),
+            ("status", Json::from(u64::from(status))),
+            ("latency_us", Json::from(latency_us)),
+            ("endpoint", Json::from(endpoint)),
+        ])
+        .to_string();
+        match &self.access {
+            AccessSink::Off => {}
+            AccessSink::Stderr => eprintln!("{line}"),
+            AccessSink::File(file) => {
+                use std::io::Write as _;
+                let mut file = file
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ = writeln!(file, "{line}");
+            }
+        }
     }
 }
 
@@ -154,6 +260,12 @@ impl ServerHandle {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The always-on flight recorder (the same rings `GET /debug/flight`
+    /// dumps).
+    pub fn flight(&self) -> FlightRecorder {
+        self.shared.flight.clone()
+    }
+
     /// Initiates a graceful drain: stop accepting, finish what's running.
     pub fn shutdown(&self) {
         if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
@@ -166,27 +278,55 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds `config.addr` and builds the pool, cache and metrics.
+    /// Binds `config.addr` and builds the pool, cache, metrics and flight
+    /// recorder. The given tracer is extended with the recorder and the
+    /// metrics histograms, so the pool, retry ladder and solver all feed
+    /// the always-on planes whether or not the event sink is enabled.
     ///
     /// # Errors
     ///
-    /// The bind failure, verbatim.
+    /// The bind failure verbatim, or opening the access-log file.
     pub fn bind(config: ServerConfig, tracer: Tracer) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let flight = FlightRecorder::with_capacity(modsyn_obs::DEFAULT_SHARDS, config.flight_slots);
+        let tracer = tracer
+            .with_flight(flight.clone())
+            .with_histograms(metrics.hists.clone());
         let pool =
             WorkerPool::with_tracer_and_faults(config.jobs, tracer.clone(), config.faults.clone());
         let cache = ShardedLru::new(&config.cache).with_faults(config.faults.clone());
+        let access = match &config.access_log {
+            AccessLog::Off => AccessSink::Off,
+            AccessLog::Stderr => AccessSink::Stderr,
+            AccessLog::File(path) => AccessSink::File(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+        };
+        let trace_salt = {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos() as u64);
+            mix64(nanos ^ u64::from(std::process::id()))
+        };
         let now = Instant::now();
         let breakers = [(); 4].map(|()| CircuitBreaker::new(config.breaker, now));
         let shared = Arc::new(Shared {
             config,
             pool,
             cache,
-            metrics: Arc::new(Metrics::default()),
+            metrics,
             tracer,
+            flight,
             shutting_down: AtomicBool::new(false),
             breakers,
+            trace_seq: AtomicU64::new(0),
+            trace_salt,
+            access,
         });
         Ok(Server {
             listener,
@@ -231,7 +371,7 @@ impl Server {
             if self.shared.config.faults.fire(site::SVC_ACCEPT) {
                 // Injected accept failure: drop the connection on the
                 // floor, exactly the transient-error branch above.
-                self.shared.injected_fault();
+                self.shared.injected_fault(site::SVC_ACCEPT);
                 continue;
             }
             self.shared.metrics.count(
@@ -245,9 +385,7 @@ impl Server {
                 .metrics
                 .connections
                 .fetch_add(1, Ordering::AcqRel);
-            let guard = ConnectionGuard {
-                metrics: Arc::clone(&self.shared.metrics),
-            };
+            let guard = GaugeGuard::adopt(Arc::clone(&self.shared.metrics), Gauge::Connections);
             if open as usize >= self.shared.config.max_connections {
                 // Over the connection bound: shed inline, never spawn.
                 self.shared
@@ -323,17 +461,6 @@ impl std::fmt::Debug for Server {
     }
 }
 
-/// Decrements the open-connection gauge even if the handler panics.
-struct ConnectionGuard {
-    metrics: Arc<Metrics>,
-}
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
-        self.metrics.connections.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
 fn shed_response() -> Response {
     error_response(
         503,
@@ -351,13 +478,34 @@ fn error_response(status: u16, reason: &'static str, tag: &str, detail: &str) ->
     Response::json_bytes(status, reason, rendered.into_bytes())
 }
 
+/// The latency-histogram registry name for a request. `/synth` is keyed
+/// by the *validated* method parameter — an arbitrary client string must
+/// not mint unbounded histogram names.
+fn request_hist_name(request: &Request) -> &'static str {
+    match request.path.as_str() {
+        "/synth" => match request.query_param("method").unwrap_or("modular") {
+            "modular" => "request_us:synth:modular",
+            "modular-min-area" => "request_us:synth:modular-min-area",
+            "direct" => "request_us:synth:direct",
+            "lavagno" => "request_us:synth:lavagno",
+            _ => "request_us:other",
+        },
+        "/metrics" => "request_us:metrics",
+        "/healthz" => "request_us:healthz",
+        "/debug/flight" => "request_us:flight",
+        "/shutdown" => "request_us:shutdown",
+        _ => "request_us:other",
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream) {
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
     if shared.config.faults.fire(site::SVC_READ_TORN) {
         // Injected torn read: hang up before reading; the client sees a
         // premature EOF.
-        shared.injected_fault();
+        shared.injected_fault(site::SVC_READ_TORN);
         return;
     }
     let mut reader = stream;
@@ -367,22 +515,57 @@ fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream)
             shared
                 .metrics
                 .count(&shared.metrics.http_errors, &shared.tracer, "http_errors");
-            if let Some((status, reason)) = e.status() {
-                let response = error_response(status, reason, e.tag(), &e.to_string());
+            let trace = shared.next_trace();
+            let mut status = 0u16;
+            if let Some((code, reason)) = e.status() {
+                status = code;
+                let response = error_response(code, reason, e.tag(), &e.to_string())
+                    .with_header("X-Modsyn-Trace", format!("{trace:016x}"));
                 Server::try_write(stream, &response, &shared.config);
             }
+            let latency_us = started.elapsed().as_micros() as u64;
+            shared.metrics.hists.record("request_us:other", latency_us);
+            shared.log_access(trace, "", "", status, latency_us, "unparsed");
             return;
         }
     };
-    let response = route(shared, addr, &request);
+
+    // Trace id: honour a well-formed caller-supplied X-Modsyn-Trace
+    // (16-digit hex, nonzero), assign a fresh one otherwise.
+    let trace = request
+        .header("x-modsyn-trace")
+        .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+        .filter(|&t| t != 0)
+        .unwrap_or_else(|| shared.next_trace());
+    let tracer = shared.tracer.with_trace(trace);
+
+    let response = {
+        let _request_span = tracer.flight_span("svc.request");
+        route(shared, addr, &request, &tracer)
+    };
+
+    let latency_us = started.elapsed().as_micros() as u64;
+    let hist = request_hist_name(&request);
+    shared.metrics.hists.record(hist, latency_us);
+    let endpoint = hist.strip_prefix("request_us:").unwrap_or(hist);
+    shared.log_access(
+        trace,
+        &request.method,
+        &request.path,
+        response.status,
+        latency_us,
+        endpoint,
+    );
+    let response = response.with_header("X-Modsyn-Trace", format!("{trace:016x}"));
+
     if let Some(delay) = shared.config.faults.stall(site::SVC_SLOW_PEER) {
-        shared.injected_fault();
+        shared.injected_fault(site::SVC_SLOW_PEER);
         std::thread::sleep(delay);
     }
     if shared.config.faults.fire(site::SVC_WRITE_TORN) {
         // Injected torn write: serialise the response but hang up after
         // half of it, so the client must treat the reply as garbage.
-        shared.injected_fault();
+        shared.injected_fault(site::SVC_WRITE_TORN);
         let mut bytes = Vec::new();
         let _ = response.write_to(&mut bytes);
         use std::io::Write as _;
@@ -393,7 +576,7 @@ fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream)
     Server::try_write(stream, &response, &shared.config);
 }
 
-fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request) -> Response {
+fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tracer) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             if shared.shutting_down.load(Ordering::Acquire) {
@@ -410,6 +593,7 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request) -> Response 
                 .store(shared.cache.evictions(), Ordering::Relaxed);
             Response::text(200, "OK", shared.metrics.render())
         }
+        ("GET", "/debug/flight") => debug_flight(shared, request),
         ("POST", "/shutdown") => {
             ServerHandle {
                 addr,
@@ -418,13 +602,13 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request) -> Response 
             .shutdown();
             Response::text(202, "Accepted", "draining\n")
         }
-        ("POST", "/synth") => synth(shared, request),
+        ("POST", "/synth") => synth(shared, request, tracer),
         (_, "/synth") | (_, "/shutdown") => {
             http_error_counted(shared);
             error_response(405, "Method Not Allowed", "method-not-allowed", "use POST")
                 .with_header("Allow", "POST")
         }
-        (_, "/healthz") | (_, "/metrics") => {
+        (_, "/healthz") | (_, "/metrics") | (_, "/debug/flight") => {
             http_error_counted(shared);
             error_response(405, "Method Not Allowed", "method-not-allowed", "use GET")
                 .with_header("Allow", "GET")
@@ -434,6 +618,55 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request) -> Response 
             error_response(404, "Not Found", "not-found", "unknown path")
         }
     }
+}
+
+/// `GET /debug/flight[?trace=<hex>][&limit=<n>]`: the recorder's recent
+/// events, newest-biased, optionally filtered to one trace id.
+fn debug_flight(shared: &Shared, request: &Request) -> Response {
+    let trace = match request.query_param("trace") {
+        None => None,
+        Some(v) => match u64::from_str_radix(v.trim(), 16) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "bad-trace",
+                    "trace must be a hex trace id",
+                );
+            }
+        },
+    };
+    let limit = request
+        .query_param("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(512);
+    let mut events = match trace {
+        Some(t) => shared.flight.events_for_trace(t),
+        None => shared.flight.snapshot(),
+    };
+    if events.len() > limit {
+        // Keep the tail: the newest events are the interesting ones.
+        events.drain(..events.len() - limit);
+    }
+    let doc = Json::obj([
+        (
+            "trace",
+            trace.map_or(Json::Null, |t| Json::from(format!("{t:016x}"))),
+        ),
+        ("recorded", Json::from(shared.flight.recorded())),
+        ("capacity", Json::from(shared.flight.capacity())),
+        ("count", Json::from(events.len())),
+        (
+            "events",
+            Json::Arr(events.iter().map(FlightEvent::to_json).collect()),
+        ),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out.push('\n');
+    Response::json_bytes(200, "OK", out.into_bytes())
 }
 
 fn http_error_counted(shared: &Shared) {
@@ -461,7 +694,7 @@ fn method_tag(method: Method) -> u8 {
     }
 }
 
-fn synth(shared: &Shared, request: &Request) -> Response {
+fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
     // A synthesis request needs a .g body; a POST without Content-Length
     // parses as an empty one (RFC 7230), so point at the actual mistake.
     if request.header("content-length").is_none() {
@@ -579,6 +812,10 @@ fn synth(shared: &Shared, request: &Request) -> Response {
             .count(&shared.metrics.shed, &shared.tracer, "shed");
         return shed_response();
     }
+    // The admission ticket travels into the pool closure as an RAII
+    // guard: if the job never runs (injected enqueue panic, dropped
+    // closure), dropping the closure still releases the slot.
+    let queue_guard = GaugeGuard::adopt(Arc::clone(&shared.metrics), Gauge::QueueDepth);
 
     // Deadline: the tighter of the server-wide and the client's budget.
     let timeout = match (shared.config.request_timeout, client_timeout) {
@@ -594,16 +831,40 @@ fn synth(shared: &Shared, request: &Request) -> Response {
     if let Some(limit) = shared.config.backtrack_limit {
         options.solver.max_backtracks = Some(limit);
     }
+    // Retry ladder: escalate capacity failures (limit bumps up to 4× the
+    // configured budget, then the SAT portfolio) before failing the
+    // request. No lavagno fallback — the response's method must be the
+    // method the client asked for, and cached bodies must stay
+    // byte-identical across fault plans.
+    let policy = RetryPolicy {
+        backtrack_cap: shared
+            .config
+            .backtrack_limit
+            .map_or(1_000_000, |l| l.saturating_mul(4)),
+        attempt_timeout: None,
+        fallback: false,
+        max_attempts: 4,
+    };
 
     let metrics = Arc::clone(&shared.metrics);
+    let job_tracer = tracer.clone();
     let started = Instant::now();
     let handle = shared
         .pool
         .submit(&format!("synth:{}", stg.name()), move || {
-            metrics.queue_depth.fetch_sub(1, Ordering::AcqRel);
-            metrics.in_flight.fetch_add(1, Ordering::AcqRel);
-            let _guard = InFlightGuard { metrics: &metrics };
-            run_synthesis(&stg, &options)
+            drop(queue_guard);
+            let _in_flight = GaugeGuard::enter(Arc::clone(&metrics), Gauge::InFlight);
+            let wait_us = started.elapsed().as_micros() as u64;
+            job_tracer.record_hist("queue_wait_us", wait_us);
+            job_tracer.flight_event(FlightKind::Counter, "svc.queue_wait_us", wait_us);
+            let _run_span = job_tracer.flight_span("pool.run");
+            let cpu_started = Instant::now();
+            let outcome = run_synthesis(&stg, &options, &policy, &job_tracer);
+            job_tracer.record_hist(
+                &format!("synth_cpu_us:{method}"),
+                cpu_started.elapsed().as_micros() as u64,
+            );
+            outcome
         });
 
     let outcome = handle.join();
@@ -656,10 +917,17 @@ fn synth(shared: &Shared, request: &Request) -> Response {
             );
             error_response(500, "Internal Server Error", "check-failed", &detail)
         }
-        Ok(SynthOutcome::Certified { body }) => {
+        Ok(SynthOutcome::Certified { body, recovered }) => {
             shared
                 .metrics
                 .count(&shared.metrics.certified, &shared.tracer, "certified");
+            if recovered {
+                shared.metrics.count(
+                    &shared.metrics.retry_recoveries,
+                    &shared.tracer,
+                    "retry_recoveries",
+                );
+            }
             let bytes = body.len();
             shared.cache.insert(key, Arc::new(body.clone()), bytes);
             Response::json_bytes(200, "OK", body)
@@ -670,19 +938,10 @@ fn synth(shared: &Shared, request: &Request) -> Response {
     }
 }
 
-struct InFlightGuard<'a> {
-    metrics: &'a Metrics,
-}
-
-impl Drop for InFlightGuard<'_> {
-    fn drop(&mut self) {
-        self.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
 enum SynthOutcome {
     /// Synthesised *and* oracle-certified; the rendered response body.
-    Certified { body: Vec<u8> },
+    /// `recovered` marks a run that climbed the retry ladder first.
+    Certified { body: Vec<u8>, recovered: bool },
     /// The per-request deadline fired.
     Aborted(String),
     /// The STG is unsolvable/unsupported under this method (client's problem).
@@ -700,16 +959,34 @@ fn synth_error_tag(e: &SynthesisError) -> &'static str {
         SynthesisError::StateSplittingRequired => "state-splitting-required",
         SynthesisError::CscUnresolved { .. } => "csc-unresolved",
         SynthesisError::Aborted { .. } => "aborted",
+        SynthesisError::Exhausted { .. } => "exhausted",
         _ => "synthesis-failed",
     }
 }
 
-fn run_synthesis(stg: &Stg, options: &SynthesisOptions) -> SynthOutcome {
-    let report = match modsyn::synthesize(stg, options) {
-        Ok(r) => r,
-        Err(e @ SynthesisError::Aborted { .. }) => return SynthOutcome::Aborted(e.to_string()),
-        Err(e) => return SynthOutcome::Failed(e),
-    };
+fn run_synthesis(
+    stg: &Stg,
+    options: &SynthesisOptions,
+    policy: &RetryPolicy,
+    tracer: &Tracer,
+) -> SynthOutcome {
+    let (report, recovered) =
+        match modsyn::synthesize_with_retry_traced(stg, options, policy, tracer) {
+            Ok(out) => (out.report, !out.attempts.is_empty()),
+            Err(e @ SynthesisError::Aborted { .. }) => return SynthOutcome::Aborted(e.to_string()),
+            Err(SynthesisError::Exhausted { attempts }) => {
+                // Surface the last rung's failure so clients keep seeing the
+                // stable 422 tags (backtrack-limit, …) rather than a ladder
+                // internal.
+                return match attempts.into_iter().next_back() {
+                    Some(last) => SynthOutcome::Failed(last.error),
+                    None => SynthOutcome::Failed(SynthesisError::Exhausted {
+                        attempts: Vec::new(),
+                    }),
+                };
+            }
+            Err(e) => return SynthOutcome::Failed(e),
+        };
     // Re-derive the unsolved specification graph so the oracle can check
     // observation equivalence, not just the solved graph's own properties.
     let spec = match modsyn_sg::derive(stg, &options.derive) {
@@ -721,6 +998,7 @@ fn run_synthesis(stg: &Stg, options: &SynthesisOptions) -> SynthOutcome {
     }
     SynthOutcome::Certified {
         body: render_report(&report),
+        recovered,
     }
 }
 

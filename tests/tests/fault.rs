@@ -161,14 +161,16 @@ fn ladder_output_under_faults_is_identical_to_the_clean_run_and_certifies() {
 
 #[test]
 fn breaker_opens_under_injected_failures_then_recovers_through_half_open() {
-    // A persistent sat.abort plan makes every synthesis fail (504); a
+    // A persistent pool.run panic plan makes every synthesis fail (500) —
+    // a worker panic is the one failure the server's retry ladder cannot
+    // absorb, unlike sat.abort which the portfolio rung now recovers. A
     // threshold of 1.5 (trips on the second quick failure — the score
     // decays slightly between records, so 2.0 would never be reached) and
     // a short cooldown keep the test fast. We hold a clone of the armed
     // handle so the "fault cleared" transition is an explicit switch, not
     // a budget coincidence.
     let faults = FaultPlan::new("chaos", 3)
-        .rule(FaultRule::at(site::SAT_ABORT))
+        .rule(FaultRule::at(site::POOL_RUN))
         .arm();
     let cooldown = Duration::from_millis(200);
     let (handle, thread) = start(ServerConfig {
@@ -183,10 +185,10 @@ fn breaker_opens_under_injected_failures_then_recovers_through_half_open() {
     });
     let g = benchmark_g("vbe-ex1");
 
-    // Closed: failures pass through as 504s and score against the breaker.
+    // Closed: failures pass through as 500s and score against the breaker.
     for _ in 0..2 {
         let r = post_synth(&handle, &g);
-        assert_eq!(r.status, 504, "{}", r.text());
+        assert_eq!(r.status, 500, "{}", r.text());
     }
     // Open: rejected up front with 503 + Retry-After, no synthesis run.
     let rejected = post_synth(&handle, &g);
@@ -209,7 +211,7 @@ fn breaker_opens_under_injected_failures_then_recovers_through_half_open() {
     // fails and the breaker re-opens for another cooldown.
     std::thread::sleep(cooldown + Duration::from_millis(50));
     let probe = post_synth(&handle, &g);
-    assert_eq!(probe.status, 504, "{}", probe.text());
+    assert_eq!(probe.status, 500, "{}", probe.text());
     assert_eq!(metric(&handle, "modsynd_breaker_opens_total"), 2);
     let reopened = post_synth(&handle, &g);
     assert_eq!(reopened.status, 503, "{}", reopened.text());

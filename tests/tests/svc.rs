@@ -329,6 +329,123 @@ fn unsolvable_inputs_are_422_not_500() {
 }
 
 #[test]
+fn injected_pool_panic_is_a_500_and_gauges_return_to_zero() {
+    // One injected panic at pool.enqueue: the admitted job's closure is
+    // dropped during unwinding without ever running, so the queue-depth
+    // ticket is released by RAII, not by the (never-reached) closure body.
+    let faults = modsyn_fault::FaultPlan::parse("test", "pool.enqueue*1", 7)
+        .expect("fault spec")
+        .arm();
+    let (handle, thread) = start(ServerConfig {
+        jobs: 2,
+        faults,
+        ..ServerConfig::default()
+    });
+
+    let response = post_synth(&handle, &benchmark_g("vbe-ex1"));
+    assert_eq!(response.status, 500, "{}", response.text());
+    assert!(
+        response.text().contains("\"error\":\"panic\""),
+        "{}",
+        response.text()
+    );
+    assert_eq!(metric(&handle, "modsynd_panics_total"), 1);
+
+    // The RAII guards gave every slot back…
+    assert_eq!(metric(&handle, "modsynd_queue_depth"), 0);
+    assert_eq!(metric(&handle, "modsynd_in_flight"), 0);
+    // …and the server still synthesises (the fault budget is spent).
+    let retry = post_synth(&handle, &benchmark_g("vbe-ex1"));
+    assert_eq!(retry.status, 200, "{}", retry.text());
+
+    stop(&handle, thread);
+    assert_eq!(handle.metrics().queue_depth.load(Ordering::Acquire), 0);
+    assert_eq!(handle.metrics().in_flight.load(Ordering::Acquire), 0);
+    assert_eq!(handle.metrics().connections.load(Ordering::Acquire), 0);
+}
+
+#[test]
+fn trace_id_retrieves_the_span_chain_from_the_flight_recorder() {
+    // One injected solver abort: rung 1 of the retry ladder fails, the
+    // portfolio rung recovers, and the whole chain — svc accept, pool
+    // run, retry ladder, SAT solve — lands in the flight recorder under
+    // the caller-chosen trace id.
+    let faults = modsyn_fault::FaultPlan::parse("test", "sat.abort*1", 3)
+        .expect("fault spec")
+        .arm();
+    let (handle, thread) = start(ServerConfig {
+        jobs: 2,
+        faults,
+        ..ServerConfig::default()
+    });
+    let trace = "00000000deadbeef";
+
+    let response = client::request_with_headers(
+        handle.addr(),
+        "POST",
+        "/synth?method=modular",
+        &[("X-Modsyn-Trace", trace)],
+        benchmark_g("vbe-ex1").as_bytes(),
+        TIMEOUT,
+    )
+    .expect("synth request");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(response.header("x-modsyn-trace"), Some(trace));
+    assert_eq!(metric(&handle, "modsynd_retry_recoveries_total"), 1);
+
+    let flight = client::request(
+        handle.addr(),
+        "GET",
+        &format!("/debug/flight?trace={trace}"),
+        b"",
+        TIMEOUT,
+    )
+    .expect("flight request");
+    assert_eq!(flight.status, 200, "{}", flight.text());
+    let dump = flight.text();
+    assert!(dump.contains(&format!("\"trace\":\"{trace}\"")), "{dump}");
+    for span in [
+        "svc.request",
+        "pool.run",
+        "retry.ladder",
+        "retry.attempt",
+        "sat.solve",
+    ] {
+        assert!(
+            dump.contains(&format!("\"{span}\"")),
+            "missing {span}: {dump}"
+        );
+    }
+    // The injected fault itself is on the trace too.
+    assert!(dump.contains("\"sat.abort\""), "{dump}");
+
+    // A trace nobody used comes back empty, not with someone else's spans.
+    let other = client::request(
+        handle.addr(),
+        "GET",
+        "/debug/flight?trace=0000000000000001",
+        b"",
+        TIMEOUT,
+    )
+    .expect("flight request");
+    assert!(other.text().contains("\"count\":0"), "{}", other.text());
+
+    // The same traffic fed the server-side latency histograms.
+    let rendered = client::request(handle.addr(), "GET", "/metrics", b"", TIMEOUT)
+        .expect("metrics request")
+        .text();
+    let hist = |q: &str| {
+        modsyn_svc::Metrics::parse_hist(&rendered, "request_us:synth:modular", q)
+            .unwrap_or_else(|| panic!("histogram {q} missing from:\n{rendered}"))
+    };
+    assert_eq!(hist("count"), 1);
+    assert!(hist("p50") > 0, "latency p50 must be nonzero");
+    assert!(hist("p99") >= hist("p50"));
+
+    stop(&handle, thread);
+}
+
+#[test]
 fn shutdown_endpoint_drains_gracefully() {
     let (handle, thread) = start(ServerConfig::default());
     // Healthy while serving…
