@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] [--floor N]
+//!            [--incr-current FILE] [--incr-baseline FILE] [--incr-only]
 //! ```
 //!
 //! Compares a freshly generated Table-1 document (default
@@ -18,6 +19,15 @@
 //!   blow-up means a search regression even when the answer is right;
 //! * **wall clock** is reported but never gates — CI machines are noisy.
 //!
+//! Passing any `--incr-*` flag additionally (or, with `--incr-only`,
+//! exclusively) guards the incremental-synthesis suite: the current
+//! `BENCH_incr.json` is compared against `BENCH_incr.baseline.json` per
+//! benchmark, and **every counted field** — the chosen edit, its kind, and
+//! the base/total/hit/dirty/changed module counts — must match the
+//! baseline *exactly*. The edit chooser and the store's module keys are
+//! fully deterministic, so any drift in what was reused is a behaviour
+//! change; only the wall clocks are informational.
+//!
 //! Exit code 0 when every record passes, 1 with a per-record report when
 //! any fails, 2 on unreadable input.
 
@@ -30,6 +40,12 @@ struct Args {
     baseline: String,
     tolerance_pct: f64,
     floor: f64,
+    incr_current: String,
+    incr_baseline: String,
+    /// Guard the incremental suite (any `--incr-*` flag arms this).
+    incr: bool,
+    /// Skip the Table-1 comparison entirely.
+    incr_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
         baseline: "BENCH_table1.baseline.json".to_string(),
         tolerance_pct: 25.0,
         floor: 100.0,
+        incr_current: "BENCH_incr.json".to_string(),
+        incr_baseline: "BENCH_incr.baseline.json".to_string(),
+        incr: false,
+        incr_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,10 +73,22 @@ fn parse_args() -> Result<Args, String> {
             "--floor" => {
                 args.floor = value("--floor")?.parse().map_err(|_| "bad --floor value")?;
             }
+            "--incr-current" => {
+                args.incr_current = value("--incr-current")?;
+                args.incr = true;
+            }
+            "--incr-baseline" => {
+                args.incr_baseline = value("--incr-baseline")?;
+                args.incr = true;
+            }
+            "--incr-only" => {
+                args.incr = true;
+                args.incr_only = true;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] \
-                     [--floor N]"
+                     [--floor N] [--incr-current FILE] [--incr-baseline FILE] [--incr-only]"
                         .to_string(),
                 )
             }
@@ -141,21 +173,67 @@ fn compare(base: &Json, cur: &Json, tolerance_pct: f64, floor: f64) -> Result<()
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
+/// Benchmark-name → record, from an incremental (`BENCH_incr.json`) doc.
+fn incr_index(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("document has no rows array")?;
+    rows.iter()
+        .map(|r| {
+            let name = r
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("row without benchmark")?;
+            Ok((name, r))
+        })
+        .collect()
+}
+
+/// One incremental record pair's verdict: every counted field exact.
+fn compare_incr(base: &Json, cur: &Json) -> Result<(), Vec<String>> {
+    let mut reasons = Vec::new();
+    for field in ["edit", "edit_kind"] {
+        let text = |r: &Json| {
+            r.get(field)
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let (b, c) = (text(base), text(cur));
+        if b != c {
+            reasons.push(format!("{field} {b:?} -> {c:?}"));
         }
-    };
+    }
+    for field in [
+        "base_modules",
+        "total_modules",
+        "store_hits",
+        "dirty_modules",
+        "changed_modules",
+    ] {
+        let (b, c) = (num(base, &[field]), num(cur, &[field]));
+        if b != c {
+            reasons.push(format!("{field} {b:?} -> {c:?}"));
+        }
+    }
+    if reasons.is_empty() {
+        Ok(())
+    } else {
+        Err(reasons)
+    }
+}
+
+/// The Table-1 guard. `Ok(record count)` when everything is in band.
+fn guard_table(args: &Args) -> Result<usize, usize> {
     let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for e in [b.err(), c.err()].into_iter().flatten() {
                 eprintln!("error: {e}");
             }
-            return ExitCode::from(2);
+            return Err(usize::MAX); // unreadable input
         }
     };
     let (base_index, cur_index) = match (index(&baseline), index(&current)) {
@@ -164,7 +242,7 @@ fn main() -> ExitCode {
             for e in [b.err(), c.err()].into_iter().flatten() {
                 eprintln!("error: {e}");
             }
-            return ExitCode::from(2);
+            return Err(usize::MAX);
         }
     };
 
@@ -202,13 +280,100 @@ fn main() -> ExitCode {
             "benchguard: {failures} of {} baseline records regressed",
             base_index.len()
         );
+        return Err(failures);
+    }
+    Ok(base_index.len())
+}
+
+/// The incremental-suite guard. `Ok(record count)` when exact everywhere.
+fn guard_incr(args: &Args) -> Result<usize, usize> {
+    let (baseline, current) = match (load(&args.incr_baseline), load(&args.incr_current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return Err(usize::MAX);
+        }
+    };
+    let (base_index, cur_index) = match (incr_index(&baseline), incr_index(&current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return Err(usize::MAX);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut slowest: Option<(String, f64)> = None;
+    for (name, base) in &base_index {
+        let Some((_, cur)) = cur_index.iter().find(|(n, _)| n == name) else {
+            eprintln!("FAIL {name}/incr: record missing from current run");
+            failures += 1;
+            continue;
+        };
+        if let Err(reasons) = compare_incr(base, cur) {
+            eprintln!("FAIL {name}/incr: {}", reasons.join("; "));
+            failures += 1;
+        }
+        if let (Some(b), Some(c)) = (num(base, &["wall_incr_s"]), num(cur, &["wall_incr_s"])) {
+            if b > 0.05 {
+                let ratio = c / b;
+                if slowest.as_ref().is_none_or(|(_, r)| ratio > *r) {
+                    slowest = Some((name.clone(), ratio));
+                }
+            }
+        }
+    }
+
+    if let Some((name, ratio)) = slowest {
+        println!("incr wall-clock (informational): largest ratio {ratio:.2}x at {name}");
+    }
+    if failures > 0 {
+        eprintln!(
+            "benchguard: {failures} of {} incremental records regressed",
+            base_index.len()
+        );
+        return Err(failures);
+    }
+    Ok(base_index.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut unreadable = false;
+    let mut failed = false;
+    if !args.incr_only {
+        match guard_table(&args) {
+            Ok(n) => println!(
+                "benchguard: {n} records within tolerance ({}% / floor {})",
+                args.tolerance_pct, args.floor
+            ),
+            Err(usize::MAX) => unreadable = true,
+            Err(_) => failed = true,
+        }
+    }
+    if args.incr {
+        match guard_incr(&args) {
+            Ok(n) => println!("benchguard: {n} incremental records exact"),
+            Err(usize::MAX) => unreadable = true,
+            Err(_) => failed = true,
+        }
+    }
+    if unreadable {
+        return ExitCode::from(2);
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
-    println!(
-        "benchguard: {} records within tolerance ({}% / floor {})",
-        base_index.len(),
-        args.tolerance_pct,
-        args.floor
-    );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,134 @@
+//! `increment` — incremental-synthesis benchmark over the Table-1 rows.
+//!
+//! ```text
+//! increment [--out FILE] [--seed N] [--rows NAME[,NAME...]]
+//!           [--emit-spec NAME] [--emit-edit NAME]
+//! ```
+//!
+//! For every row: synthesise the unedited STG into a cold store, apply the
+//! seeded single edit chosen by [`modsyn_bench::incr::choose_edit`],
+//! synthesise the edited STG from scratch (the baseline), then again
+//! against the warm store (the incremental run). Each incremental result is
+//! oracle-certified, byte-identical to the from-scratch run, and re-solves
+//! strictly fewer modules than the total — the harness panics otherwise.
+//!
+//! Writes `BENCH_incr.json` (deterministic apart from the informational
+//! wall clocks; no timestamps) and prints one summary line per row.
+//!
+//! `--emit-spec NAME` / `--emit-edit NAME` print the canonical `.g` text
+//! of a row (respectively its seeded edit) to stdout and exit — the CI
+//! smoke job feeds these to a live `modsynd` via `/synth` and
+//! `/synth/incr`.
+
+use std::process::ExitCode;
+
+use modsyn_bench::incr::{edit_specs, incr_json, run_incr_row};
+use modsyn_bench::PAPER_TABLE1;
+
+struct Args {
+    out: String,
+    seed: usize,
+    rows: Option<Vec<String>>,
+    emit_spec: Option<String>,
+    emit_edit: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: increment [--out FILE] [--seed N] [--rows NAME[,NAME...]] \
+     [--emit-spec NAME] [--emit-edit NAME]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_incr.json".to_string(),
+        seed: 0,
+        rows: None,
+        emit_spec: None,
+        emit_edit: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|_| "bad --seed value")?;
+            }
+            "--rows" => {
+                args.rows = Some(value("--rows")?.split(',').map(str::to_string).collect());
+            }
+            "--emit-spec" => args.emit_spec = Some(value("--emit-spec")?),
+            "--emit-edit" => args.emit_edit = Some(value("--emit-edit")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Emit modes: print one .g document and stop.
+    if let Some(name) = &args.emit_spec {
+        let (spec, _) = edit_specs(name, args.seed);
+        print!("{spec}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &args.emit_edit {
+        let (_, edit) = edit_specs(name, args.seed);
+        print!("{edit}");
+        return ExitCode::SUCCESS;
+    }
+
+    let rows: Vec<&str> = match &args.rows {
+        Some(names) => {
+            for name in names {
+                if !PAPER_TABLE1.iter().any(|r| r.name == name) {
+                    eprintln!("error: unknown benchmark {name:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            names.iter().map(String::as_str).collect()
+        }
+        None => PAPER_TABLE1.iter().map(|r| r.name).collect(),
+    };
+
+    let mut measurements = Vec::with_capacity(rows.len());
+    for name in rows {
+        let m = run_incr_row(name, args.seed);
+        println!(
+            "{:<12} {:<22} dirty {}/{} (hits {}), full {:.2}s -> incr {:.2}s",
+            m.benchmark,
+            m.edit,
+            m.dirty_modules,
+            m.total_modules,
+            m.store_hits,
+            m.wall_full_s,
+            m.wall_incr_s
+        );
+        measurements.push(m);
+    }
+
+    let doc = incr_json(args.seed, &measurements);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    let full: f64 = measurements.iter().map(|m| m.wall_full_s).sum();
+    let incr: f64 = measurements.iter().map(|m| m.wall_incr_s).sum();
+    println!(
+        "wrote {} ({} rows; full {:.2}s, incremental {:.2}s)",
+        args.out,
+        measurements.len(),
+        full,
+        incr
+    );
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,8 @@
 //! benchmark × method with the standard limits; [`run_table`] produces the
 //! whole comparison.
 
+pub mod incr;
+
 use std::time::Instant;
 
 use modsyn::{synthesize, FormulaStat, Method, SynthesisError, SynthesisOptions};

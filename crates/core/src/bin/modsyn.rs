@@ -3,7 +3,7 @@
 //! ```text
 //! modsyn <file.g | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno]
 //!        [--limit N] [--jobs N] [--timeout-ms T] [--pla] [--dot] [--verilog]
-//!        [--exact] [--hazards] [--check] [--quiet]
+//!        [--exact] [--hazards] [--check] [--quiet] [--explain SIGNAL]
 //! ```
 //!
 //! Reads an STG (a `.g` file, `-` for stdin, or `benchmark:<name>` for one
@@ -20,7 +20,11 @@
 //! Observability: `--stats` prints a per-phase span tree (timings, SAT
 //! counters, per-module formula sizes) to **stderr**; `--trace-json FILE`
 //! writes the same trace as JSON. Neither touches stdout, so piping `--pla`
-//! or `--verilog` output stays clean.
+//! or `--verilog` output stays clean. `--explain SIGNAL` (repeatable,
+//! modular methods only) prints the provenance chain of an inserted state
+//! signal to stderr — the module that forced it, the CSC conflict pairs it
+//! resolves, and the winning formula's clause families — and composes with
+//! `--stats`/`--trace-json` without touching stdout.
 //!
 //! Supervision: `--retry` wraps the run in the deterministic escalation
 //! ladder — on a backtrack-limit or timeout abort, the limit doubles (up
@@ -71,6 +75,7 @@ struct Args {
     stats: bool,
     trace_json: Option<String>,
     retry: bool,
+    explain: Vec<String>,
 }
 
 /// Exit codes, kept distinct so scripts can tell failure classes apart.
@@ -91,7 +96,11 @@ mod exit {
 fn usage() -> &'static str {
     "usage: modsyn <file.g | - | benchmark:NAME> [--method modular|modular-min-area|direct|lavagno] \
      [--limit N] [--jobs N] [--timeout-ms T] [--retry] [--pla] [--dot] [--verilog] [--exact] \
-     [--hazards] [--check] [--quiet] [--stats] [--trace-json FILE] [--version]\n\
+     [--hazards] [--check] [--quiet] [--stats] [--trace-json FILE] [--explain SIGNAL] [--version]\n\
+     \n\
+     --explain SIGNAL (repeatable; modular methods) prints why the inserted state \
+     signal exists: the module that forced it, the CSC conflict pairs it resolves, \
+     the winning formula's clause families. Stderr only.\n\
      \n\
      --retry climbs the supervised escalation ladder on capacity failures: \
      double the backtrack limit, race the SAT portfolio, fall back to lavagno.\n\
@@ -125,6 +134,7 @@ fn parse_args() -> Result<Parsed, String> {
         stats: false,
         trace_json: None,
         retry: false,
+        explain: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -166,6 +176,10 @@ fn parse_args() -> Result<Parsed, String> {
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json needs a file")?);
             }
+            "--explain" => {
+                args.explain
+                    .push(it.next().ok_or("--explain needs a signal name")?);
+            }
             "--help" | "-h" => return Ok(Parsed::Help),
             "--version" | "-V" => return Ok(Parsed::Version),
             other if args.source.is_empty() => args.source = other.to_string(),
@@ -174,6 +188,10 @@ fn parse_args() -> Result<Parsed, String> {
     }
     if args.source.is_empty() {
         return Err(usage().to_string());
+    }
+    if !args.explain.is_empty() && !matches!(args.method, Method::Modular | Method::ModularMinArea)
+    {
+        return Err("--explain needs a modular method (provenance is per-module)".to_string());
     }
     Ok(Parsed::Run(Box::new(args)))
 }
@@ -300,6 +318,13 @@ fn main() -> ExitCode {
         );
     }
 
+    for signal in &args.explain {
+        if !eprint_explanation(&report, signal) {
+            let _ = emit_observability(&args, &tracer);
+            return ExitCode::from(exit::INPUT);
+        }
+    }
+
     // The report carries the solved graph; no re-derivation needed.
     let graph = &report.graph;
 
@@ -361,6 +386,49 @@ fn main() -> ExitCode {
         );
     }
     emit_observability(&args, &tracer)
+}
+
+/// Prints one inserted signal's provenance chain to stderr. Returns false
+/// (after naming the signals that *do* have provenance) when the signal is
+/// unknown, so the caller can exit with an input error.
+fn eprint_explanation(report: &modsyn::SynthesisReport, signal: &str) -> bool {
+    let chain: Vec<_> = report
+        .provenance
+        .iter()
+        .filter(|p| p.signal == signal)
+        .collect();
+    if chain.is_empty() {
+        let known = report.inserted.join(", ");
+        eprintln!("error: no provenance for signal {signal:?}; inserted signals: [{known}]");
+        return false;
+    }
+    eprintln!(
+        "explain {signal} ({}, {}):",
+        report.benchmark, report.method
+    );
+    for p in chain {
+        let pairs = p
+            .resolved_pairs
+            .iter()
+            .map(|&(i, j)| format!("({i},{j})"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        eprintln!(
+            "  forced by module {:?} (key {:016x}), resolving {} CSC conflict pair(s): {pairs}",
+            p.module_output,
+            p.module_key,
+            p.resolved_pairs.len(),
+        );
+        eprintln!(
+            "  winning formula: {} state signal(s), {} variables, {} clauses",
+            p.state_signals, p.variables, p.clauses,
+        );
+        eprintln!(
+            "  clause families: consistency {}, persistence {}, usc {}, resolution {}",
+            p.families.consistency, p.families.persistence, p.families.usc, p.families.resolution,
+        );
+    }
+    true
 }
 
 /// Prints the retry-ladder attempt trace (method, backtrack limit,

@@ -43,6 +43,10 @@ pub struct Encoding {
     pub state_signals: usize,
     /// Number of graph states.
     pub states: usize,
+    /// Clause counts per family, in emission order: consistency (1),
+    /// persistence (1.5), no-new-conflict (3), resolution (2). Feeds the
+    /// provenance records of the synthesis store.
+    pub families: [usize; 4],
 }
 
 impl Encoding {
@@ -171,7 +175,9 @@ pub fn encode_csc_partial(
         formula: CnfFormula::new(0),
         state_signals: m,
         states,
+        families: [0; 4],
     };
+    let mut families = [0usize; 4];
 
     // Family 1: edge consistency / semi-modularity.
     for e in graph.edges() {
@@ -205,6 +211,8 @@ pub fn encode_csc_partial(
             }
         }
     }
+
+    families[0] = formula.clause_count();
 
     // Family 1.5: persistence across concurrency diamonds. Expansion keeps
     // an edge only in the copies its value pair selects (`edge_in_lo` /
@@ -282,6 +290,8 @@ pub fn encode_csc_partial(
         }
     }
 
+    families[1] = formula.clause_count() - families[0];
+
     // Family 3: no new conflicts on USC pairs. A pair is safe when either
     // (a) some signal holds stable opposite values on it — the split copies
     // then never share an extended code, so every per-signal combination is
@@ -331,6 +341,8 @@ pub fn encode_csc_partial(
         }
     }
 
+    families[2] = formula.clause_count() - families[0] - families[1];
+
     // Family 2: every selected CSC conflict is resolved by some signal that
     // is stable-opposite on the pair. One auxiliary variable per (pair, k).
     //
@@ -361,7 +373,13 @@ pub fn encode_csc_partial(
         formula.add_clause(ds.iter().map(|&d| Lit::positive(d)));
     }
 
-    Encoding { formula, ..enc }
+    families[3] = formula.clause_count() - families[0] - families[1] - families[2];
+
+    Encoding {
+        formula,
+        families,
+        ..enc
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +467,23 @@ mod tests {
         // Base layout plus one aux per (csc pair, signal) and per-USC-pair
         // escape machinery.
         assert!(e2.formula.num_vars() >= 2 * sg.state_count() * 2 + 2 * analysis.csc_pairs.len());
+    }
+
+    #[test]
+    fn clause_families_partition_the_formula() {
+        let sg = double_pulse_graph();
+        let analysis = sg.csc_analysis();
+        let enc = encode_csc(&sg, &analysis, 1);
+        assert_eq!(
+            enc.families.iter().sum::<usize>(),
+            enc.formula.clause_count(),
+            "families must partition the clause count"
+        );
+        assert!(enc.families[0] > 0, "consistency clauses always exist");
+        assert!(
+            enc.families[3] > 0,
+            "a conflicted graph gets resolution clauses"
+        );
     }
 
     #[test]

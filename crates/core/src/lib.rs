@@ -77,3 +77,7 @@ pub use solve::{
     FormulaStat, ResolveScope,
 };
 pub use synth::{synthesize, synthesize_traced, Method, SynthesisOptions, SynthesisReport};
+
+// Store types surfaced through the options/report API, re-exported so
+// callers need not depend on modsyn-store directly.
+pub use modsyn_store::{ClauseFamilies, Provenance, StoreLink, StoreSession, SynthStore};

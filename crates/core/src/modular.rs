@@ -4,10 +4,13 @@ use std::time::Instant;
 
 use modsyn_obs::Tracer;
 use modsyn_par::{par_map, unwrap_or_resume};
-use modsyn_sg::{insert_state_signals, Quotient, StateGraph, StateSignalAssignment};
+use modsyn_sg::{insert_state_signals, Quat, Quotient, StateGraph, StateSignalAssignment};
+use modsyn_store::{module_key, ModuleEntry, Provenance, StoredFormula};
 
 use crate::input_set::{determine_input_set_traced, InputSet};
-use crate::solve::{solve_csc_scoped_traced, CscSolveOptions, FormulaStat, ResolveScope};
+use crate::solve::{
+    solve_csc_scoped_traced, CscSolution, CscSolveOptions, FormulaStat, ResolveScope,
+};
 use crate::SynthesisError;
 
 /// Per-output trace of the modular flow.
@@ -38,6 +41,15 @@ pub struct ModularOutcome {
     pub formulas: Vec<FormulaStat>,
     /// Per-output module traces.
     pub modules: Vec<ModuleReport>,
+    /// Why each inserted state signal exists: the module that forced it,
+    /// the conflict pairs it resolves, the winning formula's shape.
+    pub provenance: Vec<Provenance>,
+    /// Module solves answered from the synthesis store (always 0 without
+    /// an attached store).
+    pub store_hits: u64,
+    /// Module solves that ran the SAT layer for real — the *dirty* module
+    /// count of an incremental run (0 without a store).
+    pub store_misses: u64,
 }
 
 /// Runs the paper's `modular_synthesis` loop over every output signal:
@@ -99,6 +111,137 @@ fn derive_candidate(
     Ok((conflicts > 0).then_some((set, quotient, conflicts)))
 }
 
+fn stat_to_stored(f: &FormulaStat) -> StoredFormula {
+    StoredFormula {
+        state_signals: f.state_signals,
+        clauses: f.clauses,
+        variables: f.variables,
+        satisfiable: f.satisfiable,
+        solver: f.solver,
+    }
+}
+
+fn stat_from_stored(f: &StoredFormula) -> FormulaStat {
+    FormulaStat {
+        state_signals: f.state_signals,
+        clauses: f.clauses,
+        variables: f.variables,
+        satisfiable: f.satisfiable,
+        solver: f.solver,
+    }
+}
+
+/// Provenance of every signal a fresh solve inserted: which of the
+/// targeted conflict pairs each one actually resolves (stable with
+/// opposite values on both states), plus the winning formula's shape.
+fn provenance_of(solution: &CscSolution, module_output: &str, key: u64) -> Vec<Provenance> {
+    let Some(winning) = solution.formulas.last() else {
+        return Vec::new();
+    };
+    solution
+        .assignments
+        .iter()
+        .map(|a| Provenance {
+            signal: a.name.clone(),
+            module_output: module_output.to_string(),
+            module_key: key,
+            resolved_pairs: solution
+                .resolved_pairs
+                .iter()
+                .copied()
+                .filter(|&(i, j)| {
+                    matches!(
+                        (a.values[i], a.values[j]),
+                        (Quat::Zero, Quat::One) | (Quat::One, Quat::Zero)
+                    )
+                })
+                .collect(),
+            state_signals: winning.state_signals,
+            variables: winning.variables,
+            clauses: winning.clauses,
+            families: solution.families,
+        })
+        .collect()
+}
+
+/// One module (or residual) solve, answered by the store when possible.
+struct ModuleSolve {
+    assignments: Vec<StateSignalAssignment>,
+    formulas: Vec<FormulaStat>,
+    provenance: Vec<Provenance>,
+    /// `Some(true)` = store hit, `Some(false)` = solved and recorded,
+    /// `None` = no store attached.
+    hit: Option<bool>,
+}
+
+/// Consults `options.store` before running the SAT layer on `graph`.
+///
+/// The content key covers the **exact** graph rendering plus every
+/// solver-relevant parameter (scope, name offset, solver options), so a hit
+/// replays assignments the solver would have reproduced bit-for-bit — the
+/// store can only change *where* the answer comes from, never what it is.
+/// Misses solve for real, derive provenance, and record the entry.
+fn solve_module_via_store(
+    graph: &StateGraph,
+    options: &CscSolveOptions,
+    name_offset: usize,
+    scope: ResolveScope,
+    module_output: &str,
+    tracer: &Tracer,
+) -> Result<ModuleSolve, SynthesisError> {
+    let session = options.store.session();
+    let key = session.map(|_| {
+        let scope_tag = match scope {
+            ResolveScope::All => "all",
+            ResolveScope::ResolvableOnly => "resolvable",
+        };
+        // `cancel` and `faults` are deliberately absent: they alter solver
+        // *liveness*, not the solution a completed solve produces.
+        module_key(
+            graph,
+            &format!(
+                "scope={scope_tag} offset={name_offset} solver={:?} extra={} prefix={} \
+                 min_area={} portfolio={}",
+                options.solver,
+                options.extra_signals,
+                options.name_prefix,
+                options.min_area,
+                options.portfolio
+            ),
+        )
+    });
+    if let (Some(session), Some(key)) = (session, key) {
+        if let Some(entry) = session.get_module(key) {
+            tracer.note("store", "hit");
+            return Ok(ModuleSolve {
+                assignments: entry.assignments.clone(),
+                formulas: entry.formulas.iter().map(stat_from_stored).collect(),
+                provenance: entry.provenance.clone(),
+                hit: Some(true),
+            });
+        }
+        tracer.note("store", "miss");
+    }
+    let solution = solve_csc_scoped_traced(graph, options, name_offset, scope, tracer)?;
+    let provenance = provenance_of(&solution, module_output, key.unwrap_or(0));
+    if let (Some(session), Some(key)) = (session, key) {
+        session.put_module(
+            key,
+            ModuleEntry {
+                assignments: solution.assignments.clone(),
+                formulas: solution.formulas.iter().map(stat_to_stored).collect(),
+                provenance: provenance.clone(),
+            },
+        );
+    }
+    Ok(ModuleSolve {
+        assignments: solution.assignments,
+        formulas: solution.formulas,
+        provenance,
+        hit: key.map(|_| false),
+    })
+}
+
 /// [`modular_resolve`] with observability: the whole flow runs under a
 /// `modular` span; every iteration gets a `select` span (module derivation
 /// and ranking), every solved module a `module:<output>` span carrying the
@@ -139,6 +282,9 @@ pub fn modular_resolve_jobs_traced(
         inserted: Vec::new(),
         formulas: Vec::new(),
         modules: Vec::new(),
+        provenance: Vec::new(),
+        store_hits: 0,
+        store_misses: 0,
     };
 
     // The paper iterates over the output signals of the original STG;
@@ -194,11 +340,12 @@ pub fn modular_resolve_jobs_traced(
         tracer.gauge("kept_signals", set.kept.len() as f64);
         tracer.gauge("module_states", quotient.graph.state_count() as f64);
         tracer.gauge("conflicts", conflicts as f64);
-        let solution = solve_csc_scoped_traced(
+        let solution = solve_module_via_store(
             &quotient.graph,
             options,
             outcome.inserted.len(),
             ResolveScope::ResolvableOnly,
+            &output_name,
             tracer,
         )?;
         tracer.gauge(
@@ -221,6 +368,14 @@ pub fn modular_resolve_jobs_traced(
         );
         tracer.counter("inserted", solution.assignments.len() as u64);
         drop(module_span);
+        match solution.hit {
+            Some(true) => outcome.store_hits += 1,
+            Some(false) => outcome.store_misses += 1,
+            None => {}
+        }
+        outcome
+            .provenance
+            .extend(solution.provenance.iter().cloned());
         outcome.formulas.extend(solution.formulas.iter().copied());
         outcome.modules.push(ModuleReport {
             output: output_name,
@@ -256,15 +411,24 @@ pub fn modular_resolve_jobs_traced(
     // solve on the complete graph removes them.
     if !graph.csc_analysis().satisfies_csc() {
         let residual = tracer.span("residual");
-        let solution = solve_csc_scoped_traced(
+        let solution = solve_module_via_store(
             &graph,
             options,
             outcome.inserted.len(),
             ResolveScope::All,
+            "<residual>",
             tracer,
         )?;
         tracer.counter("inserted", solution.assignments.len() as u64);
         drop(residual);
+        match solution.hit {
+            Some(true) => outcome.store_hits += 1,
+            Some(false) => outcome.store_misses += 1,
+            None => {}
+        }
+        outcome
+            .provenance
+            .extend(solution.provenance.iter().cloned());
         outcome.formulas.extend(solution.formulas.iter().copied());
         for a in &solution.assignments {
             outcome.inserted.push(a.name.clone());
@@ -342,6 +506,57 @@ mod tests {
             assert_eq!(seq.formulas, par.formulas, "{name}: formula stats diverged");
             assert_eq!(seq.graph.state_count(), par.graph.state_count());
         }
+    }
+
+    #[test]
+    fn store_replays_modules_byte_identically() {
+        use modsyn_store::{StoreLink, StoreSession, SynthStore};
+        use std::sync::Arc;
+
+        let sg = derive(&benchmarks::vbe_ex2(), &DeriveOptions::default()).unwrap();
+        let plain = modular_resolve(&sg, &CscSolveOptions::default()).unwrap();
+
+        let store = Arc::new(SynthStore::new());
+        let cold_session = StoreSession::new(store.clone());
+        let cold = modular_resolve(
+            &sg,
+            &CscSolveOptions {
+                store: StoreLink::to(cold_session),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cold.store_hits, 0, "first run must miss everywhere");
+        assert!(cold.store_misses > 0);
+        assert!(!cold.provenance.is_empty());
+        for p in &cold.provenance {
+            assert_ne!(p.module_key, 0);
+            assert!(p.clauses > 0);
+            assert_eq!(p.families.total(), p.clauses);
+        }
+
+        let warm_session = StoreSession::new(store);
+        let warm = modular_resolve(
+            &sg,
+            &CscSolveOptions {
+                store: StoreLink::to(warm_session),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.store_misses, 0, "identical input must be all hits");
+        assert_eq!(warm.store_hits, cold.store_misses);
+
+        // The store may only change where answers come from, never what
+        // they are: with and without a store, cold and warm, everything an
+        // outcome exposes is identical.
+        for other in [&cold, &warm] {
+            assert_eq!(plain.inserted, other.inserted);
+            assert_eq!(plain.graph, other.graph);
+            assert_eq!(plain.formulas, other.formulas);
+            assert_eq!(plain.modules, other.modules);
+        }
+        assert_eq!(cold.provenance, warm.provenance);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use modsyn_sat::{
     solve_portfolio_traced, standard_portfolio, Outcome, Solver, SolverOptions, SolverStats,
 };
 use modsyn_sg::{StateGraph, StateSignalAssignment};
+use modsyn_store::{ClauseFamilies, StoreLink};
 
 use crate::encode::encode_csc_partial;
 use crate::SynthesisError;
@@ -60,6 +61,12 @@ pub struct CscSolveOptions {
     /// *verdict* depend on thread scheduling, and the retry ladder relies
     /// on this rung escaping single-solver faults.
     pub portfolio: bool,
+    /// Optional synthesis-store session: the modular flow consults it
+    /// before solving a module and records solutions (plus provenance)
+    /// after. Inert by default; compares by identity, like `cancel`.
+    /// Deliberately *excluded* from store key fingerprints — attaching a
+    /// store must never change what is computed, only where it comes from.
+    pub store: StoreLink,
 }
 
 impl Default for CscSolveOptions {
@@ -72,7 +79,19 @@ impl Default for CscSolveOptions {
             cancel: CancelToken::never(),
             faults: Faults::none(),
             portfolio: false,
+            store: StoreLink::none(),
         }
+    }
+}
+
+/// The encoding's per-family clause counts as a store-facing record.
+fn families_of(encoding: &crate::encode::Encoding) -> ClauseFamilies {
+    let [consistency, persistence, usc, resolution] = encoding.families;
+    ClauseFamilies {
+        consistency,
+        persistence,
+        usc,
+        resolution,
     }
 }
 
@@ -152,6 +171,11 @@ pub struct CscSolution {
     pub assignments: Vec<StateSignalAssignment>,
     /// Per-attempt formula statistics.
     pub formulas: Vec<FormulaStat>,
+    /// The conflict pairs the winning formula was asked to resolve (state
+    /// indices of `graph`); empty when no solve was needed.
+    pub resolved_pairs: Vec<(usize, usize)>,
+    /// Clause-family breakdown of the winning formula.
+    pub families: ClauseFamilies,
 }
 
 /// Finds state-signal assignments satisfying all CSC constraints of
@@ -211,6 +235,8 @@ pub fn solve_csc_scoped_traced(
         return Ok(CscSolution {
             assignments: Vec::new(),
             formulas: Vec::new(),
+            resolved_pairs: Vec::new(),
+            families: ClauseFamilies::default(),
         });
     }
     let unresolvable = graph.unresolvable_csc_pairs(&analysis);
@@ -237,6 +263,8 @@ pub fn solve_csc_scoped_traced(
                 return Ok(CscSolution {
                     assignments: Vec::new(),
                     formulas: Vec::new(),
+                    resolved_pairs: Vec::new(),
+                    families: ClauseFamilies::default(),
                 });
             }
             pairs
@@ -280,6 +308,8 @@ pub fn solve_csc_scoped_traced(
                     return Ok(CscSolution {
                         assignments,
                         formulas,
+                        resolved_pairs: resolve.clone(),
+                        families: families_of(&encoding),
                     });
                 }
                 Ok(None) => {
@@ -337,6 +367,8 @@ pub fn solve_csc_scoped_traced(
                 return Ok(CscSolution {
                     assignments,
                     formulas,
+                    resolved_pairs: resolve.clone(),
+                    families: families_of(&encoding),
                 });
             }
             Outcome::Unsatisfiable => {

@@ -8,6 +8,7 @@ use modsyn_par::CancelToken;
 use modsyn_sat::SolverOptions;
 use modsyn_sg::{derive_traced, DeriveOptions, StateGraph};
 use modsyn_stg::Stg;
+use modsyn_store::{Provenance, StoreLink};
 
 use crate::direct::direct_resolve_traced;
 use crate::lavagno::{lavagno_resolve, LavagnoOptions};
@@ -74,6 +75,11 @@ pub struct SynthesisOptions {
     /// single-solver faults and pathological heuristic choices. See
     /// [`crate::CscSolveOptions::portfolio`].
     pub portfolio: bool,
+    /// Optional synthesis-store session for the modular methods: cached
+    /// module solves are replayed instead of re-run, and fresh solves are
+    /// recorded with provenance. Inert by default and ignored by the
+    /// non-modular comparators. See [`crate::CscSolveOptions::store`].
+    pub store: StoreLink,
 }
 
 impl Default for SynthesisOptions {
@@ -88,6 +94,7 @@ impl Default for SynthesisOptions {
             cancel: CancelToken::never(),
             faults: Faults::none(),
             portfolio: false,
+            store: StoreLink::none(),
         }
     }
 }
@@ -133,6 +140,14 @@ pub struct SynthesisReport {
     /// derived from — returned so an *independent* checker (`modsyn-check`)
     /// can certify the result without re-running any pipeline stage.
     pub graph: StateGraph,
+    /// Why each inserted state signal exists (modular methods only): the
+    /// module that forced it, the conflict pairs it resolves, the winning
+    /// formula's clause families. Feeds `GET /explain` and `--explain`.
+    pub provenance: Vec<Provenance>,
+    /// Module solves answered from the synthesis store (0 without one).
+    pub store_hits: u64,
+    /// Module solves run for real — the dirty count of an incremental run.
+    pub store_misses: u64,
 }
 
 impl SynthesisReport {
@@ -175,8 +190,16 @@ pub fn synthesize_traced(
     tracer.note("benchmark", stg.name());
     tracer.note("method", &options.method.to_string());
     let initial = derive_traced(stg, &options.derive, tracer)?;
-    type Resolved = (StateGraph, Vec<String>, Vec<FormulaStat>, Vec<ModuleReport>);
-    let (graph, inserted, formulas, modules): Resolved = match options.method {
+    struct Resolved {
+        graph: StateGraph,
+        inserted: Vec<String>,
+        formulas: Vec<FormulaStat>,
+        modules: Vec<ModuleReport>,
+        provenance: Vec<Provenance>,
+        store_hits: u64,
+        store_misses: u64,
+    }
+    let resolved = match options.method {
         Method::Modular | Method::ModularMinArea => {
             let solve = CscSolveOptions {
                 solver: options.solver,
@@ -186,9 +209,18 @@ pub fn synthesize_traced(
                 cancel: options.cancel.clone(),
                 faults: options.faults.clone(),
                 portfolio: options.portfolio,
+                store: options.store.clone(),
             };
             let out = modular_resolve_jobs_traced(&initial, &solve, options.jobs, tracer)?;
-            (out.graph, out.inserted, out.formulas, out.modules)
+            Resolved {
+                graph: out.graph,
+                inserted: out.inserted,
+                formulas: out.formulas,
+                modules: out.modules,
+                provenance: out.provenance,
+                store_hits: out.store_hits,
+                store_misses: out.store_misses,
+            }
         }
         Method::Direct => {
             let solve = CscSolveOptions {
@@ -199,9 +231,18 @@ pub fn synthesize_traced(
                 cancel: options.cancel.clone(),
                 faults: options.faults.clone(),
                 portfolio: options.portfolio,
+                store: StoreLink::none(),
             };
             let out = direct_resolve_traced(&initial, &solve, tracer)?;
-            (out.graph, out.inserted, out.formulas, Vec::new())
+            Resolved {
+                graph: out.graph,
+                inserted: out.inserted,
+                formulas: out.formulas,
+                modules: Vec::new(),
+                provenance: Vec::new(),
+                store_hits: 0,
+                store_misses: 0,
+            }
         }
         Method::Lavagno => {
             let out = lavagno_resolve(
@@ -213,9 +254,26 @@ pub fn synthesize_traced(
                     cancel: options.cancel.clone(),
                 },
             )?;
-            (out.graph, out.inserted, out.formulas, Vec::new())
+            Resolved {
+                graph: out.graph,
+                inserted: out.inserted,
+                formulas: out.formulas,
+                modules: Vec::new(),
+                provenance: Vec::new(),
+                store_hits: 0,
+                store_misses: 0,
+            }
         }
     };
+    let Resolved {
+        graph,
+        inserted,
+        formulas,
+        modules,
+        provenance,
+        store_hits,
+        store_misses,
+    } = resolved;
 
     let functions = derive_logic_jobs_traced(&graph, options.minimize, options.jobs, tracer)?;
     debug_assert!(verify_logic(&graph, &functions));
@@ -233,6 +291,9 @@ pub fn synthesize_traced(
         functions,
         inserted,
         graph,
+        provenance,
+        store_hits,
+        store_misses,
     })
 }
 

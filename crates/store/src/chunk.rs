@@ -1,0 +1,183 @@
+//! A persistent, structurally-shared hash map.
+//!
+//! The store's namespaces are [`ChunkedMap`]s: the key space is split into
+//! a fixed number of chunks, each an `Arc<HashMap>`. Cloning the map clones
+//! only the chunk *pointers* (64 `Arc` bumps), so a [`crate::Snapshot`] of
+//! a store holding thousands of entries costs nanoseconds and shares every
+//! byte of payload with the live map. An insert copies exactly one chunk
+//! (clone-on-write via [`Arc::make_mut`]); the other 63 stay shared with
+//! every outstanding snapshot.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Number of chunks every [`ChunkedMap`] is split into.
+pub const CHUNK_COUNT: usize = 64;
+
+/// A persistent map from `u64` digests to `Arc`-shared values.
+#[derive(Debug, Clone)]
+pub struct ChunkedMap<V> {
+    chunks: Vec<Arc<HashMap<u64, Arc<V>>>>,
+}
+
+impl<V> Default for ChunkedMap<V> {
+    fn default() -> Self {
+        ChunkedMap::new()
+    }
+}
+
+impl<V> ChunkedMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        ChunkedMap {
+            chunks: (0..CHUNK_COUNT).map(|_| Arc::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn chunk_of(key: u64) -> usize {
+        // Keys are FNV digests, already well mixed; the low bits pick the
+        // chunk.
+        (key % CHUNK_COUNT as u64) as usize
+    }
+
+    /// Looks up a key, sharing the stored value.
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        self.chunks[Self::chunk_of(key)].get(&key).cloned()
+    }
+
+    /// Inserts (or replaces) a value, copying only the affected chunk.
+    /// Returns `true` when the key was new.
+    pub fn insert(&mut self, key: u64, value: V) -> bool {
+        let chunk = Arc::make_mut(&mut self.chunks[Self::chunk_of(key)]);
+        chunk.insert(key, Arc::new(value)).is_none()
+    }
+
+    /// Number of entries across all chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|c| c.is_empty())
+    }
+
+    /// All entries, sorted by key (for deterministic serialization).
+    pub fn entries(&self) -> Vec<(u64, Arc<V>)> {
+        let mut out: Vec<(u64, Arc<V>)> = self
+            .chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|(&k, v)| (k, v.clone())))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Whether chunk `i` is physically shared with `other` (same `Arc`).
+    /// Exposed so tests can pin the structural-sharing guarantee.
+    pub fn shares_chunk(&self, other: &Self, i: usize) -> bool {
+        Arc::ptr_eq(&self.chunks[i], &other.chunks[i])
+    }
+
+    /// Keys added, removed or changed going from `self` to `newer`.
+    /// Chunks still shared between the two are skipped without touching
+    /// their entries, so diffing adjacent snapshots is proportional to the
+    /// *edit*, not the store size.
+    pub fn diff(&self, newer: &Self) -> MapDiff {
+        let mut diff = MapDiff::default();
+        for i in 0..CHUNK_COUNT {
+            if Arc::ptr_eq(&self.chunks[i], &newer.chunks[i]) {
+                continue;
+            }
+            let (old, new) = (&self.chunks[i], &newer.chunks[i]);
+            for (&k, v) in new.iter() {
+                match old.get(&k) {
+                    None => diff.added.push(k),
+                    Some(o) if !Arc::ptr_eq(o, v) => diff.changed.push(k),
+                    Some(_) => {}
+                }
+            }
+            for &k in old.keys() {
+                if !new.contains_key(&k) {
+                    diff.removed.push(k);
+                }
+            }
+        }
+        diff.added.sort_unstable();
+        diff.removed.sort_unstable();
+        diff.changed.sort_unstable();
+        diff
+    }
+}
+
+/// Key-level difference between two [`ChunkedMap`] versions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapDiff {
+    /// Keys present only in the newer map.
+    pub added: Vec<u64>,
+    /// Keys present only in the older map.
+    pub removed: Vec<u64>,
+    /// Keys present in both but pointing at different values.
+    pub changed: Vec<u64>,
+}
+
+impl MapDiff {
+    /// Whether the two versions were identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut map = ChunkedMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(7, "seven".to_string()));
+        assert!(map.insert(7 + CHUNK_COUNT as u64, "seventy-one".to_string()));
+        assert!(!map.insert(7, "seven again".to_string()));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(7).unwrap().as_str(), "seven again");
+        assert!(map.get(8).is_none());
+    }
+
+    #[test]
+    fn clone_shares_all_chunks_and_insert_copies_one() {
+        let mut map = ChunkedMap::new();
+        for k in 0..200u64 {
+            map.insert(k, k);
+        }
+        let snapshot = map.clone();
+        for i in 0..CHUNK_COUNT {
+            assert!(map.shares_chunk(&snapshot, i));
+        }
+        map.insert(1000, 1000); // chunk 1000 % 64 == 40
+        let touched = ChunkedMap::<u64>::chunk_of(1000);
+        for i in 0..CHUNK_COUNT {
+            assert_eq!(map.shares_chunk(&snapshot, i), i != touched, "chunk {i}");
+        }
+        // The snapshot still sees the old state.
+        assert!(snapshot.get(1000).is_none());
+        assert_eq!(*map.get(1000).unwrap(), 1000);
+    }
+
+    #[test]
+    fn diff_reports_added_removed_changed() {
+        let mut old = ChunkedMap::new();
+        old.insert(1, 10u64);
+        old.insert(2, 20);
+        let mut new = old.clone();
+        new.insert(2, 21); // changed
+        new.insert(3, 30); // added
+        let diff = old.diff(&new);
+        assert_eq!(diff.added, vec![3]);
+        assert_eq!(diff.changed, vec![2]);
+        assert!(diff.removed.is_empty());
+        assert!(old.diff(&old.clone()).is_empty());
+        // Reverse direction: the addition becomes a removal.
+        assert_eq!(new.diff(&old).removed, vec![3]);
+    }
+}

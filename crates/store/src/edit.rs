@@ -1,0 +1,196 @@
+//! Seeded single-edit perturbations of an STG.
+//!
+//! The incremental benchmarks and smoke tests need *small, deterministic*
+//! edits: change one thing, re-synthesise, and count how many modules the
+//! store had to re-solve. Two edit shapes cover the spectrum:
+//!
+//! * [`pulse_edit`] — splice an extra `s+ → s-` pulse directly after one
+//!   falling transition of `s`. A genuine behavioural change: the state
+//!   graph grows, some modules go dirty.
+//! * [`rename_edit`] — change only the model name. The STG digest moves but
+//!   the behaviour (and every module quotient) is untouched: the incremental
+//!   path must re-solve **zero** modules.
+
+use modsyn_petri::TransitionId;
+use modsyn_stg::{Polarity, Stg, StgError};
+
+/// Rebuilds `stg` under a (possibly different) model name, optionally
+/// splicing an `s+ → s-` pulse after the transition `pulse_after` (which
+/// must be a falling transition of signal `s`).
+///
+/// The copy preserves signal order, transition order, explicit place names
+/// and the initial marking, so `rebuild(stg, stg.name(), None)` is
+/// behaviourally identical to `stg`. With `pulse_after = Some(t)`, every
+/// place fed by `t` is re-fed by the new falling pulse transition instead,
+/// and the chain `t → s+ → s-` is appended.
+///
+/// # Errors
+///
+/// Propagates [`StgError`] from signal/arc construction (cannot happen for
+/// a well-formed source STG).
+pub fn rebuild(stg: &Stg, name: &str, pulse_after: Option<TransitionId>) -> Result<Stg, StgError> {
+    let mut out = Stg::new(name);
+
+    let mut signal_map = Vec::with_capacity(stg.signal_count());
+    for id in stg.signal_ids() {
+        let info = stg.signal(id);
+        signal_map.push(out.add_signal(info.name(), info.kind())?);
+    }
+
+    // Transitions in storage order: labelled edges keep their signal and
+    // polarity (instance numbers are re-derived, `write_g` renumbers
+    // canonically anyway); dummies keep their name.
+    let mut transition_map = Vec::new();
+    for t in stg.net().transition_ids() {
+        let new_t = match stg.label(t) {
+            Some(label) => out.add_transition(signal_map[label.signal.index()], label.polarity),
+            None => out.add_dummy(stg.net().transition(t).name()),
+        };
+        transition_map.push(new_t);
+    }
+
+    // The spliced pulse, if any: s+ then s- for the edited signal.
+    let pulse = match pulse_after {
+        Some(t) => {
+            let label = stg
+                .label(t)
+                .expect("pulse edit targets a labelled transition");
+            assert_eq!(
+                label.polarity,
+                Polarity::Fall,
+                "pulse edits splice after a falling transition"
+            );
+            let signal = signal_map[label.signal.index()];
+            let rise = out.add_transition(signal, Polarity::Rise);
+            let fall = out.add_transition(signal, Polarity::Fall);
+            Some((t, rise, fall))
+        }
+        None => None,
+    };
+
+    // Places with their arcs and marking. Every place is recreated
+    // explicitly under its original name; arcs out of the edited transition
+    // are redirected to come out of the pulse's falling edge instead.
+    for p in stg.net().place_ids() {
+        let place = stg.net().place(p);
+        let new_p = out.add_place(place.name());
+        for &from in place.fanin() {
+            let src = match pulse {
+                Some((edited, _, fall)) if from == edited => fall,
+                _ => transition_map[from.index()],
+            };
+            out.arc_into_place(src, new_p)?;
+        }
+        for &to in place.fanout() {
+            out.arc_from_place(new_p, transition_map[to.index()])?;
+        }
+        out.set_tokens(new_p, place.initial_tokens())?;
+    }
+
+    if let Some((edited, rise, fall)) = pulse {
+        out.arc(transition_map[edited.index()], rise)?;
+        out.arc(rise, fall)?;
+    }
+
+    Ok(out)
+}
+
+/// Splices an extra `signal+ → signal-` pulse after one of `signal`'s
+/// falling transitions, chosen by `seed` (round-robin over the falling
+/// transitions in storage order). Returns `None` when the named signal does
+/// not exist or never falls.
+///
+/// The result keeps the model name: behaviour changed, identity didn't.
+pub fn pulse_edit(stg: &Stg, signal: &str, seed: usize) -> Option<Stg> {
+    let id = stg.find_signal(signal)?;
+    let falls: Vec<TransitionId> = stg
+        .transitions_of(id)
+        .into_iter()
+        .filter(|&t| stg.label(t).is_some_and(|l| l.polarity == Polarity::Fall))
+        .collect();
+    if falls.is_empty() {
+        return None;
+    }
+    let t = falls[seed % falls.len()];
+    rebuild(stg, stg.name(), Some(t)).ok()
+}
+
+/// Renames the model (`name` + `suffix`) without touching behaviour: the
+/// content digest changes, every module quotient stays identical.
+pub fn rename_edit(stg: &Stg, suffix: &str) -> Stg {
+    let name = format!("{}{}", stg.name(), suffix);
+    rebuild(stg, &name, None).expect("identity rebuild of a well-formed STG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::{derive, DeriveOptions};
+    use modsyn_stg::{benchmarks, stg_digest, write_g};
+
+    #[test]
+    fn identity_rebuild_preserves_behaviour_and_digest() {
+        let stg = benchmarks::vbe_ex1();
+        let copy = rebuild(&stg, stg.name(), None).unwrap();
+        assert_eq!(write_g(&stg), write_g(&copy));
+        assert_eq!(stg_digest(&stg), stg_digest(&copy));
+    }
+
+    #[test]
+    fn rename_edit_moves_digest_only() {
+        let stg = benchmarks::vbe_ex1();
+        let renamed = rename_edit(&stg, "-r1");
+        assert_ne!(stg_digest(&stg), stg_digest(&renamed));
+        let opts = DeriveOptions::default();
+        let a = derive(&stg, &opts).unwrap();
+        let b = derive(&renamed, &opts).unwrap();
+        assert_eq!(a, b, "state graphs must be identical under a rename");
+    }
+
+    #[test]
+    fn pulse_edit_grows_the_state_graph() {
+        let stg = benchmarks::vbe_ex1();
+        let signal = stg
+            .non_input_signals()
+            .first()
+            .map(|&s| stg.signal(s).name().to_string())
+            .unwrap();
+        let edited = pulse_edit(&stg, &signal, 0).unwrap();
+        assert_ne!(stg_digest(&stg), stg_digest(&edited));
+        let opts = DeriveOptions::default();
+        let before = derive(&stg, &opts).unwrap();
+        let after = derive(&edited, &opts).unwrap();
+        assert!(
+            after.state_count() > before.state_count(),
+            "pulse must add states: {} vs {}",
+            after.state_count(),
+            before.state_count()
+        );
+    }
+
+    #[test]
+    fn pulse_edit_rejects_unknown_or_riseless_signals() {
+        let stg = benchmarks::vbe_ex1();
+        assert!(pulse_edit(&stg, "no-such-signal", 0).is_none());
+    }
+
+    #[test]
+    fn pulse_seed_rotates_over_falling_transitions() {
+        let stg = benchmarks::vbe_ex2();
+        let signal = stg
+            .non_input_signals()
+            .first()
+            .map(|&s| stg.signal(s).name().to_string())
+            .unwrap();
+        let id = stg.find_signal(&signal).unwrap();
+        let falls = stg
+            .transitions_of(id)
+            .into_iter()
+            .filter(|&t| stg.label(t).is_some_and(|l| l.polarity == Polarity::Fall))
+            .count();
+        let a = pulse_edit(&stg, &signal, 0).unwrap();
+        let b = pulse_edit(&stg, &signal, falls).unwrap();
+        // Seeds that agree modulo the fall count pick the same transition.
+        assert_eq!(write_g(&a), write_g(&b));
+    }
+}

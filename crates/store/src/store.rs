@@ -1,0 +1,417 @@
+//! The synthesis store: content-addressed namespaces behind a mutex, with
+//! cheap structurally-shared snapshots and per-run session counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use modsyn_sg::{EdgeLabel, StateGraph};
+use modsyn_stg::fnv1a64;
+
+use crate::chunk::{ChunkedMap, MapDiff};
+use crate::provenance::{ModuleEntry, SynthRecord};
+
+/// A content-addressed store for per-module SAT solutions and per-STG
+/// synthesis records.
+///
+/// Lookups and inserts go through a [`StoreSession`] (one per synthesis
+/// run), which tallies per-run hits and misses on top of the store-wide
+/// counters — the per-request dirty-module accounting of `POST /synth/incr`.
+#[derive(Debug, Default)]
+pub struct SynthStore {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dirty: AtomicU64,
+    seq: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    modules: ChunkedMap<ModuleEntry>,
+    records: ChunkedMap<SynthRecord>,
+    timeline: Vec<SnapshotMeta>,
+}
+
+/// A point-in-time view of the store. Cloned chunk pointers, not payload:
+/// taking one is O(chunks), and it stays valid (and immutable) while the
+/// live store moves on.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Monotonic snapshot sequence number.
+    pub seq: u64,
+    pub(crate) modules: ChunkedMap<ModuleEntry>,
+    pub(crate) records: ChunkedMap<SynthRecord>,
+}
+
+/// Timeline entry recorded for every snapshot taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Sequence number of the snapshot.
+    pub seq: u64,
+    /// Module entries at snapshot time.
+    pub modules: usize,
+    /// Synthesis records at snapshot time.
+    pub records: usize,
+}
+
+/// Namespaced difference between two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreDiff {
+    /// Module-namespace changes.
+    pub modules: MapDiff,
+    /// Record-namespace changes.
+    pub records: MapDiff,
+}
+
+impl StoreDiff {
+    /// Whether the snapshots are identical.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty() && self.records.is_empty()
+    }
+}
+
+impl Snapshot {
+    /// Module entries, sorted by key.
+    pub fn modules(&self) -> Vec<(u64, Arc<ModuleEntry>)> {
+        self.modules.entries()
+    }
+
+    /// Synthesis records, sorted by digest.
+    pub fn records(&self) -> Vec<(u64, Arc<SynthRecord>)> {
+        self.records.entries()
+    }
+
+    /// What changed from `self` to the (newer) snapshot `newer`.
+    pub fn diff(&self, newer: &Snapshot) -> StoreDiff {
+        StoreDiff {
+            modules: self.modules.diff(&newer.modules),
+            records: self.records.diff(&newer.records),
+        }
+    }
+}
+
+impl SynthStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SynthStore::default()
+    }
+
+    /// Looks up a module solve by content key (uncounted; sessions count).
+    pub fn get_module(&self, key: u64) -> Option<Arc<ModuleEntry>> {
+        self.inner.lock().unwrap().modules.get(key)
+    }
+
+    /// Inserts a module solve under its content key.
+    pub fn put_module(&self, key: u64, entry: ModuleEntry) {
+        self.inner.lock().unwrap().modules.insert(key, entry);
+    }
+
+    /// Looks up a synthesis record by STG digest.
+    pub fn get_record(&self, digest: u64) -> Option<Arc<SynthRecord>> {
+        self.inner.lock().unwrap().records.get(digest)
+    }
+
+    /// Inserts a synthesis record under the STG digest.
+    pub fn put_record(&self, digest: u64, record: SynthRecord) {
+        self.inner.lock().unwrap().records.insert(digest, record);
+    }
+
+    /// Number of cached module solves.
+    pub fn module_count(&self) -> usize {
+        self.inner.lock().unwrap().modules.len()
+    }
+
+    /// Number of synthesis records.
+    pub fn record_count(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Takes a structurally-shared snapshot and appends it to the timeline.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let snap = Snapshot {
+            seq,
+            modules: inner.modules.clone(),
+            records: inner.records.clone(),
+        };
+        let meta = SnapshotMeta {
+            seq,
+            modules: snap.modules.len(),
+            records: snap.records.len(),
+        };
+        inner.timeline.push(meta);
+        snap
+    }
+
+    /// The metadata of every snapshot taken so far, in order.
+    pub fn timeline(&self) -> Vec<SnapshotMeta> {
+        self.inner.lock().unwrap().timeline.clone()
+    }
+
+    /// Store-wide module-lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Store-wide module-lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Modules re-solved on behalf of incremental requests.
+    pub fn dirty(&self) -> u64 {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Counts `n` modules as dirty (re-solved during an incremental run).
+    pub fn add_dirty(&self, n: u64) {
+        self.dirty.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One synthesis run's view of a [`SynthStore`]: shares the cache, tallies
+/// its own hits and misses so callers can report per-run dirty counts even
+/// with concurrent runs on the same store.
+#[derive(Debug)]
+pub struct StoreSession {
+    store: Arc<SynthStore>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StoreSession {
+    /// Opens a session on `store`.
+    pub fn new(store: Arc<SynthStore>) -> Arc<StoreSession> {
+        Arc::new(StoreSession {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<SynthStore> {
+        &self.store
+    }
+
+    /// Counted module lookup: bumps the session *and* store hit/miss
+    /// counters.
+    pub fn get_module(&self, key: u64) -> Option<Arc<ModuleEntry>> {
+        let found = self.store.get_module(key);
+        let (own, global) = if found.is_some() {
+            (&self.hits, &self.store.hits)
+        } else {
+            (&self.misses, &self.store.misses)
+        };
+        own.fetch_add(1, Ordering::Relaxed);
+        global.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Inserts a module solve (after a miss was solved for real).
+    pub fn put_module(&self, key: u64, entry: ModuleEntry) {
+        self.store.put_module(key, entry);
+    }
+
+    /// Module lookups this session that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Module lookups this session that missed (modules solved for real —
+    /// the run's *dirty* count).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Modules consulted this session (hits + misses).
+    pub fn total(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+}
+
+/// An optional store attachment for synthesis options.
+///
+/// Compares by identity (like `CancelToken` and `Faults` do), so two
+/// default option values — both unattached — are still equal, and attaching
+/// a store never makes two otherwise-equal option sets spuriously equal.
+#[derive(Clone, Default)]
+pub struct StoreLink(Option<Arc<StoreSession>>);
+
+impl StoreLink {
+    /// No store attached (the default).
+    pub fn none() -> Self {
+        StoreLink(None)
+    }
+
+    /// Attaches a session.
+    pub fn to(session: Arc<StoreSession>) -> Self {
+        StoreLink(Some(session))
+    }
+
+    /// The attached session, if any.
+    pub fn session(&self) -> Option<&Arc<StoreSession>> {
+        self.0.as_ref()
+    }
+}
+
+impl PartialEq for StoreLink {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "StoreLink(attached)"
+        } else {
+            "StoreLink(none)"
+        })
+    }
+}
+
+/// The exact canonical rendering of a state graph used for module keys.
+///
+/// Signals, codes and edges are emitted **in storage order**, not sorted:
+/// the SAT encoding's clause order — and with it the solver's decision
+/// sequence and the model it returns — depends on that order, so two graphs
+/// must be *indistinguishable to the solver* (not merely isomorphic) to
+/// share a key. Equal text ⇒ equal data structure ⇒ a cached solution is
+/// byte-for-byte what a fresh solve would produce.
+pub fn graph_key_text(graph: &StateGraph) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(64 + 16 * graph.state_count());
+    out.push_str("sg/v1\n");
+    for meta in graph.signals() {
+        let _ = writeln!(out, "s {} {}", meta.name, meta.kind);
+    }
+    let _ = writeln!(out, "i {}", graph.initial());
+    for s in 0..graph.state_count() {
+        let _ = writeln!(out, "c {:x}", graph.code(s));
+    }
+    for e in graph.edges() {
+        match e.label {
+            EdgeLabel::Signal { signal, polarity } => {
+                let _ = writeln!(out, "e {} {} {}{}", e.from, e.to, signal, polarity);
+            }
+            EdgeLabel::Epsilon => {
+                let _ = writeln!(out, "e {} {} ~", e.from, e.to);
+            }
+        }
+    }
+    out
+}
+
+/// Content key for one module solve: the exact graph rendering plus every
+/// solver-relevant parameter (`fingerprint`: scope, name offset, solver
+/// options — assembled by the caller, which knows its option type).
+pub fn module_key(graph: &StateGraph, fingerprint: &str) -> u64 {
+    let mut text = String::with_capacity(fingerprint.len() + 64);
+    text.push_str("modsyn-store/module/v1\n");
+    text.push_str(fingerprint);
+    text.push('\n');
+    text.push_str(&graph_key_text(graph));
+    fnv1a64(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sg::{derive, DeriveOptions};
+    use modsyn_stg::benchmarks;
+
+    fn entry(n: usize) -> ModuleEntry {
+        ModuleEntry {
+            assignments: Vec::new(),
+            formulas: vec![crate::StoredFormula {
+                state_signals: n,
+                ..Default::default()
+            }],
+            provenance: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable_views_with_a_timeline() {
+        let store = SynthStore::new();
+        store.put_module(1, entry(1));
+        let before = store.snapshot();
+        store.put_module(2, entry(2));
+        store.put_record(
+            9,
+            SynthRecord {
+                benchmark: "b".into(),
+                inserted: vec![],
+                provenance: vec![],
+            },
+        );
+        let after = store.snapshot();
+
+        assert_eq!(before.modules().len(), 1);
+        assert_eq!(after.modules().len(), 2);
+        let diff = before.diff(&after);
+        assert_eq!(diff.modules.added, vec![2]);
+        assert_eq!(diff.records.added, vec![9]);
+        assert!(diff.modules.removed.is_empty());
+
+        let timeline = store.timeline();
+        assert_eq!(timeline.len(), 2);
+        assert!(timeline[0].seq < timeline[1].seq);
+        assert_eq!(timeline[1].modules, 2);
+    }
+
+    #[test]
+    fn sessions_tally_hits_and_misses_independently() {
+        let store = Arc::new(SynthStore::new());
+        let a = StoreSession::new(store.clone());
+        assert!(a.get_module(5).is_none());
+        a.put_module(5, entry(5));
+        assert!(a.get_module(5).is_some());
+        assert_eq!((a.hits(), a.misses()), (1, 1));
+
+        let b = StoreSession::new(store.clone());
+        assert!(b.get_module(5).is_some());
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+        assert_eq!((store.hits(), store.misses()), (2, 1));
+        assert_eq!(b.total(), 1);
+    }
+
+    #[test]
+    fn store_link_compares_by_identity() {
+        let store = Arc::new(SynthStore::new());
+        let s = StoreSession::new(store);
+        assert_eq!(StoreLink::none(), StoreLink::default());
+        assert_eq!(StoreLink::to(s.clone()), StoreLink::to(s.clone()));
+        let other = StoreSession::new(Arc::new(SynthStore::new()));
+        assert_ne!(StoreLink::to(s.clone()), StoreLink::to(other));
+        assert_ne!(StoreLink::to(s), StoreLink::none());
+    }
+
+    #[test]
+    fn graph_key_text_is_exact_not_isomorphic() {
+        let sg = derive(&benchmarks::vbe_ex1(), &DeriveOptions::default()).unwrap();
+        let text = graph_key_text(&sg);
+        assert_eq!(text, graph_key_text(&sg.clone()));
+        assert_eq!(
+            module_key(&sg, "scope=all offset=0"),
+            module_key(&sg, "scope=all offset=0"),
+        );
+        assert_ne!(
+            module_key(&sg, "scope=all offset=0"),
+            module_key(&sg, "scope=all offset=1"),
+            "fingerprint must separate keys"
+        );
+        // A different graph (another benchmark) keys differently.
+        let other = derive(&benchmarks::vbe_ex2(), &DeriveOptions::default()).unwrap();
+        assert_ne!(
+            module_key(&sg, "scope=all offset=0"),
+            module_key(&other, "scope=all offset=0"),
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //!         [--faults SPEC] [--fault-seed N]
 //!         [--breaker-threshold F] [--breaker-cooldown-ms T]
 //!         [--access-log off|stderr|FILE] [--flight-slots N]
+//!         [--store-snapshot FILE]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`), prints one
@@ -30,6 +31,13 @@
 //! `--access-log` steers the per-request JSON log (the daemon defaults to
 //! `stderr`; embedded servers default to off); `--flight-slots` sizes the
 //! flight recorder's per-shard ring.
+//!
+//! `--store-snapshot FILE` persists the synthesis store (module solves,
+//! provenance records, cached response bodies) across restarts: the file
+//! is reloaded at startup when it exists and rewritten after a graceful
+//! drain, so a restarted daemon answers previously-seen work from cache
+//! and serves `/synth/incr` and `/explain` against the old session's
+//! records.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -43,11 +51,13 @@ fn usage() -> &'static str {
      [--cache-entries N] [--cache-bytes N] [--timeout-ms T] [--max-body BYTES] \
      [--limit N] [--stats] [--trace-json FILE] [--faults SPEC] [--fault-seed N] \
      [--breaker-threshold F] [--breaker-cooldown-ms T] \
-     [--access-log off|stderr|FILE] [--flight-slots N]\n\
+     [--access-log off|stderr|FILE] [--flight-slots N] [--store-snapshot FILE]\n\
      \n\
-     Serves POST /synth (body: .g STG; query: method, timeout_ms), GET /metrics,\n\
-     GET /healthz, GET /debug/flight, POST /shutdown. Every 200 is\n\
-     oracle-certified and trace-stamped (X-Modsyn-Trace).\n\
+     Serves POST /synth (body: .g STG; query: method, timeout_ms),\n\
+     POST /synth/incr (query: base=<digest-hex>), GET /explain (query: digest,\n\
+     signal), GET /metrics, GET /healthz, GET /debug/flight, POST /shutdown.\n\
+     Every 200 is oracle-certified and trace-stamped (X-Modsyn-Trace).\n\
+     --store-snapshot persists the synthesis store across restarts.\n\
      --faults arms a seeded chaos plan, e.g. 'sat.abort*2,svc.write-torn@1/4'\n\
      (rule grammar: site[*max][+skip][@num/denom][~delay_ms])."
 }
@@ -145,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
                 config.flight_slots = value("--flight-slots")?
                     .parse()
                     .map_err(|_| "bad --flight-slots value")?;
+            }
+            "--store-snapshot" => {
+                config.store_snapshot = Some(value("--store-snapshot")?.into());
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),

@@ -198,6 +198,27 @@ impl<V: Clone> ShardedLru<V> {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Every live entry, sorted by key — the persistence walk used by the
+    /// daemon's `--store-snapshot` save. Recency stamps are not preserved:
+    /// a reloaded cache starts with fresh LRU history, which only costs
+    /// eviction-order fidelity, never correctness.
+    pub fn entries(&self) -> Vec<(u128, V)> {
+        let mut out: Vec<(u128, V)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .iter()
+                    .map(|(&k, e)| (k, e.value.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
     /// The per-shard entry budget (exposed for capacity assertions in
     /// tests: `len() <= shard_count() * entry_budget()` always holds).
     pub fn entry_budget(&self) -> usize {

@@ -80,4 +80,4 @@ pub use breaker::{Admission, BreakerConfig, CircuitBreaker};
 pub use cache::{cache_key, CacheConfig, ShardedLru};
 pub use http::{HttpError, Limits, Request, Response};
 pub use metrics::{Gauge, GaugeGuard, Metrics};
-pub use server::{AccessLog, Server, ServerConfig, ServerHandle};
+pub use server::{render_report, AccessLog, Server, ServerConfig, ServerHandle};

@@ -28,6 +28,8 @@ pub const STANDARD_HISTOGRAMS: &[&str] = &[
     "request_us:synth:modular-min-area",
     "request_us:synth:direct",
     "request_us:synth:lavagno",
+    "request_us:incr",
+    "request_us:explain",
     "request_us:metrics",
     "request_us:healthz",
     "request_us:flight",
@@ -41,6 +43,7 @@ pub const STANDARD_HISTOGRAMS: &[&str] = &[
     "pool_wait_us",
     "sat_conflicts",
     "sat_decisions",
+    "incr_dirty_modules",
 ];
 
 /// The quantile columns rendered per histogram.
@@ -57,6 +60,14 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Cache entries evicted to make room.
     pub cache_evictions: AtomicU64,
+    /// Module solves answered from the synthesis store (synced from the
+    /// store at scrape, like `cache_evictions`).
+    pub store_hits: AtomicU64,
+    /// Module solves run for real and recorded into the store.
+    pub store_misses: AtomicU64,
+    /// Dirty modules across `/synth/incr` runs (the sum of each
+    /// incremental request's re-solved module count).
+    pub store_dirty: AtomicU64,
     /// `/synth` requests refused with 503 by admission control.
     pub shed: AtomicU64,
     /// Synthesis runs cancelled by the per-request deadline.
@@ -120,6 +131,9 @@ impl Metrics {
             ("modsynd_cache_hits_total", &self.cache_hits),
             ("modsynd_cache_misses_total", &self.cache_misses),
             ("modsynd_cache_evictions_total", &self.cache_evictions),
+            ("modsynd_store_hits_total", &self.store_hits),
+            ("modsynd_store_misses_total", &self.store_misses),
+            ("modsynd_store_dirty_total", &self.store_dirty),
             ("modsynd_shed_total", &self.shed),
             ("modsynd_aborted_total", &self.aborted),
             ("modsynd_certified_total", &self.certified),
@@ -300,6 +314,9 @@ modsynd_requests_total 0
 modsynd_cache_hits_total 0
 modsynd_cache_misses_total 0
 modsynd_cache_evictions_total 0
+modsynd_store_hits_total 0
+modsynd_store_misses_total 0
+modsynd_store_dirty_total 0
 modsynd_shed_total 0
 modsynd_aborted_total 0
 modsynd_certified_total 0

@@ -72,6 +72,10 @@ use modsyn_fault::{site, FaultHook, Faults};
 use modsyn_obs::{FlightEvent, FlightKind, FlightRecorder, Json, Tracer};
 use modsyn_par::{CancelToken, WorkerPool};
 use modsyn_stg::{parse_g, stg_digest, Stg};
+use modsyn_store::{
+    restore_into, snapshot_from_json, snapshot_to_json, Provenance, StoreLink, StoreSession,
+    SynthRecord, SynthStore,
+};
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::{cache_key, CacheConfig, ShardedLru};
@@ -127,6 +131,11 @@ pub struct ServerConfig {
     pub flight_slots: usize,
     /// Per-request access-log destination.
     pub access_log: AccessLog,
+    /// Synthesis-store persistence: reload this snapshot at bind (when the
+    /// file exists) and write it back after a graceful drain, so module
+    /// solves, provenance records and cached response bodies survive a
+    /// restart. `None` (the default) keeps the store memory-only.
+    pub store_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +155,7 @@ impl Default for ServerConfig {
             faults: Faults::none(),
             flight_slots: modsyn_obs::DEFAULT_SLOTS,
             access_log: AccessLog::Off,
+            store_snapshot: None,
         }
     }
 }
@@ -174,6 +184,9 @@ struct Shared {
     tracer: Tracer,
     flight: FlightRecorder,
     shutting_down: AtomicBool,
+    /// The synthesis store: per-module solves keyed by exact quotient
+    /// renderings, plus per-benchmark provenance records for `/explain`.
+    store: Arc<SynthStore>,
     /// One breaker per method, indexed by [`method_tag`].
     breakers: [CircuitBreaker; 4],
     /// Fresh-trace-id counter, mixed with `trace_salt` so ids from
@@ -266,6 +279,11 @@ impl ServerHandle {
         self.shared.flight.clone()
     }
 
+    /// The synthesis store behind `/synth`, `/synth/incr` and `/explain`.
+    pub fn store(&self) -> Arc<SynthStore> {
+        Arc::clone(&self.shared.store)
+    }
+
     /// Initiates a graceful drain: stop accepting, finish what's running.
     pub fn shutdown(&self) {
         if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
@@ -297,6 +315,23 @@ impl Server {
         let pool =
             WorkerPool::with_tracer_and_faults(config.jobs, tracer.clone(), config.faults.clone());
         let cache = ShardedLru::new(&config.cache).with_faults(config.faults.clone());
+        let store = Arc::new(SynthStore::new());
+        if let Some(path) = &config.store_snapshot {
+            if path.exists() {
+                let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+                let text = std::fs::read_to_string(path)?;
+                let doc = modsyn_obs::parse_json(&text)
+                    .map_err(|e| invalid(format!("store snapshot: {e}")))?;
+                let data = snapshot_from_json(&doc)
+                    .map_err(|e| invalid(format!("store snapshot: {e}")))?;
+                restore_into(&store, &data);
+                for (key, body) in &data.responses {
+                    let bytes = body.len();
+                    cache.insert(*key, Arc::new(body.clone().into_bytes()), bytes);
+                }
+                tracer.note("store", "snapshot-loaded");
+            }
+        }
         let access = match &config.access_log {
             AccessLog::Off => AccessSink::Off,
             AccessLog::Stderr => AccessSink::Stderr,
@@ -323,6 +358,7 @@ impl Server {
             tracer,
             flight,
             shutting_down: AtomicBool::new(false),
+            store,
             breakers,
             trace_seq: AtomicU64::new(0),
             trace_salt,
@@ -445,6 +481,22 @@ impl Server {
             std::thread::sleep(Duration::from_millis(10));
         }
         self.shared.tracer.note("shutdown", "drained");
+
+        // Persist the store (and the response cache riding in the same
+        // snapshot) only after the drain: every admitted job has finished,
+        // so the snapshot is a consistent post-quiescence view.
+        if let Some(path) = &self.shared.config.store_snapshot {
+            let snap = self.shared.store.snapshot();
+            let responses: Vec<(u128, String)> = self
+                .shared
+                .cache
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, String::from_utf8_lossy(&v).into_owned()))
+                .collect();
+            std::fs::write(path, snapshot_to_json(&snap, &responses).pretty())?;
+            self.shared.tracer.note("store", "snapshot-saved");
+        }
         Ok(())
     }
 
@@ -490,6 +542,8 @@ fn request_hist_name(request: &Request) -> &'static str {
             "lavagno" => "request_us:synth:lavagno",
             _ => "request_us:other",
         },
+        "/synth/incr" => "request_us:incr",
+        "/explain" => "request_us:explain",
         "/metrics" => "request_us:metrics",
         "/healthz" => "request_us:healthz",
         "/debug/flight" => "request_us:flight",
@@ -586,11 +640,24 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tra
             }
         }
         ("GET", "/metrics") => {
-            // The cache tracks its own evictions; sync before rendering.
+            // The cache and store track their own totals; sync before
+            // rendering.
             shared
                 .metrics
                 .cache_evictions
                 .store(shared.cache.evictions(), Ordering::Relaxed);
+            shared
+                .metrics
+                .store_hits
+                .store(shared.store.hits(), Ordering::Relaxed);
+            shared
+                .metrics
+                .store_misses
+                .store(shared.store.misses(), Ordering::Relaxed);
+            shared
+                .metrics
+                .store_dirty
+                .store(shared.store.dirty(), Ordering::Relaxed);
             Response::text(200, "OK", shared.metrics.render())
         }
         ("GET", "/debug/flight") => debug_flight(shared, request),
@@ -602,13 +669,15 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tra
             .shutdown();
             Response::text(202, "Accepted", "draining\n")
         }
-        ("POST", "/synth") => synth(shared, request, tracer),
-        (_, "/synth") | (_, "/shutdown") => {
+        ("POST", "/synth") => synth(shared, request, tracer, None),
+        ("POST", "/synth/incr") => synth_incr(shared, request, tracer),
+        ("GET", "/explain") => explain(shared, request),
+        (_, "/synth") | (_, "/synth/incr") | (_, "/shutdown") => {
             http_error_counted(shared);
             error_response(405, "Method Not Allowed", "method-not-allowed", "use POST")
                 .with_header("Allow", "POST")
         }
-        (_, "/healthz") | (_, "/metrics") | (_, "/debug/flight") => {
+        (_, "/healthz") | (_, "/metrics") | (_, "/debug/flight") | (_, "/explain") => {
             http_error_counted(shared);
             error_response(405, "Method Not Allowed", "method-not-allowed", "use GET")
                 .with_header("Allow", "GET")
@@ -669,6 +738,132 @@ fn debug_flight(shared: &Shared, request: &Request) -> Response {
     Response::json_bytes(200, "OK", out.into_bytes())
 }
 
+/// `GET /explain?digest=<hex>&signal=<name>[&method=…]`: why an inserted
+/// state signal exists, from the provenance record left by the certified
+/// run that produced the digest. 404s distinguish "never synthesised
+/// here" from "synthesised, but no such inserted signal".
+fn explain(shared: &Shared, request: &Request) -> Response {
+    let digest = match request.query_param("digest") {
+        None => {
+            http_error_counted(shared);
+            return error_response(
+                400,
+                "Bad Request",
+                "missing-digest",
+                "GET /explain needs digest=<hex> (the X-Modsyn-Digest of a synthesis)",
+            );
+        }
+        Some(v) => match u64::from_str_radix(v.trim(), 16) {
+            Ok(d) => d,
+            Err(_) => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "bad-digest",
+                    "digest must be a 16-digit hex digest",
+                );
+            }
+        },
+    };
+    let Some(signal) = request.query_param("signal") else {
+        http_error_counted(shared);
+        return error_response(
+            400,
+            "Bad Request",
+            "missing-signal",
+            "GET /explain needs signal=<inserted state signal name>",
+        );
+    };
+    let method = match request.query_param("method") {
+        None => Method::Modular,
+        Some(name) => match parse_method(name) {
+            Some(m @ (Method::Modular | Method::ModularMinArea)) => m,
+            _ => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "incr-method",
+                    "provenance exists for the modular methods only",
+                );
+            }
+        },
+    };
+    let Some(record) = shared
+        .store
+        .get_record(record_key(digest, method_tag(method)))
+    else {
+        http_error_counted(shared);
+        return error_response(
+            404,
+            "Not Found",
+            "unknown-digest",
+            "no synthesis record for this digest (synthesise it first)",
+        );
+    };
+    let chain: Vec<&Provenance> = record
+        .provenance
+        .iter()
+        .filter(|p| p.signal == signal)
+        .collect();
+    if chain.is_empty() {
+        http_error_counted(shared);
+        let known = record.inserted.join(", ");
+        return error_response(
+            404,
+            "Not Found",
+            "unknown-signal",
+            &format!("no provenance for this signal; inserted signals: [{known}]"),
+        );
+    }
+    let doc = Json::obj([
+        ("benchmark", Json::from(record.benchmark.as_str())),
+        ("digest", Json::from(format!("{digest:016x}"))),
+        ("method", Json::from(method.to_string())),
+        ("signal", Json::from(signal)),
+        (
+            "provenance",
+            Json::Arr(chain.into_iter().map(provenance_to_json).collect()),
+        ),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out.push('\n');
+    Response::json_bytes(200, "OK", out.into_bytes())
+}
+
+/// One provenance step as `/explain` JSON (also what `modsyn --explain`
+/// prints as text): the module that forced the signal, the CSC conflict
+/// pairs it resolves, and the winning formula's clause families.
+fn provenance_to_json(p: &Provenance) -> Json {
+    Json::obj([
+        ("module", Json::from(p.module_output.as_str())),
+        ("module_key", Json::from(format!("{:016x}", p.module_key))),
+        (
+            "resolved_pairs",
+            Json::Arr(
+                p.resolved_pairs
+                    .iter()
+                    .map(|&(i, j)| Json::Arr(vec![Json::from(i), Json::from(j)]))
+                    .collect(),
+            ),
+        ),
+        ("state_signals", Json::from(p.state_signals)),
+        ("variables", Json::from(p.variables)),
+        ("clauses", Json::from(p.clauses)),
+        (
+            "families",
+            Json::obj([
+                ("consistency", Json::from(p.families.consistency)),
+                ("persistence", Json::from(p.families.persistence)),
+                ("usc", Json::from(p.families.usc)),
+                ("resolution", Json::from(p.families.resolution)),
+            ]),
+        ),
+    ])
+}
+
 fn http_error_counted(shared: &Shared) {
     shared
         .metrics
@@ -694,7 +889,54 @@ fn method_tag(method: Method) -> u8 {
     }
 }
 
-fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
+/// Combines a response digest and a method tag into the store's record
+/// key. The modular tag is 0, so `/explain?digest=<X-Modsyn-Digest>`
+/// works unadorned for the default method.
+fn record_key(digest: u64, method_tag: u8) -> u64 {
+    digest ^ u64::from(method_tag)
+}
+
+/// `POST /synth/incr?base=<hex>[&method=…]`: incremental re-synthesis of
+/// an edited STG against a warm store. The base digest must name a
+/// benchmark this server has synthesised (422 otherwise) — the guarantee
+/// a client actually wants is "my edit was computed *against* something",
+/// not "the store happened to be warm". Only the modular methods
+/// decompose into store-keyed modules, so only they are accepted.
+///
+/// The response body is produced by the exact same pipeline as `/synth`
+/// and cached under the same key, so it is byte-identical to a
+/// from-scratch synthesis of the edited STG. Freshly computed responses
+/// carry `X-Modsyn-Dirty-Modules` (modules re-solved for real) and
+/// `X-Modsyn-Total-Modules` (modules consulted); a response-cache hit
+/// re-solved nothing and omits both.
+fn synth_incr(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
+    let base = match request.query_param("base") {
+        None => {
+            http_error_counted(shared);
+            return error_response(
+                400,
+                "Bad Request",
+                "missing-base",
+                "POST /synth/incr needs base=<digest-hex> (the X-Modsyn-Digest of the base run)",
+            );
+        }
+        Some(v) => match u64::from_str_radix(v.trim(), 16) {
+            Ok(d) => d,
+            Err(_) => {
+                http_error_counted(shared);
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "bad-base",
+                    "base must be a 16-digit hex digest",
+                );
+            }
+        },
+    };
+    synth(shared, request, tracer, Some(base))
+}
+
+fn synth(shared: &Shared, request: &Request, tracer: &Tracer, incr_base: Option<u64>) -> Response {
     // A synthesis request needs a .g body; a POST without Content-Length
     // parses as an empty one (RFC 7230), so point at the actual mistake.
     if request.header("content-length").is_none() {
@@ -721,6 +963,15 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
             }
         },
     };
+    if incr_base.is_some() && !matches!(method, Method::Modular | Method::ModularMinArea) {
+        http_error_counted(shared);
+        return error_response(
+            400,
+            "Bad Request",
+            "incr-method",
+            "incremental synthesis needs a modular method (modular|modular-min-area)",
+        );
+    }
     let client_timeout = match request.query_param("timeout_ms") {
         None => None,
         Some(v) => match v.parse::<u64>() {
@@ -754,6 +1005,28 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
     let digest = stg_digest(&stg);
     let key = cache_key(digest, method_tag(method));
     let digest_hex = format!("{digest:016x}");
+
+    // An incremental request against a base this server never synthesised
+    // is the client's mistake: there is nothing to be incremental *to*.
+    if let Some(base) = incr_base {
+        if shared
+            .store
+            .get_record(record_key(base, method_tag(method)))
+            .is_none()
+        {
+            shared.metrics.count(
+                &shared.metrics.synth_failures,
+                &shared.tracer,
+                "synth_failures",
+            );
+            return error_response(
+                422,
+                "Unprocessable Entity",
+                "unknown-base",
+                "base digest has no synthesis record on this server (synthesise it first)",
+            );
+        }
+    }
 
     if let Some(body) = shared.cache.get(key) {
         shared
@@ -824,10 +1097,20 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
     };
     let cancel = timeout.map_or_else(CancelToken::never, CancelToken::with_deadline);
 
+    // The modular methods consult the synthesis store module-by-module: a
+    // per-request session tallies this request's own hits (replayed) and
+    // misses (solved for real — the *dirty* set of an incremental run),
+    // while the solves themselves land in the server-wide store.
+    let session = matches!(method, Method::Modular | Method::ModularMinArea)
+        .then(|| StoreSession::new(Arc::clone(&shared.store)));
+
     let mut options = SynthesisOptions::for_method(method);
     options.cancel = cancel;
     options.jobs = 1; // the pool provides cross-request parallelism
     options.faults = shared.config.faults.clone();
+    options.store = session
+        .as_ref()
+        .map_or_else(StoreLink::none, |s| StoreLink::to(Arc::clone(s)));
     if let Some(limit) = shared.config.backtrack_limit {
         options.solver.max_backtracks = Some(limit);
     }
@@ -848,6 +1131,16 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
 
     let metrics = Arc::clone(&shared.metrics);
     let job_tracer = tracer.clone();
+    // Certified runs leave a provenance record keyed by their response
+    // digest ⊕ method, so `/explain` and later `/synth/incr` base checks
+    // can find them. Only sessions record — direct/lavagno runs have no
+    // module provenance to explain.
+    let record = session.as_ref().map(|s| {
+        (
+            Arc::clone(s.store()),
+            record_key(digest, method_tag(method)),
+        )
+    });
     let started = Instant::now();
     let handle = shared
         .pool
@@ -859,7 +1152,13 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
             job_tracer.flight_event(FlightKind::Counter, "svc.queue_wait_us", wait_us);
             let _run_span = job_tracer.flight_span("pool.run");
             let cpu_started = Instant::now();
-            let outcome = run_synthesis(&stg, &options, &policy, &job_tracer);
+            let outcome = run_synthesis(
+                &stg,
+                &options,
+                &policy,
+                &job_tracer,
+                record.as_ref().map(|(s, k)| (s.as_ref(), *k)),
+            );
             job_tracer.record_hist(
                 &format!("synth_cpu_us:{method}"),
                 cpu_started.elapsed().as_micros() as u64,
@@ -930,10 +1229,20 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
             }
             let bytes = body.len();
             shared.cache.insert(key, Arc::new(body.clone()), bytes);
-            Response::json_bytes(200, "OK", body)
+            let mut response = Response::json_bytes(200, "OK", body)
                 .with_header("X-Modsyn-Cache", "miss")
                 .with_header("X-Modsyn-Digest", digest_hex)
-                .with_header("X-Modsyn-Cpu-Us", started.elapsed().as_micros().to_string())
+                .with_header("X-Modsyn-Cpu-Us", started.elapsed().as_micros().to_string());
+            if incr_base.is_some() {
+                let session = session.as_ref().expect("incr implies a modular session");
+                let dirty = session.misses();
+                shared.store.add_dirty(dirty);
+                shared.metrics.hists.record("incr_dirty_modules", dirty);
+                response = response
+                    .with_header("X-Modsyn-Dirty-Modules", dirty.to_string())
+                    .with_header("X-Modsyn-Total-Modules", session.total().to_string());
+            }
+            response
         }
     }
 }
@@ -969,6 +1278,7 @@ fn run_synthesis(
     options: &SynthesisOptions,
     policy: &RetryPolicy,
     tracer: &Tracer,
+    record: Option<(&SynthStore, u64)>,
 ) -> SynthOutcome {
     let (report, recovered) =
         match modsyn::synthesize_with_retry_traced(stg, options, policy, tracer) {
@@ -996,6 +1306,18 @@ fn run_synthesis(
     if let Err(e) = certify_report(Some(&spec), &report) {
         return SynthOutcome::CheckFailed(e.to_string());
     }
+    // Record provenance only for certified results — an uncertified run
+    // must leave no trace a later `/explain` could repeat.
+    if let Some((store, key)) = record {
+        store.put_record(
+            key,
+            SynthRecord {
+                benchmark: report.benchmark.clone(),
+                inserted: report.inserted.clone(),
+                provenance: report.provenance.clone(),
+            },
+        );
+    }
     SynthOutcome::Certified {
         body: render_report(&report),
         recovered,
@@ -1004,7 +1326,9 @@ fn run_synthesis(
 
 /// Renders the deterministic response body: no timing, no cache status —
 /// identical requests yield byte-identical bodies, computed or cached.
-fn render_report(report: &modsyn::SynthesisReport) -> Vec<u8> {
+/// Public so the `increment` benchmark and the incremental-identity tests
+/// can byte-compare offline reports against service responses.
+pub fn render_report(report: &modsyn::SynthesisReport) -> Vec<u8> {
     let functions = Json::Arr(
         report
             .functions
