@@ -3,6 +3,7 @@
 //! ```text
 //! benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] [--floor N]
 //!            [--incr-current FILE] [--incr-baseline FILE] [--incr-only]
+//!            [--corpus-current FILE] [--corpus-baseline FILE] [--corpus-only]
 //! ```
 //!
 //! Compares a freshly generated Table-1 document (default
@@ -28,6 +29,16 @@
 //! fully deterministic, so any drift in what was reused is a behaviour
 //! change; only the wall clocks are informational.
 //!
+//! Passing any `--corpus-*` flag additionally (or, with `--corpus-only`,
+//! exclusively) guards the corpus sweep: the current `BENCH_corpus.json`
+//! is compared against `BENCH_corpus.baseline.json`, and **every counted
+//! field** — the totals, the size distribution, the per-tier case counts
+//! and the per-method certified/rejection taxonomy — must match the
+//! baseline *exactly*; the current run must also have `passed: true` with
+//! an empty violations list. The corpus stream and the solver are fully
+//! deterministic, so any drift is a behaviour change; only the wall
+//! clocks are informational.
+//!
 //! Exit code 0 when every record passes, 1 with a per-record report when
 //! any fails, 2 on unreadable input.
 
@@ -46,6 +57,12 @@ struct Args {
     incr: bool,
     /// Skip the Table-1 comparison entirely.
     incr_only: bool,
+    corpus_current: String,
+    corpus_baseline: String,
+    /// Guard the corpus sweep (any `--corpus-*` flag arms this).
+    corpus: bool,
+    /// Skip the Table-1 comparison entirely.
+    corpus_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +75,10 @@ fn parse_args() -> Result<Args, String> {
         incr_baseline: "BENCH_incr.baseline.json".to_string(),
         incr: false,
         incr_only: false,
+        corpus_current: "BENCH_corpus.json".to_string(),
+        corpus_baseline: "BENCH_corpus.baseline.json".to_string(),
+        corpus: false,
+        corpus_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -85,10 +106,23 @@ fn parse_args() -> Result<Args, String> {
                 args.incr = true;
                 args.incr_only = true;
             }
+            "--corpus-current" => {
+                args.corpus_current = value("--corpus-current")?;
+                args.corpus = true;
+            }
+            "--corpus-baseline" => {
+                args.corpus_baseline = value("--corpus-baseline")?;
+                args.corpus = true;
+            }
+            "--corpus-only" => {
+                args.corpus = true;
+                args.corpus_only = true;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] \
-                     [--floor N] [--incr-current FILE] [--incr-baseline FILE] [--incr-only]"
+                     [--floor N] [--incr-current FILE] [--incr-baseline FILE] [--incr-only] \
+                     [--corpus-current FILE] [--corpus-baseline FILE] [--corpus-only]"
                         .to_string(),
                 )
             }
@@ -341,6 +375,160 @@ fn guard_incr(args: &Args) -> Result<usize, usize> {
     Ok(base_index.len())
 }
 
+/// Exact comparison of one flat section (`totals`, one `sizes` entry, a
+/// tier or method record): every numeric field present in either document
+/// must match.
+fn compare_exact_fields(context: &str, base: &Json, cur: &Json, fields: &[&str]) -> Vec<String> {
+    fields
+        .iter()
+        .filter_map(|field| {
+            let (b, c) = (num(base, &[field]), num(cur, &[field]));
+            (b != c).then(|| format!("{context}.{field} {b:?} -> {c:?}"))
+        })
+        .collect()
+}
+
+/// The corpus-sweep guard: every counted field exact, `passed` true.
+fn guard_corpus(args: &Args) -> Result<usize, usize> {
+    let (baseline, current) = match (load(&args.corpus_baseline), load(&args.corpus_current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return Err(usize::MAX);
+        }
+    };
+
+    let mut reasons: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+
+    // The current run must itself be clean, independent of the baseline.
+    if current.get("passed").and_then(Json::as_bool) != Some(true) {
+        reasons.push("current run has passed != true".to_string());
+    }
+    if let Some(violations) = current.get("violations").and_then(Json::as_arr) {
+        for v in violations {
+            reasons.push(format!("current violation: {}", v.as_str().unwrap_or("?")));
+        }
+    }
+
+    let section = |doc: &Json, name: &str| doc.get(name).cloned().unwrap_or(Json::Null);
+    let totals_fields = [
+        "cases",
+        "in_theory",
+        "beyond_theory",
+        "method_runs",
+        "certified",
+        "rejected",
+        "violations",
+    ];
+    reasons.extend(compare_exact_fields(
+        "totals",
+        &section(&baseline, "totals"),
+        &section(&current, "totals"),
+        &totals_fields,
+    ));
+    compared += totals_fields.len();
+
+    for dim in ["signals", "places", "transitions", "states"] {
+        let (b, c) = (section(&baseline, "sizes"), section(&current, "sizes"));
+        reasons.extend(compare_exact_fields(
+            &format!("sizes.{dim}"),
+            &b.get(dim).cloned().unwrap_or(Json::Null),
+            &c.get(dim).cloned().unwrap_or(Json::Null),
+            &["min", "max", "total"],
+        ));
+        compared += 3;
+    }
+
+    // Tiers and methods: match records by their name field; a record
+    // present on one side only is itself a failure.
+    for (array, key, fields) in [
+        ("tiers", "tier", vec!["cases", "in_theory", "beyond_theory"]),
+        (
+            "methods",
+            "method",
+            vec!["runs", "certified", "literals_total", "final_signals_total"],
+        ),
+    ] {
+        let rows = |doc: &Json| -> Vec<(String, Json)> {
+            doc.get(array)
+                .and_then(Json::as_arr)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|r| {
+                            r.get(key)
+                                .and_then(Json::as_str)
+                                .map(|n| (n.to_string(), r.clone()))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let (base_rows, cur_rows) = (rows(&baseline), rows(&current));
+        for (name, base_row) in &base_rows {
+            let context = format!("{array}.{name}");
+            let Some((_, cur_row)) = cur_rows.iter().find(|(n, _)| n == name) else {
+                reasons.push(format!("{context}: missing from current run"));
+                continue;
+            };
+            reasons.extend(compare_exact_fields(&context, base_row, cur_row, &fields));
+            compared += fields.len();
+            // Method records also pin the full rejection taxonomy.
+            if array == "methods" {
+                let tags = |row: &Json| -> Vec<(String, f64)> {
+                    row.get("rejections")
+                        .and_then(Json::as_obj)
+                        .map(|o| {
+                            o.iter()
+                                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                };
+                let (bt, ct) = (tags(base_row), tags(cur_row));
+                for (tag, b) in &bt {
+                    let c = ct.iter().find(|(t, _)| t == tag).map(|(_, n)| *n);
+                    if c != Some(*b) {
+                        reasons.push(format!("{context}.rejections.{tag} {b} -> {c:?}"));
+                    }
+                    compared += 1;
+                }
+                for (tag, c) in &ct {
+                    if !bt.iter().any(|(t, _)| t == tag) {
+                        reasons.push(format!("{context}.rejections.{tag} absent -> {c}"));
+                    }
+                }
+            }
+        }
+        for (name, _) in &cur_rows {
+            if !base_rows.iter().any(|(n, _)| n == name) {
+                reasons.push(format!("{array}.{name}: not in baseline"));
+            }
+        }
+    }
+
+    if let (Some(b), Some(c)) = (num(&baseline, &["wall_s"]), num(&current, &["wall_s"])) {
+        if b > 0.05 {
+            println!("corpus wall-clock (informational): ratio {:.2}x", c / b);
+        }
+    }
+    if reasons.is_empty() {
+        Ok(compared)
+    } else {
+        for r in &reasons {
+            eprintln!("FAIL corpus: {r}");
+        }
+        eprintln!(
+            "benchguard: {} corpus fields regressed against {}",
+            reasons.len(),
+            args.corpus_baseline
+        );
+        Err(reasons.len())
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -352,7 +540,7 @@ fn main() -> ExitCode {
 
     let mut unreadable = false;
     let mut failed = false;
-    if !args.incr_only {
+    if !args.incr_only && !args.corpus_only {
         match guard_table(&args) {
             Ok(n) => println!(
                 "benchguard: {n} records within tolerance ({}% / floor {})",
@@ -365,6 +553,13 @@ fn main() -> ExitCode {
     if args.incr {
         match guard_incr(&args) {
             Ok(n) => println!("benchguard: {n} incremental records exact"),
+            Err(usize::MAX) => unreadable = true,
+            Err(_) => failed = true,
+        }
+    }
+    if args.corpus {
+        match guard_corpus(&args) {
+            Ok(n) => println!("benchguard: {n} corpus fields exact"),
             Err(usize::MAX) => unreadable = true,
             Err(_) => failed = true,
         }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chaosmat [--small] [--seed N] [--jobs N] [--out FILE]
+//!          [--corpus N] [--corpus-only]
 //! ```
 //!
 //! Runs the Table-1 suite (all 23 rows, or the small subset with
@@ -23,6 +24,13 @@
 //!   aborts must, against the backoff client, eventually serve every row
 //!   a certified `200` byte-identical to a clean server's response.
 //!
+//! With `--corpus N` a fourth leg runs the first `N` seeds of the
+//! compositional corpus stream through the pipeline fault plans: each
+//! case's fault-free modular baseline (a certified result, or a typed
+//! rejection for probes the flow declines) must be reproduced exactly by
+//! the retry ladder under injected faults, and again once the faults
+//! clear. `--corpus-only` skips the Table-1 legs.
+//!
 //! Every injection decision derives from `--seed`, so a failing run
 //! reproduces exactly. The summary is written to `BENCH_chaos.json`
 //! (or `--out FILE`); any invariant violation exits non-zero.
@@ -33,6 +41,7 @@ use std::time::Duration;
 
 use modsyn::{synthesize, synthesize_with_retry, RetryPolicy, SynthesisOptions, SynthesisReport};
 use modsyn_bench::{small_rows, PaperRow, PAPER_TABLE1, TABLE1_BACKTRACK_LIMIT};
+use modsyn_corpus::corpus_case;
 use modsyn_fault::{fnv1a64, FaultPlan, Faults};
 use modsyn_obs::{Json, Tracer};
 use modsyn_par::WorkerPool;
@@ -45,6 +54,8 @@ struct Args {
     seed: u64,
     jobs: usize,
     out: String,
+    corpus: u64,
+    corpus_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x000c_4a05,
         jobs: 4,
         out: "BENCH_chaos.json".to_string(),
+        corpus: 0,
+        corpus_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,14 +75,27 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed value")?,
             "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs value")?,
             "--out" => args.out = value("--out")?,
+            "--corpus" => {
+                args.corpus = value("--corpus")?
+                    .parse()
+                    .map_err(|_| "bad --corpus value")?;
+            }
+            "--corpus-only" => args.corpus_only = true,
             "--help" | "-h" => {
-                return Err("usage: chaosmat [--small] [--seed N] [--jobs N] [--out FILE]".into())
+                return Err(
+                    "usage: chaosmat [--small] [--seed N] [--jobs N] [--out FILE] \
+                            [--corpus N] [--corpus-only]"
+                        .into(),
+                )
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
     if args.jobs == 0 {
         return Err("--jobs must be at least 1".to_string());
+    }
+    if args.corpus_only && args.corpus == 0 {
+        args.corpus = 8;
     }
     Ok(args)
 }
@@ -198,6 +224,92 @@ fn pipeline_leg(
         ]));
     }
     Json::Arr(plans_json)
+}
+
+/// The corpus leg: corpus-stream cases under the pipeline fault plans.
+/// The fault-free modular baseline — certified result or typed rejection
+/// — must be reproduced exactly by the retry ladder under faults, and
+/// again once the plan's budget clears.
+fn corpus_leg(count: u64, seed: u64, violations: &mut Violations) -> Json {
+    let mut injected = 0u64;
+    let mut escalated = 0usize;
+    let mut certified = 0usize;
+    let mut rejected = 0usize;
+    for case_seed in 0..count {
+        let (stg, _) = corpus_case(case_seed);
+        let name = stg.name().to_string();
+        let baseline = synthesize(&stg, &table1_options(Faults::none()));
+        match &baseline {
+            Ok(report) => {
+                certified += 1;
+                violations.check(
+                    certify(&stg, report).is_ok(),
+                    &format!("corpus/{name}: fault-free baseline failed certification"),
+                );
+            }
+            Err(_) => rejected += 1,
+        }
+        for (plan_name, spec) in PIPELINE_PLANS {
+            let plan = FaultPlan::parse(plan_name, spec, seed ^ fnv1a64(name.as_bytes()))
+                .expect("static plan spec parses");
+            let faults = plan.arm();
+            let options = table1_options(faults.clone());
+            let chaos = synthesize_with_retry(&stg, &options, &RetryPolicy::default());
+            match (&baseline, chaos) {
+                (Ok(base), Ok(out)) => {
+                    if !out.attempts.is_empty() {
+                        escalated += 1;
+                    }
+                    violations.check(
+                        fingerprint(&out.report) == fingerprint(base),
+                        &format!("corpus/{plan_name}/{name}: ladder result differs from baseline"),
+                    );
+                    violations.check(
+                        certify(&stg, &out.report).is_ok(),
+                        &format!("corpus/{plan_name}/{name}: ladder result failed certification"),
+                    );
+                }
+                // A case the flow rejects fault-free must keep drawing the
+                // same typed rejection under injected faults — chaos must
+                // never flip a rejection into a panic or a wrong answer.
+                (Err(base), Err(e)) => violations.check(
+                    std::mem::discriminant(base) == std::mem::discriminant(&e),
+                    &format!("corpus/{plan_name}/{name}: rejection changed type under faults: {e}"),
+                ),
+                (Ok(_), Err(e)) => violations.check(
+                    false,
+                    &format!("corpus/{plan_name}/{name}: ladder exhausted or failed: {e}"),
+                ),
+                (Err(_), Ok(_)) => violations.check(
+                    false,
+                    &format!("corpus/{plan_name}/{name}: faults turned a rejection into success"),
+                ),
+            }
+            injected += faults.total_injected();
+            faults.set_enabled(false);
+            let cleared = synthesize(&stg, &table1_options(faults.clone()));
+            let agrees = match (&baseline, &cleared) {
+                (Ok(a), Ok(b)) => fingerprint(a) == fingerprint(b),
+                (Err(a), Err(b)) => std::mem::discriminant(a) == std::mem::discriminant(b),
+                _ => false,
+            };
+            violations.check(
+                agrees,
+                &format!("corpus/{plan_name}/{name}: post-clear run differs from baseline"),
+            );
+        }
+    }
+    eprintln!(
+        "chaosmat: corpus leg: {count} cases ({certified} certified, {rejected} rejected), \
+         {injected} faults injected, {escalated} ladder escalations",
+    );
+    Json::obj([
+        ("cases", Json::from(count)),
+        ("certified", Json::from(certified)),
+        ("rejected", Json::from(rejected)),
+        ("injected_faults", Json::from(injected)),
+        ("escalated", Json::from(escalated)),
+    ])
 }
 
 fn pool_leg(
@@ -418,36 +530,47 @@ fn main() -> ExitCode {
     };
     let mut violations = Violations(Vec::new());
 
-    // Fault-free serial baselines: the reference fingerprints, themselves
-    // oracle-certified.
-    eprintln!(
-        "chaosmat: {} rows, seed {}, jobs {}",
-        rows.len(),
-        args.seed,
-        args.jobs
-    );
-    let mut baselines = Vec::with_capacity(rows.len());
-    for row in &rows {
-        let stg = benchmarks::by_name(row.name).expect("known benchmark");
-        match synthesize(&stg, &table1_options(Faults::none())) {
-            Ok(report) => {
-                violations.check(
-                    certify(&stg, &report).is_ok(),
-                    &format!("baseline/{}: failed certification", row.name),
-                );
-                let fp = fingerprint(&report);
-                baselines.push((row.name.to_string(), stg, fp));
-            }
-            Err(e) => {
-                violations.check(false, &format!("baseline/{}: {e}", row.name));
-                baselines.push((row.name.to_string(), stg, String::new()));
+    let (pipeline, pool, serving) = if args.corpus_only {
+        (Json::Null, Json::Null, Json::Null)
+    } else {
+        // Fault-free serial baselines: the reference fingerprints,
+        // themselves oracle-certified.
+        eprintln!(
+            "chaosmat: {} rows, seed {}, jobs {}",
+            rows.len(),
+            args.seed,
+            args.jobs
+        );
+        let mut baselines = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let stg = benchmarks::by_name(row.name).expect("known benchmark");
+            match synthesize(&stg, &table1_options(Faults::none())) {
+                Ok(report) => {
+                    violations.check(
+                        certify(&stg, &report).is_ok(),
+                        &format!("baseline/{}: failed certification", row.name),
+                    );
+                    let fp = fingerprint(&report);
+                    baselines.push((row.name.to_string(), stg, fp));
+                }
+                Err(e) => {
+                    violations.check(false, &format!("baseline/{}: {e}", row.name));
+                    baselines.push((row.name.to_string(), stg, String::new()));
+                }
             }
         }
-    }
 
-    let pipeline = pipeline_leg(&rows, &baselines, args.seed, &mut violations);
-    let pool = pool_leg(&baselines, args.seed, args.jobs, &mut violations);
-    let serving = serving_leg(&baselines, args.seed, args.jobs, &mut violations);
+        (
+            pipeline_leg(&rows, &baselines, args.seed, &mut violations),
+            pool_leg(&baselines, args.seed, args.jobs, &mut violations),
+            serving_leg(&baselines, args.seed, args.jobs, &mut violations),
+        )
+    };
+    let corpus = if args.corpus > 0 {
+        corpus_leg(args.corpus, args.seed, &mut violations)
+    } else {
+        Json::Null
+    };
 
     let doc = Json::obj([
         ("version", Json::from(1u64)),
@@ -459,11 +582,13 @@ fn main() -> ExitCode {
                 ("seed", Json::from(args.seed)),
                 ("jobs", Json::from(args.jobs)),
                 ("backtrack_limit", Json::from(TABLE1_BACKTRACK_LIMIT)),
+                ("corpus", Json::from(args.corpus)),
             ]),
         ),
         ("pipeline", pipeline),
         ("pool", pool),
         ("serving", serving),
+        ("corpus", corpus),
         (
             "violations",
             Json::Arr(
@@ -483,10 +608,14 @@ fn main() -> ExitCode {
     println!("wrote {}", args.out);
 
     if violations.0.is_empty() {
-        println!(
-            "chaosmat: PASS — {} rows certified under every fault plan",
-            rows.len()
-        );
+        let subjects = if args.corpus_only {
+            format!("{} corpus cases", args.corpus)
+        } else if args.corpus > 0 {
+            format!("{} rows and {} corpus cases", rows.len(), args.corpus)
+        } else {
+            format!("{} rows", rows.len())
+        };
+        println!("chaosmat: PASS — {subjects} certified under every fault plan");
         ExitCode::SUCCESS
     } else {
         eprintln!("chaosmat: FAIL — {} violations", violations.0.len());

@@ -1,0 +1,117 @@
+//! `corpus` — sweep the compositional benchmark corpus and write
+//! `BENCH_corpus.json`.
+//!
+//! ```text
+//! corpus [--start S] [--count N] [--jobs N] [--out FILE]
+//! ```
+//!
+//! Evaluates seeds `S..S+N` of the `modsyn-corpus` stream (composed
+//! in-theory cases plus asymmetric-choice probes) through every applicable
+//! synthesis method, enforcing the three-valued contract: every in-theory
+//! case must be oracle-certified by the modular flow, every beyond-theory
+//! probe must draw a typed class rejection from the theory-scoped
+//! comparators, and anything else — a panic, an untyped error, an
+//! oracle-refused result, a `.g` round-trip mismatch — is a violation.
+//!
+//! All counted fields in the output are deterministic (seeded generation,
+//! deterministic solver; pooled runs join in seed order), so the document
+//! is exact-comparable against `BENCH_corpus.baseline.json` by
+//! `benchguard --corpus-only`. Wall clocks are informational.
+//!
+//! Exit code 0 when every case satisfies the contract, 1 otherwise.
+
+use std::process::ExitCode;
+
+use modsyn_bench::corpus::{corpus_json, run_corpus};
+use modsyn_corpus::EvalOptions;
+
+struct Args {
+    start: u64,
+    count: u64,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        start: 0,
+        count: 1000,
+        jobs: 1,
+        out: "BENCH_corpus.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--start" => args.start = value("--start")?.parse().map_err(|_| "bad --start")?,
+            "--count" => args.count = value("--count")?.parse().map_err(|_| "bad --count")?,
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: corpus [--start S] [--count N] [--jobs N] [--out FILE]".into())
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.count == 0 {
+        return Err("--count must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let eval = EvalOptions::default();
+    eprintln!(
+        "corpus: seeds {}..{} on {} job(s)",
+        args.start,
+        args.start + args.count,
+        args.jobs.max(1),
+    );
+    let run = run_corpus(args.start, args.count, args.jobs, &eval);
+
+    let doc = corpus_json(&run, &eval);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    let violations = run.violations();
+    let certified = run
+        .reports
+        .iter()
+        .flat_map(|r| &r.outcomes)
+        .filter(|o| o.verdict == modsyn_corpus::Verdict::Certified)
+        .count();
+    println!(
+        "corpus: {} cases ({} in-theory, {} beyond-theory), {certified} certified method runs, \
+         {} violations, {:.1}s",
+        run.reports.len(),
+        run.reports
+            .iter()
+            .filter(|r| r.expectation == modsyn_corpus::Expectation::InTheory)
+            .count(),
+        run.reports
+            .iter()
+            .filter(|r| r.expectation == modsyn_corpus::Expectation::BeyondTheory)
+            .count(),
+        violations.len(),
+        run.wall_s,
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -21,9 +21,14 @@
 //! disagreement — fails the run; for generated subjects the recipe is
 //! shrunk to a minimal failing phase list first.
 //!
+//! With `--corpus A..B` the subject set extends to the compositional
+//! corpus stream (composed in-theory cases and asymmetric-choice probes
+//! from `modsyn-corpus`); failing corpus subjects shrink through their
+//! composition or probe recipe to a minimal derivation.
+//!
 //! ```text
-//! differ [--seeds A..B] [--profile small|medium|mixed] [--no-benchmarks]
-//!        [--limit N] [--verbose]
+//! differ [--seeds A..B] [--corpus A..B] [--profile small|medium|mixed]
+//!        [--no-benchmarks] [--limit N] [--verbose]
 //! ```
 //!
 //! Exit code 0 iff every subject agrees. Failures print the seed/benchmark
@@ -34,6 +39,7 @@ use std::process::ExitCode;
 use modsyn::{certify_report, Method, SynthesisError, SynthesisOptions, SynthesisReport};
 use modsyn_bench::TABLE1_BACKTRACK_LIMIT;
 use modsyn_check::{check_equivalence, gen_recipe, Profile, StgRecipe};
+use modsyn_corpus::{corpus_case, gen_asym, gen_corpus, AsymRecipe, CorpusRecipe, Expectation};
 use modsyn_sat::{standard_portfolio, SolverOptions};
 use modsyn_sg::{derive, DeriveOptions};
 use modsyn_stg::{benchmarks, Stg};
@@ -153,16 +159,21 @@ fn check_subject(stg: &Stg, limit: u64, verbose: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// Shrinks a failing generated recipe: repeatedly replace it by the first
-/// shrunk candidate that still fails, until none do.
-fn shrink_failure(recipe: &StgRecipe, limit: u64) -> (StgRecipe, String) {
+/// Shrinks a failing recipe of any family: repeatedly replace it by the
+/// first shrunk candidate that still fails, until none do.
+fn shrink_to_minimal<R: Clone>(
+    recipe: &R,
+    build: impl Fn(&R) -> Stg,
+    shrink: impl Fn(&R) -> Vec<R>,
+    limit: u64,
+) -> (R, String) {
     let mut current = recipe.clone();
-    let mut message = check_subject(&current.build(), limit, false)
-        .expect_err("shrink_failure requires a failing recipe");
+    let mut message = check_subject(&build(&current), limit, false)
+        .expect_err("shrink_to_minimal requires a failing recipe");
     loop {
         let mut shrunk = false;
-        for candidate in current.shrink() {
-            if let Err(m) = check_subject(&candidate.build(), limit, false) {
+        for candidate in shrink(&current) {
+            if let Err(m) = check_subject(&build(&candidate), limit, false) {
                 current = candidate;
                 message = m;
                 shrunk = true;
@@ -175,17 +186,33 @@ fn shrink_failure(recipe: &StgRecipe, limit: u64) -> (StgRecipe, String) {
     }
 }
 
+/// [`shrink_to_minimal`] for the `gen_stg` recipe family.
+fn shrink_failure(recipe: &StgRecipe, limit: u64) -> (StgRecipe, String) {
+    shrink_to_minimal(recipe, StgRecipe::build, StgRecipe::shrink, limit)
+}
+
 struct Args {
     seeds: std::ops::Range<u64>,
+    corpus: std::ops::Range<u64>,
     profile: Option<Profile>,
     benchmarks: bool,
     limit: u64,
     verbose: bool,
 }
 
+fn parse_range(flag: &str, v: &str) -> Result<std::ops::Range<u64>, String> {
+    let (a, b) = v
+        .split_once("..")
+        .ok_or_else(|| format!("bad {flag} range {v:?}, expected A..B"))?;
+    let a: u64 = a.parse().map_err(|_| format!("bad seed {a:?}"))?;
+    let b: u64 = b.parse().map_err(|_| format!("bad seed {b:?}"))?;
+    Ok(a..b)
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seeds: 0..20,
+        corpus: 0..0,
         profile: None,
         benchmarks: true,
         limit: TABLE1_BACKTRACK_LIMIT,
@@ -196,12 +223,11 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--seeds" => {
                 let v = it.next().ok_or("--seeds needs a value like 0..50")?;
-                let (a, b) = v
-                    .split_once("..")
-                    .ok_or_else(|| format!("bad --seeds range {v:?}, expected A..B"))?;
-                let a: u64 = a.parse().map_err(|_| format!("bad seed {a:?}"))?;
-                let b: u64 = b.parse().map_err(|_| format!("bad seed {b:?}"))?;
-                args.seeds = a..b;
+                args.seeds = parse_range("--seeds", &v)?;
+            }
+            "--corpus" => {
+                let v = it.next().ok_or("--corpus needs a value like 0..50")?;
+                args.corpus = parse_range("--corpus", &v)?;
             }
             "--profile" => {
                 let v = it.next().ok_or("--profile needs a value")?;
@@ -221,8 +247,8 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unexpected argument {other:?}\n\
-                     usage: differ [--seeds A..B] [--profile small|medium|mixed] \
-                     [--no-benchmarks] [--limit N] [--verbose]"
+                     usage: differ [--seeds A..B] [--corpus A..B] \
+                     [--profile small|medium|mixed] [--no-benchmarks] [--limit N] [--verbose]"
                 ))
             }
         }
@@ -274,6 +300,51 @@ fn main() -> ExitCode {
                     Profile::Small => "small",
                     Profile::Medium => "medium",
                 },
+            );
+        }
+    }
+
+    // Corpus subjects: the composed/probe stream the `corpus` binary
+    // sweeps, run through the same configuration matrix. In-theory cases
+    // shrink through the composition recipe (drop children, shrink
+    // leaves), probes through the probe recipe (fewer branches, narrower
+    // fork) — either way a failure prints a minimal derivation.
+    for seed in args.corpus.clone() {
+        let (stg, expectation) = corpus_case(seed);
+        eprintln!("corpus seed {seed} ({})", expectation.label());
+        checked += 1;
+        if let Err(_first) = check_subject(&stg, args.limit, args.verbose) {
+            failures += 1;
+            let (derivation, msg) = match expectation {
+                Expectation::InTheory => {
+                    let (minimal, msg) = shrink_to_minimal(
+                        &gen_corpus(seed),
+                        |r| r.build().0,
+                        CorpusRecipe::shrink,
+                        args.limit,
+                    );
+                    (minimal.node.derivation(), msg)
+                }
+                Expectation::BeyondTheory => {
+                    let (minimal, msg) = shrink_to_minimal(
+                        &gen_asym(seed),
+                        |r| r.build(),
+                        AsymRecipe::shrink,
+                        args.limit,
+                    );
+                    (
+                        format!(
+                            "asym(width {}, branches {})",
+                            minimal.width, minimal.branches
+                        ),
+                        msg,
+                    )
+                }
+            };
+            eprintln!(
+                "FAIL corpus seed {seed}: {msg}\n  minimal derivation: {derivation}\n  \
+                 reproduce: differ --corpus {seed}..{}",
+                seed + 1,
             );
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] [--repeat N]
-//!         [--small] [--timeout-ms T] [--out FILE]
+//!         [--small] [--corpus N] [--timeout-ms T] [--out FILE]
 //! ```
 //!
 //! Without `--addr`, starts an in-process [`modsyn_svc::Server`] on a free
@@ -17,7 +17,16 @@
 //!   on the pool (repeats of the same row within the pass may hit),
 //! * **warm** — same requests again: every row must be a cache hit.
 //!
-//! Every response is checked: status 200, `"certified":true` in the body.
+//! With `--corpus N` the work set extends by the first `N` seeds of the
+//! compositional corpus stream: composed in-theory cases are posted as
+//! `method=modular` and must come back `200` certified like the Table-1
+//! rows, while asymmetric-choice probes are posted as `method=lavagno`
+//! and must draw the typed `422 not-free-choice` rejection carrying
+//! `X-Modsyn-Class: asymmetric-choice` — the serving path's rejection
+//! taxonomy under load, not just its happy path.
+//!
+//! Every response is checked against its row's expectation: status 200
+//! with `"certified":true` in the body, or the expected typed 422.
 //! The summary (throughput and p50/p95/p99 latency per pass, plus the
 //! server's own `/metrics` counters) is printed and written to
 //! `BENCH_serve.json` (or `--out FILE`).
@@ -37,6 +46,7 @@ struct Args {
     jobs: usize,
     repeat: usize,
     small: bool,
+    corpus: u64,
     timeout: Duration,
     out: String,
 }
@@ -48,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: modsyn_par::available_jobs().max(4),
         repeat: 1,
         small: false,
+        corpus: 0,
         timeout: Duration::from_secs(120),
         out: "BENCH_serve.json".to_string(),
     };
@@ -68,6 +79,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --repeat value")?;
             }
             "--small" => args.small = true,
+            "--corpus" => {
+                args.corpus = value("--corpus")?
+                    .parse()
+                    .map_err(|_| "bad --corpus value")?;
+            }
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms")?
                     .parse()
@@ -78,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] \
-                     [--repeat N] [--small] [--timeout-ms T] [--out FILE]"
+                     [--repeat N] [--small] [--corpus N] [--timeout-ms T] [--out FILE]"
                         .to_string(),
                 )
             }
@@ -91,12 +107,33 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// What a work item expects of its response.
+#[derive(Clone, Copy, PartialEq)]
+enum Expect {
+    /// `200` with `"certified":true` — cacheable, so the warm pass must
+    /// serve it as a hit.
+    Certified,
+    /// The typed `422 not-free-choice` rejection with
+    /// `X-Modsyn-Class: asymmetric-choice` — never cached.
+    RejectedBeyondTheory,
+}
+
+/// One request to issue: the posted `.g` body, the method path and the
+/// expected response shape.
+struct WorkItem {
+    path: &'static str,
+    body: String,
+    expect: Expect,
+}
+
 /// One request's outcome.
 struct Sample {
     latency: Duration,
-    status: u16,
     cache: String,
-    certified: bool,
+    /// The response matched its work item's expectation.
+    ok: bool,
+    /// The item expects a cacheable 200.
+    cacheable: bool,
 }
 
 /// Latency/throughput summary of one pass.
@@ -104,6 +141,8 @@ struct PassStats {
     requests: usize,
     errors: usize,
     hits: usize,
+    /// Requests that expect a cacheable 200 (the warm-pass hit target).
+    cacheable: usize,
     wall: Duration,
     p50: Duration,
     p95: Duration,
@@ -123,11 +162,9 @@ fn summarise(samples: &[Sample], wall: Duration) -> PassStats {
     latencies.sort_unstable();
     PassStats {
         requests: samples.len(),
-        errors: samples
-            .iter()
-            .filter(|s| s.status != 200 || !s.certified)
-            .count(),
+        errors: samples.iter().filter(|s| !s.ok).count(),
         hits: samples.iter().filter(|s| s.cache == "hit").count(),
+        cacheable: samples.iter().filter(|s| s.cacheable).count(),
         wall,
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),
@@ -145,6 +182,7 @@ fn pass_json(stats: &PassStats, server_histograms: Json) -> Json {
         ("requests", Json::from(stats.requests)),
         ("errors", Json::from(stats.errors)),
         ("cache_hits", Json::from(stats.hits)),
+        ("cacheable", Json::from(stats.cacheable)),
         ("wall_seconds", Json::from(stats.wall.as_secs_f64())),
         ("throughput_rps", Json::from(rps)),
         ("p50_ms", Json::from(stats.p50.as_secs_f64() * 1e3)),
@@ -167,7 +205,7 @@ fn pass_json(stats: &PassStats, server_histograms: Json) -> Json {
 /// so retries do not synchronise into waves.
 fn run_pass(
     addr: SocketAddr,
-    work: &[(String, String)], // (name, .g body)
+    work: &[WorkItem],
     concurrency: usize,
     timeout: Duration,
 ) -> (Vec<Sample>, Duration) {
@@ -178,34 +216,49 @@ fn run_pass(
         for _ in 0..concurrency {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((_, body)) = work.get(i) else { break };
+                let Some(item) = work.get(i) else { break };
                 let policy = client::BackoffPolicy {
                     seed: client::BackoffPolicy::default().seed ^ i as u64,
                     ..client::BackoffPolicy::default()
                 };
                 let sent = Instant::now();
+                let cacheable = item.expect == Expect::Certified;
                 let sample = match client::request_with_backoff(
                     addr,
                     "POST",
-                    "/synth?method=modular",
-                    body.as_bytes(),
+                    item.path,
+                    item.body.as_bytes(),
                     timeout,
                     &policy,
                 ) {
-                    Ok(response) => Sample {
-                        latency: sent.elapsed(),
-                        status: response.status,
-                        cache: response
-                            .header("x-modsyn-cache")
-                            .unwrap_or_default()
-                            .to_string(),
-                        certified: response.text().contains("\"certified\":true"),
-                    },
+                    Ok(response) => {
+                        let ok = match item.expect {
+                            Expect::Certified => {
+                                response.status == 200
+                                    && response.text().contains("\"certified\":true")
+                            }
+                            Expect::RejectedBeyondTheory => {
+                                response.status == 422
+                                    && response.text().contains("\"error\":\"not-free-choice\"")
+                                    && response.header("x-modsyn-class")
+                                        == Some("asymmetric-choice")
+                            }
+                        };
+                        Sample {
+                            latency: sent.elapsed(),
+                            cache: response
+                                .header("x-modsyn-cache")
+                                .unwrap_or_default()
+                                .to_string(),
+                            ok,
+                            cacheable,
+                        }
+                    }
                     Err(_) => Sample {
                         latency: sent.elapsed(),
-                        status: 0,
                         cache: String::new(),
-                        certified: false,
+                        ok: false,
+                        cacheable,
                     },
                 };
                 samples
@@ -267,16 +320,40 @@ fn main() -> ExitCode {
         }
     };
 
-    // The benchmark corpus, as the .g text a client would post.
+    // The benchmark suite, as the .g text a client would post.
     let small_names: Vec<&str> = modsyn_bench::small_rows().iter().map(|r| r.name).collect();
-    let work: Vec<(String, String)> = modsyn_stg::benchmarks::all()
+    let mut work: Vec<WorkItem> = modsyn_stg::benchmarks::all()
         .into_iter()
         .filter(|(name, _)| !args.small || small_names.contains(name))
-        .flat_map(|(name, stg)| {
+        .flat_map(|(_, stg)| {
             let body = modsyn_stg::write_g(&stg);
-            std::iter::repeat_with(move || (name.to_string(), body.clone())).take(args.repeat)
+            std::iter::repeat_with(move || WorkItem {
+                path: "/synth?method=modular",
+                body: body.clone(),
+                expect: Expect::Certified,
+            })
+            .take(args.repeat)
         })
         .collect();
+    // Corpus rows: in-theory cases ride the modular happy path; probes
+    // target the theory-scoped comparator and must draw its typed 422.
+    for seed in 0..args.corpus {
+        let (stg, expectation) = modsyn_corpus::corpus_case(seed);
+        let body = modsyn_stg::write_g(&stg);
+        let (path, expect) = match expectation {
+            modsyn_corpus::Expectation::InTheory => ("/synth?method=modular", Expect::Certified),
+            modsyn_corpus::Expectation::BeyondTheory => {
+                ("/synth?method=lavagno", Expect::RejectedBeyondTheory)
+            }
+        };
+        for _ in 0..args.repeat {
+            work.push(WorkItem {
+                path,
+                body: body.clone(),
+                expect,
+            });
+        }
+    }
 
     // Either target a running daemon or host one in-process.
     let (addr, server_thread, handle) = match &args.addr {
@@ -311,7 +388,7 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "loadgen: {} requests/pass ({} benchmarks x{} repeat), concurrency {}, server {}",
+        "loadgen: {} requests/pass ({} subjects x{} repeat), concurrency {}, server {}",
         work.len(),
         work.len() / args.repeat,
         args.repeat,
@@ -360,6 +437,7 @@ fn main() -> ExitCode {
                 ("concurrency", Json::from(args.concurrency)),
                 ("jobs", Json::from(args.jobs)),
                 ("small", Json::from(args.small)),
+                ("corpus", Json::from(args.corpus)),
                 ("external", Json::from(args.addr.is_some())),
             ]),
         ),
@@ -387,9 +465,11 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out);
 
-    // The warm pass must be all hits and error-free; the cold pass may
-    // contain within-pass hits (repeat > 1) but no errors.
-    if cold.errors > 0 || warm.errors > 0 || warm.hits < warm.requests {
+    // The warm pass must serve every cacheable row from cache and be
+    // error-free; typed 422 rejections are never cached, so they are
+    // excluded from the hit target. The cold pass may contain within-pass
+    // hits (repeat > 1) but no errors.
+    if cold.errors > 0 || warm.errors > 0 || warm.hits < warm.cacheable {
         eprintln!("error: serving run failed acceptance (errors or cold warm-pass entries)");
         return ExitCode::FAILURE;
     }

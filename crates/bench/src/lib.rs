@@ -5,6 +5,7 @@
 //! benchmark × method with the standard limits; [`run_table`] produces the
 //! whole comparison.
 
+pub mod corpus;
 pub mod incr;
 
 use std::time::Instant;

@@ -99,20 +99,53 @@ pub struct StgRecipe {
 impl StgRecipe {
     /// Compiles the recipe into an STG named `gen-<seed>[-sN]`.
     pub fn build(&self) -> Stg {
+        let mut b = StgBuilder::new(format!("gen-{}", self.seed));
+        let ids = self
+            .declare_signals(&mut b, "")
+            .expect("generated names are unique");
+        b.cycle(self.body(&ids))
+            .expect("grammar only emits single-exit cycle bodies")
+    }
+
+    /// Declares this recipe's signals on an external builder, each name
+    /// prefixed with `prefix`, and returns them in the order [`Self::body`]
+    /// expects. This is the composition hook: a corpus engine can declare
+    /// several recipes side by side (distinct prefixes keep the namespaces
+    /// apart) and embed their bodies in one larger cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`modsyn_stg::StgError::DuplicateSignal`] if a prefixed name
+    /// collides with one already declared on the builder.
+    pub fn declare_signals(
+        &self,
+        b: &mut StgBuilder,
+        prefix: &str,
+    ) -> Result<Vec<SignalId>, modsyn_stg::StgError> {
         let (inputs, outputs) = self.profile.signals();
-        let total = inputs + outputs;
-        let name = format!("gen-{}", self.seed);
-        let mut b = StgBuilder::new(name);
-        let ids: Vec<SignalId> = (0..total)
+        (0..inputs + outputs)
             .map(|i| {
                 if i < inputs {
-                    b.signal(format!("i{i}"), SignalKind::Input)
+                    b.signal(format!("{prefix}i{i}"), SignalKind::Input)
                 } else {
-                    b.signal(format!("o{}", i - inputs), SignalKind::Output)
+                    b.signal(format!("{prefix}o{}", i - inputs), SignalKind::Output)
                 }
-                .expect("generated names are unique")
             })
-            .collect();
+            .collect()
+    }
+
+    /// The recipe's cycle body over `ids` (as returned by
+    /// [`Self::declare_signals`]): the implicit prelude followed by the
+    /// phase list. The fragment is single-exit, so it can be used as a
+    /// cycle body directly or sequenced into a composed cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is shorter than the profile's signal count.
+    pub fn body(&self, ids: &[SignalId]) -> Frag {
+        let (inputs, outputs) = self.profile.signals();
+        let total = inputs + outputs;
+        assert!(ids.len() >= total, "recipe needs {total} signals");
         let pulse = |s: usize| Frag::seq([Frag::rise(ids[s]), Frag::fall(ids[s])]);
         // Reduces a raw operand into the output signals.
         let out = |raw: usize| inputs + raw % outputs;
@@ -178,8 +211,7 @@ impl StgRecipe {
             };
             frags.push(frag);
         }
-        b.cycle(Frag::seq(frags))
-            .expect("grammar only emits single-exit cycle bodies")
+        Frag::seq(frags)
     }
 
     /// All one-phase-smaller recipes, for shrinking a failing case. The

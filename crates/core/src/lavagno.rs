@@ -72,7 +72,9 @@ pub fn lavagno_resolve(
     initial: &StateGraph,
     options: &LavagnoOptions,
 ) -> Result<LavagnoOutcome, SynthesisError> {
-    if stg.net().classify() == NetClass::General {
+    // The theory stops at free choice: asymmetric-choice and general nets
+    // are both outside it (`alex-nonfc` sits in the asymmetric tier).
+    if stg.net().classify() > NetClass::FreeChoice {
         return Err(SynthesisError::NotFreeChoice);
     }
     let analysis = initial.csc_analysis();

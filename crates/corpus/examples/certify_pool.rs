@@ -1,0 +1,73 @@
+//! Scans the gen stream and the skeleton-product space for leaves the
+//! modular flow certifies, to populate the corpus crate's certified pools.
+use std::time::Instant;
+
+use modsyn::Method;
+use modsyn_check::{gen_recipe, Profile};
+use modsyn_corpus::{
+    evaluate_case, CorpusNode, CorpusRecipe, EvalOptions, Expectation, Skeleton, Unit, Verdict,
+};
+
+fn modular_certifies(stg: &modsyn_stg::Stg) -> (bool, f64, usize) {
+    let started = Instant::now();
+    let report = evaluate_case(stg, Expectation::InTheory, &EvalOptions::default());
+    let wall = started.elapsed().as_secs_f64();
+    let ok = report.ok()
+        && report
+            .outcomes
+            .iter()
+            .any(|o| o.method == Method::Modular && o.verdict == Verdict::Certified);
+    (ok, wall, report.states)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "gen".into());
+    if mode == "gen" {
+        for (profile, label, want) in [
+            (Profile::Small, "small", 64),
+            (Profile::Medium, "medium", 32),
+        ] {
+            let mut accepted = Vec::new();
+            let mut sub_seed = 1u64;
+            while accepted.len() < want && sub_seed < 2_000 {
+                let recipe = gen_recipe(sub_seed, profile);
+                let stg = recipe.build();
+                let (ok, wall, states) = modular_certifies(&stg);
+                if ok && wall < 0.25 {
+                    accepted.push(sub_seed);
+                    eprintln!("  {label} {sub_seed}: ok ({states} states, {wall:.3}s)");
+                }
+                sub_seed += 1;
+            }
+            println!("{label}: {accepted:?}");
+        }
+    } else {
+        let skels = [
+            Skeleton::Channel,
+            Skeleton::Pipeline(2),
+            Skeleton::Pipeline(3),
+            Skeleton::Pipeline(4),
+            Skeleton::MutexPair,
+            Skeleton::ForkJoin(2),
+        ];
+        for a in skels {
+            for b in skels {
+                let recipe = CorpusRecipe {
+                    seed: 0,
+                    node: CorpusNode::Sync(vec![
+                        CorpusNode::Unit(Unit::Skel(a)),
+                        CorpusNode::Unit(Unit::Skel(b)),
+                    ]),
+                };
+                let (stg, _) = recipe.build();
+                let (ok, wall, states) = modular_certifies(&stg);
+                println!(
+                    "sync({},{}): {} ({states} states, {wall:.2}s)",
+                    a.name(),
+                    b.name(),
+                    if ok { "OK" } else { "FAIL" }
+                );
+            }
+        }
+    }
+}

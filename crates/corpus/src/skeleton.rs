@@ -1,0 +1,226 @@
+//! Concurrent-program skeleton templates.
+//!
+//! Each skeleton is a handshake pattern lifted from a concurrent-programming
+//! idiom — a channel rendezvous, a staged pipeline, a mutex-guarded critical
+//! section, a fork/join barrier — expressed as a DSL fragment. Compiled
+//! through [`modsyn_stg::StgBuilder::cycle`] the templates yield 1-safe,
+//! live, consistent STGs by construction, and every template stays within
+//! the free-choice class (choices, where present, are input-led), so they
+//! are valid in-theory corpus leaves.
+//!
+//! Like [`modsyn_check::StgRecipe`], a skeleton exposes
+//! [`declare_signals`](Skeleton::declare_signals) + [`body`](Skeleton::body)
+//! so the composition engine can embed several templates side by side in
+//! one larger cycle under distinct name prefixes.
+
+use modsyn_stg::{Frag, SignalId, SignalKind, Stg, StgBuilder, StgError};
+
+/// A concurrent-program handshake template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Skeleton {
+    /// A synchronous channel: the sender's request is acknowledged by the
+    /// receiver (`req+ ack+ req- ack-`), the four-phase rendezvous.
+    Channel,
+    /// An `n`-stage pipeline: a request enters stage 0 and the token is
+    /// handed down the stages with adjacent-stage overlap — stage `k`
+    /// resets concurrently with stage `k+1` accepting (`n` in `2..=6`,
+    /// clamped).
+    Pipeline(u8),
+    /// Two clients competing for a critical section: an input-led free
+    /// choice between `r0+ g0+ r0- g0-` and `r1+ g1+ r1- g1-` — the lock
+    /// is granted to whichever request the environment raises.
+    MutexPair,
+    /// A fork/join barrier: a request forks `n` concurrent workers, the
+    /// join releases the request and pulses a completion output (`n` in
+    /// `2..=4`, clamped).
+    ForkJoin(u8),
+}
+
+impl Skeleton {
+    /// Stable template name, used in derivation strings.
+    pub fn name(&self) -> String {
+        match self {
+            Skeleton::Channel => "chan".to_string(),
+            Skeleton::Pipeline(_) => format!("pipe{}", self.arity()),
+            Skeleton::MutexPair => "mutex".to_string(),
+            Skeleton::ForkJoin(_) => format!("fj{}", self.arity()),
+        }
+    }
+
+    fn arity(&self) -> usize {
+        match self {
+            Skeleton::Channel | Skeleton::MutexPair => 0,
+            Skeleton::Pipeline(n) => (*n as usize).clamp(2, 6),
+            Skeleton::ForkJoin(n) => (*n as usize).clamp(2, 4),
+        }
+    }
+
+    /// `(inputs, outputs)` signal counts of the template.
+    pub fn signals(&self) -> (usize, usize) {
+        match self {
+            Skeleton::Channel => (1, 1),
+            Skeleton::Pipeline(_) => (1, self.arity()),
+            Skeleton::MutexPair => (2, 2),
+            Skeleton::ForkJoin(_) => (1, self.arity() + 1),
+        }
+    }
+
+    /// Declares the template's signals on `b`, each name prefixed with
+    /// `prefix`, in the order [`Self::body`] expects (inputs first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StgError::DuplicateSignal`] if a prefixed name collides
+    /// with one already declared on the builder.
+    pub fn declare_signals(
+        &self,
+        b: &mut StgBuilder,
+        prefix: &str,
+    ) -> Result<Vec<SignalId>, StgError> {
+        let (inputs, outputs) = self.signals();
+        (0..inputs + outputs)
+            .map(|i| {
+                if i < inputs {
+                    b.signal(format!("{prefix}i{i}"), SignalKind::Input)
+                } else {
+                    b.signal(format!("{prefix}o{}", i - inputs), SignalKind::Output)
+                }
+            })
+            .collect()
+    }
+
+    /// The template's cycle body over `ids` (as returned by
+    /// [`Self::declare_signals`]). Single-exit, so it can close a cycle or
+    /// be sequenced into a composed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is shorter than the template's signal count.
+    pub fn body(&self, ids: &[SignalId]) -> Frag {
+        let (inputs, outputs) = self.signals();
+        assert!(
+            ids.len() >= inputs + outputs,
+            "skeleton needs {} signals",
+            inputs + outputs
+        );
+        let pulse = |s: SignalId| Frag::seq([Frag::rise(s), Frag::fall(s)]);
+        match self {
+            Skeleton::Channel => Frag::seq([
+                Frag::rise(ids[0]),
+                Frag::rise(ids[1]),
+                Frag::fall(ids[0]),
+                Frag::fall(ids[1]),
+            ]),
+            Skeleton::Pipeline(_) => {
+                let n = self.arity();
+                let stage = |k: usize| ids[1 + k];
+                let mut frags = vec![Frag::rise(ids[0]), Frag::rise(stage(0)), Frag::fall(ids[0])];
+                // Hand the token down: stage k resets while stage k+1
+                // accepts, the classic pipeline overlap.
+                for k in 1..n {
+                    frags.push(Frag::par([Frag::fall(stage(k - 1)), Frag::rise(stage(k))]));
+                }
+                frags.push(Frag::fall(stage(n - 1)));
+                Frag::seq(frags)
+            }
+            Skeleton::MutexPair => {
+                let client = |r: SignalId, g: SignalId| {
+                    Frag::seq([Frag::rise(r), Frag::rise(g), Frag::fall(r), Frag::fall(g)])
+                };
+                Frag::choice([client(ids[0], ids[2]), client(ids[1], ids[3])])
+            }
+            Skeleton::ForkJoin(_) => {
+                let n = self.arity();
+                Frag::seq([
+                    Frag::rise(ids[0]),
+                    Frag::par((0..n).map(|k| pulse(ids[1 + k]))),
+                    Frag::fall(ids[0]),
+                    pulse(ids[1 + n]),
+                ])
+            }
+        }
+    }
+
+    /// Compiles the template into a standalone STG named after it.
+    pub fn build(&self) -> Stg {
+        let mut b = StgBuilder::new(format!("skel-{}", self.name()));
+        let ids = self
+            .declare_signals(&mut b, "")
+            .expect("template names are unique");
+        b.cycle(self.body(&ids))
+            .expect("templates emit single-exit bodies")
+    }
+
+    /// All templates at representative arities, for sweeps and tests.
+    pub fn all() -> Vec<Skeleton> {
+        vec![
+            Skeleton::Channel,
+            Skeleton::Pipeline(2),
+            Skeleton::Pipeline(4),
+            Skeleton::MutexPair,
+            Skeleton::ForkJoin(2),
+            Skeleton::ForkJoin(3),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_petri::{NetClass, ReachabilityOptions};
+    use modsyn_sg::{derive, DeriveOptions};
+
+    #[test]
+    fn all_templates_are_live_safe_and_within_free_choice() {
+        for skel in Skeleton::all() {
+            let stg = skel.build();
+            let g = stg
+                .net()
+                .reachability(&ReachabilityOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", skel.name()));
+            assert!(g.is_safe(), "{} not safe", skel.name());
+            assert!(g.deadlocks().is_empty(), "{} deadlocks", skel.name());
+            assert!(
+                stg.net().classify() <= NetClass::FreeChoice,
+                "{} beyond free choice",
+                skel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_templates_are_consistent() {
+        for skel in Skeleton::all() {
+            let stg = skel.build();
+            let sg = derive(&stg, &DeriveOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", skel.name()));
+            modsyn_check::check_consistency(&sg).unwrap_or_else(|e| panic!("{}: {e}", skel.name()));
+        }
+    }
+
+    #[test]
+    fn mutex_is_a_real_choice() {
+        let stg = Skeleton::MutexPair.build();
+        assert_eq!(stg.net().classify(), NetClass::FreeChoice);
+        assert_eq!(stg.net().structural_report().choice_places, 1);
+    }
+
+    #[test]
+    fn pipeline_and_forkjoin_are_marked_graphs() {
+        assert_eq!(
+            Skeleton::Pipeline(3).build().net().classify(),
+            NetClass::MarkedGraph
+        );
+        assert_eq!(
+            Skeleton::ForkJoin(3).build().net().classify(),
+            NetClass::MarkedGraph
+        );
+    }
+
+    #[test]
+    fn arities_are_clamped() {
+        assert_eq!(Skeleton::Pipeline(99).signals().1, 6);
+        assert_eq!(Skeleton::ForkJoin(0).signals().1, 3);
+        assert_eq!(Skeleton::Pipeline(99).name(), "pipe6");
+    }
+}

@@ -1,0 +1,355 @@
+//! Case evaluation: every corpus case, through every applicable method,
+//! lands on exactly one of *certified*, *typed rejection*, or *violation*.
+//!
+//! The contract (the tentpole's "no panics, no silent wrong answers"):
+//!
+//! * **in-theory** cases (composed free-choice corpus) must be
+//!   oracle-certified by the paper's modular flow; the restricted
+//!   comparators may alternatively hit a *capacity* rejection (the same
+//!   abort classes Table 1 reports for them), never a class rejection;
+//! * **beyond-theory** cases (asymmetric-choice probes) must draw a *class*
+//!   rejection from the theory-scoped Lavagno flow; the modular flow may
+//!   either reject (typed) or succeed — but a success is only accepted
+//!   when the independent oracle certifies it;
+//! * anything else — a panic, an untyped failure, an oracle-refuted
+//!   result, a `.g` round-trip mismatch — is a **violation** and fails the
+//!   whole corpus run.
+//!
+//! Everything counted here is deterministic (seeded generation, a
+//! deterministic solver), so aggregate counts are exact-comparable against
+//! a committed baseline; only wall clocks are informational.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use modsyn::{certify_report, synthesize, Method, SynthesisOptions};
+use modsyn_petri::NetClass;
+use modsyn_sat::SolverOptions;
+use modsyn_sg::{derive, StateGraph};
+use modsyn_stg::{parse_g, write_g, Stg};
+
+use crate::reject::Rejection;
+
+/// What the corpus expects of a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// A composed free-choice case: the modular flow must certify.
+    InTheory,
+    /// An asymmetric-choice probe: theory-scoped methods must reject,
+    /// typed.
+    BeyondTheory,
+}
+
+impl Expectation {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Expectation::InTheory => "in-theory",
+            Expectation::BeyondTheory => "beyond-theory",
+        }
+    }
+}
+
+/// One method's verdict on one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Synthesis succeeded and the independent oracle certified the result.
+    Certified,
+    /// The method declined with a typed rejection.
+    Rejected(Rejection),
+    /// The contract was broken; the message says how.
+    Violation(String),
+}
+
+/// One method's evaluation record.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// The method evaluated.
+    pub method: Method,
+    /// Its verdict.
+    pub verdict: Verdict,
+    /// Literal count of the certified result (0 otherwise) — deterministic.
+    pub literals: usize,
+    /// Final signal count of the certified result (0 otherwise).
+    pub final_signals: usize,
+    /// Wall clock, informational only.
+    pub wall_s: f64,
+}
+
+/// Full evaluation record of one corpus case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case's model name.
+    pub name: String,
+    /// What was expected of it.
+    pub expectation: Expectation,
+    /// Structural class the classifier assigned.
+    pub class: NetClass,
+    /// STG signals.
+    pub signals: usize,
+    /// Net places.
+    pub places: usize,
+    /// Net transitions.
+    pub transitions: usize,
+    /// Reachable states of the specification graph (0 if derivation was
+    /// itself the rejection).
+    pub states: usize,
+    /// Per-method verdicts, in evaluation order.
+    pub outcomes: Vec<MethodOutcome>,
+    /// Case-level violations (round-trip, class expectation, derivation).
+    pub violations: Vec<String>,
+}
+
+impl CaseReport {
+    /// `true` when no method and no case-level check violated the
+    /// contract.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+            && self
+                .outcomes
+                .iter()
+                .all(|o| !matches!(o.verdict, Verdict::Violation(_)))
+    }
+}
+
+/// Evaluation limits.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// SAT backtrack limit for the paper's modular flow (the Table-1
+    /// abort budget — modular must certify every in-theory case under it).
+    pub backtrack_limit: u64,
+    /// SAT backtrack limit for the restricted comparators (direct,
+    /// Lavagno). Much smaller: on corpus scale a comparator that is going
+    /// to abort should abort cheaply, and the typed capacity rejection it
+    /// produces is the measurement, not a failure.
+    pub comparator_backtrack_limit: u64,
+    /// Run the direct (no decomposition) method only on cases whose
+    /// specification has at most this many states — the direct flow is the
+    /// paper's known scale casualty, and the corpus is measured per tier,
+    /// not by drowning one method.
+    pub direct_state_cap: usize,
+    /// Check observation equivalence against the specification only below
+    /// this state count (consistency, CSC and speed-independence are always
+    /// checked).
+    pub equivalence_state_cap: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            backtrack_limit: 40_000,
+            comparator_backtrack_limit: 1_500,
+            direct_state_cap: 600,
+            equivalence_state_cap: 2_000,
+        }
+    }
+}
+
+fn method_options(method: Method, eval: &EvalOptions) -> SynthesisOptions {
+    let mut options = SynthesisOptions::for_method(method);
+    let budget = match method {
+        Method::Modular | Method::ModularMinArea => eval.backtrack_limit,
+        Method::Direct | Method::Lavagno => eval.comparator_backtrack_limit,
+    };
+    options.solver = SolverOptions {
+        max_backtracks: Some(budget),
+        ..SolverOptions::default()
+    };
+    options
+}
+
+/// Runs `method` on `stg`, certifying successes against the oracle.
+/// Panics are caught and surface as violations, never as crashes.
+fn run_method(stg: &Stg, spec: &StateGraph, method: Method, eval: &EvalOptions) -> MethodOutcome {
+    let options = method_options(method, eval);
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| synthesize(stg, &options)));
+    let wall_s = started.elapsed().as_secs_f64();
+    let (verdict, literals, final_signals) = match result {
+        Err(_) => (Verdict::Violation("panicked".to_string()), 0, 0),
+        Ok(Err(e)) => (Verdict::Rejected(Rejection::of(&e)), 0, 0),
+        Ok(Ok(report)) => {
+            let spec_for_equiv = (spec.state_count() <= eval.equivalence_state_cap).then_some(spec);
+            match certify_report(spec_for_equiv, &report) {
+                Ok(()) => (Verdict::Certified, report.literals, report.final_signals),
+                Err(e) => (
+                    Verdict::Violation(format!("oracle refused the result: {e}")),
+                    0,
+                    0,
+                ),
+            }
+        }
+    };
+    MethodOutcome {
+        method,
+        verdict,
+        literals,
+        final_signals,
+        wall_s,
+    }
+}
+
+/// Tightens a raw verdict to the expectation's contract.
+fn enforce(outcome: MethodOutcome, expectation: Expectation) -> MethodOutcome {
+    let method = outcome.method;
+    let verdict = match (&outcome.verdict, expectation) {
+        (Verdict::Rejected(r), Expectation::InTheory) if method == Method::Modular => {
+            Verdict::Violation(format!(
+                "modular must certify every in-theory case, drew {r}"
+            ))
+        }
+        (Verdict::Rejected(r), Expectation::InTheory) if !r.is_capacity() => Verdict::Violation(
+            format!("in-theory case drew a non-capacity rejection from {method}: {r}"),
+        ),
+        (Verdict::Rejected(r), Expectation::BeyondTheory)
+            if method == Method::Lavagno && !r.is_class() =>
+        {
+            Verdict::Violation(format!(
+                "beyond-theory probe drew {r} from {method}, expected not-free-choice"
+            ))
+        }
+        (Verdict::Certified, Expectation::BeyondTheory) if method == Method::Lavagno => {
+            Verdict::Violation("theory-scoped method accepted a beyond-theory probe".to_string())
+        }
+        _ => outcome.verdict.clone(),
+    };
+    MethodOutcome { verdict, ..outcome }
+}
+
+/// Evaluates one corpus case against every applicable method plus the
+/// case-level invariants (`.g` round-trip fixpoint, class expectation).
+pub fn evaluate_case(stg: &Stg, expectation: Expectation, eval: &EvalOptions) -> CaseReport {
+    let mut violations = Vec::new();
+
+    // `.g` round-trip must be a fixpoint on every corpus net.
+    let rendered = write_g(stg);
+    match parse_g(&rendered) {
+        Ok(reparsed) => {
+            if write_g(&reparsed) != rendered {
+                violations.push("write_g round-trip is not a fixpoint".to_string());
+            }
+        }
+        Err(e) => violations.push(format!("write_g output does not re-parse: {e}")),
+    }
+
+    let class = stg.net().classify();
+    match expectation {
+        Expectation::InTheory if class > NetClass::FreeChoice => {
+            violations.push(format!("in-theory case classified {class}"));
+        }
+        Expectation::BeyondTheory if class <= NetClass::FreeChoice => {
+            violations.push(format!("beyond-theory probe classified {class}"));
+        }
+        _ => {}
+    }
+
+    let (places, transitions) = (stg.net().place_count(), stg.net().transition_count());
+
+    let spec = match derive(stg, &method_options(Method::Modular, eval).derive) {
+        Ok(spec) => spec,
+        Err(e) => {
+            violations.push(format!("specification derivation failed: {e}"));
+            return CaseReport {
+                name: stg.name().to_string(),
+                expectation,
+                class,
+                signals: stg.signal_count(),
+                places,
+                transitions,
+                states: 0,
+                outcomes: Vec::new(),
+                violations,
+            };
+        }
+    };
+
+    let mut methods = vec![Method::Modular];
+    if expectation == Expectation::InTheory && spec.state_count() <= eval.direct_state_cap {
+        methods.push(Method::Direct);
+    }
+    methods.push(Method::Lavagno);
+
+    let outcomes = methods
+        .into_iter()
+        .map(|m| enforce(run_method(stg, &spec, m, eval), expectation))
+        .collect();
+
+    CaseReport {
+        name: stg.name().to_string(),
+        expectation,
+        class,
+        signals: stg.signal_count(),
+        places,
+        transitions,
+        states: spec.state_count(),
+        outcomes,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asym::gen_asym;
+    use crate::compose::gen_corpus;
+
+    #[test]
+    fn in_theory_cases_certify_modular() {
+        // A cheap spread over the recipe shapes (leaf, articulation,
+        // synchronous product); the full sweep lives in the release-mode
+        // corpus run and the `tests` crate.
+        for seed in [18u64, 34, 26, 25, 21] {
+            let (stg, _) = gen_corpus(seed).build();
+            let report = evaluate_case(&stg, Expectation::InTheory, &EvalOptions::default());
+            assert!(report.ok(), "seed {seed}: {report:?}");
+            let modular = report
+                .outcomes
+                .iter()
+                .find(|o| o.method == Method::Modular)
+                .expect("modular always runs");
+            assert_eq!(modular.verdict, Verdict::Certified, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn beyond_theory_probes_draw_typed_class_rejections() {
+        for seed in 0..6 {
+            let stg = gen_asym(seed).build();
+            let report = evaluate_case(&stg, Expectation::BeyondTheory, &EvalOptions::default());
+            assert!(report.ok(), "seed {seed}: {report:?}");
+            let lavagno = report
+                .outcomes
+                .iter()
+                .find(|o| o.method == Method::Lavagno)
+                .expect("lavagno always runs");
+            assert_eq!(
+                lavagno.verdict,
+                Verdict::Rejected(Rejection::BeyondFreeChoice),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn misdeclared_expectation_is_a_violation() {
+        let stg = gen_asym(0).build();
+        let report = evaluate_case(&stg, Expectation::InTheory, &EvalOptions::default());
+        assert!(!report.ok());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("classified asymmetric choice")));
+    }
+
+    #[test]
+    fn certified_outcomes_carry_literals() {
+        let (stg, _) = gen_corpus(18).build();
+        let report = evaluate_case(&stg, Expectation::InTheory, &EvalOptions::default());
+        for o in &report.outcomes {
+            if o.verdict == Verdict::Certified {
+                assert!(o.literals > 0, "{}", o.method);
+                assert!(o.final_signals >= stg.signal_count(), "{}", o.method);
+            }
+        }
+    }
+}

@@ -1,13 +1,19 @@
-//! Structural classification of nets (marked graph / free choice / general).
+//! Structural classification of nets (marked graph / free choice /
+//! asymmetric choice / general).
 //!
 //! The paper positions its method against comparators that are restricted to
 //! marked graphs (Lin, Vanbekbergen '92 journal, Yu) or to safe free-choice
 //! nets (Lavagno & Moon). These predicates let the synthesis layers reproduce
-//! those restrictions.
+//! those restrictions. The asymmetric-choice tier (Wimmel's class: every two
+//! conflicting places have *nested* successor sets) marks exactly where the
+//! free-choice theory stops, so the corpus engine can generate beyond-theory
+//! probes and pin their typed rejection.
 
 use crate::PetriNet;
 
-/// Structural class of a Petri net, from most to least restricted.
+/// Structural class of a Petri net, from most to least restricted. The
+/// derived order follows class inclusion: every marked graph is free-choice,
+/// every free-choice net is asymmetric-choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NetClass {
     /// Every place has at most one fan-in and one fan-out transition
@@ -17,7 +23,11 @@ pub enum NetClass {
     /// with that place as its sole fan-in (choice and concurrency never
     /// interfere).
     FreeChoice,
-    /// Anything else.
+    /// Not free-choice, but every pair of places sharing a successor
+    /// transition has nested successor sets (`p• ⊆ q•` or `q• ⊆ p•`):
+    /// choice and synchronisation mix, but confusion stays one-sided.
+    AsymmetricChoice,
+    /// Anything else (symmetric confusion).
     General,
 }
 
@@ -26,6 +36,7 @@ impl std::fmt::Display for NetClass {
         let s = match self {
             NetClass::MarkedGraph => "marked graph",
             NetClass::FreeChoice => "free choice",
+            NetClass::AsymmetricChoice => "asymmetric choice",
             NetClass::General => "general",
         };
         f.write_str(s)
@@ -43,6 +54,13 @@ pub struct StructuralReport {
     /// Number of transitions with more than one fan-in place
     /// (synchronisations).
     pub merge_transitions: usize,
+    /// Number of unordered place pairs that share a successor transition,
+    /// have nested successor sets (`p• ⊆ q•` or `q• ⊆ p•`), and involve at
+    /// least one real choice place (fanout > 1) — the witnesses that put a
+    /// non-free-choice net in the asymmetric-choice class. Always zero for
+    /// marked graphs and free-choice nets (a free-choice place's successors
+    /// have singleton fan-in, so a choice place never shares a successor).
+    pub nested_choice_pairs: usize,
 }
 
 impl PetriNet {
@@ -89,9 +107,31 @@ impl PetriNet {
                 marked_graph = false;
             }
         }
+        // Asymmetric-choice test: every pair of places that can conflict
+        // (shares a successor transition) must have nested successor sets.
+        // Any conflicting pair lives inside some transition's fan-in, so
+        // scanning merge transitions' fan-in pairs covers all of them.
+        let mut asymmetric = true;
+        let mut nested_pairs = std::collections::BTreeSet::new();
         for t in self.transition_ids() {
-            if self.transition(t).fanin().len() > 1 {
+            let fanin = self.transition(t).fanin();
+            if fanin.len() > 1 {
                 merge_transitions += 1;
+            }
+            for (i, &p) in fanin.iter().enumerate() {
+                for &q in &fanin[i + 1..] {
+                    let (po, qo) = (self.place(p).fanout(), self.place(q).fanout());
+                    let subset = |a: &[crate::TransitionId], b: &[crate::TransitionId]| {
+                        a.iter().all(|x| b.contains(x))
+                    };
+                    if subset(po, qo) || subset(qo, po) {
+                        if po.len() > 1 || qo.len() > 1 {
+                            nested_pairs.insert((p.min(q), p.max(q)));
+                        }
+                    } else {
+                        asymmetric = false;
+                    }
+                }
             }
         }
 
@@ -99,6 +139,8 @@ impl PetriNet {
             NetClass::MarkedGraph
         } else if free_choice {
             NetClass::FreeChoice
+        } else if asymmetric {
+            NetClass::AsymmetricChoice
         } else {
             NetClass::General
         };
@@ -106,6 +148,7 @@ impl PetriNet {
             class,
             choice_places,
             merge_transitions,
+            nested_choice_pairs: nested_pairs.len(),
         }
     }
 }
@@ -153,9 +196,9 @@ mod tests {
     }
 
     #[test]
-    fn confusion_is_general() {
-        // Choice place p0 feeds t0 which also synchronises on p1:
-        // non-free-choice.
+    fn one_sided_confusion_is_asymmetric_choice() {
+        // Choice place p0 feeds t0 which also synchronises on p1; p1 only
+        // feeds t0, so p1• ⊆ p0•: non-free-choice but asymmetric.
         let mut net = PetriNet::new();
         let p0 = net.add_place("p0");
         let p1 = net.add_place("p1");
@@ -168,14 +211,63 @@ mod tests {
         net.add_arc_transition_to_place(t0, p2).unwrap();
         net.add_arc_transition_to_place(t1, p2).unwrap();
         let report = net.structural_report();
+        assert_eq!(report.class, NetClass::AsymmetricChoice);
+        assert_eq!(report.merge_transitions, 1);
+        assert_eq!(report.nested_choice_pairs, 1);
+    }
+
+    #[test]
+    fn symmetric_confusion_is_general() {
+        // p0• = {t0, t1} and p1• = {t0, t2} share t0 but neither successor
+        // set contains the other: symmetric confusion, the general class.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        let t2 = net.add_transition("t2");
+        net.add_arc_place_to_transition(p0, t0).unwrap();
+        net.add_arc_place_to_transition(p1, t0).unwrap();
+        net.add_arc_place_to_transition(p0, t1).unwrap();
+        net.add_arc_place_to_transition(p1, t2).unwrap();
+        net.add_arc_transition_to_place(t0, p2).unwrap();
+        net.add_arc_transition_to_place(t1, p2).unwrap();
+        net.add_arc_transition_to_place(t2, p2).unwrap();
+        let report = net.structural_report();
         assert_eq!(report.class, NetClass::General);
         assert_eq!(report.merge_transitions, 1);
+    }
+
+    #[test]
+    fn plain_join_is_not_a_nested_choice_witness() {
+        // A marked-graph join: t0 synchronises p0 and p1, both with
+        // singleton fan-outs — nested, but no choice place involved.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let t0 = net.add_transition("t0");
+        net.add_arc_place_to_transition(p0, t0).unwrap();
+        net.add_arc_place_to_transition(p1, t0).unwrap();
+        net.add_arc_transition_to_place(t0, p2).unwrap();
+        let report = net.structural_report();
+        assert_eq!(report.class, NetClass::MarkedGraph);
+        assert_eq!(report.nested_choice_pairs, 0);
+    }
+
+    #[test]
+    fn class_order_follows_inclusion() {
+        assert!(NetClass::MarkedGraph < NetClass::FreeChoice);
+        assert!(NetClass::FreeChoice < NetClass::AsymmetricChoice);
+        assert!(NetClass::AsymmetricChoice < NetClass::General);
     }
 
     #[test]
     fn class_display_names() {
         assert_eq!(NetClass::MarkedGraph.to_string(), "marked graph");
         assert_eq!(NetClass::FreeChoice.to_string(), "free choice");
+        assert_eq!(NetClass::AsymmetricChoice.to_string(), "asymmetric choice");
         assert_eq!(NetClass::General.to_string(), "general");
     }
 }

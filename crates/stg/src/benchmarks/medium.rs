@@ -372,9 +372,13 @@ mod tests {
     use modsyn_petri::{NetClass, ReachabilityOptions};
 
     #[test]
-    fn alex_nonfc_is_general_class() {
+    fn alex_nonfc_is_beyond_free_choice() {
+        // The mutex place's fan-out {r1+, r2+} strictly contains each idle
+        // place's singleton fan-out: nested conflicts, the classic
+        // asymmetric-choice arbiter.
         let stg = alex_nonfc();
-        assert_eq!(stg.net().classify(), NetClass::General);
+        assert_eq!(stg.net().classify(), NetClass::AsymmetricChoice);
+        assert!(stg.net().structural_report().nested_choice_pairs >= 2);
     }
 
     #[test]

@@ -71,6 +71,7 @@ use modsyn::{certify_report, Method, RetryPolicy, SynthesisError, SynthesisOptio
 use modsyn_fault::{site, FaultHook, Faults};
 use modsyn_obs::{FlightEvent, FlightKind, FlightRecorder, Json, Tracer};
 use modsyn_par::{CancelToken, WorkerPool};
+use modsyn_petri::NetClass;
 use modsyn_stg::{parse_g, stg_digest, Stg};
 use modsyn_store::{
     restore_into, snapshot_from_json, snapshot_to_json, Provenance, StoreLink, StoreSession,
@@ -1001,6 +1002,11 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer, incr_base: Option<
             return error_response(400, "Bad Request", "parse", &e.to_string());
         }
     };
+    // Structural class, computed up front (the STG moves into the pool
+    // closure below): 422 rejections advertise how far outside the
+    // supported theory the input sat via X-Modsyn-Class, so clients can
+    // tell a class rejection from a capacity one without re-classifying.
+    let net_class = stg.net().classify();
 
     let digest = stg_digest(&stg);
     let key = cache_key(digest, method_tag(method));
@@ -1207,6 +1213,7 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer, incr_base: Option<
                 synth_error_tag(&e),
                 &e.to_string(),
             )
+            .with_header("X-Modsyn-Class", class_tag(net_class))
         }
         Ok(SynthOutcome::CheckFailed(detail)) => {
             shared.metrics.count(
@@ -1257,6 +1264,17 @@ enum SynthOutcome {
     Failed(SynthesisError),
     /// The oracle rejected our own output (our bug; never served as a 200).
     CheckFailed(String),
+}
+
+/// Stable lowercase tag of a structural net class, carried in the
+/// `X-Modsyn-Class` header of 422 rejections.
+fn class_tag(class: NetClass) -> &'static str {
+    match class {
+        NetClass::MarkedGraph => "marked-graph",
+        NetClass::FreeChoice => "free-choice",
+        NetClass::AsymmetricChoice => "asymmetric-choice",
+        NetClass::General => "general",
+    }
 }
 
 fn synth_error_tag(e: &SynthesisError) -> &'static str {
