@@ -14,9 +14,10 @@
 //!   baseline *exactly* — synthesis is deterministic, so any drift here is
 //!   a real behaviour change, not noise;
 //! * **solver backtracks** may drift within a tolerance band
-//!   (`--tolerance` percent of the baseline, default 25, with an absolute
-//!   `--floor`, default 100, so tiny baselines don't fail on ±1) —
-//!   heuristic-order tweaks legitimately move effort a little, but a
+//!   (`--tolerance` percent of the baseline, default 10, with an absolute
+//!   `--floor`, default 100, so tiny baselines don't fail on ±1) — the
+//!   CDCL core's conflict counts are deterministic for a fixed encoding,
+//!   so only deliberate heuristic tweaks should move effort, and a
 //!   blow-up means a search regression even when the answer is right;
 //! * **wall clock** is reported but never gates — CI machines are noisy.
 //!
@@ -69,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         current: "BENCH_table1.json".to_string(),
         baseline: "BENCH_table1.baseline.json".to_string(),
-        tolerance_pct: 25.0,
+        tolerance_pct: 10.0,
         floor: 100.0,
         incr_current: "BENCH_incr.json".to_string(),
         incr_baseline: "BENCH_incr.baseline.json".to_string(),

@@ -9,7 +9,10 @@
 //!   reports),
 //! * **SAT configuration**: the default solver vs each member of the
 //!   standard portfolio (Activity+learning, Jeroslow-Wang chronological,
-//!   MOMS chronological).
+//!   MOMS chronological),
+//! * **SAT engine**: the default CDCL core vs the classic DPLL engine vs
+//!   lookahead cube-and-conquer — three independent deciders over the
+//!   same CSC encodings must synthesise observation-equivalent circuits.
 //!
 //! Every success must pass the independent oracle
 //! ([`modsyn_check::verify_solution`]: consistency, CSC, speed
@@ -36,7 +39,7 @@
 
 use std::process::ExitCode;
 
-use modsyn::{certify_report, Method, SynthesisError, SynthesisOptions, SynthesisReport};
+use modsyn::{certify_report, Engine, Method, SynthesisError, SynthesisOptions, SynthesisReport};
 use modsyn_bench::TABLE1_BACKTRACK_LIMIT;
 use modsyn_check::{check_equivalence, gen_recipe, Profile, StgRecipe};
 use modsyn_corpus::{corpus_case, gen_asym, gen_corpus, AsymRecipe, CorpusRecipe, Expectation};
@@ -48,6 +51,7 @@ struct Config {
     label: String,
     method: Method,
     solver: SolverOptions,
+    engine: Engine,
     jobs: usize,
 }
 
@@ -61,24 +65,42 @@ fn configs(limit: u64) -> Vec<Config> {
             label: "modular/serial".into(),
             method: Method::Modular,
             solver: base,
+            engine: Engine::default(),
             jobs: 1,
         },
         Config {
             label: "modular/jobs4".into(),
             method: Method::Modular,
             solver: base,
+            engine: Engine::default(),
             jobs: 4,
+        },
+        Config {
+            label: "modular/dpll".into(),
+            method: Method::Modular,
+            solver: base,
+            engine: Engine::Dpll,
+            jobs: 1,
         },
         Config {
             label: "direct/serial".into(),
             method: Method::Direct,
             solver: base,
+            engine: Engine::default(),
+            jobs: 1,
+        },
+        Config {
+            label: "direct/cnc".into(),
+            method: Method::Direct,
+            solver: base,
+            engine: Engine::cnc(),
             jobs: 1,
         },
         Config {
             label: "lavagno/serial".into(),
             method: Method::Lavagno,
             solver: base,
+            engine: Engine::default(),
             jobs: 1,
         },
     ];
@@ -87,6 +109,7 @@ fn configs(limit: u64) -> Vec<Config> {
             label: format!("modular/portfolio{i}"),
             method: Method::Modular,
             solver,
+            engine: Engine::Dpll,
             jobs: 1,
         });
     }
@@ -116,6 +139,7 @@ fn check_subject(stg: &Stg, limit: u64, verbose: bool) -> Result<(), String> {
         let options = SynthesisOptions {
             method: cfg.method,
             solver: cfg.solver,
+            engine: cfg.engine,
             jobs: cfg.jobs,
             ..Default::default()
         };

@@ -404,11 +404,19 @@ pub const PAPER_TABLE1: [PaperRow; 23] = [
 
 /// The backtrack limit playing the role of the paper's 3600-second SIS
 /// budget in Table-1 runs: a deterministic stand-in chosen just above the
-/// largest search any modular run needs (`mr1`'s `m = 3` UNSAT proof takes
-/// ~36 k backtracks once the persistence clause family is in the encoding),
-/// the same way the paper's wall-clock budget comfortably covered its
-/// modular runs (max 2.8 s) while the monolithic ones blew it.
-pub const TABLE1_BACKTRACK_LIMIT: u64 = 40_000;
+/// largest search any Table-1 row needs with the default CDCL engine.
+///
+/// Re-audited for the `modsyn-cnc` CDCL core (the previous 40 k was set
+/// just above the classic engine's hardest *modular* search). Per-row CDCL
+/// conflict needs, measured at an effectively unbounded limit (worst
+/// single SAT attempt per row; full audit table in `EXPERIMENTS.md`):
+/// `mr1` direct 250 k (`m = 3` UNSAT proof), `mr1` modular 38 k, `mr0`
+/// direct 21 k (modular 14 k), `mmu0` direct 18 k, `mmu1` direct 1.5 k,
+/// every other row ≤ 5 k. 300 k covers the table's hardest proof with ~20 % headroom, so
+/// the direct method now completes every row — including `mr1`, the
+/// classic engine's one remaining abort — while a genuine search
+/// regression (a blow-up past 300 k conflicts) still aborts the row.
+pub const TABLE1_BACKTRACK_LIMIT: u64 = 300_000;
 
 /// Our measured outcome for one benchmark × method.
 #[derive(Debug, Clone)]

@@ -1,0 +1,446 @@
+//! The conquer stage: solve the cubes concurrently on a
+//! [`modsyn_par::WorkerPool`] and aggregate the per-cube verdicts into one
+//! deterministic [`Outcome`].
+//!
+//! # Determinism contract
+//!
+//! The aggregate verdict, the model, and the reported statistics are a
+//! pure function of (formula, options) — independent of `jobs`, thread
+//! scheduling, and cancellation timing:
+//!
+//! * the cube list is deterministic (serial lookahead, see [`crate::cube`]);
+//! * each cube is solved by a deterministic serial CDCL under its own
+//!   child cancel token;
+//! * the winner is the **lowest-index satisfiable cube**. A cube that
+//!   finds a model cancels only *higher*-index cubes, so a lower-index
+//!   cube can never be robbed of a SAT verdict by scheduling — the
+//!   minimal SAT index (and hence the model) is schedule-invariant;
+//! * aggregated statistics sum the cuber's probes plus the cubes up to
+//!   and including the winner (all of which always run uncancelled), or
+//!   every cube when none is satisfiable.
+//!
+//! All-UNSAT aggregates to [`Outcome::Unsatisfiable`]; an uncancelled
+//! cube that hit its conflict budget taints the aggregate to
+//! [`Outcome::BacktrackLimit`] (the formula stays undecided).
+
+use std::sync::{Arc, Mutex};
+
+use modsyn_fault::{site, Faults};
+use modsyn_obs::Tracer;
+use modsyn_par::{available_jobs, CancelToken, WorkerPool};
+use modsyn_sat::{CnfFormula, Outcome, SolverStats};
+
+use crate::cube::{cube_formula, CubeOptions, CubeSet};
+
+/// Options for a cube-and-conquer solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CncOptions {
+    /// Cube shape (depth / cutoff / candidate pool).
+    pub cube: CubeOptions,
+    /// Worker threads for the conquer stage; `0` means
+    /// [`available_jobs`], `1` solves the cubes serially in index order.
+    pub jobs: usize,
+    /// Per-cube conflict budget ([`Outcome::BacktrackLimit`] when an
+    /// uncancelled cube exhausts it). The cubes partition the search
+    /// space, so a per-cube budget is the natural analogue of the serial
+    /// engines' backtrack limit.
+    pub max_conflicts: Option<u64>,
+    /// Per-cube decision budget.
+    pub max_decisions: Option<u64>,
+}
+
+/// Result of [`solve_cnc`].
+#[derive(Debug, Clone)]
+pub struct CncResult {
+    /// The aggregate verdict (see the module docs for the contract).
+    pub outcome: Outcome,
+    /// Deterministic aggregate statistics: cuber probes plus the cubes up
+    /// to and including the winner (or all cubes when none is SAT).
+    pub stats: SolverStats,
+    /// Cubes handed to the conquer stage.
+    pub cubes_spawned: usize,
+    /// Cubes refuted (UNSAT under their assumptions), including branches
+    /// the cuber refuted by lookahead alone.
+    pub cubes_refuted: u64,
+    /// Index of the winning (satisfiable) cube, if any.
+    pub winner: Option<usize>,
+}
+
+fn solve_one_cube(
+    formula: &CnfFormula,
+    options: &CncOptions,
+    cube: &[modsyn_sat::Lit],
+    cancel: CancelToken,
+    faults: Faults,
+) -> (Outcome, SolverStats) {
+    let mut solver = crate::cdcl::Cdcl::new(
+        formula,
+        crate::cdcl::CdclOptions {
+            max_conflicts: options.max_conflicts,
+            max_decisions: options.max_decisions,
+        },
+    )
+    .with_cancel(cancel)
+    .with_faults(faults);
+    let outcome = solver.solve_with_assumptions(cube);
+    (outcome, solver.stats())
+}
+
+/// Aggregates per-cube outcomes per the determinism contract.
+fn aggregate(
+    cube_set: &CubeSet,
+    results: Vec<(Outcome, SolverStats)>,
+    mut stats: SolverStats,
+) -> CncResult {
+    let winner = results.iter().position(|(outcome, _)| outcome.is_sat());
+    let mut refuted = cube_set.refuted_branches;
+    let mut limit_hit = false;
+    let mut decision_hit = false;
+    let mut aborted = false;
+    let considered = winner.map_or(results.len(), |w| w + 1);
+    for (outcome, s) in &results[..considered] {
+        stats = sum_stats(stats, *s);
+        match outcome {
+            Outcome::Unsatisfiable => refuted += 1,
+            Outcome::BacktrackLimit => limit_hit = true,
+            Outcome::DecisionLimit => decision_hit = true,
+            Outcome::Aborted => aborted = true,
+            Outcome::Satisfiable(_) => {}
+        }
+    }
+    let outcome = match winner {
+        Some(w) => results
+            .into_iter()
+            .nth(w)
+            .map(|(o, _)| o)
+            .expect("winner index in range"),
+        None => {
+            if aborted {
+                Outcome::Aborted
+            } else if limit_hit {
+                Outcome::BacktrackLimit
+            } else if decision_hit {
+                Outcome::DecisionLimit
+            } else {
+                Outcome::Unsatisfiable
+            }
+        }
+    };
+    CncResult {
+        outcome,
+        stats,
+        cubes_spawned: cube_set.cubes.len(),
+        cubes_refuted: refuted,
+        winner,
+    }
+}
+
+fn sum_stats(mut a: SolverStats, b: SolverStats) -> SolverStats {
+    a.decisions += b.decisions;
+    a.propagations += b.propagations;
+    a.backtracks += b.backtracks;
+    a.conflicts += b.conflicts;
+    a.learned_clauses += b.learned_clauses;
+    a.learned_literals += b.learned_literals;
+    a.restarts += b.restarts;
+    a.peak_clauses = a.peak_clauses.max(b.peak_clauses);
+    a.max_level = a.max_level.max(b.max_level);
+    a
+}
+
+/// Cube-and-conquer solve: lookahead cubing, then concurrent conquering
+/// with early cancellation of cubes a lower-index SAT supersedes.
+pub fn solve_cnc(
+    formula: &CnfFormula,
+    options: &CncOptions,
+    cancel: &CancelToken,
+    faults: &Faults,
+) -> CncResult {
+    solve_cnc_traced(formula, options, cancel, faults, &Tracer::disabled())
+}
+
+/// [`solve_cnc`] under a `sat.solve` span (`engine=cnc`) with aggregate
+/// counters, `cnc_cubes` histogram samples, and fault-site flight events.
+pub fn solve_cnc_traced(
+    formula: &CnfFormula,
+    options: &CncOptions,
+    cancel: &CancelToken,
+    faults: &Faults,
+    tracer: &Tracer,
+) -> CncResult {
+    if !tracer.is_observed() {
+        return solve_cnc_inner(formula, options, cancel, faults);
+    }
+    let _span = tracer.span("sat.solve");
+    let _flight = tracer.flight_span("sat.solve");
+    tracer.note("engine", "cnc");
+    tracer.gauge("vars", formula.num_vars() as f64);
+    tracer.gauge("clauses", formula.clause_count() as f64);
+    let fault_sites = [site::SAT_ABORT, site::SAT_CONFLICT_STORM];
+    let injected_before = fault_sites.map(|at| faults.injected_at(at));
+    let result = solve_cnc_inner(formula, options, cancel, faults);
+    for (at, before) in fault_sites.into_iter().zip(injected_before) {
+        let fired = faults.injected_at(at).saturating_sub(before);
+        if fired > 0 {
+            tracer.flight_event(modsyn_obs::FlightKind::Fault, at, fired);
+        }
+    }
+    let s = result.stats;
+    tracer.record_hist("sat_conflicts", s.conflicts);
+    tracer.record_hist("sat_decisions", s.decisions);
+    tracer.record_hist("cnc_cubes", result.cubes_spawned as u64);
+    tracer.counter("decisions", s.decisions);
+    tracer.counter("propagations", s.propagations);
+    tracer.counter("backtracks", s.backtracks);
+    tracer.counter("conflicts", s.conflicts);
+    tracer.counter("learned_clauses", s.learned_clauses);
+    tracer.counter("learned_literals", s.learned_literals);
+    tracer.counter("restarts", s.restarts);
+    tracer.counter("cubes_spawned", result.cubes_spawned as u64);
+    tracer.counter("cubes_refuted", result.cubes_refuted);
+    tracer.gauge("peak_clauses", s.peak_clauses as f64);
+    tracer.gauge("max_level", s.max_level as f64);
+    if let Some(w) = result.winner {
+        tracer.gauge("winner_cube", w as f64);
+    }
+    tracer.note(
+        "outcome",
+        match &result.outcome {
+            Outcome::Satisfiable(_) => "sat",
+            Outcome::Unsatisfiable => "unsat",
+            Outcome::BacktrackLimit => "backtrack-limit",
+            Outcome::DecisionLimit => "decision-limit",
+            Outcome::Aborted => "aborted",
+        },
+    );
+    result
+}
+
+fn solve_cnc_inner(
+    formula: &CnfFormula,
+    options: &CncOptions,
+    cancel: &CancelToken,
+    faults: &Faults,
+) -> CncResult {
+    let cube_set = match cube_formula(formula, &options.cube, cancel, faults) {
+        Ok(set) => set,
+        Err(outcome) => {
+            return CncResult {
+                outcome,
+                stats: SolverStats::default(),
+                cubes_spawned: 0,
+                cubes_refuted: 0,
+                winner: None,
+            }
+        }
+    };
+    let cuber_stats = SolverStats {
+        propagations: cube_set.propagations,
+        ..SolverStats::default()
+    };
+    if let Some(outcome) = cube_set.decided.clone() {
+        return CncResult {
+            outcome,
+            stats: cuber_stats,
+            cubes_spawned: 0,
+            cubes_refuted: cube_set.refuted_branches,
+            winner: None,
+        };
+    }
+
+    let jobs = if options.jobs == 0 {
+        available_jobs()
+    } else {
+        options.jobs
+    };
+    let jobs = jobs.min(cube_set.cubes.len()).max(1);
+
+    if jobs == 1 {
+        // Serial conquer in index order; stopping at the first SAT cube is
+        // exactly the lowest-index-winner rule.
+        let mut results = Vec::with_capacity(cube_set.cubes.len());
+        for cube in &cube_set.cubes {
+            let r = solve_one_cube(formula, options, cube, cancel.clone(), faults.clone());
+            let sat = r.0.is_sat();
+            results.push(r);
+            if sat {
+                break;
+            }
+        }
+        return aggregate(&cube_set, results, cuber_stats);
+    }
+
+    // Parallel conquer: per-cube child tokens; a SAT cube cancels every
+    // higher-index cube the moment it finishes.
+    let tokens: Arc<Vec<CancelToken>> =
+        Arc::new(cube_set.cubes.iter().map(|_| cancel.child()).collect());
+    let first_sat: Arc<Mutex<Option<usize>>> = Arc::new(Mutex::new(None));
+    let shared = Arc::new(formula.clone());
+    let pool = WorkerPool::new(jobs);
+    let handles: Vec<_> = cube_set
+        .cubes
+        .iter()
+        .enumerate()
+        .map(|(i, cube)| {
+            let formula = Arc::clone(&shared);
+            let options = *options;
+            let cube = cube.clone();
+            let tokens = Arc::clone(&tokens);
+            let first_sat = Arc::clone(&first_sat);
+            let faults = faults.clone();
+            pool.submit(&format!("cnc-cube-{i}"), move || {
+                let token = tokens[i].clone();
+                let r = solve_one_cube(&formula, &options, &cube, token, faults);
+                if r.0.is_sat() {
+                    let mut lock = first_sat.lock().expect("first-sat lock");
+                    let supersedes = lock.is_none_or(|w| i < w);
+                    if supersedes {
+                        *lock = Some(i);
+                        for t in tokens.iter().skip(i + 1) {
+                            t.cancel();
+                        }
+                    }
+                }
+                r
+            })
+        })
+        .collect();
+    let results: Vec<(Outcome, SolverStats)> = handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(r) => r,
+            // A worker panic (or an injected pool fault) loses that cube's
+            // verdict; treat it as an abort of that cube.
+            Err(_) => (Outcome::Aborted, SolverStats::default()),
+        })
+        .collect();
+    aggregate(&cube_set, results, cuber_stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsyn_sat::{solve_exhaustive, Lit, Var};
+
+    fn lit(i: i32) -> Lit {
+        let var = Var::new((i.unsigned_abs() - 1) as usize);
+        Lit::with_polarity(var, i > 0)
+    }
+
+    /// `n` pigeons into `n-1` holes (UNSAT).
+    fn pigeonhole(n: usize) -> CnfFormula {
+        let holes = n - 1;
+        let mut f = CnfFormula::new(n * holes);
+        let v = |p: usize, h: usize| Var::new(p * holes + h);
+        for p in 0..n {
+            f.add_clause((0..holes).map(|h| Lit::positive(v(p, h))));
+        }
+        for h in 0..holes {
+            for p1 in 0..n {
+                for p2 in p1 + 1..n {
+                    f.add_clause([Lit::negative(v(p1, h)), Lit::negative(v(p2, h))]);
+                }
+            }
+        }
+        f
+    }
+
+    fn opts(depth: u32, jobs: usize) -> CncOptions {
+        CncOptions {
+            cube: CubeOptions {
+                depth,
+                cutoff: 0,
+                candidates: 8,
+            },
+            jobs,
+            max_conflicts: None,
+            max_decisions: None,
+        }
+    }
+
+    #[test]
+    fn unsat_aggregates_across_jobs() {
+        let f = pigeonhole(6);
+        for jobs in [1, 4] {
+            let r = solve_cnc(&f, &opts(3, jobs), &CancelToken::never(), &Faults::none());
+            assert_eq!(r.outcome, Outcome::Unsatisfiable, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn verdict_model_and_stats_identical_across_jobs() {
+        let mut f = CnfFormula::new(30);
+        // A satisfiable chain of implications with some slack.
+        for i in 1..30 {
+            f.add_clause([lit(-i), lit(i + 1)]);
+        }
+        f.add_clause([lit(5), lit(12), lit(20)]);
+        let serial = solve_cnc(&f, &opts(4, 1), &CancelToken::never(), &Faults::none());
+        let parallel = solve_cnc(&f, &opts(4, 4), &CancelToken::never(), &Faults::none());
+        assert!(serial.outcome.is_sat());
+        assert_eq!(
+            serial.outcome.model().unwrap().as_slice(),
+            parallel.outcome.model().unwrap().as_slice()
+        );
+        assert_eq!(serial.winner, parallel.winner);
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(serial.cubes_spawned, parallel.cubes_spawned);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_small_random_cnfs() {
+        let mut state = 0xc0ffee_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..150 {
+            let num_vars = 4 + (next() % 8) as usize;
+            let num_clauses = (next() % 30) as usize;
+            let mut f = CnfFormula::new(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 4) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = Var::new((next() % num_vars as u64) as usize);
+                        Lit::with_polarity(v, next() & 1 == 0)
+                    })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let expected = solve_exhaustive(&f).is_sat();
+            let r = solve_cnc(&f, &opts(2, 2), &CancelToken::never(), &Faults::none());
+            match r.outcome {
+                Outcome::Satisfiable(ref m) => {
+                    assert!(expected, "round {round}: cnc sat, exhaustive unsat");
+                    assert!(m.check(&f));
+                }
+                Outcome::Unsatisfiable => {
+                    assert!(!expected, "round {round}: cnc unsat, exhaustive sat")
+                }
+                ref other => panic!("round {round}: undecided tiny formula: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_cube_conflict_budget_surfaces_as_backtrack_limit() {
+        let f = pigeonhole(8);
+        let mut o = opts(1, 2);
+        o.max_conflicts = Some(2);
+        let r = solve_cnc(&f, &o, &CancelToken::never(), &Faults::none());
+        assert_eq!(r.outcome, Outcome::BacktrackLimit);
+    }
+
+    #[test]
+    fn cancelled_parent_token_aborts() {
+        let f = pigeonhole(8);
+        let token = CancelToken::new();
+        token.cancel();
+        let r = solve_cnc(&f, &opts(2, 2), &token, &Faults::none());
+        assert_eq!(r.outcome, Outcome::Aborted);
+    }
+}

@@ -1,0 +1,427 @@
+//! The lookahead cuber: splits a hard instance into a deterministic list
+//! of cubes (partial assignments) for the conquer stage to refute or
+//! satisfy in parallel.
+//!
+//! Variable selection is **measured reduction** in the March tradition:
+//! for each candidate variable the cuber probes both polarities with a
+//! full unit-propagation lookahead and scores the pair by the product of
+//! the implied-literal counts (favouring balanced, high-impact splits).
+//! A polarity whose probe conflicts is a **failed literal** — its negation
+//! is forced at the current node, shrinking every cube below it; when both
+//! polarities fail the branch is refuted outright without ever reaching
+//! the conquer stage.
+//!
+//! Cubing is serial and purely propagation-driven, so for a given formula
+//! and options the cube list is a deterministic function — the anchor of
+//! the cube-and-conquer determinism contract (DESIGN.md §15).
+
+use modsyn_fault::{site, FaultHook, Faults};
+use modsyn_par::CancelToken;
+use modsyn_sat::{CnfFormula, Lit, Outcome, Var};
+
+use crate::cdcl::{Cdcl, CdclOptions};
+
+/// Shape controls for the cuber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeOptions {
+    /// Maximum cube depth: at most `2^depth` cubes (fewer when failed
+    /// literals or refuted branches prune the tree).
+    pub depth: u32,
+    /// Stop splitting a branch once fewer than this many variables remain
+    /// unassigned — the subproblem is already easy enough to conquer.
+    pub cutoff: u32,
+    /// Candidate variables scored per node (top-K by Jeroslow-Wang
+    /// weight). Larger = better splits, slower cubing.
+    pub candidates: u32,
+}
+
+impl Default for CubeOptions {
+    fn default() -> Self {
+        CubeOptions {
+            depth: 4,
+            cutoff: 64,
+            candidates: 20,
+        }
+    }
+}
+
+/// Output of [`cube_formula`].
+#[derive(Debug, Clone)]
+pub struct CubeSet {
+    /// The cubes, in deterministic DFS order (positive branch first).
+    /// Each cube is the literal prefix — lookahead decisions plus any
+    /// failed-literal forcings — to assume before conquering.
+    pub cubes: Vec<Vec<Lit>>,
+    /// Branches the cuber refuted itself (both probe polarities failed).
+    pub refuted_branches: u64,
+    /// Literals forced by failed-literal detection across all nodes.
+    pub forced_literals: u64,
+    /// Propagations spent probing.
+    pub propagations: u64,
+    /// `Some` when cubing alone decided the formula: a root-level
+    /// conflict (unsat), every branch refuted (unsat), or a lookahead
+    /// that completed a satisfying assignment.
+    pub decided: Option<Outcome>,
+}
+
+struct Cuber<'f> {
+    solver: Cdcl<'f>,
+    options: CubeOptions,
+    /// Static Jeroslow-Wang variable weights for candidate preselection.
+    weights: Vec<f64>,
+    cubes: Vec<Vec<Lit>>,
+    path: Vec<Lit>,
+    refuted: u64,
+    forced: u64,
+    model: Option<modsyn_sat::Model>,
+    cancel: CancelToken,
+    faults: Faults,
+}
+
+/// Splits `formula` into cubes. The `cancel` token is polled at every
+/// tree node and inside long propagations; the `sat.abort` and
+/// `sat.conflict-storm` fault sites are probed at every node so chaos
+/// plans reach the cuber too.
+pub fn cube_formula(
+    formula: &CnfFormula,
+    options: &CubeOptions,
+    cancel: &CancelToken,
+    faults: &Faults,
+) -> Result<CubeSet, Outcome> {
+    let solver = Cdcl::new(formula, CdclOptions::default()).with_cancel(cancel.clone());
+    let mut weights = vec![0.0f64; formula.num_vars()];
+    for clause in formula.clauses() {
+        let w = 2f64.powi(-(clause.len().min(30) as i32));
+        for &lit in clause {
+            weights[lit.var().index()] += w;
+        }
+    }
+    let mut cuber = Cuber {
+        solver,
+        options: *options,
+        weights,
+        cubes: Vec::new(),
+        path: Vec::new(),
+        refuted: 0,
+        forced: 0,
+        model: None,
+        cancel: cancel.clone(),
+        faults: faults.clone(),
+    };
+    if cuber.solver.is_root_unsat()
+        || !cuber
+            .solver
+            .propagate_root()
+            .map_err(|_| Outcome::Aborted)?
+    {
+        return Ok(decided_set(Outcome::Unsatisfiable));
+    }
+    if cuber.solver.assigned_count() == cuber.solver.num_vars() {
+        let model = cuber.solver.full_model();
+        return Ok(decided_set(Outcome::Satisfiable(model)));
+    }
+    cuber.split(options.depth)?;
+    let stats = cuber.solver.stats();
+    let decided = if let Some(model) = cuber.model {
+        Some(Outcome::Satisfiable(model))
+    } else if cuber.cubes.is_empty() {
+        // Every branch refuted by lookahead: the formula is unsat.
+        Some(Outcome::Unsatisfiable)
+    } else {
+        None
+    };
+    Ok(CubeSet {
+        cubes: cuber.cubes,
+        refuted_branches: cuber.refuted,
+        forced_literals: cuber.forced,
+        propagations: stats.propagations,
+        decided,
+    })
+}
+
+fn decided_set(outcome: Outcome) -> CubeSet {
+    CubeSet {
+        cubes: Vec::new(),
+        refuted_branches: u64::from(outcome == Outcome::Unsatisfiable),
+        forced_literals: 0,
+        propagations: 0,
+        decided: Some(outcome),
+    }
+}
+
+impl Cuber<'_> {
+    /// Polls cancellation and the `sat.*` fault sites at a tree node.
+    fn poll(&mut self) -> Result<(), Outcome> {
+        if self.cancel.is_cancellable() && self.cancel.is_cancelled() {
+            return Err(Outcome::Aborted);
+        }
+        if self.faults.is_armed() {
+            if self.faults.fire(site::SAT_ABORT) {
+                return Err(Outcome::Aborted);
+            }
+            if self.faults.fire(site::SAT_CONFLICT_STORM) {
+                return Err(Outcome::BacktrackLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive DFS split. On return the solver state is exactly as on
+    /// entry (every pushed level popped). Errors abort the whole cube run.
+    fn split(&mut self, depth: u32) -> Result<(), Outcome> {
+        self.poll()?;
+        if self.model.is_some() {
+            return Ok(());
+        }
+        let free = self.solver.num_vars() - self.solver.assigned_count();
+        if depth == 0 || free <= self.options.cutoff as usize {
+            self.cubes.push(self.path.clone());
+            return Ok(());
+        }
+
+        // Failed-literal forcing loop: probing can force literals, which
+        // changes the propagation landscape, so re-scan until it settles
+        // (bounded by the number of variables).
+        let mut forced_levels = 0u32;
+        let branch = loop {
+            match self.pick_branch_var(&mut forced_levels)? {
+                PickResult::Refuted => {
+                    self.refuted += 1;
+                    for _ in 0..forced_levels {
+                        self.solver.pop_probe();
+                        self.path.pop();
+                    }
+                    return Ok(());
+                }
+                PickResult::Saturated => {
+                    // Everything assigned or no candidate left to split on:
+                    // emit the node as a cube (or take the full model).
+                    if self.solver.assigned_count() == self.solver.num_vars() {
+                        self.model = Some(self.solver.full_model());
+                    } else {
+                        self.cubes.push(self.path.clone());
+                    }
+                    for _ in 0..forced_levels {
+                        self.solver.pop_probe();
+                        self.path.pop();
+                    }
+                    return Ok(());
+                }
+                PickResult::Forced => continue,
+                PickResult::Branch(var) => break var,
+            }
+        };
+
+        for lit in [Lit::positive(branch), Lit::negative(branch)] {
+            match self
+                .solver
+                .probe_decide(lit)
+                .map_err(|_| Outcome::Aborted)?
+            {
+                Some(_) => {
+                    self.path.push(lit);
+                    let r = self.split(depth - 1);
+                    self.path.pop();
+                    self.solver.pop_probe();
+                    r?;
+                }
+                None => {
+                    // This polarity is dead at this node; the sibling
+                    // branch covers the remaining space on its own.
+                    self.refuted += 1;
+                }
+            }
+        }
+        for _ in 0..forced_levels {
+            self.solver.pop_probe();
+            self.path.pop();
+        }
+        Ok(())
+    }
+
+    fn pick_branch_var(&mut self, forced_levels: &mut u32) -> Result<PickResult, Outcome> {
+        // Top-K unassigned candidates by static weight, index tie-break.
+        let k = self.options.candidates.max(1) as usize;
+        let mut candidates: Vec<u32> = (0..self.solver.num_vars() as u32)
+            .filter(|&v| self.solver.var_unassigned(v as usize))
+            .collect();
+        if candidates.is_empty() {
+            return Ok(PickResult::Saturated);
+        }
+        candidates.sort_by(|&a, &b| {
+            self.weights[b as usize]
+                .partial_cmp(&self.weights[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        candidates.truncate(k);
+
+        let mut best: Option<(f64, u32)> = None;
+        for &v in &candidates {
+            if !self.solver.var_unassigned(v as usize) {
+                // A forced literal from an earlier probe assigned it.
+                continue;
+            }
+            let var = Var::new(v as usize);
+            let pos = self
+                .solver
+                .probe_decide(Lit::positive(var))
+                .map_err(|_| Outcome::Aborted)?;
+            if let Some(n) = pos {
+                self.solver.pop_probe();
+                let neg = self
+                    .solver
+                    .probe_decide(Lit::negative(var))
+                    .map_err(|_| Outcome::Aborted)?;
+                match neg {
+                    Some(m) => {
+                        self.solver.pop_probe();
+                        let score = (n as f64) * (m as f64) + (n + m) as f64;
+                        let better = match best {
+                            None => true,
+                            Some((s, bv)) => score > s || (score == s && v < bv),
+                        };
+                        if better {
+                            best = Some((score, v));
+                        }
+                    }
+                    None => {
+                        // var=false conflicts: var must be true here.
+                        match self
+                            .solver
+                            .probe_decide(Lit::positive(var))
+                            .map_err(|_| Outcome::Aborted)?
+                        {
+                            Some(_) => {
+                                self.path.push(Lit::positive(var));
+                                *forced_levels += 1;
+                                self.forced += 1;
+                                return Ok(PickResult::Forced);
+                            }
+                            None => return Ok(PickResult::Refuted),
+                        }
+                    }
+                }
+            } else {
+                // var=true conflicts: var must be false here.
+                match self
+                    .solver
+                    .probe_decide(Lit::negative(var))
+                    .map_err(|_| Outcome::Aborted)?
+                {
+                    Some(_) => {
+                        self.path.push(Lit::negative(var));
+                        *forced_levels += 1;
+                        self.forced += 1;
+                        return Ok(PickResult::Forced);
+                    }
+                    None => return Ok(PickResult::Refuted),
+                }
+            }
+        }
+        Ok(match best {
+            Some((_, v)) => PickResult::Branch(Var::new(v as usize)),
+            None => PickResult::Saturated,
+        })
+    }
+}
+
+enum PickResult {
+    /// Both polarities of some variable fail: the node is unsat.
+    Refuted,
+    /// A failed literal was forced; re-scan candidates.
+    Forced,
+    /// Split on this variable.
+    Branch(Var),
+    /// Nothing left to split on.
+    Saturated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        let var = Var::new((i.unsigned_abs() - 1) as usize);
+        Lit::with_polarity(var, i > 0)
+    }
+
+    fn chain(n: usize) -> CnfFormula {
+        // x1 -> x2 -> ... -> xn plus a free tail of unconstrained pairs,
+        // so the cuber has something non-trivial to split.
+        let mut f = CnfFormula::new(2 * n);
+        for i in 1..n {
+            f.add_clause([lit(-(i as i32)), lit(i as i32 + 1)]);
+        }
+        for i in 0..n {
+            f.add_clause([
+                Lit::positive(Var::new(n + i)),
+                Lit::negative(Var::new((n + i + 1) % (2 * n))),
+                Lit::positive(Var::new(i)),
+            ]);
+        }
+        f
+    }
+
+    #[test]
+    fn cubes_are_deterministic() {
+        let f = chain(24);
+        let opts = CubeOptions {
+            depth: 3,
+            cutoff: 4,
+            candidates: 8,
+        };
+        let a = cube_formula(&f, &opts, &CancelToken::never(), &Faults::none()).unwrap();
+        let b = cube_formula(&f, &opts, &CancelToken::never(), &Faults::none()).unwrap();
+        assert_eq!(a.cubes, b.cubes);
+        assert!(a.decided.is_none());
+        assert!(!a.cubes.is_empty());
+        assert!(a.cubes.len() <= 1 << 3);
+    }
+
+    #[test]
+    fn cube_depth_zero_yields_single_empty_cube() {
+        let f = chain(8);
+        let opts = CubeOptions {
+            depth: 0,
+            cutoff: 0,
+            candidates: 4,
+        };
+        let set = cube_formula(&f, &opts, &CancelToken::never(), &Faults::none()).unwrap();
+        assert_eq!(set.cubes, vec![Vec::<Lit>::new()]);
+    }
+
+    #[test]
+    fn root_conflict_is_decided_unsat() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([lit(1)]);
+        f.add_clause([lit(-1)]);
+        let set = cube_formula(
+            &f,
+            &CubeOptions::default(),
+            &CancelToken::never(),
+            &Faults::none(),
+        )
+        .unwrap();
+        assert_eq!(set.decided, Some(Outcome::Unsatisfiable));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_cubing() {
+        let f = chain(24);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = cube_formula(
+            &f,
+            &CubeOptions {
+                depth: 4,
+                cutoff: 0,
+                candidates: 8,
+            },
+            &token,
+            &Faults::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Outcome::Aborted);
+    }
+}

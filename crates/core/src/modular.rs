@@ -200,9 +200,10 @@ fn solve_module_via_store(
         module_key(
             graph,
             &format!(
-                "scope={scope_tag} offset={name_offset} solver={:?} extra={} prefix={} \
-                 min_area={} portfolio={}",
+                "scope={scope_tag} offset={name_offset} solver={:?} engine={} extra={} \
+                 prefix={} min_area={} portfolio={}",
                 options.solver,
+                options.engine,
                 options.extra_signals,
                 options.name_prefix,
                 options.min_area,

@@ -2,12 +2,11 @@
 
 use std::time::Instant;
 
+use modsyn_cnc::{solve_engine_portfolio_traced, solve_with_engine_traced, Engine};
 use modsyn_fault::Faults;
 use modsyn_obs::Tracer;
 use modsyn_par::CancelToken;
-use modsyn_sat::{
-    solve_portfolio_traced, standard_portfolio, Outcome, Solver, SolverOptions, SolverStats,
-};
+use modsyn_sat::{solve_portfolio_traced, standard_portfolio, Outcome, SolverOptions, SolverStats};
 use modsyn_sg::{StateGraph, StateSignalAssignment};
 use modsyn_store::{ClauseFamilies, StoreLink};
 
@@ -34,6 +33,11 @@ pub enum ResolveScope {
 pub struct CscSolveOptions {
     /// SAT solver configuration (heuristic, backtrack limit).
     pub solver: SolverOptions,
+    /// Which SAT core decides the CSC formulas. Defaults to the
+    /// `modsyn-cnc` CDCL core; [`Engine::Dpll`] restores the classic
+    /// paper-faithful engine, [`Engine::Cnc`] splits hard formulas into
+    /// cubes conquered on a worker pool.
+    pub engine: Engine,
     /// How many state signals beyond the lower bound to try before giving
     /// up with [`SynthesisError::NoSolution`].
     pub extra_signals: usize,
@@ -73,6 +77,7 @@ impl Default for CscSolveOptions {
     fn default() -> Self {
         CscSolveOptions {
             solver: SolverOptions::default(),
+            engine: Engine::default(),
             extra_signals: 6,
             name_prefix: "csc",
             min_area: false,
@@ -333,24 +338,37 @@ pub fn solve_csc_scoped_traced(
             }
         }
         let (outcome, stats) = if options.portfolio {
-            let result = solve_portfolio_traced(
-                &encoding.formula,
-                &standard_portfolio(options.solver),
-                &options.cancel,
-                tracer,
-            );
-            let stats = result
-                .winner
-                .map(|i| result.runs[i].stats)
-                .unwrap_or_default();
-            (result.outcome, stats)
+            if options.engine == Engine::Dpll {
+                let result = solve_portfolio_traced(
+                    &encoding.formula,
+                    &standard_portfolio(options.solver),
+                    &options.cancel,
+                    tracer,
+                );
+                let stats = result
+                    .winner
+                    .map(|i| result.runs[i].stats)
+                    .unwrap_or_default();
+                (result.outcome, stats)
+            } else {
+                // Race the CDCL core against the classic portfolio's two
+                // strongest legs; same fault immunity as the classic race.
+                solve_engine_portfolio_traced(
+                    &encoding.formula,
+                    options.solver,
+                    &options.cancel,
+                    tracer,
+                )
+            }
         } else {
-            let mut solver = Solver::new(&encoding.formula, options.solver)
-                .with_cancel(options.cancel.clone())
-                .with_faults(options.faults.clone());
-            let outcome = solver.solve_traced(tracer);
-            let stats = solver.stats();
-            (outcome, stats)
+            solve_with_engine_traced(
+                options.engine,
+                &encoding.formula,
+                options.solver,
+                &options.cancel,
+                &options.faults,
+                tracer,
+            )
         };
         formulas.push(FormulaStat {
             state_signals: m,

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use modsyn_cnc::Engine;
 use modsyn_fault::Faults;
 use modsyn_obs::Tracer;
 use modsyn_par::CancelToken;
@@ -52,6 +53,10 @@ pub struct SynthesisOptions {
     /// SAT solver options (heuristic, backtrack limit). The backtrack
     /// limit is what makes the direct method abort on Table 1's large rows.
     pub solver: SolverOptions,
+    /// Which SAT core decides the CSC formulas ([`Engine::Cdcl`] by
+    /// default; `dpll` is the paper-faithful classic engine, `cnc` the
+    /// cube-and-conquer decomposition for the hardest direct formulas).
+    pub engine: Engine,
     /// State-graph derivation limits.
     pub derive: DeriveOptions,
     /// Extra state signals to try beyond the lower bound.
@@ -87,6 +92,7 @@ impl Default for SynthesisOptions {
         SynthesisOptions {
             method: Method::Modular,
             solver: SolverOptions::default(),
+            engine: Engine::default(),
             derive: DeriveOptions::default(),
             extra_signals: 6,
             minimize: MinimizeMode::Heuristic,
@@ -203,6 +209,7 @@ pub fn synthesize_traced(
         Method::Modular | Method::ModularMinArea => {
             let solve = CscSolveOptions {
                 solver: options.solver,
+                engine: options.engine,
                 extra_signals: options.extra_signals,
                 name_prefix: "csc",
                 min_area: options.method == Method::ModularMinArea,
@@ -225,6 +232,7 @@ pub fn synthesize_traced(
         Method::Direct => {
             let solve = CscSolveOptions {
                 solver: options.solver,
+                engine: options.engine,
                 extra_signals: options.extra_signals,
                 name_prefix: "csc",
                 min_area: false,

@@ -43,6 +43,11 @@ pub const STANDARD_HISTOGRAMS: &[&str] = &[
     "pool_wait_us",
     "sat_conflicts",
     "sat_decisions",
+    // Average learned-clause LBD per CDCL solve (engine health: rising
+    // glue means the learner is struggling).
+    "sat_lbd",
+    // Cubes spawned per cube-and-conquer solve.
+    "cnc_cubes",
     "incr_dirty_modules",
 ];
 

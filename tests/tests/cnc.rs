@@ -1,0 +1,164 @@
+//! Cube-and-conquer integration: the `cnc` engine must honour the
+//! workspace determinism contract end to end — identical cubes, winners,
+//! stats and synthesised circuits for every `--jobs` value — and every
+//! engine must drive the public `synthesize` entry point to an
+//! oracle-certifiable result.
+
+use modsyn::{certify_report, synthesize, Engine, Method, SynthesisOptions, SynthesisReport};
+use modsyn_cnc::{cube_formula, solve_cnc, CncOptions, CubeOptions};
+use modsyn_fault::Faults;
+use modsyn_par::CancelToken;
+use modsyn_sg::{derive, DeriveOptions};
+use modsyn_stg::benchmarks;
+
+fn with_engine(method: Method, engine: Engine) -> SynthesisOptions {
+    let mut options = SynthesisOptions::for_method(method);
+    options.engine = engine;
+    options
+}
+
+/// Everything observable about a report except the wall clock.
+fn canonical(report: &SynthesisReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{} {} | {} -> {} states | {} -> {} signals | {} literals",
+        report.benchmark,
+        report.method,
+        report.initial_states,
+        report.final_states,
+        report.initial_signals,
+        report.final_signals,
+        report.literals,
+    )
+    .unwrap();
+    for f in &report.formulas {
+        writeln!(s, "formula {f:?}").unwrap();
+    }
+    for f in &report.functions {
+        writeln!(s, "fn {} = {} [{} lit]", f.name, f.sop, f.literals).unwrap();
+    }
+    s
+}
+
+/// The cube list is a pure function of formula and options: repeated runs
+/// (and runs under differently-shaped but equal options) are identical.
+#[test]
+fn cubing_a_benchmark_encoding_is_deterministic() {
+    let stg = benchmarks::by_name("nak-pa").unwrap();
+    let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+    let analysis = sg.csc_analysis();
+    let pairs = analysis.csc_pairs.clone();
+    let encoding = modsyn::encode_csc_partial(&sg, &analysis, &pairs, 1);
+    let options = CubeOptions {
+        depth: 3,
+        cutoff: 4,
+        candidates: 8,
+    };
+    let a = cube_formula(
+        &encoding.formula,
+        &options,
+        &CancelToken::never(),
+        &Faults::none(),
+    )
+    .expect("cubing must not abort");
+    let b = cube_formula(
+        &encoding.formula,
+        &options,
+        &CancelToken::never(),
+        &Faults::none(),
+    )
+    .expect("cubing must not abort");
+    assert_eq!(a.cubes, b.cubes);
+    assert_eq!(a.forced_literals, b.forced_literals);
+    assert_eq!(a.refuted_branches, b.refuted_branches);
+    assert_eq!(a.propagations, b.propagations);
+}
+
+/// Conquering the same cube set on 1, 2, 4 and 8 workers returns the same
+/// verdict, the same winning cube, the same model and the same aggregated
+/// stats — the lowest-index-SAT contract of DESIGN.md §15.
+#[test]
+fn conquer_results_are_identical_across_worker_counts() {
+    let stg = benchmarks::by_name("pe-rcv-ifc-fc").unwrap();
+    let sg = derive(&stg, &DeriveOptions::default()).unwrap();
+    let analysis = sg.csc_analysis();
+    let pairs = analysis.csc_pairs.clone();
+    let encoding = modsyn::encode_csc_partial(&sg, &analysis, &pairs, 2);
+    let options = |jobs: usize| CncOptions {
+        cube: CubeOptions {
+            depth: 4,
+            cutoff: 8,
+            candidates: 8,
+        },
+        jobs,
+        max_conflicts: None,
+        max_decisions: None,
+    };
+    let reference = solve_cnc(
+        &encoding.formula,
+        &options(1),
+        &CancelToken::never(),
+        &Faults::none(),
+    );
+    assert!(
+        reference.outcome.is_decided(),
+        "reference conquer must decide, got {:?}",
+        reference.outcome
+    );
+    for jobs in [2, 4, 8] {
+        let run = solve_cnc(
+            &encoding.formula,
+            &options(jobs),
+            &CancelToken::never(),
+            &Faults::none(),
+        );
+        assert_eq!(run.winner, reference.winner, "jobs={jobs}");
+        assert_eq!(run.cubes_spawned, reference.cubes_spawned, "jobs={jobs}");
+        assert_eq!(run.cubes_refuted, reference.cubes_refuted, "jobs={jobs}");
+        assert_eq!(run.stats, reference.stats, "jobs={jobs}");
+        match (&reference.outcome, &run.outcome) {
+            (modsyn_sat::Outcome::Satisfiable(a), modsyn_sat::Outcome::Satisfiable(b)) => {
+                assert_eq!(a.as_slice(), b.as_slice(), "jobs={jobs}: model diverged");
+            }
+            (a, b) => assert_eq!(a, b, "jobs={jobs}"),
+        }
+    }
+}
+
+/// Full-pipeline determinism: `--engine cnc` synthesis reports are
+/// byte-identical for every `--jobs` value (the conquer pool size follows
+/// the synthesis-wide jobs knob in the CLI).
+#[test]
+fn cnc_synthesis_is_identical_across_jobs() {
+    let stg = benchmarks::by_name("vbe4a").unwrap();
+    let engine = |jobs: u32| Engine::Cnc {
+        depth: 4,
+        cutoff: 16,
+        jobs,
+    };
+    let reference =
+        synthesize(&stg, &with_engine(Method::Direct, engine(1))).expect("vbe4a direct/cnc jobs=1");
+    for jobs in [2, 4] {
+        let run = synthesize(&stg, &with_engine(Method::Direct, engine(jobs)))
+            .unwrap_or_else(|e| panic!("vbe4a direct/cnc jobs={jobs}: {e}"));
+        assert_eq!(canonical(&reference), canonical(&run), "jobs={jobs}");
+    }
+}
+
+/// Every engine synthesises an oracle-certified circuit from the public
+/// entry point, for both the modular and direct methods.
+#[test]
+fn all_engines_synthesize_certified_circuits() {
+    let stg = benchmarks::by_name("alloc-outbound").unwrap();
+    let spec = derive(&stg, &DeriveOptions::default()).unwrap();
+    for method in [Method::Modular, Method::Direct] {
+        for engine in [Engine::Dpll, Engine::Cdcl, Engine::cnc()] {
+            let report = synthesize(&stg, &with_engine(method, engine))
+                .unwrap_or_else(|e| panic!("{method} {engine}: {e}"));
+            certify_report(Some(&spec), &report)
+                .unwrap_or_else(|e| panic!("{method} {engine}: oracle violation: {e}"));
+        }
+    }
+}

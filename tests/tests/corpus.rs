@@ -375,10 +375,7 @@ fn daemon_rejects_probes_with_the_typed_422_and_class_header() {
         "{}",
         rejected.text()
     );
-    assert_eq!(
-        rejected.header("x-modsyn-class"),
-        Some("asymmetric-choice")
-    );
+    assert_eq!(rejected.header("x-modsyn-class"), Some("asymmetric-choice"));
 
     // An in-theory template on the happy path: certified, no class header.
     let ok = client::request(

@@ -86,6 +86,107 @@ fn portfolio_agrees_with_exhaustive_search_on_500_random_cnfs() {
 }
 
 #[test]
+fn cdcl_and_cnc_agree_with_exhaustive_search_on_500_random_cnfs() {
+    use modsyn_cnc::{solve_with_engine, Engine};
+    use modsyn_fault::Faults;
+
+    let mut rng = SplitMix64::new(0xcdc1_cafe);
+    for case in 0..500 {
+        let f = random_cnf(&mut rng, 8);
+        let expected = solve_exhaustive(&f).is_sat();
+        for engine in [Engine::Cdcl, Engine::cnc()] {
+            let (outcome, _) = solve_with_engine(
+                engine,
+                &f,
+                SolverOptions::default(),
+                &CancelToken::never(),
+                &Faults::none(),
+            );
+            assert_eq!(
+                outcome.is_sat(),
+                expected,
+                "case {case}: engine {engine} disagrees with brute force"
+            );
+            if let Outcome::Satisfiable(model) = outcome {
+                assert!(
+                    model.check(&f),
+                    "case {case}: {engine} model does not satisfy"
+                );
+            }
+        }
+    }
+}
+
+/// The DIMACS writer and parser are mutual inverses on generated CNFs:
+/// `parse(write(f))` reproduces `f` exactly (variable count, clause list,
+/// literal order), not just an equisatisfiable formula.
+#[test]
+fn dimacs_round_trip_is_a_fixpoint_on_generated_cnfs() {
+    use modsyn_sat::{parse_dimacs, write_dimacs};
+
+    let mut rng = SplitMix64::new(0xd1_aac5);
+    for case in 0..300 {
+        let f = random_cnf(&mut rng, 9);
+        let text = write_dimacs(&f);
+        let parsed = parse_dimacs(&text)
+            .unwrap_or_else(|e| panic!("case {case}: round-trip parse failed: {e}"));
+        assert_eq!(parsed, f, "case {case}: parse∘write is not the identity");
+        // A second trip is byte-stable: write∘parse∘write = write.
+        assert_eq!(write_dimacs(&parsed), text, "case {case}: writer unstable");
+    }
+}
+
+/// Malformed DIMACS inputs produce the *typed* errors the API promises —
+/// never a panic, never a silently-wrong formula.
+#[test]
+fn dimacs_parser_rejects_malformed_documents_with_typed_errors() {
+    use modsyn_sat::{parse_dimacs, SatError};
+
+    // Missing or malformed headers.
+    for input in [
+        "",
+        "1 2 0\n",
+        "p\n",
+        "p cnf\n",
+        "p cnf x 2\n",
+        "p dnf 2 2\n1 2 0\n",
+        "p cnf -3 2\n",
+    ] {
+        match parse_dimacs(input) {
+            Err(SatError::MalformedHeader { .. }) => {}
+            other => panic!("{input:?}: expected MalformedHeader, got {other:?}"),
+        }
+    }
+    // Unparsable literal tokens.
+    for input in [
+        "p cnf 2 1\n1 two 0\n",
+        "p cnf 2 1\n1 2.5 0\n",
+        "p cnf 2 1\n--1 0\n",
+    ] {
+        match parse_dimacs(input) {
+            Err(SatError::MalformedLiteral { .. }) => {}
+            other => panic!("{input:?}: expected MalformedLiteral, got {other:?}"),
+        }
+    }
+    // Literals beyond the declared variable range, either polarity.
+    for input in [
+        "p cnf 2 1\n3 0\n",
+        "p cnf 2 1\n1 -5 0\n",
+        "p cnf 0 1\n1 0\n",
+    ] {
+        match parse_dimacs(input) {
+            Err(SatError::VariableOutOfRange { .. }) => {}
+            other => panic!("{input:?}: expected VariableOutOfRange, got {other:?}"),
+        }
+    }
+    // Benign edge cases that must parse: comments anywhere, blank lines,
+    // clauses spanning lines, and a trailing clause missing its 0.
+    let f = parse_dimacs("c head\np cnf 3 2\n\n1 -2\n3 0\nc mid\n-1 -3\n").unwrap();
+    assert_eq!(f.num_vars(), 3);
+    assert_eq!(f.clause_count(), 2);
+}
+
+#[test]
 fn exhaustive_model_satisfies_the_formula() {
     let mut rng = SplitMix64::new(7);
     for case in 0..100 {
