@@ -40,6 +40,16 @@
 //! deterministic, so any drift is a behaviour change; only the wall
 //! clocks are informational.
 //!
+//! Passing any `--chaos-*` flag additionally (or, with `--chaos-only`,
+//! exclusively) band-checks a chaos certification document (default
+//! `BENCH_chaos.json`). Chaos runs are freshly generated, so there is no
+//! baseline; instead the document must be internally sound: `passed:
+//! true` with no violations, and — when the kill -9 fleet leg ran —
+//! exactly one injected kill, at least one supervised restart, journal
+//! frames actually replayed, readiness restored inside the replay
+//! budget, and the restarted replica certified warm (`warm_after_restart`).
+//! Timings inside the budget may drift; the *shape* of recovery may not.
+//!
 //! Exit code 0 when every record passes, 1 with a per-record report when
 //! any fails, 2 on unreadable input.
 
@@ -64,6 +74,13 @@ struct Args {
     corpus: bool,
     /// Skip the Table-1 comparison entirely.
     corpus_only: bool,
+    chaos_current: String,
+    /// Band-check the chaos document (any `--chaos-*` flag arms this).
+    chaos: bool,
+    /// Skip the Table-1 comparison entirely.
+    chaos_only: bool,
+    /// Require the kill -9 fleet leg to be present in the chaos document.
+    chaos_fleet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +97,10 @@ fn parse_args() -> Result<Args, String> {
         corpus_baseline: "BENCH_corpus.baseline.json".to_string(),
         corpus: false,
         corpus_only: false,
+        chaos_current: "BENCH_chaos.json".to_string(),
+        chaos: false,
+        chaos_only: false,
+        chaos_fleet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -119,11 +140,24 @@ fn parse_args() -> Result<Args, String> {
                 args.corpus = true;
                 args.corpus_only = true;
             }
+            "--chaos-current" => {
+                args.chaos_current = value("--chaos-current")?;
+                args.chaos = true;
+            }
+            "--chaos-only" => {
+                args.chaos = true;
+                args.chaos_only = true;
+            }
+            "--chaos-fleet" => {
+                args.chaos = true;
+                args.chaos_fleet = true;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: benchguard [--current FILE] [--baseline FILE] [--tolerance PCT] \
                      [--floor N] [--incr-current FILE] [--incr-baseline FILE] [--incr-only] \
-                     [--corpus-current FILE] [--corpus-baseline FILE] [--corpus-only]"
+                     [--corpus-current FILE] [--corpus-baseline FILE] [--corpus-only] \
+                     [--chaos-current FILE] [--chaos-only] [--chaos-fleet]"
                         .to_string(),
                 )
             }
@@ -530,6 +564,107 @@ fn guard_corpus(args: &Args) -> Result<usize, usize> {
     }
 }
 
+/// The chaos-certification guard: the document must be internally sound.
+///
+/// There is no baseline — every chaos run regenerates the document — so
+/// this pins the *shape* of a healthy run instead: the run passed with no
+/// violations, and the kill -9 fleet leg (when present, or required via
+/// `--chaos-fleet`) shows exactly one injected kill, a supervised
+/// restart, real journal replay, readiness inside the replay budget and
+/// a warm restarted replica. `Ok(checked field count)` when sound.
+fn guard_chaos(args: &Args) -> Result<usize, usize> {
+    let doc = match load(&args.chaos_current) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Err(usize::MAX);
+        }
+    };
+
+    let mut reasons: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+
+    if doc.get("passed").and_then(Json::as_bool) != Some(true) {
+        reasons.push("chaos run has passed != true".to_string());
+    }
+    checked += 1;
+    if let Some(violations) = doc.get("violations").and_then(Json::as_arr) {
+        for v in violations {
+            reasons.push(format!("chaos violation: {}", v.as_str().unwrap_or("?")));
+        }
+    }
+
+    let fleet = doc.get("fleet").cloned().unwrap_or(Json::Null);
+    if fleet.as_obj().is_none() {
+        if args.chaos_fleet {
+            reasons.push("fleet leg missing (run chaosmat with --fleet)".to_string());
+        }
+    } else {
+        let field = |name: &str| num(&fleet, &[name]);
+        // A band check: (description, actual, pass-predicate rendered below).
+        let mut band = |name: &str, ok: bool, want: &str| {
+            checked += 1;
+            if !ok {
+                reasons.push(format!("fleet.{name} = {:?}, want {want}", field(name)));
+            }
+        };
+        band(
+            "replicas",
+            field("replicas").is_some_and(|n| n >= 2.0),
+            ">= 2",
+        );
+        band(
+            "injected_kills",
+            field("injected_kills") == Some(1.0),
+            "exactly 1",
+        );
+        band(
+            "victim_restarts",
+            field("victim_restarts").is_some_and(|n| n >= 1.0),
+            ">= 1",
+        );
+        band(
+            "frames_replayed",
+            field("frames_replayed").is_some_and(|n| n >= 1.0),
+            ">= 1 (journal must actually replay)",
+        );
+        band(
+            "readyz_wait_ms",
+            match (field("readyz_wait_ms"), field("replay_budget_ms")) {
+                (Some(wait), Some(budget)) => wait <= budget,
+                _ => false,
+            },
+            "<= replay_budget_ms",
+        );
+        band(
+            "client_rounds",
+            field("client_rounds").is_some() && field("client_rounds") == field("items"),
+            "== items (every row answered through the kill)",
+        );
+        checked += 1;
+        if fleet.get("warm_after_restart").and_then(Json::as_bool) != Some(true) {
+            reasons.push(format!(
+                "fleet.warm_after_restart = {:?}, want true (restarted replica must answer warm)",
+                fleet.get("warm_after_restart")
+            ));
+        }
+    }
+
+    if reasons.is_empty() {
+        Ok(checked)
+    } else {
+        for r in &reasons {
+            eprintln!("FAIL chaos: {r}");
+        }
+        eprintln!(
+            "benchguard: {} chaos checks failed against {}",
+            reasons.len(),
+            args.chaos_current
+        );
+        Err(reasons.len())
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -541,7 +676,7 @@ fn main() -> ExitCode {
 
     let mut unreadable = false;
     let mut failed = false;
-    if !args.incr_only && !args.corpus_only {
+    if !args.incr_only && !args.corpus_only && !args.chaos_only {
         match guard_table(&args) {
             Ok(n) => println!(
                 "benchguard: {n} records within tolerance ({}% / floor {})",
@@ -561,6 +696,13 @@ fn main() -> ExitCode {
     if args.corpus {
         match guard_corpus(&args) {
             Ok(n) => println!("benchguard: {n} corpus fields exact"),
+            Err(usize::MAX) => unreadable = true,
+            Err(_) => failed = true,
+        }
+    }
+    if args.chaos {
+        match guard_chaos(&args) {
+            Ok(n) => println!("benchguard: {n} chaos checks in band"),
             Err(usize::MAX) => unreadable = true,
             Err(_) => failed = true,
         }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! chaosmat [--small] [--seed N] [--jobs N] [--out FILE]
-//!          [--corpus N] [--corpus-only]
+//!          [--corpus N] [--corpus-only] [--fleet]
 //! ```
 //!
 //! Runs the Table-1 suite (all 23 rows, or the small subset with
@@ -24,6 +24,16 @@
 //!   aborts must, against the backoff client, eventually serve every row
 //!   a certified `200` byte-identical to a clean server's response.
 //!
+//! * **fleet** (`--fleet`) — the `kill -9` certification: a supervised
+//!   fleet of 3 real `modsynd` processes, each with its own crash-safe
+//!   `--durable` store, serves the whole suite through the consistent-hash
+//!   failover router while a seeded `fleet.replica-kill` fault SIGKILLs
+//!   the busiest replica mid-traffic. Every row must still draw its
+//!   byte-identical certified response (failover absorbs the kill), and
+//!   the restarted replica must come back *warm* within the replay
+//!   budget: `/readyz` green, journal frames replayed, and a re-request
+//!   of its work answered as a cache hit.
+//!
 //! With `--corpus N` a fourth leg runs the first `N` seeds of the
 //! compositional corpus stream through the pipeline fault plans: each
 //! case's fault-free modular baseline (a certified result, or a typed
@@ -37,12 +47,15 @@
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use modsyn::{synthesize, synthesize_with_retry, RetryPolicy, SynthesisOptions, SynthesisReport};
 use modsyn_bench::{small_rows, PaperRow, PAPER_TABLE1, TABLE1_BACKTRACK_LIMIT};
-use modsyn_corpus::corpus_case;
-use modsyn_fault::{fnv1a64, FaultPlan, Faults};
+use modsyn_corpus::{corpus_case, Expectation};
+use modsyn_fault::{fnv1a64, site, FaultPlan, FaultRule, Faults};
+use modsyn_fleet::{
+    sibling_binary, wait_for_200, FleetConfig, FleetEvent, FleetRouter, Supervisor,
+};
 use modsyn_obs::{Json, Tracer};
 use modsyn_par::WorkerPool;
 use modsyn_sat::SolverOptions;
@@ -56,6 +69,7 @@ struct Args {
     out: String,
     corpus: u64,
     corpus_only: bool,
+    fleet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_chaos.json".to_string(),
         corpus: 0,
         corpus_only: false,
+        fleet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -81,10 +96,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --corpus value")?;
             }
             "--corpus-only" => args.corpus_only = true,
+            "--fleet" => args.fleet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: chaosmat [--small] [--seed N] [--jobs N] [--out FILE] \
-                            [--corpus N] [--corpus-only]"
+                            [--corpus N] [--corpus-only] [--fleet]"
                         .into(),
                 )
             }
@@ -96,6 +112,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.corpus_only && args.corpus == 0 {
         args.corpus = 8;
+    }
+    if args.fleet && args.corpus_only {
+        return Err("--fleet needs the Table-1 legs (drop --corpus-only)".to_string());
     }
     Ok(args)
 }
@@ -515,6 +534,309 @@ fn serving_leg(
     ])
 }
 
+/// One request the fleet leg must serve byte-identically to a clean
+/// single server.
+struct FleetItem {
+    name: String,
+    path: &'static str,
+    body: String,
+    digest: u64,
+    status: u16,
+    expected: Vec<u8>,
+}
+
+/// How long a `kill -9`'d replica may take to restart, replay its journal
+/// and report ready again.
+const FLEET_REPLAY_BUDGET: Duration = Duration::from_secs(30);
+
+/// The `kill -9` certification leg: a supervised fleet of real `modsynd`
+/// processes with per-replica durable stores serves the whole work set
+/// through the rendezvous failover router while a seeded
+/// `fleet.replica-kill` fault SIGKILLs the first item's primary replica
+/// mid-traffic. Asserts (a) every item still draws its byte-identical
+/// clean response, (b) the victim restarts and turns ready within
+/// [`FLEET_REPLAY_BUDGET`], and (c) the restart is *warm*: journal frames
+/// replayed and the victim's own work answered as a cache hit.
+fn fleet_leg(
+    baselines: &[(String, Stg, String)],
+    corpus_count: u64,
+    seed: u64,
+    jobs: usize,
+    violations: &mut Violations,
+) -> Json {
+    let timeout = Duration::from_secs(120);
+    let mut items: Vec<FleetItem> = Vec::new();
+    for (name, stg, _) in baselines {
+        let body = write_g(stg);
+        items.push(FleetItem {
+            name: name.clone(),
+            path: "/synth?method=modular",
+            digest: fnv1a64(body.as_bytes()),
+            body,
+            status: 200,
+            expected: Vec::new(),
+        });
+    }
+    for case_seed in 0..corpus_count {
+        let (stg, expectation) = corpus_case(case_seed);
+        let body = write_g(&stg);
+        // Probes beyond the free-choice theory target the comparator and
+        // must keep drawing its typed 422 through the fleet, byte-exact.
+        let (path, status) = match expectation {
+            Expectation::InTheory => ("/synth?method=modular", 200),
+            Expectation::BeyondTheory => ("/synth?method=lavagno", 422),
+        };
+        items.push(FleetItem {
+            name: format!("corpus-{case_seed}"),
+            path,
+            digest: fnv1a64(body.as_bytes()),
+            body,
+            status,
+            expected: Vec::new(),
+        });
+    }
+
+    // Reference pass: one clean in-process server defines the expected
+    // bytes for every item.
+    let (addr, stop) = match start_server(ServerConfig {
+        jobs,
+        queue_capacity: items.len().max(64),
+        backtrack_limit: Some(TABLE1_BACKTRACK_LIMIT),
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.check(false, &format!("fleet: cannot bind clean server: {e}"));
+            return Json::Null;
+        }
+    };
+    for item in &mut items {
+        match client::request(addr, "POST", item.path, item.body.as_bytes(), timeout) {
+            Ok(r) if r.status == item.status => item.expected = r.body,
+            Ok(r) => violations.check(
+                false,
+                &format!(
+                    "fleet/{}: clean server answered {} (expected {})",
+                    item.name, r.status, item.status
+                ),
+            ),
+            Err(e) => violations.check(false, &format!("fleet/{}: clean server: {e}", item.name)),
+        }
+    }
+    stop();
+
+    // The fleet: three real modsynd processes, per-replica durable dirs,
+    // a kill fault scheduled for the tick after half the traffic. Each
+    // tick probes the kill site once per live replica in index order, so
+    // skip(tick * replicas + victim) lands the one budgeted kill exactly
+    // on the victim at that tick.
+    let modsynd = match sibling_binary("modsynd") {
+        Ok(p) => p,
+        Err(e) => {
+            violations.check(false, &format!("fleet: {e}"));
+            return Json::Null;
+        }
+    };
+    let replicas = 3usize;
+    let base_port = 21000 + (std::process::id() % 9000) as u16;
+    let addrs: Vec<SocketAddr> = (0..replicas)
+        .map(|i| {
+            format!("127.0.0.1:{}", base_port + i as u16)
+                .parse()
+                .expect("loopback address parses")
+        })
+        .collect();
+    let router = FleetRouter::new(addrs.clone());
+    let victim = addrs
+        .iter()
+        .position(|a| Some(*a) == router.primary(items[0].digest))
+        .unwrap_or(0);
+    let kill_tick = (items.len() / 2).max(1);
+    let faults = FaultPlan::new("fleet", seed)
+        .rule(
+            FaultRule::at(site::FLEET_REPLICA_KILL)
+                .skip((kill_tick * replicas + victim) as u64)
+                .times(1),
+        )
+        .arm();
+    let root = std::env::temp_dir().join(format!("chaosmat-fleet-{}", std::process::id()));
+    let config = FleetConfig {
+        command: vec![
+            modsynd.to_string_lossy().into_owned(),
+            "--addr".into(),
+            "127.0.0.1:{port}".into(),
+            "--access-log".into(),
+            "off".into(),
+            "--jobs".into(),
+            jobs.to_string(),
+            "--limit".into(),
+            TABLE1_BACKTRACK_LIMIT.to_string(),
+            "--durable".into(),
+            format!("{}/replica-{{replica}}", root.display()),
+            "--checkpoint-every".into(),
+            "64".into(),
+        ],
+        replicas,
+        base_port,
+        faults: faults.clone(),
+        ..FleetConfig::default()
+    };
+    let mut sup = match Supervisor::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.check(false, &format!("fleet: cannot start supervisor: {e}"));
+            return Json::Null;
+        }
+    };
+    for (i, a) in addrs.iter().enumerate() {
+        violations.check(
+            wait_for_200(*a, "/readyz", Duration::from_secs(20)),
+            &format!("fleet: replica {i} never became ready"),
+        );
+    }
+
+    // Traffic: one supervision tick per request, so the scheduled kill
+    // lands mid-traffic and the supervisor heals while requests continue.
+    let mut victim_dead = false;
+    let mut failover_items = 0u64;
+    let mut rounds_total = 0u64;
+    for item in &items {
+        let policy = client::BackoffPolicy {
+            max_attempts: 3,
+            max_total_wait: Duration::from_secs(5),
+            seed: seed ^ fnv1a64(item.name.as_bytes()),
+            ..client::BackoffPolicy::default()
+        };
+        if victim_dead && router.primary(item.digest) == Some(addrs[victim]) {
+            failover_items += 1;
+        }
+        let mut response = None;
+        for _round in 0..8 {
+            rounds_total += 1;
+            match router.route(
+                item.digest,
+                "POST",
+                item.path,
+                item.body.as_bytes(),
+                timeout,
+                &policy,
+            ) {
+                Ok(r) if r.status == item.status => {
+                    response = Some(r);
+                    break;
+                }
+                // A replica mid-restart sheds with 503s; the budget is
+                // finite, go again.
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        match response {
+            Some(r) => violations.check(
+                r.body == item.expected,
+                &format!("fleet/{}: body differs from clean reference", item.name),
+            ),
+            None => violations.check(
+                false,
+                &format!("fleet/{}: no {} despite failover", item.name, item.status),
+            ),
+        }
+        for event in sup.tick(Instant::now()) {
+            match event {
+                FleetEvent::KillInjected { replica, .. } if replica == victim => {
+                    eprintln!("chaosmat: fleet: injected kill -9 on replica {replica}");
+                    victim_dead = true;
+                }
+                FleetEvent::Started { replica, .. } if replica == victim => victim_dead = false,
+                _ => {}
+            }
+        }
+    }
+    violations.check(
+        faults.injected_at(site::FLEET_REPLICA_KILL) == 1,
+        "fleet: the scheduled replica kill never fired",
+    );
+
+    // Recovery: the victim must restart and turn ready within the replay
+    // budget…
+    let waiting = Instant::now();
+    while sup.restarts(victim) == 0 && waiting.elapsed() < FLEET_REPLAY_BUDGET {
+        std::thread::sleep(Duration::from_millis(50));
+        let _ = sup.tick(Instant::now());
+    }
+    violations.check(
+        sup.restarts(victim) >= 1,
+        "fleet: killed replica was never restarted",
+    );
+    violations.check(
+        wait_for_200(addrs[victim], "/readyz", FLEET_REPLAY_BUDGET),
+        "fleet: restarted replica not ready within the replay budget",
+    );
+    let readyz_wait_ms = waiting.elapsed().as_millis() as u64;
+
+    // …and it must be *warm*: the journal replayed, and the item it owned
+    // (served and journaled before the kill) answered from cache.
+    let metrics_text = client::request(addrs[victim], "GET", "/metrics", b"", timeout)
+        .map(|r| r.text())
+        .unwrap_or_default();
+    let frames_replayed =
+        Metrics::parse_line(&metrics_text, "modsynd_recovery_frames_replayed").unwrap_or(0);
+    violations.check(
+        frames_replayed > 0,
+        "fleet: restarted replica replayed no journal frames",
+    );
+    let mut warm_hit = false;
+    match client::request_with_backoff(
+        addrs[victim],
+        "POST",
+        items[0].path,
+        items[0].body.as_bytes(),
+        timeout,
+        &client::BackoffPolicy::default(),
+    ) {
+        Ok(r) => {
+            violations.check(
+                r.status == items[0].status && r.body == items[0].expected,
+                "fleet: restarted replica's answer differs from the clean reference",
+            );
+            warm_hit = r.header("x-modsyn-cache") == Some("hit");
+            violations.check(
+                warm_hit,
+                "fleet: restarted replica answered its own work cold (no cache hit)",
+            );
+        }
+        Err(e) => violations.check(false, &format!("fleet: restarted replica unreachable: {e}")),
+    }
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    eprintln!(
+        "chaosmat: fleet leg: {} items over {replicas} replicas, victim {victim} killed at \
+         tick {kill_tick}, {failover_items} items failed over, ready again after {readyz_wait_ms}ms \
+         ({frames_replayed} frames replayed), {rounds_total} client rounds",
+        items.len(),
+    );
+    Json::obj([
+        ("replicas", Json::from(replicas)),
+        ("items", Json::from(items.len())),
+        ("corpus_cases", Json::from(corpus_count)),
+        ("victim", Json::from(victim)),
+        ("kill_tick", Json::from(kill_tick)),
+        (
+            "injected_kills",
+            Json::from(faults.injected_at(site::FLEET_REPLICA_KILL)),
+        ),
+        ("failover_items", Json::from(failover_items)),
+        ("client_rounds", Json::from(rounds_total)),
+        ("victim_restarts", Json::from(sup.restarts(victim))),
+        ("readyz_wait_ms", Json::from(readyz_wait_ms)),
+        ("frames_replayed", Json::from(frames_replayed)),
+        ("warm_after_restart", Json::from(warm_hit)),
+        (
+            "replay_budget_ms",
+            Json::from(FLEET_REPLAY_BUDGET.as_millis() as u64),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -530,8 +852,8 @@ fn main() -> ExitCode {
     };
     let mut violations = Violations(Vec::new());
 
-    let (pipeline, pool, serving) = if args.corpus_only {
-        (Json::Null, Json::Null, Json::Null)
+    let (pipeline, pool, serving, fleet) = if args.corpus_only {
+        (Json::Null, Json::Null, Json::Null, Json::Null)
     } else {
         // Fault-free serial baselines: the reference fingerprints,
         // themselves oracle-certified.
@@ -564,6 +886,17 @@ fn main() -> ExitCode {
             pipeline_leg(&rows, &baselines, args.seed, &mut violations),
             pool_leg(&baselines, args.seed, args.jobs, &mut violations),
             serving_leg(&baselines, args.seed, args.jobs, &mut violations),
+            if args.fleet {
+                fleet_leg(
+                    &baselines,
+                    args.corpus,
+                    args.seed,
+                    args.jobs,
+                    &mut violations,
+                )
+            } else {
+                Json::Null
+            },
         )
     };
     let corpus = if args.corpus > 0 {
@@ -583,11 +916,13 @@ fn main() -> ExitCode {
                 ("jobs", Json::from(args.jobs)),
                 ("backtrack_limit", Json::from(TABLE1_BACKTRACK_LIMIT)),
                 ("corpus", Json::from(args.corpus)),
+                ("fleet", Json::from(args.fleet)),
             ]),
         ),
         ("pipeline", pipeline),
         ("pool", pool),
         ("serving", serving),
+        ("fleet", fleet),
         ("corpus", corpus),
         (
             "violations",

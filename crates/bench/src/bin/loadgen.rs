@@ -1,13 +1,19 @@
 //! `loadgen` — replay the Table-1 suite against the synthesis service.
 //!
 //! ```text
-//! loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] [--repeat N]
+//! loadgen [--addr HOST:PORT] [--fleet HOST:PORT,HOST:PORT,...]
+//!         [--concurrency N] [--jobs N] [--repeat N]
 //!         [--small] [--corpus N] [--timeout-ms T] [--out FILE]
 //! ```
 //!
 //! Without `--addr`, starts an in-process [`modsyn_svc::Server`] on a free
 //! port (with `--jobs` pool workers) and tears it down afterwards; with
-//! `--addr`, targets an already running `modsynd`.
+//! `--addr`, targets an already running `modsynd`; with `--fleet`, targets
+//! a replica fleet (e.g. one supervised by `modsynfleet`) through the
+//! consistent-hash failover router — each request routes by its STG
+//! digest and falls over to the next replica in rendezvous order when its
+//! primary is down, so the generator keeps certifying responses while a
+//! replica is `kill -9`'d and restarted under it.
 //!
 //! The run has two passes over the benchmark set (all 23 Table-1 rows, or
 //! the small subset with `--small`), each issuing `concurrency` parallel
@@ -30,6 +36,12 @@
 //! The summary (throughput and p50/p95/p99 latency per pass, plus the
 //! server's own `/metrics` counters) is printed and written to
 //! `BENCH_serve.json` (or `--out FILE`).
+//!
+//! Acceptance: both passes must be error-free. Against a single server
+//! the warm pass must additionally serve every cacheable row as a cache
+//! hit; against a fleet the hit floor relaxes to "some hits" — a replica
+//! killed mid-run hands its slice to its failover, so per-replica warmth
+//! moves (the chaos matrix owns the strict warm-restart assertion).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -37,11 +49,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use modsyn_fault::fnv1a64;
+use modsyn_fleet::FleetRouter;
 use modsyn_obs::{Json, Tracer};
 use modsyn_svc::{client, Metrics, Server, ServerConfig};
 
 struct Args {
     addr: Option<String>,
+    fleet: Option<String>,
     concurrency: usize,
     jobs: usize,
     repeat: usize,
@@ -54,6 +69,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
+        fleet: None,
         concurrency: 8,
         jobs: modsyn_par::available_jobs().max(4),
         repeat: 1,
@@ -67,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
+            "--fleet" => args.fleet = Some(value("--fleet")?),
             "--concurrency" => {
                 args.concurrency = value("--concurrency")?
                     .parse()
@@ -93,7 +110,8 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = value("--out")?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--jobs N] \
+                    "usage: loadgen [--addr HOST:PORT] [--fleet HOST:PORT,HOST:PORT,...] \
+                     [--concurrency N] [--jobs N] \
                      [--repeat N] [--small] [--corpus N] [--timeout-ms T] [--out FILE]"
                         .to_string(),
                 )
@@ -103,6 +121,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.concurrency == 0 || args.repeat == 0 {
         return Err("--concurrency and --repeat must be at least 1".to_string());
+    }
+    if args.addr.is_some() && args.fleet.is_some() {
+        return Err("--addr and --fleet are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -123,7 +144,53 @@ enum Expect {
 struct WorkItem {
     path: &'static str,
     body: String,
+    /// Routing digest of the body (fleet mode routes by it).
+    digest: u64,
     expect: Expect,
+}
+
+/// Where requests go: one server, or a replica fleet behind the
+/// rendezvous failover router.
+enum Target {
+    Single(SocketAddr),
+    Fleet(FleetRouter),
+}
+
+impl Target {
+    /// The addresses `/metrics` is scraped from (every replica for a
+    /// fleet; counters are summed across them).
+    fn scrape_addrs(&self) -> Vec<SocketAddr> {
+        match self {
+            Target::Single(addr) => vec![*addr],
+            Target::Fleet(router) => router.addrs().to_vec(),
+        }
+    }
+
+    fn send(
+        &self,
+        item: &WorkItem,
+        timeout: Duration,
+        policy: &client::BackoffPolicy,
+    ) -> std::io::Result<client::ClientResponse> {
+        match self {
+            Target::Single(addr) => client::request_with_backoff(
+                *addr,
+                "POST",
+                item.path,
+                item.body.as_bytes(),
+                timeout,
+                policy,
+            ),
+            Target::Fleet(router) => router.route(
+                item.digest,
+                "POST",
+                item.path,
+                item.body.as_bytes(),
+                timeout,
+                policy,
+            ),
+        }
+    }
 }
 
 /// One request's outcome.
@@ -204,7 +271,7 @@ fn pass_json(stats: &PassStats, server_histograms: Json) -> Json {
 /// the luck of its own connections. The jitter seed varies per work item
 /// so retries do not synchronise into waves.
 fn run_pass(
-    addr: SocketAddr,
+    target: &Target,
     work: &[WorkItem],
     concurrency: usize,
     timeout: Duration,
@@ -223,14 +290,7 @@ fn run_pass(
                 };
                 let sent = Instant::now();
                 let cacheable = item.expect == Expect::Certified;
-                let sample = match client::request_with_backoff(
-                    addr,
-                    "POST",
-                    item.path,
-                    item.body.as_bytes(),
-                    timeout,
-                    &policy,
-                ) {
+                let sample = match target.send(item, timeout, &policy) {
                     Ok(response) => {
                         let ok = match item.expect {
                             Expect::Certified => {
@@ -272,9 +332,19 @@ fn run_pass(
     (samples.into_inner().unwrap(), wall)
 }
 
-fn fetch_metric(addr: SocketAddr, name: &str, timeout: Duration) -> Option<u64> {
-    let response = client::request(addr, "GET", "/metrics", b"", timeout).ok()?;
-    Metrics::parse_line(&response.text(), name)
+/// Scrapes one counter, summed across the target's replicas (a fleet's
+/// traffic lands on all of them). `None` when no replica answered.
+fn fetch_metric(target: &Target, name: &str, timeout: Duration) -> Option<u64> {
+    let mut sum = None;
+    for addr in target.scrape_addrs() {
+        if let Some(v) = client::request(addr, "GET", "/metrics", b"", timeout)
+            .ok()
+            .and_then(|r| Metrics::parse_line(&r.text(), name))
+        {
+            sum = Some(sum.unwrap_or(0) + v);
+        }
+    }
+    sum
 }
 
 /// The server-side latency histograms this run exercises, scraped from
@@ -288,7 +358,12 @@ const SCRAPED_HISTOGRAMS: &[&str] = &[
     "pool_wait_us",
 ];
 
-fn fetch_histograms(addr: SocketAddr, timeout: Duration) -> Json {
+/// Scrapes the latency histograms. Quantile sketches do not merge, so a
+/// fleet reports its first replica's view — representative, not a total.
+fn fetch_histograms(target: &Target, timeout: Duration) -> Json {
+    let Some(addr) = target.scrape_addrs().first().copied() else {
+        return Json::Null;
+    };
     let Some(rendered) = client::request(addr, "GET", "/metrics", b"", timeout)
         .ok()
         .map(|r| r.text())
@@ -327,9 +402,11 @@ fn main() -> ExitCode {
         .filter(|(name, _)| !args.small || small_names.contains(name))
         .flat_map(|(_, stg)| {
             let body = modsyn_stg::write_g(&stg);
+            let digest = fnv1a64(body.as_bytes());
             std::iter::repeat_with(move || WorkItem {
                 path: "/synth?method=modular",
                 body: body.clone(),
+                digest,
                 expect: Expect::Certified,
             })
             .take(args.repeat)
@@ -350,14 +427,16 @@ fn main() -> ExitCode {
             work.push(WorkItem {
                 path,
                 body: body.clone(),
+                digest: fnv1a64(body.as_bytes()),
                 expect,
             });
         }
     }
 
-    // Either target a running daemon or host one in-process.
-    let (addr, server_thread, handle) = match &args.addr {
-        Some(spec) => {
+    // Target a running daemon, a replica fleet, or host a server
+    // in-process.
+    let (target, server_thread, handle) = match (&args.addr, &args.fleet) {
+        (Some(spec), _) => {
             let addr: SocketAddr = match spec.parse() {
                 Ok(a) => a,
                 Err(e) => {
@@ -365,9 +444,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            (addr, None, None)
+            (Target::Single(addr), None, None)
         }
-        None => {
+        (None, Some(spec)) => {
+            let mut addrs = Vec::new();
+            for part in spec.split(',').filter(|p| !p.is_empty()) {
+                match part.parse() {
+                    Ok(a) => addrs.push(a),
+                    Err(e) => {
+                        eprintln!("error: bad --fleet address {part:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if addrs.is_empty() {
+                eprintln!("error: --fleet needs at least one address");
+                return ExitCode::FAILURE;
+            }
+            (Target::Fleet(FleetRouter::new(addrs)), None, None)
+        }
+        (None, None) => {
             let config = ServerConfig {
                 jobs: args.jobs,
                 queue_capacity: work.len().max(64),
@@ -383,25 +479,29 @@ fn main() -> ExitCode {
             let addr = server.local_addr();
             let handle = server.handle();
             let thread = std::thread::spawn(move || server.run());
-            (addr, Some(thread), Some(handle))
+            (Target::Single(addr), Some(thread), Some(handle))
         }
     };
 
+    let target_desc = match &target {
+        Target::Single(addr) => addr.to_string(),
+        Target::Fleet(router) => format!("fleet of {}", router.addrs().len()),
+    };
     eprintln!(
         "loadgen: {} requests/pass ({} subjects x{} repeat), concurrency {}, server {}",
         work.len(),
         work.len() / args.repeat,
         args.repeat,
         args.concurrency,
-        addr,
+        target_desc,
     );
 
-    let (cold_samples, cold_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
+    let (cold_samples, cold_wall) = run_pass(&target, &work, args.concurrency, args.timeout);
     let cold = summarise(&cold_samples, cold_wall);
-    let cold_hists = fetch_histograms(addr, args.timeout);
-    let (warm_samples, warm_wall) = run_pass(addr, &work, args.concurrency, args.timeout);
+    let cold_hists = fetch_histograms(&target, args.timeout);
+    let (warm_samples, warm_wall) = run_pass(&target, &work, args.concurrency, args.timeout);
     let warm = summarise(&warm_samples, warm_wall);
-    let warm_hists = fetch_histograms(addr, args.timeout);
+    let warm_hists = fetch_histograms(&target, args.timeout);
 
     let metrics = Json::obj(
         [
@@ -416,7 +516,7 @@ fn main() -> ExitCode {
         .map(|name| {
             (
                 name,
-                fetch_metric(addr, name, args.timeout).map_or(Json::Null, Json::from),
+                fetch_metric(&target, name, args.timeout).map_or(Json::Null, Json::from),
             )
         }),
     );
@@ -438,7 +538,17 @@ fn main() -> ExitCode {
                 ("jobs", Json::from(args.jobs)),
                 ("small", Json::from(args.small)),
                 ("corpus", Json::from(args.corpus)),
-                ("external", Json::from(args.addr.is_some())),
+                (
+                    "external",
+                    Json::from(args.addr.is_some() || args.fleet.is_some()),
+                ),
+                (
+                    "fleet_replicas",
+                    match &target {
+                        Target::Single(_) => Json::Null,
+                        Target::Fleet(router) => Json::from(router.addrs().len()),
+                    },
+                ),
             ]),
         ),
         ("cold", pass_json(&cold, cold_hists)),
@@ -468,8 +578,14 @@ fn main() -> ExitCode {
     // The warm pass must serve every cacheable row from cache and be
     // error-free; typed 422 rejections are never cached, so they are
     // excluded from the hit target. The cold pass may contain within-pass
-    // hits (repeat > 1) but no errors.
-    if cold.errors > 0 || warm.errors > 0 || warm.hits < warm.cacheable {
+    // hits (repeat > 1) but no errors. Against a fleet the hit floor
+    // relaxes to "some hits": chaos restarts move slices between
+    // replicas, so strict per-row warmth belongs to the chaos matrix.
+    let warm_enough = match &target {
+        Target::Single(_) => warm.hits >= warm.cacheable,
+        Target::Fleet(_) => warm.hits > 0,
+    };
+    if cold.errors > 0 || warm.errors > 0 || !warm_enough {
         eprintln!("error: serving run failed acceptance (errors or cold warm-pass entries)");
         return ExitCode::FAILURE;
     }

@@ -43,6 +43,16 @@ pub mod site {
     /// Response cache: the targeted shard is wiped before an insert
     /// (eviction storm).
     pub const CACHE_EVICT_STORM: &str = "cache.evict-storm";
+    /// Durable store journal: only half of the frame reaches the file
+    /// before the "crash" (torn append). Recovery must truncate the tail.
+    pub const STORE_WAL_TORN_WRITE: &str = "store.wal-torn-write";
+    /// Durable store recovery: the snapshot generation under inspection is
+    /// treated as corrupt, forcing the previous-generation (or cold)
+    /// fallback path.
+    pub const STORE_SNAPSHOT_CORRUPT: &str = "store.snapshot-corrupt";
+    /// Replica fleet supervisor: SIGKILL one replica, as if the OOM killer
+    /// got it mid-traffic.
+    pub const FLEET_REPLICA_KILL: &str = "fleet.replica-kill";
 }
 
 /// One site's injection rule inside a [`FaultPlan`].

@@ -1,0 +1,220 @@
+//! `modsynfleet` — supervise a self-healing fleet of `modsynd` replicas.
+//!
+//! ```text
+//! modsynfleet [--replicas N] [--base-port P] [--durable-root DIR]
+//!             [--probe-ms T] [--backoff-ms T] [--backoff-max-ms T]
+//!             [--storm-window-ms T] [--storm-threshold N]
+//!             [--faults SPEC] [--fault-seed N] [--ticks N]
+//!             [--modsynd PATH] [-- EXTRA_MODSYND_ARGS...]
+//! ```
+//!
+//! Spawns `N` replicas on consecutive ports starting at `P` (default 3 on
+//! 7180..) and supervises them forever (or for `--ticks` probe cycles):
+//! dead replicas restart with capped exponential backoff, crash loops trip
+//! the restart-storm brake, and every supervision decision prints as one
+//! line to stdout.
+//!
+//! With `--durable-root DIR` each replica gets its own crash-safe store at
+//! `DIR/replica-<i>` (passed to modsynd as `--durable`), so a `kill -9`'d
+//! replica restarts warm after journal replay. `--faults
+//! 'fleet.replica-kill@1/200'` arms the supervisor's own chaos lever:
+//! matching ticks SIGKILL a replica and the fleet heals itself.
+//!
+//! Arguments after `--` are forwarded verbatim to every replica (e.g.
+//! `-- --jobs 2 --access-log off`).
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use modsyn_fault::FaultPlan;
+use modsyn_fleet::{sibling_binary, FleetConfig, FleetEvent, Supervisor};
+
+fn usage() -> &'static str {
+    "usage: modsynfleet [--replicas N] [--base-port P] [--durable-root DIR] \
+     [--probe-ms T] [--backoff-ms T] [--backoff-max-ms T] \
+     [--storm-window-ms T] [--storm-threshold N] [--faults SPEC] \
+     [--fault-seed N] [--ticks N] [--modsynd PATH] [-- EXTRA_MODSYND_ARGS...]\n\
+     \n\
+     Supervises N modsynd replicas on consecutive ports: health probes,\n\
+     backoff restarts, restart-storm braking. --durable-root gives each\n\
+     replica a crash-safe store at DIR/replica-<i>. --faults\n\
+     'fleet.replica-kill@1/200' arms chaos kills (kill -9 semantics)."
+}
+
+struct Args {
+    config: FleetConfig,
+    probe: Duration,
+    ticks: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = FleetConfig::default();
+    let mut probe = Duration::from_millis(200);
+    let mut ticks = None;
+    let mut durable_root: Option<String> = None;
+    let mut modsynd: Option<String> = None;
+    let mut extra: Vec<String> = Vec::new();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed = 0x000d_da05_u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--replicas" => {
+                config.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "bad --replicas value")?;
+                if config.replicas == 0 {
+                    return Err("--replicas must be at least 1".to_string());
+                }
+            }
+            "--base-port" => {
+                config.base_port = value("--base-port")?
+                    .parse()
+                    .map_err(|_| "bad --base-port value")?;
+            }
+            "--durable-root" => durable_root = Some(value("--durable-root")?),
+            "--probe-ms" => {
+                probe = Duration::from_millis(
+                    value("--probe-ms")?
+                        .parse()
+                        .map_err(|_| "bad --probe-ms value")?,
+                );
+            }
+            "--backoff-ms" => {
+                config.backoff_initial = Duration::from_millis(
+                    value("--backoff-ms")?
+                        .parse()
+                        .map_err(|_| "bad --backoff-ms value")?,
+                );
+            }
+            "--backoff-max-ms" => {
+                config.backoff_max = Duration::from_millis(
+                    value("--backoff-max-ms")?
+                        .parse()
+                        .map_err(|_| "bad --backoff-max-ms value")?,
+                );
+            }
+            "--storm-window-ms" => {
+                config.storm_window = Duration::from_millis(
+                    value("--storm-window-ms")?
+                        .parse()
+                        .map_err(|_| "bad --storm-window-ms value")?,
+                );
+            }
+            "--storm-threshold" => {
+                config.storm_threshold = value("--storm-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --storm-threshold value")?;
+            }
+            "--faults" => fault_spec = Some(value("--faults")?),
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "bad --fault-seed value")?;
+            }
+            "--ticks" => {
+                ticks = Some(value("--ticks")?.parse().map_err(|_| "bad --ticks value")?);
+            }
+            "--modsynd" => modsynd = Some(value("--modsynd")?),
+            "--" => {
+                extra.extend(it.by_ref());
+                break;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+
+    let daemon = match modsynd {
+        Some(p) => p,
+        None => sibling_binary("modsynd")
+            .map_err(|e| format!("{e} (pass --modsynd PATH)"))?
+            .to_string_lossy()
+            .into_owned(),
+    };
+    let mut command = vec![
+        daemon,
+        "--addr".to_string(),
+        "127.0.0.1:{port}".to_string(),
+        "--access-log".to_string(),
+        "off".to_string(),
+    ];
+    if let Some(root) = durable_root {
+        command.push("--durable".to_string());
+        command.push(format!("{root}/replica-{{replica}}"));
+    }
+    command.extend(extra);
+    config.command = command;
+
+    if let Some(spec) = fault_spec {
+        let plan = FaultPlan::parse("modsynfleet", &spec, fault_seed)?;
+        eprintln!("chaos: armed fault plan {spec:?} (seed {fault_seed})");
+        config.faults = plan.arm();
+    }
+    Ok(Args {
+        config,
+        probe,
+        ticks,
+    })
+}
+
+fn describe(event: &FleetEvent) -> String {
+    match event {
+        FleetEvent::Started {
+            replica,
+            port,
+            pid,
+            restarts,
+        } => format!("replica {replica} up on port {port} (pid {pid}, restart #{restarts})"),
+        FleetEvent::Died { replica, port } => format!("replica {replica} (port {port}) died"),
+        FleetEvent::BackingOff {
+            replica,
+            remaining_ms,
+        } => format!("replica {replica} backing off ({remaining_ms}ms left)"),
+        FleetEvent::Storm { replica, in_window } => {
+            format!("replica {replica} storming ({in_window} deaths in window) — restarts paused")
+        }
+        FleetEvent::KillInjected { replica, port } => {
+            format!("chaos: injected kill -9 on replica {replica} (port {port})")
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sup = match Supervisor::start(args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, addr) in sup.addrs().iter().enumerate() {
+        println!("fleet: replica {i} at http://{addr}");
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(args.probe);
+        for event in sup.tick(Instant::now()) {
+            println!("fleet: {}", describe(&event));
+            let _ = std::io::stdout().flush();
+        }
+        tick += 1;
+        if args.ticks.is_some_and(|n| tick >= n) {
+            break;
+        }
+    }
+    sup.shutdown();
+    ExitCode::SUCCESS
+}

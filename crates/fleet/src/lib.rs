@@ -1,0 +1,79 @@
+//! Self-healing `modsynd` replica fleet.
+//!
+//! One `modsynd` process is crash-safe (`--durable`: WAL + atomic snapshot
+//! generations), but a single process is still a single point of
+//! unavailability while it restarts and replays. This crate turns N
+//! replicas into a fleet that survives `kill -9` with bounded client
+//! impact:
+//!
+//! * [`Supervisor`] — spawns N replicas on consecutive ports, health-probes
+//!   them each tick, restarts the dead with capped exponential backoff, and
+//!   pauses a crash-looping replica via restart-storm detection. The
+//!   `fleet.replica-kill` fault site turns it into the chaos lever the
+//!   benchmark matrix certifies against.
+//! * [`FleetRouter`] — a client-side consistent-hash (rendezvous) router:
+//!   requests route by STG digest so each replica warms its own slice of
+//!   the corpus, and failover walks the deterministic rendezvous order so
+//!   losing a replica moves only that replica's digests.
+//!
+//! The `modsynfleet` binary wires both together: it supervises the fleet
+//! and prints one line per supervision decision. Clients embed
+//! [`FleetRouter`] directly (as `loadgen --fleet` and the chaos matrix do).
+//!
+//! Like the rest of the workspace this crate is std-only: supervision is
+//! `std::process`, probes and routing ride the svc crate's HTTP client.
+
+mod router;
+mod supervisor;
+
+pub use router::FleetRouter;
+pub use supervisor::{FleetConfig, FleetEvent, HealthMode, Supervisor};
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use modsyn_svc::client;
+
+/// Locates a sibling binary of the current executable (e.g. `modsynd` next
+/// to `modsynfleet`, or one directory up from a test runner in
+/// `target/<profile>/deps/`).
+///
+/// # Errors
+///
+/// `NotFound` when the binary is in neither directory.
+pub fn sibling_binary(name: &str) -> std::io::Result<PathBuf> {
+    let exe = std::env::current_exe()?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "exe has no parent"))?;
+    let mut candidates = vec![dir.join(name)];
+    if let Some(up) = dir.parent() {
+        candidates.push(up.join(name));
+    }
+    candidates.into_iter().find(|p| p.is_file()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("sibling binary {name:?} not found next to the current executable"),
+        )
+    })
+}
+
+/// Polls `GET path` on `addr` until it answers 200 or the deadline passes.
+/// Returns whether the endpoint became ready. Useful for waiting out a
+/// replica's startup (on `/healthz`) or its recovery replay (on `/readyz`).
+pub fn wait_for_200(addr: SocketAddr, path: &str, deadline: Duration) -> bool {
+    let start = Instant::now();
+    loop {
+        if matches!(
+            client::request(addr, "GET", path, b"", Duration::from_millis(250)),
+            Ok(r) if r.status == 200
+        ) {
+            return true;
+        }
+        if start.elapsed() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

@@ -33,21 +33,28 @@
 //! solution is exactly what a fresh solve would have produced.
 
 pub mod chunk;
+pub mod durable;
 pub mod edit;
 pub mod provenance;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use chunk::{ChunkedMap, MapDiff, CHUNK_COUNT};
+pub use durable::{
+    write_atomic, DurableConfig, DurableStore, RecoveryReport, SNAP_FILE, SNAP_PREV_FILE, WAL_FILE,
+};
 pub use edit::{pulse_edit, rebuild, rename_edit};
 pub use provenance::{ClauseFamilies, ModuleEntry, Provenance, StoredFormula, SynthRecord};
 pub use snapshot::{
-    restore_into, snapshot_from_json, snapshot_to_json, SnapshotData, SNAPSHOT_VERSION,
+    restore_into, snapshot_doc, snapshot_from_json, snapshot_to_json, SnapshotData,
+    SNAPSHOT_VERSION,
 };
 pub use store::{
     graph_key_text, module_key, Snapshot, SnapshotMeta, StoreDiff, StoreLink, StoreSession,
     SynthStore,
 };
+pub use wal::{encode_frame, scan_bytes, scan_wal, StoreMutation, Wal, WalScan, WAL_HEADER};
 
 // Re-exported so store consumers can derive digests without a direct
 // modsyn-stg dependency.

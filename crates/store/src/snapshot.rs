@@ -8,8 +8,6 @@
 //! `d`). The daemon's response-cache bodies ride along so even the
 //! byte-level HTTP cache survives a restart.
 
-use std::sync::Arc;
-
 use modsyn_obs::Json;
 use modsyn_sat::SolverStats;
 use modsyn_sg::{Quat, StateSignalAssignment};
@@ -30,20 +28,32 @@ pub struct SnapshotData {
     /// Serving-layer response-cache entries `(cache key, body)`; empty when
     /// the snapshot was taken outside the daemon.
     pub responses: Vec<(u128, String)>,
+    /// Highest journal sequence number this snapshot covers (0 when the
+    /// snapshot was written outside the write-ahead-journal machinery).
+    /// Recovery replays only journal frames *above* this point.
+    pub wal_seq: u64,
 }
 
 /// Renders a snapshot (plus optional serving-layer response bodies) to the
 /// durable JSON document.
 pub fn snapshot_to_json(snap: &Snapshot, responses: &[(u128, String)]) -> Json {
+    snapshot_doc(snap, responses, 0)
+}
+
+/// [`snapshot_to_json`] with an explicit journal watermark: the document
+/// records that every journal frame with `seq <= wal_seq` is already folded
+/// into the snapshot, so recovery replays only the suffix.
+pub fn snapshot_doc(snap: &Snapshot, responses: &[(u128, String)], wal_seq: u64) -> Json {
     Json::obj([
         ("version", Json::from(SNAPSHOT_VERSION)),
         ("seq", Json::from(snap.seq)),
+        ("wal_seq", Json::from(wal_seq)),
         (
             "modules",
             Json::Arr(
                 snap.modules()
                     .iter()
-                    .map(|(k, e)| module_to_json(*k, e))
+                    .map(|(k, e)| module_to_json(*k, e.as_ref()))
                     .collect(),
             ),
         ),
@@ -52,7 +62,7 @@ pub fn snapshot_to_json(snap: &Snapshot, responses: &[(u128, String)]) -> Json {
             Json::Arr(
                 snap.records()
                     .iter()
-                    .map(|(d, r)| record_to_json(*d, r))
+                    .map(|(d, r)| record_to_json(*d, r.as_ref()))
                     .collect(),
             ),
         ),
@@ -86,7 +96,14 @@ pub fn snapshot_from_json(doc: &Json) -> Result<SnapshotData, String> {
             "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
         ));
     }
-    let mut data = SnapshotData::default();
+    let mut data = SnapshotData {
+        // Absent in pre-journal documents; those cover no frames.
+        wal_seq: doc
+            .get("wal_seq")
+            .and_then(Json::as_f64)
+            .map_or(0, |v| v as u64),
+        ..SnapshotData::default()
+    };
     for item in arr(doc, "modules")? {
         let key = hex64(item, "key")?;
         data.modules.push((key, module_from_json(item)?));
@@ -116,7 +133,7 @@ pub fn restore_into(store: &SynthStore, data: &SnapshotData) {
     }
 }
 
-fn module_to_json(key: u64, entry: &Arc<ModuleEntry>) -> Json {
+pub(crate) fn module_to_json(key: u64, entry: &ModuleEntry) -> Json {
     Json::obj([
         ("key", Json::Str(format!("{key:016x}"))),
         (
@@ -134,7 +151,7 @@ fn module_to_json(key: u64, entry: &Arc<ModuleEntry>) -> Json {
     ])
 }
 
-fn module_from_json(doc: &Json) -> Result<ModuleEntry, String> {
+pub(crate) fn module_from_json(doc: &Json) -> Result<ModuleEntry, String> {
     Ok(ModuleEntry {
         assignments: arr(doc, "assignments")?
             .iter()
@@ -151,7 +168,7 @@ fn module_from_json(doc: &Json) -> Result<ModuleEntry, String> {
     })
 }
 
-fn record_to_json(digest: u64, record: &Arc<SynthRecord>) -> Json {
+pub(crate) fn record_to_json(digest: u64, record: &SynthRecord) -> Json {
     Json::obj([
         ("digest", Json::Str(format!("{digest:016x}"))),
         ("benchmark", Json::Str(record.benchmark.clone())),
@@ -172,7 +189,7 @@ fn record_to_json(digest: u64, record: &Arc<SynthRecord>) -> Json {
     ])
 }
 
-fn record_from_json(doc: &Json) -> Result<SynthRecord, String> {
+pub(crate) fn record_from_json(doc: &Json) -> Result<SynthRecord, String> {
     Ok(SynthRecord {
         benchmark: str_field(doc, "benchmark")?.to_string(),
         inserted: arr(doc, "inserted")?
@@ -342,7 +359,7 @@ fn arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
         .ok_or_else(|| format!("missing array `{key}`"))
 }
 
-fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+pub(crate) fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
     doc.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| format!("missing string `{key}`"))
@@ -362,7 +379,7 @@ fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
     }
 }
 
-fn hex64(doc: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn hex64(doc: &Json, key: &str) -> Result<u64, String> {
     let text = str_field(doc, key)?;
     u64::from_str_radix(text, 16).map_err(|_| format!("bad hex `{key}`: `{text}`"))
 }

@@ -8,7 +8,9 @@ use modsyn_sg::{EdgeLabel, StateGraph};
 use modsyn_stg::fnv1a64;
 
 use crate::chunk::{ChunkedMap, MapDiff};
+use crate::durable::DurableStore;
 use crate::provenance::{ModuleEntry, SynthRecord};
+use crate::wal::StoreMutation;
 
 /// A content-addressed store for per-module SAT solutions and per-STG
 /// synthesis records.
@@ -19,6 +21,11 @@ use crate::provenance::{ModuleEntry, SynthRecord};
 #[derive(Debug, Default)]
 pub struct SynthStore {
     inner: Mutex<Inner>,
+    /// Write-ahead journal attachment; when set, every insert is journaled
+    /// *before* it lands in memory. Kept outside `Inner` (and appended to
+    /// before `inner` is locked) so the journal→store lock order matches
+    /// the checkpoint path and can never deadlock against it.
+    durable: Mutex<Option<Arc<DurableStore>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     dirty: AtomicU64,
@@ -101,9 +108,22 @@ impl SynthStore {
         self.inner.lock().unwrap().modules.get(key)
     }
 
-    /// Inserts a module solve under its content key.
+    /// Inserts a module solve under its content key (journaled first when
+    /// a durable attachment is present).
     pub fn put_module(&self, key: u64, entry: ModuleEntry) {
-        self.inner.lock().unwrap().modules.insert(key, entry);
+        if let Some(d) = self.durable() {
+            d.record(
+                &StoreMutation::Module {
+                    key,
+                    entry: entry.clone(),
+                },
+                || {
+                    self.inner.lock().unwrap().modules.insert(key, entry);
+                },
+            );
+        } else {
+            self.inner.lock().unwrap().modules.insert(key, entry);
+        }
     }
 
     /// Looks up a synthesis record by STG digest.
@@ -111,9 +131,33 @@ impl SynthStore {
         self.inner.lock().unwrap().records.get(digest)
     }
 
-    /// Inserts a synthesis record under the STG digest.
+    /// Inserts a synthesis record under the STG digest (journaled first
+    /// when a durable attachment is present).
     pub fn put_record(&self, digest: u64, record: SynthRecord) {
-        self.inner.lock().unwrap().records.insert(digest, record);
+        if let Some(d) = self.durable() {
+            d.record(
+                &StoreMutation::Record {
+                    digest,
+                    record: record.clone(),
+                },
+                || {
+                    self.inner.lock().unwrap().records.insert(digest, record);
+                },
+            );
+        } else {
+            self.inner.lock().unwrap().records.insert(digest, record);
+        }
+    }
+
+    /// Attaches the write-ahead journal. Do this *after* restoring
+    /// recovered state, so the replay itself is not re-journaled.
+    pub fn attach_durable(&self, durable: Arc<DurableStore>) {
+        *self.durable.lock().unwrap() = Some(durable);
+    }
+
+    /// The durable attachment, if one was made.
+    pub fn durable(&self) -> Option<Arc<DurableStore>> {
+        self.durable.lock().unwrap().clone()
     }
 
     /// Number of cached module solves.

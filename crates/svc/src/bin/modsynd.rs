@@ -8,6 +8,7 @@
 //!         [--breaker-threshold F] [--breaker-cooldown-ms T]
 //!         [--access-log off|stderr|FILE] [--flight-slots N]
 //!         [--store-snapshot FILE]
+//!         [--durable DIR] [--wal-fsync-every N] [--checkpoint-every N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7171`), prints one
@@ -38,12 +39,23 @@
 //! drain, so a restarted daemon answers previously-seen work from cache
 //! and serves `/synth/incr` and `/explain` against the old session's
 //! records.
+//!
+//! `--durable DIR` is the crash-safe superset of `--store-snapshot`: every
+//! mutation is journaled (write-ahead, checksummed, fsync'd every
+//! `--wal-fsync-every` appends) before it is applied, and every
+//! `--checkpoint-every` frames the journal is compacted into an atomically
+//! rotated snapshot generation — so warm state survives `kill -9`, torn
+//! tails are truncated on replay, and a corrupt snapshot falls back to the
+//! previous generation. `/readyz` reports 503 while recovery replays; the
+//! recovery counters land in `/metrics`. The two persistence flags are
+//! mutually exclusive.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use modsyn_fault::FaultPlan;
 use modsyn_obs::Tracer;
+use modsyn_store::DurableConfig;
 use modsyn_svc::{AccessLog, Server, ServerConfig};
 
 fn usage() -> &'static str {
@@ -51,13 +63,17 @@ fn usage() -> &'static str {
      [--cache-entries N] [--cache-bytes N] [--timeout-ms T] [--max-body BYTES] \
      [--limit N] [--stats] [--trace-json FILE] [--faults SPEC] [--fault-seed N] \
      [--breaker-threshold F] [--breaker-cooldown-ms T] \
-     [--access-log off|stderr|FILE] [--flight-slots N] [--store-snapshot FILE]\n\
+     [--access-log off|stderr|FILE] [--flight-slots N] [--store-snapshot FILE] \
+     [--durable DIR] [--wal-fsync-every N] [--checkpoint-every N]\n\
      \n\
      Serves POST /synth (body: .g STG; query: method, timeout_ms),\n\
      POST /synth/incr (query: base=<digest-hex>), GET /explain (query: digest,\n\
-     signal), GET /metrics, GET /healthz, GET /debug/flight, POST /shutdown.\n\
+     signal), GET /metrics, GET /healthz, GET /readyz, GET /debug/flight,\n\
+     POST /shutdown.\n\
      Every 200 is oracle-certified and trace-stamped (X-Modsyn-Trace).\n\
      --store-snapshot persists the synthesis store across restarts.\n\
+     --durable DIR makes persistence crash-safe: a checksummed write-ahead\n\
+     journal plus atomic snapshot generations; state survives kill -9.\n\
      --faults arms a seeded chaos plan, e.g. 'sat.abort*2,svc.write-torn@1/4'\n\
      (rule grammar: site[*max][+skip][@num/denom][~delay_ms])."
 }
@@ -66,6 +82,14 @@ struct Args {
     config: ServerConfig,
     stats: bool,
     trace_json: Option<String>,
+}
+
+/// The durable tuning block, created on first use so `--wal-fsync-every`
+/// and `--checkpoint-every` may precede `--durable` on the command line
+/// (the empty-dir placeholder is rejected after parsing if `--durable`
+/// never arrives).
+fn durable_tuning(config: &mut ServerConfig) -> &mut DurableConfig {
+    config.durable.get_or_insert_with(|| DurableConfig::new(""))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -159,8 +183,39 @@ fn parse_args() -> Result<Args, String> {
             "--store-snapshot" => {
                 config.store_snapshot = Some(value("--store-snapshot")?.into());
             }
+            "--durable" => {
+                let dir = value("--durable")?;
+                let tuned = config
+                    .durable
+                    .take()
+                    .unwrap_or_else(|| DurableConfig::new(""));
+                config.durable = Some(DurableConfig {
+                    dir: dir.into(),
+                    ..tuned
+                });
+            }
+            "--wal-fsync-every" => {
+                let n: u64 = value("--wal-fsync-every")?
+                    .parse()
+                    .map_err(|_| "bad --wal-fsync-every value")?;
+                durable_tuning(&mut config).fsync_every = n.max(1);
+            }
+            "--checkpoint-every" => {
+                let n: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every value")?;
+                durable_tuning(&mut config).checkpoint_every = n.max(1);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    if let Some(d) = &config.durable {
+        if d.dir.as_os_str().is_empty() {
+            return Err("--wal-fsync-every/--checkpoint-every need --durable DIR".to_string());
+        }
+        if config.store_snapshot.is_some() {
+            return Err("--durable and --store-snapshot are mutually exclusive".to_string());
         }
     }
     if let Some(spec) = fault_spec {

@@ -152,6 +152,13 @@ impl CircuitBreaker {
         }
     }
 
+    /// Whether the breaker is open (and its cooldown has not yet elapsed)
+    /// at `now` — the readiness probe's view; admission paths keep using
+    /// [`CircuitBreaker::admit`], which also advances the state machine.
+    pub fn is_open(&self, now: Instant) -> bool {
+        matches!(self.lock().state, State::Open { until } if now < until)
+    }
+
     /// Records the outcome of an admitted request. Returns `true` when
     /// this record *opened* the breaker (for the `breaker_opens` metric).
     pub fn record(&self, now: Instant, success: bool) -> bool {

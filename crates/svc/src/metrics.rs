@@ -32,6 +32,7 @@ pub const STANDARD_HISTOGRAMS: &[&str] = &[
     "request_us:explain",
     "request_us:metrics",
     "request_us:healthz",
+    "request_us:readyz",
     "request_us:flight",
     "request_us:shutdown",
     "request_us:other",
@@ -98,12 +99,32 @@ pub struct Metrics {
     /// layer (accept drops, torn reads/writes, slow-peer stalls,
     /// eviction storms). Always 0 in production.
     pub injected_faults: AtomicU64,
+    /// Write-ahead-journal frames appended (synced from the durable store
+    /// at scrape; 0 without `--durable`).
+    pub wal_appends: AtomicU64,
+    /// Journal fsync(2) calls issued.
+    pub wal_fsyncs: AtomicU64,
+    /// Snapshot checkpoints taken (journal compactions).
+    pub checkpoints: AtomicU64,
+    /// Startup recovery: journal frames replayed over the snapshot.
+    pub recovery_frames_replayed: AtomicU64,
+    /// Startup recovery: torn/garbage tail frames truncated.
+    pub recovery_frames_truncated: AtomicU64,
+    /// Startup recovery: frames dropped for a checksum mismatch.
+    pub recovery_checksum_failures: AtomicU64,
+    /// Startup recovery: snapshot generations skipped as corrupt before
+    /// one loaded (1 = the previous-generation fallback fired).
+    pub recovery_snapshot_fallbacks: AtomicU64,
     /// Gauge: admitted `/synth` jobs waiting for a pool worker.
     pub queue_depth: AtomicU64,
     /// Gauge: `/synth` jobs currently executing on the pool.
     pub in_flight: AtomicU64,
     /// Gauge: open connections being handled.
     pub connections: AtomicU64,
+    /// Gauge: 1 when the server would answer `/readyz` with 200 (not
+    /// recovering, not draining, no breaker open), 0 otherwise. Computed
+    /// at scrape.
+    pub ready: AtomicU64,
     /// Latency/effort histograms (see [`STANDARD_HISTOGRAMS`]).
     pub hists: HistogramRegistry,
 }
@@ -150,9 +171,29 @@ impl Metrics {
             ("modsynd_breaker_opens_total", &self.breaker_opens),
             ("modsynd_retry_recoveries_total", &self.retry_recoveries),
             ("modsynd_injected_faults_total", &self.injected_faults),
+            ("modsynd_wal_appends_total", &self.wal_appends),
+            ("modsynd_wal_fsyncs_total", &self.wal_fsyncs),
+            ("modsynd_checkpoints_total", &self.checkpoints),
+            (
+                "modsynd_recovery_frames_replayed",
+                &self.recovery_frames_replayed,
+            ),
+            (
+                "modsynd_recovery_frames_truncated",
+                &self.recovery_frames_truncated,
+            ),
+            (
+                "modsynd_recovery_checksum_failures",
+                &self.recovery_checksum_failures,
+            ),
+            (
+                "modsynd_recovery_snapshot_fallbacks",
+                &self.recovery_snapshot_fallbacks,
+            ),
             ("modsynd_queue_depth", &self.queue_depth),
             ("modsynd_in_flight", &self.in_flight),
             ("modsynd_connections", &self.connections),
+            ("modsynd_ready", &self.ready),
         ] {
             out.push_str(name);
             out.push(' ');
@@ -333,9 +374,17 @@ modsynd_breaker_rejections_total 0
 modsynd_breaker_opens_total 0
 modsynd_retry_recoveries_total 0
 modsynd_injected_faults_total 0
+modsynd_wal_appends_total 0
+modsynd_wal_fsyncs_total 0
+modsynd_checkpoints_total 0
+modsynd_recovery_frames_replayed 0
+modsynd_recovery_frames_truncated 0
+modsynd_recovery_checksum_failures 0
+modsynd_recovery_snapshot_fallbacks 0
 modsynd_queue_depth 0
 modsynd_in_flight 0
 modsynd_connections 0
+modsynd_ready 0
 ";
         let mut expected = String::from(counter_lines);
         let mut names: Vec<&str> = STANDARD_HISTOGRAMS.to_vec();

@@ -74,8 +74,8 @@ use modsyn_par::{CancelToken, WorkerPool};
 use modsyn_petri::NetClass;
 use modsyn_stg::{parse_g, stg_digest, Stg};
 use modsyn_store::{
-    restore_into, snapshot_from_json, snapshot_to_json, Provenance, StoreLink, StoreSession,
-    SynthRecord, SynthStore,
+    restore_into, snapshot_from_json, snapshot_to_json, write_atomic, DurableConfig, DurableStore,
+    Provenance, StoreLink, StoreMutation, StoreSession, SynthRecord, SynthStore,
 };
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
@@ -136,7 +136,15 @@ pub struct ServerConfig {
     /// file exists) and write it back after a graceful drain, so module
     /// solves, provenance records and cached response bodies survive a
     /// restart. `None` (the default) keeps the store memory-only.
+    /// Ignored when [`ServerConfig::durable`] is set.
     pub store_snapshot: Option<PathBuf>,
+    /// Crash-safe persistence: a write-ahead journal plus atomic snapshot
+    /// generations in this directory. Recovery (snapshot load + journal
+    /// replay) runs on a background thread after bind; `/synth` answers
+    /// 503 + `Retry-After` and `/readyz` stays 503 until it finishes.
+    /// Unlike [`ServerConfig::store_snapshot`], warm state survives a
+    /// `kill -9`, not just a graceful drain.
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +165,7 @@ impl Default for ServerConfig {
             flight_slots: modsyn_obs::DEFAULT_SLOTS,
             access_log: AccessLog::Off,
             store_snapshot: None,
+            durable: None,
         }
     }
 }
@@ -185,6 +194,9 @@ struct Shared {
     tracer: Tracer,
     flight: FlightRecorder,
     shutting_down: AtomicBool,
+    /// True while background snapshot+journal recovery is still replaying;
+    /// `/synth` sheds and `/readyz` answers 503 until it clears.
+    recovering: AtomicBool,
     /// The synthesis store: per-module solves keyed by exact quotient
     /// renderings, plus per-benchmark provenance records for `/explain`.
     store: Arc<SynthStore>,
@@ -317,20 +329,32 @@ impl Server {
             WorkerPool::with_tracer_and_faults(config.jobs, tracer.clone(), config.faults.clone());
         let cache = ShardedLru::new(&config.cache).with_faults(config.faults.clone());
         let store = Arc::new(SynthStore::new());
-        if let Some(path) = &config.store_snapshot {
-            if path.exists() {
-                let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
-                let text = std::fs::read_to_string(path)?;
-                let doc = modsyn_obs::parse_json(&text)
-                    .map_err(|e| invalid(format!("store snapshot: {e}")))?;
-                let data = snapshot_from_json(&doc)
-                    .map_err(|e| invalid(format!("store snapshot: {e}")))?;
-                restore_into(&store, &data);
-                for (key, body) in &data.responses {
-                    let bytes = body.len();
-                    cache.insert(*key, Arc::new(body.clone().into_bytes()), bytes);
+        let mut legacy_snapshot_corrupt = false;
+        if let Some(path) = config.store_snapshot.as_ref().filter(|p| {
+            // The journaled store supersedes the drain-only snapshot.
+            config.durable.is_none() && p.exists()
+        }) {
+            // A corrupt snapshot is a recovery event, not a bind failure:
+            // starting cold only costs warmth — everything is re-derived
+            // and re-certified on the next miss.
+            let loaded = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| modsyn_obs::parse_json(&text).map_err(|e| e.to_string()))
+                .and_then(|doc| snapshot_from_json(&doc));
+            match loaded {
+                Ok(data) => {
+                    restore_into(&store, &data);
+                    for (key, body) in &data.responses {
+                        let bytes = body.len();
+                        cache.insert(*key, Arc::new(body.clone().into_bytes()), bytes);
+                    }
+                    tracer.note("store", "snapshot-loaded");
                 }
-                tracer.note("store", "snapshot-loaded");
+                Err(e) => {
+                    legacy_snapshot_corrupt = true;
+                    tracer.note("store", &format!("snapshot-corrupt: {e}; starting cold"));
+                    tracer.flight_event(FlightKind::Fault, "store.snapshot-corrupt", 1);
+                }
             }
         }
         let access = match &config.access_log {
@@ -351,6 +375,7 @@ impl Server {
         };
         let now = Instant::now();
         let breakers = [(); 4].map(|()| CircuitBreaker::new(config.breaker, now));
+        let durable_config = config.durable.clone();
         let shared = Arc::new(Shared {
             config,
             pool,
@@ -359,12 +384,34 @@ impl Server {
             tracer,
             flight,
             shutting_down: AtomicBool::new(false),
+            recovering: AtomicBool::new(durable_config.is_some()),
             store,
             breakers,
             trace_seq: AtomicU64::new(0),
             trace_salt,
             access,
         });
+        if legacy_snapshot_corrupt {
+            shared
+                .metrics
+                .recovery_snapshot_fallbacks
+                .store(1, Ordering::Relaxed);
+        }
+        if let Some(durable) = durable_config {
+            // Recovery (snapshot load + journal replay) runs off the bind
+            // path so a large journal never delays the port appearing;
+            // `/readyz` reports 503 and `/synth` sheds until it finishes.
+            let s = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name("modsynd-recover".to_string())
+                .spawn({
+                    let durable = durable.clone();
+                    move || recover_durable(&s, durable)
+                });
+            if spawned.is_err() {
+                recover_durable(&shared, durable);
+            }
+        }
         Ok(Server {
             listener,
             addr,
@@ -486,16 +533,25 @@ impl Server {
         // Persist the store (and the response cache riding in the same
         // snapshot) only after the drain: every admitted job has finished,
         // so the snapshot is a consistent post-quiescence view.
-        if let Some(path) = &self.shared.config.store_snapshot {
+        if let Some(d) = self.shared.store.durable() {
+            // Final checkpoint: the next start recovers from the snapshot
+            // alone, with an (ideally) empty journal suffix to replay.
+            let shared = &self.shared;
+            match d.checkpoint(|| (shared.store.snapshot(), cache_entries(&shared.cache))) {
+                Ok(()) => shared.tracer.note("store", "final-checkpoint"),
+                Err(e) => shared
+                    .tracer
+                    .note("store", &format!("final checkpoint failed: {e}")),
+            }
+        } else if let Some(path) = &self.shared.config.store_snapshot {
             let snap = self.shared.store.snapshot();
-            let responses: Vec<(u128, String)> = self
-                .shared
-                .cache
-                .entries()
-                .into_iter()
-                .map(|(k, v)| (k, String::from_utf8_lossy(&v).into_owned()))
-                .collect();
-            std::fs::write(path, snapshot_to_json(&snap, &responses).pretty())?;
+            let responses = cache_entries(&self.shared.cache);
+            // Atomic (temp + fsync + rename): a crash mid-write leaves the
+            // previous snapshot intact, never a torn file.
+            write_atomic(
+                path,
+                snapshot_to_json(&snap, &responses).pretty().as_bytes(),
+            )?;
             self.shared.tracer.note("store", "snapshot-saved");
         }
         Ok(())
@@ -512,6 +568,82 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server").field("addr", &self.addr).finish()
     }
+}
+
+/// Startup recovery for the journaled store: newest valid snapshot
+/// generation, journal-suffix replay, then the journal attaches for
+/// write-ahead appends. The typed report lands in `/metrics`
+/// (`modsynd_recovery_*`) and the flight recorder. Runs with
+/// `Shared::recovering` raised; clears it last.
+fn recover_durable(shared: &Arc<Shared>, config: DurableConfig) {
+    match DurableStore::open(config, shared.config.faults.clone()) {
+        Ok((durable, data, report)) => {
+            restore_into(&shared.store, &data);
+            for (key, body) in &data.responses {
+                let bytes = body.len();
+                shared
+                    .cache
+                    .insert(*key, Arc::new(body.clone().into_bytes()), bytes);
+            }
+            // Attach only after the restore, so replay is not re-journaled.
+            shared.store.attach_durable(durable);
+            let m = &shared.metrics;
+            m.recovery_frames_replayed
+                .store(report.frames_replayed, Ordering::Relaxed);
+            m.recovery_frames_truncated
+                .store(report.frames_truncated, Ordering::Relaxed);
+            m.recovery_checksum_failures
+                .store(report.checksum_failures, Ordering::Relaxed);
+            m.recovery_snapshot_fallbacks
+                .store(report.snapshot_fallbacks, Ordering::Relaxed);
+            let t = &shared.tracer;
+            t.flight_event(
+                FlightKind::Counter,
+                "store.recovery_frames_replayed",
+                report.frames_replayed,
+            );
+            t.flight_event(
+                FlightKind::Counter,
+                "store.recovery_frames_truncated",
+                report.frames_truncated,
+            );
+            if report.snapshot_fallbacks > 0 {
+                t.flight_event(FlightKind::Fault, "store.snapshot-corrupt", 1);
+            }
+            t.note(
+                "store",
+                &format!(
+                    "recovered: snapshot={} fallbacks={} replayed={} skipped={} truncated={} \
+                     checksum_failures={} wal_seq={}",
+                    report.snapshot_loaded,
+                    report.snapshot_fallbacks,
+                    report.frames_replayed,
+                    report.frames_skipped,
+                    report.frames_truncated,
+                    report.checksum_failures,
+                    report.wal_seq,
+                ),
+            );
+        }
+        Err(e) => {
+            // A real I/O failure (permissions, full disk — not corruption,
+            // which the open itself absorbs): serve memory-only rather
+            // than not at all. Durability degrades; certification doesn't.
+            shared
+                .tracer
+                .note("store", &format!("durable open failed: {e}; memory-only"));
+        }
+    }
+    shared.recovering.store(false, Ordering::Release);
+}
+
+/// The response cache as snapshot entries `(key, body)`.
+fn cache_entries(cache: &ShardedLru<Arc<Vec<u8>>>) -> Vec<(u128, String)> {
+    cache
+        .entries()
+        .into_iter()
+        .map(|(k, v)| (k, String::from_utf8_lossy(&v).into_owned()))
+        .collect()
 }
 
 fn shed_response() -> Response {
@@ -547,6 +679,7 @@ fn request_hist_name(request: &Request) -> &'static str {
         "/explain" => "request_us:explain",
         "/metrics" => "request_us:metrics",
         "/healthz" => "request_us:healthz",
+        "/readyz" => "request_us:readyz",
         "/debug/flight" => "request_us:flight",
         "/shutdown" => "request_us:shutdown",
         _ => "request_us:other",
@@ -633,11 +766,22 @@ fn handle_connection(shared: &Arc<Shared>, addr: SocketAddr, stream: &TcpStream)
 
 fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tracer) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            if shared.shutting_down.load(Ordering::Acquire) {
+        // Liveness: the process is up and routing. Stays 200 through
+        // recovery and drain — a supervisor must not kill a replica for
+        // being busy replaying its journal.
+        ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
+        // Readiness: should this replica receive traffic right now?
+        ("GET", "/readyz") => {
+            if shared.recovering.load(Ordering::Acquire) {
+                Response::text(503, "Service Unavailable", "recovering\n")
+                    .with_header("Retry-After", "1")
+            } else if shared.shutting_down.load(Ordering::Acquire) {
                 Response::text(503, "Service Unavailable", "draining\n")
+            } else if shared.breakers.iter().any(|b| b.is_open(Instant::now())) {
+                Response::text(503, "Service Unavailable", "breaker-open\n")
+                    .with_header("Retry-After", "1")
             } else {
-                Response::text(200, "OK", "ok\n")
+                Response::text(200, "OK", "ready\n")
             }
         }
         ("GET", "/metrics") => {
@@ -659,6 +803,27 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tra
                 .metrics
                 .store_dirty
                 .store(shared.store.dirty(), Ordering::Relaxed);
+            if let Some(d) = shared.store.durable() {
+                shared
+                    .metrics
+                    .wal_appends
+                    .store(d.wal_appends(), Ordering::Relaxed);
+                shared
+                    .metrics
+                    .wal_fsyncs
+                    .store(d.wal_fsyncs(), Ordering::Relaxed);
+                shared
+                    .metrics
+                    .checkpoints
+                    .store(d.checkpoints(), Ordering::Relaxed);
+            }
+            let ready = !shared.recovering.load(Ordering::Acquire)
+                && !shared.shutting_down.load(Ordering::Acquire)
+                && !shared.breakers.iter().any(|b| b.is_open(Instant::now()));
+            shared
+                .metrics
+                .ready
+                .store(u64::from(ready), Ordering::Relaxed);
             Response::text(200, "OK", shared.metrics.render())
         }
         ("GET", "/debug/flight") => debug_flight(shared, request),
@@ -678,7 +843,11 @@ fn route(shared: &Arc<Shared>, addr: SocketAddr, request: &Request, tracer: &Tra
             error_response(405, "Method Not Allowed", "method-not-allowed", "use POST")
                 .with_header("Allow", "POST")
         }
-        (_, "/healthz") | (_, "/metrics") | (_, "/debug/flight") | (_, "/explain") => {
+        (_, "/healthz")
+        | (_, "/readyz")
+        | (_, "/metrics")
+        | (_, "/debug/flight")
+        | (_, "/explain") => {
             http_error_counted(shared);
             error_response(405, "Method Not Allowed", "method-not-allowed", "use GET")
                 .with_header("Allow", "GET")
@@ -938,6 +1107,20 @@ fn synth_incr(shared: &Shared, request: &Request, tracer: &Tracer) -> Response {
 }
 
 fn synth(shared: &Shared, request: &Request, tracer: &Tracer, incr_base: Option<u64>) -> Response {
+    // Journal recovery is still replaying: the store and response cache
+    // are mid-restore, so shed rather than serve from a half-warm state.
+    if shared.recovering.load(Ordering::Acquire) {
+        shared
+            .metrics
+            .count(&shared.metrics.shed, &shared.tracer, "shed");
+        return error_response(
+            503,
+            "Service Unavailable",
+            "recovering",
+            "store recovery is replaying the journal",
+        )
+        .with_header("Retry-After", "1");
+    }
     // A synthesis request needs a .g body; a POST without Content-Length
     // parses as an empty one (RFC 7230), so point at the actual mistake.
     if request.header("content-length").is_none() {
@@ -1236,6 +1419,21 @@ fn synth(shared: &Shared, request: &Request, tracer: &Tracer, incr_base: Option<
             }
             let bytes = body.len();
             shared.cache.insert(key, Arc::new(body.clone()), bytes);
+            // Journal the certified body (module solves and the synthesis
+            // record journaled themselves on insert), then compact if the
+            // journal has grown past the checkpoint cadence.
+            if let Some(d) = shared.store.durable() {
+                let text = String::from_utf8_lossy(&body).into_owned();
+                d.record(&StoreMutation::Response { key, body: text }, || {});
+                match d.maybe_checkpoint(|| (shared.store.snapshot(), cache_entries(&shared.cache)))
+                {
+                    Ok(true) => shared.tracer.note("store", "checkpoint"),
+                    Ok(false) => {}
+                    Err(e) => shared
+                        .tracer
+                        .note("store", &format!("checkpoint failed: {e}")),
+                }
+            }
             let mut response = Response::json_bytes(200, "OK", body)
                 .with_header("X-Modsyn-Cache", "miss")
                 .with_header("X-Modsyn-Digest", digest_hex)

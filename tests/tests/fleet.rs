@@ -1,0 +1,134 @@
+//! Fleet integration: rendezvous failover against real listening
+//! servers, and (when the `modsynd` binary is present) a supervised
+//! kill-and-restart round trip.
+
+use std::time::{Duration, Instant};
+
+use modsyn_fleet::{sibling_binary, wait_for_200, FleetConfig, FleetRouter, Supervisor};
+use modsyn_obs::Tracer;
+use modsyn_svc::client::BackoffPolicy;
+use modsyn_svc::{Server, ServerConfig, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn start() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        ServerConfig {
+            jobs: 2,
+            ..ServerConfig::default()
+        },
+        Tracer::disabled(),
+    )
+    .expect("bind loopback");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (handle, thread)
+}
+
+/// Failover is the router's job: with the digest's primary replica down,
+/// the same request must come back from the survivor, byte-identical.
+#[test]
+fn router_fails_over_to_the_surviving_replica() {
+    let (h1, t1) = start();
+    let (h2, t2) = start();
+    let router = FleetRouter::new(vec![h1.addr(), h2.addr()]);
+    let g = modsyn_stg::write_g(&modsyn_stg::benchmarks::by_name("vbe-ex1").expect("benchmark"));
+    let digest = modsyn_store::fnv1a64(g.as_bytes());
+    let policy = BackoffPolicy {
+        max_attempts: 2,
+        max_total_wait: Duration::from_secs(2),
+        ..BackoffPolicy::default()
+    };
+
+    let first = router
+        .route(
+            digest,
+            "POST",
+            "/synth?method=modular",
+            g.as_bytes(),
+            TIMEOUT,
+            &policy,
+        )
+        .expect("fleet route");
+    assert_eq!(first.status, 200, "{}", first.text());
+
+    // Kill the digest's primary; the secondary must absorb the re-route.
+    let primary = router.primary(digest).expect("two replicas");
+    let (dead_h, dead_t, alive_h, alive_t) = if primary == h1.addr() {
+        (h1, t1, h2, t2)
+    } else {
+        (h2, t2, h1, t1)
+    };
+    dead_h.shutdown();
+    dead_t.join().expect("server thread").expect("server run");
+
+    let failed_over = router
+        .route(
+            digest,
+            "POST",
+            "/synth?method=modular",
+            g.as_bytes(),
+            TIMEOUT,
+            &policy,
+        )
+        .expect("failover route");
+    assert_eq!(failed_over.status, 200);
+    assert_eq!(
+        failed_over.body, first.body,
+        "failover answer must be byte-identical"
+    );
+
+    alive_h.shutdown();
+    alive_t.join().expect("server thread").expect("server run");
+}
+
+/// End-to-end supervision of real `modsynd` replicas: kill one with
+/// SIGKILL, let the supervisor notice and restart it, and require the
+/// replacement to report ready. Skips (with a note) when the `modsynd`
+/// binary has not been built alongside the test runner.
+#[test]
+fn supervisor_restarts_a_killed_modsynd_replica() {
+    let Ok(modsynd) = sibling_binary("modsynd") else {
+        eprintln!("skipping: modsynd binary not built (run a full workspace build first)");
+        return;
+    };
+    let base_port = 23000 + (std::process::id() % 9000) as u16;
+    let dir = std::env::temp_dir().join(format!("modsyn-itest-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FleetConfig {
+        command: vec![
+            modsynd.to_string_lossy().into_owned(),
+            "--addr".into(),
+            "127.0.0.1:{port}".into(),
+            "--access-log".into(),
+            "off".into(),
+            "--durable".into(),
+            format!("{}/replica-{{replica}}", dir.display()),
+        ],
+        replicas: 2,
+        base_port,
+        backoff_initial: Duration::from_millis(10),
+        ..FleetConfig::default()
+    };
+    let mut sup = Supervisor::start(config).expect("start fleet");
+    for addr in sup.addrs() {
+        assert!(
+            wait_for_200(addr, "/readyz", Duration::from_secs(20)),
+            "replica at {addr} never became ready"
+        );
+    }
+
+    assert!(sup.kill(0), "kill the live replica");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while sup.restarts(0) == 0 {
+        assert!(Instant::now() < deadline, "supervisor never restarted it");
+        let _ = sup.tick(Instant::now());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        wait_for_200(sup.addrs()[0], "/readyz", Duration::from_secs(20)),
+        "restarted replica never became ready"
+    );
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -445,6 +445,36 @@ fn trace_id_retrieves_the_span_chain_from_the_flight_recorder() {
     stop(&handle, thread);
 }
 
+/// The probe contract is pinned: `/healthz` is pure liveness (always
+/// `200 ok`), `/readyz` is readiness (`200 ready` once serving; drain
+/// and recovery flip it to 503 without touching liveness). Orchestrators
+/// parse these bodies, so the exact bytes are part of the API.
+#[test]
+fn liveness_and_readiness_probes_are_split_and_pinned() {
+    let (handle, thread) = start(ServerConfig::default());
+
+    let live = client::request(handle.addr(), "GET", "/healthz", b"", TIMEOUT).expect("healthz");
+    assert_eq!(live.status, 200);
+    assert_eq!(live.text(), "ok\n");
+
+    let ready = client::request(handle.addr(), "GET", "/readyz", b"", TIMEOUT).expect("readyz");
+    assert_eq!(ready.status, 200);
+    assert_eq!(ready.text(), "ready\n");
+
+    // Probes are GET-only.
+    let got = raw_roundtrip(
+        &handle,
+        b"POST /readyz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        false,
+    );
+    assert!(
+        got.starts_with("HTTP/1.1 405"),
+        "POST /readyz must be rejected, got: {got}"
+    );
+
+    stop(&handle, thread);
+}
+
 #[test]
 fn shutdown_endpoint_drains_gracefully() {
     let (handle, thread) = start(ServerConfig::default());
